@@ -1,0 +1,94 @@
+// Command spotfi-ap runs one simulated AP agent: it synthesizes CSI for a
+// target transmitting in the office testbed (or replays a recorded trace)
+// and streams the reports to a spotfi-server.
+//
+// Usage:
+//
+//	spotfi-ap -server 127.0.0.1:7100 -id 0 -target 3 [-count 100] [-interval 100ms]
+//	spotfi-ap -server 127.0.0.1:7100 -id 0 -trace capture.sft
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"spotfi/internal/apnode"
+	"spotfi/internal/csi"
+	"spotfi/internal/sim"
+	"spotfi/internal/testbed"
+)
+
+// newRand derives a per-(seed, AP, target) RNG for the synthesizer.
+func newRand(seed int64, id, target int) *rand.Rand {
+	return rand.New(rand.NewSource(seed*1_000_003 + int64(id)*7919 + int64(target) + 17))
+}
+
+func main() {
+	serverAddr := flag.String("server", "127.0.0.1:7100", "central server address")
+	id := flag.Int("id", 0, "AP index in the office testbed (0-5)")
+	target := flag.Int("target", 0, "target index in the office testbed")
+	count := flag.Int("count", 100, "packets to send (0 = unlimited)")
+	interval := flag.Duration("interval", 100*time.Millisecond, "packet pacing (paper: 100ms)")
+	tracePath := flag.String("trace", "", "replay a CSI trace file instead of simulating")
+	seed := flag.Int64("seed", 1, "testbed seed")
+	flag.Parse()
+
+	var source apnode.PacketSource
+	if *tracePath != "" {
+		f, err := os.Open(*tracePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spotfi-ap:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		source = &apnode.TraceSource{R: csi.NewTraceReader(f)}
+	} else {
+		d := testbed.Office(*seed)
+		if *id < 0 || *id >= len(d.APs) {
+			fmt.Fprintf(os.Stderr, "spotfi-ap: AP index %d out of range [0,%d]\n", *id, len(d.APs)-1)
+			os.Exit(2)
+		}
+		if *target < 0 || *target >= len(d.Targets) {
+			fmt.Fprintf(os.Stderr, "spotfi-ap: target index %d out of range [0,%d]\n", *target, len(d.Targets)-1)
+			os.Exit(2)
+		}
+		link := d.Link(*id, *target)
+		syn, err := sim.NewSynthesizer(link, d.Band, d.Array, d.Imp, newRand(*seed, *id, *target))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spotfi-ap:", err)
+			os.Exit(1)
+		}
+		source = &apnode.SynthSource{Syn: syn, TargetMAC: testbed.TargetMAC(*target), Limit: *count}
+		log.Printf("simulating AP %d at %v hearing target %d at %v",
+			*id, d.APs[*id].Pos, *target, d.Targets[*target])
+	}
+
+	agent := &apnode.Agent{
+		APID:       *id,
+		ServerAddr: *serverAddr,
+		Source:     source,
+		Interval:   *interval,
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sig
+		cancel()
+	}()
+
+	if err := agent.RunWithRetry(ctx, 5, 300*time.Millisecond); err != nil && ctx.Err() == nil {
+		fmt.Fprintln(os.Stderr, "spotfi-ap:", err)
+		os.Exit(1)
+	}
+	log.Print("done")
+}

@@ -1,0 +1,149 @@
+// Command spotfi-bench regenerates every table and figure of the paper's
+// evaluation (Sec. 4) on the simulated testbed and prints the series the
+// paper reports. Run with -quick for a reduced-scale smoke pass.
+//
+// Usage:
+//
+//	spotfi-bench [-quick] [-seed N] [-packets N] [-targets N] [-only figID]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"spotfi/internal/experiments"
+	"spotfi/internal/testbed"
+	"spotfi/internal/viz"
+)
+
+// writeSVG renders a figure's series as a CDF plot SVG next to the text
+// output.
+func writeSVG(dir string, r *experiments.Result) error {
+	labels := make([]string, 0, len(r.Series))
+	samples := make([][]float64, 0, len(r.Series))
+	for _, s := range r.Series {
+		if len(s.Values) < 2 {
+			continue // single-value series (e.g. fig5c spreads) have no CDF
+		}
+		labels = append(labels, s.Label)
+		samples = append(samples, s.Values)
+	}
+	if len(labels) == 0 {
+		return nil
+	}
+	plot, err := viz.CDFPlot(fmt.Sprintf("%s: %s", r.ID, r.Title), r.Unit, labels, samples)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(filepath.Join(dir, r.ID+".svg"), []byte(plot.SVG()), 0o644)
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced-scale run (fewer targets and packets)")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	packets := flag.Int("packets", 0, "packets per burst (0 = paper default of 40)")
+	targets := flag.Int("targets", 0, "max targets per deployment (0 = all)")
+	repeats := flag.Int("repeats", 1, "independently-seeded deployments to pool per experiment")
+	only := flag.String("only", "", "run a single figure (fig5ab, fig5c, fig7a, fig7b, fig7c, fig8a, fig8b, fig9a, fig9b, planval)")
+	svgDir := flag.String("svg", "", "also write one SVG figure per experiment into this directory")
+	jsonOut := flag.String("json", "", "also write all results as JSON to this file")
+	flag.Parse()
+
+	if *svgDir != "" {
+		if err := os.MkdirAll(*svgDir, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, "spotfi-bench:", err)
+			os.Exit(1)
+		}
+		// Fig. 6 equivalents: the deployment maps themselves.
+		for _, d := range []*testbed.Deployment{
+			testbed.Office(*seed), testbed.HighNLoS(*seed), testbed.Corridor(*seed),
+		} {
+			svg, err := d.FloorPlan().SVG()
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "spotfi-bench:", err)
+				os.Exit(1)
+			}
+			path := filepath.Join(*svgDir, "testbed-"+d.Name+".svg")
+			if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+				fmt.Fprintln(os.Stderr, "spotfi-bench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+
+	opts := experiments.Options{Seed: *seed, Packets: *packets, MaxTargets: *targets, Repeats: *repeats}
+	if *quick {
+		if opts.Packets == 0 {
+			opts.Packets = 10
+		}
+		if opts.MaxTargets == 0 {
+			opts.MaxTargets = 8
+		}
+	}
+
+	fns := map[string]func(experiments.Options) (*experiments.Result, error){
+		"fig5ab":  experiments.Fig5Sanitization,
+		"fig5c":   experiments.Fig5cClusters,
+		"fig7a":   experiments.Fig7aOffice,
+		"fig7b":   experiments.Fig7bNLoS,
+		"fig7c":   experiments.Fig7cCorridor,
+		"fig8a":   experiments.Fig8aAoA,
+		"fig8b":   experiments.Fig8bSelection,
+		"fig9a":   experiments.Fig9aDensity,
+		"fig9b":   experiments.Fig9bPackets,
+		"planval": experiments.PlanValidation,
+	}
+	order := []string{"fig5ab", "fig5c", "fig7a", "fig7b", "fig7c", "fig8a", "fig8b", "fig9a", "fig9b", "planval"}
+
+	var collected []*experiments.Result
+	run := func(id string) error {
+		fn, ok := fns[id]
+		if !ok {
+			return fmt.Errorf("unknown figure %q", id)
+		}
+		start := time.Now()
+		r, err := fn(opts)
+		if err != nil {
+			return fmt.Errorf("%s: %w", id, err)
+		}
+		collected = append(collected, r)
+		fmt.Print(r.Render())
+		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		if *svgDir != "" {
+			if err := writeSVG(*svgDir, r); err != nil {
+				return fmt.Errorf("%s: svg: %w", id, err)
+			}
+		}
+		return nil
+	}
+
+	if *only != "" {
+		if err := run(*only); err != nil {
+			fmt.Fprintln(os.Stderr, "spotfi-bench:", err)
+			os.Exit(1)
+		}
+	} else {
+		for _, id := range order {
+			if err := run(id); err != nil {
+				fmt.Fprintln(os.Stderr, "spotfi-bench:", err)
+				os.Exit(1)
+			}
+		}
+	}
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(collected, "", "  ")
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spotfi-bench:", err)
+			os.Exit(1)
+		}
+		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "spotfi-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+}

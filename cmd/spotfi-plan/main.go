@@ -1,0 +1,95 @@
+// Command spotfi-plan evaluates an AP deployment before installation: it
+// computes the expected AoA-triangulation error bound across the floor and
+// writes a coverage heatmap.
+//
+// Usage:
+//
+//	spotfi-plan -bounds 0,0,16,10 -out coverage.svg \
+//	    -ap 0,0.4,0.4,31 -ap 1,15.6,0.4,149 -ap 2,8,9.7,-90 [-step 0.5] [-aoastd 5]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"spotfi/internal/cliutil"
+	"spotfi/internal/geom"
+	"spotfi/internal/plan"
+	"spotfi/internal/viz"
+)
+
+func main() {
+	boundsStr := flag.String("bounds", "0,0,16,10", "floor bounds minX,minY,maxX,maxY (m)")
+	out := flag.String("out", "coverage.svg", "output heatmap SVG ('' = text only)")
+	step := flag.Float64("step", 0.5, "grid step (m)")
+	aoaStd := flag.Float64("aoastd", 5, "assumed per-AP bearing error (degrees, 1σ)")
+	threshold := flag.Float64("threshold", 1.0, "coverage threshold (m)")
+	var aps cliutil.APList
+	flag.Var(&aps, "ap", "AP spec id,x,y,normalDeg (repeatable)")
+	flag.Parse()
+
+	fail := func(err error) {
+		fmt.Fprintln(os.Stderr, "spotfi-plan:", err)
+		os.Exit(1)
+	}
+	if len(aps) < 2 {
+		fail(fmt.Errorf("need at least two -ap flags"))
+	}
+	bounds, err := cliutil.ParseBounds(*boundsStr)
+	if err != nil {
+		fail(err)
+	}
+	planAPs := make([]plan.AP, len(aps))
+	for i, ap := range aps {
+		planAPs[i] = plan.AP{Pos: ap.Pos, NormalAngle: ap.NormalAngle}
+	}
+	cfg := plan.DefaultConfig()
+	cfg.AoAStdRad = geom.Rad(*aoaStd)
+
+	cm, err := plan.Evaluate(bounds, *step, planAPs, cfg)
+	if err != nil {
+		fail(err)
+	}
+	frac, med := cm.Summary(*threshold)
+	at, worst := cm.WorstCovered()
+	fmt.Printf("coverage: %.0f%% of the floor within %.2f m expected error\n", frac*100, *threshold)
+	fmt.Printf("median expected error: %.2f m\n", med)
+	fmt.Printf("worst covered point: (%.1f, %.1f) at %.2f m — consider an AP nearby\n", at.X, at.Y, worst)
+
+	if *out == "" {
+		return
+	}
+	// Cap infinities for rendering.
+	z := make([][]float64, len(cm.Err))
+	capV := 3 * med
+	if math.IsNaN(capV) || capV <= 0 {
+		capV = 5
+	}
+	for i, row := range cm.Err {
+		z[i] = make([]float64, len(row))
+		for j, e := range row {
+			if math.IsInf(e, 1) || e > capV {
+				e = capV
+			}
+			z[i][j] = e
+		}
+	}
+	h := &viz.Heatmap{
+		Title:  fmt.Sprintf("expected localization error (σ_AoA = %.0f°)", *aoaStd),
+		XLabel: "x (m)",
+		YLabel: "y (m)",
+		X:      cm.Xs,
+		Y:      cm.Ys,
+		Z:      z,
+	}
+	svg, err := h.SVG()
+	if err != nil {
+		fail(err)
+	}
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		fail(err)
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

@@ -1,0 +1,91 @@
+// Command spotfi-server runs the central SpotFi localization server: it
+// accepts AP connections, assembles per-target CSI bursts, runs the SpotFi
+// pipeline on each complete burst, and prints location estimates.
+//
+// AP positions are supplied as repeated -ap flags: "id,x,y,normalDeg".
+//
+// Usage:
+//
+//	spotfi-server -listen 127.0.0.1:7100 \
+//	    -ap 0,0.4,0.4,45 -ap 1,15.6,0.4,135 -ap 2,8,9.7,-90 \
+//	    -bounds 0,0,16,10 [-batch 10] [-minaps 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"spotfi"
+	"spotfi/internal/cliutil"
+	"spotfi/internal/csi"
+	"spotfi/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", "127.0.0.1:7100", "TCP address to listen on")
+	boundsStr := flag.String("bounds", "0,0,16,10", "search bounds minX,minY,maxX,maxY (m)")
+	batch := flag.Int("batch", 10, "packets per AP per localization burst")
+	minAPs := flag.Int("minaps", 3, "minimum APs with a full batch before localizing")
+	var aps cliutil.APList
+	flag.Var(&aps, "ap", "AP spec id,x,y,normalDeg (repeatable)")
+	flag.Parse()
+
+	if len(aps) < 2 {
+		fmt.Fprintln(os.Stderr, "spotfi-server: need at least two -ap flags")
+		os.Exit(2)
+	}
+	bounds, err := cliutil.ParseBounds(*boundsStr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
+		os.Exit(2)
+	}
+
+	loc, err := spotfi.New(spotfi.DefaultConfig(bounds), aps)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
+		os.Exit(1)
+	}
+
+	collector, err := server.NewCollector(server.CollectorConfig{
+		BatchSize:   *batch,
+		MinAPs:      *minAPs,
+		MaxBuffered: 40 * *batch,
+	}, func(mac string, bursts map[int][]*csi.Packet) {
+		go func() {
+			p, reports, err := loc.LocalizeBursts(bursts)
+			if err != nil {
+				log.Printf("localize %s: %v", mac, err)
+				return
+			}
+			log.Printf("target %s at (%.2f, %.2f) m  [%d APs]", mac, p.X, p.Y, len(reports))
+		}()
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
+		os.Exit(1)
+	}
+
+	srv, err := server.New(collector, log.Printf)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
+		os.Exit(1)
+	}
+	addr, err := srv.Listen(*listen)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
+		os.Exit(1)
+	}
+	log.Printf("spotfi-server listening on %v (%d APs registered)", addr, len(aps))
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	log.Print("shutting down")
+	if err := srv.Close(); err != nil {
+		log.Printf("close: %v", err)
+	}
+}

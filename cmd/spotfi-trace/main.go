@@ -1,0 +1,313 @@
+// Command spotfi-trace generates and inspects CSI trace files in the SFT1
+// format used by the AP agent and trace tools.
+//
+// Usage:
+//
+//	spotfi-trace gen      -out capture.sft -ap 0 -target 3 -count 100 [-seed 1]
+//	spotfi-trace info     -in capture.sft
+//	spotfi-trace paths    -in capture.sft [-limit 5]
+//	spotfi-trace spectrum -in capture.sft -out spectrum.svg [-packet N]
+//	spotfi-trace locate   -in multi-ap.sft -bounds 0,0,16,10 -ap 0,x,y,deg -ap 1,...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"sort"
+
+	"spotfi"
+	"spotfi/internal/cliutil"
+	"spotfi/internal/csi"
+	"spotfi/internal/geom"
+	"spotfi/internal/music"
+	"spotfi/internal/sanitize"
+	"spotfi/internal/sim"
+	"spotfi/internal/testbed"
+	"spotfi/internal/viz"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = runGen(os.Args[2:])
+	case "info":
+		err = runInfo(os.Args[2:])
+	case "paths":
+		err = runPaths(os.Args[2:])
+	case "spectrum":
+		err = runSpectrum(os.Args[2:])
+	case "locate":
+		err = runLocate(os.Args[2:])
+	default:
+		usage()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spotfi-trace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage:
+  spotfi-trace gen      -out FILE -ap N -target N -count N [-seed N]
+  spotfi-trace info     -in FILE
+  spotfi-trace paths    -in FILE [-limit N]
+  spotfi-trace spectrum -in FILE -out FILE.svg [-packet N]
+  spotfi-trace locate   -in FILE -bounds B -ap SPEC [-ap SPEC ...]`)
+	os.Exit(2)
+}
+
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	out := fs.String("out", "capture.sft", "output file")
+	ap := fs.Int("ap", 0, "AP index in the office testbed")
+	target := fs.Int("target", 0, "target index in the office testbed")
+	count := fs.Int("count", 100, "packets to generate")
+	seed := fs.Int64("seed", 1, "testbed seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	d := testbed.Office(*seed)
+	if *ap < 0 || *ap >= len(d.APs) || *target < 0 || *target >= len(d.Targets) {
+		return fmt.Errorf("ap/target index out of range")
+	}
+	link := d.Link(*ap, *target)
+	syn, err := sim.NewSynthesizer(link, d.Band, d.Array, d.Imp,
+		rand.New(rand.NewSource(*seed*1_000_003+int64(*ap)*7919+int64(*target)+17)))
+	if err != nil {
+		return err
+	}
+
+	f, err := os.Create(*out)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := csi.NewTraceWriter(f)
+	for i := 0; i < *count; i++ {
+		if err := w.WritePacket(syn.NextPacket(testbed.TargetMAC(*target))); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d packets for AP %d / target %d (truth %v, direct AoA %.1f°) to %s\n",
+		*count, *ap, *target, d.Targets[*target], geom.Deg(d.GroundTruthAoA(*ap, *target)), *out)
+	return nil
+}
+
+func runInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("in", "", "input trace")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csi.NewTraceReader(f)
+	var n int
+	macs := map[string]int{}
+	aps := map[int]int{}
+	var rssiSum float64
+	for {
+		p, err := r.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n++
+		macs[p.TargetMAC]++
+		aps[p.APID]++
+		rssiSum += p.RSSIdBm
+	}
+	if n == 0 {
+		return fmt.Errorf("empty trace")
+	}
+	fmt.Printf("%d packets, %d targets, %d APs, mean RSSI %.1f dBm\n",
+		n, len(macs), len(aps), rssiSum/float64(n))
+	for mac, c := range macs {
+		fmt.Printf("  target %s: %d packets\n", mac, c)
+	}
+	return nil
+}
+
+func runPaths(args []string) error {
+	fs := flag.NewFlagSet("paths", flag.ExitOnError)
+	in := fs.String("in", "", "input trace")
+	limit := fs.Int("limit", 5, "packets to analyze")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csi.NewTraceReader(f)
+	est, err := music.NewEstimator(music.DefaultParams())
+	if err != nil {
+		return err
+	}
+	params := est.Params()
+	for i := 0; i < *limit; i++ {
+		p, err := r.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		work := p.CSI.Clone()
+		if _, err := sanitize.ToF(work, params.Band.SubcarrierSpacingHz); err != nil {
+			return err
+		}
+		paths, err := est.EstimatePaths(work)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("packet %d (rssi %.1f dBm): %d paths\n", p.Seq, p.RSSIdBm, len(paths))
+		for _, pe := range paths {
+			fmt.Printf("  aoa %6.1f°  tof %7.1f ns  power %.3g\n",
+				geom.Deg(pe.AoA), pe.ToF*1e9, pe.Power)
+		}
+	}
+	return nil
+}
+
+func runSpectrum(args []string) error {
+	fs := flag.NewFlagSet("spectrum", flag.ExitOnError)
+	in := fs.String("in", "", "input trace")
+	out := fs.String("out", "spectrum.svg", "output SVG")
+	packet := fs.Int("packet", 0, "packet index to render")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	r := csi.NewTraceReader(f)
+	var p *csi.Packet
+	for i := 0; i <= *packet; i++ {
+		p, err = r.ReadPacket()
+		if err != nil {
+			return fmt.Errorf("reading packet %d: %w", i, err)
+		}
+	}
+	est, err := music.NewEstimator(music.DefaultParams())
+	if err != nil {
+		return err
+	}
+	work := p.CSI.Clone()
+	if _, err := sanitize.ToF(work, est.Params().Band.SubcarrierSpacingHz); err != nil {
+		return err
+	}
+	spec, err := est.Spectrum(work)
+	if err != nil {
+		return err
+	}
+	// Heatmap rows = AoA, columns = ToF (ns).
+	h := &viz.Heatmap{
+		Title:    fmt.Sprintf("MUSIC pseudo-spectrum, packet %d", p.Seq),
+		XLabel:   "ToF (ns)",
+		YLabel:   "AoA (deg)",
+		LogScale: true,
+		Z:        spec.P,
+	}
+	for _, th := range spec.Thetas {
+		h.Y = append(h.Y, geom.Deg(th))
+	}
+	for _, tau := range spec.Taus {
+		h.X = append(h.X, tau*1e9)
+	}
+	svg, err := h.SVG()
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(*out, []byte(svg), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s (%d AoA x %d ToF cells)\n", *out, len(spec.Thetas), len(spec.Taus))
+	return nil
+}
+
+// runLocate replays a multi-AP trace offline: packets are grouped per
+// target and AP, then the full SpotFi pipeline localizes each target.
+func runLocate(args []string) error {
+	fs := flag.NewFlagSet("locate", flag.ExitOnError)
+	in := fs.String("in", "", "input trace containing packets from several APs")
+	boundsStr := fs.String("bounds", "0,0,16,10", "search bounds minX,minY,maxX,maxY")
+	var aps cliutil.APList
+	fs.Var(&aps, "ap", "AP spec id,x,y,normalDeg (repeatable)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if len(aps) < 2 {
+		return fmt.Errorf("need at least two -ap flags")
+	}
+	bounds, err := cliutil.ParseBounds(*boundsStr)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+
+	// Group packets per target MAC, then per AP.
+	perTarget := map[string]map[int][]*csi.Packet{}
+	r := csi.NewTraceReader(f)
+	for {
+		p, err := r.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		byAP, ok := perTarget[p.TargetMAC]
+		if !ok {
+			byAP = map[int][]*csi.Packet{}
+			perTarget[p.TargetMAC] = byAP
+		}
+		byAP[p.APID] = append(byAP[p.APID], p)
+	}
+	if len(perTarget) == 0 {
+		return fmt.Errorf("empty trace")
+	}
+
+	loc, err := spotfi.New(spotfi.DefaultConfig(bounds), aps)
+	if err != nil {
+		return err
+	}
+	macs := make([]string, 0, len(perTarget))
+	for mac := range perTarget {
+		macs = append(macs, mac)
+	}
+	sort.Strings(macs)
+	for _, mac := range macs {
+		pos, reports, err := loc.LocalizeBursts(perTarget[mac])
+		if err != nil {
+			fmt.Printf("target %s: %v\n", mac, err)
+			continue
+		}
+		fmt.Printf("target %s at (%.2f, %.2f) m from %d APs\n", mac, pos.X, pos.Y, len(reports))
+	}
+	return nil
+}

@@ -1,0 +1,123 @@
+// Live system: the full deployed architecture of Fig. 1 in one process.
+//
+// A central server listens on localhost TCP; six AP agents connect and
+// stream simulated CSI reports for one target over the wire protocol; the
+// server assembles bursts and localizes. This is exactly what
+// cmd/spotfi-server and cmd/spotfi-ap do as separate processes.
+//
+//	go run ./examples/livesystem
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"math/rand"
+	"sync"
+	"time"
+
+	"spotfi"
+	"spotfi/internal/apnode"
+	"spotfi/internal/csi"
+	"spotfi/internal/server"
+	"spotfi/internal/sim"
+	"spotfi/internal/testbed"
+)
+
+func main() {
+	d := testbed.Office(42)
+	const targetIdx = 4
+	const packetsPerAP = 30
+
+	aps := make([]spotfi.AP, len(d.APs))
+	for i, ap := range d.APs {
+		aps[i] = spotfi.AP{ID: ap.ID, Pos: ap.Pos, NormalAngle: ap.NormalAngle}
+	}
+	loc, err := spotfi.New(spotfi.DefaultConfig(d.Bounds), aps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The server localizes every time each of ≥5 APs has 10 fresh packets.
+	fixes := make(chan spotfi.Point, 8)
+	collector, err := server.NewCollector(server.CollectorConfig{
+		BatchSize: 10, MinAPs: 5, MaxBuffered: 100,
+	}, func(mac string, bursts map[int][]*csi.Packet) {
+		p, reports, err := loc.LocalizeBursts(bursts)
+		if err != nil {
+			log.Printf("localize %s: %v", mac, err)
+			return
+		}
+		log.Printf("fix for %s: (%.2f, %.2f) m from %d APs", mac, p.X, p.Y, len(reports))
+		fixes <- p
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv, err := server.New(collector, log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer srv.Close()
+	log.Printf("server on %v", addr)
+
+	// Six AP agents stream CSI over real TCP connections.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for apIdx := range d.APs {
+		link := d.Link(apIdx, targetIdx)
+		syn, err := sim.NewSynthesizer(link, d.Band, d.Array, d.Imp,
+			rand.New(rand.NewSource(int64(100+apIdx))))
+		if err != nil {
+			log.Printf("AP %d cannot hear the target: %v", apIdx, err)
+			continue
+		}
+		agent := &apnode.Agent{
+			APID:       apIdx,
+			ServerAddr: addr.String(),
+			Source: &apnode.SynthSource{
+				Syn:       syn,
+				TargetMAC: testbed.TargetMAC(targetIdx),
+				Limit:     packetsPerAP,
+			},
+			Interval: 5 * time.Millisecond,
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := agent.Run(ctx); err != nil {
+				log.Printf("agent %d: %v", id, err)
+			}
+		}(apIdx)
+	}
+	wg.Wait()
+
+	// Agents are done sending, but the server may still be assembling and
+	// localizing the final bursts — drain the expected fixes with a
+	// deadline instead of racing the handler.
+	truth := d.Targets[targetIdx]
+	wantFixes := packetsPerAP / 10 // one fix per 10-packet batch
+	var n int
+	var sumErr float64
+	deadline := time.After(20 * time.Second)
+drain:
+	for n < wantFixes {
+		select {
+		case p := <-fixes:
+			n++
+			sumErr += p.Dist(truth)
+		case <-deadline:
+			break drain
+		}
+	}
+	if n == 0 {
+		log.Fatal("no fixes produced")
+	}
+	fmt.Printf("\nground truth (%.2f, %.2f) m; %d fixes, mean error %.2f m\n",
+		truth.X, truth.Y, n, sumErr/float64(n))
+}

@@ -1,0 +1,52 @@
+// Office survey: reproduce the paper's headline experiment (Fig. 7a) at
+// example scale — localize every target of the indoor-office deployment
+// and print the error distribution for SpotFi next to the 3-antenna
+// ArrayTrack baseline.
+//
+//	go run ./examples/office [-targets N] [-packets N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"spotfi/internal/experiments"
+	"spotfi/internal/stats"
+)
+
+func main() {
+	targets := flag.Int("targets", 12, "number of office targets to localize (0 = all 30)")
+	packets := flag.Int("packets", 10, "packets per burst")
+	flag.Parse()
+
+	result, err := experiments.Fig7aOffice(experiments.Options{
+		Seed:       1,
+		Packets:    *packets,
+		MaxTargets: *targets,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("indoor office deployment, %d packets per burst\n\n", *packets)
+	for _, s := range result.Series {
+		sum := stats.Summarize(s.Values)
+		fmt.Printf("%-22s median %.2f m   p80 %.2f m   (n=%d)\n",
+			s.Label, sum.Median, sum.P80, sum.N)
+	}
+	fmt.Println("\nSpotFi error CDF:")
+	xs, ps := stats.NewCDF(result.Series[0].Values).Series(10)
+	for i := range xs {
+		bar := int(ps[i] * 40)
+		fmt.Printf("  ≤ %5.2f m  %5.1f%%  %s\n", xs[i], ps[i]*100, bars(bar))
+	}
+}
+
+func bars(n int) string {
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = '#'
+	}
+	return string(out)
+}

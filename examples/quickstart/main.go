@@ -1,0 +1,64 @@
+// Quickstart: localize a single WiFi target from simulated CSI.
+//
+// Six 3-antenna APs surround a 16 m × 10 m office. The target transmits 10
+// packets; every AP reports per-packet CSI and RSSI; SpotFi estimates the
+// multipath, identifies the direct path per AP, and triangulates.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"spotfi"
+	"spotfi/internal/geom"
+	"spotfi/internal/testbed"
+)
+
+func main() {
+	// The simulated deployment: floor plan, AP placement, channel model.
+	deployment := testbed.Office(42)
+
+	// Register the APs with the localizer. In a real deployment these
+	// poses come from one-time measurements.
+	aps := make([]spotfi.AP, len(deployment.APs))
+	for i, ap := range deployment.APs {
+		aps[i] = spotfi.AP{ID: ap.ID, Pos: ap.Pos, NormalAngle: ap.NormalAngle}
+	}
+	loc, err := spotfi.New(spotfi.DefaultConfig(deployment.Bounds), aps)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The target transmits; each AP captures a burst of 10 packets.
+	const targetIdx = 4
+	const packets = 10
+	bursts := make(map[int][]*spotfi.Packet)
+	for apIdx := range deployment.APs {
+		burst, err := deployment.Burst(apIdx, targetIdx, packets)
+		if err != nil {
+			log.Printf("AP %d cannot hear the target: %v", apIdx, err)
+			continue
+		}
+		bursts[apIdx] = burst
+	}
+
+	// Run the full pipeline: super-resolution → direct path → location.
+	estimate, reports, err := loc.LocalizeBursts(bursts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	truth := deployment.Targets[targetIdx]
+	fmt.Printf("ground truth : (%.2f, %.2f) m\n", truth.X, truth.Y)
+	fmt.Printf("estimate     : (%.2f, %.2f) m\n", estimate.X, estimate.Y)
+	fmt.Printf("error        : %.2f m\n\n", estimate.Dist(truth))
+
+	fmt.Println("per-AP direct path decisions:")
+	for _, r := range reports {
+		truthAoA := deployment.GroundTruthAoA(r.APID, targetIdx)
+		fmt.Printf("  AP %d: AoA %6.1f° (truth %6.1f°)  likelihood %.3g  RSSI %.1f dBm  %d candidates\n",
+			r.APID, geom.Deg(r.AoA), geom.Deg(truthAoA), r.Likelihood, r.MeanRSSIdBm, len(r.Candidates))
+	}
+}

@@ -1,0 +1,3 @@
+module spotfi
+
+go 1.22

@@ -1,0 +1,173 @@
+// Package apnode implements the software SpotFi adds at each AP: it reads
+// CSI reports (from the simulated NIC or a recorded trace) and ships them
+// to the central server over the wire protocol. The paper's design adds
+// "only the software required to read the reported CSI values, timestamps,
+// and MAC addresses at the AP and ships it to the central server and
+// nothing else" (Sec. 3).
+package apnode
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/sim"
+	"spotfi/internal/wire"
+)
+
+// PacketSource yields the CSI packets the AP observes. Next returns io.EOF
+// when the source is exhausted.
+type PacketSource interface {
+	Next() (*csi.Packet, error)
+}
+
+// SynthSource adapts a sim.Synthesizer into a PacketSource with a fixed
+// packet budget (0 = unlimited).
+type SynthSource struct {
+	Syn       *sim.Synthesizer
+	TargetMAC string
+	Limit     int
+
+	sent int
+}
+
+// Next synthesizes the next packet.
+func (s *SynthSource) Next() (*csi.Packet, error) {
+	if s.Limit > 0 && s.sent >= s.Limit {
+		return nil, io.EOF
+	}
+	s.sent++
+	return s.Syn.NextPacket(s.TargetMAC), nil
+}
+
+// TraceSource adapts a csi.TraceReader into a PacketSource.
+type TraceSource struct {
+	R *csi.TraceReader
+}
+
+// Next reads the next trace packet.
+func (t *TraceSource) Next() (*csi.Packet, error) { return t.R.ReadPacket() }
+
+// Agent streams CSI reports from a source to the server.
+type Agent struct {
+	// APID is announced in the handshake and stamped on outgoing packets.
+	APID int
+	// ServerAddr is the central server's TCP address.
+	ServerAddr string
+	// Source yields packets to ship.
+	Source PacketSource
+	// Interval paces transmissions (0 = as fast as possible). The paper's
+	// experiments space packets 100 ms apart.
+	Interval time.Duration
+	// DialTimeout bounds connection establishment.
+	DialTimeout time.Duration
+}
+
+// Run connects, performs the handshake, and streams packets until the
+// source is exhausted or ctx is cancelled. A clean EOF sends Bye and
+// returns nil.
+func (a *Agent) Run(ctx context.Context) error {
+	if a.Source == nil {
+		return fmt.Errorf("apnode: nil packet source")
+	}
+	timeout := a.DialTimeout
+	if timeout == 0 {
+		timeout = 5 * time.Second
+	}
+	d := net.Dialer{Timeout: timeout}
+	conn, err := d.DialContext(ctx, "tcp", a.ServerAddr)
+	if err != nil {
+		return fmt.Errorf("apnode: dial %s: %w", a.ServerAddr, err)
+	}
+	defer conn.Close()
+
+	// Cancel blocks in-flight writes when ctx dies.
+	done := make(chan struct{})
+	defer close(done)
+	go func() {
+		select {
+		case <-ctx.Done():
+			conn.Close()
+		case <-done:
+		}
+	}()
+
+	if err := wire.WriteFrame(conn, wire.EncodeHello(int32(a.APID))); err != nil {
+		return fmt.Errorf("apnode: handshake: %w", err)
+	}
+
+	var ticker *time.Ticker
+	if a.Interval > 0 {
+		ticker = time.NewTicker(a.Interval)
+		defer ticker.Stop()
+	}
+	for {
+		pkt, err := a.Source.Next()
+		if err == io.EOF {
+			return wire.WriteFrame(conn, wire.Frame{Type: wire.TypeBye})
+		}
+		if err != nil {
+			return fmt.Errorf("apnode: source: %w", err)
+		}
+		pkt.APID = a.APID
+		f, err := wire.EncodeCSIReport(pkt)
+		if err != nil {
+			return fmt.Errorf("apnode: encode: %w", err)
+		}
+		if err := wire.WriteFrame(conn, f); err != nil {
+			if ctx.Err() != nil {
+				return ctx.Err()
+			}
+			return fmt.Errorf("apnode: send: %w", err)
+		}
+		if ticker != nil {
+			select {
+			case <-ticker.C:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		} else if ctx.Err() != nil {
+			return ctx.Err()
+		}
+	}
+}
+
+// RunWithRetry runs the agent, reconnecting with exponential backoff when
+// the connection fails mid-stream. It returns nil when the source is
+// exhausted (clean EOF), ctx.Err() on cancellation, or the last error once
+// maxRetries consecutive attempts fail. Progress through the source is
+// preserved across reconnects: packets already consumed are not re-read.
+func (a *Agent) RunWithRetry(ctx context.Context, maxRetries int, baseBackoff time.Duration) error {
+	if maxRetries < 1 {
+		maxRetries = 1
+	}
+	if baseBackoff <= 0 {
+		baseBackoff = 250 * time.Millisecond
+	}
+	backoff := baseBackoff
+	failures := 0
+	for {
+		err := a.Run(ctx)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return ctx.Err()
+		}
+		failures++
+		if failures >= maxRetries {
+			return fmt.Errorf("apnode: giving up after %d attempts: %w", failures, err)
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		if backoff < 8*time.Second {
+			backoff *= 2
+		}
+	}
+}

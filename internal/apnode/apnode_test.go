@@ -1,0 +1,284 @@
+package apnode
+
+import (
+	"bytes"
+	"context"
+	"io"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/geom"
+	"spotfi/internal/rf"
+	"spotfi/internal/sim"
+	"spotfi/internal/wire"
+)
+
+func testSynth(t *testing.T, seed int64) *sim.Synthesizer {
+	t.Helper()
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	env := &sim.Environment{}
+	rng := rand.New(rand.NewSource(seed))
+	link := sim.NewLink(env, sim.AP{ID: 1, Pos: geom.Point{X: 0, Y: 0}}, geom.Point{X: 4, Y: 2}, sim.DefaultLinkConfig(), rng)
+	syn, err := sim.NewSynthesizer(link, band, array, sim.DefaultImpairments(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return syn
+}
+
+func TestSynthSourceLimit(t *testing.T) {
+	src := &SynthSource{Syn: testSynth(t, 1), TargetMAC: "m", Limit: 3}
+	for i := 0; i < 3; i++ {
+		p, err := src.Next()
+		if err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+		if p.TargetMAC != "m" {
+			t.Fatalf("MAC = %s", p.TargetMAC)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("after limit: %v, want io.EOF", err)
+	}
+}
+
+func TestTraceSource(t *testing.T) {
+	var buf bytes.Buffer
+	w := csi.NewTraceWriter(&buf)
+	syn := testSynth(t, 2)
+	for i := 0; i < 4; i++ {
+		if err := w.WritePacket(syn.NextPacket("mm")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	src := &TraceSource{R: csi.NewTraceReader(&buf)}
+	for i := 0; i < 4; i++ {
+		if _, err := src.Next(); err != nil {
+			t.Fatalf("packet %d: %v", i, err)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("exhausted trace: %v, want io.EOF", err)
+	}
+}
+
+func TestAgentNilSource(t *testing.T) {
+	a := &Agent{APID: 1, ServerAddr: "127.0.0.1:1"}
+	if err := a.Run(context.Background()); err == nil {
+		t.Fatal("nil source accepted")
+	}
+}
+
+func TestAgentDialFailure(t *testing.T) {
+	a := &Agent{
+		APID:        1,
+		ServerAddr:  "127.0.0.1:1", // nothing listens on port 1
+		Source:      &SynthSource{Syn: testSynth(t, 3), TargetMAC: "m", Limit: 1},
+		DialTimeout: 500 * time.Millisecond,
+	}
+	if err := a.Run(context.Background()); err == nil {
+		t.Fatal("dial to dead port succeeded")
+	}
+}
+
+// TestAgentStreamsFrames verifies the exact frame sequence an agent emits:
+// Hello, N CSI reports with the agent's APID stamped, then Bye.
+func TestAgentStreamsFrames(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+
+	done := make(chan error, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			done <- err
+			return
+		}
+		defer conn.Close()
+		hello, err := wire.ReadFrame(conn)
+		if err != nil {
+			done <- err
+			return
+		}
+		id, err := wire.DecodeHello(hello)
+		if err != nil || id != 7 {
+			t.Errorf("hello id = %d, err = %v", id, err)
+		}
+		count := 0
+		for {
+			f, err := wire.ReadFrame(conn)
+			if err != nil {
+				done <- err
+				return
+			}
+			switch f.Type {
+			case wire.TypeCSIReport:
+				p, err := wire.DecodeCSIReport(f)
+				if err != nil {
+					done <- err
+					return
+				}
+				if p.APID != 7 {
+					t.Errorf("report APID %d, want 7", p.APID)
+				}
+				count++
+			case wire.TypeBye:
+				if count != 5 {
+					t.Errorf("got %d reports, want 5", count)
+				}
+				done <- nil
+				return
+			}
+		}
+	}()
+
+	a := &Agent{
+		APID:       7,
+		ServerAddr: lis.Addr().String(),
+		Source:     &SynthSource{Syn: testSynth(t, 4), TargetMAC: "m", Limit: 5},
+	}
+	if err := a.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("server goroutine timed out")
+	}
+}
+
+func TestAgentContextCancel(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		// Read forever; never close.
+		io.Copy(io.Discard, conn)
+	}()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	a := &Agent{
+		APID:       1,
+		ServerAddr: lis.Addr().String(),
+		Source:     &SynthSource{Syn: testSynth(t, 5), TargetMAC: "m"}, // unlimited
+		Interval:   10 * time.Millisecond,
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- a.Run(ctx) }()
+	time.Sleep(50 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-errCh:
+		if err == nil {
+			t.Fatal("cancelled agent returned nil")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("agent did not stop on cancel")
+	}
+}
+
+// TestAgentRunWithRetry drops the agent's first two connections, then
+// verifies reports flow once a healthy connection is finally accepted.
+// (The protocol has no acknowledgements, so packets written into a dying
+// socket are lost — the retry guarantee is liveness, not delivery.)
+func TestAgentRunWithRetry(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+
+	gotReport := make(chan struct{}, 1)
+	go func() {
+		dropped := 0
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			if dropped < 2 {
+				dropped++
+				conn.Close()
+				continue
+			}
+			// Healthy connection: signal on the first CSI report, then
+			// drain.
+			go func() {
+				defer conn.Close()
+				signalled := false
+				for {
+					f, err := wire.ReadFrame(conn)
+					if err != nil {
+						return
+					}
+					if f.Type == wire.TypeCSIReport && !signalled {
+						signalled = true
+						select {
+						case gotReport <- struct{}{}:
+						default:
+						}
+					}
+				}
+			}()
+			return
+		}
+	}()
+
+	a := &Agent{
+		APID:       2,
+		ServerAddr: lis.Addr().String(),
+		Source:     &SynthSource{Syn: testSynth(t, 6), TargetMAC: "m"}, // unlimited
+		Interval:   5 * time.Millisecond,
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- a.RunWithRetry(ctx, 10, 10*time.Millisecond) }()
+
+	select {
+	case <-gotReport:
+		// Reconnect succeeded and the stream is flowing.
+	case err := <-done:
+		t.Fatalf("agent exited before delivering a report: %v", err)
+	case <-time.After(8 * time.Second):
+		t.Fatal("server never received the stream")
+	}
+	cancel()
+	<-done
+}
+
+func TestAgentRunWithRetryGivesUp(t *testing.T) {
+	a := &Agent{
+		APID:        1,
+		ServerAddr:  "127.0.0.1:1",
+		Source:      &SynthSource{Syn: testSynth(t, 7), TargetMAC: "m", Limit: 1},
+		DialTimeout: 200 * time.Millisecond,
+	}
+	ctx := context.Background()
+	start := time.Now()
+	if err := a.RunWithRetry(ctx, 3, 10*time.Millisecond); err == nil {
+		t.Fatal("retry against a dead port succeeded")
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("retries took too long")
+	}
+}

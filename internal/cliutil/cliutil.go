@@ -1,0 +1,76 @@
+// Package cliutil holds the flag parsers shared by the SpotFi command-line
+// tools: AP pose specs ("id,x,y,normalDeg") and bounds rectangles
+// ("minX,minY,maxX,maxY").
+package cliutil
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"spotfi"
+	"spotfi/internal/geom"
+)
+
+// APList is a repeatable -ap flag collecting AP poses.
+type APList []spotfi.AP
+
+// String implements flag.Value.
+func (a *APList) String() string {
+	parts := make([]string, len(*a))
+	for i, ap := range *a {
+		parts[i] = fmt.Sprintf("%d,%g,%g,%g", ap.ID, ap.Pos.X, ap.Pos.Y, geom.Deg(ap.NormalAngle))
+	}
+	return strings.Join(parts, " ")
+}
+
+// Set parses one "id,x,y,normalDeg" spec.
+func (a *APList) Set(v string) error {
+	parts := strings.Split(v, ",")
+	if len(parts) != 4 {
+		return fmt.Errorf("want id,x,y,normalDeg, got %q", v)
+	}
+	id, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+	if err != nil {
+		return fmt.Errorf("bad AP id %q: %v", parts[0], err)
+	}
+	for _, ap := range *a {
+		if ap.ID == id {
+			return fmt.Errorf("duplicate AP id %d", id)
+		}
+	}
+	var nums [3]float64
+	for i, s := range parts[1:] {
+		nums[i], err = strconv.ParseFloat(strings.TrimSpace(s), 64)
+		if err != nil {
+			return fmt.Errorf("bad AP coordinate %q: %v", s, err)
+		}
+	}
+	*a = append(*a, spotfi.AP{
+		ID:          id,
+		Pos:         spotfi.Point{X: nums[0], Y: nums[1]},
+		NormalAngle: geom.Rad(nums[2]),
+	})
+	return nil
+}
+
+// ParseBounds parses "minX,minY,maxX,maxY" into a Bounds rectangle.
+func ParseBounds(s string) (spotfi.Bounds, error) {
+	parts := strings.Split(s, ",")
+	if len(parts) != 4 {
+		return spotfi.Bounds{}, fmt.Errorf("want minX,minY,maxX,maxY, got %q", s)
+	}
+	var nums [4]float64
+	for i, p := range parts {
+		v, err := strconv.ParseFloat(strings.TrimSpace(p), 64)
+		if err != nil {
+			return spotfi.Bounds{}, fmt.Errorf("bad bound %q: %v", p, err)
+		}
+		nums[i] = v
+	}
+	b := spotfi.Bounds{MinX: nums[0], MinY: nums[1], MaxX: nums[2], MaxY: nums[3]}
+	if b.MinX >= b.MaxX || b.MinY >= b.MaxY {
+		return spotfi.Bounds{}, fmt.Errorf("empty bounds %q", s)
+	}
+	return b, nil
+}

@@ -1,0 +1,59 @@
+package cliutil
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAPListSet(t *testing.T) {
+	var a APList
+	if err := a.Set("0,1.5,2.5,90"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set("1, 3, 4, -45"); err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != 2 {
+		t.Fatalf("len = %d", len(a))
+	}
+	if a[0].Pos.X != 1.5 || a[0].Pos.Y != 2.5 {
+		t.Fatalf("pos = %v", a[0].Pos)
+	}
+	if math.Abs(a[0].NormalAngle-math.Pi/2) > 1e-12 {
+		t.Fatalf("normal = %v", a[0].NormalAngle)
+	}
+	if !strings.Contains(a.String(), "0,1.5,2.5,90") {
+		t.Fatalf("String() = %q", a.String())
+	}
+}
+
+func TestAPListSetErrors(t *testing.T) {
+	var a APList
+	for _, bad := range []string{"", "1,2,3", "x,1,2,3", "0,a,2,3", "0,1,b,3", "0,1,2,c"} {
+		if err := a.Set(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+	if err := a.Set("5,0,0,0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Set("5,1,1,1"); err == nil {
+		t.Fatal("duplicate id accepted")
+	}
+}
+
+func TestParseBounds(t *testing.T) {
+	b, err := ParseBounds("0,0,16,10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.MaxX != 16 || b.MaxY != 10 {
+		t.Fatalf("bounds = %+v", b)
+	}
+	for _, bad := range []string{"", "1,2,3", "a,0,1,1", "0,0,0,5", "0,5,10,5"} {
+		if _, err := ParseBounds(bad); err == nil {
+			t.Fatalf("%q accepted", bad)
+		}
+	}
+}

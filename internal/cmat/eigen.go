@@ -1,0 +1,251 @@
+package cmat
+
+import (
+	"errors"
+	"math"
+	"math/cmplx"
+	"sort"
+)
+
+// EigenDecomposition holds the spectral factorization A = V·diag(λ)·Vᴴ of a
+// Hermitian matrix. Values are real (Hermitian matrices have real spectra)
+// and sorted in descending order; Vectors[i] is the unit eigenvector paired
+// with Values[i].
+type EigenDecomposition struct {
+	Values  []float64
+	Vectors [][]complex128
+}
+
+// ErrNotHermitian is returned by EigHermitian when the input is not
+// Hermitian to within a reasonable tolerance.
+var ErrNotHermitian = errors.New("cmat: matrix is not Hermitian")
+
+// ErrNoConvergence is returned when the Jacobi iteration fails to reduce the
+// off-diagonal mass below tolerance within the sweep budget. For the matrix
+// sizes SpotFi uses (≤ 32) this indicates corrupt input (NaN/Inf).
+var ErrNoConvergence = errors.New("cmat: Jacobi eigendecomposition did not converge")
+
+const (
+	jacobiMaxSweeps = 64
+	jacobiTol       = 1e-13
+)
+
+// EigHermitian computes all eigenvalues and orthonormal eigenvectors of the
+// Hermitian matrix a using the cyclic Jacobi method with complex rotations.
+// The input is not modified. Eigenvalues are returned in descending order.
+//
+// The method applies unitary similarity transforms A ← GᴴAG that each zero
+// one off-diagonal pair, cycling over all pairs until the off-diagonal
+// Frobenius mass falls below jacobiTol relative to the initial norm. Jacobi
+// is slower than tridiagonalization+QL but is simple, backward-stable, and
+// delivers small residuals ‖Av−λv‖ — exactly what the MUSIC noise-subspace
+// projector needs.
+func EigHermitian(a *Matrix) (*EigenDecomposition, error) {
+	if a.rows != a.cols {
+		return nil, ErrNotHermitian
+	}
+	scale := a.FrobeniusNorm()
+	if scale == 0 {
+		// Zero matrix: zero spectrum, canonical basis.
+		return canonicalDecomposition(a.rows), nil
+	}
+	if !a.IsHermitian(1e-9 * scale) {
+		return nil, ErrNotHermitian
+	}
+	n := a.rows
+	w := a.Clone()
+	// Enforce exact symmetry so rounding in the caller cannot bias rotations.
+	for i := 0; i < n; i++ {
+		w.data[i*n+i] = complex(real(w.data[i*n+i]), 0)
+		for j := i + 1; j < n; j++ {
+			avg := (w.data[i*n+j] + cmplx.Conj(w.data[j*n+i])) / 2
+			w.data[i*n+j] = avg
+			w.data[j*n+i] = cmplx.Conj(avg)
+		}
+	}
+	v := Identity(n)
+
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		off := offDiagonalNorm(w)
+		if off <= jacobiTol*scale {
+			return collectEigen(w, v), nil
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				jacobiRotate(w, v, p, q)
+			}
+		}
+	}
+	if offDiagonalNorm(w) <= 1e-8*scale {
+		// Converged for every practical purpose; accept the result.
+		return collectEigen(w, v), nil
+	}
+	return nil, ErrNoConvergence
+}
+
+func canonicalDecomposition(n int) *EigenDecomposition {
+	d := &EigenDecomposition{
+		Values:  make([]float64, n),
+		Vectors: make([][]complex128, n),
+	}
+	for i := range d.Vectors {
+		vec := make([]complex128, n)
+		vec[i] = 1
+		d.Vectors[i] = vec
+	}
+	return d
+}
+
+// jacobiRotate zeroes w[p][q] (and w[q][p]) with a complex Jacobi rotation,
+// accumulating the transform into v.
+func jacobiRotate(w, v *Matrix, p, q int) {
+	n := w.rows
+	apq := w.data[p*n+q]
+	mag := cmplx.Abs(apq)
+	if mag == 0 {
+		return
+	}
+	app := real(w.data[p*n+p])
+	aqq := real(w.data[q*n+q])
+
+	// Phase factor e^{iφ} of the pivot and the real rotation angle.
+	phase := apq / complex(mag, 0)
+	tau := (aqq - app) / (2 * mag)
+	var t float64
+	if tau >= 0 {
+		t = 1 / (tau + math.Sqrt(1+tau*tau))
+	} else {
+		t = -1 / (-tau + math.Sqrt(1+tau*tau))
+	}
+	c := 1 / math.Sqrt(1+t*t)
+	s := t * c
+
+	cs := complex(c, 0)
+	sPhase := complex(s, 0) * phase                 // s·e^{iφ}
+	sPhaseConj := complex(s, 0) * cmplx.Conj(phase) // s·e^{−iφ}
+
+	// Columns p and q of W: W ← W·G.
+	for k := 0; k < n; k++ {
+		wkp := w.data[k*n+p]
+		wkq := w.data[k*n+q]
+		w.data[k*n+p] = cs*wkp - sPhaseConj*wkq
+		w.data[k*n+q] = sPhase*wkp + cs*wkq
+	}
+	// Rows p and q of W: W ← Gᴴ·W.
+	for k := 0; k < n; k++ {
+		wpk := w.data[p*n+k]
+		wqk := w.data[q*n+k]
+		w.data[p*n+k] = cs*wpk - sPhase*wqk
+		w.data[q*n+k] = sPhaseConj*wpk + cs*wqk
+	}
+	// Clean up rounding: the pivot pair is exactly zero and the diagonal
+	// stays real.
+	w.data[p*n+q] = 0
+	w.data[q*n+p] = 0
+	w.data[p*n+p] = complex(real(w.data[p*n+p]), 0)
+	w.data[q*n+q] = complex(real(w.data[q*n+q]), 0)
+
+	// Accumulate eigenvectors: V ← V·G.
+	for k := 0; k < n; k++ {
+		vkp := v.data[k*n+p]
+		vkq := v.data[k*n+q]
+		v.data[k*n+p] = cs*vkp - sPhaseConj*vkq
+		v.data[k*n+q] = sPhase*vkp + cs*vkq
+	}
+}
+
+func offDiagonalNorm(m *Matrix) float64 {
+	n := m.rows
+	var sum float64
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := m.data[i*n+j]
+			sum += real(v)*real(v) + imag(v)*imag(v)
+		}
+	}
+	return math.Sqrt(sum)
+}
+
+func collectEigen(w, v *Matrix) *EigenDecomposition {
+	n := w.rows
+	idx := make([]int, n)
+	vals := make([]float64, n)
+	for i := 0; i < n; i++ {
+		idx[i] = i
+		vals[i] = real(w.data[i*n+i])
+	}
+	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+
+	d := &EigenDecomposition{
+		Values:  make([]float64, n),
+		Vectors: make([][]complex128, n),
+	}
+	for rank, col := range idx {
+		d.Values[rank] = vals[col]
+		vec := v.Col(col)
+		Normalize(vec)
+		d.Vectors[rank] = vec
+	}
+	return d
+}
+
+// NoiseSubspace returns the eigenvectors whose eigenvalues fall below
+// threshold·maxValue, i.e. the MUSIC noise subspace, as a matrix whose
+// columns are those eigenvectors. minSignal caps how many eigenvectors can
+// be claimed by the signal subspace: at least (n − maxSignal) vectors are
+// always returned so the projector never degenerates. It returns nil if
+// every eigenvector is classified as signal.
+func (d *EigenDecomposition) NoiseSubspace(threshold float64, maxSignal int) *Matrix {
+	n := len(d.Values)
+	if n == 0 {
+		return nil
+	}
+	maxVal := d.Values[0]
+	cut := n // first index belonging to the noise subspace
+	for i, v := range d.Values {
+		if v < threshold*maxVal {
+			cut = i
+			break
+		}
+	}
+	if cut > maxSignal {
+		cut = maxSignal
+	}
+	if cut >= n {
+		cut = n - 1 // keep at least one noise vector
+	}
+	if n-cut <= 0 {
+		return nil
+	}
+	en := New(n, n-cut)
+	for j := cut; j < n; j++ {
+		en.SetCol(j-cut, d.Vectors[j])
+	}
+	return en
+}
+
+// SignalDimension returns the number of eigenvalues at or above
+// threshold·maxValue, clamped to [1, maxSignal]. It estimates the number of
+// resolvable propagation paths.
+func (d *EigenDecomposition) SignalDimension(threshold float64, maxSignal int) int {
+	if len(d.Values) == 0 {
+		return 0
+	}
+	maxVal := d.Values[0]
+	dim := 0
+	for _, v := range d.Values {
+		if v >= threshold*maxVal {
+			dim++
+		}
+	}
+	if dim < 1 {
+		dim = 1
+	}
+	if dim > maxSignal {
+		dim = maxSignal
+	}
+	return dim
+}

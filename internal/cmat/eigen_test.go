@@ -1,0 +1,321 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEigHermitianDiagonal(t *testing.T) {
+	a := FromRows([][]complex128{
+		{3, 0, 0},
+		{0, -1, 0},
+		{0, 0, 7},
+	})
+	d, err := EigHermitian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{7, 3, -1}
+	for i, v := range want {
+		if math.Abs(d.Values[i]-v) > 1e-12 {
+			t.Fatalf("eigenvalue %d = %v, want %v", i, d.Values[i], v)
+		}
+	}
+}
+
+func TestEigHermitianKnown2x2(t *testing.T) {
+	// [[2, 1+1i], [1-1i, 3]] has eigenvalues (5±√(1+8))/2 = (5±3)/2 = 4, 1.
+	a := FromRows([][]complex128{{2, 1 + 1i}, {1 - 1i, 3}})
+	d, err := EigHermitian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Values[0]-4) > 1e-12 || math.Abs(d.Values[1]-1) > 1e-12 {
+		t.Fatalf("eigenvalues = %v, want [4 1]", d.Values)
+	}
+}
+
+func TestEigHermitianResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{1, 2, 3, 5, 10, 30} {
+		a := randomHermitian(rng, n)
+		d, err := EigHermitian(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		scale := a.FrobeniusNorm()
+		for i := range d.Values {
+			av := a.MulVec(d.Vectors[i])
+			for k := range av {
+				av[k] -= complex(d.Values[i], 0) * d.Vectors[i][k]
+			}
+			if res := Norm2(av); res > 1e-9*scale {
+				t.Fatalf("n=%d: residual ‖Av−λv‖ = %g for eigenpair %d", n, res, i)
+			}
+		}
+	}
+}
+
+func TestEigHermitianOrthonormality(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randomHermitian(rng, 12)
+	d, err := EigHermitian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range d.Vectors {
+		for j := range d.Vectors {
+			dot := Dot(d.Vectors[i], d.Vectors[j])
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if cmplx.Abs(dot-want) > 1e-9 {
+				t.Fatalf("⟨v%d,v%d⟩ = %v, want %v", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestEigHermitianTraceAndNormInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randomHermitian(rng, 16)
+	d, err := EigHermitian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum, sq float64
+	for _, v := range d.Values {
+		sum += v
+		sq += v * v
+	}
+	if math.Abs(sum-real(a.Trace())) > 1e-8*math.Abs(real(a.Trace()))+1e-8 {
+		t.Fatalf("Σλ = %v, trace = %v", sum, real(a.Trace()))
+	}
+	fn := a.FrobeniusNorm()
+	if math.Abs(math.Sqrt(sq)-fn) > 1e-8*fn {
+		t.Fatalf("√Σλ² = %v, ‖A‖F = %v", math.Sqrt(sq), fn)
+	}
+}
+
+func TestEigHermitianGramPSD(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	a := randomHermitian(rng, 20)
+	d, err := EigHermitian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range d.Values {
+		if v < -1e-9*a.FrobeniusNorm() {
+			t.Fatalf("Gram matrix eigenvalue %d = %v < 0", i, v)
+		}
+		if i > 0 && d.Values[i] > d.Values[i-1]+1e-12 {
+			t.Fatal("eigenvalues not sorted descending")
+		}
+	}
+}
+
+func TestEigHermitianLowRank(t *testing.T) {
+	// Outer product of L=2 vectors in dimension 6: exactly 2 nonzero
+	// eigenvalues — this is the structure of a noiseless smoothed CSI
+	// covariance with two propagation paths.
+	rng := rand.New(rand.NewSource(11))
+	x := randomMatrix(rng, 6, 2)
+	a := x.Gram()
+	d, err := EigHermitian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 2; i < 6; i++ {
+		if math.Abs(d.Values[i]) > 1e-9*d.Values[0] {
+			t.Fatalf("rank-2 matrix has eigenvalue %d = %v", i, d.Values[i])
+		}
+	}
+}
+
+func TestEigHermitianRejectsNonHermitian(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {3, 4}})
+	if _, err := EigHermitian(a); err != ErrNotHermitian {
+		t.Fatalf("err = %v, want ErrNotHermitian", err)
+	}
+	if _, err := EigHermitian(New(2, 3)); err != ErrNotHermitian {
+		t.Fatalf("non-square err = %v, want ErrNotHermitian", err)
+	}
+}
+
+func TestEigHermitianZeroMatrix(t *testing.T) {
+	d, err := EigHermitian(New(4, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Values {
+		if v != 0 {
+			t.Fatalf("zero matrix has eigenvalue %v", v)
+		}
+	}
+	if len(d.Vectors) != 4 || Norm2(d.Vectors[0]) == 0 {
+		t.Fatal("zero matrix must still return an orthonormal basis")
+	}
+}
+
+func TestNoiseSubspaceSelection(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	// Rank-3 signal in dimension 8 plus small noise floor.
+	x := randomMatrix(rng, 8, 3)
+	a := x.Gram()
+	for i := 0; i < 8; i++ {
+		a.Set(i, i, a.At(i, i)+complex(1e-6, 0))
+	}
+	d, err := EigHermitian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := d.NoiseSubspace(1e-3, 7)
+	if en == nil {
+		t.Fatal("expected a noise subspace")
+	}
+	if en.Cols() != 5 {
+		t.Fatalf("noise subspace has %d columns, want 5", en.Cols())
+	}
+	if dim := d.SignalDimension(1e-3, 7); dim != 3 {
+		t.Fatalf("SignalDimension = %d, want 3", dim)
+	}
+}
+
+func TestNoiseSubspaceMaxSignalClamp(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := randomHermitian(rng, 6) // full-rank: all eigenvalues comparable
+	d, err := EigHermitian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	en := d.NoiseSubspace(1e-12, 4)
+	if en == nil || en.Cols() != 2 {
+		t.Fatalf("maxSignal clamp failed: %v", en)
+	}
+	if dim := d.SignalDimension(1e-12, 4); dim != 4 {
+		t.Fatalf("SignalDimension clamp = %d, want 4", dim)
+	}
+}
+
+func TestNoiseSubspaceAlwaysKeepsOneVector(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	a := randomHermitian(rng, 5)
+	d, err := EigHermitian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Absurdly permissive threshold: everything is "signal", but the
+	// subspace must still keep one vector.
+	en := d.NoiseSubspace(0, 100)
+	if en == nil || en.Cols() != 1 {
+		t.Fatalf("expected one retained noise vector, got %v", en)
+	}
+}
+
+// Property-based tests on the eigendecomposition invariants.
+
+func TestQuickEigenReconstruction(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(15))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(9)
+		a := randomHermitian(rng, n)
+		d, err := EigHermitian(a)
+		if err != nil {
+			return false
+		}
+		// Reconstruct A = Σ λᵢ vᵢ vᵢᴴ and compare.
+		rec := New(n, n)
+		for i := range d.Values {
+			v := d.Vectors[i]
+			for r := 0; r < n; r++ {
+				for c := 0; c < n; c++ {
+					rec.Set(r, c, rec.At(r, c)+complex(d.Values[i], 0)*v[r]*cmplx.Conj(v[c]))
+				}
+			}
+		}
+		return rec.Sub(a).FrobeniusNorm() <= 1e-8*(1+a.FrobeniusNorm())
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickGramHermitian(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(16))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		a := randomMatrix(rng, 1+rng.Intn(8), 1+rng.Intn(8))
+		return a.Gram().IsHermitian(1e-12 * (1 + a.FrobeniusNorm()*a.FrobeniusNorm()))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickKronDotFactorization(t *testing.T) {
+	// ⟨a⊗b, c⊗d⟩ = ⟨a,c⟩·⟨b,d⟩ — the identity that lets MUSIC evaluate
+	// steering projections efficiently.
+	cfg := &quick.Config{MaxCount: 50, Rand: rand.New(rand.NewSource(17))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		na, nb := 1+rng.Intn(5), 1+rng.Intn(5)
+		a, c := randVec(rng, na), randVec(rng, na)
+		b, d := randVec(rng, nb), randVec(rng, nb)
+		lhs := Dot(Kron(a, b), Kron(c, d))
+		rhs := Dot(a, c) * Dot(b, d)
+		return cmplx.Abs(lhs-rhs) <= 1e-9*(1+cmplx.Abs(rhs))
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func randVec(rng *rand.Rand, n int) []complex128 {
+	v := make([]complex128, n)
+	for i := range v {
+		v[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return v
+}
+
+func TestVectorHelpers(t *testing.T) {
+	a := []complex128{1, 2i}
+	b := []complex128{1i, 1}
+	// ⟨a,b⟩ = 1·conj(1i) + 2i·conj(1) = −1i + 2i = 1i.
+	if got := Dot(a, b); got != 1i {
+		t.Fatalf("Dot = %v, want 1i", got)
+	}
+	if n := Norm2([]complex128{3, 4i}); math.Abs(n-5) > 1e-14 {
+		t.Fatalf("Norm2 = %v, want 5", n)
+	}
+	v := []complex128{3, 4i}
+	Normalize(v)
+	if math.Abs(Norm2(v)-1) > 1e-14 {
+		t.Fatalf("Normalize gave norm %v", Norm2(v))
+	}
+	zero := []complex128{0, 0}
+	Normalize(zero)
+	if zero[0] != 0 || zero[1] != 0 {
+		t.Fatal("Normalize of zero vector changed it")
+	}
+	y := []complex128{1, 1}
+	AXPY(2, []complex128{1, 2}, y)
+	if y[0] != 3 || y[1] != 5 {
+		t.Fatalf("AXPY = %v", y)
+	}
+	if s := ScaleVec(2i, []complex128{1, 1i}); s[0] != 2i || s[1] != -2 {
+		t.Fatalf("ScaleVec = %v", s)
+	}
+	k := Kron([]complex128{1, 2}, []complex128{10, 20})
+	want := []complex128{10, 20, 20, 40}
+	for i := range want {
+		if k[i] != want[i] {
+			t.Fatalf("Kron = %v", k)
+		}
+	}
+}

@@ -1,0 +1,131 @@
+package cmat
+
+import (
+	"fmt"
+	"math/cmplx"
+)
+
+// LU holds an LU factorization with partial pivoting: P·A = L·U.
+type LU struct {
+	lu   *Matrix
+	perm []int
+	sign int
+}
+
+// Factorize computes the LU decomposition of a square matrix with partial
+// pivoting. It fails on singular (to working precision) matrices.
+func Factorize(a *Matrix) (*LU, error) {
+	if a.rows != a.cols {
+		return nil, fmt.Errorf("cmat: LU of non-square %dx%d matrix", a.rows, a.cols)
+	}
+	n := a.rows
+	lu := a.Clone()
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	sign := 1
+	for col := 0; col < n; col++ {
+		// Pivot: largest magnitude in the column at or below the diagonal.
+		pivot := col
+		best := cmplx.Abs(lu.data[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if m := cmplx.Abs(lu.data[r*n+col]); m > best {
+				pivot, best = r, m
+			}
+		}
+		if best < 1e-300 {
+			return nil, fmt.Errorf("cmat: singular matrix (pivot %d)", col)
+		}
+		if pivot != col {
+			for k := 0; k < n; k++ {
+				lu.data[col*n+k], lu.data[pivot*n+k] = lu.data[pivot*n+k], lu.data[col*n+k]
+			}
+			perm[col], perm[pivot] = perm[pivot], perm[col]
+			sign = -sign
+		}
+		inv := 1 / lu.data[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := lu.data[r*n+col] * inv
+			lu.data[r*n+col] = f
+			if f == 0 {
+				continue
+			}
+			for k := col + 1; k < n; k++ {
+				lu.data[r*n+k] -= f * lu.data[col*n+k]
+			}
+		}
+	}
+	return &LU{lu: lu, perm: perm, sign: sign}, nil
+}
+
+// SolveVec solves A·x = b for one right-hand side.
+func (f *LU) SolveVec(b []complex128) ([]complex128, error) {
+	n := f.lu.rows
+	if len(b) != n {
+		return nil, fmt.Errorf("cmat: rhs length %d, want %d", len(b), n)
+	}
+	x := make([]complex128, n)
+	// Apply permutation, forward substitution (L has unit diagonal).
+	for i := 0; i < n; i++ {
+		x[i] = b[f.perm[i]]
+		for k := 0; k < i; k++ {
+			x[i] -= f.lu.data[i*n+k] * x[k]
+		}
+	}
+	// Back substitution.
+	for i := n - 1; i >= 0; i-- {
+		for k := i + 1; k < n; k++ {
+			x[i] -= f.lu.data[i*n+k] * x[k]
+		}
+		x[i] /= f.lu.data[i*n+i]
+	}
+	return x, nil
+}
+
+// Solve solves A·X = B for a matrix right-hand side.
+func (f *LU) Solve(b *Matrix) (*Matrix, error) {
+	if b.rows != f.lu.rows {
+		return nil, fmt.Errorf("cmat: rhs has %d rows, want %d", b.rows, f.lu.rows)
+	}
+	out := New(b.rows, b.cols)
+	col := make([]complex128, b.rows)
+	for j := 0; j < b.cols; j++ {
+		for i := 0; i < b.rows; i++ {
+			col[i] = b.data[i*b.cols+j]
+		}
+		x, err := f.SolveVec(col)
+		if err != nil {
+			return nil, err
+		}
+		for i := 0; i < b.rows; i++ {
+			out.data[i*out.cols+j] = x[i]
+		}
+	}
+	return out, nil
+}
+
+// Solve is a convenience wrapper: factorize a and solve A·X = B.
+func Solve(a, b *Matrix) (*Matrix, error) {
+	f, err := Factorize(a)
+	if err != nil {
+		return nil, err
+	}
+	return f.Solve(b)
+}
+
+// Inverse returns A⁻¹.
+func Inverse(a *Matrix) (*Matrix, error) {
+	return Solve(a, Identity(a.rows))
+}
+
+// LeastSquares solves the overdetermined system A·X ≈ B (rows ≥ cols) via
+// the normal equations AᴴA·X = AᴴB — adequate for the small, well-
+// conditioned systems the estimators build.
+func LeastSquares(a, b *Matrix) (*Matrix, error) {
+	if a.rows < a.cols {
+		return nil, fmt.Errorf("cmat: least squares needs rows ≥ cols, got %dx%d", a.rows, a.cols)
+	}
+	ah := a.ConjTranspose()
+	return Solve(ah.Mul(a), ah.Mul(b))
+}

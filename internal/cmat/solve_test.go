@@ -1,0 +1,254 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSolveKnownSystem(t *testing.T) {
+	a := FromRows([][]complex128{
+		{2, 1},
+		{1, 3},
+	})
+	b := FromRows([][]complex128{{5}, {10}})
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2x+y=5, x+3y=10 → x=1, y=3.
+	if cmplx.Abs(x.At(0, 0)-1) > 1e-12 || cmplx.Abs(x.At(1, 0)-3) > 1e-12 {
+		t.Fatalf("x = %v", x)
+	}
+}
+
+func TestSolveRandomResidual(t *testing.T) {
+	rng := rand.New(rand.NewSource(131))
+	for _, n := range []int{1, 2, 3, 5, 10} {
+		a := randomMatrix(rng, n, n)
+		b := randomMatrix(rng, n, 3)
+		x, err := Solve(a, b)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		res := a.Mul(x).Sub(b).FrobeniusNorm()
+		if res > 1e-9*(1+b.FrobeniusNorm()) {
+			t.Fatalf("n=%d residual %g", n, res)
+		}
+	}
+}
+
+func TestSolveSingular(t *testing.T) {
+	a := FromRows([][]complex128{{1, 2}, {2, 4}})
+	if _, err := Solve(a, Identity(2)); err == nil {
+		t.Fatal("singular matrix solved")
+	}
+	if _, err := Factorize(New(2, 3)); err == nil {
+		t.Fatal("non-square factorized")
+	}
+}
+
+func TestInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(132))
+	a := randomMatrix(rng, 6, 6)
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod := a.Mul(inv)
+	if prod.Sub(Identity(6)).FrobeniusNorm() > 1e-9 {
+		t.Fatalf("A·A⁻¹ ≠ I (err %g)", prod.Sub(Identity(6)).FrobeniusNorm())
+	}
+}
+
+func TestLeastSquaresRecovers(t *testing.T) {
+	rng := rand.New(rand.NewSource(133))
+	a := randomMatrix(rng, 10, 3)
+	want := randomMatrix(rng, 3, 2)
+	b := a.Mul(want)
+	got, err := LeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Sub(want).FrobeniusNorm() > 1e-9 {
+		t.Fatalf("LS error %g", got.Sub(want).FrobeniusNorm())
+	}
+	if _, err := LeastSquares(New(2, 5), New(2, 1)); err == nil {
+		t.Fatal("underdetermined accepted")
+	}
+}
+
+func TestSolveVecWrongLength(t *testing.T) {
+	f, err := Factorize(Identity(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.SolveVec(make([]complex128, 2)); err == nil {
+		t.Fatal("wrong-length rhs accepted")
+	}
+}
+
+func TestQuickSolveRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(134))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(8)
+		a := randomMatrix(rng, n, n)
+		xTrue := randVec(rng, n)
+		b := a.MulVec(xTrue)
+		lu, err := Factorize(a)
+		if err != nil {
+			return true // random singular matrices are astronomically rare but allowed
+		}
+		x, err := lu.SolveVec(b)
+		if err != nil {
+			return false
+		}
+		for i := range x {
+			if cmplx.Abs(x[i]-xTrue[i]) > 1e-7*(1+cmplx.Abs(xTrue[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEigGeneralDiagonal(t *testing.T) {
+	a := FromRows([][]complex128{
+		{2, 0, 0},
+		{0, -1 + 1i, 0},
+		{0, 0, 5i},
+	})
+	vals, _, err := EigGeneral(a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []complex128{2, -1 + 1i, 5i}
+	for _, w := range want {
+		found := false
+		for _, v := range vals {
+			if cmplx.Abs(v-w) < 1e-9 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("eigenvalue %v not found in %v", w, vals)
+		}
+	}
+}
+
+func TestEigGeneralKnownRotation(t *testing.T) {
+	// Real rotation matrix: eigenvalues e^{±iθ}.
+	th := 0.7
+	a := FromRows([][]complex128{
+		{complex(math.Cos(th), 0), complex(-math.Sin(th), 0)},
+		{complex(math.Sin(th), 0), complex(math.Cos(th), 0)},
+	})
+	vals, _, err := EigGeneral(a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if math.Abs(cmplx.Abs(v)-1) > 1e-9 {
+			t.Fatalf("|λ| = %v, want 1", cmplx.Abs(v))
+		}
+		if math.Abs(math.Abs(cmplx.Phase(v))-th) > 1e-9 {
+			t.Fatalf("arg λ = %v, want ±%v", cmplx.Phase(v), th)
+		}
+	}
+}
+
+func TestEigGeneralRandomDiagonalizable(t *testing.T) {
+	rng := rand.New(rand.NewSource(135))
+	for _, n := range []int{2, 3, 5, 8} {
+		// Build A = T·Λ·T⁻¹ with well-separated eigenvalues.
+		lams := make([]complex128, n)
+		for i := range lams {
+			lams[i] = complex(float64(i+1), rng.NormFloat64())
+		}
+		tmat := randomMatrix(rng, n, n)
+		tinv, err := Inverse(tmat)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := New(n, n)
+		for i := 0; i < n; i++ {
+			d.Set(i, i, lams[i])
+		}
+		a := tmat.Mul(d).Mul(tinv)
+
+		vals, vecs, err := EigGeneral(a, true)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if len(vals) != n {
+			t.Fatalf("n=%d: %d eigenvalues", n, len(vals))
+		}
+		// Every true eigenvalue recovered.
+		for _, w := range lams {
+			found := false
+			for _, v := range vals {
+				if cmplx.Abs(v-w) < 1e-6*(1+cmplx.Abs(w)) {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("n=%d: eigenvalue %v missing from %v", n, w, vals)
+			}
+		}
+		// Eigenvector residuals.
+		for i, v := range vecs {
+			av := a.MulVec(v)
+			for k := range av {
+				av[k] -= vals[i] * v[k]
+			}
+			if Norm2(av) > 1e-5*a.FrobeniusNorm() {
+				t.Fatalf("n=%d: eigenpair %d residual %g", n, i, Norm2(av))
+			}
+		}
+	}
+}
+
+func TestEigGeneralUnitModulusSpectrum(t *testing.T) {
+	// The JADE use case: Ψ = T·diag(e^{jφ})·T⁻¹ with unit-modulus
+	// eigenvalues (phase factors of propagation paths).
+	rng := rand.New(rand.NewSource(136))
+	n := 4
+	d := New(n, n)
+	phases := make([]float64, n)
+	for i := 0; i < n; i++ {
+		phases[i] = rng.Float64()*2*math.Pi - math.Pi
+		d.Set(i, i, cmplx.Exp(complex(0, phases[i])))
+	}
+	tmat := randomMatrix(rng, n, n)
+	tinv, err := Inverse(tmat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := tmat.Mul(d).Mul(tinv)
+	vals, _, err := EigGeneral(a, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range vals {
+		if math.Abs(cmplx.Abs(v)-1) > 1e-8 {
+			t.Fatalf("|λ| = %v, want 1", cmplx.Abs(v))
+		}
+	}
+}
+
+func TestEigGeneralErrors(t *testing.T) {
+	if _, _, err := EigGeneral(New(2, 3), false); err == nil {
+		t.Fatal("non-square accepted")
+	}
+	bad := New(2, 2)
+	bad.Set(0, 0, cmplx.NaN())
+	if _, _, err := EigGeneral(bad, false); err == nil {
+		t.Fatal("NaN accepted")
+	}
+}

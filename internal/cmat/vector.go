@@ -1,0 +1,76 @@
+package cmat
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+)
+
+// Dot returns the Hermitian inner product ⟨a,b⟩ = Σ aᵢ·conj(bᵢ).
+func Dot(a, b []complex128) complex128 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("cmat: Dot length mismatch %d vs %d", len(a), len(b)))
+	}
+	var sum complex128
+	for i := range a {
+		sum += a[i] * cmplx.Conj(b[i])
+	}
+	return sum
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []complex128) float64 {
+	var sum float64
+	for _, x := range v {
+		sum += real(x)*real(x) + imag(x)*imag(x)
+	}
+	return math.Sqrt(sum)
+}
+
+// Normalize scales v in place to unit Euclidean norm and returns v.
+// A zero vector is returned unchanged.
+func Normalize(v []complex128) []complex128 {
+	n := Norm2(v)
+	if n == 0 {
+		return v
+	}
+	inv := complex(1/n, 0)
+	for i := range v {
+		v[i] *= inv
+	}
+	return v
+}
+
+// AXPY computes y ← y + a·x in place.
+func AXPY(a complex128, x, y []complex128) {
+	if len(x) != len(y) {
+		panic("cmat: AXPY length mismatch")
+	}
+	for i := range x {
+		y[i] += a * x[i]
+	}
+}
+
+// ScaleVec returns a·x as a new slice.
+func ScaleVec(a complex128, x []complex128) []complex128 {
+	out := make([]complex128, len(x))
+	for i, v := range x {
+		out[i] = a * v
+	}
+	return out
+}
+
+// Kron returns the Kronecker product a ⊗ b of two vectors: the result has
+// len(a)·len(b) elements with out[i*len(b)+j] = a[i]·b[j]. SpotFi steering
+// vectors factor as the Kronecker product of an antenna-phase vector and a
+// subcarrier-phase vector.
+func Kron(a, b []complex128) []complex128 {
+	out := make([]complex128, len(a)*len(b))
+	for i, av := range a {
+		base := i * len(b)
+		for j, bv := range b {
+			out[base+j] = av * bv
+		}
+	}
+	return out
+}

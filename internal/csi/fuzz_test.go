@@ -1,0 +1,46 @@
+package csi
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+// FuzzTraceReader feeds arbitrary bytes to the trace reader: it must never
+// panic, loop forever, or return invalid packets.
+func FuzzTraceReader(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	for i := 0; i < 3; i++ {
+		m := NewMatrix(3, 30)
+		for a := range m.Values {
+			for n := range m.Values[a] {
+				m.Values[a][n] = complex(rng.NormFloat64(), rng.NormFloat64())
+			}
+		}
+		w.WritePacket(&Packet{APID: i, TargetMAC: "02:01", Seq: uint64(i), RSSIdBm: -50, CSI: m})
+	}
+	w.Flush()
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x54, 0x46, 0x53}) // trace magic, nothing else
+	f.Add(bytes.Repeat([]byte{0x00}, 128))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewTraceReader(bytes.NewReader(data))
+		for i := 0; i < 16; i++ {
+			p, err := r.ReadPacket()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				return
+			}
+			if verr := p.Validate(); verr != nil {
+				t.Fatalf("reader returned invalid packet: %v", verr)
+			}
+		}
+	})
+}

@@ -1,0 +1,98 @@
+package csi
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// JSON interop: encoding/json cannot marshal complex128, so the Matrix
+// encodes each CSI value as a [re, im] pair. The packet wrapper gives
+// external tooling (plotting, analysis notebooks) a self-describing
+// format; the binary SFT1 trace remains the efficient on-disk form.
+
+// matrixJSON is the wire shape of a Matrix.
+type matrixJSON struct {
+	Antennas    int          `json:"antennas"`
+	Subcarriers int          `json:"subcarriers"`
+	Values      [][2]float64 `json:"values"` // antenna-major [re, im]
+}
+
+// MarshalJSON implements json.Marshaler.
+func (c *Matrix) MarshalJSON() ([]byte, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	m := matrixJSON{Antennas: c.Antennas(), Subcarriers: c.Subcarriers()}
+	m.Values = make([][2]float64, 0, m.Antennas*m.Subcarriers)
+	for _, row := range c.Values {
+		for _, v := range row {
+			m.Values = append(m.Values, [2]float64{real(v), imag(v)})
+		}
+	}
+	return json.Marshal(m)
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (c *Matrix) UnmarshalJSON(data []byte) error {
+	var m matrixJSON
+	if err := json.Unmarshal(data, &m); err != nil {
+		return err
+	}
+	if m.Antennas <= 0 || m.Subcarriers <= 0 {
+		return fmt.Errorf("csi: invalid JSON dimensions %dx%d", m.Antennas, m.Subcarriers)
+	}
+	if len(m.Values) != m.Antennas*m.Subcarriers {
+		return fmt.Errorf("csi: JSON has %d values for %dx%d", len(m.Values), m.Antennas, m.Subcarriers)
+	}
+	fresh := NewMatrix(m.Antennas, m.Subcarriers)
+	k := 0
+	for a := 0; a < m.Antennas; a++ {
+		for n := 0; n < m.Subcarriers; n++ {
+			fresh.Values[a][n] = complex(m.Values[k][0], m.Values[k][1])
+			k++
+		}
+	}
+	if err := fresh.Validate(); err != nil {
+		return err
+	}
+	*c = *fresh
+	return nil
+}
+
+// packetJSON is the wire shape of a Packet.
+type packetJSON struct {
+	APID        int     `json:"ap_id"`
+	TargetMAC   string  `json:"target_mac"`
+	Seq         uint64  `json:"seq"`
+	TimestampNs int64   `json:"timestamp_ns"`
+	RSSIdBm     float64 `json:"rssi_dbm"`
+	CSI         *Matrix `json:"csi"`
+}
+
+// MarshalJSON implements json.Marshaler.
+func (p *Packet) MarshalJSON() ([]byte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return json.Marshal(packetJSON{
+		APID: p.APID, TargetMAC: p.TargetMAC, Seq: p.Seq,
+		TimestampNs: p.TimestampNs, RSSIdBm: p.RSSIdBm, CSI: p.CSI,
+	})
+}
+
+// UnmarshalJSON implements json.Unmarshaler.
+func (p *Packet) UnmarshalJSON(data []byte) error {
+	var w packetJSON
+	if err := json.Unmarshal(data, &w); err != nil {
+		return err
+	}
+	out := Packet{
+		APID: w.APID, TargetMAC: w.TargetMAC, Seq: w.Seq,
+		TimestampNs: w.TimestampNs, RSSIdBm: w.RSSIdBm, CSI: w.CSI,
+	}
+	if err := out.Validate(); err != nil {
+		return err
+	}
+	*p = out
+	return nil
+}

@@ -1,0 +1,84 @@
+package csi
+
+import (
+	"encoding/json"
+	"math/rand"
+	"testing"
+)
+
+func TestMatrixJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(161))
+	m := NewMatrix(3, 30)
+	for a := range m.Values {
+		for n := range m.Values[a] {
+			m.Values[a][n] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	data, err := json.Marshal(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Matrix
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Antennas() != 3 || back.Subcarriers() != 30 {
+		t.Fatalf("shape %dx%d", back.Antennas(), back.Subcarriers())
+	}
+	for a := range m.Values {
+		for n := range m.Values[a] {
+			if back.Values[a][n] != m.Values[a][n] {
+				t.Fatalf("value mismatch at (%d,%d)", a, n)
+			}
+		}
+	}
+}
+
+func TestPacketJSONRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(162))
+	p := randomPacket(rng, 3, 17)
+	data, err := json.Marshal(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Packet
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.APID != p.APID || back.Seq != p.Seq || back.TargetMAC != p.TargetMAC ||
+		back.RSSIdBm != p.RSSIdBm || back.TimestampNs != p.TimestampNs {
+		t.Fatalf("metadata mismatch: %+v", back)
+	}
+	if back.CSI.Values[2][29] != p.CSI.Values[2][29] {
+		t.Fatal("CSI mismatch")
+	}
+}
+
+func TestMatrixJSONRejectsCorrupt(t *testing.T) {
+	cases := []string{
+		`{"antennas":0,"subcarriers":30,"values":[]}`,
+		`{"antennas":2,"subcarriers":2,"values":[[1,2]]}`, // wrong count
+		`{"antennas":1,"subcarriers":1,"values":[["a","b"]]}`,
+	}
+	for i, c := range cases {
+		var m Matrix
+		if err := json.Unmarshal([]byte(c), &m); err == nil {
+			t.Fatalf("case %d accepted", i)
+		}
+	}
+}
+
+func TestPacketJSONRejectsInvalid(t *testing.T) {
+	// Valid JSON but an invalid packet (no MAC).
+	blob := `{"ap_id":1,"target_mac":"","seq":0,"timestamp_ns":0,"rssi_dbm":-40,
+	  "csi":{"antennas":1,"subcarriers":1,"values":[[1,0]]}}`
+	var p Packet
+	if err := json.Unmarshal([]byte(blob), &p); err == nil {
+		t.Fatal("MAC-less packet accepted")
+	}
+	// Marshal side validates too.
+	bad := &Packet{TargetMAC: "x", RSSIdBm: -10}
+	if _, err := json.Marshal(bad); err == nil {
+		t.Fatal("nil-CSI packet marshaled")
+	}
+}

@@ -1,0 +1,165 @@
+package csi
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Trace serialization: a compact binary stream of CSI packets, used by the
+// spotfi-trace tool and by the AP→server wire protocol. The format is
+// little-endian and versioned:
+//
+//	magic   uint32  'SFT1'
+//	then per packet:
+//	  apID        int32
+//	  seq         uint64
+//	  timestampNs int64
+//	  rssi        float64
+//	  macLen      uint16, mac bytes
+//	  antennas    uint16
+//	  subcarriers uint16
+//	  values      antennas*subcarriers × (float64 re, float64 im)
+
+const traceMagic uint32 = 0x53465431 // "SFT1"
+
+// ErrBadTrace is returned when a trace stream is malformed.
+var ErrBadTrace = errors.New("csi: malformed trace")
+
+// maxTraceDim bounds per-packet dimensions so a corrupt stream cannot make
+// the reader allocate unbounded memory.
+const maxTraceDim = 1 << 12
+
+// TraceWriter streams packets to w in trace format.
+type TraceWriter struct {
+	w     *bufio.Writer
+	began bool
+}
+
+// NewTraceWriter returns a TraceWriter on w. The magic header is written
+// lazily on first WritePacket.
+func NewTraceWriter(w io.Writer) *TraceWriter {
+	return &TraceWriter{w: bufio.NewWriter(w)}
+}
+
+// WritePacket appends one packet to the trace.
+func (t *TraceWriter) WritePacket(p *Packet) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if !t.began {
+		if err := binary.Write(t.w, binary.LittleEndian, traceMagic); err != nil {
+			return err
+		}
+		t.began = true
+	}
+	if len(p.TargetMAC) > math.MaxUint16 {
+		return fmt.Errorf("csi: MAC string too long (%d bytes)", len(p.TargetMAC))
+	}
+	hdr := struct {
+		APID        int32
+		Seq         uint64
+		TimestampNs int64
+		RSSI        float64
+		MACLen      uint16
+	}{int32(p.APID), p.Seq, p.TimestampNs, p.RSSIdBm, uint16(len(p.TargetMAC))}
+	if err := binary.Write(t.w, binary.LittleEndian, hdr); err != nil {
+		return err
+	}
+	if _, err := t.w.WriteString(p.TargetMAC); err != nil {
+		return err
+	}
+	dims := struct{ Antennas, Subcarriers uint16 }{uint16(p.CSI.Antennas()), uint16(p.CSI.Subcarriers())}
+	if err := binary.Write(t.w, binary.LittleEndian, dims); err != nil {
+		return err
+	}
+	for _, row := range p.CSI.Values {
+		for _, v := range row {
+			if err := binary.Write(t.w, binary.LittleEndian, [2]float64{real(v), imag(v)}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Flush flushes buffered trace data to the underlying writer.
+func (t *TraceWriter) Flush() error { return t.w.Flush() }
+
+// TraceReader reads packets from a trace stream.
+type TraceReader struct {
+	r     *bufio.Reader
+	began bool
+}
+
+// NewTraceReader returns a TraceReader on r.
+func NewTraceReader(r io.Reader) *TraceReader {
+	return &TraceReader{r: bufio.NewReader(r)}
+}
+
+// ReadPacket reads the next packet. It returns io.EOF at a clean end of
+// stream and ErrBadTrace (wrapped) on corruption.
+func (t *TraceReader) ReadPacket() (*Packet, error) {
+	if !t.began {
+		var magic uint32
+		if err := binary.Read(t.r, binary.LittleEndian, &magic); err != nil {
+			if err == io.EOF {
+				return nil, io.EOF
+			}
+			return nil, fmt.Errorf("%w: reading magic: %v", ErrBadTrace, err)
+		}
+		if magic != traceMagic {
+			return nil, fmt.Errorf("%w: bad magic %#x", ErrBadTrace, magic)
+		}
+		t.began = true
+	}
+	var hdr struct {
+		APID        int32
+		Seq         uint64
+		TimestampNs int64
+		RSSI        float64
+		MACLen      uint16
+	}
+	if err := binary.Read(t.r, binary.LittleEndian, &hdr); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: reading header: %v", ErrBadTrace, err)
+	}
+	mac := make([]byte, hdr.MACLen)
+	if _, err := io.ReadFull(t.r, mac); err != nil {
+		return nil, fmt.Errorf("%w: reading MAC: %v", ErrBadTrace, err)
+	}
+	var dims struct{ Antennas, Subcarriers uint16 }
+	if err := binary.Read(t.r, binary.LittleEndian, &dims); err != nil {
+		return nil, fmt.Errorf("%w: reading dims: %v", ErrBadTrace, err)
+	}
+	if dims.Antennas == 0 || dims.Subcarriers == 0 || int(dims.Antennas) > maxTraceDim || int(dims.Subcarriers) > maxTraceDim {
+		return nil, fmt.Errorf("%w: implausible dims %dx%d", ErrBadTrace, dims.Antennas, dims.Subcarriers)
+	}
+	m := NewMatrix(int(dims.Antennas), int(dims.Subcarriers))
+	var pair [2]float64
+	for a := 0; a < int(dims.Antennas); a++ {
+		for n := 0; n < int(dims.Subcarriers); n++ {
+			if err := binary.Read(t.r, binary.LittleEndian, &pair); err != nil {
+				return nil, fmt.Errorf("%w: reading values: %v", ErrBadTrace, err)
+			}
+			m.Values[a][n] = complex(pair[0], pair[1])
+		}
+	}
+	p := &Packet{
+		APID:        int(hdr.APID),
+		Seq:         hdr.Seq,
+		TimestampNs: hdr.TimestampNs,
+		RSSIdBm:     hdr.RSSI,
+		TargetMAC:   string(mac),
+		CSI:         m,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadTrace, err)
+	}
+	return p, nil
+}

@@ -1,0 +1,136 @@
+package csi
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math/rand"
+	"testing"
+)
+
+func randomPacket(rng *rand.Rand, ap int, seq uint64) *Packet {
+	m := NewMatrix(3, 30)
+	for a := range m.Values {
+		for n := range m.Values[a] {
+			m.Values[a][n] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	return &Packet{
+		APID:        ap,
+		TargetMAC:   "02:00:00:00:00:01",
+		Seq:         seq,
+		TimestampNs: int64(seq) * 100_000_000,
+		RSSIdBm:     -40 - rng.Float64()*30,
+		CSI:         m,
+	}
+}
+
+func TestTraceRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	var sent []*Packet
+	for i := 0; i < 25; i++ {
+		p := randomPacket(rng, i%6, uint64(i))
+		sent = append(sent, p)
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	r := NewTraceReader(&buf)
+	for i := 0; ; i++ {
+		p, err := r.ReadPacket()
+		if err == io.EOF {
+			if i != len(sent) {
+				t.Fatalf("EOF after %d packets, want %d", i, len(sent))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := sent[i]
+		if p.APID != want.APID || p.Seq != want.Seq || p.TimestampNs != want.TimestampNs ||
+			p.RSSIdBm != want.RSSIdBm || p.TargetMAC != want.TargetMAC {
+			t.Fatalf("packet %d metadata mismatch: %+v vs %+v", i, p, want)
+		}
+		for a := range want.CSI.Values {
+			for n := range want.CSI.Values[a] {
+				if p.CSI.Values[a][n] != want.CSI.Values[a][n] {
+					t.Fatalf("packet %d CSI mismatch at (%d,%d)", i, a, n)
+				}
+			}
+		}
+	}
+}
+
+func TestTraceEmptyStream(t *testing.T) {
+	r := NewTraceReader(bytes.NewReader(nil))
+	if _, err := r.ReadPacket(); err != io.EOF {
+		t.Fatalf("err = %v, want io.EOF", err)
+	}
+}
+
+func TestTraceBadMagic(t *testing.T) {
+	r := NewTraceReader(bytes.NewReader([]byte{1, 2, 3, 4, 5, 6, 7, 8}))
+	_, err := r.ReadPacket()
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestTraceTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	if err := w.WritePacket(randomPacket(rng, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Cut the stream mid-packet.
+	r := NewTraceReader(bytes.NewReader(data[:len(data)-17]))
+	_, err := r.ReadPacket()
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("truncated read err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestTraceImplausibleDims(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	if err := w.WritePacket(randomPacket(rng, 0, 0)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The dims live right after magic(4)+hdr(4+8+8+8+2)+mac(17).
+	dimOff := 4 + 30 + 17
+	data[dimOff] = 0xff
+	data[dimOff+1] = 0xff // antennas = 65535
+	r := NewTraceReader(bytes.NewReader(data))
+	_, err := r.ReadPacket()
+	if !errors.Is(err, ErrBadTrace) {
+		t.Fatalf("implausible dims err = %v, want ErrBadTrace", err)
+	}
+}
+
+func TestTraceWriterRejectsInvalidPacket(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewTraceWriter(&buf)
+	if err := w.WritePacket(&Packet{TargetMAC: "x", RSSIdBm: -10}); err == nil {
+		t.Fatal("nil-CSI packet accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatal("rejected packet still wrote bytes")
+	}
+}

@@ -1,0 +1,119 @@
+package locate
+
+import (
+	"fmt"
+	"math"
+
+	"spotfi/internal/geom"
+)
+
+// SpectrumObservation is one AP's averaged AoA pseudo-spectrum — the input
+// the ArrayTrack-style baseline localizer triangulates from.
+type SpectrumObservation struct {
+	Pos         geom.Point
+	NormalAngle float64
+	// Thetas is the AoA grid (radians, ascending); P the pseudo-spectrum
+	// averaged over the packet burst.
+	Thetas []float64
+	P      []float64
+}
+
+// interp returns the spectrum value at angle theta by linear interpolation
+// on the grid, clamping outside the grid.
+func (s *SpectrumObservation) interp(theta float64) float64 {
+	n := len(s.Thetas)
+	if n == 0 {
+		return 0
+	}
+	if theta <= s.Thetas[0] {
+		return s.P[0]
+	}
+	if theta >= s.Thetas[n-1] {
+		return s.P[n-1]
+	}
+	lo, hi := 0, n-1
+	for hi-lo > 1 {
+		mid := (lo + hi) / 2
+		if s.Thetas[mid] <= theta {
+			lo = mid
+		} else {
+			hi = mid
+		}
+	}
+	f := (theta - s.Thetas[lo]) / (s.Thetas[hi] - s.Thetas[lo])
+	return s.P[lo]*(1-f) + s.P[hi]*f
+}
+
+// ArrayTrackConfig controls the baseline grid search.
+type ArrayTrackConfig struct {
+	Bounds Bounds
+	// CoarseStepM and FineStepM are the two grid resolutions: a coarse
+	// sweep followed by a fine sweep around the coarse maximum.
+	CoarseStepM, FineStepM float64
+}
+
+// DefaultArrayTrackConfig returns the baseline configuration for bounds b.
+func DefaultArrayTrackConfig(b Bounds) ArrayTrackConfig {
+	return ArrayTrackConfig{Bounds: b, CoarseStepM: 0.5, FineStepM: 0.1}
+}
+
+// LocateArrayTrack implements the ArrayTrack likelihood-synthesis scheme:
+// the location estimate maximizes Σ_i log P_i(θ̄_i(loc)) over the search
+// region, i.e. the product of each AP's MUSIC spectrum evaluated at the
+// bearing that location would produce.
+func LocateArrayTrack(obs []SpectrumObservation, cfg ArrayTrackConfig) (geom.Point, error) {
+	if len(obs) < 2 {
+		return geom.Point{}, fmt.Errorf("locate: ArrayTrack needs ≥2 APs, got %d", len(obs))
+	}
+	for i, o := range obs {
+		if len(o.Thetas) < 2 || len(o.Thetas) != len(o.P) {
+			return geom.Point{}, fmt.Errorf("locate: AP %d has malformed spectrum", i)
+		}
+	}
+	if cfg.Bounds.MinX >= cfg.Bounds.MaxX || cfg.Bounds.MinY >= cfg.Bounds.MaxY {
+		return geom.Point{}, fmt.Errorf("locate: empty bounds")
+	}
+	if cfg.CoarseStepM <= 0 || cfg.FineStepM <= 0 {
+		return geom.Point{}, fmt.Errorf("locate: grid steps must be positive")
+	}
+
+	score := func(p geom.Point) float64 {
+		var s float64
+		for i := range obs {
+			theta := foldAoA(p.Sub(obs[i].Pos).Angle() - obs[i].NormalAngle)
+			v := obs[i].interp(theta)
+			if v < 1e-12 {
+				v = 1e-12
+			}
+			s += math.Log(v)
+		}
+		return s
+	}
+
+	best := geom.Point{X: cfg.Bounds.MinX, Y: cfg.Bounds.MinY}
+	bestScore := math.Inf(-1)
+	for x := cfg.Bounds.MinX; x <= cfg.Bounds.MaxX; x += cfg.CoarseStepM {
+		for y := cfg.Bounds.MinY; y <= cfg.Bounds.MaxY; y += cfg.CoarseStepM {
+			p := geom.Point{X: x, Y: y}
+			if s := score(p); s > bestScore {
+				best, bestScore = p, s
+			}
+		}
+	}
+	// Fine sweep around the coarse maximum.
+	fineBounds := Bounds{
+		MinX: math.Max(cfg.Bounds.MinX, best.X-cfg.CoarseStepM),
+		MaxX: math.Min(cfg.Bounds.MaxX, best.X+cfg.CoarseStepM),
+		MinY: math.Max(cfg.Bounds.MinY, best.Y-cfg.CoarseStepM),
+		MaxY: math.Min(cfg.Bounds.MaxY, best.Y+cfg.CoarseStepM),
+	}
+	for x := fineBounds.MinX; x <= fineBounds.MaxX; x += cfg.FineStepM {
+		for y := fineBounds.MinY; y <= fineBounds.MaxY; y += cfg.FineStepM {
+			p := geom.Point{X: x, Y: y}
+			if s := score(p); s > bestScore {
+				best, bestScore = p, s
+			}
+		}
+	}
+	return best, nil
+}

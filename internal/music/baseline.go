@@ -1,0 +1,192 @@
+package music
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"spotfi/internal/cmat"
+	"spotfi/internal/csi"
+	"spotfi/internal/rf"
+)
+
+// AoAParams configures the baseline antenna-only MUSIC estimator
+// (Sec. 3.1.1): the algorithm ArrayTrack/Phaser run on a 3-antenna AP,
+// which the paper calls MUSIC-AoA. It models only the phase shifts across
+// antennas, using the subcarriers as independent snapshots, so with M
+// antennas it can resolve at most M−1 paths.
+type AoAParams struct {
+	Band  rf.Band
+	Array rf.Array
+	// AoAGridRad is the spectrum grid step over [−π/2, π/2].
+	AoAGridRad float64
+	// EigenThreshold separates signal from noise eigenvalues.
+	EigenThreshold float64
+	// MaxPaths caps the signal dimension; it cannot exceed Antennas−1.
+	MaxPaths int
+	// ForwardBackward applies forward-backward averaging to the antenna
+	// covariance: R ← (R + J·R*·J)/2 with J the exchange matrix. For a
+	// ULA this doubles the effective snapshots and decorrelates coherent
+	// paths — the standard remedy when multipath components are phase
+	// locked (Paulraj et al., the smoothing reference the paper cites).
+	ForwardBackward bool
+}
+
+// DefaultAoAParams returns the baseline configuration used in the
+// evaluation.
+func DefaultAoAParams() AoAParams {
+	band := rf.DefaultBand()
+	return AoAParams{
+		Band:           band,
+		Array:          rf.DefaultArray(band),
+		AoAGridRad:     math.Pi / 180,
+		EigenThreshold: 0.03,
+		MaxPaths:       2,
+	}
+}
+
+// Validate checks the parameters.
+func (p AoAParams) Validate() error {
+	if err := p.Band.Validate(); err != nil {
+		return err
+	}
+	if err := p.Array.Validate(); err != nil {
+		return err
+	}
+	if p.AoAGridRad <= 0 {
+		return fmt.Errorf("music: AoA grid step must be positive")
+	}
+	if p.EigenThreshold <= 0 || p.EigenThreshold >= 1 {
+		return fmt.Errorf("music: eigen threshold %v must be in (0,1)", p.EigenThreshold)
+	}
+	if p.MaxPaths < 1 || p.MaxPaths >= p.Array.Antennas {
+		return fmt.Errorf("music: baseline MaxPaths %d must be in [1,%d]", p.MaxPaths, p.Array.Antennas-1)
+	}
+	return nil
+}
+
+// AoAEstimator is the baseline MUSIC-AoA estimator.
+type AoAEstimator struct {
+	p      AoAParams
+	thetas []float64
+	// steer[i] is the antenna steering vector at thetas[i].
+	steer [][]complex128
+}
+
+// NewAoAEstimator validates p and precomputes the AoA grid.
+func NewAoAEstimator(p AoAParams) (*AoAEstimator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e := &AoAEstimator{p: p}
+	for th := -math.Pi / 2; th <= math.Pi/2+1e-12; th += p.AoAGridRad {
+		e.thetas = append(e.thetas, th)
+		e.steer = append(e.steer, geometricSeries(Phi(th, p.Array, p.Band), p.Array.Antennas))
+	}
+	return e, nil
+}
+
+// AoASpectrum is a 1-D MUSIC pseudo-spectrum over AoA.
+type AoASpectrum struct {
+	Thetas []float64
+	P      []float64
+}
+
+// Spectrum evaluates the antenna-only MUSIC pseudo-spectrum for one CSI
+// matrix.
+func (e *AoAEstimator) Spectrum(c *csi.Matrix) (*AoASpectrum, error) {
+	spec, _, err := e.spectrum(c)
+	return spec, err
+}
+
+// EstimatePaths returns AoA estimates (ToF is not observable by this
+// baseline and is reported as 0), sorted by descending spectrum power.
+func (e *AoAEstimator) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
+	spec, dim, err := e.spectrum(c)
+	if err != nil {
+		return nil, err
+	}
+	return findPeaks1D(spec, dim), nil
+}
+
+func (e *AoAEstimator) spectrum(c *csi.Matrix) (*AoASpectrum, int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if c.Antennas() != e.p.Array.Antennas || c.Subcarriers() != e.p.Band.Subcarriers {
+		return nil, 0, fmt.Errorf("music: CSI is %dx%d, baseline expects %dx%d",
+			c.Antennas(), c.Subcarriers(), e.p.Array.Antennas, e.p.Band.Subcarriers)
+	}
+	// Measurement matrix: antennas × subcarriers, i.e. each subcarrier is
+	// one snapshot of the antenna array (Sec. 3.1.1, Eq. 4).
+	x := cmat.FromRows(c.Values)
+	r := x.Gram()
+	if e.p.ForwardBackward {
+		r = forwardBackward(r)
+	}
+	eig, err := cmat.EigHermitian(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("music: baseline eigendecomposition: %w", err)
+	}
+	dim := eig.SignalDimension(e.p.EigenThreshold, e.p.MaxPaths)
+	en := eig.NoiseSubspace(e.p.EigenThreshold, e.p.MaxPaths)
+	if en == nil {
+		return nil, 0, fmt.Errorf("music: baseline has empty noise subspace")
+	}
+	enH := en.ConjTranspose()
+
+	spec := &AoASpectrum{Thetas: e.thetas, P: make([]float64, len(e.thetas))}
+	for i, a := range e.steer {
+		// denom = ‖E_Nᴴ·a‖².
+		proj := enH.MulVec(a)
+		d := 0.0
+		for _, v := range proj {
+			d += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if d < 1e-18 {
+			d = 1e-18
+		}
+		spec.P[i] = 1 / d
+	}
+	return spec, dim, nil
+}
+
+// findPeaks1D locates interior local maxima (grid-edge maxima are endfire
+// artifacts, as in findPeaks2D).
+func findPeaks1D(spec *AoASpectrum, count int) []PathEstimate {
+	n := len(spec.Thetas)
+	var peaks []PathEstimate
+	for i := 1; i < n-1; i++ {
+		v := spec.P[i]
+		if spec.P[i-1] > v || spec.P[i+1] > v {
+			continue
+		}
+		// Skip plateau duplicates: only accept the left edge of a run.
+		if spec.P[i-1] == v {
+			continue
+		}
+		theta := refineAxis(spec.Thetas, i, func(k int) float64 { return spec.P[k] })
+		peaks = append(peaks, PathEstimate{AoA: theta, Power: v})
+	}
+	sort.Slice(peaks, func(a, b int) bool { return peaks[a].Power > peaks[b].Power })
+	if len(peaks) > count {
+		peaks = peaks[:count]
+	}
+	return peaks
+}
+
+// forwardBackward returns (R + J·R*·J)/2 where J is the exchange
+// (anti-identity) matrix.
+func forwardBackward(r *cmat.Matrix) *cmat.Matrix {
+	n := r.Rows()
+	out := cmat.New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			// (J·R*·J)[i][j] = conj(R[n-1-i][n-1-j]).
+			v := (r.At(i, j) + cmplx.Conj(r.At(n-1-i, n-1-j))) / 2
+			out.Set(i, j, v)
+		}
+	}
+	return out
+}

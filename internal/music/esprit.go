@@ -1,0 +1,147 @@
+package music
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"spotfi/internal/cmat"
+	"spotfi/internal/csi"
+	"spotfi/internal/rf"
+)
+
+// ESPRIT is a search-free AoA estimator exploiting the shift invariance of
+// a uniform linear array — the algorithm family (Van der Veen, Vanderveen
+// & Paulraj) the paper cites as the lineage of its joint estimation
+// (Sec. 2, "joint estimation of AoA and ToF ... shift-invariance
+// properties"). It is included as an additional baseline: like MUSIC-AoA
+// it models only the antenna phase shifts, so with M antennas it resolves
+// at most M−1 paths, but it needs no spectrum grid.
+type ESPRIT struct {
+	p AoAParams
+}
+
+// NewESPRIT validates p and returns the estimator.
+func NewESPRIT(p AoAParams) (*ESPRIT, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	return &ESPRIT{p: p}, nil
+}
+
+// EstimatePaths returns the AoA estimates (ToF is not observable; Power is
+// the associated signal eigenvalue), sorted by descending eigenvalue.
+func (e *ESPRIT) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	m := e.p.Array.Antennas
+	if c.Antennas() != m || c.Subcarriers() != e.p.Band.Subcarriers {
+		return nil, fmt.Errorf("music: CSI is %dx%d, ESPRIT expects %dx%d",
+			c.Antennas(), c.Subcarriers(), m, e.p.Band.Subcarriers)
+	}
+	x := cmat.FromRows(c.Values)
+	r := x.Gram()
+	eig, err := cmat.EigHermitian(r)
+	if err != nil {
+		return nil, fmt.Errorf("music: ESPRIT eigendecomposition: %w", err)
+	}
+	l := eig.SignalDimension(e.p.EigenThreshold, e.p.MaxPaths)
+	if l > m-1 {
+		l = m - 1
+	}
+
+	// Signal subspace Es (m×l); subarrays drop the last / first row.
+	es := cmat.New(m, l)
+	for j := 0; j < l; j++ {
+		es.SetCol(j, eig.Vectors[j])
+	}
+	es1 := cmat.New(m-1, l) // rows 0..m-2
+	es2 := cmat.New(m-1, l) // rows 1..m-1
+	for i := 0; i < m-1; i++ {
+		for j := 0; j < l; j++ {
+			es1.Set(i, j, es.At(i, j))
+			es2.Set(i, j, es.At(i+1, j))
+		}
+	}
+
+	// Least-squares ESPRIT: Ψ = (Es1ᴴEs1)⁻¹ Es1ᴴ Es2; its eigenvalues are
+	// the per-path inter-antenna phase factors Φ(θ_k).
+	a := es1.ConjTranspose().Mul(es1) // l×l Hermitian
+	bMat := es1.ConjTranspose().Mul(es2)
+	psi, err := solveSmallHermitian(a, bMat)
+	if err != nil {
+		return nil, err
+	}
+	phis, err := smallEigenvalues(psi)
+	if err != nil {
+		return nil, err
+	}
+
+	sinFactor := 2 * math.Pi * e.p.Array.SpacingM * e.p.Band.CarrierHz / rf.SpeedOfLight
+	out := make([]PathEstimate, 0, len(phis))
+	for k, phi := range phis {
+		// Φ = exp(−j·sinFactor·sin θ) ⇒ sin θ = −arg(Φ)/sinFactor.
+		s := -cmplx.Phase(phi) / sinFactor
+		if s > 1 {
+			s = 1
+		} else if s < -1 {
+			s = -1
+		}
+		power := 0.0
+		if k < len(eig.Values) {
+			power = eig.Values[k]
+		}
+		out = append(out, PathEstimate{AoA: math.Asin(s), Power: power})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Power > out[b].Power })
+	return out, nil
+}
+
+// solveSmallHermitian solves A·X = B for Hermitian positive-definite A of
+// size 1×1 or 2×2 (the only sizes a 3-antenna ESPRIT produces).
+func solveSmallHermitian(a, b *cmat.Matrix) (*cmat.Matrix, error) {
+	n := a.Rows()
+	switch n {
+	case 1:
+		d := a.At(0, 0)
+		if cmplx.Abs(d) < 1e-18 {
+			return nil, fmt.Errorf("music: singular 1x1 system")
+		}
+		x := cmat.New(1, b.Cols())
+		for j := 0; j < b.Cols(); j++ {
+			x.Set(0, j, b.At(0, j)/d)
+		}
+		return x, nil
+	case 2:
+		det := a.At(0, 0)*a.At(1, 1) - a.At(0, 1)*a.At(1, 0)
+		if cmplx.Abs(det) < 1e-18 {
+			return nil, fmt.Errorf("music: singular 2x2 system")
+		}
+		inv := cmat.New(2, 2)
+		inv.Set(0, 0, a.At(1, 1)/det)
+		inv.Set(0, 1, -a.At(0, 1)/det)
+		inv.Set(1, 0, -a.At(1, 0)/det)
+		inv.Set(1, 1, a.At(0, 0)/det)
+		return inv.Mul(b), nil
+	default:
+		return nil, fmt.Errorf("music: ESPRIT solver supports 1x1/2x2, got %dx%d", n, n)
+	}
+}
+
+// smallEigenvalues returns the eigenvalues of a 1×1 or 2×2 complex
+// (generally non-Hermitian) matrix in closed form.
+func smallEigenvalues(m *cmat.Matrix) ([]complex128, error) {
+	switch m.Rows() {
+	case 1:
+		return []complex128{m.At(0, 0)}, nil
+	case 2:
+		tr := m.At(0, 0) + m.At(1, 1)
+		det := m.At(0, 0)*m.At(1, 1) - m.At(0, 1)*m.At(1, 0)
+		disc := cmplx.Sqrt(tr*tr - 4*det)
+		return []complex128{(tr + disc) / 2, (tr - disc) / 2}, nil
+	default:
+		return nil, fmt.Errorf("music: eigenvalues supported for 1x1/2x2, got %dx%d", m.Rows(), m.Rows())
+	}
+}

@@ -1,0 +1,158 @@
+package music
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spotfi/internal/cmat"
+	"spotfi/internal/csi"
+	"spotfi/internal/geom"
+	"spotfi/internal/rf"
+)
+
+func TestESPRITSinglePath(t *testing.T) {
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	e, err := NewESPRIT(DefaultAoAParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, deg := range []float64{-60, -20, 0, 15, 45, 70} {
+		theta := geom.Rad(deg)
+		c := buildCSI(band, array, []PathEstimate{{AoA: theta, ToF: 30e-9}}, []complex128{1})
+		paths, err := e.EstimatePaths(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) == 0 {
+			t.Fatalf("no paths at %v°", deg)
+		}
+		if got := geom.Deg(paths[0].AoA); math.Abs(got-deg) > 0.5 {
+			t.Fatalf("ESPRIT AoA = %.2f°, want %v°", got, deg)
+		}
+	}
+}
+
+func TestESPRITSinglePathNoisy(t *testing.T) {
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	e, err := NewESPRIT(DefaultAoAParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(121))
+	theta := geom.Rad(30)
+	c := buildCSI(band, array, []PathEstimate{{AoA: theta, ToF: 30e-9}}, []complex128{1})
+	addNoise(c, 0.02, rng)
+	paths, err := e.EstimatePaths(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := geom.Deg(paths[0].AoA); math.Abs(got-30) > 3 {
+		t.Fatalf("noisy ESPRIT AoA = %.1f°, want 30°", got)
+	}
+}
+
+func TestESPRITTwoPaths(t *testing.T) {
+	// Well-separated AoAs with distinct ToFs (subcarrier snapshots
+	// decorrelate the paths).
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	e, err := NewESPRIT(DefaultAoAParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []PathEstimate{
+		{AoA: geom.Rad(-40), ToF: 20e-9},
+		{AoA: geom.Rad(35), ToF: 80e-9},
+	}
+	c := buildCSI(band, array, truth, []complex128{1, complex(0.6, 0.5)})
+	paths, err := e.EstimatePaths(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("resolved %d paths, want 2", len(paths))
+	}
+	for _, want := range truth {
+		found := false
+		for _, got := range paths {
+			if geom.Deg(math.Abs(got.AoA-want.AoA)) < 3 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("path at %.0f° not resolved: %+v", geom.Deg(want.AoA), paths)
+		}
+	}
+}
+
+func TestESPRITAgreesWithMUSIC(t *testing.T) {
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	esprit, err := NewESPRIT(DefaultAoAParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	musicEst, err := NewAoAEstimator(DefaultAoAParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(122))
+	for trial := 0; trial < 10; trial++ {
+		theta := geom.Rad(-70 + 140*rng.Float64())
+		c := buildCSI(band, array, []PathEstimate{{AoA: theta, ToF: 40e-9}}, []complex128{1})
+		addNoise(c, 0.01, rng)
+		pe, err1 := esprit.EstimatePaths(c)
+		pm, err2 := musicEst.EstimatePaths(c)
+		if err1 != nil || err2 != nil || len(pe) == 0 || len(pm) == 0 {
+			t.Fatalf("trial %d failed: %v %v", trial, err1, err2)
+		}
+		if d := geom.Deg(math.Abs(pe[0].AoA - pm[0].AoA)); d > 2 {
+			t.Fatalf("trial %d: ESPRIT %.1f° vs MUSIC %.1f°",
+				trial, geom.Deg(pe[0].AoA), geom.Deg(pm[0].AoA))
+		}
+	}
+}
+
+func TestESPRITErrors(t *testing.T) {
+	e, err := NewESPRIT(DefaultAoAParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.EstimatePaths(csi.NewMatrix(2, 30)); err == nil {
+		t.Fatal("wrong shape accepted")
+	}
+	bad := DefaultAoAParams()
+	bad.MaxPaths = 0
+	if _, err := NewESPRIT(bad); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+	nan := csi.NewMatrix(3, 30)
+	nan.Values[0][0] = complex(math.NaN(), 0)
+	if _, err := e.EstimatePaths(nan); err == nil {
+		t.Fatal("NaN CSI accepted")
+	}
+}
+
+func TestSmallEigenvaluesClosedForm(t *testing.T) {
+	// [[2, 1], [1, 2]] has eigenvalues 3, 1.
+	m := cmatFromRows([][]complex128{{2, 1}, {1, 2}})
+	vals, err := smallEigenvalues(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := []float64{real(vals[0]), real(vals[1])}
+	if math.Abs(got[0]-3) > 1e-12 || math.Abs(got[1]-1) > 1e-12 {
+		t.Fatalf("eigenvalues %v, want [3 1]", got)
+	}
+	one := cmatFromRows([][]complex128{{5i}})
+	vals, err = smallEigenvalues(one)
+	if err != nil || vals[0] != 5i {
+		t.Fatalf("1x1 eigenvalue %v (%v)", vals, err)
+	}
+}
+
+// cmatFromRows is a tiny local alias to keep tests readable.
+func cmatFromRows(rows [][]complex128) *cmat.Matrix { return cmat.FromRows(rows) }

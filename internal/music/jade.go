@@ -1,0 +1,161 @@
+package music
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"spotfi/internal/cmat"
+	"spotfi/internal/csi"
+)
+
+// JADE is the search-free joint angle-delay estimator built on the shift
+// invariances of the smoothed CSI matrix — the algorithm family (Van der
+// Veen, Vanderveen & Paulraj; refs [42–44]) the paper's estimator descends
+// from. Where the MUSIC Estimator scans a 2-D grid, JADE solves two small
+// eigenproblems:
+//
+//   - shifting the sensor window by one subcarrier multiplies each path's
+//     steering vector by Ω(τ_k), so the subcarrier-shift operator mapped
+//     into the signal subspace has eigenvalues {Ω(τ_k)};
+//   - its eigenvectors simultaneously (approximately) diagonalize the
+//     antenna-shift operator, whose diagonal then yields {Φ(θ_k)} paired
+//     with the right delays.
+//
+// It shares Params with the Estimator (grid fields are ignored) and is
+// roughly two orders of magnitude faster per packet.
+type JADE struct {
+	p Params
+}
+
+// NewJADE validates p and returns the estimator.
+func NewJADE(p Params) (*JADE, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if p.SubarrayAntennas < 2 {
+		return nil, fmt.Errorf("music: JADE needs a subarray of ≥2 antennas for the antenna-shift invariance")
+	}
+	if p.SubarraySubcarriers < 3 {
+		return nil, fmt.Errorf("music: JADE needs ≥3 subarray subcarriers")
+	}
+	return &JADE{p: p}, nil
+}
+
+// EstimatePaths returns joint (AoA, ToF) estimates, sorted by descending
+// path power (the associated signal eigenvalue).
+func (j *JADE) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Antennas() != j.p.Array.Antennas || c.Subcarriers() != j.p.Band.Subcarriers {
+		return nil, fmt.Errorf("music: CSI is %dx%d, JADE expects %dx%d",
+			c.Antennas(), c.Subcarriers(), j.p.Array.Antennas, j.p.Band.Subcarriers)
+	}
+	subAnt, subSub := j.p.SubarrayAntennas, j.p.SubarraySubcarriers
+	x := SmoothCSI(c, subAnt, subSub)
+	r := x.Gram()
+	eig, err := cmat.EigHermitian(r)
+	if err != nil {
+		return nil, fmt.Errorf("music: JADE eigendecomposition: %w", err)
+	}
+	l := eig.SignalDimension(j.p.EigenThreshold, j.p.MaxPaths)
+	// The shift-invariance equations need strictly fewer paths than
+	// selected rows; the subcarrier selection drops subAnt rows.
+	maxL := subAnt*(subSub-1) - 1
+	if l > maxL {
+		l = maxL
+	}
+	if l < 1 {
+		l = 1
+	}
+	rows := subAnt * subSub
+	es := cmat.New(rows, l)
+	for col := 0; col < l; col++ {
+		es.SetCol(col, eig.Vectors[col])
+	}
+
+	// Subcarrier-shift invariance: rows with s < subSub−1 vs s > 0 inside
+	// each antenna block.
+	up1, dn1 := selectRows(es, subAnt, subSub, func(a, s int) bool { return s < subSub-1 }),
+		selectRows(es, subAnt, subSub, func(a, s int) bool { return s > 0 })
+	psiTau, err := cmat.LeastSquares(up1, dn1)
+	if err != nil {
+		return nil, fmt.Errorf("music: JADE subcarrier invariance: %w", err)
+	}
+	// Antenna-shift invariance: blocks a < subAnt−1 vs a > 0.
+	up2, dn2 := selectRows(es, subAnt, subSub, func(a, s int) bool { return a < subAnt-1 }),
+		selectRows(es, subAnt, subSub, func(a, s int) bool { return a > 0 })
+	psiTheta, err := cmat.LeastSquares(up2, dn2)
+	if err != nil {
+		return nil, fmt.Errorf("music: JADE antenna invariance: %w", err)
+	}
+
+	// Eigen-decompose the delay operator; its eigenvector basis T
+	// approximately diagonalizes the angle operator too, pairing each
+	// Ω(τ_k) with its Φ(θ_k).
+	omegas, tvecs, err := cmat.EigGeneral(psiTau, true)
+	if err != nil {
+		return nil, fmt.Errorf("music: JADE delay eigenproblem: %w", err)
+	}
+	tmat := cmat.New(l, l)
+	for col, v := range tvecs {
+		tmat.SetCol(col, v)
+	}
+	tinv, err := cmat.Inverse(tmat)
+	if err != nil {
+		return nil, fmt.Errorf("music: JADE eigenbasis is singular: %w", err)
+	}
+	diag := tinv.Mul(psiTheta).Mul(tmat)
+
+	fd := j.p.Band.SubcarrierSpacingHz
+	sinFactor := 2 * math.Pi * j.p.Array.SpacingM * j.p.Band.CarrierHz / 299792458.0
+
+	out := make([]PathEstimate, 0, l)
+	for k := 0; k < l; k++ {
+		// Ω = e^{−j2π·f_δ·τ} ⇒ τ = −arg(Ω)/(2π·f_δ), unwrapped to the
+		// estimator's ToF window.
+		tau := -cmplx.Phase(omegas[k]) / (2 * math.Pi * fd)
+		for tau < j.p.ToFMinS {
+			tau += 1 / fd
+		}
+		for tau > j.p.ToFMaxS {
+			tau -= 1 / fd
+		}
+		phi := diag.At(k, k)
+		s := -cmplx.Phase(phi) / sinFactor
+		if s > 1 {
+			s = 1
+		} else if s < -1 {
+			s = -1
+		}
+		power := 0.0
+		if k < len(eig.Values) {
+			power = eig.Values[k]
+		}
+		out = append(out, PathEstimate{AoA: math.Asin(s), ToF: tau, Power: power})
+	}
+	sort.Slice(out, func(a, b int) bool { return out[a].Power > out[b].Power })
+	return out, nil
+}
+
+// selectRows extracts the rows of es whose (antenna, subcarrier) window
+// index satisfies keep, preserving order.
+func selectRows(es *cmat.Matrix, subAnt, subSub int, keep func(a, s int) bool) *cmat.Matrix {
+	var idx []int
+	for a := 0; a < subAnt; a++ {
+		for s := 0; s < subSub; s++ {
+			if keep(a, s) {
+				idx = append(idx, a*subSub+s)
+			}
+		}
+	}
+	out := cmat.New(len(idx), es.Cols())
+	for r, src := range idx {
+		for c := 0; c < es.Cols(); c++ {
+			out.Set(r, c, es.At(src, c))
+		}
+	}
+	return out
+}

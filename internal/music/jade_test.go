@@ -1,0 +1,163 @@
+package music
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/geom"
+	"spotfi/internal/rf"
+)
+
+func TestJADESinglePath(t *testing.T) {
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	j, err := NewJADE(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct{ deg, tofNs float64 }{
+		{0, 20}, {25, 40}, {-50, 90}, {70, 150},
+	} {
+		theta := geom.Rad(tc.deg)
+		tof := tc.tofNs * 1e-9
+		c := buildCSI(band, array, []PathEstimate{{AoA: theta, ToF: tof}}, []complex128{1})
+		paths, err := j.EstimatePaths(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(paths) == 0 {
+			t.Fatalf("no paths at %v°", tc.deg)
+		}
+		if got := geom.Deg(paths[0].AoA); math.Abs(got-tc.deg) > 0.5 {
+			t.Fatalf("JADE AoA = %.2f°, want %v°", got, tc.deg)
+		}
+		if math.Abs(paths[0].ToF-tof) > 1e-9 {
+			t.Fatalf("JADE ToF = %.1f ns, want %v", paths[0].ToF*1e9, tc.tofNs)
+		}
+	}
+}
+
+func TestJADEResolvesFourPathsJointly(t *testing.T) {
+	// The search-free estimator must also beat the antenna count, with
+	// correctly *paired* (AoA, ToF).
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	j, err := NewJADE(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []PathEstimate{
+		{AoA: geom.Rad(-50), ToF: 10e-9},
+		{AoA: geom.Rad(-10), ToF: 55e-9},
+		{AoA: geom.Rad(20), ToF: 100e-9},
+		{AoA: geom.Rad(55), ToF: 150e-9},
+	}
+	gains := []complex128{1, complex(0.8, 0.3), complex(0.1, 0.75), complex(-0.4, 0.5)}
+	rng := rand.New(rand.NewSource(141))
+	c := buildCSI(band, array, truth, gains)
+	addNoise(c, 0.002, rng)
+	paths, err := j.EstimatePaths(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 4 {
+		t.Fatalf("JADE resolved %d paths, want 4", len(paths))
+	}
+	for _, want := range truth {
+		found := false
+		for _, got := range paths {
+			if geom.Deg(math.Abs(got.AoA-want.AoA)) < 3 && math.Abs(got.ToF-want.ToF) < 5e-9 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("pair (%.0f°, %.0f ns) not recovered: %+v",
+				geom.Deg(want.AoA), want.ToF*1e9, paths)
+		}
+	}
+}
+
+func TestJADEAgreesWithMUSIC(t *testing.T) {
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	j, err := NewJADE(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewEstimator(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(142))
+	for trial := 0; trial < 5; trial++ {
+		truth := []PathEstimate{
+			{AoA: geom.Rad(-60 + 120*rng.Float64()), ToF: (20 + 100*rng.Float64()) * 1e-9},
+			{AoA: geom.Rad(-60 + 120*rng.Float64()), ToF: (20 + 100*rng.Float64()) * 1e-9},
+		}
+		if geom.Deg(math.Abs(truth[0].AoA-truth[1].AoA)) < 15 ||
+			math.Abs(truth[0].ToF-truth[1].ToF) < 20e-9 {
+			continue // keep paths separated for a clean comparison
+		}
+		c := buildCSI(band, array, truth, []complex128{1, complex(0.6, 0.4)})
+		addNoise(c, 0.005, rng)
+		pj, err1 := j.EstimatePaths(c)
+		pm, err2 := m.EstimatePaths(c)
+		if err1 != nil || err2 != nil || len(pj) == 0 || len(pm) == 0 {
+			t.Fatalf("trial %d: %v %v", trial, err1, err2)
+		}
+		// Strongest JADE path must appear among MUSIC's peaks.
+		found := false
+		for _, p := range pm {
+			if geom.Deg(math.Abs(p.AoA-pj[0].AoA)) < 3 && math.Abs(p.ToF-pj[0].ToF) < 6e-9 {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("trial %d: JADE (%.1f°, %.1f ns) not confirmed by MUSIC %+v",
+				trial, geom.Deg(pj[0].AoA), pj[0].ToF*1e9, pm)
+		}
+	}
+}
+
+func TestJADEWithQuantizedNoisyCSI(t *testing.T) {
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	j, err := NewJADE(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	truth := []PathEstimate{{AoA: geom.Rad(-15), ToF: 60e-9}}
+	rng := rand.New(rand.NewSource(143))
+	c := buildCSI(band, array, truth, []complex128{1})
+	addNoise(c, 0.01, rng)
+	c.Quantize()
+	paths, err := j.EstimatePaths(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if geom.Deg(math.Abs(paths[0].AoA-truth[0].AoA)) > 2 {
+		t.Fatalf("quantized JADE AoA error %.1f°", geom.Deg(math.Abs(paths[0].AoA-truth[0].AoA)))
+	}
+}
+
+func TestJADEErrors(t *testing.T) {
+	j, err := NewJADE(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := j.EstimatePaths(csi.NewMatrix(2, 30)); err == nil {
+		t.Fatal("wrong shape accepted")
+	}
+	bad := DefaultParams()
+	bad.SubarraySubcarriers = 2
+	if _, err := NewJADE(bad); err == nil {
+		t.Fatal("2-subcarrier window accepted")
+	}
+	bad2 := DefaultParams()
+	bad2.MaxPaths = 0
+	if _, err := NewJADE(bad2); err == nil {
+		t.Fatal("invalid params accepted")
+	}
+}

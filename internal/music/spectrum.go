@@ -1,0 +1,247 @@
+package music
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"sort"
+
+	"spotfi/internal/cmat"
+	"spotfi/internal/csi"
+)
+
+// Spectrum is an evaluated 2-D MUSIC pseudo-spectrum P(θ, τ).
+type Spectrum struct {
+	// Thetas are the AoA grid points in radians.
+	Thetas []float64
+	// Taus are the ToF grid points in seconds.
+	Taus []float64
+	// P[i][j] is the pseudo-spectrum at (Thetas[i], Taus[j]).
+	P [][]float64
+}
+
+// Estimator runs SpotFi's joint AoA/ToF super-resolution on single-packet
+// CSI matrices. It precomputes the search grids; one Estimator may be
+// reused across packets and is safe for concurrent use (it is read-only
+// after construction).
+type Estimator struct {
+	p      Params
+	thetas []float64
+	taus   []float64
+	// phiPows[i][a] = Φ(thetas[i])^a for a < SubarrayAntennas.
+	phiPows [][]complex128
+	// omegaPows[j][s] = Ω(taus[j])^s for s < SubarraySubcarriers.
+	omegaPows [][]complex128
+}
+
+// NewEstimator validates p and precomputes the spectrum grids.
+func NewEstimator(p Params) (*Estimator, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	e := &Estimator{p: p}
+	for th := -math.Pi / 2; th <= math.Pi/2+1e-12; th += p.AoAGridRad {
+		e.thetas = append(e.thetas, th)
+	}
+	for tau := p.ToFMinS; tau <= p.ToFMaxS+1e-18; tau += p.ToFGridS {
+		e.taus = append(e.taus, tau)
+	}
+	e.phiPows = make([][]complex128, len(e.thetas))
+	for i, th := range e.thetas {
+		e.phiPows[i] = geometricSeries(Phi(th, p.Array, p.Band), p.SubarrayAntennas)
+	}
+	e.omegaPows = make([][]complex128, len(e.taus))
+	for j, tau := range e.taus {
+		e.omegaPows[j] = geometricSeries(Omega(tau, p.Band), p.SubarraySubcarriers)
+	}
+	return e, nil
+}
+
+// Params returns the estimator configuration.
+func (e *Estimator) Params() Params { return e.p }
+
+// EstimatePaths returns the multipath (AoA, ToF) estimates for one CSI
+// matrix: Algorithm 2 lines 4–7. Estimates are sorted by descending
+// spectrum power. The number of returned paths is the estimated signal
+// subspace dimension (≤ MaxPaths).
+func (e *Estimator) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
+	spec, dim, err := e.spectrum(c)
+	if err != nil {
+		return nil, err
+	}
+	peaks := findPeaks2D(spec, dim)
+	return peaks, nil
+}
+
+// Spectrum evaluates the full 2-D pseudo-spectrum for one CSI matrix. It is
+// what CUPID-style max-power selection and diagnostics consume.
+func (e *Estimator) Spectrum(c *csi.Matrix) (*Spectrum, error) {
+	spec, _, err := e.spectrum(c)
+	return spec, err
+}
+
+func (e *Estimator) spectrum(c *csi.Matrix) (*Spectrum, int, error) {
+	if err := c.Validate(); err != nil {
+		return nil, 0, err
+	}
+	if c.Antennas() != e.p.Array.Antennas || c.Subcarriers() != e.p.Band.Subcarriers {
+		return nil, 0, fmt.Errorf("music: CSI is %dx%d, estimator expects %dx%d",
+			c.Antennas(), c.Subcarriers(), e.p.Array.Antennas, e.p.Band.Subcarriers)
+	}
+	x := SmoothCSI(c, e.p.SubarrayAntennas, e.p.SubarraySubcarriers)
+	r := x.Gram()
+	eig, err := cmat.EigHermitian(r)
+	if err != nil {
+		return nil, 0, fmt.Errorf("music: covariance eigendecomposition: %w", err)
+	}
+	dim := eig.SignalDimension(e.p.EigenThreshold, e.p.MaxPaths)
+	en := eig.NoiseSubspace(e.p.EigenThreshold, e.p.MaxPaths)
+	if en == nil {
+		return nil, 0, fmt.Errorf("music: empty noise subspace")
+	}
+	proj := en.Mul(en.ConjTranspose()) // E_N·E_Nᴴ
+
+	spec := &Spectrum{Thetas: e.thetas, Taus: e.taus, P: make([][]float64, len(e.thetas))}
+	for i := range spec.P {
+		spec.P[i] = make([]float64, len(e.taus))
+	}
+
+	// Exploit the Kronecker structure a(θ,τ) = p(θ) ⊗ o(τ): partition the
+	// projector into subAnt² blocks of size subSub×subSub; then
+	// aᴴ·proj·a = Σ_a q_aa + 2·Re Σ_{a<b} conj(p_a)·p_b·q_ab with
+	// q_ab = o(τ)ᴴ·proj_ab·o(τ). The q_ab are computed once per τ, making
+	// the θ sweep O(1) per point instead of O((subAnt·subSub)²).
+	subAnt, subSub := e.p.SubarrayAntennas, e.p.SubarraySubcarriers
+	nblk := subAnt * (subAnt + 1) / 2
+	q := make([]complex128, nblk)
+	for j := range e.taus {
+		o := e.omegaPows[j]
+		bi := 0
+		for a := 0; a < subAnt; a++ {
+			for b := a; b < subAnt; b++ {
+				q[bi] = blockQuadraticForm(proj, a, b, subSub, o)
+				bi++
+			}
+		}
+		for i := range e.thetas {
+			p := e.phiPows[i]
+			var denom float64
+			bi = 0
+			for a := 0; a < subAnt; a++ {
+				for b := a; b < subAnt; b++ {
+					if a == b {
+						denom += real(q[bi])
+					} else {
+						denom += 2 * real(cmplx.Conj(p[a])*p[b]*q[bi])
+					}
+					bi++
+				}
+			}
+			if denom < 1e-18 {
+				denom = 1e-18
+			}
+			spec.P[i][j] = 1 / denom
+		}
+	}
+	return spec, dim, nil
+}
+
+// blockQuadraticForm computes oᴴ·proj[a·n:(a+1)·n][b·n:(b+1)·n]·o.
+func blockQuadraticForm(proj *cmat.Matrix, a, b, n int, o []complex128) complex128 {
+	var sum complex128
+	rowOff, colOff := a*n, b*n
+	for r := 0; r < n; r++ {
+		var inner complex128
+		for c := 0; c < n; c++ {
+			inner += proj.At(rowOff+r, colOff+c) * o[c]
+		}
+		sum += cmplx.Conj(o[r]) * inner
+	}
+	return sum
+}
+
+// findPeaks2D locates local maxima of the pseudo-spectrum, refines them
+// with per-axis quadratic interpolation, and returns the top count peaks
+// by power. Grid-edge cells are excluded: a maximum at the ±90° AoA edge
+// (array endfire, where a ULA has no resolution) or at the ToF search
+// boundary is a truncation artifact, not a resolvable path, and its
+// packet-to-packet repeatability would otherwise fabricate a spuriously
+// tight cluster.
+func findPeaks2D(spec *Spectrum, count int) []PathEstimate {
+	ni, nj := len(spec.Thetas), len(spec.Taus)
+	var peaks []PathEstimate
+	for i := 1; i < ni-1; i++ {
+		for j := 1; j < nj-1; j++ {
+			v := spec.P[i][j]
+			isPeak := true
+			for di := -1; di <= 1 && isPeak; di++ {
+				for dj := -1; dj <= 1; dj++ {
+					if di == 0 && dj == 0 {
+						continue
+					}
+					if spec.P[i+di][j+dj] > v {
+						isPeak = false
+						break
+					}
+				}
+			}
+			if !isPeak {
+				continue
+			}
+			theta := refineAxis(spec.Thetas, i, func(k int) float64 { return spec.P[k][j] })
+			tau := refineAxis(spec.Taus, j, func(k int) float64 { return spec.P[i][k] })
+			peaks = append(peaks, PathEstimate{AoA: theta, ToF: tau, Power: v})
+		}
+	}
+	sort.Slice(peaks, func(a, b int) bool { return peaks[a].Power > peaks[b].Power })
+	peaks = dedupePeaks(peaks, spec)
+	if len(peaks) > count {
+		peaks = peaks[:count]
+	}
+	return peaks
+}
+
+// dedupePeaks drops peaks that sit within one grid cell of a stronger one
+// (plateaus produce runs of equal-valued "peaks").
+func dedupePeaks(peaks []PathEstimate, spec *Spectrum) []PathEstimate {
+	if len(peaks) < 2 {
+		return peaks
+	}
+	dTheta := spec.Thetas[1] - spec.Thetas[0]
+	dTau := spec.Taus[1] - spec.Taus[0]
+	var out []PathEstimate
+	for _, p := range peaks {
+		dup := false
+		for _, kept := range out {
+			if math.Abs(p.AoA-kept.AoA) <= 1.5*dTheta && math.Abs(p.ToF-kept.ToF) <= 1.5*dTau {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// refineAxis fits a parabola through the peak sample and its two axis
+// neighbors and returns the interpolated abscissa of the maximum.
+func refineAxis(grid []float64, idx int, val func(int) float64) float64 {
+	if idx <= 0 || idx >= len(grid)-1 {
+		return grid[idx]
+	}
+	ym, y0, yp := val(idx-1), val(idx), val(idx+1)
+	den := ym - 2*y0 + yp
+	if den >= 0 || math.Abs(den) < 1e-30 {
+		return grid[idx]
+	}
+	delta := 0.5 * (ym - yp) / den
+	if delta > 0.5 {
+		delta = 0.5
+	} else if delta < -0.5 {
+		delta = -0.5
+	}
+	step := grid[1] - grid[0]
+	return grid[idx] + delta*step
+}

@@ -1,0 +1,76 @@
+package music
+
+import (
+	"math"
+	"math/cmplx"
+
+	"spotfi/internal/cmat"
+	"spotfi/internal/csi"
+	"spotfi/internal/rf"
+)
+
+// Phi returns Φ(θ) = exp(−j·2π·d·sin(θ)·f/c), the phase factor between
+// adjacent antennas for a path arriving at angle θ (Eq. 1).
+func Phi(theta float64, array rf.Array, band rf.Band) complex128 {
+	return cmplx.Exp(complex(0, -2*math.Pi*array.SpacingM*math.Sin(theta)*band.CarrierHz/rf.SpeedOfLight))
+}
+
+// Omega returns Ω(τ) = exp(−j·2π·f_δ·τ), the phase factor between adjacent
+// subcarriers for a path with time of flight τ (Eq. 6).
+func Omega(tof float64, band rf.Band) complex128 {
+	return cmplx.Exp(complex(0, -2*math.Pi*band.SubcarrierSpacingHz*tof))
+}
+
+// SteeringVector evaluates the joint steering vector ā(θ, τ) of Eq. 7 for a
+// (sub)array of antennas × subcarriers sensors, antenna-major:
+// element (a·subcarriers + s) = Φ(θ)^a · Ω(τ)^s.
+func SteeringVector(theta, tof float64, antennas, subcarriers int, array rf.Array, band rf.Band) []complex128 {
+	phi := Phi(theta, array, band)
+	omega := Omega(tof, band)
+	phiPow := geometricSeries(phi, antennas)
+	omegaPow := geometricSeries(omega, subcarriers)
+	return cmat.Kron(phiPow, omegaPow)
+}
+
+// geometricSeries returns [1, z, z², …, z^(n−1)].
+func geometricSeries(z complex128, n int) []complex128 {
+	out := make([]complex128, n)
+	acc := complex(1, 0)
+	for i := 0; i < n; i++ {
+		out[i] = acc
+		acc *= z
+	}
+	return out
+}
+
+// SmoothCSI builds the smoothed CSI measurement matrix of Fig. 4: rows are
+// the sensors of a subAnt×subSub window (antenna-major), columns are all
+// shifted placements of that window inside the full antennas×subcarriers
+// grid. For the paper's 3×30 system with a 2×15 window this yields a 30×32
+// matrix whose columns are independent linear combinations of the same
+// steering vectors, which is what lets MUSIC resolve more paths than
+// antennas.
+func SmoothCSI(c *csi.Matrix, subAnt, subSub int) *cmat.Matrix {
+	m, n := c.Antennas(), c.Subcarriers()
+	antShifts := m - subAnt + 1
+	subShifts := n - subSub + 1
+	if antShifts < 1 || subShifts < 1 {
+		panic("music: smoothing window larger than CSI matrix")
+	}
+	rows := subAnt * subSub
+	cols := antShifts * subShifts
+	x := cmat.New(rows, cols)
+	col := 0
+	for b := 0; b < antShifts; b++ {
+		for t := 0; t < subShifts; t++ {
+			for a := 0; a < subAnt; a++ {
+				src := c.Values[a+b]
+				for s := 0; s < subSub; s++ {
+					x.Set(a*subSub+s, col, src[s+t])
+				}
+			}
+			col++
+		}
+	}
+	return x
+}

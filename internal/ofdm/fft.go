@@ -1,0 +1,65 @@
+// Package ofdm implements the slice of an 802.11n OFDM physical layer that
+// produces CSI: training-symbol modulation, a multipath channel applied to
+// time-domain samples, correlation-based packet detection, and LTF-based
+// channel estimation. It exists to ground the simulator: instead of
+// evaluating the channel model directly (internal/sim), CSI can be derived
+// exactly the way a NIC derives it — detect the preamble, FFT the training
+// symbol, divide by the known sequence — so sampling-time offset emerges
+// from the detector rather than being injected.
+package ofdm
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"math/cmplx"
+)
+
+// FFT computes the in-place radix-2 decimation-in-time FFT of x, whose
+// length must be a power of two. The forward transform uses the e^{−j2πkn/N}
+// convention.
+func FFT(x []complex128) error { return transform(x, false) }
+
+// IFFT computes the inverse FFT in place (including the 1/N scaling).
+func IFFT(x []complex128) error { return transform(x, true) }
+
+func transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("ofdm: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if j > i {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := cmplx.Exp(complex(0, ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	if inverse {
+		inv := complex(1/float64(n), 0)
+		for i := range x {
+			x[i] *= inv
+		}
+	}
+	return nil
+}

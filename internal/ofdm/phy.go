@@ -1,0 +1,280 @@
+package ofdm
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+)
+
+// PHY holds the OFDM numerology of the simulated 40 MHz channel.
+type PHY struct {
+	// FFTSize is the transform length (128 for 40 MHz 802.11n).
+	FFTSize int
+	// SampleRateHz is the complex baseband sampling rate (= bandwidth).
+	SampleRateHz float64
+	// CPLen is the cyclic prefix length in samples.
+	CPLen int
+	// UsedBins lists the FFT bin index (0..FFTSize-1, DC = 0, negative
+	// frequencies in the upper half) of each reported subcarrier, in
+	// reporting order.
+	UsedBins []int
+	// LTF is the known training value (±1) on each reported subcarrier.
+	LTF []complex128
+}
+
+// Default40MHz returns the numerology matching rf.DefaultBand(): a 128-bin
+// FFT at 40 MHz (312.5 kHz bin spacing) with 30 reported subcarriers every
+// 4th bin (1.25 MHz apart), centered on DC — the Intel 5300 reporting
+// grid.
+func Default40MHz() *PHY {
+	p := &PHY{
+		FFTSize:      128,
+		SampleRateHz: 40e6,
+		CPLen:        32,
+	}
+	// 30 bins spaced 4 apart centered on the carrier: offsets −58, −54, …,
+	// −2, +2, …, +58. The uniform step-4 grid skips DC naturally (no
+	// offset lands on bin 0).
+	for i := 0; i < 30; i++ {
+		off := -58 + 4*i
+		bin := off
+		if bin < 0 {
+			bin += p.FFTSize
+		}
+		p.UsedBins = append(p.UsedBins, bin)
+	}
+	// Deterministic ±1 training sequence.
+	rng := rand.New(rand.NewSource(0x5F37))
+	p.LTF = make([]complex128, len(p.UsedBins))
+	for i := range p.LTF {
+		if rng.Intn(2) == 0 {
+			p.LTF[i] = 1
+		} else {
+			p.LTF[i] = -1
+		}
+	}
+	return p
+}
+
+// Validate checks the numerology.
+func (p *PHY) Validate() error {
+	if p.FFTSize <= 0 || p.FFTSize&(p.FFTSize-1) != 0 {
+		return fmt.Errorf("ofdm: FFT size %d not a power of two", p.FFTSize)
+	}
+	if p.SampleRateHz <= 0 {
+		return fmt.Errorf("ofdm: sample rate must be positive")
+	}
+	if p.CPLen < 0 || p.CPLen >= p.FFTSize {
+		return fmt.Errorf("ofdm: cyclic prefix %d out of range", p.CPLen)
+	}
+	if len(p.UsedBins) == 0 || len(p.UsedBins) != len(p.LTF) {
+		return fmt.Errorf("ofdm: used bins (%d) and LTF (%d) mismatch", len(p.UsedBins), len(p.LTF))
+	}
+	seen := map[int]bool{}
+	for _, b := range p.UsedBins {
+		if b < 0 || b >= p.FFTSize || seen[b] {
+			return fmt.Errorf("ofdm: bad bin %d", b)
+		}
+		seen[b] = true
+	}
+	return nil
+}
+
+// SubcarrierSpacingHz returns the spacing between adjacent *reported*
+// subcarriers, assuming the reporting grid is uniform.
+func (p *PHY) SubcarrierSpacingHz() float64 {
+	if len(p.UsedBins) < 2 {
+		return p.SampleRateHz / float64(p.FFTSize)
+	}
+	// Reporting stride from the first two offsets.
+	a := p.binOffset(p.UsedBins[0])
+	b := p.binOffset(p.UsedBins[1])
+	return float64(b-a) * p.SampleRateHz / float64(p.FFTSize)
+}
+
+// binOffset maps an FFT bin index to its signed frequency offset index.
+func (p *PHY) binOffset(bin int) int {
+	if bin > p.FFTSize/2 {
+		return bin - p.FFTSize
+	}
+	return bin
+}
+
+// TrainingSymbol returns the time-domain LTF symbol with cyclic prefix:
+// CPLen+FFTSize samples.
+func (p *PHY) TrainingSymbol() ([]complex128, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	freq := make([]complex128, p.FFTSize)
+	for i, bin := range p.UsedBins {
+		freq[bin] = p.LTF[i]
+	}
+	if err := IFFT(freq); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, p.CPLen+p.FFTSize)
+	out = append(out, freq[p.FFTSize-p.CPLen:]...)
+	out = append(out, freq...)
+	return out, nil
+}
+
+// TapChannel is a time-domain multipath channel: a sparse FIR whose taps
+// have fractional-sample delays realized by windowed-sinc interpolation.
+type TapChannel struct {
+	// DelayS and Gain describe each path (absolute delay, complex gain).
+	DelayS []float64
+	Gain   []complex128
+	// SincHalfWidth is the interpolation half-width in samples (default 8).
+	SincHalfWidth int
+}
+
+// Apply convolves x with the channel at the given sample rate, returning a
+// slice long enough to hold the maximum delay plus the sinc tail. The
+// output starts at the same time origin as x.
+func (tc *TapChannel) Apply(x []complex128, sampleRate float64) ([]complex128, error) {
+	if len(tc.DelayS) != len(tc.Gain) || len(tc.DelayS) == 0 {
+		return nil, fmt.Errorf("ofdm: channel needs matching delays and gains")
+	}
+	hw := tc.SincHalfWidth
+	if hw <= 0 {
+		hw = 8
+	}
+	var maxDelay float64
+	for _, d := range tc.DelayS {
+		if d < 0 {
+			return nil, fmt.Errorf("ofdm: negative path delay")
+		}
+		if d > maxDelay {
+			maxDelay = d
+		}
+	}
+	outLen := len(x) + int(math.Ceil(maxDelay*sampleRate)) + 2*hw + 1
+	out := make([]complex128, outLen)
+	for k := range tc.DelayS {
+		ds := tc.DelayS[k] * sampleRate // delay in samples (fractional)
+		base := int(math.Floor(ds))
+		frac := ds - float64(base)
+		// Windowed-sinc taps around the fractional delay.
+		for t := -hw; t <= hw; t++ {
+			arg := float64(t) - frac
+			s := sinc(arg) * hann(arg, hw)
+			if s == 0 {
+				continue
+			}
+			g := tc.Gain[k] * complex(s, 0)
+			off := base + t
+			for n := range x {
+				idx := n + off
+				if idx < 0 || idx >= outLen {
+					continue
+				}
+				out[idx] += g * x[n]
+			}
+		}
+	}
+	return out, nil
+}
+
+func sinc(x float64) float64 {
+	if math.Abs(x) < 1e-12 {
+		return 1
+	}
+	px := math.Pi * x
+	return math.Sin(px) / px
+}
+
+func hann(x float64, hw int) float64 {
+	if math.Abs(x) > float64(hw) {
+		return 0
+	}
+	return 0.5 * (1 + math.Cos(math.Pi*x/float64(hw)))
+}
+
+// DetectPreamble cross-correlates rx with the known training symbol and
+// returns the sample index of the correlation peak — the receiver's packet
+// detection instant. searchLen bounds the search window (0 = whole rx).
+func (p *PHY) DetectPreamble(rx []complex128, searchLen int) (int, error) {
+	ref, err := p.TrainingSymbol()
+	if err != nil {
+		return 0, err
+	}
+	if len(rx) < len(ref) {
+		return 0, fmt.Errorf("ofdm: received signal shorter than the training symbol")
+	}
+	n := len(rx) - len(ref) + 1
+	if searchLen > 0 && searchLen < n {
+		n = searchLen
+	}
+	bestIdx, bestMag := 0, -1.0
+	for s := 0; s < n; s++ {
+		var acc complex128
+		for i, r := range ref {
+			acc += rx[s+i] * cmplx.Conj(r)
+		}
+		if m := cmplx.Abs(acc); m > bestMag {
+			bestIdx, bestMag = s, m
+		}
+	}
+	return bestIdx, nil
+}
+
+// EstimateCSI demodulates the training symbol starting at detectIdx and
+// returns the least-squares channel estimate at each reported subcarrier:
+// CSI[i] = FFT(rx window)[UsedBins[i]] / LTF[i]. This is exactly the
+// computation a WiFi NIC performs to produce its CSI report, so an early
+// or late detectIdx shows up as the linear phase ramp SpotFi's Algorithm 1
+// removes.
+func (p *PHY) EstimateCSI(rx []complex128, detectIdx int) ([]complex128, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	start := detectIdx + p.CPLen
+	if start < 0 || start+p.FFTSize > len(rx) {
+		return nil, fmt.Errorf("ofdm: FFT window [%d,%d) outside received signal", start, start+p.FFTSize)
+	}
+	buf := make([]complex128, p.FFTSize)
+	copy(buf, rx[start:start+p.FFTSize])
+	if err := FFT(buf); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, len(p.UsedBins))
+	for i, bin := range p.UsedBins {
+		out[i] = buf[bin] / p.LTF[i]
+	}
+	return out, nil
+}
+
+// Default20MHz returns the numerology of a 20 MHz channel paired with
+// rf.Band20MHz(): a 64-bin FFT at 20 MHz (312.5 kHz bins) with 28 reported
+// subcarriers every 2nd bin (625 kHz apart), skipping DC.
+func Default20MHz() *PHY {
+	p := &PHY{
+		FFTSize:      64,
+		SampleRateHz: 20e6,
+		CPLen:        16,
+	}
+	// Offsets −28, −26, …, −2, +2, …, +28 (28 values, DC skipped by the
+	// even grid… −28+2k hits 0 at k=14, so exclude it explicitly).
+	for off := -28; off <= 28; off += 2 {
+		if off == 0 {
+			continue
+		}
+		bin := off
+		if bin < 0 {
+			bin += p.FFTSize
+		}
+		p.UsedBins = append(p.UsedBins, bin)
+	}
+	rng := rand.New(rand.NewSource(0x20B5))
+	p.LTF = make([]complex128, len(p.UsedBins))
+	for i := range p.LTF {
+		if rng.Intn(2) == 0 {
+			p.LTF[i] = 1
+		} else {
+			p.LTF[i] = -1
+		}
+	}
+	return p
+}

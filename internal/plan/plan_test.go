@@ -1,0 +1,160 @@
+package plan
+
+import (
+	"math"
+	"testing"
+
+	"spotfi/internal/geom"
+	"spotfi/internal/locate"
+)
+
+func square4() []AP {
+	center := geom.Point{X: 5, Y: 5}
+	pos := []geom.Point{{X: 0, Y: 0}, {X: 10, Y: 0}, {X: 0, Y: 10}, {X: 10, Y: 10}}
+	aps := make([]AP, len(pos))
+	for i, p := range pos {
+		aps[i] = AP{Pos: p, NormalAngle: center.Sub(p).Angle()}
+	}
+	return aps
+}
+
+func TestExpectedErrorCenterBetterThanEdge(t *testing.T) {
+	aps := square4()
+	cfg := DefaultConfig()
+	center, err := ExpectedError(geom.Point{X: 5, Y: 5}, aps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	edge, err := ExpectedError(geom.Point{X: 9.4, Y: 5}, aps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.IsInf(center, 1) || center <= 0 {
+		t.Fatalf("center bound = %v", center)
+	}
+	if center >= edge {
+		t.Fatalf("center (%v) should beat edge (%v)", center, edge)
+	}
+}
+
+func TestExpectedErrorScalesWithAoAStd(t *testing.T) {
+	aps := square4()
+	p := geom.Point{X: 5, Y: 5}
+	a := DefaultConfig()
+	b := a
+	b.AoAStdRad = 2 * a.AoAStdRad
+	ea, _ := ExpectedError(p, aps, a)
+	eb, _ := ExpectedError(p, aps, b)
+	if math.Abs(eb-2*ea) > 1e-9*ea {
+		t.Fatalf("CRLB should scale linearly with σ: %v vs %v", eb, 2*ea)
+	}
+}
+
+func TestExpectedErrorCollinearUnobservable(t *testing.T) {
+	// Two APs and the target on one line: bearings are parallel.
+	aps := []AP{
+		{Pos: geom.Point{X: 0, Y: 0}, NormalAngle: 0},
+		{Pos: geom.Point{X: 2, Y: 0}, NormalAngle: 0},
+	}
+	e, err := ExpectedError(geom.Point{X: 10, Y: 0}, aps, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(e, 1) {
+		t.Fatalf("collinear geometry should be unobservable, got %v", e)
+	}
+}
+
+func TestExpectedErrorSingleAPUnobservable(t *testing.T) {
+	aps := []AP{{Pos: geom.Point{X: 0, Y: 0}, NormalAngle: 0}}
+	e, err := ExpectedError(geom.Point{X: 5, Y: 1}, aps, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(e, 1) {
+		t.Fatalf("single AP should be unobservable, got %v", e)
+	}
+}
+
+func TestExpectedErrorRangeAndEndfireFilters(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.MaxRange = 5
+	aps := square4() // all ≈7.07 m from center: everything filtered
+	e, err := ExpectedError(geom.Point{X: 5, Y: 5}, aps, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(e, 1) {
+		t.Fatalf("out-of-range APs should not contribute, got %v", e)
+	}
+	// Endfire: APs facing away from the point.
+	cfg = DefaultConfig()
+	cfg.EndfireLimitRad = geom.Rad(30)
+	backwards := []AP{
+		{Pos: geom.Point{X: 0, Y: 0}, NormalAngle: math.Pi}, // faces −X, target at +X
+		{Pos: geom.Point{X: 10, Y: 0}, NormalAngle: 0},      // faces +X, target behind
+	}
+	e, err = ExpectedError(geom.Point{X: 5, Y: 2}, backwards, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(e, 1) {
+		t.Fatalf("endfire bearings should be dropped, got %v", e)
+	}
+}
+
+func TestExpectedErrorMoreAPsBetter(t *testing.T) {
+	p := geom.Point{X: 5, Y: 5}
+	cfg := DefaultConfig()
+	e4, _ := ExpectedError(p, square4(), cfg)
+	aps6 := append(square4(),
+		AP{Pos: geom.Point{X: 5, Y: 0}, NormalAngle: math.Pi / 2},
+		AP{Pos: geom.Point{X: 5, Y: 10}, NormalAngle: -math.Pi / 2})
+	e6, _ := ExpectedError(p, aps6, cfg)
+	if e6 >= e4 {
+		t.Fatalf("6 APs (%v) should beat 4 (%v)", e6, e4)
+	}
+}
+
+func TestEvaluateCoverageMap(t *testing.T) {
+	bounds := locate.Bounds{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	cm, err := Evaluate(bounds, 1, square4(), DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cm.Xs) != 10 || len(cm.Ys) != 10 || len(cm.Err) != 10 {
+		t.Fatalf("grid %dx%d", len(cm.Xs), len(cm.Ys))
+	}
+	frac, med := cm.Summary(1.0)
+	if frac <= 0.5 {
+		t.Fatalf("coverage fraction %v too low for a square deployment", frac)
+	}
+	if math.IsNaN(med) || med <= 0 {
+		t.Fatalf("median expected error %v", med)
+	}
+	at, worst := cm.WorstCovered()
+	if worst <= 0 || math.IsInf(worst, 1) {
+		t.Fatalf("worst = %v", worst)
+	}
+	if !bounds.Contains(at) {
+		t.Fatalf("worst point %v outside bounds", at)
+	}
+}
+
+func TestEvaluateErrors(t *testing.T) {
+	bounds := locate.Bounds{MinX: 0, MinY: 0, MaxX: 10, MaxY: 10}
+	if _, err := Evaluate(bounds, 0, square4(), DefaultConfig()); err == nil {
+		t.Fatal("zero step accepted")
+	}
+	if _, err := Evaluate(locate.Bounds{}, 1, square4(), DefaultConfig()); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+	if _, err := Evaluate(bounds, 1, square4()[:1], DefaultConfig()); err == nil {
+		t.Fatal("single AP accepted")
+	}
+	bad := DefaultConfig()
+	bad.AoAStdRad = 0
+	if _, err := Evaluate(bounds, 1, square4(), bad); err == nil {
+		t.Fatal("zero sigma accepted")
+	}
+}

@@ -1,0 +1,189 @@
+// Package rf collects the radio constants and propagation models shared by
+// the SpotFi simulator and estimators: the 5 GHz WiFi channelization the
+// Intel 5300 prototype used, antenna-array geometry, and the log-distance
+// path loss model the localization stage fits to RSSI.
+package rf
+
+import (
+	"fmt"
+	"math"
+)
+
+// SpeedOfLight is the propagation speed in m/s.
+const SpeedOfLight = 299792458.0
+
+// Intel 5300 prototype parameters from the paper (Sec. 4.1): 3 antennas,
+// CSI reported on 30 subcarriers of a 40 MHz channel in the 5 GHz band,
+// 8-bit quantization per I/Q component.
+const (
+	// DefaultAntennas is the number of antennas on a commodity AP.
+	DefaultAntennas = 3
+	// DefaultSubcarriers is the number of subcarriers with reported CSI.
+	DefaultSubcarriers = 30
+	// DefaultBandwidthHz is the channel bandwidth.
+	DefaultBandwidthHz = 40e6
+	// DefaultCarrierHz is a 5 GHz-band carrier (channel 100).
+	DefaultCarrierHz = 5.5e9
+)
+
+// Band describes the OFDM measurement grid on which CSI is reported.
+type Band struct {
+	// CarrierHz is the channel center frequency.
+	CarrierHz float64
+	// SubcarrierSpacingHz is the spacing f_δ between two consecutive
+	// *reported* subcarriers. The Intel 5300 reports every 4th subcarrier
+	// of a 40 MHz channel (116 data subcarriers → 30 reported), so the
+	// effective spacing is 4 × 312.5 kHz = 1.25 MHz.
+	SubcarrierSpacingHz float64
+	// Subcarriers is the number of reported subcarriers.
+	Subcarriers int
+}
+
+// DefaultBand returns the measurement grid of the paper's prototype.
+func DefaultBand() Band {
+	return Band{
+		CarrierHz:           DefaultCarrierHz,
+		SubcarrierSpacingHz: 4 * 312.5e3,
+		Subcarriers:         DefaultSubcarriers,
+	}
+}
+
+// Band20MHz returns a 20 MHz-channel measurement grid: 28 reported
+// subcarriers at 625 kHz spacing (every other data subcarrier of a 64-bin
+// FFT). Nothing in the pipeline assumes the 40 MHz grid; this band
+// exercises that.
+func Band20MHz() Band {
+	return Band{
+		CarrierHz:           DefaultCarrierHz,
+		SubcarrierSpacingHz: 2 * 312.5e3,
+		Subcarriers:         28,
+	}
+}
+
+// Wavelength returns the carrier wavelength in meters.
+func (b Band) Wavelength() float64 { return SpeedOfLight / b.CarrierHz }
+
+// SubcarrierHz returns the absolute frequency of reported subcarrier n
+// (0-based), with the grid centered on the carrier.
+func (b Band) SubcarrierHz(n int) float64 {
+	offset := (float64(n) - float64(b.Subcarriers-1)/2) * b.SubcarrierSpacingHz
+	return b.CarrierHz + offset
+}
+
+// UnambiguousToF returns the ToF span (seconds) beyond which the phase
+// ramp across subcarriers aliases: 1/f_δ. With 1.25 MHz spacing this is
+// 800 ns — far beyond indoor path delays.
+func (b Band) UnambiguousToF() float64 { return 1 / b.SubcarrierSpacingHz }
+
+// Validate reports whether the band parameters are physically sensible.
+func (b Band) Validate() error {
+	if b.CarrierHz <= 0 {
+		return fmt.Errorf("rf: carrier frequency %v Hz must be positive", b.CarrierHz)
+	}
+	if b.SubcarrierSpacingHz <= 0 {
+		return fmt.Errorf("rf: subcarrier spacing %v Hz must be positive", b.SubcarrierSpacingHz)
+	}
+	if b.Subcarriers < 2 {
+		return fmt.Errorf("rf: need at least 2 subcarriers, got %d", b.Subcarriers)
+	}
+	return nil
+}
+
+// Array describes a uniform linear antenna array (Fig. 2 of the paper).
+type Array struct {
+	// Antennas is the number of elements.
+	Antennas int
+	// SpacingM is the inter-element spacing in meters. SpotFi deployments
+	// use half-wavelength spacing.
+	SpacingM float64
+}
+
+// DefaultArray returns a 3-element half-wavelength array for the band.
+func DefaultArray(b Band) Array {
+	return Array{Antennas: DefaultAntennas, SpacingM: b.Wavelength() / 2}
+}
+
+// Validate reports whether the array parameters are sensible.
+func (a Array) Validate() error {
+	if a.Antennas < 2 {
+		return fmt.Errorf("rf: need at least 2 antennas, got %d", a.Antennas)
+	}
+	if a.SpacingM <= 0 {
+		return fmt.Errorf("rf: antenna spacing %v m must be positive", a.SpacingM)
+	}
+	return nil
+}
+
+// PathLoss is the standard log-distance path loss model the paper's
+// localization stage assumes (Sec. 3.3, citing Goldsmith): received power
+// in dBm at distance d is P(d) = P0 − 10·n·log10(d/d0).
+type PathLoss struct {
+	// P0dBm is the received power at the reference distance.
+	P0dBm float64
+	// Exponent is the path loss exponent n (≈2 free space, 3–4 indoors).
+	Exponent float64
+	// RefDistM is the reference distance d0 in meters.
+	RefDistM float64
+}
+
+// DefaultPathLoss returns parameters typical of a 5 GHz indoor link.
+func DefaultPathLoss() PathLoss {
+	return PathLoss{P0dBm: -38, Exponent: 3.0, RefDistM: 1}
+}
+
+// RSSIdBm predicts the RSSI at distance d meters. Distances below the
+// reference distance are clamped to it.
+func (m PathLoss) RSSIdBm(d float64) float64 {
+	if d < m.RefDistM {
+		d = m.RefDistM
+	}
+	return m.P0dBm - 10*m.Exponent*math.Log10(d/m.RefDistM)
+}
+
+// Distance inverts the model: the distance in meters at which the model
+// predicts rssi dBm.
+func (m PathLoss) Distance(rssi float64) float64 {
+	return m.RefDistM * math.Pow(10, (m.P0dBm-rssi)/(10*m.Exponent))
+}
+
+// FitPathLoss estimates (P0, n) by least squares from paired observations
+// of distance (m) and RSSI (dBm), holding RefDistM at refDist. It needs at
+// least two distinct distances; otherwise it returns an error.
+func FitPathLoss(dists, rssis []float64, refDist float64) (PathLoss, error) {
+	if len(dists) != len(rssis) || len(dists) < 2 {
+		return PathLoss{}, fmt.Errorf("rf: FitPathLoss needs ≥2 paired samples, got %d/%d", len(dists), len(rssis))
+	}
+	// Linear regression of rssi on x = −10·log10(d/d0).
+	var sx, sy, sxx, sxy float64
+	n := float64(len(dists))
+	for i, d := range dists {
+		if d < refDist {
+			d = refDist
+		}
+		x := -10 * math.Log10(d/refDist)
+		y := rssis[i]
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	den := n*sxx - sx*sx
+	if math.Abs(den) < 1e-12 {
+		return PathLoss{}, fmt.Errorf("rf: FitPathLoss needs distinct distances")
+	}
+	slope := (n*sxy - sx*sy) / den // = exponent
+	inter := (sy - slope*sx) / n   // = P0
+	return PathLoss{P0dBm: inter, Exponent: slope, RefDistM: refDist}, nil
+}
+
+// DBmToMilliwatt converts dBm to linear milliwatts.
+func DBmToMilliwatt(dbm float64) float64 { return math.Pow(10, dbm/10) }
+
+// MilliwattToDBm converts linear milliwatts to dBm. Non-positive power
+// maps to −∞ guarded at −200 dBm.
+func MilliwattToDBm(mw float64) float64 {
+	if mw <= 0 {
+		return -200
+	}
+	return 10 * math.Log10(mw)
+}

@@ -1,0 +1,223 @@
+package rf
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultBandGrid(t *testing.T) {
+	b := DefaultBand()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 30 subcarriers centered on the carrier: mean frequency == carrier.
+	var sum float64
+	for n := 0; n < b.Subcarriers; n++ {
+		sum += b.SubcarrierHz(n)
+	}
+	mean := sum / float64(b.Subcarriers)
+	if math.Abs(mean-b.CarrierHz) > 1 {
+		t.Fatalf("subcarrier grid mean %v, want carrier %v", mean, b.CarrierHz)
+	}
+	// Consecutive spacing equals f_δ.
+	if d := b.SubcarrierHz(1) - b.SubcarrierHz(0); math.Abs(d-b.SubcarrierSpacingHz) > 1e-6 {
+		t.Fatalf("grid spacing %v, want %v", d, b.SubcarrierSpacingHz)
+	}
+}
+
+func TestWavelength(t *testing.T) {
+	b := DefaultBand()
+	got := b.Wavelength()
+	want := SpeedOfLight / b.CarrierHz
+	if math.Abs(got-want) > 1e-12 {
+		t.Fatalf("wavelength = %v, want %v", got, want)
+	}
+	if got < 0.05 || got > 0.06 {
+		t.Fatalf("5 GHz wavelength should be ≈5.45 cm, got %v m", got)
+	}
+}
+
+func TestUnambiguousToF(t *testing.T) {
+	b := DefaultBand()
+	if got := b.UnambiguousToF(); math.Abs(got-800e-9) > 1e-12 {
+		t.Fatalf("unambiguous ToF = %v, want 800 ns", got)
+	}
+}
+
+func TestBandValidate(t *testing.T) {
+	cases := []Band{
+		{CarrierHz: 0, SubcarrierSpacingHz: 1, Subcarriers: 2},
+		{CarrierHz: 1, SubcarrierSpacingHz: 0, Subcarriers: 2},
+		{CarrierHz: 1, SubcarrierSpacingHz: 1, Subcarriers: 1},
+	}
+	for i, b := range cases {
+		if err := b.Validate(); err == nil {
+			t.Fatalf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestDefaultArrayHalfWavelength(t *testing.T) {
+	b := DefaultBand()
+	a := DefaultArray(b)
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(a.SpacingM-b.Wavelength()/2) > 1e-15 {
+		t.Fatalf("spacing = %v, want λ/2 = %v", a.SpacingM, b.Wavelength()/2)
+	}
+	if a.Antennas != 3 {
+		t.Fatalf("antennas = %d, want 3", a.Antennas)
+	}
+}
+
+func TestArrayValidate(t *testing.T) {
+	if err := (Array{Antennas: 1, SpacingM: 0.02}).Validate(); err == nil {
+		t.Fatal("1-antenna array should fail validation")
+	}
+	if err := (Array{Antennas: 3, SpacingM: 0}).Validate(); err == nil {
+		t.Fatal("zero spacing should fail validation")
+	}
+}
+
+func TestPathLossMonotone(t *testing.T) {
+	m := DefaultPathLoss()
+	prev := m.RSSIdBm(1)
+	for d := 2.0; d <= 64; d *= 2 {
+		cur := m.RSSIdBm(d)
+		if cur >= prev {
+			t.Fatalf("RSSI not decreasing: %v dBm at %v m after %v dBm", cur, d, prev)
+		}
+		prev = cur
+	}
+}
+
+func TestPathLossReferenceClamp(t *testing.T) {
+	m := DefaultPathLoss()
+	if m.RSSIdBm(0.01) != m.P0dBm {
+		t.Fatalf("sub-reference distance should clamp to P0, got %v", m.RSSIdBm(0.01))
+	}
+}
+
+func TestPathLossDistanceInverse(t *testing.T) {
+	m := DefaultPathLoss()
+	for _, d := range []float64{1, 2.5, 7, 30} {
+		back := m.Distance(m.RSSIdBm(d))
+		if math.Abs(back-d) > 1e-9*d {
+			t.Fatalf("Distance(RSSI(%v)) = %v", d, back)
+		}
+	}
+}
+
+func TestPathLossTenXDistanceCostsTenNdB(t *testing.T) {
+	m := PathLoss{P0dBm: -40, Exponent: 3, RefDistM: 1}
+	drop := m.RSSIdBm(1) - m.RSSIdBm(10)
+	if math.Abs(drop-30) > 1e-9 {
+		t.Fatalf("10x distance should cost 10·n = 30 dB, got %v", drop)
+	}
+}
+
+func TestFitPathLossRecoversModel(t *testing.T) {
+	truth := PathLoss{P0dBm: -35, Exponent: 2.7, RefDistM: 1}
+	var dists, rssis []float64
+	for d := 1.0; d <= 20; d += 0.5 {
+		dists = append(dists, d)
+		rssis = append(rssis, truth.RSSIdBm(d))
+	}
+	got, err := FitPathLoss(dists, rssis, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.P0dBm-truth.P0dBm) > 1e-9 || math.Abs(got.Exponent-truth.Exponent) > 1e-9 {
+		t.Fatalf("fit = %+v, want %+v", got, truth)
+	}
+}
+
+func TestFitPathLossNoisyStillClose(t *testing.T) {
+	truth := PathLoss{P0dBm: -35, Exponent: 3.2, RefDistM: 1}
+	rng := rand.New(rand.NewSource(4))
+	var dists, rssis []float64
+	for i := 0; i < 200; i++ {
+		d := 1 + 19*rng.Float64()
+		dists = append(dists, d)
+		rssis = append(rssis, truth.RSSIdBm(d)+rng.NormFloat64()*2)
+	}
+	got, err := FitPathLoss(dists, rssis, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got.Exponent-truth.Exponent) > 0.3 {
+		t.Fatalf("noisy fit exponent %v too far from %v", got.Exponent, truth.Exponent)
+	}
+}
+
+func TestFitPathLossErrors(t *testing.T) {
+	if _, err := FitPathLoss([]float64{1}, []float64{-40}, 1); err == nil {
+		t.Fatal("single sample should error")
+	}
+	if _, err := FitPathLoss([]float64{5, 5, 5}, []float64{-40, -41, -42}, 1); err == nil {
+		t.Fatal("identical distances should error")
+	}
+	if _, err := FitPathLoss([]float64{1, 2}, []float64{-40}, 1); err == nil {
+		t.Fatal("length mismatch should error")
+	}
+}
+
+func TestDBmConversions(t *testing.T) {
+	if mw := DBmToMilliwatt(0); math.Abs(mw-1) > 1e-12 {
+		t.Fatalf("0 dBm = %v mW, want 1", mw)
+	}
+	if mw := DBmToMilliwatt(30); math.Abs(mw-1000) > 1e-9 {
+		t.Fatalf("30 dBm = %v mW, want 1000", mw)
+	}
+	if dbm := MilliwattToDBm(1); math.Abs(dbm) > 1e-12 {
+		t.Fatalf("1 mW = %v dBm, want 0", dbm)
+	}
+	if dbm := MilliwattToDBm(0); dbm != -200 {
+		t.Fatalf("0 mW should guard at -200 dBm, got %v", dbm)
+	}
+}
+
+func TestQuickDBmRoundTrip(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(5))}
+	f := func(x float64) bool {
+		dbm := math.Mod(x, 100) // plausible range
+		back := MilliwattToDBm(DBmToMilliwatt(dbm))
+		return math.Abs(back-dbm) < 1e-9
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickPathLossInverse(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 100, Rand: rand.New(rand.NewSource(6))}
+	m := DefaultPathLoss()
+	f := func(x float64) bool {
+		d := 1 + math.Abs(math.Mod(x, 50))
+		back := m.Distance(m.RSSIdBm(d))
+		return math.Abs(back-d) < 1e-6*d
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBand20MHz(t *testing.T) {
+	b := Band20MHz()
+	if err := b.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if b.Subcarriers != 28 {
+		t.Fatalf("subcarriers = %d", b.Subcarriers)
+	}
+	if math.Abs(b.SubcarrierSpacingHz-625e3) > 1e-6 {
+		t.Fatalf("spacing = %v", b.SubcarrierSpacingHz)
+	}
+	// Narrower aperture ⇒ longer unambiguous ToF span than the 40 MHz grid.
+	if b.UnambiguousToF() <= DefaultBand().UnambiguousToF() {
+		t.Fatal("20 MHz grid should have a longer unambiguous ToF span")
+	}
+}

@@ -1,0 +1,105 @@
+// Package sanitize implements SpotFi's ToF sanitization (Algorithm 1,
+// Sec. 3.2.2): it removes the linear-in-frequency phase that sampling time
+// offset (STO) and packet detection delay add to every path's CSI. After
+// sanitization the modified CSI phase is invariant to the per-packet STO,
+// so ToF estimates become comparable across packets — the property the
+// clustering stage depends on.
+package sanitize
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+
+	"spotfi/internal/csi"
+)
+
+// Result reports what sanitization removed.
+type Result struct {
+	// STOEstimate is the fitted sampling time offset τ̂_s in seconds:
+	// the common linear slope of the unwrapped phase across subcarriers,
+	// divided by −2π·f_δ. Note it absorbs the mean path delay too; only
+	// its packet-to-packet variation is meaningful.
+	STOEstimate float64
+	// InterceptRad is the fitted common phase intercept β.
+	InterceptRad float64
+}
+
+// ToF removes the best common linear fit (in subcarrier index) of the
+// unwrapped CSI phase from every antenna, in place, and returns the fit.
+// subcarrierSpacingHz converts the fitted slope to seconds.
+//
+// The fit is
+//
+//	τ̂_s = argmin_ρ Σ_{m,n} (ψ(m,n) + 2π·f_δ·n·ρ + β)²
+//
+// exactly as in Algorithm 1 (with n 0-based), and the correction applied is
+// ψ̂(m,n) = ψ(m,n) + 2π·f_δ·n·τ̂_s. The magnitude of each CSI entry is
+// untouched.
+func ToF(c *csi.Matrix, subcarrierSpacingHz float64) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{}, err
+	}
+	if subcarrierSpacingHz <= 0 {
+		return Result{}, fmt.Errorf("sanitize: subcarrier spacing %v must be positive", subcarrierSpacingHz)
+	}
+	m := c.Antennas()
+	n := c.Subcarriers()
+	if n < 2 {
+		return Result{}, fmt.Errorf("sanitize: need ≥2 subcarriers, got %d", n)
+	}
+
+	// Algorithm 1 fits the common linear-in-subcarrier phase by least
+	// squares on the unwrapped phase. Unwrapping is fragile at deep
+	// multipath fades (the phase is ill-conditioned where |csi|≈0 and a
+	// branch-cut flip shifts the fitted slope packet-to-packet), so the
+	// slope is estimated in the complex domain instead: the
+	// power-weighted mean phase increment between adjacent subcarriers,
+	//
+	//	slope = arg Σ_{m,n} csi[m][n+1]·conj(csi[m][n]),
+	//
+	// which solves the same weighted least-squares objective without ever
+	// unwrapping, and down-weights faded subcarriers automatically.
+	var acc complex128
+	for a := 0; a < m; a++ {
+		row := c.Values[a]
+		for k := 0; k+1 < n; k++ {
+			acc += row[k+1] * cmplx.Conj(row[k])
+		}
+	}
+	if acc == 0 {
+		return Result{}, fmt.Errorf("sanitize: zero CSI, cannot fit STO")
+	}
+	slope := cmplx.Phase(acc)
+
+	// Intercept: mean residual phase at subcarrier 0 after slope removal
+	// (reported for completeness; the correction does not use it).
+	var icAcc complex128
+	for a := 0; a < m; a++ {
+		icAcc += c.Values[a][0]
+	}
+	intercept := cmplx.Phase(icAcc)
+
+	// slope = −2π·f_δ·τ̂_s  ⇒  τ̂_s = −slope/(2π·f_δ).
+	sto := -slope / (2 * math.Pi * subcarrierSpacingHz)
+
+	// Remove the fitted slope from the phase of every entry, preserving
+	// magnitude: multiply entry (m,n) by e^{−j·slope·n}.
+	for a := 0; a < m; a++ {
+		rot := complex(1, 0)
+		step := complex(math.Cos(-slope), math.Sin(-slope))
+		for k := 0; k < n; k++ {
+			c.Values[a][k] *= rot
+			rot *= step
+		}
+	}
+	return Result{STOEstimate: sto, InterceptRad: intercept}, nil
+}
+
+// Packet sanitizes the CSI of a packet in place.
+func Packet(p *csi.Packet, subcarrierSpacingHz float64) (Result, error) {
+	if p == nil || p.CSI == nil {
+		return Result{}, fmt.Errorf("sanitize: nil packet or CSI")
+	}
+	return ToF(p.CSI, subcarrierSpacingHz)
+}

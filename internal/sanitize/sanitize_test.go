@@ -1,0 +1,183 @@
+package sanitize
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/geom"
+	"spotfi/internal/rf"
+	"spotfi/internal/sim"
+)
+
+// applySTO adds the linear-in-subcarrier phase an STO of tau seconds
+// introduces (same across antennas), mimicking hardware.
+func applySTO(c *csi.Matrix, tau float64, band rf.Band) {
+	for a := range c.Values {
+		for n := range c.Values[a] {
+			ph := -2 * math.Pi * band.SubcarrierSpacingHz * float64(n) * tau
+			c.Values[a][n] *= cmplx.Exp(complex(0, ph))
+		}
+	}
+}
+
+func makeTwoPathCSI(band rf.Band, array rf.Array, rng *rand.Rand) *csi.Matrix {
+	env := &sim.Environment{Walls: []sim.Wall{
+		{Seg: geom.Segment{A: geom.Point{X: -50, Y: 8}, B: geom.Point{X: 50, Y: 8}}, LossDB: 10, ReflectLossDB: 6},
+	}}
+	ap := sim.AP{Pos: geom.Point{X: 0, Y: 0}, NormalAngle: math.Pi / 2}
+	link := sim.NewLink(env, ap, geom.Point{X: 5, Y: 2}, sim.DefaultLinkConfig(), rng)
+	syn, err := sim.NewSynthesizer(link, band, array, sim.CleanImpairments(), rng)
+	if err != nil {
+		panic(err)
+	}
+	return syn.NextPacket("mac").CSI
+}
+
+func TestSanitizeRemovesPureSTO(t *testing.T) {
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	rng := rand.New(rand.NewSource(51))
+	base := makeTwoPathCSI(band, array, rng)
+
+	withSTO := base.Clone()
+	const sto = 37e-9
+	applySTO(withSTO, sto, band)
+
+	cleanRes, err := ToF(base, band.SubcarrierSpacingHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stoRes, err := ToF(withSTO, band.SubcarrierSpacingHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The fitted STO difference equals the injected offset.
+	if math.Abs((stoRes.STOEstimate-cleanRes.STOEstimate)-sto) > 0.5e-9 {
+		t.Fatalf("STO estimate diff = %v ns, want 37", (stoRes.STOEstimate-cleanRes.STOEstimate)*1e9)
+	}
+	// And the sanitized matrices agree entry-by-entry (Fig. 5b property).
+	for a := range base.Values {
+		for n := range base.Values[a] {
+			if cmplx.Abs(base.Values[a][n]-withSTO.Values[a][n]) > 1e-6*cmplx.Abs(base.Values[a][n])+1e-12 {
+				t.Fatalf("sanitized CSI differs at (%d,%d): %v vs %v",
+					a, n, base.Values[a][n], withSTO.Values[a][n])
+			}
+		}
+	}
+}
+
+func TestSanitizePreservesMagnitude(t *testing.T) {
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	rng := rand.New(rand.NewSource(52))
+	c := makeTwoPathCSI(band, array, rng)
+	before := make([]float64, 0, 90)
+	for _, row := range c.Values {
+		for _, v := range row {
+			before = append(before, cmplx.Abs(v))
+		}
+	}
+	if _, err := ToF(c, band.SubcarrierSpacingHz); err != nil {
+		t.Fatal(err)
+	}
+	i := 0
+	for _, row := range c.Values {
+		for _, v := range row {
+			if math.Abs(cmplx.Abs(v)-before[i]) > 1e-9*before[i]+1e-15 {
+				t.Fatalf("magnitude changed at flat index %d", i)
+			}
+			i++
+		}
+	}
+}
+
+func TestSanitizeSinglePathFlattensPhase(t *testing.T) {
+	// One broadside path: after removing the common linear fit, the phase
+	// across subcarriers must be flat — the entire ramp was (ToF + STO).
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	c := csi.NewMatrix(array.Antennas, band.Subcarriers)
+	tof := 80e-9
+	for a := range c.Values {
+		for n := range c.Values[a] {
+			ph := -2 * math.Pi * band.SubcarrierSpacingHz * float64(n) * tof
+			c.Values[a][n] = cmplx.Exp(complex(0, ph))
+		}
+	}
+	res, err := ToF(c, band.SubcarrierSpacingHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.STOEstimate-tof) > 1e-12 {
+		t.Fatalf("fitted slope = %v ns, want 80 (the full ramp)", res.STOEstimate*1e9)
+	}
+	ref := c.Values[0][0]
+	for a := range c.Values {
+		for n := range c.Values[a] {
+			if cmplx.Abs(c.Values[a][n]-ref) > 1e-9 {
+				t.Fatalf("phase not flat at (%d,%d)", a, n)
+			}
+		}
+	}
+}
+
+func TestSanitizeMakesPacketsComparable(t *testing.T) {
+	// End-to-end Fig. 5 reproduction: two packets of the same channel with
+	// different detection delays; after sanitization their CSI matrices
+	// match up to the per-packet common carrier phase.
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	rng := rand.New(rand.NewSource(53))
+	env := &sim.Environment{}
+	link := sim.NewLink(env, sim.AP{Pos: geom.Point{X: 0, Y: 0}}, geom.Point{X: 6, Y: 2}, sim.DefaultLinkConfig(), rng)
+	imp := sim.CleanImpairments()
+	imp.DetectionDelayMaxNs = 60
+	syn, err := sim.NewSynthesizer(link, band, array, imp, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p1 := syn.NextPacket("mac")
+	p2 := syn.NextPacket("mac")
+	if _, err := Packet(p1, band.SubcarrierSpacingHz); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Packet(p2, band.SubcarrierSpacingHz); err != nil {
+		t.Fatal(err)
+	}
+	// Compare ratios so a common complex factor cancels.
+	ref := p1.CSI.Values[0][0] / p2.CSI.Values[0][0]
+	for a := range p1.CSI.Values {
+		for n := range p1.CSI.Values[a] {
+			r := p1.CSI.Values[a][n] / p2.CSI.Values[a][n]
+			if cmplx.Abs(r-ref) > 1e-6 {
+				t.Fatalf("sanitized packets differ at (%d,%d): ratio %v vs %v", a, n, r, ref)
+			}
+		}
+	}
+}
+
+func TestSanitizeErrors(t *testing.T) {
+	band := rf.DefaultBand()
+	if _, err := Packet(nil, band.SubcarrierSpacingHz); err == nil {
+		t.Fatal("nil packet accepted")
+	}
+	if _, err := Packet(&csi.Packet{}, band.SubcarrierSpacingHz); err == nil {
+		t.Fatal("nil CSI accepted")
+	}
+	c := csi.NewMatrix(3, 30)
+	c.Values[0][0] = complex(math.NaN(), 0)
+	if _, err := ToF(c, band.SubcarrierSpacingHz); err == nil {
+		t.Fatal("NaN CSI accepted")
+	}
+	good := csi.NewMatrix(3, 30)
+	if _, err := ToF(good, 0); err == nil {
+		t.Fatal("zero spacing accepted")
+	}
+	one := csi.NewMatrix(3, 1)
+	if _, err := ToF(one, band.SubcarrierSpacingHz); err == nil {
+		t.Fatal("single-subcarrier CSI accepted")
+	}
+}

@@ -1,0 +1,151 @@
+// Package server implements SpotFi's central server: it collects CSI
+// reports streamed by the APs, groups them per target into bursts, and
+// hands complete bursts to the localization pipeline (paper Fig. 1).
+package server
+
+import (
+	"fmt"
+	"sync"
+
+	"spotfi/internal/csi"
+)
+
+// BurstHandler receives a complete burst: for each AP that heard the
+// target, BatchSize consecutive packets. It runs on the goroutine that
+// delivered the completing packet; heavy work should be dispatched by the
+// handler itself.
+type BurstHandler func(targetMAC string, bursts map[int][]*csi.Packet)
+
+// CollectorConfig controls burst assembly.
+type CollectorConfig struct {
+	// BatchSize is how many packets per AP make a burst (the paper
+	// localizes on groups of 10–40 packets).
+	BatchSize int
+	// MinAPs is how many APs must have a full batch before the burst is
+	// emitted (≥2 for localization to be possible).
+	MinAPs int
+	// MaxBuffered caps per-(target, AP) buffering so a target that only a
+	// single AP hears cannot grow memory without bound.
+	MaxBuffered int
+}
+
+// DefaultCollectorConfig matches the paper's method: bursts of 10 packets,
+// at least 3 APs.
+func DefaultCollectorConfig() CollectorConfig {
+	return CollectorConfig{BatchSize: 10, MinAPs: 3, MaxBuffered: 400}
+}
+
+// Validate checks the configuration.
+func (c CollectorConfig) Validate() error {
+	if c.BatchSize < 1 {
+		return fmt.Errorf("server: BatchSize must be ≥ 1")
+	}
+	if c.MinAPs < 2 {
+		return fmt.Errorf("server: MinAPs must be ≥ 2")
+	}
+	if c.MaxBuffered < c.BatchSize {
+		return fmt.Errorf("server: MaxBuffered (%d) must be ≥ BatchSize (%d)", c.MaxBuffered, c.BatchSize)
+	}
+	return nil
+}
+
+// Collector groups incoming CSI packets into per-target bursts. It is safe
+// for concurrent use.
+type Collector struct {
+	cfg     CollectorConfig
+	handler BurstHandler
+
+	mu      sync.Mutex
+	pending map[string]map[int][]*csi.Packet
+	dropped uint64
+	emitted uint64
+}
+
+// NewCollector returns a Collector that calls handler for every complete
+// burst.
+func NewCollector(cfg CollectorConfig, handler BurstHandler) (*Collector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if handler == nil {
+		return nil, fmt.Errorf("server: nil burst handler")
+	}
+	return &Collector{
+		cfg:     cfg,
+		handler: handler,
+		pending: make(map[string]map[int][]*csi.Packet),
+	}, nil
+}
+
+// Add ingests one CSI packet. Invalid packets are rejected with an error;
+// valid ones are buffered and may complete a burst, in which case the
+// handler is invoked before Add returns.
+func (c *Collector) Add(p *csi.Packet) error {
+	if p == nil {
+		return fmt.Errorf("server: nil packet")
+	}
+	if err := p.Validate(); err != nil {
+		return err
+	}
+
+	var emit map[int][]*csi.Packet
+	var mac string
+
+	c.mu.Lock()
+	byAP, ok := c.pending[p.TargetMAC]
+	if !ok {
+		byAP = make(map[int][]*csi.Packet)
+		c.pending[p.TargetMAC] = byAP
+	}
+	q := byAP[p.APID]
+	if len(q) >= c.cfg.MaxBuffered {
+		// Drop the oldest to bound memory; newest data is most useful.
+		copy(q, q[1:])
+		q = q[:len(q)-1]
+		c.dropped++
+	}
+	byAP[p.APID] = append(q, p)
+
+	// Emit when enough APs have a full batch.
+	ready := 0
+	for _, pkts := range byAP {
+		if len(pkts) >= c.cfg.BatchSize {
+			ready++
+		}
+	}
+	if ready >= c.cfg.MinAPs {
+		emit = make(map[int][]*csi.Packet, ready)
+		for ap, pkts := range byAP {
+			if len(pkts) >= c.cfg.BatchSize {
+				emit[ap] = pkts[:c.cfg.BatchSize:c.cfg.BatchSize]
+				byAP[ap] = append([]*csi.Packet(nil), pkts[c.cfg.BatchSize:]...)
+			}
+		}
+		mac = p.TargetMAC
+		c.emitted++
+	}
+	c.mu.Unlock()
+
+	if emit != nil {
+		c.handler(mac, emit)
+	}
+	return nil
+}
+
+// Stats returns how many bursts were emitted and packets dropped.
+func (c *Collector) Stats() (emitted, dropped uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.emitted, c.dropped
+}
+
+// PendingTargets returns the MACs with buffered packets — for monitoring.
+func (c *Collector) PendingTargets() []string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]string, 0, len(c.pending))
+	for mac := range c.pending {
+		out = append(out, mac)
+	}
+	return out
+}

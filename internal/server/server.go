@@ -1,0 +1,176 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"sync"
+
+	"spotfi/internal/wire"
+)
+
+// Server accepts AP connections and feeds their CSI reports into a
+// Collector.
+type Server struct {
+	collector *Collector
+	logf      func(format string, args ...any)
+
+	lis net.Listener
+
+	mu     sync.Mutex
+	conns  map[net.Conn]struct{}
+	closed bool
+
+	wg sync.WaitGroup
+}
+
+// New returns a Server delivering packets to collector. logf may be nil
+// (log.Printf is used).
+func New(collector *Collector, logf func(string, ...any)) (*Server, error) {
+	if collector == nil {
+		return nil, fmt.Errorf("server: nil collector")
+	}
+	if logf == nil {
+		logf = log.Printf
+	}
+	return &Server{
+		collector: collector,
+		logf:      logf,
+		conns:     make(map[net.Conn]struct{}),
+	}, nil
+}
+
+// Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in the
+// background. It returns the bound address.
+func (s *Server) Listen(addr string) (net.Addr, error) {
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		lis.Close()
+		return nil, fmt.Errorf("server: already closed")
+	}
+	s.lis = lis
+	s.mu.Unlock()
+
+	s.wg.Add(1)
+	go s.acceptLoop(lis)
+	return lis.Addr(), nil
+}
+
+func (s *Server) acceptLoop(lis net.Listener) {
+	defer s.wg.Done()
+	for {
+		conn, err := lis.Accept()
+		if err != nil {
+			// Closed listener: clean shutdown.
+			return
+		}
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			conn.Close()
+			return
+		}
+		s.conns[conn] = struct{}{}
+		s.mu.Unlock()
+
+		s.wg.Add(1)
+		go func() {
+			defer s.wg.Done()
+			s.handle(conn)
+		}()
+	}
+}
+
+func (s *Server) handle(conn net.Conn) {
+	defer func() {
+		conn.Close()
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+	}()
+
+	hello, err := wire.ReadFrame(conn)
+	if err != nil {
+		s.logf("server: %v: bad handshake: %v", conn.RemoteAddr(), err)
+		return
+	}
+	apID, err := wire.DecodeHello(hello)
+	if err != nil {
+		s.logf("server: %v: expected hello: %v", conn.RemoteAddr(), err)
+		return
+	}
+	s.logf("server: AP %d connected from %v", apID, conn.RemoteAddr())
+
+	for {
+		f, err := wire.ReadFrame(conn)
+		if err != nil {
+			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.logf("server: AP %d: read: %v", apID, err)
+			}
+			return
+		}
+		switch f.Type {
+		case wire.TypeCSIReport:
+			pkt, err := wire.DecodeCSIReport(f)
+			if err != nil {
+				s.logf("server: AP %d: corrupt report: %v", apID, err)
+				return // a desynced stream cannot be trusted further
+			}
+			if pkt.APID != int(apID) {
+				s.logf("server: AP %d: report claims APID %d; dropping", apID, pkt.APID)
+				continue
+			}
+			if err := s.collector.Add(pkt); err != nil {
+				s.logf("server: AP %d: rejected packet: %v", apID, err)
+			}
+		case wire.TypeBye:
+			s.logf("server: AP %d disconnected cleanly", apID)
+			return
+		default:
+			s.logf("server: AP %d: unknown frame type %d", apID, f.Type)
+			return
+		}
+	}
+}
+
+// Close stops accepting, closes every connection, and waits for handlers
+// to drain. It is idempotent.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	lis := s.lis
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	var err error
+	if lis != nil {
+		err = lis.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// Shutdown closes the server when ctx is done; call it in a goroutine or
+// rely on Close directly.
+func (s *Server) Shutdown(ctx context.Context) error {
+	<-ctx.Done()
+	return s.Close()
+}

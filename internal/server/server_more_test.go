@@ -1,0 +1,172 @@
+package server
+
+import (
+	"context"
+	"math"
+	"math/rand"
+	"net"
+	"testing"
+	"time"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/wire"
+)
+
+func startTestServer(t *testing.T, onBurst BurstHandler) (*Server, net.Addr, *Collector) {
+	t.Helper()
+	if onBurst == nil {
+		onBurst = func(string, map[int][]*csi.Packet) {}
+	}
+	collector, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 20}, onBurst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(collector, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { srv.Close() })
+	return srv, addr, collector
+}
+
+func dialAndHello(t *testing.T, addr net.Addr, apID int32) net.Conn {
+	t.Helper()
+	conn, err := net.DialTimeout("tcp", addr.String(), 2*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, wire.EncodeHello(apID)); err != nil {
+		t.Fatal(err)
+	}
+	return conn
+}
+
+func TestServerDropsUnknownFrameType(t *testing.T) {
+	_, addr, collector := startTestServer(t, nil)
+	conn := dialAndHello(t, addr, 1)
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, wire.Frame{Type: 200, Payload: []byte{1}}); err != nil {
+		t.Fatal(err)
+	}
+	// The server must drop the connection.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second))
+	buf := make([]byte, 1)
+	if _, err := conn.Read(buf); err == nil {
+		t.Fatal("connection still open after unknown frame")
+	}
+	if e, _ := collector.Stats(); e != 0 {
+		t.Fatal("unknown frame produced a burst")
+	}
+}
+
+func TestServerDropsMismatchedAPID(t *testing.T) {
+	rng := rand.New(rand.NewSource(300))
+	_, addr, collector := startTestServer(t, func(string, map[int][]*csi.Packet) {
+		t.Error("spoofed packet produced a burst")
+	})
+	conn := dialAndHello(t, addr, 1)
+	defer conn.Close()
+	// Reports claiming a different APID than the handshake are dropped
+	// (not fatal): send enough to have emitted a burst if accepted.
+	for i := 0; i < 4; i++ {
+		p := mkPacket(5 /* ≠ hello id */, "t", uint64(i), rng)
+		f, err := wire.EncodeCSIReport(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.WriteFrame(conn, f); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := wire.WriteFrame(conn, wire.Frame{Type: wire.TypeBye}); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if _, pending := collector.Stats(); pending != 0 {
+		t.Fatal("spoofed packets were buffered")
+	}
+}
+
+func TestServerRejectsInvalidCSIPacket(t *testing.T) {
+	rng := rand.New(rand.NewSource(301))
+	_, addr, collector := startTestServer(t, nil)
+	conn := dialAndHello(t, addr, 1)
+	defer conn.Close()
+	p := mkPacket(1, "t", 0, rng)
+	p.RSSIdBm = math.NaN()
+	// EncodeCSIReport validates, so forge the frame by patching a good one.
+	good := mkPacket(1, "t", 0, rng)
+	f, err := wire.EncodeCSIReport(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// RSSI lives at payload offset 20 (after APID 4, Seq 8, Timestamp 8).
+	for i := 0; i < 8; i++ {
+		f.Payload[20+i] = 0xff // NaN bit pattern
+	}
+	if err := wire.WriteFrame(conn, f); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if e, _ := collector.Stats(); e != 0 {
+		t.Fatal("invalid packet emitted a burst")
+	}
+}
+
+func TestServerShutdownViaContext(t *testing.T) {
+	srv, addr, _ := startTestServer(t, nil)
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- srv.Shutdown(ctx) }()
+	cancel()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("Shutdown did not return after cancel")
+	}
+	// Server is closed: new connections must fail (immediately or on
+	// first read).
+	conn, err := net.DialTimeout("tcp", addr.String(), 500*time.Millisecond)
+	if err == nil {
+		conn.SetReadDeadline(time.Now().Add(time.Second))
+		buf := make([]byte, 1)
+		if _, rerr := conn.Read(buf); rerr == nil {
+			t.Fatal("server accepted traffic after shutdown")
+		}
+		conn.Close()
+	}
+}
+
+func TestCollectorPendingTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(302))
+	c, err := NewCollector(DefaultCollectorConfig(), func(string, map[int][]*csi.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := c.PendingTargets(); len(got) != 0 {
+		t.Fatalf("fresh collector has pending %v", got)
+	}
+	if err := c.Add(mkPacket(0, "alpha", 0, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(mkPacket(0, "beta", 0, rng)); err != nil {
+		t.Fatal(err)
+	}
+	got := c.PendingTargets()
+	if len(got) != 2 {
+		t.Fatalf("pending = %v", got)
+	}
+}
+
+func TestNewServerNilCollector(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("nil collector accepted")
+	}
+}

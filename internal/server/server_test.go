@@ -1,0 +1,289 @@
+package server
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"spotfi/internal/apnode"
+	"spotfi/internal/csi"
+	"spotfi/internal/geom"
+	"spotfi/internal/rf"
+	"spotfi/internal/sim"
+)
+
+func mkPacket(ap int, mac string, seq uint64, rng *rand.Rand) *csi.Packet {
+	m := csi.NewMatrix(3, 30)
+	for a := range m.Values {
+		for n := range m.Values[a] {
+			m.Values[a][n] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	return &csi.Packet{APID: ap, TargetMAC: mac, Seq: seq, RSSIdBm: -50, CSI: m}
+}
+
+func TestCollectorConfigValidate(t *testing.T) {
+	bad := []CollectorConfig{
+		{BatchSize: 0, MinAPs: 2, MaxBuffered: 10},
+		{BatchSize: 5, MinAPs: 1, MaxBuffered: 10},
+		{BatchSize: 5, MinAPs: 2, MaxBuffered: 4},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Fatalf("config %d validated", i)
+		}
+	}
+	if err := DefaultCollectorConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectorEmitsWhenReady(t *testing.T) {
+	rng := rand.New(rand.NewSource(111))
+	var mu sync.Mutex
+	var got []map[int][]*csi.Packet
+	c, err := NewCollector(CollectorConfig{BatchSize: 3, MinAPs: 2, MaxBuffered: 10},
+		func(mac string, bursts map[int][]*csi.Packet) {
+			mu.Lock()
+			got = append(got, bursts)
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Interleave: AP0 and AP1 each send 3 packets for the same target.
+	for i := 0; i < 3; i++ {
+		if err := c.Add(mkPacket(0, "t1", uint64(i), rng)); err != nil {
+			t.Fatal(err)
+		}
+		if i < 2 {
+			if err := c.Add(mkPacket(1, "t1", uint64(i), rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if len(got) != 0 {
+		t.Fatal("burst emitted before both APs had a full batch")
+	}
+	if err := c.Add(mkPacket(1, "t1", 2, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("got %d bursts, want 1", len(got))
+	}
+	if len(got[0]) != 2 || len(got[0][0]) != 3 || len(got[0][1]) != 3 {
+		t.Fatalf("burst shape wrong: %v", got[0])
+	}
+	emitted, dropped := c.Stats()
+	if emitted != 1 || dropped != 0 {
+		t.Fatalf("stats = %d/%d", emitted, dropped)
+	}
+}
+
+func TestCollectorSeparatesTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(112))
+	var bursts int
+	c, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 10},
+		func(mac string, b map[int][]*csi.Packet) {
+			bursts++
+			for _, pkts := range b {
+				for _, p := range pkts {
+					if p.TargetMAC != mac {
+						t.Errorf("burst for %s contains packet from %s", mac, p.TargetMAC)
+					}
+				}
+			}
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Two targets interleaved on two APs.
+	for i := 0; i < 2; i++ {
+		for ap := 0; ap < 2; ap++ {
+			if err := c.Add(mkPacket(ap, "alpha", uint64(i), rng)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Add(mkPacket(ap, "beta", uint64(i), rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if bursts != 2 {
+		t.Fatalf("bursts = %d, want 2 (one per target)", bursts)
+	}
+}
+
+func TestCollectorDropsOldestWhenFull(t *testing.T) {
+	rng := rand.New(rand.NewSource(113))
+	c, err := NewCollector(CollectorConfig{BatchSize: 4, MinAPs: 2, MaxBuffered: 4},
+		func(string, map[int][]*csi.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Only one AP sends: buffer saturates, oldest dropped, no emission.
+	for i := 0; i < 10; i++ {
+		if err := c.Add(mkPacket(0, "t", uint64(i), rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	emitted, dropped := c.Stats()
+	if emitted != 0 {
+		t.Fatal("emitted without MinAPs")
+	}
+	if dropped != 6 {
+		t.Fatalf("dropped = %d, want 6", dropped)
+	}
+}
+
+func TestCollectorRejectsBadInput(t *testing.T) {
+	c, err := NewCollector(DefaultCollectorConfig(), func(string, map[int][]*csi.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(nil); err == nil {
+		t.Fatal("nil packet accepted")
+	}
+	if err := c.Add(&csi.Packet{TargetMAC: "x", RSSIdBm: -10}); err == nil {
+		t.Fatal("invalid packet accepted")
+	}
+	if _, err := NewCollector(DefaultCollectorConfig(), nil); err == nil {
+		t.Fatal("nil handler accepted")
+	}
+}
+
+// TestServerAgentIntegration runs the real TCP path: three simulated AP
+// agents stream CSI of one target to the server, which assembles bursts.
+func TestServerAgentIntegration(t *testing.T) {
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	env := &sim.Environment{}
+	target := geom.Point{X: 5, Y: 3}
+
+	burstCh := make(chan map[int][]*csi.Packet, 4)
+	collector, err := NewCollector(CollectorConfig{BatchSize: 5, MinAPs: 3, MaxBuffered: 50},
+		func(mac string, b map[int][]*csi.Packet) {
+			if mac != "02:aa" {
+				t.Errorf("burst for unexpected MAC %s", mac)
+			}
+			burstCh <- b
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(collector, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+
+	var wg sync.WaitGroup
+	for apID := 0; apID < 3; apID++ {
+		ap := sim.AP{ID: apID, Pos: geom.Point{X: float64(apID) * 4, Y: 0}}
+		rng := rand.New(rand.NewSource(int64(200 + apID)))
+		link := sim.NewLink(env, ap, target, sim.DefaultLinkConfig(), rng)
+		syn, err := sim.NewSynthesizer(link, band, array, sim.DefaultImpairments(), rng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		agent := &apnode.Agent{
+			APID:       apID,
+			ServerAddr: addr.String(),
+			Source:     &apnode.SynthSource{Syn: syn, TargetMAC: "02:aa", Limit: 5},
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := agent.Run(ctx); err != nil {
+				t.Errorf("agent: %v", err)
+			}
+		}()
+	}
+	wg.Wait()
+
+	select {
+	case b := <-burstCh:
+		if len(b) != 3 {
+			t.Fatalf("burst covers %d APs, want 3", len(b))
+		}
+		for ap, pkts := range b {
+			if len(pkts) != 5 {
+				t.Fatalf("AP %d burst has %d packets", ap, len(pkts))
+			}
+			for _, p := range pkts {
+				if p.APID != ap {
+					t.Fatalf("packet APID %d in AP %d burst", p.APID, ap)
+				}
+			}
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no burst emitted")
+	}
+}
+
+func TestServerRejectsGarbage(t *testing.T) {
+	collector, err := NewCollector(DefaultCollectorConfig(), func(string, map[int][]*csi.Packet) {
+		t.Error("garbage produced a burst")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(collector, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	d := net.Dialer{Timeout: 2 * time.Second}
+	conn, err := d.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := conn.Write([]byte("this is not the protocol")); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	// Give the server a moment to process and drop the connection.
+	time.Sleep(100 * time.Millisecond)
+	emitted, _ := collector.Stats()
+	if emitted != 0 {
+		t.Fatal("garbage emitted a burst")
+	}
+}
+
+func TestServerCloseIdempotent(t *testing.T) {
+	collector, err := NewCollector(DefaultCollectorConfig(), func(string, map[int][]*csi.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(collector, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := srv.Listen("127.0.0.1:0"); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Listening after close must fail.
+	if _, err := srv.Listen("127.0.0.1:0"); err == nil {
+		t.Fatal("listen after close succeeded")
+	}
+}

@@ -1,0 +1,127 @@
+// Package sim is SpotFi's physical-layer substitute for the Intel 5300
+// testbed: it synthesizes per-packet CSI matrices and RSSI for a target
+// transmitting to multi-antenna APs across a multipath indoor environment.
+//
+// The synthesis follows the paper's signal model exactly: each propagation
+// path k contributes γ_k · Φ(θ_k)^m · Ω(τ_k)^n to the CSI of antenna m,
+// subcarrier n (Eqs. 1–7), on top of which the impairments real hardware
+// adds — sampling time offset (STO), sampling frequency offset (SFO) drift,
+// packet detection delay, a common carrier phase, AWGN, and 8-bit
+// quantization — are applied per packet. Every SpotFi algorithm therefore
+// sees inputs with the same structure and the same distortions it would see
+// on hardware.
+package sim
+
+import (
+	"math"
+
+	"spotfi/internal/geom"
+)
+
+// Wall is a straight wall segment. Walls both block (attenuate) paths that
+// cross them and act as specular reflectors.
+type Wall struct {
+	Seg geom.Segment
+	// LossDB is the attenuation a ray crossing the wall suffers.
+	LossDB float64
+	// ReflectLossDB is the attenuation a ray bouncing off the wall
+	// suffers. A negative value marks the wall as non-reflective.
+	ReflectLossDB float64
+}
+
+// Scatterer is a point object (furniture, pillar, person) that re-radiates
+// the signal, creating an extra multipath component.
+type Scatterer struct {
+	Pos geom.Point
+	// LossDB is the extra attenuation of the scattered path relative to
+	// free-space over the same total distance.
+	LossDB float64
+}
+
+// Environment is the floor plan the simulator ray-traces against.
+type Environment struct {
+	Walls      []Wall
+	Scatterers []Scatterer
+}
+
+// CrossLossDB sums the blocking loss of every wall the segment from a to b
+// crosses. A wall whose segment merely touches at the ray endpoints still
+// counts; in the testbed geometry endpoints never sit exactly on walls.
+func (e *Environment) CrossLossDB(a, b geom.Point) float64 {
+	ray := geom.Segment{A: a, B: b}
+	var loss float64
+	for _, w := range e.Walls {
+		if ray.Intersects(w.Seg) {
+			loss += w.LossDB
+		}
+	}
+	return loss
+}
+
+// crossLossDBExcept is CrossLossDB skipping wall index skip — used for
+// reflection legs so the reflecting wall itself is not double-counted as an
+// obstruction.
+func (e *Environment) crossLossDBExcept(a, b geom.Point, skip int) float64 {
+	ray := geom.Segment{A: a, B: b}
+	var loss float64
+	for i, w := range e.Walls {
+		if i == skip {
+			continue
+		}
+		if ray.Intersects(w.Seg) {
+			loss += w.LossDB
+		}
+	}
+	return loss
+}
+
+// LoS reports whether the straight segment between a and b crosses no wall.
+func (e *Environment) LoS(a, b geom.Point) bool {
+	return e.CrossLossDB(a, b) == 0
+}
+
+// PathKind labels how a multipath component reached the AP.
+type PathKind int
+
+// Path kinds.
+const (
+	Direct PathKind = iota
+	Reflected
+	Scattered
+)
+
+func (k PathKind) String() string {
+	switch k {
+	case Direct:
+		return "direct"
+	case Reflected:
+		return "reflected"
+	case Scattered:
+		return "scattered"
+	default:
+		return "unknown"
+	}
+}
+
+// Path is one resolved propagation path from the target to an AP.
+type Path struct {
+	Kind PathKind
+	// AoA is the angle of arrival in radians relative to the AP array
+	// normal, folded into [−π/2, π/2] (a uniform linear array cannot
+	// distinguish front from back).
+	AoA float64
+	// ToF is the true time of flight in seconds.
+	ToF float64
+	// GainDBm is the received power of the path in dBm.
+	GainDBm float64
+	// PhaseRad is the propagation phase of the path at the first antenna
+	// and subcarrier, fixed per link.
+	PhaseRad float64
+}
+
+// foldAoA maps an arbitrary arrival angle (relative to the array normal)
+// onto the ULA-observable range [−π/2, π/2]: a linear array only measures
+// sin(θ), so a source behind the array aliases onto its mirror in front.
+func foldAoA(theta float64) float64 {
+	return math.Asin(math.Sin(geom.NormalizeAngle(theta)))
+}

@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/ofdm"
+	"spotfi/internal/rf"
+)
+
+// PHYSynthesizer derives CSI the way a NIC does instead of evaluating the
+// channel model in closed form: it transmits the OFDM training symbol
+// through a per-antenna time-domain multipath channel, runs
+// correlation-based packet detection, and least-squares-estimates the
+// channel at the reported subcarriers. Sampling time offset is therefore
+// *emergent* — it is whatever residual delay the detector leaves — rather
+// than injected, making this the strongest validation target for
+// Algorithm 1 and the joint estimator.
+//
+// It is slower than Synthesizer (an FFT and a correlation per packet) and
+// is used in cross-validation tests and the PHY example rather than the
+// bulk experiments.
+type PHYSynthesizer struct {
+	phy   *ofdm.PHY
+	Band  rf.Band
+	Array rf.Array
+
+	link *Link
+	rng  *rand.Rand
+
+	// NoiseFloorDBm sets the per-sample AWGN power (default −90).
+	NoiseFloorDBm float64
+	// TxDelayMaxNs randomizes the transmit instant within the receive
+	// window, so packet detection has something real to find (default 100).
+	TxDelayMaxNs float64
+	// Quantize applies 8-bit quantization to the derived CSI.
+	Quantize bool
+
+	packetIndex int
+}
+
+// NewPHYSynthesizer builds a PHY-level synthesizer for the link. The
+// band's subcarrier spacing must match the PHY numerology.
+func NewPHYSynthesizer(link *Link, band rf.Band, array rf.Array, phy *ofdm.PHY, rng *rand.Rand) (*PHYSynthesizer, error) {
+	if err := band.Validate(); err != nil {
+		return nil, err
+	}
+	if err := array.Validate(); err != nil {
+		return nil, err
+	}
+	if err := phy.Validate(); err != nil {
+		return nil, err
+	}
+	if link == nil || len(link.Paths) == 0 {
+		return nil, fmt.Errorf("sim: link has no propagation paths")
+	}
+	if len(phy.UsedBins) != band.Subcarriers {
+		return nil, fmt.Errorf("sim: PHY reports %d subcarriers, band has %d", len(phy.UsedBins), band.Subcarriers)
+	}
+	if math.Abs(phy.SubcarrierSpacingHz()-band.SubcarrierSpacingHz) > 1 {
+		return nil, fmt.Errorf("sim: PHY spacing %v Hz != band spacing %v Hz",
+			phy.SubcarrierSpacingHz(), band.SubcarrierSpacingHz)
+	}
+	return &PHYSynthesizer{
+		phy:           phy,
+		Band:          band,
+		Array:         array,
+		link:          link,
+		rng:           rng,
+		NoiseFloorDBm: -90,
+		TxDelayMaxNs:  100,
+		Quantize:      true,
+	}, nil
+}
+
+// NextPacket synthesizes one packet end to end through the PHY.
+func (s *PHYSynthesizer) NextPacket(targetMAC string) (*csi.Packet, error) {
+	sym, err := s.phy.TrainingSymbol()
+	if err != nil {
+		return nil, err
+	}
+	// Unknown transmit instant, common to all antennas (one sampling
+	// clock per card).
+	txDelay := s.rng.Float64() * s.TxDelayMaxNs * 1e-9
+
+	sinFactor := 2 * math.Pi * s.Array.SpacingM * s.Band.CarrierHz / rf.SpeedOfLight
+
+	m := s.Array.Antennas
+	rxPerAnt := make([][]complex128, m)
+	var signalPowerMw float64
+	for a := 0; a < m; a++ {
+		tc := &ofdm.TapChannel{}
+		for _, p := range s.link.Paths {
+			ampl := math.Sqrt(rf.DBmToMilliwatt(p.GainDBm))
+			if a == 0 {
+				signalPowerMw += ampl * ampl
+			}
+			gain := complex(ampl, 0) *
+				cmplx.Exp(complex(0, p.PhaseRad)) *
+				cmplx.Exp(complex(0, -sinFactor*math.Sin(p.AoA)*float64(a)))
+			tc.DelayS = append(tc.DelayS, p.ToF+txDelay)
+			tc.Gain = append(tc.Gain, gain)
+		}
+		rx, err := tc.Apply(sym, s.phy.SampleRateHz)
+		if err != nil {
+			return nil, err
+		}
+		// AWGN.
+		sigma := math.Sqrt(rf.DBmToMilliwatt(s.NoiseFloorDBm) / 2)
+		for i := range rx {
+			rx[i] += complex(s.rng.NormFloat64()*sigma, s.rng.NormFloat64()*sigma)
+		}
+		rxPerAnt[a] = rx
+	}
+
+	// One detector for the card (all RF chains share the sampling clock):
+	// detect on antenna 0, reuse the index everywhere.
+	detectIdx, err := s.phy.DetectPreamble(rxPerAnt[0], 0)
+	if err != nil {
+		return nil, err
+	}
+
+	mat := csi.NewMatrix(m, s.Band.Subcarriers)
+	for a := 0; a < m; a++ {
+		est, err := s.phy.EstimateCSI(rxPerAnt[a], detectIdx)
+		if err != nil {
+			return nil, err
+		}
+		copy(mat.Values[a], est)
+	}
+	if s.Quantize {
+		mat.Quantize()
+	}
+	rssi := rf.MilliwattToDBm(signalPowerMw + rf.DBmToMilliwatt(s.NoiseFloorDBm))
+
+	pkt := &csi.Packet{
+		APID:        s.link.AP.ID,
+		TargetMAC:   targetMAC,
+		Seq:         uint64(s.packetIndex),
+		TimestampNs: int64(s.packetIndex) * 100_000_000,
+		RSSIdBm:     rssi,
+		CSI:         mat,
+	}
+	s.packetIndex++
+	return pkt, nil
+}

@@ -1,0 +1,86 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"spotfi/internal/geom"
+	"spotfi/internal/ofdm"
+	"spotfi/internal/rf"
+)
+
+func phySetup(t *testing.T, target geom.Point, env *Environment, seed int64) *PHYSynthesizer {
+	t.Helper()
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	rng := rand.New(rand.NewSource(seed))
+	ap := AP{ID: 0, Pos: geom.Point{X: 0, Y: 0}, NormalAngle: 0}
+	link := NewLink(env, ap, target, DefaultLinkConfig(), rng)
+	syn, err := NewPHYSynthesizer(link, band, array, ofdm.Default40MHz(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return syn
+}
+
+func TestPHYSynthesizerProducesValidPackets(t *testing.T) {
+	syn := phySetup(t, geom.Point{X: 5, Y: 2}, &Environment{}, 61)
+	for i := 0; i < 3; i++ {
+		p, err := syn.NextPacket("mac")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatal(err)
+		}
+		if p.Seq != uint64(i) {
+			t.Fatalf("seq %d", p.Seq)
+		}
+	}
+}
+
+func TestPHYSynthesizerPhaseStructure(t *testing.T) {
+	// Single LoS path: the derived CSI must carry the AoA phase across
+	// antennas — the ratio csi[m+1][n]/csi[m][n] ≈ Φ(θ).
+	target := geom.Point{X: 4, Y: 3} // AoA = atan2(3,4) ≈ 36.87°
+	syn := phySetup(t, target, &Environment{}, 62)
+	syn.Quantize = false
+	syn.NoiseFloorDBm = -120
+	p, err := syn.NextPacket("mac")
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAoA := math.Atan2(3, 4)
+	sinFactor := 2 * math.Pi * syn.Array.SpacingM * syn.Band.CarrierHz / rf.SpeedOfLight
+	wantPhase := -sinFactor * math.Sin(wantAoA)
+	for n := 0; n < 30; n += 7 {
+		for m := 0; m < 2; m++ {
+			ratio := p.CSI.Values[m+1][n] / p.CSI.Values[m][n]
+			got := math.Atan2(imag(ratio), real(ratio))
+			if math.Abs(geom.NormalizeAngle(got-wantPhase)) > 0.03 {
+				t.Fatalf("antenna phase at (m=%d,n=%d) = %v, want %v", m, n, got, wantPhase)
+			}
+		}
+	}
+}
+
+func TestPHYSynthesizerErrors(t *testing.T) {
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	rng := rand.New(rand.NewSource(63))
+	if _, err := NewPHYSynthesizer(nil, band, array, ofdm.Default40MHz(), rng); err == nil {
+		t.Fatal("nil link accepted")
+	}
+	link := NewLink(&Environment{}, AP{Pos: geom.Point{X: 0, Y: 0}}, geom.Point{X: 3, Y: 0}, DefaultLinkConfig(), rng)
+	badBand := band
+	badBand.SubcarrierSpacingHz = 2e6
+	if _, err := NewPHYSynthesizer(link, badBand, array, ofdm.Default40MHz(), rng); err == nil {
+		t.Fatal("mismatched spacing accepted")
+	}
+	badBand2 := band
+	badBand2.Subcarriers = 20
+	if _, err := NewPHYSynthesizer(link, badBand2, array, ofdm.Default40MHz(), rng); err == nil {
+		t.Fatal("mismatched subcarrier count accepted")
+	}
+}

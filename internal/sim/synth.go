@@ -1,0 +1,216 @@
+package sim
+
+import (
+	"fmt"
+	"math"
+	"math/cmplx"
+	"math/rand"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/rf"
+)
+
+// Impairments configures the hardware distortions applied per packet.
+type Impairments struct {
+	// DetectionDelayMaxNs is the packet-detection delay: every packet's
+	// apparent ToF is inflated by a uniform draw in [0, this]. This is the
+	// dominant component of the STO the paper's Algorithm 1 removes.
+	DetectionDelayMaxNs float64
+	// SFODriftNsPerPacket shifts the sampling time offset between
+	// consecutive packets (sampling frequency offset accumulating), so STO
+	// changes from packet to packet even without detection jitter.
+	SFODriftNsPerPacket float64
+	// STOJitterNs adds zero-mean Gaussian jitter to the per-packet STO.
+	STOJitterNs float64
+	// CommonPhase applies a uniform random carrier phase to the whole
+	// packet (CFO residue). It is common to all sensors, so subspace
+	// methods are immune to it — included to prove exactly that.
+	CommonPhase bool
+	// NoiseFloorDBm sets the AWGN power added per sensor.
+	NoiseFloorDBm float64
+	// Quantize applies Intel-5300-style 8-bit quantization.
+	Quantize bool
+	// NonDirectAoAJitterRad perturbs the AoA of reflected/scattered paths
+	// per packet: people and objects near reflection points move, so
+	// indirect paths are less stable packet-to-packet than the direct
+	// path — the empirical observation (paper Sec. 3.2.1, Fig. 5c)
+	// SpotFi's clustering exploits.
+	NonDirectAoAJitterRad float64
+	// NonDirectToFJitterNs perturbs the ToF of indirect paths per packet.
+	NonDirectToFJitterNs float64
+	// NonDirectGainJitterDB perturbs indirect path amplitudes per packet.
+	NonDirectGainJitterDB float64
+	// AntennaPhaseSigmaRad is the standard deviation of the static
+	// per-antenna phase calibration residual. Commodity NICs have unknown
+	// phase offsets between RF chains; deployments calibrate them but a
+	// residual of several degrees remains and drifts (Phaser, MobiCom'14).
+	// The offsets are drawn once per synthesizer (they are static
+	// hardware properties) and applied to every packet.
+	AntennaPhaseSigmaRad float64
+	// AntennaPhaseOffsetsRad, when non-nil (length = antennas), pins the
+	// per-antenna offsets instead of drawing them — used to model one
+	// AP's fixed hardware across several links (e.g. calibration beacon
+	// and target).
+	AntennaPhaseOffsetsRad []float64
+}
+
+// DefaultImpairments returns impairments representative of an Intel 5300
+// deployment.
+func DefaultImpairments() Impairments {
+	return Impairments{
+		DetectionDelayMaxNs:   60,
+		SFODriftNsPerPacket:   0.8,
+		STOJitterNs:           2,
+		CommonPhase:           true,
+		NoiseFloorDBm:         -90,
+		Quantize:              true,
+		NonDirectAoAJitterRad: 0.035, // ≈2°
+		NonDirectToFJitterNs:  2.5,
+		NonDirectGainJitterDB: 1.5,
+		AntennaPhaseSigmaRad:  0.10, // ≈6° residual calibration error
+	}
+}
+
+// CleanImpairments disables every distortion — useful for algorithm unit
+// tests that need the pure signal model.
+func CleanImpairments() Impairments {
+	return Impairments{NoiseFloorDBm: -1000}
+}
+
+// Synthesizer generates per-packet CSI for one link.
+type Synthesizer struct {
+	Band  rf.Band
+	Array rf.Array
+	Imp   Impairments
+
+	link *Link
+	rng  *rand.Rand
+
+	// antPhase[m] is the static calibration residual of antenna m.
+	antPhase []complex128
+
+	packetIndex int
+	sfoAccumNs  float64
+}
+
+// NewSynthesizer returns a Synthesizer for the link. rng drives all
+// per-packet randomness.
+func NewSynthesizer(link *Link, band rf.Band, array rf.Array, imp Impairments, rng *rand.Rand) (*Synthesizer, error) {
+	if err := band.Validate(); err != nil {
+		return nil, err
+	}
+	if err := array.Validate(); err != nil {
+		return nil, err
+	}
+	if link == nil || len(link.Paths) == 0 {
+		return nil, fmt.Errorf("sim: link has no propagation paths")
+	}
+	s := &Synthesizer{Band: band, Array: array, Imp: imp, link: link, rng: rng}
+	s.antPhase = make([]complex128, array.Antennas)
+	if imp.AntennaPhaseOffsetsRad != nil {
+		if len(imp.AntennaPhaseOffsetsRad) != array.Antennas {
+			return nil, fmt.Errorf("sim: %d antenna phase offsets for %d antennas",
+				len(imp.AntennaPhaseOffsetsRad), array.Antennas)
+		}
+		for m, off := range imp.AntennaPhaseOffsetsRad {
+			s.antPhase[m] = cmplx.Exp(complex(0, off))
+		}
+	} else {
+		for m := range s.antPhase {
+			s.antPhase[m] = cmplx.Exp(complex(0, rng.NormFloat64()*imp.AntennaPhaseSigmaRad))
+		}
+	}
+	return s, nil
+}
+
+// Link returns the link being synthesized.
+func (s *Synthesizer) Link() *Link { return s.link }
+
+// NextPacket synthesizes the CSI matrix and RSSI for the next packet on the
+// link, applying all configured impairments.
+func (s *Synthesizer) NextPacket(targetMAC string) *csi.Packet {
+	m := s.Array.Antennas
+	n := s.Band.Subcarriers
+	mat := csi.NewMatrix(m, n)
+
+	// Per-packet STO: detection delay + accumulated SFO drift + jitter.
+	stoNs := s.rng.Float64()*s.Imp.DetectionDelayMaxNs + s.sfoAccumNs + s.rng.NormFloat64()*s.Imp.STOJitterNs
+	s.sfoAccumNs += s.Imp.SFODriftNsPerPacket
+	stoSec := stoNs * 1e-9
+
+	commonPhase := complex(1, 0)
+	if s.Imp.CommonPhase {
+		commonPhase = cmplx.Exp(complex(0, s.rng.Float64()*2*math.Pi))
+	}
+
+	fd := s.Band.SubcarrierSpacingHz
+	sinFactor := 2 * math.Pi * s.Array.SpacingM * s.Band.CarrierHz / rf.SpeedOfLight
+
+	var signalPowerMw float64
+	for _, p := range s.link.Paths {
+		aoa, tof, gainDBm := p.AoA, p.ToF, p.GainDBm
+		if p.Kind != Direct {
+			aoa += s.rng.NormFloat64() * s.Imp.NonDirectAoAJitterRad
+			tof += math.Abs(s.rng.NormFloat64()) * s.Imp.NonDirectToFJitterNs * 1e-9
+			gainDBm += s.rng.NormFloat64() * s.Imp.NonDirectGainJitterDB
+		}
+		ampl := math.Sqrt(rf.DBmToMilliwatt(gainDBm))
+		signalPowerMw += ampl * ampl
+		gamma := complex(ampl, 0) * cmplx.Exp(complex(0, p.PhaseRad))
+
+		// Φ(θ): phase step between adjacent antennas (Eq. 1).
+		phi := cmplx.Exp(complex(0, -sinFactor*math.Sin(aoa)))
+		// Ω(τ): phase step between adjacent subcarriers (Eq. 6), with the
+		// packet's STO folded into an apparent ToF — exactly how lack of
+		// time synchronization corrupts commodity measurements (Sec. 3.2).
+		omega := cmplx.Exp(complex(0, -2*math.Pi*fd*(tof+stoSec)))
+
+		antPhase := complex(1, 0)
+		for a := 0; a < m; a++ {
+			sensor := gamma * antPhase
+			for k := 0; k < n; k++ {
+				mat.Values[a][k] += sensor
+				sensor *= omega
+			}
+			antPhase *= phi
+		}
+	}
+
+	// AWGN per sensor.
+	noiseMw := rf.DBmToMilliwatt(s.Imp.NoiseFloorDBm)
+	sigma := math.Sqrt(noiseMw / 2)
+	for a := 0; a < m; a++ {
+		chainPhase := commonPhase * s.antPhase[a]
+		for k := 0; k < n; k++ {
+			noise := complex(s.rng.NormFloat64()*sigma, s.rng.NormFloat64()*sigma)
+			mat.Values[a][k] = mat.Values[a][k]*chainPhase + noise
+		}
+	}
+
+	// RSSI: total received power including the noise floor, in dBm.
+	rssi := rf.MilliwattToDBm(signalPowerMw + noiseMw)
+
+	if s.Imp.Quantize {
+		mat.Quantize()
+	}
+
+	pkt := &csi.Packet{
+		APID:        s.link.AP.ID,
+		TargetMAC:   targetMAC,
+		Seq:         uint64(s.packetIndex),
+		TimestampNs: int64(s.packetIndex) * 100_000_000, // 100 ms spacing, as in the paper's method
+		RSSIdBm:     rssi,
+		CSI:         mat,
+	}
+	s.packetIndex++
+	return pkt
+}
+
+// Burst synthesizes count consecutive packets.
+func (s *Synthesizer) Burst(targetMAC string, count int) []*csi.Packet {
+	out := make([]*csi.Packet, count)
+	for i := range out {
+		out[i] = s.NextPacket(targetMAC)
+	}
+	return out
+}

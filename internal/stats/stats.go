@@ -1,0 +1,180 @@
+// Package stats provides the summary statistics every SpotFi experiment
+// reports: empirical CDFs, percentiles, and distribution summaries.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Median returns the sample median; NaN for empty input.
+func Median(xs []float64) float64 { return Percentile(xs, 50) }
+
+// Percentile returns the p-th percentile (0 ≤ p ≤ 100) using linear
+// interpolation between order statistics; NaN for empty input.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 || math.IsNaN(p) {
+		return math.NaN()
+	}
+	if p < 0 {
+		p = 0
+	}
+	if p > 100 {
+		p = 100
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if len(s) == 1 {
+		return s[0]
+	}
+	pos := p / 100 * float64(len(s)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return s[lo]
+	}
+	frac := pos - float64(lo)
+	return s[lo]*(1-frac) + s[hi]*frac
+}
+
+// Mean returns the arithmetic mean; NaN for empty input.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Variance returns the population variance; NaN for empty input.
+func Variance(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	m := Mean(xs)
+	var sum float64
+	for _, x := range xs {
+		d := x - m
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+// StdDev returns the population standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// CDF is an empirical cumulative distribution function.
+type CDF struct {
+	// Xs are the sorted sample values.
+	Xs []float64
+}
+
+// NewCDF builds an empirical CDF from samples.
+func NewCDF(xs []float64) *CDF {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	return &CDF{Xs: s}
+}
+
+// At returns the empirical probability P(X ≤ x).
+func (c *CDF) At(x float64) float64 {
+	if len(c.Xs) == 0 {
+		return math.NaN()
+	}
+	// Count of samples ≤ x via binary search.
+	n := sort.SearchFloat64s(c.Xs, math.Nextafter(x, math.Inf(1)))
+	return float64(n) / float64(len(c.Xs))
+}
+
+// Quantile returns the value at cumulative probability q ∈ [0,1].
+func (c *CDF) Quantile(q float64) float64 {
+	return Percentile(c.Xs, q*100)
+}
+
+// Series samples the CDF at n evenly spaced points across the sample range
+// and returns (x, P(X≤x)) pairs — the data behind the paper's CDF figures.
+func (c *CDF) Series(n int) ([]float64, []float64) {
+	if len(c.Xs) == 0 || n < 2 {
+		return nil, nil
+	}
+	lo, hi := c.Xs[0], c.Xs[len(c.Xs)-1]
+	xs := make([]float64, n)
+	ps := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x := lo + (hi-lo)*float64(i)/float64(n-1)
+		xs[i] = x
+		ps[i] = c.At(x)
+	}
+	return xs, ps
+}
+
+// Summary is a compact distribution description.
+type Summary struct {
+	N                      int
+	Mean, Median, P80, P95 float64
+	Min, Max               float64
+}
+
+// Summarize computes a Summary of xs.
+func Summarize(xs []float64) Summary {
+	s := Summary{N: len(xs)}
+	if len(xs) == 0 {
+		nan := math.NaN()
+		s.Mean, s.Median, s.P80, s.P95, s.Min, s.Max = nan, nan, nan, nan, nan, nan
+		return s
+	}
+	s.Mean = Mean(xs)
+	s.Median = Median(xs)
+	s.P80 = Percentile(xs, 80)
+	s.P95 = Percentile(xs, 95)
+	s.Min, s.Max = xs[0], xs[0]
+	for _, x := range xs {
+		s.Min = math.Min(s.Min, x)
+		s.Max = math.Max(s.Max, x)
+	}
+	return s
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d median=%.3f p80=%.3f p95=%.3f mean=%.3f min=%.3f max=%.3f",
+		s.N, s.Median, s.P80, s.P95, s.Mean, s.Min, s.Max)
+}
+
+// Table formats rows of labeled summaries as an aligned text table — the
+// output format of the bench harness.
+func Table(header string, labels []string, sums []Summary) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", header)
+	fmt.Fprintf(&b, "%-24s %6s %10s %10s %10s %10s\n", "series", "n", "median", "p80", "p95", "mean")
+	for i, l := range labels {
+		s := sums[i]
+		fmt.Fprintf(&b, "%-24s %6d %10.3f %10.3f %10.3f %10.3f\n", l, s.N, s.Median, s.P80, s.P95, s.Mean)
+	}
+	return b.String()
+}
+
+// BootstrapMedianCI returns a bootstrap confidence interval for the median
+// of xs at the given level (e.g. 0.95), using iters resamples. rng makes
+// the interval reproducible. Empty input returns NaNs.
+func BootstrapMedianCI(xs []float64, iters int, level float64, rng *rand.Rand) (lo, hi float64) {
+	if len(xs) == 0 || iters < 10 || level <= 0 || level >= 1 {
+		return math.NaN(), math.NaN()
+	}
+	meds := make([]float64, iters)
+	sample := make([]float64, len(xs))
+	for b := 0; b < iters; b++ {
+		for i := range sample {
+			sample[i] = xs[rng.Intn(len(xs))]
+		}
+		meds[b] = Median(sample)
+	}
+	alpha := (1 - level) / 2
+	return Percentile(meds, alpha*100), Percentile(meds, (1-alpha)*100)
+}

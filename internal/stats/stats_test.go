@@ -1,0 +1,205 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestMedianOddEven(t *testing.T) {
+	if m := Median([]float64{3, 1, 2}); m != 2 {
+		t.Fatalf("odd median = %v", m)
+	}
+	if m := Median([]float64{4, 1, 3, 2}); m != 2.5 {
+		t.Fatalf("even median = %v", m)
+	}
+	if !math.IsNaN(Median(nil)) {
+		t.Fatal("empty median should be NaN")
+	}
+}
+
+func TestPercentileEndpoints(t *testing.T) {
+	xs := []float64{10, 20, 30, 40, 50}
+	if p := Percentile(xs, 0); p != 10 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := Percentile(xs, 100); p != 50 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if p := Percentile(xs, 25); p != 20 {
+		t.Fatalf("p25 = %v", p)
+	}
+	// Interpolation between order statistics.
+	if p := Percentile(xs, 10); math.Abs(p-14) > 1e-12 {
+		t.Fatalf("p10 = %v, want 14", p)
+	}
+	// Clamps out-of-range p.
+	if p := Percentile(xs, -5); p != 10 {
+		t.Fatalf("p<0 = %v", p)
+	}
+	if p := Percentile(xs, 200); p != 50 {
+		t.Fatalf("p>100 = %v", p)
+	}
+	if p := Percentile([]float64{7}, 50); p != 7 {
+		t.Fatalf("singleton percentile = %v", p)
+	}
+}
+
+func TestPercentileDoesNotMutateInput(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	Percentile(xs, 50)
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if m := Mean(xs); m != 5 {
+		t.Fatalf("mean = %v", m)
+	}
+	if v := Variance(xs); v != 4 {
+		t.Fatalf("variance = %v", v)
+	}
+	if s := StdDev(xs); s != 2 {
+		t.Fatalf("stddev = %v", s)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Variance(nil)) {
+		t.Fatal("empty mean/variance should be NaN")
+	}
+}
+
+func TestCDFAt(t *testing.T) {
+	c := NewCDF([]float64{1, 2, 3, 4})
+	cases := []struct{ x, want float64 }{
+		{0.5, 0}, {1, 0.25}, {2.5, 0.5}, {4, 1}, {10, 1},
+	}
+	for _, tc := range cases {
+		if got := c.At(tc.x); math.Abs(got-tc.want) > 1e-12 {
+			t.Fatalf("At(%v) = %v, want %v", tc.x, got, tc.want)
+		}
+	}
+	if !math.IsNaN(NewCDF(nil).At(1)) {
+		t.Fatal("empty CDF should be NaN")
+	}
+}
+
+func TestCDFQuantileInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	xs := make([]float64, 1000)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	c := NewCDF(xs)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		x := c.Quantile(q)
+		if math.Abs(c.At(x)-q) > 0.01 {
+			t.Fatalf("At(Quantile(%v)) = %v", q, c.At(x))
+		}
+	}
+}
+
+func TestCDFSeries(t *testing.T) {
+	c := NewCDF([]float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	xs, ps := c.Series(10)
+	if len(xs) != 10 || len(ps) != 10 {
+		t.Fatalf("series lengths %d/%d", len(xs), len(ps))
+	}
+	if xs[0] != 0 || xs[9] != 9 {
+		t.Fatalf("series endpoints %v..%v", xs[0], xs[9])
+	}
+	for i := 1; i < 10; i++ {
+		if ps[i] < ps[i-1] {
+			t.Fatal("CDF series not monotone")
+		}
+	}
+	if ps[9] != 1 {
+		t.Fatalf("final probability %v, want 1", ps[9])
+	}
+	if x, p := c.Series(1); x != nil || p != nil {
+		t.Fatal("n<2 should return nil")
+	}
+}
+
+func TestQuickCDFMonotone(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 30, Rand: rand.New(rand.NewSource(82))}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, 5+rng.Intn(100))
+		for i := range xs {
+			xs[i] = rng.NormFloat64() * 10
+		}
+		c := NewCDF(xs)
+		prev := -1.0
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := c.At(c.Quantile(q))
+			if v < prev-1e-12 {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{1, 2, 3, 4, 5})
+	if s.N != 5 || s.Median != 3 || s.Min != 1 || s.Max != 5 || s.Mean != 3 {
+		t.Fatalf("summary = %+v", s)
+	}
+	empty := Summarize(nil)
+	if empty.N != 0 || !math.IsNaN(empty.Median) {
+		t.Fatalf("empty summary = %+v", empty)
+	}
+	if !strings.Contains(s.String(), "median=3.000") {
+		t.Fatalf("String() = %q", s.String())
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	out := Table("Fig X", []string{"spotfi", "arraytrack"}, []Summary{
+		Summarize([]float64{0.4, 0.5}),
+		Summarize([]float64{1.8, 2.0}),
+	})
+	if !strings.Contains(out, "Fig X") || !strings.Contains(out, "spotfi") || !strings.Contains(out, "arraytrack") {
+		t.Fatalf("table missing content:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 4 {
+		t.Fatalf("table has wrong row count:\n%s", out)
+	}
+}
+
+func TestBootstrapMedianCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(83))
+	xs := make([]float64, 400)
+	for i := range xs {
+		xs[i] = rng.NormFloat64() + 10
+	}
+	lo, hi := BootstrapMedianCI(xs, 500, 0.95, rng)
+	med := Median(xs)
+	if !(lo <= med && med <= hi) {
+		t.Fatalf("median %v outside CI [%v, %v]", med, lo, hi)
+	}
+	// The CI of a 400-sample standard normal median is narrow.
+	if hi-lo > 0.5 {
+		t.Fatalf("CI too wide: [%v, %v]", lo, hi)
+	}
+	// More data ⇒ narrower CI.
+	small := xs[:25]
+	lo2, hi2 := BootstrapMedianCI(small, 500, 0.95, rng)
+	if hi2-lo2 <= hi-lo {
+		t.Fatalf("25-sample CI (%v) not wider than 400-sample (%v)", hi2-lo2, hi-lo)
+	}
+	// Degenerate inputs.
+	if l, h := BootstrapMedianCI(nil, 100, 0.95, rng); !math.IsNaN(l) || !math.IsNaN(h) {
+		t.Fatal("empty input should give NaNs")
+	}
+	if l, _ := BootstrapMedianCI(xs, 5, 0.95, rng); !math.IsNaN(l) {
+		t.Fatal("too few iters should give NaNs")
+	}
+}

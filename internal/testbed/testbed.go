@@ -1,0 +1,353 @@
+// Package testbed builds the simulated deployments the evaluation runs on,
+// mirroring the paper's Fig. 6 testbed: an indoor office region (16 m×10 m,
+// six APs), corridor deployments with APs along one wall, and a high-NLoS
+// region where targets have at most two APs in line of sight. Geometry is
+// scripted so ground truth is exact; CSI comes from the sim package.
+package testbed
+
+import (
+	"fmt"
+	"math/rand"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/geom"
+	"spotfi/internal/locate"
+	"spotfi/internal/rf"
+	"spotfi/internal/sim"
+	"spotfi/internal/viz"
+)
+
+// Deployment is one fully specified experiment scenario.
+type Deployment struct {
+	Name    string
+	Env     *sim.Environment
+	APs     []sim.AP
+	Targets []geom.Point
+	Bounds  locate.Bounds
+	Band    rf.Band
+	Array   rf.Array
+	LinkCfg sim.LinkConfig
+	Imp     sim.Impairments
+	// Seed drives all per-link randomness deterministically.
+	Seed int64
+}
+
+// mix derives a deterministic per-(ap, target) seed (splitmix64 finalizer).
+func mix(seed int64, ap, target int) int64 {
+	z := uint64(seed) ^ (uint64(ap+1) * 0x9E3779B97F4A7C15) ^ (uint64(target+1) * 0xBF58476D1CE4E5B9)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}
+
+// Link ray-traces the link from target t to AP a with deterministic
+// per-link randomness.
+func (d *Deployment) Link(a, t int) *sim.Link {
+	rng := rand.New(rand.NewSource(mix(d.Seed, a, t)))
+	return sim.NewLink(d.Env, d.APs[a], d.Targets[t], d.LinkCfg, rng)
+}
+
+// Burst synthesizes n packets for the (AP a, target t) link. The target's
+// MAC encodes its index so server-side demultiplexing is exercised.
+func (d *Deployment) Burst(a, t, n int) ([]*csi.Packet, error) {
+	link := d.Link(a, t)
+	rng := rand.New(rand.NewSource(mix(d.Seed+1, a, t)))
+	syn, err := sim.NewSynthesizer(link, d.Band, d.Array, d.Imp, rng)
+	if err != nil {
+		return nil, fmt.Errorf("testbed: link AP%d→target%d: %w", a, t, err)
+	}
+	return syn.Burst(TargetMAC(t), n), nil
+}
+
+// TargetMAC returns the synthetic MAC address of target index t.
+func TargetMAC(t int) string {
+	return fmt.Sprintf("02:00:00:00:%02x:%02x", (t>>8)&0xff, t&0xff)
+}
+
+// LoSAPs returns the indices of APs with geometric line of sight to target
+// t — the paper's NLoS definition (Sec. 4.4.1): an AP is NLoS when "a
+// strong blocking object like a wall" obstructs the line joining target
+// and AP.
+func (d *Deployment) LoSAPs(t int) []int {
+	var out []int
+	for a := range d.APs {
+		if d.Env.LoS(d.Targets[t], d.APs[a].Pos) {
+			out = append(out, a)
+		}
+	}
+	return out
+}
+
+// GroundTruthAoA returns the true direct-path AoA at AP a for target t.
+func (d *Deployment) GroundTruthAoA(a, t int) float64 {
+	return d.APs[a].AoATo(d.Targets[t])
+}
+
+// officeWalls returns the shared office shell: a 16×10 perimeter plus two
+// partial interior walls, all reflective — a multipath-rich environment
+// with 6–8 significant paths per link, as the paper reports for indoor
+// offices.
+func officeWalls() []sim.Wall {
+	perim := 16.0
+	height := 10.0
+	mk := func(ax, ay, bx, by, loss, refl float64) sim.Wall {
+		return sim.Wall{
+			Seg:           geom.Segment{A: geom.Point{X: ax, Y: ay}, B: geom.Point{X: bx, Y: by}},
+			LossDB:        loss,
+			ReflectLossDB: refl,
+		}
+	}
+	return []sim.Wall{
+		mk(0, 0, perim, 0, 16, 3),
+		mk(perim, 0, perim, height, 16, 3),
+		mk(perim, height, 0, height, 16, 3),
+		mk(0, height, 0, 0, 16, 3),
+		// Interior partial walls (lab benches / partitions / metal
+		// cabinets) — strong reflectors that also shadow parts of the
+		// room.
+		mk(6, 0, 6, 3.5, 10, 5),
+		mk(10, 6.5, 10, 10, 10, 5),
+		mk(2.5, 6, 4.5, 6, 9, 5),
+		mk(12, 3, 14, 3, 9, 5),
+	}
+}
+
+func officeScatterers() []sim.Scatterer {
+	pts := []geom.Point{
+		{X: 3, Y: 8}, {X: 12.5, Y: 2}, {X: 8, Y: 5.2}, {X: 14, Y: 8.5},
+		{X: 2, Y: 2.5}, {X: 11, Y: 4.8}, {X: 5.5, Y: 7.5}, {X: 9, Y: 1.5},
+	}
+	out := make([]sim.Scatterer, len(pts))
+	for i, p := range pts {
+		out[i] = sim.Scatterer{Pos: p, LossDB: 10 + 2*float64(i%3)}
+	}
+	return out
+}
+
+// apsFacing returns APs at the given positions with array normals facing
+// the room center.
+func apsFacing(pos []geom.Point, center geom.Point) []sim.AP {
+	aps := make([]sim.AP, len(pos))
+	for i, p := range pos {
+		aps[i] = sim.AP{ID: i, Pos: p, NormalAngle: center.Sub(p).Angle()}
+	}
+	return aps
+}
+
+// jitteredTargets generates count target positions on a jittered grid
+// inside the bounds, keeping minDist clearance from every wall endpoint
+// and AP, and accepting only points that pass the filter (nil = accept
+// all).
+func jitteredTargets(rng *rand.Rand, b locate.Bounds, count int, aps []sim.AP, filter func(geom.Point) bool) []geom.Point {
+	var out []geom.Point
+	const maxAttempts = 20000
+	for attempt := 0; attempt < maxAttempts && len(out) < count; attempt++ {
+		p := geom.Point{
+			X: b.MinX + 0.8 + (b.MaxX-b.MinX-1.6)*rng.Float64(),
+			Y: b.MinY + 0.8 + (b.MaxY-b.MinY-1.6)*rng.Float64(),
+		}
+		tooClose := false
+		for _, ap := range aps {
+			if p.Dist(ap.Pos) < 1.0 {
+				tooClose = true
+				break
+			}
+		}
+		for _, q := range out {
+			if p.Dist(q) < 0.7 {
+				tooClose = true
+				break
+			}
+		}
+		if tooClose {
+			continue
+		}
+		if filter != nil && !filter(p) {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// Office builds the indoor-office deployment of Sec. 4.3.1: a 16 m×10 m
+// multipath-rich region with six APs surrounding the targets — the
+// scenario ArrayTrack and Ubicarse were evaluated in.
+func Office(seed int64) *Deployment {
+	bounds := locate.Bounds{MinX: 0, MinY: 0, MaxX: 16, MaxY: 10}
+	center := geom.Point{X: 8, Y: 5}
+	aps := apsFacing([]geom.Point{
+		{X: 0.4, Y: 0.4}, {X: 15.6, Y: 0.4}, {X: 0.4, Y: 9.6},
+		{X: 15.6, Y: 9.6}, {X: 8, Y: 0.3}, {X: 8, Y: 9.7},
+	}, center)
+	env := &sim.Environment{Walls: officeWalls(), Scatterers: officeScatterers()}
+	rng := rand.New(rand.NewSource(seed))
+	targets := jitteredTargets(rng, bounds, 30, aps, nil)
+	return &Deployment{
+		Name:    "office",
+		Env:     env,
+		APs:     aps,
+		Targets: targets,
+		Bounds:  bounds,
+		Band:    rf.DefaultBand(),
+		Array:   rf.DefaultArray(rf.DefaultBand()),
+		LinkCfg: sim.DefaultLinkConfig(),
+		Imp:     sim.DefaultImpairments(),
+		Seed:    seed,
+	}
+}
+
+// Corridor builds the corridor deployment of Sec. 4.3.3: a long narrow
+// strip with all APs along one side wall, producing correlated AoA
+// measurements.
+func Corridor(seed int64) *Deployment {
+	length, width := 30.0, 2.5
+	bounds := locate.Bounds{MinX: 0, MinY: 0, MaxX: length, MaxY: width}
+	mk := func(ax, ay, bx, by float64) sim.Wall {
+		return sim.Wall{
+			Seg:           geom.Segment{A: geom.Point{X: ax, Y: ay}, B: geom.Point{X: bx, Y: by}},
+			LossDB:        16,
+			ReflectLossDB: 4, // narrow corridors are strong waveguides
+		}
+	}
+	env := &sim.Environment{
+		Walls: []sim.Wall{
+			mk(0, 0, length, 0),
+			mk(0, width, length, width),
+			mk(0, 0, 0, width),
+			mk(length, 0, length, width),
+		},
+		Scatterers: []sim.Scatterer{
+			{Pos: geom.Point{X: 7, Y: 0.4}, LossDB: 14},
+			{Pos: geom.Point{X: 18, Y: 2.1}, LossDB: 14},
+			{Pos: geom.Point{X: 25, Y: 0.5}, LossDB: 15},
+		},
+	}
+	// Five APs along the top wall, facing across the corridor.
+	var apPos []geom.Point
+	for i := 0; i < 5; i++ {
+		apPos = append(apPos, geom.Point{X: 3 + 6*float64(i), Y: width - 0.2})
+	}
+	aps := make([]sim.AP, len(apPos))
+	for i, p := range apPos {
+		aps[i] = sim.AP{ID: i, Pos: p, NormalAngle: -1.5707963267948966} // facing −Y
+	}
+	rng := rand.New(rand.NewSource(seed))
+	targets := jitteredTargets(rng, bounds, 25, aps, nil)
+	return &Deployment{
+		Name:    "corridor",
+		Env:     env,
+		APs:     aps,
+		Targets: targets,
+		Bounds:  bounds,
+		Band:    rf.DefaultBand(),
+		Array:   rf.DefaultArray(rf.DefaultBand()),
+		LinkCfg: sim.DefaultLinkConfig(),
+		Imp:     sim.DefaultImpairments(),
+		Seed:    seed,
+	}
+}
+
+// HighNLoS builds the stress deployment of Sec. 4.3.2: interior walls
+// partition the office into rooms so that every target has at most two
+// APs with a strong direct path.
+func HighNLoS(seed int64) *Deployment {
+	bounds := locate.Bounds{MinX: 0, MinY: 0, MaxX: 16, MaxY: 10}
+	center := geom.Point{X: 8, Y: 5}
+	aps := apsFacing([]geom.Point{
+		{X: 0.4, Y: 0.4}, {X: 15.6, Y: 0.4}, {X: 0.4, Y: 9.6},
+		{X: 15.6, Y: 9.6}, {X: 8, Y: 0.3}, {X: 8, Y: 9.7},
+	}, center)
+	walls := officeWalls()
+	mk := func(ax, ay, bx, by float64) sim.Wall {
+		return sim.Wall{
+			Seg:           geom.Segment{A: geom.Point{X: ax, Y: ay}, B: geom.Point{X: bx, Y: by}},
+			LossDB:        13,
+			ReflectLossDB: 7,
+		}
+	}
+	// Room partitions with door gaps.
+	walls = append(walls,
+		mk(5.3, 0, 5.3, 4.2),
+		mk(5.3, 5.4, 5.3, 10),
+		mk(10.7, 0, 10.7, 4.2),
+		mk(10.7, 5.4, 10.7, 10),
+		mk(0, 5, 4.4, 5),
+		mk(6.2, 5, 9.8, 5),
+		mk(11.6, 5, 16, 5),
+	)
+	// Doorways funnel most cross-room energy: a blocked direct path is
+	// far weaker than the re-radiated path through the opening, which
+	// arrives from the doorway's direction rather than the target's —
+	// the effect that makes NLoS AoA hard (Sec. 4.3.2).
+	scatterers := append(officeScatterers(),
+		sim.Scatterer{Pos: geom.Point{X: 5.3, Y: 4.8}, LossDB: 5},
+		sim.Scatterer{Pos: geom.Point{X: 10.7, Y: 4.8}, LossDB: 5},
+	)
+	env := &sim.Environment{Walls: walls, Scatterers: scatterers}
+
+	d := &Deployment{
+		Name:    "high-nlos",
+		Env:     env,
+		APs:     aps,
+		Bounds:  bounds,
+		Band:    rf.DefaultBand(),
+		Array:   rf.DefaultArray(rf.DefaultBand()),
+		LinkCfg: sim.DefaultLinkConfig(),
+		Imp:     sim.DefaultImpairments(),
+		Seed:    seed,
+	}
+	// Keep only positions with ≤2 line-of-sight APs (and ≥1, so the
+	// problem stays solvable).
+	rng := rand.New(rand.NewSource(seed))
+	filter := func(p geom.Point) bool {
+		los := 0
+		for a := range aps {
+			if env.LoS(p, aps[a].Pos) {
+				los++
+			}
+		}
+		return los >= 1 && los <= 2
+	}
+	d.Targets = jitteredTargets(rng, bounds, 23, aps, filter)
+	return d
+}
+
+// SubsetAPs returns a deterministic pseudo-random subset of k AP indices
+// for target t — used by the deployment-density experiment (Fig. 9a).
+func (d *Deployment) SubsetAPs(t, k int) []int {
+	if k >= len(d.APs) {
+		out := make([]int, len(d.APs))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	rng := rand.New(rand.NewSource(mix(d.Seed+2, 0, t)))
+	perm := rng.Perm(len(d.APs))
+	out := append([]int(nil), perm[:k]...)
+	return out
+}
+
+// FloorPlan renders the deployment as a Fig. 6-style map.
+func (d *Deployment) FloorPlan() *viz.FloorPlan {
+	fp := &viz.FloorPlan{
+		Title: fmt.Sprintf("%s deployment (%d APs, %d targets)", d.Name, len(d.APs), len(d.Targets)),
+		MinX:  d.Bounds.MinX, MinY: d.Bounds.MinY,
+		MaxX: d.Bounds.MaxX, MaxY: d.Bounds.MaxY,
+	}
+	for _, w := range d.Env.Walls {
+		fp.Walls = append(fp.Walls, [4]float64{w.Seg.A.X, w.Seg.A.Y, w.Seg.B.X, w.Seg.B.Y})
+	}
+	for _, s := range d.Env.Scatterers {
+		fp.Scatterers = append(fp.Scatterers, [2]float64{s.Pos.X, s.Pos.Y})
+	}
+	for _, ap := range d.APs {
+		fp.APs = append(fp.APs, [3]float64{ap.Pos.X, ap.Pos.Y, ap.NormalAngle})
+	}
+	for _, t := range d.Targets {
+		fp.Targets = append(fp.Targets, [2]float64{t.X, t.Y})
+	}
+	return fp
+}

@@ -1,0 +1,221 @@
+package testbed
+
+import (
+	"math"
+	"testing"
+)
+
+func TestOfficeDeployment(t *testing.T) {
+	d := Office(1)
+	if len(d.APs) != 6 {
+		t.Fatalf("office has %d APs, want 6", len(d.APs))
+	}
+	if len(d.Targets) != 30 {
+		t.Fatalf("office has %d targets, want 30", len(d.Targets))
+	}
+	for i, p := range d.Targets {
+		if !d.Bounds.Contains(p) {
+			t.Fatalf("target %d at %v outside bounds", i, p)
+		}
+	}
+	// A multipath-rich office: every link resolves several paths.
+	link := d.Link(0, 0)
+	if len(link.Paths) < 3 {
+		t.Fatalf("office link has only %d paths", len(link.Paths))
+	}
+}
+
+func TestOfficeDeterministic(t *testing.T) {
+	a := Office(7)
+	b := Office(7)
+	if len(a.Targets) != len(b.Targets) {
+		t.Fatal("target counts differ for equal seeds")
+	}
+	for i := range a.Targets {
+		if a.Targets[i] != b.Targets[i] {
+			t.Fatalf("target %d differs: %v vs %v", i, a.Targets[i], b.Targets[i])
+		}
+	}
+	// Same (AP, target) link must enumerate identical paths.
+	la, lb := a.Link(2, 5), b.Link(2, 5)
+	if len(la.Paths) != len(lb.Paths) {
+		t.Fatal("link path counts differ")
+	}
+	for i := range la.Paths {
+		if la.Paths[i] != lb.Paths[i] {
+			t.Fatalf("path %d differs", i)
+		}
+	}
+	// Different seeds give different layouts.
+	c := Office(8)
+	same := true
+	for i := range a.Targets {
+		if a.Targets[i] != c.Targets[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical targets")
+	}
+}
+
+func TestBurstDeterministicAndValid(t *testing.T) {
+	d := Office(3)
+	b1, err := d.Burst(1, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := d.Burst(1, 2, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(b1) != 5 {
+		t.Fatalf("burst has %d packets", len(b1))
+	}
+	for i := range b1 {
+		if err := b1[i].Validate(); err != nil {
+			t.Fatalf("packet %d invalid: %v", i, err)
+		}
+		if b1[i].RSSIdBm != b2[i].RSSIdBm {
+			t.Fatal("bursts not deterministic")
+		}
+		if b1[i].APID != 1 {
+			t.Fatalf("packet has APID %d, want 1", b1[i].APID)
+		}
+		if b1[i].TargetMAC != TargetMAC(2) {
+			t.Fatalf("packet has MAC %s", b1[i].TargetMAC)
+		}
+	}
+}
+
+func TestCorridorGeometry(t *testing.T) {
+	d := Corridor(1)
+	if len(d.APs) != 5 {
+		t.Fatalf("corridor has %d APs, want 5", len(d.APs))
+	}
+	if len(d.Targets) != 25 {
+		t.Fatalf("corridor has %d targets, want 25", len(d.Targets))
+	}
+	// All APs sit along the top wall facing down.
+	for i, ap := range d.APs {
+		if math.Abs(ap.Pos.Y-(d.Bounds.MaxY-0.2)) > 1e-9 {
+			t.Fatalf("AP %d not on the side wall: %v", i, ap.Pos)
+		}
+		if math.Abs(ap.NormalAngle+math.Pi/2) > 1e-9 {
+			t.Fatalf("AP %d normal %v, want −π/2", i, ap.NormalAngle)
+		}
+	}
+}
+
+func TestHighNLoSCondition(t *testing.T) {
+	d := HighNLoS(1)
+	if len(d.Targets) == 0 {
+		t.Fatal("no NLoS targets generated")
+	}
+	if len(d.Targets) < 15 {
+		t.Fatalf("only %d NLoS targets generated, want ≥15", len(d.Targets))
+	}
+	for i := range d.Targets {
+		n := len(d.LoSAPs(i))
+		if n > 2 {
+			t.Fatalf("target %d has %d strong-direct APs, want ≤2", i, n)
+		}
+	}
+}
+
+func TestOfficeIsMostlyLoS(t *testing.T) {
+	// Sanity contrast with HighNLoS: in the office, most targets have ≥3
+	// strong-direct APs (the paper says typically 4–5).
+	d := Office(1)
+	good := 0
+	for i := range d.Targets {
+		if len(d.LoSAPs(i)) >= 3 {
+			good++
+		}
+	}
+	if good < len(d.Targets)*2/3 {
+		t.Fatalf("only %d/%d office targets have ≥3 strong-direct APs", good, len(d.Targets))
+	}
+}
+
+func TestGroundTruthAoAInRange(t *testing.T) {
+	d := Office(1)
+	for a := range d.APs {
+		for ti := range d.Targets {
+			aoa := d.GroundTruthAoA(a, ti)
+			if aoa < -math.Pi/2-1e-9 || aoa > math.Pi/2+1e-9 {
+				t.Fatalf("AoA %v outside ±π/2", aoa)
+			}
+		}
+	}
+}
+
+func TestSubsetAPs(t *testing.T) {
+	d := Office(1)
+	s3 := d.SubsetAPs(0, 3)
+	if len(s3) != 3 {
+		t.Fatalf("subset size %d, want 3", len(s3))
+	}
+	seen := map[int]bool{}
+	for _, a := range s3 {
+		if a < 0 || a >= len(d.APs) || seen[a] {
+			t.Fatalf("bad subset %v", s3)
+		}
+		seen[a] = true
+	}
+	// Deterministic.
+	s3b := d.SubsetAPs(0, 3)
+	for i := range s3 {
+		if s3[i] != s3b[i] {
+			t.Fatal("subset not deterministic")
+		}
+	}
+	// k ≥ number of APs returns all.
+	all := d.SubsetAPs(0, 99)
+	if len(all) != len(d.APs) {
+		t.Fatalf("oversized subset returned %d APs", len(all))
+	}
+}
+
+func TestTargetMACFormat(t *testing.T) {
+	if TargetMAC(0) != "02:00:00:00:00:00" {
+		t.Fatalf("MAC(0) = %s", TargetMAC(0))
+	}
+	if TargetMAC(258) != "02:00:00:00:01:02" {
+		t.Fatalf("MAC(258) = %s", TargetMAC(258))
+	}
+	if TargetMAC(1) == TargetMAC(2) {
+		t.Fatal("MAC collision")
+	}
+}
+
+func TestMixIndependence(t *testing.T) {
+	// Different (ap, target) pairs must get different seeds.
+	seen := map[int64]bool{}
+	for a := 0; a < 6; a++ {
+		for ti := 0; ti < 55; ti++ {
+			s := mix(1, a, ti)
+			if seen[s] {
+				t.Fatalf("seed collision at (%d,%d)", a, ti)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestFloorPlanConversion(t *testing.T) {
+	d := Office(1)
+	fp := d.FloorPlan()
+	if len(fp.APs) != len(d.APs) || len(fp.Targets) != len(d.Targets) {
+		t.Fatalf("floor plan lost elements: %d/%d APs, %d/%d targets",
+			len(fp.APs), len(d.APs), len(fp.Targets), len(d.Targets))
+	}
+	svg, err := fp.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(svg) < 1000 {
+		t.Fatalf("suspiciously small floor plan SVG (%d bytes)", len(svg))
+	}
+}

@@ -1,0 +1,81 @@
+package viz
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// FloorPlan renders a deployment map in the style of the paper's Fig. 6:
+// walls, scatterers, AP positions with their array normals, and target
+// locations.
+type FloorPlan struct {
+	Title                  string
+	MinX, MinY, MaxX, MaxY float64
+	// Walls are segments ((x1,y1),(x2,y2)).
+	Walls [][4]float64
+	// Scatterers are point obstacles.
+	Scatterers [][2]float64
+	// APs are (x, y, normalAngleRad).
+	APs [][3]float64
+	// Targets are localization target positions.
+	Targets [][2]float64
+	// PixelsPerMeter scales the drawing (0 = 40).
+	PixelsPerMeter float64
+}
+
+// SVG renders the plan as a standalone SVG document.
+func (fp *FloorPlan) SVG() (string, error) {
+	if fp.MinX >= fp.MaxX || fp.MinY >= fp.MaxY {
+		return "", fmt.Errorf("viz: empty floor plan bounds")
+	}
+	ppm := fp.PixelsPerMeter
+	if ppm <= 0 {
+		ppm = 40
+	}
+	const margin = 40.0
+	w := (fp.MaxX-fp.MinX)*ppm + 2*margin
+	h := (fp.MaxY-fp.MinY)*ppm + 2*margin
+	// SVG y grows downward; flip so +Y is up like the plan.
+	px := func(x float64) float64 { return margin + (x-fp.MinX)*ppm }
+	py := func(y float64) float64 { return margin + (fp.MaxY-y)*ppm }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%.0f" y="24" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n",
+		margin, escape(fp.Title))
+
+	for _, wall := range fp.Walls {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#444" stroke-width="3"/>`+"\n",
+			px(wall[0]), py(wall[1]), px(wall[2]), py(wall[3]))
+	}
+	for _, s := range fp.Scatterers {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="none" stroke="#999" stroke-width="1.5"/>`+"\n",
+			px(s[0]), py(s[1]))
+	}
+	for _, t := range fp.Targets {
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="4" fill="#1b6ca8"/>`+"\n", px(t[0]), py(t[1]))
+	}
+	for i, ap := range fp.APs {
+		x, y := px(ap[0]), py(ap[1])
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="10" height="10" fill="#d1495b"/>`+"\n", x-5, y-5)
+		// Array normal arrow (0.8 m long).
+		nx := px(ap[0]+0.8*math.Cos(ap[2])) - x
+		ny := py(ap[1]+0.8*math.Sin(ap[2])) - y
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#d1495b" stroke-width="2"/>`+"\n",
+			x, y, x+nx, y+ny)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10">AP%d</text>`+"\n",
+			x+7, y-7, i)
+	}
+	// Legend.
+	ly := h - 14
+	fmt.Fprintf(&b, `<rect x="%.0f" y="%.1f" width="10" height="10" fill="#d1495b"/>`+"\n", margin, ly-9)
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.1f" font-family="sans-serif" font-size="11">AP</text>`+"\n", margin+14, ly)
+	fmt.Fprintf(&b, `<circle cx="%.0f" cy="%.1f" r="4" fill="#1b6ca8"/>`+"\n", margin+50, ly-4)
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.1f" font-family="sans-serif" font-size="11">target</text>`+"\n", margin+58, ly)
+	fmt.Fprintf(&b, `<circle cx="%.0f" cy="%.1f" r="4" fill="none" stroke="#999"/>`+"\n", margin+110, ly-4)
+	fmt.Fprintf(&b, `<text x="%.0f" y="%.1f" font-family="sans-serif" font-size="11">scatterer</text>`+"\n", margin+118, ly)
+	b.WriteString("</svg>\n")
+	return b.String(), nil
+}

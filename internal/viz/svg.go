@@ -1,0 +1,213 @@
+// Package viz renders the evaluation's figures: CDF line plots as
+// standalone SVG documents (the format of the paper's Figs. 7–9) and MUSIC
+// pseudo-spectrum heatmaps, plus compact ASCII fallbacks for terminals.
+// Everything is generated from scratch — no external plotting stack.
+package viz
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Series is one labeled curve.
+type Series struct {
+	Label string
+	// X and Y are same-length coordinate slices.
+	X, Y []float64
+}
+
+// LinePlot describes an SVG line chart.
+type LinePlot struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Series []Series
+	// Width and Height are the SVG canvas size in px (0 = 640×400).
+	Width, Height int
+}
+
+// palette holds distinguishable stroke colors (colorblind-safe-ish).
+var palette = []string{
+	"#1b6ca8", "#d1495b", "#66a182", "#edae49", "#775bb5", "#2e4057",
+}
+
+// CDFPlot builds a LinePlot from labeled sample sets: each series becomes
+// its empirical CDF curve, the standard presentation of localization
+// error.
+func CDFPlot(title, xlabel string, labels []string, samples [][]float64) (*LinePlot, error) {
+	if len(labels) != len(samples) || len(labels) == 0 {
+		return nil, fmt.Errorf("viz: labels/samples mismatch")
+	}
+	p := &LinePlot{Title: title, XLabel: xlabel, YLabel: "CDF"}
+	for i, lab := range labels {
+		xs := append([]float64(nil), samples[i]...)
+		if len(xs) == 0 {
+			continue
+		}
+		sort.Float64s(xs)
+		n := len(xs)
+		sx := make([]float64, 0, n+1)
+		sy := make([]float64, 0, n+1)
+		sx = append(sx, xs[0])
+		sy = append(sy, 0)
+		for j, x := range xs {
+			sx = append(sx, x)
+			sy = append(sy, float64(j+1)/float64(n))
+		}
+		p.Series = append(p.Series, Series{Label: lab, X: sx, Y: sy})
+	}
+	if len(p.Series) == 0 {
+		return nil, fmt.Errorf("viz: all series empty")
+	}
+	return p, nil
+}
+
+// SVG renders the plot as a standalone SVG document.
+func (p *LinePlot) SVG() string {
+	w, h := p.Width, p.Height
+	if w <= 0 {
+		w = 640
+	}
+	if h <= 0 {
+		h = 400
+	}
+	const mLeft, mRight, mTop, mBottom = 60, 20, 36, 46
+	plotW := float64(w - mLeft - mRight)
+	plotH := float64(h - mTop - mBottom)
+
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for _, s := range p.Series {
+		for i := range s.X {
+			minX = math.Min(minX, s.X[i])
+			maxX = math.Max(maxX, s.X[i])
+			minY = math.Min(minY, s.Y[i])
+			maxY = math.Max(maxY, s.Y[i])
+		}
+	}
+	if !finite(minX) || !finite(maxX) || minX == maxX {
+		maxX = minX + 1
+	}
+	if !finite(minY) || !finite(maxY) || minY == maxY {
+		maxY = minY + 1
+	}
+
+	px := func(x float64) float64 { return float64(mLeft) + (x-minX)/(maxX-minX)*plotW }
+	py := func(y float64) float64 { return float64(mTop) + (1-(y-minY)/(maxY-minY))*plotH }
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%d" height="%d" viewBox="0 0 %d %d">`+"\n", w, h, w, h)
+	b.WriteString(`<rect width="100%" height="100%" fill="white"/>` + "\n")
+	fmt.Fprintf(&b, `<text x="%d" y="20" font-family="sans-serif" font-size="14" font-weight="bold">%s</text>`+"\n", mLeft, escape(p.Title))
+
+	// Axes and grid (5 ticks each).
+	for i := 0; i <= 5; i++ {
+		fx := minX + (maxX-minX)*float64(i)/5
+		fy := minY + (maxY-minY)*float64(i)/5
+		x := px(fx)
+		y := py(fy)
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%d" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", x, mTop, x, float64(mTop)+plotH)
+		fmt.Fprintf(&b, `<line x1="%d" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#ddd"/>`+"\n", mLeft, y, float64(mLeft)+plotW, y)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="middle">%s</text>`+"\n",
+			x, float64(mTop)+plotH+14, fmtTick(fx))
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-family="sans-serif" font-size="10" text-anchor="end">%s</text>`+"\n",
+			float64(mLeft)-6, y+3, fmtTick(fy))
+	}
+	fmt.Fprintf(&b, `<rect x="%d" y="%d" width="%.1f" height="%.1f" fill="none" stroke="#333"/>`+"\n", mLeft, mTop, plotW, plotH)
+	fmt.Fprintf(&b, `<text x="%.1f" y="%d" font-family="sans-serif" font-size="12" text-anchor="middle">%s</text>`+"\n",
+		float64(mLeft)+plotW/2, h-8, escape(p.XLabel))
+	fmt.Fprintf(&b, `<text x="14" y="%.1f" font-family="sans-serif" font-size="12" text-anchor="middle" transform="rotate(-90 14 %.1f)">%s</text>`+"\n",
+		float64(mTop)+plotH/2, float64(mTop)+plotH/2, escape(p.YLabel))
+
+	// Curves.
+	for i, s := range p.Series {
+		color := palette[i%len(palette)]
+		var pts []string
+		for j := range s.X {
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", px(s.X[j]), py(s.Y[j])))
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="2"/>`+"\n",
+			strings.Join(pts, " "), color)
+		// Legend entry.
+		ly := mTop + 14 + 16*i
+		fmt.Fprintf(&b, `<line x1="%d" y1="%d" x2="%d" y2="%d" stroke="%s" stroke-width="3"/>`+"\n",
+			mLeft+10, ly, mLeft+34, ly, color)
+		fmt.Fprintf(&b, `<text x="%d" y="%d" font-family="sans-serif" font-size="11">%s</text>`+"\n",
+			mLeft+40, ly+4, escape(s.Label))
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// ASCII renders a compact terminal view of the plot (one row per series:
+// a sparkline of Y over the common X range).
+func (p *LinePlot) ASCII(width int) string {
+	if width < 16 {
+		width = 16
+	}
+	marks := []rune("▁▂▃▄▅▆▇█")
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", p.Title)
+	for _, s := range p.Series {
+		if len(s.X) == 0 {
+			continue
+		}
+		minX, maxX := s.X[0], s.X[len(s.X)-1]
+		row := make([]rune, width)
+		for c := 0; c < width; c++ {
+			x := minX + (maxX-minX)*float64(c)/float64(width-1)
+			y := interp(s.X, s.Y, x)
+			idx := int(y * float64(len(marks)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(marks) {
+				idx = len(marks) - 1
+			}
+			row[c] = marks[idx]
+		}
+		fmt.Fprintf(&b, "%-24s %s\n", s.Label, string(row))
+	}
+	return b.String()
+}
+
+func interp(xs, ys []float64, x float64) float64 {
+	n := len(xs)
+	if x <= xs[0] {
+		return ys[0]
+	}
+	if x >= xs[n-1] {
+		return ys[n-1]
+	}
+	i := sort.SearchFloat64s(xs, x)
+	if i == 0 {
+		return ys[0]
+	}
+	x0, x1 := xs[i-1], xs[i]
+	if x1 == x0 {
+		return ys[i]
+	}
+	f := (x - x0) / (x1 - x0)
+	return ys[i-1]*(1-f) + ys[i]*f
+}
+
+func fmtTick(v float64) string {
+	a := math.Abs(v)
+	switch {
+	case a >= 100 || a == 0:
+		return fmt.Sprintf("%.0f", v)
+	case a >= 1:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.2f", v)
+	}
+}
+
+func escape(s string) string {
+	r := strings.NewReplacer("&", "&amp;", "<", "&lt;", ">", "&gt;")
+	return r.Replace(s)
+}
+
+func finite(x float64) bool { return !math.IsNaN(x) && !math.IsInf(x, 0) }

@@ -1,0 +1,201 @@
+package viz
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCDFPlotBuildsMonotoneCurves(t *testing.T) {
+	p, err := CDFPlot("test", "error (m)", []string{"a", "b"},
+		[][]float64{{3, 1, 2}, {0.5, 0.7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(p.Series) != 2 {
+		t.Fatalf("series = %d", len(p.Series))
+	}
+	for _, s := range p.Series {
+		for i := 1; i < len(s.X); i++ {
+			if s.X[i] < s.X[i-1] || s.Y[i] < s.Y[i-1] {
+				t.Fatalf("non-monotone CDF curve in %s", s.Label)
+			}
+		}
+		if s.Y[len(s.Y)-1] != 1 {
+			t.Fatalf("CDF does not end at 1")
+		}
+	}
+}
+
+func TestCDFPlotErrors(t *testing.T) {
+	if _, err := CDFPlot("t", "x", []string{"a"}, nil); err == nil {
+		t.Fatal("mismatch accepted")
+	}
+	if _, err := CDFPlot("t", "x", nil, nil); err == nil {
+		t.Fatal("empty accepted")
+	}
+	if _, err := CDFPlot("t", "x", []string{"a"}, [][]float64{{}}); err == nil {
+		t.Fatal("all-empty series accepted")
+	}
+}
+
+func TestLinePlotSVGWellFormed(t *testing.T) {
+	p, err := CDFPlot("localization error", "m", []string{"spotfi", "arraytrack"},
+		[][]float64{{0.2, 0.4, 0.9, 1.5}, {1.1, 1.8, 3.2, 4.0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := p.SVG()
+	for _, want := range []string{"<svg", "</svg>", "polyline", "spotfi", "arraytrack", "localization error"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("SVG missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<polyline") != 2 {
+		t.Fatalf("want 2 polylines, got %d", strings.Count(svg, "<polyline"))
+	}
+	// Balanced document.
+	if strings.Count(svg, "<svg") != strings.Count(svg, "</svg>") {
+		t.Fatal("unbalanced svg tags")
+	}
+}
+
+func TestLinePlotSVGEscapesLabels(t *testing.T) {
+	p := &LinePlot{
+		Title:  "a < b & c",
+		Series: []Series{{Label: "<script>", X: []float64{0, 1}, Y: []float64{0, 1}}},
+	}
+	svg := p.SVG()
+	if strings.Contains(svg, "<script>") {
+		t.Fatal("label not escaped")
+	}
+	if !strings.Contains(svg, "&lt;script&gt;") {
+		t.Fatal("escaped label missing")
+	}
+}
+
+func TestLinePlotDegenerateRange(t *testing.T) {
+	p := &LinePlot{Series: []Series{{Label: "flat", X: []float64{1, 1}, Y: []float64{2, 2}}}}
+	svg := p.SVG()
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("degenerate range produced NaN coordinates")
+	}
+}
+
+func TestLinePlotASCII(t *testing.T) {
+	p, err := CDFPlot("t", "x", []string{"a"}, [][]float64{{1, 2, 3, 4, 5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := p.ASCII(32)
+	if !strings.Contains(out, "a") {
+		t.Fatal("ASCII missing label")
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("ASCII lines = %d", len(lines))
+	}
+}
+
+func TestHeatmapSVG(t *testing.T) {
+	h := &Heatmap{
+		Title:  "MUSIC spectrum",
+		XLabel: "ToF (ns)",
+		YLabel: "AoA (deg)",
+		X:      []float64{-200, 200},
+		Y:      []float64{-90, 90},
+		Z: [][]float64{
+			{1, 2, 3},
+			{4, 50, 6},
+			{7, 8, 9},
+		},
+		LogScale: true,
+	}
+	svg, err := h.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(svg, "<svg") || !strings.Contains(svg, "MUSIC spectrum") {
+		t.Fatal("heatmap SVG malformed")
+	}
+	if strings.Count(svg, "<rect") < 9 {
+		t.Fatalf("want ≥9 cells, got %d rects", strings.Count(svg, "<rect"))
+	}
+	if strings.Contains(svg, "NaN") {
+		t.Fatal("NaN in SVG output")
+	}
+}
+
+func TestHeatmapErrors(t *testing.T) {
+	if _, err := (&Heatmap{}).SVG(); err == nil {
+		t.Fatal("empty heatmap accepted")
+	}
+	ragged := &Heatmap{Z: [][]float64{{1, 2}, {3}}}
+	if _, err := ragged.SVG(); err == nil {
+		t.Fatal("ragged heatmap accepted")
+	}
+}
+
+func TestHeatmapASCII(t *testing.T) {
+	h := &Heatmap{Title: "t", Z: [][]float64{{0, 1}, {2, 3}}}
+	out := h.ASCII(10, 10)
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 3 { // title + 2 rows
+		t.Fatalf("ASCII lines = %d:\n%s", len(lines), out)
+	}
+}
+
+func TestColorRampEndpoints(t *testing.T) {
+	if colorRamp(0) == colorRamp(1) {
+		t.Fatal("ramp endpoints identical")
+	}
+	if c := colorRamp(math.NaN()); c != colorRamp(0) {
+		t.Fatalf("NaN should map to 0: %s", c)
+	}
+	if colorRamp(-5) != colorRamp(0) || colorRamp(7) != colorRamp(1) {
+		t.Fatal("ramp not clamped")
+	}
+}
+
+func TestInterp(t *testing.T) {
+	xs := []float64{0, 1, 2}
+	ys := []float64{0, 10, 20}
+	if v := interp(xs, ys, 0.5); math.Abs(v-5) > 1e-12 {
+		t.Fatalf("interp(0.5) = %v", v)
+	}
+	if v := interp(xs, ys, -1); v != 0 {
+		t.Fatalf("below range = %v", v)
+	}
+	if v := interp(xs, ys, 9); v != 20 {
+		t.Fatalf("above range = %v", v)
+	}
+}
+
+func TestFloorPlanSVG(t *testing.T) {
+	fp := &FloorPlan{
+		Title: "office",
+		MinX:  0, MinY: 0, MaxX: 16, MaxY: 10,
+		Walls:      [][4]float64{{0, 0, 16, 0}, {0, 0, 0, 10}},
+		Scatterers: [][2]float64{{3, 8}},
+		APs:        [][3]float64{{0.4, 0.4, 0.5}, {15.6, 9.6, -2.5}},
+		Targets:    [][2]float64{{5, 5}, {10, 2}},
+	}
+	svg, err := fp.SVG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"<svg", "office", "AP0", "AP1", "target", "scatterer"} {
+		if !strings.Contains(svg, want) {
+			t.Fatalf("floor plan missing %q", want)
+		}
+	}
+	if strings.Count(svg, "<circle") < 3 {
+		t.Fatal("missing target/scatterer markers")
+	}
+}
+
+func TestFloorPlanEmptyBounds(t *testing.T) {
+	if _, err := (&FloorPlan{}).SVG(); err == nil {
+		t.Fatal("empty bounds accepted")
+	}
+}

@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+
+	"spotfi/internal/csi"
+)
+
+// FuzzReadFrame feeds arbitrary bytes to the frame reader: it must never
+// panic or allocate unboundedly, only return frames or errors.
+func FuzzReadFrame(f *testing.F) {
+	// Seed with a valid frame stream and some corruptions.
+	var buf bytes.Buffer
+	WriteFrame(&buf, EncodeHello(3))
+	WriteFrame(&buf, Frame{Type: TypeBye})
+	f.Add(buf.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0x31, 0x57, 0x46, 0x53})
+	f.Add(bytes.Repeat([]byte{0xff}, 64))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for i := 0; i < 16; i++ { // bounded frames per input
+			fr, err := ReadFrame(r)
+			if err != nil {
+				return
+			}
+			if len(fr.Payload) > MaxFrameSize {
+				t.Fatalf("oversize payload escaped: %d", len(fr.Payload))
+			}
+		}
+	})
+}
+
+// FuzzDecodeCSIReport feeds arbitrary payloads to the report decoder.
+func FuzzDecodeCSIReport(f *testing.F) {
+	rng := rand.New(rand.NewSource(1))
+	m := csi.NewMatrix(3, 30)
+	for a := range m.Values {
+		for n := range m.Values[a] {
+			m.Values[a][n] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	good, err := EncodeCSIReport(&csi.Packet{
+		APID: 1, TargetMAC: "02:aa", RSSIdBm: -40, CSI: m,
+	})
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Payload)
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x41}, 100))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := DecodeCSIReport(Frame{Type: TypeCSIReport, Payload: data})
+		if err != nil {
+			return
+		}
+		// Any successfully decoded packet must be valid.
+		if verr := p.Validate(); verr != nil {
+			t.Fatalf("decoder returned invalid packet: %v", verr)
+		}
+	})
+}

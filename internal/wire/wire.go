@@ -1,0 +1,190 @@
+// Package wire defines the AP→server protocol SpotFi's deployment uses: a
+// versioned, length-prefixed binary framing over TCP carrying per-packet
+// CSI reports (paper Sec. 3: "SpotFi only adds the software required to
+// read the reported CSI values, timestamps, and MAC addresses at the AP and
+// ships it to the central server").
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"spotfi/internal/csi"
+)
+
+// Frame types.
+const (
+	// TypeHello is the first frame on a connection: the AP announces its
+	// ID.
+	TypeHello uint8 = 1
+	// TypeCSIReport carries one csi.Packet.
+	TypeCSIReport uint8 = 2
+	// TypeBye announces a clean shutdown.
+	TypeBye uint8 = 3
+)
+
+const (
+	frameMagic uint32 = 0x53465731 // "SFW1"
+	// MaxFrameSize bounds payload length so a corrupt or malicious peer
+	// cannot force unbounded allocation.
+	MaxFrameSize = 1 << 20
+)
+
+// ErrBadFrame is returned for malformed frames.
+var ErrBadFrame = errors.New("wire: malformed frame")
+
+// Frame is one protocol unit.
+type Frame struct {
+	Type    uint8
+	Payload []byte
+}
+
+// WriteFrame writes a frame to w.
+func WriteFrame(w io.Writer, f Frame) error {
+	if len(f.Payload) > MaxFrameSize {
+		return fmt.Errorf("wire: payload of %d bytes exceeds limit", len(f.Payload))
+	}
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], frameMagic)
+	hdr[4] = f.Type
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(f.Payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(f.Payload)
+	return err
+}
+
+// ReadFrame reads the next frame from r. io.EOF is returned only at a
+// clean frame boundary; mid-frame truncation surfaces as ErrBadFrame.
+func ReadFrame(r io.Reader) (Frame, error) {
+	var hdr [9]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return Frame{}, io.EOF
+		}
+		return Frame{}, fmt.Errorf("%w: header: %v", ErrBadFrame, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != frameMagic {
+		return Frame{}, fmt.Errorf("%w: bad magic", ErrBadFrame)
+	}
+	length := binary.LittleEndian.Uint32(hdr[5:9])
+	if length > MaxFrameSize {
+		return Frame{}, fmt.Errorf("%w: payload length %d exceeds limit", ErrBadFrame, length)
+	}
+	payload := make([]byte, length)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return Frame{}, fmt.Errorf("%w: payload: %v", ErrBadFrame, err)
+	}
+	return Frame{Type: hdr[4], Payload: payload}, nil
+}
+
+// EncodeHello builds a Hello frame payload.
+func EncodeHello(apID int32) Frame {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], uint32(apID))
+	return Frame{Type: TypeHello, Payload: buf[:]}
+}
+
+// DecodeHello parses a Hello payload.
+func DecodeHello(f Frame) (int32, error) {
+	if f.Type != TypeHello || len(f.Payload) != 4 {
+		return 0, fmt.Errorf("%w: not a hello frame", ErrBadFrame)
+	}
+	return int32(binary.LittleEndian.Uint32(f.Payload)), nil
+}
+
+// EncodeCSIReport serializes a packet into a CSI-report frame.
+func EncodeCSIReport(p *csi.Packet) (Frame, error) {
+	if err := p.Validate(); err != nil {
+		return Frame{}, err
+	}
+	var buf bytes.Buffer
+	hdr := struct {
+		APID        int32
+		Seq         uint64
+		TimestampNs int64
+		RSSI        float64
+		MACLen      uint16
+		Antennas    uint16
+		Subcarriers uint16
+	}{
+		int32(p.APID), p.Seq, p.TimestampNs, p.RSSIdBm,
+		uint16(len(p.TargetMAC)), uint16(p.CSI.Antennas()), uint16(p.CSI.Subcarriers()),
+	}
+	if err := binary.Write(&buf, binary.LittleEndian, hdr); err != nil {
+		return Frame{}, err
+	}
+	buf.WriteString(p.TargetMAC)
+	for _, row := range p.CSI.Values {
+		for _, v := range row {
+			if err := binary.Write(&buf, binary.LittleEndian, [2]float64{real(v), imag(v)}); err != nil {
+				return Frame{}, err
+			}
+		}
+	}
+	if buf.Len() > MaxFrameSize {
+		return Frame{}, fmt.Errorf("wire: CSI report of %d bytes exceeds frame limit", buf.Len())
+	}
+	return Frame{Type: TypeCSIReport, Payload: buf.Bytes()}, nil
+}
+
+// DecodeCSIReport parses a CSI-report frame back into a packet.
+func DecodeCSIReport(f Frame) (*csi.Packet, error) {
+	if f.Type != TypeCSIReport {
+		return nil, fmt.Errorf("%w: not a CSI report", ErrBadFrame)
+	}
+	r := bytes.NewReader(f.Payload)
+	var hdr struct {
+		APID        int32
+		Seq         uint64
+		TimestampNs int64
+		RSSI        float64
+		MACLen      uint16
+		Antennas    uint16
+		Subcarriers uint16
+	}
+	if err := binary.Read(r, binary.LittleEndian, &hdr); err != nil {
+		return nil, fmt.Errorf("%w: report header: %v", ErrBadFrame, err)
+	}
+	if hdr.Antennas == 0 || hdr.Subcarriers == 0 {
+		return nil, fmt.Errorf("%w: zero CSI dims", ErrBadFrame)
+	}
+	want := int(hdr.MACLen) + int(hdr.Antennas)*int(hdr.Subcarriers)*16
+	if r.Len() != want {
+		return nil, fmt.Errorf("%w: payload size %d, want %d", ErrBadFrame, r.Len(), want)
+	}
+	mac := make([]byte, hdr.MACLen)
+	if _, err := io.ReadFull(r, mac); err != nil {
+		return nil, fmt.Errorf("%w: MAC: %v", ErrBadFrame, err)
+	}
+	m := csi.NewMatrix(int(hdr.Antennas), int(hdr.Subcarriers))
+	var pair [2]float64
+	for a := 0; a < int(hdr.Antennas); a++ {
+		for n := 0; n < int(hdr.Subcarriers); n++ {
+			if err := binary.Read(r, binary.LittleEndian, &pair); err != nil {
+				return nil, fmt.Errorf("%w: CSI values: %v", ErrBadFrame, err)
+			}
+			if math.IsNaN(pair[0]) || math.IsNaN(pair[1]) {
+				return nil, fmt.Errorf("%w: NaN CSI value", ErrBadFrame)
+			}
+			m.Values[a][n] = complex(pair[0], pair[1])
+		}
+	}
+	p := &csi.Packet{
+		APID:        int(hdr.APID),
+		Seq:         hdr.Seq,
+		TimestampNs: hdr.TimestampNs,
+		RSSIdBm:     hdr.RSSI,
+		TargetMAC:   string(mac),
+		CSI:         m,
+	}
+	if err := p.Validate(); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
+	}
+	return p, nil
+}

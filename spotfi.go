@@ -1,0 +1,399 @@
+// Package spotfi is a from-scratch Go implementation of SpotFi
+// ("SpotFi: Decimeter Level Localization Using WiFi", Kotaru, Joshi,
+// Bharadia, Katti — SIGCOMM 2015): decimeter-level indoor localization on
+// commodity 3-antenna WiFi APs using only CSI and RSSI.
+//
+// The pipeline has three stages, mirroring the paper:
+//
+//  1. Super-resolution estimation — each packet's 3×30 CSI matrix is
+//     sanitized (Algorithm 1) and expanded into the smoothed CSI matrix of
+//     Fig. 4, on which 2-D MUSIC jointly resolves the (AoA, ToF) of every
+//     multipath component (Sec. 3.1).
+//  2. Direct-path identification — per-packet estimates are clustered in
+//     the (AoA, ToF) plane and each cluster is scored with the likelihood
+//     metric of Eq. 8 (Sec. 3.2).
+//  3. Localization — direct-path AoAs, likelihoods, and RSSI from all APs
+//     are fused by minimizing the weighted least-squares objective of
+//     Eq. 9 (Sec. 3.3).
+//
+// The Localizer type runs the whole pipeline; the stages are also exposed
+// individually for applications that only need AoA estimation or
+// direct-path identification.
+package spotfi
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"spotfi/internal/calib"
+	"spotfi/internal/csi"
+	"spotfi/internal/dpath"
+	"spotfi/internal/geom"
+	"spotfi/internal/locate"
+	"spotfi/internal/music"
+	"spotfi/internal/rf"
+	"spotfi/internal/sanitize"
+)
+
+// Re-exported building blocks of the public API. These are aliases so the
+// values returned by the pipeline interoperate with the ones the trace
+// tools produce.
+type (
+	// Packet is one CSI report from an AP (CSI matrix + RSSI + metadata).
+	Packet = csi.Packet
+	// CalibrationOffsets are per-antenna phase corrections for one AP.
+	CalibrationOffsets = calib.Offsets
+	// CSIMatrix is the per-antenna per-subcarrier channel matrix.
+	CSIMatrix = csi.Matrix
+	// PathEstimate is one super-resolution (AoA, ToF) estimate.
+	PathEstimate = music.PathEstimate
+	// Candidate is a clustered direct-path hypothesis with likelihood.
+	Candidate = dpath.Candidate
+	// Band is the OFDM measurement grid.
+	Band = rf.Band
+	// Array is the AP antenna array geometry.
+	Array = rf.Array
+	// PathLoss is the log-distance RSSI model.
+	PathLoss = rf.PathLoss
+	// Point is a 2-D location in meters.
+	Point = geom.Point
+	// Bounds is the rectangular localization search region.
+	Bounds = locate.Bounds
+)
+
+// AP describes a deployed access point: its position and the direction its
+// antenna-array broadside faces. SpotFi assumes AP locations are known
+// from one-time measurements (paper Sec. 3).
+type AP struct {
+	ID          int
+	Pos         Point
+	NormalAngle float64
+}
+
+// EstimatorKind selects the stage-1 super-resolution algorithm.
+type EstimatorKind int
+
+// Estimator kinds.
+const (
+	// EstimatorMUSIC is the paper's 2-D grid MUSIC (default).
+	EstimatorMUSIC EstimatorKind = iota
+	// EstimatorJADE is the search-free shift-invariance joint estimator —
+	// ~100× faster per packet, slightly less robust in deep multipath.
+	EstimatorJADE
+)
+
+func (k EstimatorKind) String() string {
+	switch k {
+	case EstimatorMUSIC:
+		return "music"
+	case EstimatorJADE:
+		return "jade"
+	default:
+		return "unknown"
+	}
+}
+
+// SelectionScheme picks the direct path among clustered candidates.
+type SelectionScheme int
+
+// Selection schemes (paper Sec. 4.4.2).
+const (
+	// SelectLikelihood is SpotFi's Eq. 8 maximum-likelihood selection.
+	SelectLikelihood SelectionScheme = iota
+	// SelectMinToF is the LTEye rule: smallest mean ToF.
+	SelectMinToF
+	// SelectMaxPower is the CUPID rule: strongest MUSIC spectrum peak.
+	SelectMaxPower
+)
+
+func (s SelectionScheme) String() string {
+	switch s {
+	case SelectLikelihood:
+		return "spotfi"
+	case SelectMinToF:
+		return "min-tof"
+	case SelectMaxPower:
+		return "max-power"
+	default:
+		return "unknown"
+	}
+}
+
+// Config configures a Localizer.
+type Config struct {
+	// Music configures the super-resolution estimator.
+	Music music.Params
+	// DPath configures clustering and the Eq. 8 likelihood.
+	DPath dpath.Config
+	// Locate configures the Eq. 9 solver.
+	Locate locate.Config
+	// Selection picks the direct-path rule (default SpotFi likelihood).
+	Selection SelectionScheme
+	// Estimator picks the stage-1 algorithm (default grid MUSIC).
+	Estimator EstimatorKind
+	// Sanitize toggles Algorithm 1 (default on; off only for ablation).
+	Sanitize bool
+	// Workers bounds pipeline parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Seed makes clustering deterministic.
+	Seed int64
+	// Calibration holds per-AP antenna phase corrections (from
+	// calib.Estimate against a known-position beacon), applied to every
+	// packet before estimation. APs without an entry are used as-is.
+	Calibration map[int]calib.Offsets
+}
+
+// DefaultConfig returns the paper's configuration over search bounds b.
+func DefaultConfig(b Bounds) Config {
+	cfg := Config{
+		Music:     music.DefaultParams(),
+		DPath:     dpath.DefaultConfig(),
+		Locate:    locate.DefaultConfig(b),
+		Selection: SelectLikelihood,
+		Sanitize:  true,
+		Seed:      1,
+	}
+	// The paper clusters into 5 groups ("at best five significant paths");
+	// indoor environments with 6–8 resolvable paths benefit from a couple
+	// of extra clusters so distinct paths are not merged — see the
+	// cluster-count ablation bench.
+	cfg.DPath.Cluster.K = 7
+	return cfg
+}
+
+// APReport is the per-AP output of stages 1–2: the selected direct path
+// plus everything needed to audit the decision.
+type APReport struct {
+	APID int
+	// AoA is the selected direct-path AoA (radians, relative to the AP
+	// array normal).
+	AoA float64
+	// Likelihood is the Eq. 8 value of the selected candidate.
+	Likelihood float64
+	// MeanRSSIdBm is the burst-averaged RSSI.
+	MeanRSSIdBm float64
+	// Candidates are all clustered hypotheses, sorted by likelihood.
+	Candidates []Candidate
+	// PerPacket holds the raw super-resolution estimates per packet.
+	PerPacket [][]PathEstimate
+	// Packets is how many packets contributed.
+	Packets int
+}
+
+// Localizer runs the SpotFi pipeline.
+type Localizer struct {
+	cfg  Config
+	est  *music.Estimator
+	jade *music.JADE
+	aps  map[int]AP
+}
+
+// New builds a Localizer for the given APs.
+func New(cfg Config, aps []AP) (*Localizer, error) {
+	est, err := music.NewEstimator(cfg.Music)
+	if err != nil {
+		return nil, err
+	}
+	var jade *music.JADE
+	if cfg.Estimator == EstimatorJADE {
+		jade, err = music.NewJADE(cfg.Music)
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := cfg.Locate.Validate(); err != nil {
+		return nil, err
+	}
+	if len(aps) == 0 {
+		return nil, fmt.Errorf("spotfi: no APs registered")
+	}
+	m := make(map[int]AP, len(aps))
+	for _, ap := range aps {
+		if _, dup := m[ap.ID]; dup {
+			return nil, fmt.Errorf("spotfi: duplicate AP ID %d", ap.ID)
+		}
+		m[ap.ID] = ap
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	return &Localizer{cfg: cfg, est: est, jade: jade, aps: m}, nil
+}
+
+// APs returns the registered access points.
+func (l *Localizer) APs() []AP {
+	out := make([]AP, 0, len(l.aps))
+	for _, ap := range l.aps {
+		out = append(out, ap)
+	}
+	return out
+}
+
+// ProcessBurst runs stages 1–2 on a burst of packets received by one AP
+// from one target: sanitization, per-packet super-resolution (in
+// parallel), clustering, and direct-path selection.
+func (l *Localizer) ProcessBurst(apID int, pkts []*Packet) (*APReport, error) {
+	if _, ok := l.aps[apID]; !ok {
+		return nil, fmt.Errorf("spotfi: unknown AP %d", apID)
+	}
+	if len(pkts) == 0 {
+		return nil, fmt.Errorf("spotfi: empty burst for AP %d", apID)
+	}
+
+	perPacket := make([][]PathEstimate, len(pkts))
+	errs := make([]error, len(pkts))
+	var rssiSum float64
+	for _, p := range pkts {
+		rssiSum += p.RSSIdBm
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, l.cfg.Workers)
+	for i, p := range pkts {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, p *Packet) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			work := p.CSI.Clone()
+			if off, ok := l.cfg.Calibration[apID]; ok {
+				if err := calib.Apply(work, off); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			if l.cfg.Sanitize {
+				if _, err := sanitize.ToF(work, l.cfg.Music.Band.SubcarrierSpacingHz); err != nil {
+					errs[i] = err
+					return
+				}
+			}
+			var est []PathEstimate
+			var err error
+			if l.jade != nil {
+				est, err = l.jade.EstimatePaths(work)
+			} else {
+				est, err = l.est.EstimatePaths(work)
+			}
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			perPacket[i] = est
+		}(i, p)
+	}
+	wg.Wait()
+	var failed int
+	for _, err := range errs {
+		if err != nil {
+			failed++
+		}
+	}
+	if failed == len(pkts) {
+		return nil, fmt.Errorf("spotfi: every packet in the burst failed estimation: %v", firstError(errs))
+	}
+
+	// Clustering seed derived from the burst identity, not from a shared
+	// RNG: concurrent ProcessBurst calls would otherwise consume the
+	// generator in scheduler order and make results run-dependent.
+	seed := int64(uint64(l.cfg.Seed)^uint64(apID+1)*0x9E3779B97F4A7C15^(pkts[0].Seq+1)*0xBF58476D1CE4E5B9^uint64(len(pkts))) & 0x7FFFFFFFFFFFFFFF
+	res, err := dpath.Identify(perPacket, l.cfg.DPath, rand.New(rand.NewSource(seed)))
+	if err != nil {
+		return nil, err
+	}
+
+	var cand Candidate
+	var ok bool
+	switch l.cfg.Selection {
+	case SelectMinToF:
+		cand, ok = res.MinToF()
+	case SelectMaxPower:
+		cand, ok = res.MaxPower()
+	default:
+		cand, ok = res.Best()
+	}
+	if !ok {
+		return nil, fmt.Errorf("spotfi: no direct-path candidate for AP %d", apID)
+	}
+	return &APReport{
+		APID:        apID,
+		AoA:         cand.AoA,
+		Likelihood:  cand.Likelihood,
+		MeanRSSIdBm: rssiSum / float64(len(pkts)),
+		Candidates:  res.Candidates,
+		PerPacket:   perPacket,
+		Packets:     len(pkts),
+	}, nil
+}
+
+func firstError(errs []error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Locate fuses per-AP reports into a location estimate (stage 3, Eq. 9).
+func (l *Localizer) Locate(reports []*APReport) (Point, error) {
+	obs := make([]locate.APObservation, 0, len(reports))
+	for _, r := range reports {
+		ap, ok := l.aps[r.APID]
+		if !ok {
+			return Point{}, fmt.Errorf("spotfi: report from unknown AP %d", r.APID)
+		}
+		obs = append(obs, locate.APObservation{
+			Pos:         ap.Pos,
+			NormalAngle: ap.NormalAngle,
+			AoA:         r.AoA,
+			RSSIdBm:     r.MeanRSSIdBm,
+			Likelihood:  r.Likelihood,
+		})
+	}
+	res, err := locate.Locate(obs, l.cfg.Locate)
+	if err != nil {
+		return Point{}, err
+	}
+	return res.Location, nil
+}
+
+// LocalizeBursts runs the full pipeline: one burst per AP, keyed by AP ID.
+// APs whose burst fails stage 1–2 are skipped; at least two must survive.
+func (l *Localizer) LocalizeBursts(bursts map[int][]*Packet) (Point, []*APReport, error) {
+	ids := make([]int, 0, len(bursts))
+	for id := range bursts {
+		ids = append(ids, id)
+	}
+	sortInts(ids)
+	var reports []*APReport
+	for _, id := range ids {
+		rep, err := l.ProcessBurst(id, bursts[id])
+		if err != nil {
+			continue // a dead AP must not kill localization
+		}
+		reports = append(reports, rep)
+	}
+	if len(reports) < 2 {
+		return Point{}, nil, fmt.Errorf("spotfi: only %d usable AP reports", len(reports))
+	}
+	p, err := l.Locate(reports)
+	return p, reports, err
+}
+
+func sortInts(xs []int) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}
+
+// GroundTruthAoA returns the AoA that AP would observe for a target at p —
+// the quantity evaluation compares estimates against.
+func GroundTruthAoA(ap AP, p Point) float64 {
+	return math.Asin(math.Sin(geom.NormalizeAngle(p.Sub(ap.Pos).Angle() - ap.NormalAngle)))
+}

@@ -1,0 +1,98 @@
+package spotfi
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"spotfi/internal/apnode"
+	"spotfi/internal/csi"
+	"spotfi/internal/server"
+	"spotfi/internal/sim"
+	"spotfi/internal/testbed"
+)
+
+// TestLiveSystemEndToEnd exercises the full deployed architecture over
+// real TCP: simulated AP agents stream CSI reports to the central server,
+// the collector assembles bursts, and the SpotFi pipeline localizes.
+func TestLiveSystemEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-system run")
+	}
+	d := testbed.Office(42)
+	const targetIdx = 4
+	loc, err := New(DefaultConfig(d.Bounds), deploymentAPs(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fixes := make(chan Point, 8)
+	collector, err := server.NewCollector(server.CollectorConfig{
+		BatchSize: 8, MinAPs: 5, MaxBuffered: 64,
+	}, func(mac string, bursts map[int][]*csi.Packet) {
+		if mac != testbed.TargetMAC(targetIdx) {
+			t.Errorf("burst for unexpected MAC %s", mac)
+			return
+		}
+		p, _, err := loc.LocalizeBursts(bursts)
+		if err != nil {
+			t.Errorf("localize: %v", err)
+			return
+		}
+		fixes <- p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := server.New(collector, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for apIdx := range d.APs {
+		link := d.Link(apIdx, targetIdx)
+		syn, err := sim.NewSynthesizer(link, d.Band, d.Array, d.Imp,
+			rand.New(rand.NewSource(int64(500+apIdx))))
+		if err != nil {
+			t.Fatalf("AP %d: %v", apIdx, err)
+		}
+		agent := &apnode.Agent{
+			APID:       apIdx,
+			ServerAddr: addr.String(),
+			Source: &apnode.SynthSource{
+				Syn:       syn,
+				TargetMAC: testbed.TargetMAC(targetIdx),
+				Limit:     8,
+			},
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := agent.Run(ctx); err != nil {
+				t.Errorf("agent %d: %v", id, err)
+			}
+		}(apIdx)
+	}
+	wg.Wait()
+
+	select {
+	case p := <-fixes:
+		truth := d.Targets[targetIdx]
+		if e := p.Dist(truth); e > 3 {
+			t.Fatalf("live fix %v is %v m from truth %v", p, e, truth)
+		}
+		t.Logf("live fix error: %.2f m", p.Dist(truth))
+	case <-time.After(20 * time.Second):
+		t.Fatal("no fix produced")
+	}
+}
