@@ -294,7 +294,7 @@ func BenchmarkFullPipelineOneTarget(b *testing.B) {
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := loc.LocalizeBursts(bursts); err != nil {
+		if _, _, _, err := loc.LocalizeBursts(bursts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -491,7 +491,7 @@ func localizeFour(b *testing.B, d *testbed.Deployment, loc *spotfi.Localizer) fl
 			}
 			bursts[a] = burst
 		}
-		p, _, err := loc.LocalizeBursts(bursts)
+		p, _, _, err := loc.LocalizeBursts(bursts)
 		if err != nil {
 			continue
 		}

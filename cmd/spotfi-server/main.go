@@ -4,32 +4,54 @@
 //
 // AP positions are supplied as repeated -ap flags: "id,x,y,normalDeg".
 //
+// Complete bursts are localized by a bounded worker pool (-workers, -queue)
+// rather than one goroutine per burst: under overload the queue fills and
+// further bursts are dropped and counted, instead of goroutines (and their
+// pinned CSI buffers) growing without bound.
+//
+// With -debug-addr set, an HTTP listener exposes /metrics (Prometheus text
+// format), /healthz, and net/http/pprof under /debug/pprof/.
+//
 // Usage:
 //
 //	spotfi-server -listen 127.0.0.1:7100 \
 //	    -ap 0,0.4,0.4,45 -ap 1,15.6,0.4,135 -ap 2,8,9.7,-90 \
-//	    -bounds 0,0,16,10 [-batch 10] [-minaps 3]
+//	    -bounds 0,0,16,10 [-batch 10] [-minaps 3] \
+//	    [-workers N] [-queue 64] [-debug-addr 127.0.0.1:7101]
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
+	"runtime"
+	"sync"
 	"syscall"
 
 	"spotfi"
 	"spotfi/internal/cliutil"
 	"spotfi/internal/csi"
+	"spotfi/internal/obs"
 	"spotfi/internal/server"
 )
+
+type burstJob struct {
+	mac    string
+	bursts map[int][]*csi.Packet
+}
 
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7100", "TCP address to listen on")
 	boundsStr := flag.String("bounds", "0,0,16,10", "search bounds minX,minY,maxX,maxY (m)")
 	batch := flag.Int("batch", 10, "packets per AP per localization burst")
 	minAPs := flag.Int("minaps", 3, "minimum APs with a full batch before localizing")
+	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "localization worker goroutines")
+	queue := flag.Int("queue", 64, "burst queue depth; bursts beyond it are dropped")
+	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz, and /debug/pprof (disabled if empty)")
 	var aps cliutil.APList
 	flag.Var(&aps, "ap", "AP spec id,x,y,normalDeg (repeatable)")
 	flag.Parse()
@@ -38,48 +60,107 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spotfi-server: need at least two -ap flags")
 		os.Exit(2)
 	}
+	if *workers < 1 || *queue < 1 {
+		fmt.Fprintln(os.Stderr, "spotfi-server: -workers and -queue must be ≥ 1")
+		os.Exit(2)
+	}
 	bounds, err := cliutil.ParseBounds(*boundsStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
 		os.Exit(2)
 	}
 
-	loc, err := spotfi.New(spotfi.DefaultConfig(bounds), aps)
+	reg := obs.NewRegistry()
+	cfg := spotfi.DefaultConfig(bounds)
+	cfg.Metrics = spotfi.NewPipelineMetrics(reg)
+	loc, err := spotfi.New(cfg, aps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
 		os.Exit(1)
 	}
 
+	overloadDrops := reg.Counter("spotfi_server_bursts_overload_dropped_total",
+		"Complete bursts dropped because the localization queue was full.", nil)
+	localizeErrors := reg.Counter("spotfi_server_localize_errors_total",
+		"Bursts whose localization failed end-to-end.", nil)
+	queueDepth := reg.Gauge("spotfi_server_localize_queue_depth",
+		"Bursts waiting for a localization worker.", nil)
+
+	// Bounded localization pool: burst handlers run on connection
+	// goroutines, so they must never block on or spawn unbounded work.
+	jobs := make(chan burstJob, *queue)
+	var pool sync.WaitGroup
+	for i := 0; i < *workers; i++ {
+		pool.Add(1)
+		go func() {
+			defer pool.Done()
+			for j := range jobs {
+				queueDepth.Set(int64(len(jobs)))
+				p, reports, skipped, err := loc.LocalizeBursts(j.bursts)
+				for _, s := range skipped {
+					log.Printf("localize %s: skipped %v", j.mac, s)
+				}
+				if err != nil {
+					localizeErrors.Inc()
+					log.Printf("localize %s: %v", j.mac, err)
+					continue
+				}
+				log.Printf("target %s at (%.2f, %.2f) m  [%d APs]", j.mac, p.X, p.Y, len(reports))
+			}
+		}()
+	}
+
+	metrics := server.NewMetrics(reg)
 	collector, err := server.NewCollector(server.CollectorConfig{
 		BatchSize:   *batch,
 		MinAPs:      *minAPs,
 		MaxBuffered: 40 * *batch,
 	}, func(mac string, bursts map[int][]*csi.Packet) {
-		go func() {
-			p, reports, err := loc.LocalizeBursts(bursts)
-			if err != nil {
-				log.Printf("localize %s: %v", mac, err)
-				return
-			}
-			log.Printf("target %s at (%.2f, %.2f) m  [%d APs]", mac, p.X, p.Y, len(reports))
-		}()
+		select {
+		case jobs <- burstJob{mac: mac, bursts: bursts}:
+			queueDepth.Set(int64(len(jobs)))
+		default:
+			overloadDrops.Inc()
+			log.Printf("localize %s: queue full, burst dropped", mac)
+		}
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
 		os.Exit(1)
 	}
+	collector.SetMetrics(metrics)
 
 	srv, err := server.New(collector, log.Printf)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
 		os.Exit(1)
 	}
+	srv.SetMetrics(metrics)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
 		os.Exit(1)
 	}
-	log.Printf("spotfi-server listening on %v (%d APs registered)", addr, len(aps))
+	log.Printf("spotfi-server listening on %v (%d APs registered, %d workers)", addr, len(aps), *workers)
+
+	if *debugAddr != "" {
+		mux := http.NewServeMux()
+		mux.Handle("/metrics", reg.Handler())
+		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			fmt.Fprintln(w, "ok")
+		})
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("debug endpoints on http://%s/metrics", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
+				log.Printf("debug listener: %v", err)
+			}
+		}()
+	}
 
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
@@ -88,4 +169,7 @@ func main() {
 	if err := srv.Close(); err != nil {
 		log.Printf("close: %v", err)
 	}
+	// All connection goroutines are drained: no handler can enqueue now.
+	close(jobs)
+	pool.Wait()
 }

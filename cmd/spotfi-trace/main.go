@@ -302,10 +302,13 @@ func runLocate(args []string) error {
 	}
 	sort.Strings(macs)
 	for _, mac := range macs {
-		pos, reports, err := loc.LocalizeBursts(perTarget[mac])
+		pos, reports, skipped, err := loc.LocalizeBursts(perTarget[mac])
 		if err != nil {
 			fmt.Printf("target %s: %v\n", mac, err)
 			continue
+		}
+		for _, s := range skipped {
+			fmt.Printf("target %s: skipped %v\n", mac, s)
 		}
 		fmt.Printf("target %s at (%.2f, %.2f) m from %d APs\n", mac, pos.X, pos.Y, len(reports))
 	}

@@ -30,7 +30,7 @@ func ExampleLocalizer() {
 		}
 		bursts[apIdx] = burst
 	}
-	estimate, reports, err := loc.LocalizeBursts(bursts)
+	estimate, reports, _, err := loc.LocalizeBursts(bursts)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -43,10 +43,13 @@ func main() {
 	collector, err := server.NewCollector(server.CollectorConfig{
 		BatchSize: 10, MinAPs: 5, MaxBuffered: 100,
 	}, func(mac string, bursts map[int][]*csi.Packet) {
-		p, reports, err := loc.LocalizeBursts(bursts)
+		p, reports, skipped, err := loc.LocalizeBursts(bursts)
 		if err != nil {
 			log.Printf("localize %s: %v", mac, err)
 			return
+		}
+		for _, s := range skipped {
+			log.Printf("localize %s: skipped %v", mac, s)
 		}
 		log.Printf("fix for %s: (%.2f, %.2f) m from %d APs", mac, p.X, p.Y, len(reports))
 		fixes <- p

@@ -45,9 +45,12 @@ func main() {
 	}
 
 	// Run the full pipeline: super-resolution → direct path → location.
-	estimate, reports, err := loc.LocalizeBursts(bursts)
+	estimate, reports, skipped, err := loc.LocalizeBursts(bursts)
 	if err != nil {
 		log.Fatal(err)
+	}
+	for _, s := range skipped {
+		log.Printf("AP %d skipped: %v", s.APID, s.Err)
 	}
 
 	truth := deployment.Targets[targetIdx]

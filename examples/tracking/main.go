@@ -60,7 +60,7 @@ func main() {
 			}
 			bursts[a] = syn.Burst("02:walker", *packets)
 		}
-		fix, _, err := loc.LocalizeBursts(bursts)
+		fix, _, _, err := loc.LocalizeBursts(bursts)
 		if err != nil {
 			fmt.Printf("%-6d lost (%v)\n", i, err)
 			continue

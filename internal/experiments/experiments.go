@@ -201,7 +201,7 @@ func spotfiLocalize(d *testbed.Deployment, loc *spotfi.Localizer, t, packets int
 		}
 		bursts[a] = b
 	}
-	p, _, err := loc.LocalizeBursts(bursts)
+	p, _, _, err := loc.LocalizeBursts(bursts)
 	if err != nil {
 		return 0, err
 	}

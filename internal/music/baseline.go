@@ -80,8 +80,8 @@ func NewAoAEstimator(p AoAParams) (*AoAEstimator, error) {
 		return nil, err
 	}
 	e := &AoAEstimator{p: p}
-	for th := -math.Pi / 2; th <= math.Pi/2+1e-12; th += p.AoAGridRad {
-		e.thetas = append(e.thetas, th)
+	e.thetas = gridPoints(-math.Pi/2, math.Pi/2, p.AoAGridRad)
+	for _, th := range e.thetas {
 		e.steer = append(e.steer, geometricSeries(Phi(th, p.Array, p.Band), p.Array.Antennas))
 	}
 	return e, nil

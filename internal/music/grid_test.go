@@ -1,0 +1,74 @@
+package music
+
+import (
+	"math"
+	"testing"
+)
+
+// TestGridPointsExact pins the regression for float-accumulation drift:
+// grid length and endpoints must be exact for any step, including steps
+// where `x += step` accumulation lands the endpoint an ulp past the bound.
+func TestGridPointsExact(t *testing.T) {
+	cases := []struct {
+		start, stop, step float64
+		wantN             int
+	}{
+		{-math.Pi / 2, math.Pi / 2, math.Pi / 180, 181},        // 1° AoA grid
+		{-math.Pi / 2, math.Pi / 2, math.Pi / 1800, 1801},      // 0.1° AoA grid
+		{-math.Pi / 2, math.Pi / 2, math.Pi / 180 * 0.25, 721}, // 0.25°
+		{-200e-9, 200e-9, 2e-9, 201},                           // default ToF grid
+		{-200e-9, 200e-9, 1e-9, 401},
+		{-200e-9, 200e-9, 0.7e-9, 572}, // non-divisor step: floor+1 points
+		{0, 1, 0.1, 11},
+	}
+	for _, c := range cases {
+		g := gridPoints(c.start, c.stop, c.step)
+		if len(g) != c.wantN {
+			t.Errorf("gridPoints(%v,%v,%v): %d points, want %d", c.start, c.stop, c.step, len(g), c.wantN)
+			continue
+		}
+		if g[0] != c.start {
+			t.Errorf("gridPoints(%v,%v,%v): starts at %v", c.start, c.stop, c.step, g[0])
+		}
+		if last := g[len(g)-1]; last > c.stop+c.step*1e-9 || c.stop-last >= c.step {
+			t.Errorf("gridPoints(%v,%v,%v): ends at %v, want within one step below %v", c.start, c.stop, c.step, last, c.stop)
+		}
+		for i := 1; i < len(g); i++ {
+			if want := c.start + float64(i)*c.step; g[i] != want {
+				t.Fatalf("point %d = %v, want exact %v", i, g[i], want)
+			}
+		}
+	}
+}
+
+// TestEstimatorGridMatchesParams checks the estimators expose exact grids
+// for the paper's default parameters.
+func TestEstimatorGridMatchesParams(t *testing.T) {
+	e, err := NewEstimator(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(e.thetas) != 181 {
+		t.Fatalf("default AoA grid has %d points, want 181", len(e.thetas))
+	}
+	if len(e.taus) != 201 {
+		t.Fatalf("default ToF grid has %d points, want 201", len(e.taus))
+	}
+	if e.thetas[0] != -math.Pi/2 {
+		t.Fatalf("AoA grid starts at %v", e.thetas[0])
+	}
+	if got := e.thetas[180]; math.Abs(got-math.Pi/2) > 1e-12 {
+		t.Fatalf("AoA grid ends at %v, want π/2", got)
+	}
+	if got := e.taus[200]; math.Abs(got-200e-9) > 1e-21 {
+		t.Fatalf("ToF grid ends at %v, want 200ns", got)
+	}
+
+	a, err := NewAoAEstimator(DefaultAoAParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.thetas) != 181 || len(a.steer) != 181 {
+		t.Fatalf("baseline AoA grid has %d points / %d steering vectors, want 181", len(a.thetas), len(a.steer))
+	}
+}

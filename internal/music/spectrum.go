@@ -40,12 +40,8 @@ func NewEstimator(p Params) (*Estimator, error) {
 		return nil, err
 	}
 	e := &Estimator{p: p}
-	for th := -math.Pi / 2; th <= math.Pi/2+1e-12; th += p.AoAGridRad {
-		e.thetas = append(e.thetas, th)
-	}
-	for tau := p.ToFMinS; tau <= p.ToFMaxS+1e-18; tau += p.ToFGridS {
-		e.taus = append(e.taus, tau)
-	}
+	e.thetas = gridPoints(-math.Pi/2, math.Pi/2, p.AoAGridRad)
+	e.taus = gridPoints(p.ToFMinS, p.ToFMaxS, p.ToFGridS)
 	e.phiPows = make([][]complex128, len(e.thetas))
 	for i, th := range e.thetas {
 		e.phiPows[i] = geometricSeries(Phi(th, p.Array, p.Band), p.SubarrayAntennas)
@@ -144,6 +140,22 @@ func (e *Estimator) spectrum(c *csi.Matrix) (*Spectrum, int, error) {
 		}
 	}
 	return spec, dim, nil
+}
+
+// gridPoints returns the inclusive grid start, start+step, …, stop built
+// by index (start + i·step) rather than by accumulation: repeated `x +=
+// step` drifts by an ulp per iteration, so whether the endpoint survives
+// the loop bound — and hence the grid length — depended on the step size.
+// The index form keeps length and endpoints exact for any step. A half-ulp
+// slack on the point count absorbs ranges like π/(π/180) that land within
+// rounding of an integer.
+func gridPoints(start, stop, step float64) []float64 {
+	n := int(math.Floor((stop-start)/step+1e-9)) + 1
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = start + float64(i)*step
+	}
+	return out
 }
 
 // blockQuadraticForm computes oᴴ·proj[a·n:(a+1)·n][b·n:(b+1)·n]·o.

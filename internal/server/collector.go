@@ -54,11 +54,13 @@ func (c CollectorConfig) Validate() error {
 type Collector struct {
 	cfg     CollectorConfig
 	handler BurstHandler
+	metrics *Metrics
 
-	mu      sync.Mutex
-	pending map[string]map[int][]*csi.Packet
-	dropped uint64
-	emitted uint64
+	mu       sync.Mutex
+	pending  map[string]map[int][]*csi.Packet
+	buffered int // total packets across pending, kept for O(1) stats
+	dropped  uint64
+	emitted  uint64
 }
 
 // NewCollector returns a Collector that calls handler for every complete
@@ -73,8 +75,17 @@ func NewCollector(cfg CollectorConfig, handler BurstHandler) (*Collector, error)
 	return &Collector{
 		cfg:     cfg,
 		handler: handler,
+		metrics: &Metrics{},
 		pending: make(map[string]map[int][]*csi.Packet),
 	}, nil
+}
+
+// SetMetrics wires the collector's counters and gauges. Call before the
+// first Add; m must not be nil (use a zero Metrics to disable).
+func (c *Collector) SetMetrics(m *Metrics) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.metrics = m
 }
 
 // Add ingests one CSI packet. Invalid packets are rejected with an error;
@@ -103,8 +114,11 @@ func (c *Collector) Add(p *csi.Packet) error {
 		copy(q, q[1:])
 		q = q[:len(q)-1]
 		c.dropped++
+		c.buffered--
+		c.metrics.PacketsDropped.Inc()
 	}
 	byAP[p.APID] = append(q, p)
+	c.buffered++
 
 	// Emit when enough APs have a full batch.
 	ready := 0
@@ -118,18 +132,43 @@ func (c *Collector) Add(p *csi.Packet) error {
 		for ap, pkts := range byAP {
 			if len(pkts) >= c.cfg.BatchSize {
 				emit[ap] = pkts[:c.cfg.BatchSize:c.cfg.BatchSize]
-				byAP[ap] = append([]*csi.Packet(nil), pkts[c.cfg.BatchSize:]...)
+				rest := pkts[c.cfg.BatchSize:]
+				c.buffered -= c.cfg.BatchSize
+				if len(rest) == 0 {
+					// Prune drained queues instead of keeping empty
+					// slices alive: without this every transient MAC
+					// leaked its per-AP entries (and the map below its
+					// per-target map) forever.
+					delete(byAP, ap)
+				} else {
+					byAP[ap] = append([]*csi.Packet(nil), rest...)
+				}
 			}
+		}
+		if len(byAP) == 0 {
+			delete(c.pending, p.TargetMAC)
 		}
 		mac = p.TargetMAC
 		c.emitted++
+		c.metrics.BurstsEmitted.Inc()
 	}
+	c.metrics.PendingTargets.Set(int64(len(c.pending)))
+	c.metrics.PendingPackets.Set(int64(c.buffered))
 	c.mu.Unlock()
 
 	if emit != nil {
 		c.handler(mac, emit)
 	}
 	return nil
+}
+
+// PendingStats returns how many targets currently have buffered packets
+// and the total number of buffered packets — the quantities the pending
+// gauges export, exposed directly for tests and monitoring.
+func (c *Collector) PendingStats() (targets, packets int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.pending), c.buffered
 }
 
 // Stats returns how many bursts were emitted and packets dropped.

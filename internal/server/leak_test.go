@@ -1,0 +1,149 @@
+package server
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/obs"
+)
+
+// TestCollectorPrunesDrainedTargets is the regression test for the
+// collector memory leak: once a target's bursts drain completely, its
+// per-AP queues and per-target map must be deleted, not kept as empty
+// husks.
+func TestCollectorPrunesDrainedTargets(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 10},
+		func(string, map[int][]*csi.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ap := 0; ap < 2; ap++ {
+		for k := 0; k < 2; k++ {
+			if err := c.Add(mkPacket(ap, "transient", uint64(k), rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if emitted, _ := c.Stats(); emitted != 1 {
+		t.Fatalf("emitted = %d, want 1", emitted)
+	}
+	targets, packets := c.PendingStats()
+	if targets != 0 || packets != 0 {
+		t.Fatalf("after drain: %d pending targets, %d packets; want 0, 0", targets, packets)
+	}
+
+	// Partial leftovers must survive the prune: 3 packets on AP 0 leave
+	// one buffered after the batch of 2 is cut.
+	for k := 0; k < 3; k++ {
+		if err := c.Add(mkPacket(0, "sticky", uint64(k), rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for k := 0; k < 2; k++ {
+		if err := c.Add(mkPacket(1, "sticky", uint64(k), rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	targets, packets = c.PendingStats()
+	if targets != 1 || packets != 1 {
+		t.Fatalf("after partial drain: %d targets, %d packets; want 1, 1", targets, packets)
+	}
+}
+
+// TestCollectorPendingGauges checks the pending gauges track the buffer
+// exactly — they are the alarm for the transient-MAC leak.
+func TestCollectorPendingGauges(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	c, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 10},
+		func(string, map[int][]*csi.Packet) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetMetrics(m)
+
+	if err := c.Add(mkPacket(0, "x", 0, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if m.PendingTargets.Value() != 1 || m.PendingPackets.Value() != 1 {
+		t.Fatalf("gauges = %d targets / %d packets, want 1/1",
+			m.PendingTargets.Value(), m.PendingPackets.Value())
+	}
+	for _, pkt := range []*csi.Packet{
+		mkPacket(0, "x", 1, rng), mkPacket(1, "x", 0, rng), mkPacket(1, "x", 1, rng),
+	} {
+		if err := c.Add(pkt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.PendingTargets.Value() != 0 || m.PendingPackets.Value() != 0 {
+		t.Fatalf("gauges after drain = %d targets / %d packets, want 0/0",
+			m.PendingTargets.Value(), m.PendingPackets.Value())
+	}
+	if m.BurstsEmitted.Value() != 1 {
+		t.Fatalf("bursts emitted = %d, want 1", m.BurstsEmitted.Value())
+	}
+}
+
+// TestCollectorSoakTransientMACs streams complete bursts from 10k distinct
+// transient MACs — the workload that previously leaked one per-target map
+// per MAC — and asserts the buffer drains to zero and the heap stays flat.
+func TestCollectorSoakTransientMACs(t *testing.T) {
+	if testing.Short() {
+		t.Skip("soak test")
+	}
+	const macs = 10000
+	rng := rand.New(rand.NewSource(9))
+	var bursts int
+	c, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 10},
+		func(string, map[int][]*csi.Packet) { bursts++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	stream := func(n, seqBase int) {
+		for i := 0; i < n; i++ {
+			mac := fmt.Sprintf("02:%02x:%02x", (seqBase+i)>>8, (seqBase+i)&0xff)
+			for k := 0; k < 2; k++ {
+				for ap := 0; ap < 2; ap++ {
+					if err := c.Add(mkPacket(ap, mac, uint64(k), rng)); err != nil {
+						t.Fatal(err)
+					}
+				}
+			}
+		}
+	}
+
+	heap := func() uint64 {
+		runtime.GC()
+		runtime.GC()
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		return ms.HeapAlloc
+	}
+
+	stream(500, 0) // warm up allocator and map before the baseline
+	before := heap()
+	stream(macs, 500)
+	after := heap()
+
+	if bursts != 500+macs {
+		t.Fatalf("assembled %d bursts, want %d", bursts, 500+macs)
+	}
+	targets, packets := c.PendingStats()
+	if targets != 0 || packets != 0 {
+		t.Fatalf("after soak: %d pending targets, %d packets; want 0, 0", targets, packets)
+	}
+	// Leaked per-target maps cost a few hundred bytes each; 10k of them
+	// are megabytes. A drained collector should hold essentially nothing.
+	const slack = 2 << 20
+	if after > before+slack {
+		t.Fatalf("heap grew from %d to %d bytes across %d transient MACs (> %d slack): collector leaks",
+			before, after, macs, slack)
+	}
+}

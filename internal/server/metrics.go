@@ -1,0 +1,51 @@
+package server
+
+import "spotfi/internal/obs"
+
+// Metrics instruments the collector and the TCP ingest path. All fields
+// are optional: nil metrics record nothing, so tests and tools that do not
+// scrape can run with a zero Metrics (or none at all).
+type Metrics struct {
+	// ConnectionsOpen tracks live AP connections; ConnectsTotal counts
+	// every accepted connection.
+	ConnectionsOpen *obs.Gauge
+	ConnectsTotal   *obs.Counter
+	// FramesTotal counts wire frames read from APs after the handshake.
+	FramesTotal *obs.Counter
+	// DecodeErrors counts handshake failures, corrupt reports, and
+	// unknown frame types — each one terminates its connection.
+	DecodeErrors *obs.Counter
+	// PacketsRejected counts structurally valid frames whose packet the
+	// collector refused (failed csi validation or APID spoofing).
+	PacketsRejected *obs.Counter
+	// BurstsEmitted and PacketsDropped mirror Collector.Stats.
+	BurstsEmitted  *obs.Counter
+	PacketsDropped *obs.Counter
+	// PendingTargets and PendingPackets gauge the collector's buffer: the
+	// number of targets with queued packets and the total queued packets.
+	// A monotonically growing PendingTargets is the signature of the
+	// transient-MAC leak this gauge exists to catch.
+	PendingTargets *obs.Gauge
+	PendingPackets *obs.Gauge
+}
+
+// NewMetrics registers the server's metric families on r. Exported series:
+//
+//	spotfi_server_connections_open, spotfi_server_connects_total
+//	spotfi_server_frames_total, spotfi_server_decode_errors_total
+//	spotfi_server_packets_rejected_total
+//	spotfi_server_bursts_emitted_total, spotfi_server_packets_dropped_total
+//	spotfi_server_pending_targets, spotfi_server_pending_packets
+func NewMetrics(r *obs.Registry) *Metrics {
+	return &Metrics{
+		ConnectionsOpen: r.Gauge("spotfi_server_connections_open", "Live AP connections.", nil),
+		ConnectsTotal:   r.Counter("spotfi_server_connects_total", "Accepted AP connections.", nil),
+		FramesTotal:     r.Counter("spotfi_server_frames_total", "Wire frames read from APs.", nil),
+		DecodeErrors:    r.Counter("spotfi_server_decode_errors_total", "Handshake/decode failures that closed a connection.", nil),
+		PacketsRejected: r.Counter("spotfi_server_packets_rejected_total", "Decoded packets refused by validation or APID check.", nil),
+		BurstsEmitted:   r.Counter("spotfi_server_bursts_emitted_total", "Complete bursts handed to the localization pipeline.", nil),
+		PacketsDropped:  r.Counter("spotfi_server_packets_dropped_total", "Buffered packets evicted by the MaxBuffered cap.", nil),
+		PendingTargets:  r.Gauge("spotfi_server_pending_targets", "Targets with buffered packets awaiting a burst.", nil),
+		PendingPackets:  r.Gauge("spotfi_server_pending_packets", "Total buffered packets across all targets.", nil),
+	}
+}

@@ -17,6 +17,7 @@ import (
 type Server struct {
 	collector *Collector
 	logf      func(format string, args ...any)
+	metrics   *Metrics
 
 	lis net.Listener
 
@@ -39,8 +40,18 @@ func New(collector *Collector, logf func(string, ...any)) (*Server, error) {
 	return &Server{
 		collector: collector,
 		logf:      logf,
+		metrics:   &Metrics{},
 		conns:     make(map[net.Conn]struct{}),
 	}, nil
+}
+
+// SetMetrics wires the ingest-path counters. Call before Listen; m must
+// not be nil (use a zero Metrics to disable). The same Metrics is usually
+// shared with the Collector via Collector.SetMetrics.
+func (s *Server) SetMetrics(m *Metrics) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.metrics = m
 }
 
 // Listen binds addr (e.g. "127.0.0.1:0") and starts accepting in the
@@ -90,7 +101,10 @@ func (s *Server) acceptLoop(lis net.Listener) {
 }
 
 func (s *Server) handle(conn net.Conn) {
+	s.metrics.ConnectsTotal.Inc()
+	s.metrics.ConnectionsOpen.Inc()
 	defer func() {
+		s.metrics.ConnectionsOpen.Dec()
 		conn.Close()
 		s.mu.Lock()
 		delete(s.conns, conn)
@@ -99,11 +113,13 @@ func (s *Server) handle(conn net.Conn) {
 
 	hello, err := wire.ReadFrame(conn)
 	if err != nil {
+		s.metrics.DecodeErrors.Inc()
 		s.logf("server: %v: bad handshake: %v", conn.RemoteAddr(), err)
 		return
 	}
 	apID, err := wire.DecodeHello(hello)
 	if err != nil {
+		s.metrics.DecodeErrors.Inc()
 		s.logf("server: %v: expected hello: %v", conn.RemoteAddr(), err)
 		return
 	}
@@ -113,28 +129,34 @@ func (s *Server) handle(conn net.Conn) {
 		f, err := wire.ReadFrame(conn)
 		if err != nil {
 			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+				s.metrics.DecodeErrors.Inc()
 				s.logf("server: AP %d: read: %v", apID, err)
 			}
 			return
 		}
+		s.metrics.FramesTotal.Inc()
 		switch f.Type {
 		case wire.TypeCSIReport:
 			pkt, err := wire.DecodeCSIReport(f)
 			if err != nil {
+				s.metrics.DecodeErrors.Inc()
 				s.logf("server: AP %d: corrupt report: %v", apID, err)
 				return // a desynced stream cannot be trusted further
 			}
 			if pkt.APID != int(apID) {
+				s.metrics.PacketsRejected.Inc()
 				s.logf("server: AP %d: report claims APID %d; dropping", apID, pkt.APID)
 				continue
 			}
 			if err := s.collector.Add(pkt); err != nil {
+				s.metrics.PacketsRejected.Inc()
 				s.logf("server: AP %d: rejected packet: %v", apID, err)
 			}
 		case wire.TypeBye:
 			s.logf("server: AP %d disconnected cleanly", apID)
 			return
 		default:
+			s.metrics.DecodeErrors.Inc()
 			s.logf("server: AP %d: unknown frame type %d", apID, f.Type)
 			return
 		}

@@ -27,6 +27,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"time"
 
 	"spotfi/internal/calib"
 	"spotfi/internal/csi"
@@ -34,6 +35,7 @@ import (
 	"spotfi/internal/geom"
 	"spotfi/internal/locate"
 	"spotfi/internal/music"
+	"spotfi/internal/obs"
 	"spotfi/internal/rf"
 	"spotfi/internal/sanitize"
 )
@@ -144,6 +146,60 @@ type Config struct {
 	// calib.Estimate against a known-position beacon), applied to every
 	// packet before estimation. APs without an entry are used as-is.
 	Calibration map[int]calib.Offsets
+	// Metrics, when non-nil, receives per-stage timings and failure
+	// counts for every burst processed (see NewPipelineMetrics).
+	Metrics *PipelineMetrics
+}
+
+// PipelineMetrics instruments the Localizer: per-stage latency histograms
+// and failure counters. Construct with NewPipelineMetrics to register the
+// canonical metric names on a registry; a zero PipelineMetrics (or any nil
+// field) records nothing.
+type PipelineMetrics struct {
+	// SanitizeSeconds, EstimateSeconds, ClusterSeconds, and LocateSeconds
+	// time the pipeline stages: Algorithm 1 ToF sanitization and
+	// super-resolution are observed once per packet, clustering once per
+	// burst, localization once per fused fix.
+	SanitizeSeconds *obs.Histogram
+	EstimateSeconds *obs.Histogram
+	ClusterSeconds  *obs.Histogram
+	LocateSeconds   *obs.Histogram
+	// PacketsProcessed counts packets that survived stage 1;
+	// PacketFailures counts packets dropped by calibration, sanitization,
+	// or estimation errors.
+	PacketsProcessed *obs.Counter
+	PacketFailures   *obs.Counter
+	// BurstsProcessed and BurstFailures count ProcessBurst outcomes.
+	BurstsProcessed *obs.Counter
+	BurstFailures   *obs.Counter
+	// APsSkipped counts per-AP bursts LocalizeBursts had to discard.
+	APsSkipped *obs.Counter
+}
+
+// NewPipelineMetrics registers the pipeline's metric families on r and
+// returns the wired instrument set. Exported series:
+//
+//	spotfi_stage_duration_seconds{stage="sanitize"|"estimate"|"cluster"|"locate"}
+//	spotfi_packets_processed_total, spotfi_packet_failures_total
+//	spotfi_bursts_processed_total, spotfi_burst_failures_total
+//	spotfi_aps_skipped_total
+func NewPipelineMetrics(r *obs.Registry) *PipelineMetrics {
+	stage := func(name string) *obs.Histogram {
+		return r.Histogram("spotfi_stage_duration_seconds",
+			"Latency of SpotFi pipeline stages (sanitize/estimate per packet, cluster per burst, locate per fix).",
+			obs.LatencyBuckets, obs.Labels{"stage": name})
+	}
+	return &PipelineMetrics{
+		SanitizeSeconds:  stage("sanitize"),
+		EstimateSeconds:  stage("estimate"),
+		ClusterSeconds:   stage("cluster"),
+		LocateSeconds:    stage("locate"),
+		PacketsProcessed: r.Counter("spotfi_packets_processed_total", "Packets that survived super-resolution estimation.", nil),
+		PacketFailures:   r.Counter("spotfi_packet_failures_total", "Packets dropped by calibration, sanitization, or estimation errors.", nil),
+		BurstsProcessed:  r.Counter("spotfi_bursts_processed_total", "Per-AP bursts that produced a direct-path report.", nil),
+		BurstFailures:    r.Counter("spotfi_burst_failures_total", "Per-AP bursts that failed stages 1-2.", nil),
+		APsSkipped:       r.Counter("spotfi_aps_skipped_total", "APs excluded from localization because their burst failed.", nil),
+	}
 }
 
 // DefaultConfig returns the paper's configuration over search bounds b.
@@ -220,6 +276,11 @@ func New(cfg Config, aps []AP) (*Localizer, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
+	if cfg.Metrics == nil {
+		// Nil obs metrics are no-ops, so an unwired pipeline pays only
+		// the time.Now calls.
+		cfg.Metrics = &PipelineMetrics{}
+	}
 	return &Localizer{cfg: cfg, est: est, jade: jade, aps: m}, nil
 }
 
@@ -266,11 +327,15 @@ func (l *Localizer) ProcessBurst(apID int, pkts []*Packet) (*APReport, error) {
 				}
 			}
 			if l.cfg.Sanitize {
-				if _, err := sanitize.ToF(work, l.cfg.Music.Band.SubcarrierSpacingHz); err != nil {
+				start := time.Now()
+				_, err := sanitize.ToF(work, l.cfg.Music.Band.SubcarrierSpacingHz)
+				l.cfg.Metrics.SanitizeSeconds.ObserveSince(start)
+				if err != nil {
 					errs[i] = err
 					return
 				}
 			}
+			start := time.Now()
 			var est []PathEstimate
 			var err error
 			if l.jade != nil {
@@ -278,6 +343,7 @@ func (l *Localizer) ProcessBurst(apID int, pkts []*Packet) (*APReport, error) {
 			} else {
 				est, err = l.est.EstimatePaths(work)
 			}
+			l.cfg.Metrics.EstimateSeconds.ObserveSince(start)
 			if err != nil {
 				errs[i] = err
 				return
@@ -292,7 +358,10 @@ func (l *Localizer) ProcessBurst(apID int, pkts []*Packet) (*APReport, error) {
 			failed++
 		}
 	}
+	l.cfg.Metrics.PacketFailures.Add(uint64(failed))
+	l.cfg.Metrics.PacketsProcessed.Add(uint64(len(pkts) - failed))
 	if failed == len(pkts) {
+		l.cfg.Metrics.BurstFailures.Inc()
 		return nil, fmt.Errorf("spotfi: every packet in the burst failed estimation: %v", firstError(errs))
 	}
 
@@ -300,8 +369,11 @@ func (l *Localizer) ProcessBurst(apID int, pkts []*Packet) (*APReport, error) {
 	// RNG: concurrent ProcessBurst calls would otherwise consume the
 	// generator in scheduler order and make results run-dependent.
 	seed := int64(uint64(l.cfg.Seed)^uint64(apID+1)*0x9E3779B97F4A7C15^(pkts[0].Seq+1)*0xBF58476D1CE4E5B9^uint64(len(pkts))) & 0x7FFFFFFFFFFFFFFF
+	start := time.Now()
 	res, err := dpath.Identify(perPacket, l.cfg.DPath, rand.New(rand.NewSource(seed)))
+	l.cfg.Metrics.ClusterSeconds.ObserveSince(start)
 	if err != nil {
+		l.cfg.Metrics.BurstFailures.Inc()
 		return nil, err
 	}
 
@@ -316,8 +388,10 @@ func (l *Localizer) ProcessBurst(apID int, pkts []*Packet) (*APReport, error) {
 		cand, ok = res.Best()
 	}
 	if !ok {
+		l.cfg.Metrics.BurstFailures.Inc()
 		return nil, fmt.Errorf("spotfi: no direct-path candidate for AP %d", apID)
 	}
+	l.cfg.Metrics.BurstsProcessed.Inc()
 	return &APReport{
 		APID:        apID,
 		AoA:         cand.AoA,
@@ -354,34 +428,55 @@ func (l *Localizer) Locate(reports []*APReport) (Point, error) {
 			Likelihood:  r.Likelihood,
 		})
 	}
+	start := time.Now()
 	res, err := locate.Locate(obs, l.cfg.Locate)
+	l.cfg.Metrics.LocateSeconds.ObserveSince(start)
 	if err != nil {
 		return Point{}, err
 	}
 	return res.Location, nil
 }
 
+// SkippedAP records an AP whose burst failed stages 1–2 and was excluded
+// from localization, with the cause.
+type SkippedAP struct {
+	APID int
+	Err  error
+}
+
+func (s SkippedAP) String() string {
+	return fmt.Sprintf("AP %d: %v", s.APID, s.Err)
+}
+
 // LocalizeBursts runs the full pipeline: one burst per AP, keyed by AP ID.
-// APs whose burst fails stage 1–2 are skipped; at least two must survive.
-func (l *Localizer) LocalizeBursts(bursts map[int][]*Packet) (Point, []*APReport, error) {
+// APs whose burst fails stage 1–2 do not kill localization — they are
+// excluded and reported in the skipped slice so callers can surface per-AP
+// health instead of silently fusing fewer observations — but at least two
+// must survive. When localization proceeds, skipped is non-nil exactly
+// when at least one AP was dropped.
+func (l *Localizer) LocalizeBursts(bursts map[int][]*Packet) (Point, []*APReport, []SkippedAP, error) {
 	ids := make([]int, 0, len(bursts))
 	for id := range bursts {
 		ids = append(ids, id)
 	}
 	sortInts(ids)
 	var reports []*APReport
+	var skipped []SkippedAP
 	for _, id := range ids {
 		rep, err := l.ProcessBurst(id, bursts[id])
 		if err != nil {
-			continue // a dead AP must not kill localization
+			skipped = append(skipped, SkippedAP{APID: id, Err: err})
+			l.cfg.Metrics.APsSkipped.Inc()
+			continue
 		}
 		reports = append(reports, rep)
 	}
 	if len(reports) < 2 {
-		return Point{}, nil, fmt.Errorf("spotfi: only %d usable AP reports", len(reports))
+		return Point{}, nil, skipped, fmt.Errorf("spotfi: only %d usable AP reports (%d skipped: %v)",
+			len(reports), len(skipped), skipped)
 	}
 	p, err := l.Locate(reports)
-	return p, reports, err
+	return p, reports, skipped, err
 }
 
 func sortInts(xs []int) {

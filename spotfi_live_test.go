@@ -36,7 +36,7 @@ func TestLiveSystemEndToEnd(t *testing.T) {
 			t.Errorf("burst for unexpected MAC %s", mac)
 			return
 		}
-		p, _, err := loc.LocalizeBursts(bursts)
+		p, _, _, err := loc.LocalizeBursts(bursts)
 		if err != nil {
 			t.Errorf("localize: %v", err)
 			return

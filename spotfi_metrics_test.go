@@ -1,0 +1,192 @@
+package spotfi
+
+import (
+	"context"
+	"io"
+	"math/rand"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"spotfi/internal/apnode"
+	"spotfi/internal/csi"
+	"spotfi/internal/obs"
+	"spotfi/internal/server"
+	"spotfi/internal/sim"
+	"spotfi/internal/testbed"
+)
+
+// parseMetrics parses the Prometheus text format into a map keyed by the
+// full series name including labels.
+func parseMetrics(t *testing.T, body string) map[string]float64 {
+	t.Helper()
+	out := make(map[string]float64)
+	for _, line := range strings.Split(body, "\n") {
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			t.Fatalf("bad value in line %q: %v", line, err)
+		}
+		out[line[:i]] = v
+	}
+	return out
+}
+
+// TestMetricsEndToEnd runs the full deployed architecture with the
+// observability layer wired in: AP agents stream CSI over TCP, the server
+// assembles bursts, the pipeline localizes, and a /metrics scrape must
+// show the ingest counters, stage latency histograms, and pending gauges
+// all advancing coherently.
+func TestMetricsEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("live-system run")
+	}
+	d := testbed.Office(42)
+	const targetIdx = 4
+	const packets = 6
+
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig(d.Bounds)
+	cfg.Metrics = NewPipelineMetrics(reg)
+	loc, err := New(cfg, deploymentAPs(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fixes := make(chan Point, 8)
+	collector, err := server.NewCollector(server.CollectorConfig{
+		BatchSize: packets, MinAPs: 6, MaxBuffered: 64,
+	}, func(mac string, bursts map[int][]*csi.Packet) {
+		p, _, skipped, err := loc.LocalizeBursts(bursts)
+		if err != nil {
+			t.Errorf("localize: %v", err)
+			return
+		}
+		for _, s := range skipped {
+			t.Logf("skipped %v", s)
+		}
+		fixes <- p
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sm := server.NewMetrics(reg)
+	collector.SetMetrics(sm)
+	srv, err := server.New(collector, func(string, ...any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetMetrics(sm)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	// The debug endpoint exactly as cmd/spotfi-server mounts it.
+	debug := httptest.NewServer(reg.Handler())
+	defer debug.Close()
+
+	scrape := func() map[string]float64 {
+		res, err := debug.Client().Get(debug.URL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer res.Body.Close()
+		body, err := io.ReadAll(res.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return parseMetrics(t, string(body))
+	}
+
+	base := scrape()
+	if base["spotfi_server_frames_total"] != 0 {
+		t.Fatalf("frames counter nonzero before traffic: %v", base["spotfi_server_frames_total"])
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	var wg sync.WaitGroup
+	for apIdx := range d.APs {
+		link := d.Link(apIdx, targetIdx)
+		syn, err := sim.NewSynthesizer(link, d.Band, d.Array, d.Imp,
+			rand.New(rand.NewSource(int64(700+apIdx))))
+		if err != nil {
+			t.Fatalf("AP %d: %v", apIdx, err)
+		}
+		agent := &apnode.Agent{
+			APID:       apIdx,
+			ServerAddr: addr.String(),
+			Source: &apnode.SynthSource{
+				Syn:       syn,
+				TargetMAC: testbed.TargetMAC(targetIdx),
+				Limit:     packets,
+			},
+		}
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			if err := agent.Run(ctx); err != nil {
+				t.Errorf("agent %d: %v", id, err)
+			}
+		}(apIdx)
+	}
+	wg.Wait()
+
+	select {
+	case <-fixes:
+	case <-time.After(20 * time.Second):
+		t.Fatal("no fix produced")
+	}
+
+	m := scrape()
+	wantPositive := []string{
+		"spotfi_server_connects_total",
+		"spotfi_server_frames_total",
+		"spotfi_server_bursts_emitted_total",
+		`spotfi_stage_duration_seconds_count{stage="sanitize"}`,
+		`spotfi_stage_duration_seconds_count{stage="estimate"}`,
+		`spotfi_stage_duration_seconds_count{stage="cluster"}`,
+		`spotfi_stage_duration_seconds_count{stage="locate"}`,
+		`spotfi_stage_duration_seconds_sum{stage="estimate"}`,
+		"spotfi_packets_processed_total",
+		"spotfi_bursts_processed_total",
+	}
+	for _, name := range wantPositive {
+		v, ok := m[name]
+		if !ok {
+			t.Errorf("series %s missing from /metrics", name)
+			continue
+		}
+		if v <= 0 {
+			t.Errorf("%s = %v, want > 0", name, v)
+		}
+	}
+	// Per-packet stages ran once per (AP, packet) pair.
+	if got := m[`spotfi_stage_duration_seconds_count{stage="estimate"}`]; got < float64(packets*6) {
+		t.Errorf("estimate stage observed %v packets, want ≥ %d", got, packets*6)
+	}
+	// Every burst drained: pruned collector shows empty gauges.
+	if m["spotfi_server_pending_targets"] != 0 || m["spotfi_server_pending_packets"] != 0 {
+		t.Errorf("pending gauges = %v targets / %v packets, want 0/0",
+			m["spotfi_server_pending_targets"], m["spotfi_server_pending_packets"])
+	}
+	if m["spotfi_server_decode_errors_total"] != 0 {
+		t.Errorf("decode errors = %v, want 0", m["spotfi_server_decode_errors_total"])
+	}
+	// Histogram buckets are cumulative: the +Inf bucket equals the count.
+	inf := m[`spotfi_stage_duration_seconds_bucket{stage="locate",le="+Inf"}`]
+	if cnt := m[`spotfi_stage_duration_seconds_count{stage="locate"}`]; inf != cnt {
+		t.Errorf("locate +Inf bucket %v != count %v", inf, cnt)
+	}
+}

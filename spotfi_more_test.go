@@ -57,7 +57,7 @@ func TestLocalizeBurstsTooFewAPs(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := loc.LocalizeBursts(map[int][]*Packet{0: burst}); err == nil {
+	if _, _, _, err := loc.LocalizeBursts(map[int][]*Packet{0: burst}); err == nil {
 		t.Fatal("single-AP localization accepted")
 	}
 }
@@ -80,7 +80,7 @@ func TestLocalizeBurstsSkipsDeadAP(t *testing.T) {
 	for _, p := range bursts[3] {
 		p.CSI.Values[0][0] = complex(math.NaN(), 0)
 	}
-	p, reports, err := loc.LocalizeBursts(bursts)
+	p, reports, skipped, err := loc.LocalizeBursts(bursts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,6 +88,10 @@ func TestLocalizeBurstsSkipsDeadAP(t *testing.T) {
 		if r.APID == 3 {
 			t.Fatal("dead AP produced a report")
 		}
+	}
+	// The dead AP must be reported, not silently swallowed.
+	if len(skipped) != 1 || skipped[0].APID != 3 || skipped[0].Err == nil {
+		t.Fatalf("skipped = %v, want exactly AP 3 with its error", skipped)
 	}
 	if !d.Bounds.Contains(p) {
 		t.Fatalf("estimate %v outside bounds", p)
@@ -212,11 +216,11 @@ func TestLocalizerDeterministic(t *testing.T) {
 		}
 		bursts[a] = b
 	}
-	p1, _, err := loc1.LocalizeBursts(bursts)
+	p1, _, _, err := loc1.LocalizeBursts(bursts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	p2, _, err := loc2.LocalizeBursts(bursts)
+	p2, _, _, err := loc2.LocalizeBursts(bursts)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -37,7 +37,7 @@ func TestEndToEndOfficeLocalization(t *testing.T) {
 			}
 			bursts[a] = b
 		}
-		p, _, err := loc.LocalizeBursts(bursts)
+		p, _, _, err := loc.LocalizeBursts(bursts)
 		if err != nil {
 			t.Fatalf("target %d: %v", ti, err)
 		}
