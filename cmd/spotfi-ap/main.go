@@ -81,6 +81,7 @@ func main() {
 	defer cancel()
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	//lint:allow gospawn single signal-watcher goroutine; exits with the process
 	go func() {
 		<-sig
 		cancel()

@@ -1,0 +1,22 @@
+// Command spotfi-lint runs the repo's custom static analyzers — the DSP
+// and concurrency invariants this codebase has been burned by (see
+// DESIGN.md §Linting). Standalone:
+//
+//	go run ./cmd/spotfi-lint ./...
+//
+// or through cmd/go's vet driver, which shares vet's caching:
+//
+//	go build -o /tmp/spotfi-lint ./cmd/spotfi-lint
+//	go vet -vettool=/tmp/spotfi-lint ./...
+package main
+
+import (
+	"os"
+
+	"spotfi/internal/analysis/multichecker"
+	"spotfi/internal/analysis/suite"
+)
+
+func main() {
+	os.Exit(multichecker.Main(suite.Analyzers()))
+}

@@ -44,6 +44,26 @@ type burstJob struct {
 	bursts map[int][]*csi.Packet
 }
 
+// localizeMetrics holds the serving-loop series. Registration happens
+// once, here, before any worker starts: Registry registration takes a
+// lock, so hot paths only touch the returned handles.
+type localizeMetrics struct {
+	overloadDrops  *obs.Counter
+	localizeErrors *obs.Counter
+	queueDepth     *obs.Gauge
+}
+
+func newLocalizeMetrics(reg *obs.Registry) *localizeMetrics {
+	return &localizeMetrics{
+		overloadDrops: reg.Counter("spotfi_server_bursts_overload_dropped_total",
+			"Complete bursts dropped because the localization queue was full.", nil),
+		localizeErrors: reg.Counter("spotfi_server_localize_errors_total",
+			"Bursts whose localization failed end-to-end.", nil),
+		queueDepth: reg.Gauge("spotfi_server_localize_queue_depth",
+			"Bursts waiting for a localization worker.", nil),
+	}
+}
+
 func main() {
 	listen := flag.String("listen", "127.0.0.1:7100", "TCP address to listen on")
 	boundsStr := flag.String("bounds", "0,0,16,10", "search bounds minX,minY,maxX,maxY (m)")
@@ -79,12 +99,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	overloadDrops := reg.Counter("spotfi_server_bursts_overload_dropped_total",
-		"Complete bursts dropped because the localization queue was full.", nil)
-	localizeErrors := reg.Counter("spotfi_server_localize_errors_total",
-		"Bursts whose localization failed end-to-end.", nil)
-	queueDepth := reg.Gauge("spotfi_server_localize_queue_depth",
-		"Bursts waiting for a localization worker.", nil)
+	lm := newLocalizeMetrics(reg)
 
 	// Bounded localization pool: burst handlers run on connection
 	// goroutines, so they must never block on or spawn unbounded work.
@@ -92,16 +107,17 @@ func main() {
 	var pool sync.WaitGroup
 	for i := 0; i < *workers; i++ {
 		pool.Add(1)
+		//lint:allow gospawn this loop is the bounded localization pool itself (WaitGroup-joined, -workers sized)
 		go func() {
 			defer pool.Done()
 			for j := range jobs {
-				queueDepth.Set(int64(len(jobs)))
+				lm.queueDepth.Set(int64(len(jobs)))
 				p, reports, skipped, err := loc.LocalizeBursts(j.bursts)
 				for _, s := range skipped {
 					log.Printf("localize %s: skipped %v", j.mac, s)
 				}
 				if err != nil {
-					localizeErrors.Inc()
+					lm.localizeErrors.Inc()
 					log.Printf("localize %s: %v", j.mac, err)
 					continue
 				}
@@ -118,9 +134,9 @@ func main() {
 	}, func(mac string, bursts map[int][]*csi.Packet) {
 		select {
 		case jobs <- burstJob{mac: mac, bursts: bursts}:
-			queueDepth.Set(int64(len(jobs)))
+			lm.queueDepth.Set(int64(len(jobs)))
 		default:
-			overloadDrops.Inc()
+			lm.overloadDrops.Inc()
 			log.Printf("localize %s: queue full, burst dropped", mac)
 		}
 	})
@@ -154,6 +170,7 @@ func main() {
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		//lint:allow gospawn debug HTTP listener lives for the whole process; no join needed
 		go func() {
 			log.Printf("debug endpoints on http://%s/metrics", *debugAddr)
 			if err := http.ListenAndServe(*debugAddr, mux); err != nil {

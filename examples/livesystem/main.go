@@ -91,6 +91,7 @@ func main() {
 			Interval: 5 * time.Millisecond,
 		}
 		wg.Add(1)
+		//lint:allow gospawn example harness: one WaitGroup-joined agent per simulated AP
 		go func(id int) {
 			defer wg.Done()
 			if err := agent.Run(ctx); err != nil {

@@ -1,0 +1,98 @@
+// Package analysis defines the analyzer plumbing behind spotfi-lint: a
+// deliberately small, dependency-free subset of the
+// golang.org/x/tools/go/analysis API. The container this repo grows in has
+// no module proxy access, so rather than vendoring x/tools we re-implement
+// the four concepts the suite needs — Analyzer, Pass, Diagnostic, and a
+// driver (see the sibling checker, load, and multichecker packages) — with
+// the same field names and semantics. If the real dependency ever becomes
+// available, analyzers port by changing one import path.
+package analysis
+
+import (
+	"flag"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// An Analyzer is one static check: a name, a doc string, optional flags,
+// and a Run function applied to one package at a time.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics, flags
+	// (-<name>.<flag>), and //lint:allow comments. It must be a valid Go
+	// identifier.
+	Name string
+
+	// Doc is the analyzer's help text. The first line is a one-phrase
+	// summary; the rest elaborates on the invariant and its motivation.
+	Doc string
+
+	// Flags holds analyzer-specific flags. Drivers expose each flag f as
+	// -<Name>.<f> on the command line.
+	Flags flag.FlagSet
+
+	// Run applies the analyzer to one package and reports diagnostics
+	// through pass.Report. The result value is unused by this driver but
+	// kept for x/tools API parity.
+	Run func(*Pass) (any, error)
+}
+
+func (a *Analyzer) String() string { return a.Name }
+
+// A Pass presents one package to an Analyzer.Run and collects its
+// diagnostics.
+type Pass struct {
+	// Analyzer is the analyzer being run.
+	Analyzer *Analyzer
+
+	// Fset maps token positions; shared by all files of the package.
+	Fset *token.FileSet
+
+	// Files is the package's parsed syntax, comments included.
+	Files []*ast.File
+
+	// Pkg is the type-checked package.
+	Pkg *types.Package
+
+	// TypesInfo holds type information for expressions and identifiers
+	// in Files.
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver fills this in.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// A Diagnostic is one finding, tied to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	End     token.Pos // optional
+	Message string
+}
+
+// Validate checks that the analyzers are well formed (non-empty unique
+// names, a Run function) before a driver runs them.
+func Validate(analyzers []*Analyzer) error {
+	seen := make(map[string]bool)
+	for _, a := range analyzers {
+		if a == nil {
+			return fmt.Errorf("analysis: nil analyzer")
+		}
+		if a.Name == "" {
+			return fmt.Errorf("analysis: analyzer with empty name")
+		}
+		if a.Run == nil {
+			return fmt.Errorf("analysis: analyzer %s has no Run", a.Name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("analysis: duplicate analyzer name %s", a.Name)
+		}
+		seen[a.Name] = true
+	}
+	return nil
+}

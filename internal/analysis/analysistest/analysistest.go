@@ -1,0 +1,222 @@
+// Package analysistest runs a single analyzer over fixture packages and
+// checks its diagnostics against // want expectations, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A fixture lives in testdata/src/<dir>/ as ordinary Go files. A line
+// expecting diagnostics carries a trailing comment of the form
+//
+//	x += step // want `regexp` `another`
+//
+// with one double- or back-quoted regexp per expected diagnostic on that
+// line. Unmatched expectations and unexpected diagnostics both fail the
+// test. Suppression comments (//lint:allow) are NOT honored here — the
+// harness tests analyzers, not the driver.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+	"testing"
+
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/load"
+)
+
+// TestData returns the absolute path of the caller package's testdata
+// directory (tests run with the package directory as cwd).
+func TestData(t *testing.T) string {
+	t.Helper()
+	dir, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+// Run applies a to each fixture package testdata/src/<dir> and reports
+// expectation mismatches through t.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	for _, dir := range dirs {
+		t.Run(dir, func(t *testing.T) { runOne(t, filepath.Join(testdata, "src", dir), a) })
+	}
+}
+
+func runOne(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(names) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	sort.Strings(names)
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			t.Fatal(err)
+		}
+		files = append(files, f)
+	}
+
+	pkg := &load.Package{
+		PkgPath: filepath.Base(dir),
+		Dir:     dir,
+		Fset:    fset,
+		Syntax:  files,
+	}
+	pkg.TypesInfo = load.NewInfo()
+	conf := types.Config{Importer: load.NewExportImporter(fset, exportData(t, dir, files), nil)}
+	tpkg, err := conf.Check(pkg.PkgPath, fset, files, pkg.TypesInfo)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", dir, err)
+	}
+	pkg.Types = tpkg
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       tpkg,
+		TypesInfo: pkg.TypesInfo,
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	checkExpectations(t, fset, files, diags)
+}
+
+// expectation is one // want pattern awaiting a diagnostic.
+type expectation struct {
+	pos token.Position // of the comment, identifying file and line
+	re  *regexp.Regexp
+	met bool
+}
+
+func checkExpectations(t *testing.T, fset *token.FileSet, files []*ast.File, diags []analysis.Diagnostic) {
+	t.Helper()
+	var wants []*expectation
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				patterns, err := parsePatterns(text)
+				if err != nil {
+					t.Errorf("%s: bad // want: %v", pos, err)
+					continue
+				}
+				for _, p := range patterns {
+					re, err := regexp.Compile(p)
+					if err != nil {
+						t.Errorf("%s: bad // want regexp: %v", pos, err)
+						continue
+					}
+					wants = append(wants, &expectation{pos: pos, re: re})
+				}
+			}
+		}
+	}
+
+diagLoop:
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		for _, w := range wants {
+			if !w.met && w.pos.Filename == pos.Filename && w.pos.Line == pos.Line && w.re.MatchString(d.Message) {
+				w.met = true
+				continue diagLoop
+			}
+		}
+		t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+	}
+	for _, w := range wants {
+		if !w.met {
+			t.Errorf("%s: no diagnostic matching %q", w.pos, w.re)
+		}
+	}
+}
+
+// parsePatterns splits a sequence of double- or back-quoted regexps into
+// unquoted pattern strings.
+func parsePatterns(s string) ([]string, error) {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if s == "" {
+			return out, nil
+		}
+		var quote byte
+		switch s[0] {
+		case '"', '`':
+			quote = s[0]
+		default:
+			return nil, fmt.Errorf("pattern must be quoted with \" or `: %q", s)
+		}
+		end := strings.IndexByte(s[1:], quote)
+		if end < 0 {
+			return nil, fmt.Errorf("unterminated pattern: %q", s)
+		}
+		raw := s[:end+2]
+		p, err := strconv.Unquote(raw)
+		if err != nil {
+			return nil, fmt.Errorf("unquoting %q: %v", raw, err)
+		}
+		out = append(out, p)
+		s = s[end+2:]
+	}
+}
+
+// exportData compiles the fixtures' imports via `go list -export` and
+// returns importPath → export-data file. Fixtures may import anything the
+// module can: stdlib and spotfi packages alike.
+func exportData(t *testing.T, dir string, files []*ast.File) map[string]string {
+	t.Helper()
+	seen := make(map[string]bool)
+	var paths []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || p == "unsafe" || seen[p] {
+				continue
+			}
+			seen[p] = true
+			paths = append(paths, p)
+		}
+	}
+	if len(paths) == 0 {
+		return nil
+	}
+	sort.Strings(paths)
+	args := append([]string{"list", "-e", "-export", "-deps", "-json=ImportPath,Export,ImportMap"}, paths...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir // inside the module, so module-local imports resolve
+	out, err := cmd.Output()
+	if err != nil {
+		msg := ""
+		if ee, ok := err.(*exec.ExitError); ok {
+			msg = string(ee.Stderr)
+		}
+		t.Fatalf("go list %s: %v\n%s", strings.Join(paths, " "), err, msg)
+	}
+	exports, err := load.ParseExportList(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return exports
+}

@@ -1,0 +1,155 @@
+// Package checker runs a set of analyzers over loaded packages, applies
+// //lint:allow suppressions, and formats diagnostics. It is shared by the
+// standalone spotfi-lint driver, the vet -vettool adapter, and the
+// repo-wide smoke test.
+package checker
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"io"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/load"
+)
+
+// A Finding is one surviving (unsuppressed) diagnostic.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// findings sorted by position. Suppressed diagnostics are dropped;
+// malformed //lint:allow comments become findings themselves so a typo
+// cannot silently disable a check.
+func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package) ([]Finding, error) {
+	if err := analysis.Validate(analyzers); err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range pkgs {
+		sup, bad := suppressions(pkg.Fset, pkg.Syntax)
+		findings = append(findings, bad...)
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			pass.Report = func(d analysis.Diagnostic) {
+				pos := pkg.Fset.Position(d.Pos)
+				if sup.allows(a.Name, pos) {
+					return
+				}
+				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+			}
+			if _, err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return dedupe(findings), nil
+}
+
+// Print writes findings one per line, with paths relative to dir when
+// possible, and returns how many were written.
+func Print(w io.Writer, dir string, findings []Finding) int {
+	for _, f := range findings {
+		pos := f.Pos
+		if dir != "" {
+			if rel, err := filepath.Rel(dir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
+				pos.Filename = rel
+			}
+		}
+		fmt.Fprintf(w, "%s: [%s] %s\n", pos, f.Analyzer, f.Message)
+	}
+	return len(findings)
+}
+
+func dedupe(findings []Finding) []Finding {
+	var out []Finding
+	seen := make(map[Finding]bool)
+	for _, f := range findings {
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// suppressor records which (file, line) pairs are covered by a
+// //lint:allow comment, per analyzer name.
+type suppressor map[suppressKey]bool
+
+type suppressKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+func (s suppressor) allows(analyzer string, pos token.Position) bool {
+	return s[suppressKey{pos.Filename, pos.Line, analyzer}]
+}
+
+// suppressions scans the files' comments for //lint:allow directives.
+// A directive has the form
+//
+//	//lint:allow <analyzer> <reason...>
+//
+// and suppresses that analyzer's diagnostics on the comment's own line
+// (trailing comment) and on the following line (comment above the
+// statement). A directive missing its reason is reported as a finding.
+func suppressions(fset *token.FileSet, files []*ast.File) (suppressor, []Finding) {
+	sup := make(suppressor)
+	var bad []Finding
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//lint:allow")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) < 2 {
+					bad = append(bad, Finding{
+						Analyzer: "lint",
+						Pos:      pos,
+						Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\"",
+					})
+					continue
+				}
+				name := fields[0]
+				sup[suppressKey{pos.Filename, pos.Line, name}] = true
+				sup[suppressKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	return sup, bad
+}

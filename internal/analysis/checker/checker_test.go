@@ -1,0 +1,153 @@
+package checker_test
+
+import (
+	"bytes"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/checker"
+	"spotfi/internal/analysis/load"
+)
+
+// markAnalyzer reports every identifier named "mark", giving the tests a
+// deterministic diagnostic source without involving real analyses.
+var markAnalyzer = &analysis.Analyzer{
+	Name: "mark",
+	Doc:  "reports every identifier named mark",
+	Run: func(pass *analysis.Pass) (any, error) {
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok && id.Name == "mark" {
+					pass.Reportf(id.Pos(), "found mark")
+				}
+				return true
+			})
+		}
+		return nil, nil
+	},
+}
+
+func parsePkg(t *testing.T, src string) *load.Package {
+	t.Helper()
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &load.Package{PkgPath: "p", Fset: fset, Syntax: []*ast.File{file}}
+}
+
+func run(t *testing.T, src string) []checker.Finding {
+	t.Helper()
+	findings, err := checker.Run([]*analysis.Analyzer{markAnalyzer}, []*load.Package{parsePkg(t, src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return findings
+}
+
+func TestUnsuppressedFindingSurvives(t *testing.T) {
+	findings := run(t, `package p
+
+var mark int
+`)
+	if len(findings) != 1 {
+		t.Fatalf("got %d findings, want 1: %v", len(findings), findings)
+	}
+	f := findings[0]
+	if f.Analyzer != "mark" || f.Pos.Line != 3 || f.Message != "found mark" {
+		t.Errorf("unexpected finding: %+v", f)
+	}
+}
+
+func TestSameLineSuppression(t *testing.T) {
+	findings := run(t, `package p
+
+var mark int //lint:allow mark test fixture
+`)
+	if len(findings) != 0 {
+		t.Errorf("trailing //lint:allow did not suppress: %v", findings)
+	}
+}
+
+func TestPrecedingLineSuppression(t *testing.T) {
+	findings := run(t, `package p
+
+//lint:allow mark test fixture
+var mark int
+`)
+	if len(findings) != 0 {
+		t.Errorf("preceding-line //lint:allow did not suppress: %v", findings)
+	}
+}
+
+func TestSuppressionIsPerAnalyzer(t *testing.T) {
+	findings := run(t, `package p
+
+var mark int //lint:allow other wrong analyzer name
+`)
+	if len(findings) != 1 {
+		t.Errorf("//lint:allow for a different analyzer suppressed the finding: %v", findings)
+	}
+}
+
+func TestSuppressionDoesNotReachPastNextLine(t *testing.T) {
+	findings := run(t, `package p
+
+//lint:allow mark test fixture
+
+var mark int
+`)
+	if len(findings) != 1 {
+		t.Errorf("//lint:allow two lines above suppressed the finding: %v", findings)
+	}
+}
+
+func TestMalformedDirectiveIsAFinding(t *testing.T) {
+	findings := run(t, `package p
+
+var mark int //lint:allow mark
+`)
+	// The directive has no reason, so it suppresses nothing: both the
+	// malformed-directive finding and the original diagnostic surface.
+	var lint, mark int
+	for _, f := range findings {
+		switch f.Analyzer {
+		case "lint":
+			lint++
+			if !strings.Contains(f.Message, "malformed //lint:allow") {
+				t.Errorf("unexpected lint message: %q", f.Message)
+			}
+		case "mark":
+			mark++
+		}
+	}
+	if lint != 1 {
+		t.Errorf("got %d lint findings, want 1: %v", lint, findings)
+	}
+	if mark != 1 {
+		t.Errorf("malformed directive must not suppress the original finding: %v", findings)
+	}
+}
+
+func TestPrintRelativizesPaths(t *testing.T) {
+	var buf bytes.Buffer
+	n := checker.Print(&buf, "/work", []checker.Finding{
+		{Analyzer: "mark", Pos: token.Position{Filename: "/work/sub/p.go", Line: 3, Column: 5}, Message: "found mark"},
+		{Analyzer: "mark", Pos: token.Position{Filename: "/elsewhere/q.go", Line: 1, Column: 1}, Message: "found mark"},
+	})
+	if n != 2 {
+		t.Fatalf("Print returned %d, want 2", n)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "sub/p.go:3:5: [mark] found mark") {
+		t.Errorf("path under dir not relativized:\n%s", out)
+	}
+	if !strings.Contains(out, "/elsewhere/q.go:1:1: [mark] found mark") {
+		t.Errorf("path outside dir must stay absolute:\n%s", out)
+	}
+}

@@ -1,0 +1,232 @@
+// Package load type-checks Go packages for analysis without any
+// dependency beyond the go toolchain. It shells out to
+// `go list -export -deps -json`, which compiles dependencies into the
+// build cache and reports their export-data files, then parses the target
+// packages from source and type-checks them against that export data with
+// the standard gc importer — the same strategy cmd/vet's unitchecker uses,
+// and one that works fully offline.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// A Package is one type-checked target package.
+type Package struct {
+	PkgPath string
+	Name    string
+	Dir     string
+	GoFiles []string // absolute paths, in go list order
+
+	Fset      *token.FileSet
+	Syntax    []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+
+	// TypeErrors holds soft type-check errors. Analyzers still run on a
+	// package with errors, but drivers should surface them.
+	TypeErrors []error
+}
+
+// listPackage mirrors the subset of `go list -json` output we consume.
+type listPackage struct {
+	ImportPath string
+	Name       string
+	Dir        string
+	GoFiles    []string
+	CgoFiles   []string
+	Export     string
+	ImportMap  map[string]string
+	Standard   bool
+	DepOnly    bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Packages loads, parses, and type-checks the packages matched by
+// patterns (e.g. "./..."), resolved relative to dir. Test files are not
+// loaded, matching `go build` package contents.
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"."}
+	}
+	args := append([]string{"list", "-e", "-export", "-deps", "-json"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	var targets []*listPackage
+	exports := make(map[string]string)
+	if err := decodeList(stdout.Bytes(), func(lp *listPackage) {
+		recordExport(exports, lp)
+		if !lp.DepOnly {
+			targets = append(targets, lp)
+		}
+	}); err != nil {
+		return nil, err
+	}
+
+	fset := token.NewFileSet()
+	imp := newExportImporter(fset, exports)
+
+	var out []*Package
+	for _, lp := range targets {
+		if lp.Error != nil && len(lp.GoFiles) == 0 {
+			return nil, fmt.Errorf("package %s: %s", lp.ImportPath, lp.Error.Err)
+		}
+		if len(lp.CgoFiles) > 0 {
+			return nil, fmt.Errorf("package %s: cgo packages are not supported", lp.ImportPath)
+		}
+		if len(lp.GoFiles) == 0 {
+			continue
+		}
+		pkg, err := check(fset, imp, lp)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// check parses and type-checks one target package from source.
+func check(fset *token.FileSet, imp types.Importer, lp *listPackage) (*Package, error) {
+	pkg := &Package{
+		PkgPath: lp.ImportPath,
+		Name:    lp.Name,
+		Dir:     lp.Dir,
+		Fset:    fset,
+	}
+	for _, f := range lp.GoFiles {
+		path := f
+		if !filepath.IsAbs(path) {
+			path = filepath.Join(lp.Dir, f)
+		}
+		pkg.GoFiles = append(pkg.GoFiles, path)
+		file, err := parser.ParseFile(fset, path, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("package %s: %v", lp.ImportPath, err)
+		}
+		pkg.Syntax = append(pkg.Syntax, file)
+	}
+
+	pkg.TypesInfo = NewInfo()
+	conf := types.Config{
+		Importer: imp,
+		Error:    func(err error) { pkg.TypeErrors = append(pkg.TypeErrors, err) },
+	}
+	// Soft errors are collected via conf.Error; the returned error would
+	// repeat the first of them, so it is deliberately dropped.
+	tpkg, _ := conf.Check(lp.ImportPath, fset, pkg.Syntax, pkg.TypesInfo) //lint:allow errdrop soft type errors collected via conf.Error
+	pkg.Types = tpkg
+	return pkg, nil
+}
+
+// ParseExportList extracts importPath → export-data-file pairs from
+// `go list -export -json` output. Used by analysistest, which runs go
+// list itself with a fixture-specific working directory.
+func ParseExportList(data []byte) (map[string]string, error) {
+	exports := make(map[string]string)
+	if err := decodeList(data, func(lp *listPackage) { recordExport(exports, lp) }); err != nil {
+		return nil, err
+	}
+	return exports, nil
+}
+
+// decodeList streams the concatenated JSON objects `go list -json` emits.
+func decodeList(data []byte, visit func(*listPackage)) error {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for {
+		lp := new(listPackage)
+		if err := dec.Decode(lp); err == io.EOF {
+			return nil
+		} else if err != nil {
+			return fmt.Errorf("go list: decoding output: %v", err)
+		}
+		visit(lp)
+	}
+}
+
+// recordExport indexes a package's export data under its import path and,
+// for packages compiled under a vendor-resolved path (stdlib vendoring),
+// under the source-level path too.
+func recordExport(exports map[string]string, lp *listPackage) {
+	if lp.Export == "" {
+		return
+	}
+	exports[lp.ImportPath] = lp.Export
+	for src, resolved := range lp.ImportMap {
+		if resolved == lp.ImportPath {
+			exports[src] = lp.Export
+		}
+	}
+}
+
+// NewInfo returns a types.Info with all maps analyzers rely on allocated.
+func NewInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// NewExportImporter returns a types.Importer that resolves imports from gc
+// export-data files: importPath → file. importMap, which may be nil,
+// rewrites source-level import paths (vendoring) before lookup.
+func NewExportImporter(fset *token.FileSet, exports map[string]string, importMap map[string]string) types.Importer {
+	if importMap == nil {
+		return newExportImporter(fset, exports)
+	}
+	merged := make(map[string]string, len(exports))
+	for k, v := range exports {
+		merged[k] = v
+	}
+	for src, resolved := range importMap {
+		if f, ok := exports[resolved]; ok {
+			merged[src] = f
+		}
+	}
+	return newExportImporter(fset, merged)
+}
+
+func newExportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	}
+	return &exportImporter{gc: importer.ForCompiler(fset, "gc", lookup)}
+}
+
+type exportImporter struct{ gc types.Importer }
+
+func (i *exportImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return i.gc.Import(path)
+}

@@ -1,0 +1,244 @@
+// Package multichecker is the driver behind cmd/spotfi-lint. It runs a
+// set of analyzers in two modes:
+//
+//   - standalone: `spotfi-lint [flags] ./...` loads packages itself (see
+//     internal/analysis/load) and prints findings to stdout, exiting 3 if
+//     any survive;
+//   - unitchecker: when cmd/go invokes it via `go vet -vettool=...`, the
+//     single *.cfg argument selects the vet driver protocol — answer
+//     -V=full with a version line, type-check from the export data cmd/go
+//     hands over, write the (empty) facts file it expects, and report to
+//     stderr.
+package multichecker
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"os"
+	"runtime/debug"
+	"strings"
+
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/checker"
+	"spotfi/internal/analysis/load"
+)
+
+// Exit codes, matching the x/tools drivers closely enough for CI use.
+const (
+	exitClean    = 0
+	exitError    = 1
+	exitVetDiags = 2 // unitchecker mode: findings (go vet relays them)
+	exitDiags    = 3 // standalone mode: findings
+)
+
+// Main runs the driver with os.Args and returns the process exit code.
+func Main(analyzers []*analysis.Analyzer) int {
+	if err := analysis.Validate(analyzers); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+
+	fs := flag.NewFlagSet("spotfi-lint", flag.ExitOnError)
+	fs.Usage = func() { usage(fs, analyzers) }
+	printVersion := fs.String("V", "", "print version information ('full' is used by cmd/go)")
+	printFlags := fs.Bool("flags", false, "print flags as JSON (used by cmd/go to plan the vet invocation)")
+	enabled := make(map[string]*bool)
+	for _, a := range analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
+		a.Flags.VisitAll(func(f *flag.Flag) {
+			fs.Var(f.Value, a.Name+"."+f.Name, f.Usage)
+		})
+	}
+	fs.Parse(os.Args[1:]) //lint:allow errdrop ExitOnError: Parse cannot return an error
+
+	if *printVersion != "" {
+		// cmd/go keys its vet result cache on this line; include the build
+		// ID so edited analyzers invalidate stale results.
+		fmt.Printf("spotfi-lint version %s\n", buildVersion())
+		return exitClean
+	}
+	if *printFlags {
+		return describeFlags(fs)
+	}
+
+	var active []*analysis.Analyzer
+	for _, a := range analyzers {
+		if *enabled[a.Name] {
+			active = append(active, a)
+		}
+	}
+
+	args := fs.Args()
+	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
+		return unitcheck(args[0], active)
+	}
+	return standalone(args, active)
+}
+
+// describeFlags answers cmd/go's `vettool -flags` probe: a JSON array of
+// {Name, Bool, Usage} for every flag the tool accepts.
+func describeFlags(fs *flag.FlagSet) int {
+	type jsonFlag struct {
+		Name  string
+		Bool  bool
+		Usage string
+	}
+	var flags []jsonFlag
+	fs.VisitAll(func(f *flag.Flag) {
+		b, ok := f.Value.(interface{ IsBoolFlag() bool })
+		flags = append(flags, jsonFlag{f.Name, ok && b.IsBoolFlag(), f.Usage})
+	})
+	data, err := json.MarshalIndent(flags, "", "\t")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	os.Stdout.Write(data) //lint:allow errdrop os.Stdout writes have no recovery path here
+	return exitClean
+}
+
+func usage(fs *flag.FlagSet, analyzers []*analysis.Analyzer) {
+	fmt.Fprintf(fs.Output(), "spotfi-lint: static checks for the SpotFi pipeline's DSP and concurrency invariants\n\n")
+	fmt.Fprintf(fs.Output(), "usage: spotfi-lint [flags] [packages]\n       go vet -vettool=$(command -v spotfi-lint) [packages]\n\nanalyzers:\n")
+	for _, a := range analyzers {
+		doc, _, _ := strings.Cut(a.Doc, "\n")
+		fmt.Fprintf(fs.Output(), "  %-10s %s\n", a.Name, doc)
+	}
+	fmt.Fprintf(fs.Output(), "\nflags:\n")
+	fs.PrintDefaults()
+}
+
+func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	pkgs, err := load.Packages(cwd, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	broken := false
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", pkg.PkgPath, terr)
+			broken = true
+		}
+	}
+	if broken {
+		return exitError
+	}
+	findings, err := checker.Run(analyzers, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	if checker.Print(os.Stdout, cwd, findings) > 0 {
+		return exitDiags
+	}
+	return exitClean
+}
+
+// vetConfig mirrors the JSON cmd/go writes for vet tools (see
+// cmd/go/internal/work's vet action); only the fields we consume.
+type vetConfig struct {
+	ID                        string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
+	data, err := os.ReadFile(cfgFile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "spotfi-lint: parsing %s: %v\n", cfgFile, err)
+		return exitError
+	}
+
+	fset := token.NewFileSet()
+	pkg := &load.Package{PkgPath: cfg.ImportPath, Dir: cfg.Dir, Fset: fset, GoFiles: cfg.GoFiles}
+	for _, name := range cfg.GoFiles {
+		file, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return typecheckFailure(cfg, err)
+		}
+		pkg.Syntax = append(pkg.Syntax, file)
+	}
+
+	pkg.TypesInfo = load.NewInfo()
+	conf := types.Config{
+		Importer: load.NewExportImporter(fset, cfg.PackageFile, cfg.ImportMap),
+	}
+	if lang := version.Lang(cfg.GoVersion); lang != "" {
+		conf.GoVersion = lang
+	}
+	tpkg, err := conf.Check(cfg.ImportPath, fset, pkg.Syntax, pkg.TypesInfo)
+	if err != nil {
+		return typecheckFailure(cfg, err)
+	}
+	pkg.Types = tpkg
+
+	// cmd/go expects the facts ("vetx") output file to exist even though
+	// these analyzers export none.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+	}
+	if cfg.VetxOnly {
+		return exitClean
+	}
+
+	findings, err := checker.Run(analyzers, []*load.Package{pkg})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+	if checker.Print(os.Stderr, cfg.Dir, findings) > 0 {
+		return exitVetDiags
+	}
+	return exitClean
+}
+
+func typecheckFailure(cfg vetConfig, err error) int {
+	if cfg.SucceedOnTypecheckFailure {
+		return exitClean
+	}
+	fmt.Fprintf(os.Stderr, "%s: %v\n", cfg.ImportPath, err)
+	return exitError
+}
+
+// buildVersion derives a cache-busting version token from the build info.
+func buildVersion() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "devel"
+	}
+	for _, s := range info.Settings {
+		if s.Key == "vcs.revision" {
+			return s.Value
+		}
+	}
+	if info.Main.Sum != "" {
+		return info.Main.Sum
+	}
+	return "devel-" + info.GoVersion
+}

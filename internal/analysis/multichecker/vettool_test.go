@@ -1,0 +1,141 @@
+package multichecker_test
+
+import (
+	"bytes"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+)
+
+// buildLint compiles cmd/spotfi-lint into dir and returns the binary path.
+func buildLint(t *testing.T, dir string) string {
+	t.Helper()
+	bin := filepath.Join(dir, "spotfi-lint")
+	if runtime.GOOS == "windows" {
+		bin += ".exe"
+	}
+	cmd := exec.Command("go", "build", "-o", bin, "spotfi/cmd/spotfi-lint")
+	cmd.Dir = moduleRoot(t)
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("building spotfi-lint: %v\n%s", err, out)
+	}
+	return bin
+}
+
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// writeModule lays out a throwaway module so `go vet` has something to
+// drive the vettool over without touching the real tree.
+func writeModule(t *testing.T, files map[string]string) string {
+	t.Helper()
+	dir := t.TempDir()
+	for name, src := range files {
+		path := filepath.Join(dir, name)
+		if err := os.MkdirAll(filepath.Dir(path), 0o777); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(src), 0o666); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return dir
+}
+
+func runVet(t *testing.T, bin, dir string) (string, error) {
+	t.Helper()
+	cmd := exec.Command("go", "vet", "-vettool="+bin, "./...")
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	return buf.String(), err
+}
+
+// TestVettoolProtocol exercises the full cmd/go handshake: the -V=full and
+// -flags probes, the *.cfg unitchecker invocation, and diagnostic relay.
+func TestVettoolProtocol(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and invokes cmd/go")
+	}
+	bin := buildLint(t, t.TempDir())
+
+	t.Run("FlagsProbe", func(t *testing.T) {
+		out, err := exec.Command(bin, "-flags").Output()
+		if err != nil {
+			t.Fatalf("-flags probe failed: %v", err)
+		}
+		for _, want := range []string{`"Name": "floateq"`, `"Name": "gospawn.allow"`} {
+			if !strings.Contains(string(out), want) {
+				t.Errorf("-flags output missing %s:\n%s", want, out)
+			}
+		}
+	})
+
+	t.Run("VersionProbe", func(t *testing.T) {
+		out, err := exec.Command(bin, "-V=full").Output()
+		if err != nil {
+			t.Fatalf("-V=full probe failed: %v", err)
+		}
+		if !strings.HasPrefix(string(out), "spotfi-lint version ") {
+			t.Errorf("unexpected -V=full output: %q", out)
+		}
+	})
+
+	t.Run("Dirty", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": "module vetx\n\ngo 1.24\n",
+			"eq.go": `package vetx
+
+func same(a, b float64) bool { return a == b }
+`,
+		})
+		out, err := runVet(t, bin, dir)
+		if err == nil {
+			t.Fatalf("go vet succeeded on a file with a floateq violation:\n%s", out)
+		}
+		if !strings.Contains(out, "floateq") || !strings.Contains(out, "eq.go") {
+			t.Errorf("diagnostic not relayed by go vet:\n%s", out)
+		}
+	})
+
+	t.Run("Clean", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": "module vetx\n\ngo 1.24\n",
+			"eq.go": `package vetx
+
+import "math"
+
+func same(a, b float64) bool { return math.Abs(a-b) < 1e-9 }
+`,
+		})
+		if out, err := runVet(t, bin, dir); err != nil {
+			t.Fatalf("go vet failed on a clean module: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("Suppressed", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": "module vetx\n\ngo 1.24\n",
+			"eq.go": `package vetx
+
+func same(a, b float64) bool {
+	return a == b //lint:allow floateq exact bit-pattern comparison is intended
+}
+`,
+		})
+		if out, err := runVet(t, bin, dir); err != nil {
+			t.Fatalf("go vet failed on a suppressed finding: %v\n%s", err, out)
+		}
+	})
+}

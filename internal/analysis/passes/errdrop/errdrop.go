@@ -1,0 +1,147 @@
+// Package errdrop reports discarded error results outside test files:
+// calls used as bare statements whose results include an error, and
+// assignments that send an error to the blank identifier.
+//
+// PR 1's LocalizeBursts fix is the motivating bug: per-AP failures were
+// swallowed inside the fan-out, so a dead AP silently degraded position
+// accuracy instead of surfacing. Handle the error, return it, or annotate
+// a deliberate drop with //lint:allow errdrop <reason>.
+package errdrop
+
+import (
+	"go/ast"
+	"go/types"
+
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/passes/passutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "errdrop",
+	Doc: "report discarded error results, including _ = assignments\n\n" +
+		"Errors returned by calls must be handled or explicitly annotated with\n" +
+		"//lint:allow errdrop <reason>. Callees in -errdrop.exclude are exempt.",
+	Run: run,
+}
+
+var (
+	exclude  string
+	deferred bool
+)
+
+func init() {
+	// strings.Builder and bytes.Buffer writers are documented to always
+	// return a nil error; fmt prints to stderr/stdout are conventionally
+	// unchecked.
+	Analyzer.Flags.StringVar(&exclude, "exclude",
+		"fmt.Print,fmt.Printf,fmt.Println,fmt.Fprint,fmt.Fprintf,fmt.Fprintln,"+
+			"(*strings.Builder).Write,(*strings.Builder).WriteString,(*strings.Builder).WriteByte,(*strings.Builder).WriteRune,"+
+			"(*bytes.Buffer).Write,(*bytes.Buffer).WriteString,(*bytes.Buffer).WriteByte,(*bytes.Buffer).WriteRune",
+		"comma-separated callees whose dropped errors are ignored: full names (fmt.Println, (*bytes.Buffer).Write) or bare method names (Close)")
+	Analyzer.Flags.BoolVar(&deferred, "deferred", false,
+		"also report dropped errors in defer statements")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	excluded := passutil.CommaSet(exclude)
+	for _, file := range pass.Files {
+		if passutil.IsTestFile(pass, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch s := n.(type) {
+			case *ast.ExprStmt:
+				if call, ok := s.X.(*ast.CallExpr); ok {
+					checkCall(pass, excluded, call)
+				}
+			case *ast.DeferStmt:
+				// The deferred call is not an ExprStmt, so it is only
+				// checked when opted in; its function-literal body (if
+				// any) is always traversed.
+				if deferred {
+					checkCall(pass, excluded, s.Call)
+				}
+			case *ast.AssignStmt:
+				checkAssign(pass, s)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkCall reports a call used as a statement if any of its results is an
+// error and the callee is not excluded.
+func checkCall(pass *analysis.Pass, excluded map[string]bool, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok || tv.IsType() {
+		return // conversion, not a call
+	}
+	if !resultsIncludeError(tv.Type) {
+		return
+	}
+	name := "call"
+	if fn := passutil.Callee(pass.TypesInfo, call); fn != nil {
+		if excluded[fn.FullName()] || excluded[fn.Name()] {
+			return
+		}
+		name = fn.Name()
+	}
+	pass.Reportf(call.Pos(), "%s returns an error that is discarded; handle it or annotate with //lint:allow errdrop <reason>", name)
+}
+
+// checkAssign reports error values assigned to the blank identifier.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt) {
+	// x, _ := f() — one call, multiple results.
+	if len(as.Rhs) == 1 && len(as.Lhs) > 1 {
+		tv, ok := pass.TypesInfo.Types[as.Rhs[0]]
+		if !ok {
+			return
+		}
+		tuple, ok := tv.Type.(*types.Tuple)
+		if !ok {
+			return
+		}
+		for i, lhs := range as.Lhs {
+			if i < tuple.Len() && isBlank(lhs) && passutil.IsErrorType(tuple.At(i).Type()) {
+				pass.Reportf(lhs.Pos(), "error result discarded via _; handle it or annotate with //lint:allow errdrop <reason>")
+			}
+		}
+		return
+	}
+	// _ = expr, pairwise.
+	for i, lhs := range as.Lhs {
+		if i >= len(as.Rhs) || !isBlank(lhs) {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[as.Rhs[i]]
+		if !ok {
+			continue
+		}
+		if passutil.IsErrorType(tv.Type) {
+			pass.Reportf(lhs.Pos(), "error value discarded via _; handle it or annotate with //lint:allow errdrop <reason>")
+		}
+	}
+}
+
+// resultsIncludeError reports whether a call's result type (a single type
+// or a tuple) includes the predeclared error type.
+func resultsIncludeError(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	if tuple, ok := t.(*types.Tuple); ok {
+		for i := 0; i < tuple.Len(); i++ {
+			if passutil.IsErrorType(tuple.At(i).Type()) {
+				return true
+			}
+		}
+		return false
+	}
+	return passutil.IsErrorType(t)
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}

@@ -1,0 +1,29 @@
+package errdrop_test
+
+import (
+	"testing"
+
+	"spotfi/internal/analysis/analysistest"
+	"spotfi/internal/analysis/passes/errdrop"
+)
+
+func TestErrdrop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), errdrop.Analyzer, "a")
+}
+
+// TestDeferred opts in to checking defer statements.
+func TestDeferred(t *testing.T) {
+	f := errdrop.Analyzer.Flags.Lookup("deferred")
+	if f == nil {
+		t.Fatal("no flag deferred")
+	}
+	if err := f.Value.Set("true"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := f.Value.Set("false"); err != nil {
+			t.Fatal(err)
+		}
+	})
+	analysistest.Run(t, analysistest.TestData(t), errdrop.Analyzer, "deferred")
+}

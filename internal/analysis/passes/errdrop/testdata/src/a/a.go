@@ -1,0 +1,85 @@
+package a
+
+import (
+	"fmt"
+	"strings"
+)
+
+func fails() error                        { return nil }
+func failsToo() (int, error)              { return 0, nil }
+func twoErrs() (error, error)             { return nil, nil }
+func fine() int                           { return 0 }
+func handle(err error)                    { _ = err } // want `error value discarded via _`
+func errSrc() error                       { return nil }
+func pair() (a, b int)                    { return }
+func deferme(f func() error) func() error { return f }
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+// Positive cases.
+
+func dropCallStmt() {
+	fails() // want `fails returns an error that is discarded`
+}
+
+func dropSecondResult() {
+	failsToo() // want `failsToo returns an error that is discarded`
+}
+
+func dropMethod(c closer) {
+	c.Close() // want `Close returns an error that is discarded`
+}
+
+func blankSingle() {
+	_ = fails() // want `error value discarded via _`
+}
+
+func blankTuple() {
+	n, _ := failsToo() // want `error result discarded via _`
+	_ = n
+}
+
+func blankBoth() {
+	_, _ = twoErrs() // want `error result discarded via _` `error result discarded via _`
+}
+
+func blankPairwise() {
+	_, _ = fine(), errSrc() // want `error value discarded via _`
+}
+
+// Negative cases.
+
+func handled() error {
+	if err := fails(); err != nil {
+		return err
+	}
+	return nil
+}
+
+func noError() {
+	fine()
+	a, b := pair()
+	_, _ = a, b
+}
+
+func excludedFmt() {
+	fmt.Println("fmt prints are conventionally unchecked")
+	fmt.Printf("%d\n", 1)
+}
+
+func excludedBuilder() {
+	var b strings.Builder
+	b.WriteString("never fails")
+	b.WriteByte('x')
+	fmt.Fprintf(&b, "also excluded")
+}
+
+func deferredDrop(c closer) {
+	defer c.Close() // defers are exempt unless -errdrop.deferred
+}
+
+func spawned() {
+	go fails() // goroutine call results are not ExprStmts; gospawn's domain
+}

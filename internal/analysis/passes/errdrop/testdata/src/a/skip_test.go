@@ -1,0 +1,8 @@
+package a
+
+// Dropped errors in test files are exempt. No diagnostics expected here.
+
+func dropInTest() {
+	fails()
+	_ = fails()
+}

@@ -1,0 +1,11 @@
+package deferred
+
+type closer struct{}
+
+func (closer) Close() error { return nil }
+
+// With -errdrop.deferred, deferred drops are reported too.
+
+func deferredDrop(c closer) {
+	defer c.Close() // want `Close returns an error that is discarded`
+}

@@ -1,0 +1,126 @@
+// Package floateq reports == and != between float or complex operands
+// outside designated tolerance helpers.
+//
+// Exact float equality silently depends on bit-identical rounding
+// histories; in SpotFi's pipeline it shows up as grid peaks and residuals
+// comparing unequal across algebraically equivalent code paths. Compare
+// with a tolerance (math.Abs(a-b) <= eps) inside a named helper instead.
+// The NaN self-test idiom (x != x) and exact comparisons against a
+// constant zero (guards for "never set" / division-by-zero) are exempt by
+// default.
+package floateq
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/passes/passutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floateq",
+	Doc: "report ==/!= on float or complex operands outside tolerance helpers\n\n" +
+		"Exact float equality depends on rounding history; compare against a\n" +
+		"tolerance inside a helper named by -floateq.helpers instead.",
+	Run: run,
+}
+
+var (
+	helpers   string
+	allowZero bool
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&helpers, "helpers", "approxEqual,almostEqual,EqualWithin,withinTol",
+
+		"comma-separated names of functions allowed to compare floats exactly")
+	Analyzer.Flags.BoolVar(&allowZero, "allowzero", true,
+		"permit exact comparison against a constant zero")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	allowed := passutil.CommaSet(helpers)
+	for _, file := range pass.Files {
+		if passutil.IsTestFile(pass, file) {
+			continue
+		}
+		funcs := passutil.Funcs(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			bin, ok := n.(*ast.BinaryExpr)
+			if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+				return true
+			}
+			if !isFloatOrComplex(pass.TypesInfo.Types[bin.X].Type) &&
+				!isFloatOrComplex(pass.TypesInfo.Types[bin.Y].Type) {
+				return true
+			}
+			if constOperand(pass, bin.X) && constOperand(pass, bin.Y) {
+				return true // compile-time comparison
+			}
+			if isNaNIdiom(bin) {
+				return true
+			}
+			if allowZero && (isZero(pass, bin.X) || isZero(pass, bin.Y)) {
+				return true
+			}
+			if fd := funcs.Lookup(bin); fd != nil && allowed[fd.Name.Name] {
+				return true
+			}
+			pass.Reportf(bin.OpPos,
+				"exact %s on floating-point operands; compare with a tolerance (or move into an allowed helper: -floateq.helpers)",
+				bin.Op)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// isNaNIdiom recognizes x != x / x == x on a side-effect-free operand,
+// the standard NaN test.
+func isNaNIdiom(bin *ast.BinaryExpr) bool {
+	return plainRef(bin.X) && plainRef(bin.Y) &&
+		types.ExprString(bin.X) == types.ExprString(bin.Y)
+}
+
+// plainRef reports whether e is an identifier or selector chain — no
+// calls or indexing, so evaluating it twice is harmless.
+func plainRef(e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return true
+	case *ast.SelectorExpr:
+		return plainRef(e.X)
+	}
+	return false
+}
+
+func isZero(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	v := tv.Value
+	switch v.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(v) == 0
+	case constant.Complex:
+		return constant.Sign(constant.Real(v)) == 0 && constant.Sign(constant.Imag(v)) == 0
+	}
+	return false
+}
+
+func constOperand(pass *analysis.Pass, e ast.Expr) bool {
+	tv, ok := pass.TypesInfo.Types[e]
+	return ok && tv.Value != nil
+}
+
+func isFloatOrComplex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}

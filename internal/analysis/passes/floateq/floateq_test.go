@@ -1,0 +1,36 @@
+package floateq_test
+
+import (
+	"testing"
+
+	"spotfi/internal/analysis/analysistest"
+	"spotfi/internal/analysis/passes/floateq"
+)
+
+func TestFloateq(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), floateq.Analyzer, "a")
+}
+
+// TestNoAllowZero flips -floateq.allowzero off and checks that the zero
+// guard in a separate fixture is then reported.
+func TestNoAllowZero(t *testing.T) {
+	setFlag(t, "allowzero", "false")
+	analysistest.Run(t, analysistest.TestData(t), floateq.Analyzer, "strictzero")
+}
+
+func setFlag(t *testing.T, name, value string) {
+	t.Helper()
+	f := floateq.Analyzer.Flags.Lookup(name)
+	if f == nil {
+		t.Fatalf("no flag %q", name)
+	}
+	prev := f.Value.String()
+	if err := f.Value.Set(value); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := f.Value.Set(prev); err != nil {
+			t.Fatal(err)
+		}
+	})
+}

@@ -1,0 +1,62 @@
+package a
+
+type sample struct{ v float64 }
+
+// Positive cases.
+
+func eq(a, b float64) bool {
+	return a == b // want `exact == on floating-point operands`
+}
+
+func neq(a, b float64) bool {
+	return a != b // want `exact != on floating-point operands`
+}
+
+func eqComplex(a, b complex128) bool {
+	return a == b // want `exact == on floating-point operands`
+}
+
+func eqMixedConst(a float64) bool {
+	return a == 0.3 // want `exact == on floating-point operands`
+}
+
+func eqFields(a, b sample) bool {
+	return a.v == b.v // want `exact == on floating-point operands`
+}
+
+func eqFloat32(a, b float32) bool {
+	return a == b // want `exact == on floating-point operands`
+}
+
+// Negative cases.
+
+func nanCheck(x float64) bool {
+	return x != x // NaN self-test idiom
+}
+
+func nanCheckField(s sample) bool {
+	return s.v != s.v
+}
+
+func zeroGuard(x float64) bool {
+	return x == 0 // exact-zero guard, exempt by -floateq.allowzero
+}
+
+func zeroGuardFloat(x float64) bool {
+	return 0.0 != x
+}
+
+func intEq(a, b int) bool {
+	return a == b
+}
+
+func approxEqual(a, b float64) bool {
+	return a == b || abs(a-b) < 1e-9 // inside an allowed tolerance helper
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

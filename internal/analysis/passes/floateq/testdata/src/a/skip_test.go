@@ -1,0 +1,8 @@
+package a
+
+// Test files may compare exactly: table tests routinely assert
+// bit-identical outputs. No diagnostics expected here.
+
+func exactInTest(a, b float64) bool {
+	return a == b
+}

@@ -1,0 +1,5 @@
+package strictzero
+
+func zeroGuard(x float64) bool {
+	return x == 0 // want `exact == on floating-point operands`
+}

@@ -1,0 +1,169 @@
+// Package floatloop reports floating-point loop induction: a float or
+// complex accumulator advanced by a loop-invariant step (x += step) instead
+// of being computed from the loop index (x0 + float64(i)*step).
+//
+// Accumulated steps compound rounding error linearly in the trip count.
+// This is precisely the bug PR 1 fixed in the MUSIC grid construction:
+// per-step drift across a 10⁴-point AoA/ToF grid shifts peak positions
+// relative to the closed-form grid the tests assume.
+package floatloop
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spotfi/internal/analysis"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "floatloop",
+	Doc: "report float/complex loop accumulators advanced by a loop-invariant step\n\n" +
+		"x += step inside a loop accumulates one rounding error per iteration;\n" +
+		"construct the value from the loop index instead: x0 + float64(i)*step.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch loop := n.(type) {
+			case *ast.ForStmt:
+				if loop.Post != nil {
+					checkStmt(pass, loop, loop.Post)
+				}
+				checkBody(pass, loop, loop.Body)
+			case *ast.RangeStmt:
+				checkBody(pass, loop, loop.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkBody examines the loop body's statements, leaving statements of
+// nested loops to their own (innermost) loop's visit.
+func checkBody(pass *analysis.Pass, loop ast.Node, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt:
+			return false
+		case ast.Stmt:
+			checkStmt(pass, loop, s)
+		}
+		return true
+	})
+}
+
+// checkStmt reports stmt if it advances a loop-carried float/complex
+// variable by a loop-invariant step.
+func checkStmt(pass *analysis.Pass, loop ast.Node, stmt ast.Stmt) {
+	as, ok := stmt.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, rhs := as.Lhs[0], as.Rhs[0]
+	acc, ok := refOf(pass, lhs)
+	if !ok {
+		return
+	}
+	switch as.Tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN:
+		// x += step / x -= step
+	case token.ASSIGN:
+		// x = x + step / x = x - step
+		bin, ok := ast.Unparen(rhs).(*ast.BinaryExpr)
+		if !ok || (bin.Op != token.ADD && bin.Op != token.SUB) {
+			return
+		}
+		if xr, ok := refOf(pass, bin.X); ok && xr == acc {
+			rhs = bin.Y
+		} else if yr, ok := refOf(pass, bin.Y); ok && yr == acc && bin.Op == token.ADD {
+			rhs = bin.X
+		} else {
+			return
+		}
+	default:
+		return
+	}
+
+	if !isFloatOrComplex(pass.TypesInfo.Types[lhs].Type) {
+		return
+	}
+	if within(loop, acc.base.Pos()) {
+		return // accumulator lives inside the loop: not loop-carried
+	}
+	if !invariant(pass, loop, acc.base, rhs) {
+		return
+	}
+	pass.Reportf(stmt.Pos(),
+		"%s accumulates a loop-invariant step each iteration (compounds rounding error); compute it from the loop index instead",
+		acc.name)
+}
+
+// A ref names an assignable place: a variable, or a selector chain rooted
+// at one (x, s.f, s.f.g). Comparable, so two syntactic mentions of the
+// same place yield equal refs.
+type ref struct {
+	base types.Object
+	name string
+}
+
+func refOf(pass *analysis.Pass, e ast.Expr) (ref, bool) {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[e]
+		if obj == nil {
+			obj = pass.TypesInfo.Defs[e]
+		}
+		if obj == nil {
+			return ref{}, false
+		}
+		return ref{base: obj, name: obj.Name()}, true
+	case *ast.SelectorExpr:
+		base, ok := refOf(pass, e.X)
+		if !ok {
+			return ref{}, false
+		}
+		return ref{base: base.base, name: base.name + "." + e.Sel.Name}, true
+	}
+	return ref{}, false
+}
+
+// invariant conservatively reports whether expr yields the same value on
+// every iteration: no calls, no indexing/dereferencing, and every
+// identifier bound outside the loop.
+func invariant(pass *analysis.Pass, loop ast.Node, acc types.Object, expr ast.Expr) bool {
+	inv := true
+	ast.Inspect(expr, func(n ast.Node) bool {
+		switch e := n.(type) {
+		case *ast.CallExpr, *ast.IndexExpr, *ast.StarExpr, *ast.SliceExpr:
+			inv = false
+			return false
+		case *ast.Ident:
+			obj := pass.TypesInfo.Uses[e]
+			if obj == nil || obj == acc {
+				return true
+			}
+			if _, isVar := obj.(*types.Var); isVar && within(loop, obj.Pos()) {
+				inv = false
+				return false
+			}
+		}
+		return true
+	})
+	return inv
+}
+
+func isFloatOrComplex(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+func within(n ast.Node, pos token.Pos) bool {
+	return n.Pos() <= pos && pos < n.End()
+}

@@ -1,0 +1,12 @@
+package floatloop_test
+
+import (
+	"testing"
+
+	"spotfi/internal/analysis/analysistest"
+	"spotfi/internal/analysis/passes/floatloop"
+)
+
+func TestFloatloop(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), floatloop.Analyzer, "a")
+}

@@ -1,0 +1,132 @@
+package a
+
+// Positive cases: a loop-carried float/complex accumulator advanced by a
+// loop-invariant step.
+
+func grid(n int, step float64) []float64 {
+	out := make([]float64, n)
+	x := 0.0
+	for i := 0; i < n; i++ {
+		out[i] = x
+		x += step // want `x accumulates a loop-invariant step`
+	}
+	return out
+}
+
+func gridExplicit(n int, step float64) float64 {
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x = x + step // want `x accumulates a loop-invariant step`
+	}
+	return x
+}
+
+func gridReversed(n int, step float64) float64 {
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x = step + x // want `x accumulates a loop-invariant step`
+	}
+	return x
+}
+
+func countdown(n int, step float64) float64 {
+	x := 100.0
+	for i := 0; i < n; i++ {
+		x -= step // want `x accumulates a loop-invariant step`
+	}
+	return x
+}
+
+func phasor(n int, rot complex128) complex128 {
+	w := complex(1, 0)
+	for i := 0; i < n; i++ {
+		w += rot // want `w accumulates a loop-invariant step`
+	}
+	return w
+}
+
+func inPost(n int, step float64) float64 {
+	x := 0.0
+	for i := 0; i < n; x += step { // want `x accumulates a loop-invariant step`
+		i++
+	}
+	return x
+}
+
+func inRange(vals []float64, step float64) float64 {
+	x := 0.0
+	for range vals {
+		x += step // want `x accumulates a loop-invariant step`
+	}
+	return x
+}
+
+type state struct{ phase float64 }
+
+func field(n int, s *state, step float64) {
+	for i := 0; i < n; i++ {
+		s.phase += step // want `s.phase accumulates a loop-invariant step`
+	}
+}
+
+func constStep(n int) float64 {
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x += 0.125 // want `x accumulates a loop-invariant step`
+	}
+	return x
+}
+
+// Negative cases: reductions over per-iteration values, integer
+// induction, and accumulators scoped to the loop body.
+
+func sum(vals []float64) float64 {
+	var s float64
+	for _, v := range vals {
+		s += v // per-iteration value: a reduction, not induction
+	}
+	return s
+}
+
+func sumIndexed(vals []float64) float64 {
+	var s float64
+	for i := 0; i < len(vals); i++ {
+		s += vals[i] // indexing depends on the loop
+	}
+	return s
+}
+
+func intStride(n int) int {
+	j := 0
+	for i := 0; i < n; i++ {
+		j += 2 // integer induction is exact
+	}
+	return j
+}
+
+func perIteration(n int, step float64) float64 {
+	var last float64
+	for i := 0; i < n; i++ {
+		x := 0.0
+		x += step // x is reborn each iteration: not loop-carried
+		last = x
+	}
+	return last
+}
+
+func viaCall(n int, f func() float64) float64 {
+	x := 0.0
+	for i := 0; i < n; i++ {
+		x += f() // calls may vary per iteration
+	}
+	return x
+}
+
+func innerDependent(n int, step float64) float64 {
+	x := 0.0
+	for i := 0; i < n; i++ {
+		w := float64(i) * step
+		x += w // w is defined inside the loop
+	}
+	return x
+}

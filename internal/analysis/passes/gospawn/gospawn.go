@@ -1,0 +1,53 @@
+// Package gospawn reports bare go statements outside approved packages.
+//
+// PR 1 replaced an unbounded per-burst goroutine spawn in the collector
+// with a bounded worker pool after load tests showed goroutine counts
+// tracking the packet rate. The serving-path rule since then: goroutine
+// creation is the business of a small set of audited packages that bound
+// and supervise their workers (WaitGroup + semaphore, or pool); everything
+// else submits work to them. A spawn anywhere else is either a lifetime
+// leak waiting to happen or a new pool that needs auditing — annotate the
+// deliberate ones with //lint:allow gospawn <reason>.
+package gospawn
+
+import (
+	"go/ast"
+
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/passes/passutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "gospawn",
+	Doc: "report go statements outside approved worker-pool packages\n\n" +
+		"Goroutines must be spawned by the audited, bounded pools listed in\n" +
+		"-gospawn.allow; annotate deliberate one-offs with //lint:allow gospawn <reason>.",
+	Run: run,
+}
+
+var allow string
+
+func init() {
+	Analyzer.Flags.StringVar(&allow, "allow",
+		"spotfi,spotfi/internal/server,spotfi/internal/experiments,spotfi/internal/apnode",
+		"comma-separated import paths of packages approved to spawn goroutines")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	if pass.Pkg != nil && passutil.CommaSet(allow)[pass.Pkg.Path()] {
+		return nil, nil
+	}
+	for _, file := range pass.Files {
+		if passutil.IsTestFile(pass, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok {
+				pass.Reportf(g.Pos(),
+					"bare go statement outside approved worker pools (-gospawn.allow); route the work through a bounded pool or annotate with //lint:allow gospawn <reason>")
+			}
+			return true
+		})
+	}
+	return nil, nil
+}

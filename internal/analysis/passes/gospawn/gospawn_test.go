@@ -1,0 +1,30 @@
+package gospawn_test
+
+import (
+	"testing"
+
+	"spotfi/internal/analysis/analysistest"
+	"spotfi/internal/analysis/passes/gospawn"
+)
+
+func TestGospawn(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), gospawn.Analyzer, "a")
+}
+
+// TestAllowlist verifies that packages named in -gospawn.allow may spawn.
+func TestAllowlist(t *testing.T) {
+	f := gospawn.Analyzer.Flags.Lookup("allow")
+	if f == nil {
+		t.Fatal("no flag allow")
+	}
+	prev := f.Value.String()
+	if err := f.Value.Set(prev + ",approved"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() {
+		if err := f.Value.Set(prev); err != nil {
+			t.Fatal(err)
+		}
+	})
+	analysistest.Run(t, analysistest.TestData(t), gospawn.Analyzer, "approved")
+}

@@ -1,0 +1,27 @@
+package a
+
+import "sync"
+
+func spawnLiteral() {
+	go func() {}() // want `bare go statement outside approved worker pools`
+}
+
+func spawnNamed(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go worker(wg) // want `bare go statement outside approved worker pools`
+}
+
+func worker(wg *sync.WaitGroup) {
+	defer wg.Done()
+}
+
+func nested() {
+	f := func() {
+		go func() {}() // want `bare go statement outside approved worker pools`
+	}
+	f()
+}
+
+func noSpawn() {
+	worker(nil)
+}

@@ -1,0 +1,7 @@
+package a
+
+// Test files may spawn goroutines freely. No diagnostics expected here.
+
+func spawnInTest() {
+	go func() {}()
+}

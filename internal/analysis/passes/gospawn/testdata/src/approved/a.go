@@ -1,0 +1,14 @@
+package approved
+
+// This package path is added to -gospawn.allow by the test: its spawns
+// are an audited worker pool. No diagnostics expected.
+
+func pool(n int, jobs <-chan func()) {
+	for i := 0; i < n; i++ {
+		go func() {
+			for j := range jobs {
+				j()
+			}
+		}()
+	}
+}

@@ -1,0 +1,136 @@
+// Package obsreg guards the internal/obs registration discipline: metric
+// families are registered once, from init paths, and updated lock-free
+// afterwards.
+//
+// Registry.Counter/Gauge/GaugeFunc/Histogram take the registry mutex and
+// are get-or-create: calling them on a hot path turns every observation
+// into a lock acquisition, and registering the same name from two call
+// sites hides a type-mismatch panic (obs.lookup) until runtime. So:
+// registration calls may only appear in init paths (package-level var
+// initializers, init functions, or constructors matching
+// -obsreg.initpaths), and a metric name literal may appear in only one
+// registration call per package.
+package obsreg
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+	"sort"
+
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/passes/passutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "obsreg",
+	Doc: "report obs metrics registered twice or outside init paths\n\n" +
+		"Registration (Registry.Counter/Gauge/GaugeFunc/Histogram) locks the\n" +
+		"registry; do it once, from an init path, and keep hot paths lock-free.",
+	Run: run,
+}
+
+var (
+	obsPkg    string
+	initPaths string
+)
+
+func init() {
+	Analyzer.Flags.StringVar(&obsPkg, "pkg", "spotfi/internal/obs",
+		"import path of the metrics package whose Registry is guarded")
+	Analyzer.Flags.StringVar(&initPaths, "initpaths", `^(init$|Init|New|new|Register|register)`,
+		"regexp of function names considered init paths for metric registration")
+}
+
+var registerMethods = map[string]bool{
+	"Counter": true, "Gauge": true, "GaugeFunc": true, "Histogram": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	initRe, err := regexp.Compile(initPaths)
+	if err != nil {
+		return nil, err
+	}
+
+	type site struct {
+		pos  ast.Node
+		name string // metric name if a string constant, else ""
+	}
+	var sites []site
+
+	for _, file := range pass.Files {
+		if passutil.IsTestFile(pass, file) {
+			continue
+		}
+		funcs := passutil.Funcs(file)
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isRegistration(pass, call) {
+				return true
+			}
+			s := site{pos: call}
+			if len(call.Args) > 0 {
+				if tv, ok := pass.TypesInfo.Types[call.Args[0]]; ok && tv.Value != nil && tv.Value.Kind() == constant.String {
+					s.name = constant.StringVal(tv.Value)
+				}
+			}
+			sites = append(sites, s)
+
+			if fd := funcs.Lookup(call); fd != nil && !initRe.MatchString(fd.Name.Name) {
+				pass.Reportf(call.Pos(),
+					"obs metric registered outside an init path (in %s): registration locks the registry; hoist it into a constructor matching -obsreg.initpaths",
+					fd.Name.Name)
+			}
+			return true
+		})
+	}
+
+	// One registration call per metric name per package.
+	byName := make(map[string][]site)
+	for _, s := range sites {
+		if s.name != "" {
+			byName[s.name] = append(byName[s.name], s)
+		}
+	}
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		dup := byName[name]
+		if len(dup) < 2 {
+			continue
+		}
+		first := pass.Fset.Position(dup[0].pos.Pos())
+		for _, s := range dup[1:] {
+			pass.Reportf(s.pos.Pos(),
+				"obs metric %q is also registered at %s; register each family once and share the returned handle", name, first)
+		}
+	}
+	return nil, nil
+}
+
+// isRegistration reports whether call invokes a registration method on the
+// guarded package's Registry type.
+func isRegistration(pass *analysis.Pass, call *ast.CallExpr) bool {
+	fn := passutil.Callee(pass.TypesInfo, call)
+	if fn == nil || !registerMethods[fn.Name()] {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Registry" && obj.Pkg() != nil && obj.Pkg().Path() == obsPkg
+}

@@ -1,0 +1,12 @@
+package obsreg_test
+
+import (
+	"testing"
+
+	"spotfi/internal/analysis/analysistest"
+	"spotfi/internal/analysis/passes/obsreg"
+)
+
+func TestObsreg(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), obsreg.Analyzer, "a")
+}

@@ -1,0 +1,55 @@
+package a
+
+import "spotfi/internal/obs"
+
+// Registration in init paths: package-level vars, init, and constructors
+// matching -obsreg.initpaths. All fine.
+
+var reg = obs.NewRegistry()
+
+var pkgCounter = reg.Counter("pkg_level_total", "registered at package level", nil)
+
+func init() {
+	reg.Gauge("init_gauge", "registered in init", nil)
+}
+
+type metrics struct {
+	hits *obs.Counter
+	lat  *obs.Histogram
+}
+
+func newMetrics(r *obs.Registry) *metrics {
+	return &metrics{
+		hits: r.Counter("hits_total", "", nil),
+		lat:  r.Histogram("latency_seconds", "", obs.LatencyBuckets, nil),
+	}
+}
+
+func registerDepth(r *obs.Registry, fn func() float64) {
+	r.GaugeFunc("queue_depth", "", nil, fn)
+}
+
+// Hot-path registration: every call takes the registry lock.
+
+func observe(r *obs.Registry, v float64) {
+	r.Histogram("hot_latency_seconds", "", obs.LatencyBuckets, nil).Observe(v) // want `obs metric registered outside an init path \(in observe\)`
+}
+
+func record(r *obs.Registry) {
+	c := r.Counter("hot_total", "", nil) // want `obs metric registered outside an init path \(in record\)`
+	c.Inc()
+}
+
+// Duplicate registration of one family from two sites.
+
+func newDup(r *obs.Registry) (*obs.Counter, *obs.Counter) {
+	a := r.Counter("dup_total", "", nil)
+	b := r.Counter("dup_total", "", nil) // want `obs metric "dup_total" is also registered at`
+	return a, b
+}
+
+// Updates on existing handles are always fine.
+
+func hot() {
+	pkgCounter.Inc()
+}

@@ -1,0 +1,80 @@
+// Package passutil holds the few helpers the spotfi-lint analyzers share:
+// test-file detection, enclosing-function lookup, and callee resolution.
+package passutil
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"spotfi/internal/analysis"
+)
+
+// IsTestFile reports whether the file containing pos is a _test.go file.
+func IsTestFile(pass *analysis.Pass, file *ast.File) bool {
+	name := pass.Fset.Position(file.Pos()).Filename
+	return strings.HasSuffix(name, "_test.go")
+}
+
+// Callee returns the *types.Func called by call (a function or concrete or
+// interface method), or nil for calls of function-typed values, built-ins,
+// and type conversions.
+func Callee(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// EnclosingFuncs maps every node in the file to the name of its innermost
+// enclosing function declaration; see Lookup.
+type EnclosingFuncs struct {
+	decls []*ast.FuncDecl
+}
+
+// Funcs indexes the file's function declarations for Lookup.
+func Funcs(file *ast.File) *EnclosingFuncs {
+	e := &EnclosingFuncs{}
+	for _, d := range file.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok {
+			e.decls = append(e.decls, fd)
+		}
+	}
+	return e
+}
+
+// Lookup returns the function declaration whose body lexically contains n,
+// or nil for package-level positions (var initializers). Function literals
+// belong to the declaration that contains them.
+func (e *EnclosingFuncs) Lookup(n ast.Node) *ast.FuncDecl {
+	for _, fd := range e.decls {
+		if fd.Pos() <= n.Pos() && n.End() <= fd.End() {
+			return fd
+		}
+	}
+	return nil
+}
+
+// CommaSet parses a comma-separated flag value into a set, trimming
+// whitespace and dropping empty entries.
+func CommaSet(s string) map[string]bool {
+	set := make(map[string]bool)
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			set[part] = true
+		}
+	}
+	return set
+}
+
+// IsErrorType reports whether t is exactly the predeclared error type.
+func IsErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,131 @@
+// Package radians reports degree-valued constants passed to parameters
+// that are, by name, radians.
+//
+// SpotFi's geometry is radians end to end (geom.Angle, locate's AoA math),
+// but array steering and deployment specs are naturally quoted in degrees,
+// and geom.Deg/geom.Rad convert at the boundary. A literal like 90 or 180
+// flowing into a theta/rad parameter is almost always a missing geom.Rad
+// — the exact unit-bookkeeping slip Tadayon et al. identify as a dominant
+// ToF/AoA bias source. Any constant with magnitude above 2π headed into a
+// radian-named parameter is suspect: no wrapped angle is that large.
+package radians
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"math"
+	"strings"
+
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/passes/passutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "radians",
+	Doc: "report degree-looking constants passed to radian parameters\n\n" +
+		"A constant with |v| > 2π passed to a parameter named like a radian\n" +
+		"angle (theta, phi, aoa, rad...) is almost always a missing geom.Rad.",
+	Run: run,
+}
+
+var names string
+
+func init() {
+	Analyzer.Flags.StringVar(&names, "names", "rad,radians,theta,phi,aoa,angle,bearing,azimuth",
+		"comma-separated parameter names (exact, or as a Rad/Radians suffix) treated as radian-valued")
+}
+
+// trigFuncs take radians but name their parameter x.
+var trigFuncs = map[string]bool{
+	"math.Sin": true, "math.Cos": true, "math.Tan": true, "math.Sincos": true,
+	"math/cmplx.Sin": true, "math/cmplx.Cos": true, "math/cmplx.Tan": true,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	radNames := passutil.CommaSet(names)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			tv, ok := pass.TypesInfo.Types[call.Fun]
+			if !ok || tv.IsType() {
+				return true // conversion
+			}
+			sig, ok := tv.Type.Underlying().(*types.Signature)
+			if !ok {
+				return true
+			}
+			trig := false
+			if fn := passutil.Callee(pass.TypesInfo, call); fn != nil {
+				trig = trigFuncs[fn.FullName()]
+			}
+			for i, arg := range call.Args {
+				v, ok := constValue(pass, arg)
+				if !ok || math.Abs(v) <= 2*math.Pi {
+					continue
+				}
+				param := paramAt(sig, i)
+				if param == nil {
+					continue
+				}
+				if trig || isRadianName(radNames, param.Name()) {
+					pass.Reportf(arg.Pos(),
+						"constant %v passed to radian parameter %q looks like degrees (|v| > 2π); convert with geom.Rad or pass radians",
+						v, param.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// paramAt returns the parameter an argument at index i binds to,
+// accounting for variadic tails.
+func paramAt(sig *types.Signature, i int) *types.Var {
+	params := sig.Params()
+	if params.Len() == 0 {
+		return nil
+	}
+	if sig.Variadic() && i >= params.Len()-1 {
+		return params.At(params.Len() - 1)
+	}
+	if i < params.Len() {
+		return params.At(i)
+	}
+	return nil
+}
+
+// isRadianName reports whether a parameter name denotes radians: an exact
+// entry from the configured set (case-insensitive), or an entry as a
+// CamelCase suffix (aoaRad, thetaRadians).
+func isRadianName(radNames map[string]bool, name string) bool {
+	lower := strings.ToLower(name)
+	if radNames[lower] {
+		return true
+	}
+	for n := range radNames {
+		suffix := strings.ToUpper(n[:1]) + n[1:]
+		if len(name) > len(suffix) && strings.HasSuffix(name, suffix) {
+			return true
+		}
+	}
+	return false
+}
+
+// constValue extracts a float value from a numeric constant expression.
+func constValue(pass *analysis.Pass, e ast.Expr) (float64, bool) {
+	tv, ok := pass.TypesInfo.Types[e]
+	if !ok || tv.Value == nil {
+		return 0, false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		v, _ := constant.Float64Val(tv.Value) // exactness loss is irrelevant for a threshold test
+		return v, true
+	}
+	return 0, false
+}

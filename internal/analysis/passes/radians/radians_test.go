@@ -1,0 +1,12 @@
+package radians_test
+
+import (
+	"testing"
+
+	"spotfi/internal/analysis/analysistest"
+	"spotfi/internal/analysis/passes/radians"
+)
+
+func TestRadians(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), radians.Analyzer, "a")
+}

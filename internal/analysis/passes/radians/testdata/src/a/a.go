@@ -1,0 +1,46 @@
+package a
+
+import "math"
+
+func steer(thetaRad float64) float64 { return thetaRad }
+func norm(theta float64) float64     { return theta }
+func face(phi, gain float64) float64 { return phi + gain }
+func sweep(aoa ...float64) float64   { return aoa[0] }
+func circle(radiusM float64) float64 { return radiusM }
+func slope(gradient float64) float64 { return gradient }
+func fromDeg(deg float64) float64    { return deg * math.Pi / 180 }
+
+const quarterTurn = 90
+
+// Positive cases: degree-sized constants into radian-named parameters.
+
+func degreesIntoRadians() {
+	steer(90)         // want `constant 90 passed to radian parameter "thetaRad" looks like degrees`
+	norm(180)         // want `constant 180 passed to radian parameter "theta" looks like degrees`
+	face(45.0*4, 2)   // want `constant 180 passed to radian parameter "phi" looks like degrees`
+	sweep(30, 360)    // want `constant 30 passed to radian parameter "aoa" looks like degrees` `constant 360 passed to radian parameter "aoa" looks like degrees`
+	norm(-270)        // want `constant -270 passed to radian parameter "theta" looks like degrees`
+	norm(quarterTurn) // want `constant 90 passed to radian parameter "theta" looks like degrees`
+	math.Sin(90)      // want `constant 90 passed to radian parameter "x" looks like degrees`
+	math.Cos(180)     // want `constant 180 passed to radian parameter "x" looks like degrees`
+}
+
+// Negative cases.
+
+func radiansAreFine(x float64) {
+	steer(1.57)
+	norm(-math.Pi)
+	norm(2 * math.Pi)
+	math.Sin(x)
+	sweep(0.5, 1.0)
+}
+
+func notRadianParams() {
+	circle(90)   // radiusM: "rad" only as part of "radius"
+	slope(45)    // gradient: "rad" only inside the word
+	fromDeg(180) // deg parameter: converting is the point
+}
+
+func smallIntoVariadic() {
+	sweep(4) // |v| ≤ 2π
+}

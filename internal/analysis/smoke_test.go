@@ -1,0 +1,50 @@
+package analysis_test
+
+import (
+	"os/exec"
+	"strings"
+	"testing"
+
+	"spotfi/internal/analysis/checker"
+	"spotfi/internal/analysis/load"
+	"spotfi/internal/analysis/suite"
+)
+
+// TestRepoIsClean runs the full analyzer suite over every package in the
+// module and asserts zero findings. Any new violation either gets fixed or
+// gets an explicit //lint:allow with a reason — this test is what keeps
+// that invariant from rotting between CI runs.
+func TestRepoIsClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("loads and typechecks the whole module")
+	}
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		t.Fatalf("go list -m: %v", err)
+	}
+	root := strings.TrimSpace(string(out))
+
+	pkgs, err := load.Packages(root, []string{"./..."})
+	if err != nil {
+		t.Fatalf("loading module packages: %v", err)
+	}
+	if len(pkgs) < 10 {
+		t.Fatalf("only %d packages loaded from %s; expected the whole module", len(pkgs), root)
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.PkgPath, terr)
+		}
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	findings, err := checker.Run(suite.Analyzers(), pkgs)
+	if err != nil {
+		t.Fatalf("running analyzers: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
+	}
+}

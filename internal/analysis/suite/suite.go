@@ -1,0 +1,26 @@
+// Package suite enumerates the spotfi-lint analyzers. The list is shared
+// by cmd/spotfi-lint and the repo-wide smoke test so the binary and CI can
+// never drift apart.
+package suite
+
+import (
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/passes/errdrop"
+	"spotfi/internal/analysis/passes/floateq"
+	"spotfi/internal/analysis/passes/floatloop"
+	"spotfi/internal/analysis/passes/gospawn"
+	"spotfi/internal/analysis/passes/obsreg"
+	"spotfi/internal/analysis/passes/radians"
+)
+
+// Analyzers returns the full suite in stable order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		errdrop.Analyzer,
+		floateq.Analyzer,
+		floatloop.Analyzer,
+		gospawn.Analyzer,
+		obsreg.Analyzer,
+		radians.Analyzer,
+	}
+}

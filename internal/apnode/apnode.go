@@ -90,7 +90,7 @@ func (a *Agent) Run(ctx context.Context) error {
 	go func() {
 		select {
 		case <-ctx.Done():
-			conn.Close()
+			conn.Close() //lint:allow errdrop closing to unblock writes is the cancellation path; the write site reports
 		case <-done:
 		}
 	}()

@@ -119,11 +119,13 @@ func (o Offsets) MaxAbs() float64 {
 	return m
 }
 
+// wrap maps an angle into (−π, π] in closed form; repeated ±2π
+// subtraction would compound rounding error per step.
 func wrap(a float64) float64 {
-	for a > math.Pi {
+	a = math.Mod(a, 2*math.Pi) // exact: Mod introduces no rounding error
+	if a > math.Pi {
 		a -= 2 * math.Pi
-	}
-	for a <= -math.Pi {
+	} else if a <= -math.Pi {
 		a += 2 * math.Pi
 	}
 	return a

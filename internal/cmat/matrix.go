@@ -81,9 +81,14 @@ func (m *Matrix) Set(i, j int, v complex128) {
 	m.data[i*m.cols+j] = v
 }
 
+// check panics if (i, j) is out of range. The message is a constant string
+// on purpose: a fmt.Sprintf call here would push check past the inlining
+// budget, and At/Set sit on the MUSIC hot path where the bounds check must
+// inline away. The unsigned compare folds the negative and too-large cases
+// into one branch per axis, the same shape the compiler emits for slices.
 func (m *Matrix) check(i, j int) {
-	if i < 0 || i >= m.rows || j < 0 || j >= m.cols {
-		panic(fmt.Sprintf("cmat: index (%d,%d) out of range for %dx%d matrix", i, j, m.rows, m.cols))
+	if uint(i) >= uint(m.rows) || uint(j) >= uint(m.cols) {
+		panic("cmat: index out of range")
 	}
 }
 
@@ -96,8 +101,8 @@ func (m *Matrix) Clone() *Matrix {
 
 // Row returns a copy of row i.
 func (m *Matrix) Row(i int) []complex128 {
-	if i < 0 || i >= m.rows {
-		panic(fmt.Sprintf("cmat: row %d out of range", i))
+	if uint(i) >= uint(m.rows) {
+		panic("cmat: row index out of range")
 	}
 	out := make([]complex128, m.cols)
 	copy(out, m.data[i*m.cols:(i+1)*m.cols])
@@ -106,8 +111,8 @@ func (m *Matrix) Row(i int) []complex128 {
 
 // Col returns a copy of column j.
 func (m *Matrix) Col(j int) []complex128 {
-	if j < 0 || j >= m.cols {
-		panic(fmt.Sprintf("cmat: col %d out of range", j))
+	if uint(j) >= uint(m.cols) {
+		panic("cmat: col index out of range")
 	}
 	out := make([]complex128, m.rows)
 	for i := 0; i < m.rows; i++ {

@@ -143,12 +143,15 @@ func (s Segment) Reflect(p Point) Point {
 	return s.A.Add(mirrored)
 }
 
-// NormalizeAngle wraps an angle into (−π, π].
+// NormalizeAngle wraps an angle into (−π, π]. The wrap is closed-form
+// (one Mod plus at most one correction) rather than repeated ±2π
+// subtraction, which compounds rounding error and loops O(|a|) times on
+// far-out-of-range inputs.
 func NormalizeAngle(a float64) float64 {
-	for a > math.Pi {
+	a = math.Mod(a, 2*math.Pi) // exact: Mod introduces no rounding error
+	if a > math.Pi {
 		a -= 2 * math.Pi
-	}
-	for a <= -math.Pi {
+	} else if a <= -math.Pi {
 		a += 2 * math.Pi
 	}
 	return a

@@ -163,7 +163,7 @@ func findPeaks1D(spec *AoASpectrum, count int) []PathEstimate {
 			continue
 		}
 		// Skip plateau duplicates: only accept the left edge of a run.
-		if spec.P[i-1] == v {
+		if spec.P[i-1] == v { //lint:allow floateq plateau detection wants bit-identical values, not nearness
 			continue
 		}
 		theta := refineAxis(spec.Thetas, i, func(k int) float64 { return spec.P[k] })

@@ -116,12 +116,15 @@ func (j *JADE) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
 	for k := 0; k < l; k++ {
 		// Ω = e^{−j2π·f_δ·τ} ⇒ τ = −arg(Ω)/(2π·f_δ), unwrapped to the
 		// estimator's ToF window.
+		// Shift by whole periods in one step — per-period accumulation
+		// would compound one rounding error per wrap.
 		tau := -cmplx.Phase(omegas[k]) / (2 * math.Pi * fd)
-		for tau < j.p.ToFMinS {
-			tau += 1 / fd
+		period := 1 / fd
+		if tau < j.p.ToFMinS {
+			tau += math.Ceil((j.p.ToFMinS-tau)/period) * period
 		}
-		for tau > j.p.ToFMaxS {
-			tau -= 1 / fd
+		if tau > j.p.ToFMaxS {
+			tau -= math.Ceil((tau-j.p.ToFMaxS)/period) * period
 		}
 		phi := diag.At(k, k)
 		s := -cmplx.Phase(phi) / sinFactor

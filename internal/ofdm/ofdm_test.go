@@ -233,11 +233,10 @@ func TestTapChannelFractionalDelayPhaseRamp(t *testing.T) {
 }
 
 func angleDiff(a, b float64) float64 {
-	d := a - b
-	for d > math.Pi {
+	d := math.Mod(a-b, 2*math.Pi) // exact: Mod introduces no rounding error
+	if d > math.Pi {
 		d -= 2 * math.Pi
-	}
-	for d < -math.Pi {
+	} else if d <= -math.Pi {
 		d += 2 * math.Pi
 	}
 	return d

@@ -97,6 +97,7 @@ func (h *Heatmap) SVG() (string, error) {
 			hi = math.Max(hi, mv)
 		}
 	}
+	//lint:allow floateq degenerate-range guard: avoids dividing by (hi-lo)==0
 	if !finite(lo) || !finite(hi) || lo == hi {
 		hi = lo + 1
 	}
@@ -156,7 +157,7 @@ func (h *Heatmap) ASCII(maxCols, maxRows int) string {
 			hi = math.Max(hi, v)
 		}
 	}
-	if lo == hi {
+	if lo == hi { //lint:allow floateq degenerate-range guard: avoids dividing by (hi-lo)==0
 		hi = lo + 1
 	}
 	rows := ny

@@ -87,9 +87,11 @@ func (p *LinePlot) SVG() string {
 			maxY = math.Max(maxY, s.Y[i])
 		}
 	}
+	//lint:allow floateq degenerate-range guard: avoids dividing by a zero span
 	if !finite(minX) || !finite(maxX) || minX == maxX {
 		maxX = minX + 1
 	}
+	//lint:allow floateq degenerate-range guard: avoids dividing by a zero span
 	if !finite(minY) || !finite(maxY) || minY == maxY {
 		maxY = minY + 1
 	}
@@ -186,7 +188,7 @@ func interp(xs, ys []float64, x float64) float64 {
 		return ys[0]
 	}
 	x0, x1 := xs[i-1], xs[i]
-	if x1 == x0 {
+	if x1 == x0 { //lint:allow floateq duplicate-knot guard before dividing by (x1-x0)
 		return ys[i]
 	}
 	f := (x - x0) / (x1 - x0)
