@@ -9,6 +9,12 @@
 // further bursts are dropped and counted, instead of goroutines (and their
 // pinned CSI buffers) growing without bound.
 //
+// The ingest path is hardened against misbehaving APs: connections that
+// stall mid-handshake or go silent are reaped after -idle-timeout,
+// buffered packets of bursts that never complete are evicted after
+// -burst-ttl, and a panic while localizing one burst is recovered and
+// counted instead of killing a worker.
+//
 // With -debug-addr set, an HTTP listener exposes /metrics (Prometheus text
 // format), /healthz, and net/http/pprof under /debug/pprof/.
 //
@@ -17,7 +23,8 @@
 //	spotfi-server -listen 127.0.0.1:7100 \
 //	    -ap 0,0.4,0.4,45 -ap 1,15.6,0.4,135 -ap 2,8,9.7,-90 \
 //	    -bounds 0,0,16,10 [-batch 10] [-minaps 3] \
-//	    [-workers N] [-queue 64] [-debug-addr 127.0.0.1:7101]
+//	    [-workers N] [-queue 64] [-idle-timeout 90s] [-burst-ttl 30s] \
+//	    [-debug-addr 127.0.0.1:7101]
 package main
 
 import (
@@ -31,6 +38,7 @@ import (
 	"runtime"
 	"sync"
 	"syscall"
+	"time"
 
 	"spotfi"
 	"spotfi/internal/cliutil"
@@ -50,6 +58,7 @@ type burstJob struct {
 type localizeMetrics struct {
 	overloadDrops  *obs.Counter
 	localizeErrors *obs.Counter
+	localizePanics *obs.Counter
 	queueDepth     *obs.Gauge
 }
 
@@ -59,9 +68,33 @@ func newLocalizeMetrics(reg *obs.Registry) *localizeMetrics {
 			"Complete bursts dropped because the localization queue was full.", nil),
 		localizeErrors: reg.Counter("spotfi_server_localize_errors_total",
 			"Bursts whose localization failed end-to-end.", nil),
+		localizePanics: reg.Counter("spotfi_server_localize_panics_total",
+			"Localization worker panics recovered; the burst was discarded.", nil),
 		queueDepth: reg.Gauge("spotfi_server_localize_queue_depth",
 			"Bursts waiting for a localization worker.", nil),
 	}
+}
+
+// localizeOne runs one burst through the pipeline with panic isolation: a
+// numerical blow-up on one poisoned burst must cost that burst, not a
+// worker (and with it, eventually, the whole pool).
+func localizeOne(loc *spotfi.Localizer, lm *localizeMetrics, j burstJob) {
+	defer func() {
+		if r := recover(); r != nil {
+			lm.localizePanics.Inc()
+			log.Printf("localize %s: panic recovered: %v", j.mac, r)
+		}
+	}()
+	p, reports, skipped, err := loc.LocalizeBursts(j.bursts)
+	for _, s := range skipped {
+		log.Printf("localize %s: skipped %v", j.mac, s)
+	}
+	if err != nil {
+		lm.localizeErrors.Inc()
+		log.Printf("localize %s: %v", j.mac, err)
+		return
+	}
+	log.Printf("target %s at (%.2f, %.2f) m  [%d APs]", j.mac, p.X, p.Y, len(reports))
 }
 
 func main() {
@@ -71,6 +104,10 @@ func main() {
 	minAPs := flag.Int("minaps", 3, "minimum APs with a full batch before localizing")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "localization worker goroutines")
 	queue := flag.Int("queue", 64, "burst queue depth; bursts beyond it are dropped")
+	idleTimeout := flag.Duration("idle-timeout", server.DefaultIdleTimeout,
+		"reap AP connections silent for this long (0 disables)")
+	burstTTL := flag.Duration("burst-ttl", 30*time.Second,
+		"evict buffered packets of incomplete bursts older than this (0 disables)")
 	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz, and /debug/pprof (disabled if empty)")
 	var aps cliutil.APList
 	flag.Var(&aps, "ap", "AP spec id,x,y,normalDeg (repeatable)")
@@ -82,6 +119,10 @@ func main() {
 	}
 	if *workers < 1 || *queue < 1 {
 		fmt.Fprintln(os.Stderr, "spotfi-server: -workers and -queue must be ≥ 1")
+		os.Exit(2)
+	}
+	if *idleTimeout < 0 || *burstTTL < 0 {
+		fmt.Fprintln(os.Stderr, "spotfi-server: -idle-timeout and -burst-ttl must be ≥ 0")
 		os.Exit(2)
 	}
 	bounds, err := cliutil.ParseBounds(*boundsStr)
@@ -112,16 +153,7 @@ func main() {
 			defer pool.Done()
 			for j := range jobs {
 				lm.queueDepth.Set(int64(len(jobs)))
-				p, reports, skipped, err := loc.LocalizeBursts(j.bursts)
-				for _, s := range skipped {
-					log.Printf("localize %s: skipped %v", j.mac, s)
-				}
-				if err != nil {
-					lm.localizeErrors.Inc()
-					log.Printf("localize %s: %v", j.mac, err)
-					continue
-				}
-				log.Printf("target %s at (%.2f, %.2f) m  [%d APs]", j.mac, p.X, p.Y, len(reports))
+				localizeOne(loc, lm, j)
 			}
 		}()
 	}
@@ -131,6 +163,7 @@ func main() {
 		BatchSize:   *batch,
 		MinAPs:      *minAPs,
 		MaxBuffered: 40 * *batch,
+		BurstTTL:    *burstTTL,
 	}, func(mac string, bursts map[int][]*csi.Packet) {
 		select {
 		case jobs <- burstJob{mac: mac, bursts: bursts}:
@@ -145,6 +178,12 @@ func main() {
 		os.Exit(1)
 	}
 	collector.SetMetrics(metrics)
+	if *burstTTL > 0 {
+		// Sweep a few times per TTL so eviction lag stays a fraction of
+		// the staleness bound.
+		stopSweeper := collector.StartSweeper(*burstTTL / 4)
+		defer stopSweeper()
+	}
 
 	srv, err := server.New(collector, log.Printf)
 	if err != nil {
@@ -152,6 +191,7 @@ func main() {
 		os.Exit(1)
 	}
 	srv.SetMetrics(metrics)
+	srv.SetTimeouts(server.DefaultHandshakeTimeout, *idleTimeout)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)

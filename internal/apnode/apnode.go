@@ -10,7 +10,9 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"math/rand"
 	"net"
+	"sync/atomic"
 	"time"
 
 	"spotfi/internal/csi"
@@ -64,7 +66,22 @@ type Agent struct {
 	Interval time.Duration
 	// DialTimeout bounds connection establishment.
 	DialTimeout time.Duration
+	// Dial overrides connection establishment — the injection point for
+	// fault-wrapped connections (internal/chaos). Nil means a net.Dialer
+	// bounded by DialTimeout.
+	Dial func(ctx context.Context, network, addr string) (net.Conn, error)
+	// HealthyReset is how long a connection must stream before a
+	// subsequent failure is treated as a fresh incident rather than
+	// another consecutive one: RunWithRetry then resets its failure count
+	// and backoff. Zero means 30 s; negative disables resetting.
+	HealthyReset time.Duration
+
+	dropped atomic.Uint64
 }
+
+// Dropped returns how many source packets Run skipped because they could
+// not be encoded (e.g. a buggy NIC reporting non-finite CSI).
+func (a *Agent) Dropped() uint64 { return a.dropped.Load() }
 
 // Run connects, performs the handshake, and streams packets until the
 // source is exhausted or ctx is cancelled. A clean EOF sends Bye and
@@ -77,8 +94,12 @@ func (a *Agent) Run(ctx context.Context) error {
 	if timeout == 0 {
 		timeout = 5 * time.Second
 	}
-	d := net.Dialer{Timeout: timeout}
-	conn, err := d.DialContext(ctx, "tcp", a.ServerAddr)
+	dial := a.Dial
+	if dial == nil {
+		d := net.Dialer{Timeout: timeout}
+		dial = d.DialContext
+	}
+	conn, err := dial(ctx, "tcp", a.ServerAddr)
 	if err != nil {
 		return fmt.Errorf("apnode: dial %s: %w", a.ServerAddr, err)
 	}
@@ -115,7 +136,11 @@ func (a *Agent) Run(ctx context.Context) error {
 		pkt.APID = a.APID
 		f, err := wire.EncodeCSIReport(pkt)
 		if err != nil {
-			return fmt.Errorf("apnode: encode: %w", err)
+			// One bad report from the NIC (non-finite CSI, oversize
+			// matrix) must not kill the stream: skip it and keep
+			// shipping. Dropped() exposes the count.
+			a.dropped.Add(1)
+			continue
 		}
 		if err := wire.WriteFrame(conn, f); err != nil {
 			if ctx.Err() != nil {
@@ -135,11 +160,19 @@ func (a *Agent) Run(ctx context.Context) error {
 	}
 }
 
-// RunWithRetry runs the agent, reconnecting with exponential backoff when
-// the connection fails mid-stream. It returns nil when the source is
-// exhausted (clean EOF), ctx.Err() on cancellation, or the last error once
-// maxRetries consecutive attempts fail. Progress through the source is
-// preserved across reconnects: packets already consumed are not re-read.
+// RunWithRetry runs the agent, reconnecting with jittered exponential
+// backoff when the connection fails mid-stream. It returns nil when the
+// source is exhausted (clean EOF), ctx.Err() on cancellation, or the last
+// error once maxRetries consecutive attempts fail.
+//
+// "Consecutive" means within one incident: a connection that streamed for
+// at least HealthyReset before failing resets the failure count and
+// backoff, so a long-lived agent does not accumulate unrelated failures
+// over weeks and eventually refuse to reconnect. The backoff sleep is
+// drawn uniformly from [backoff/2, backoff], so a fleet of APs restarting
+// after a server outage spreads its reconnects instead of arriving as a
+// thundering herd. Progress through the source is preserved across
+// reconnects: packets already consumed are not re-read.
 func (a *Agent) RunWithRetry(ctx context.Context, maxRetries int, baseBackoff time.Duration) error {
 	if maxRetries < 1 {
 		maxRetries = 1
@@ -147,9 +180,14 @@ func (a *Agent) RunWithRetry(ctx context.Context, maxRetries int, baseBackoff ti
 	if baseBackoff <= 0 {
 		baseBackoff = 250 * time.Millisecond
 	}
+	healthy := a.HealthyReset
+	if healthy == 0 {
+		healthy = 30 * time.Second
+	}
 	backoff := baseBackoff
 	failures := 0
 	for {
+		start := time.Now()
 		err := a.Run(ctx)
 		if err == nil {
 			return nil
@@ -157,12 +195,16 @@ func (a *Agent) RunWithRetry(ctx context.Context, maxRetries int, baseBackoff ti
 		if ctx.Err() != nil {
 			return ctx.Err()
 		}
+		if healthy > 0 && time.Since(start) >= healthy {
+			failures = 0
+			backoff = baseBackoff
+		}
 		failures++
 		if failures >= maxRetries {
 			return fmt.Errorf("apnode: giving up after %d attempts: %w", failures, err)
 		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(jitter(backoff)):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -170,4 +212,13 @@ func (a *Agent) RunWithRetry(ctx context.Context, maxRetries int, baseBackoff ti
 			backoff *= 2
 		}
 	}
+}
+
+// jitter draws a sleep uniformly from [d/2, d] (equal jitter), using the
+// process-wide math/rand source, which is safe for concurrent agents.
+func jitter(d time.Duration) time.Duration {
+	if d <= 1 {
+		return d
+	}
+	return d/2 + time.Duration(rand.Int63n(int64(d/2)+1))
 }

@@ -1,0 +1,216 @@
+package apnode
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/wire"
+)
+
+func TestJitterBounds(t *testing.T) {
+	const d = 800 * time.Millisecond
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 500; i++ {
+		j := jitter(d)
+		if j < d/2 || j > d {
+			t.Fatalf("jitter(%v) = %v, want in [%v, %v]", d, j, d/2, d)
+		}
+		seen[j] = true
+	}
+	if len(seen) < 10 {
+		t.Fatalf("jitter produced only %d distinct values in 500 draws", len(seen))
+	}
+}
+
+// TestRunWithRetryHealthyReset: a server that kills every connection
+// after it has streamed for a while simulates weeks of sporadic,
+// unrelated failures. The failure counter must reset after each healthy
+// stretch, so the agent survives far more total failures than maxRetries
+// instead of eventually giving up.
+func TestRunWithRetryHealthyReset(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+
+	var conns atomic.Int64
+	go func() {
+		for {
+			conn, err := lis.Accept()
+			if err != nil {
+				return
+			}
+			conns.Add(1)
+			go func(c net.Conn) {
+				// Let the stream run long enough to count as healthy,
+				// then fail it abruptly.
+				defer c.Close()
+				deadline := time.Now().Add(80 * time.Millisecond)
+				for time.Now().Before(deadline) {
+					c.SetReadDeadline(deadline) //lint:allow errdrop TCP conn deadlines cannot fail here
+					if _, err := wire.ReadFrame(c); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+
+	a := &Agent{
+		APID:         1,
+		ServerAddr:   lis.Addr().String(),
+		Source:       &SynthSource{Syn: testSynth(t, 11), TargetMAC: "m"}, // unlimited
+		Interval:     2 * time.Millisecond,
+		HealthyReset: 40 * time.Millisecond,
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	// maxRetries is 3, but every connection streams ≥ HealthyReset before
+	// dying, so each failure is a fresh incident and the agent must
+	// outlive many more than 3 of them.
+	go func() { done <- a.RunWithRetry(ctx, 3, time.Millisecond) }()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for conns.Load() < 8 && time.Now().Before(deadline) {
+		select {
+		case err := <-done:
+			t.Fatalf("agent gave up after %d connections: %v", conns.Load(), err)
+		case <-time.After(5 * time.Millisecond):
+		}
+	}
+	if conns.Load() < 8 {
+		t.Fatalf("only %d connections in 10s", conns.Load())
+	}
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("after cancel: %v, want context.Canceled", err)
+	}
+}
+
+// TestRunWithRetryStillGivesUpOnConsecutiveFailures: instant failures
+// (dead port) must still exhaust maxRetries — the healthy reset only
+// forgives failures separated by sustained streaming.
+func TestRunWithRetryStillGivesUpOnConsecutiveFailures(t *testing.T) {
+	a := &Agent{
+		APID:         1,
+		ServerAddr:   "127.0.0.1:1",
+		Source:       &SynthSource{Syn: testSynth(t, 12), TargetMAC: "m", Limit: 1},
+		DialTimeout:  200 * time.Millisecond,
+		HealthyReset: 10 * time.Millisecond, // generous: dials fail in ~µs, far under this
+	}
+	err := a.RunWithRetry(context.Background(), 3, time.Millisecond)
+	if err == nil {
+		t.Fatal("retry against a dead port succeeded")
+	}
+	if !strings.Contains(err.Error(), "giving up after 3") {
+		t.Fatalf("gave up with %v, want after exactly 3 attempts", err)
+	}
+}
+
+// nanSource yields a non-finite packet sandwiched between good ones.
+type nanSource struct {
+	inner PacketSource
+	n     int
+}
+
+func (s *nanSource) Next() (*csi.Packet, error) {
+	p, err := s.inner.Next()
+	if err != nil {
+		return nil, err
+	}
+	s.n++
+	if s.n == 2 {
+		p.CSI.Values[0][0] = complex(math.NaN(), 0)
+	}
+	return p, nil
+}
+
+// TestAgentSkipsUnencodablePackets: one bad NIC report must not kill the
+// stream — it is dropped, counted, and the rest of the packets arrive.
+func TestAgentSkipsUnencodablePackets(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+
+	reports := make(chan int, 1)
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		n := 0
+		for {
+			f, err := wire.ReadFrame(conn)
+			if err != nil || f.Type == wire.TypeBye {
+				reports <- n
+				return
+			}
+			if f.Type == wire.TypeCSIReport {
+				n++
+			}
+		}
+	}()
+
+	a := &Agent{
+		APID:       1,
+		ServerAddr: lis.Addr().String(),
+		Source:     &nanSource{inner: &SynthSource{Syn: testSynth(t, 13), TargetMAC: "m", Limit: 5}},
+	}
+	if err := a.Run(context.Background()); err != nil {
+		t.Fatalf("one bad packet killed the stream: %v", err)
+	}
+	if got := <-reports; got != 4 {
+		t.Fatalf("server received %d reports, want 4 (5 minus the dropped NaN)", got)
+	}
+	if a.Dropped() != 1 {
+		t.Fatalf("Dropped = %d, want 1", a.Dropped())
+	}
+}
+
+// TestAgentDialHook: a custom Dial must be used for the connection.
+func TestAgentDialHook(t *testing.T) {
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lis.Close()
+	go func() {
+		conn, err := lis.Accept()
+		if err != nil {
+			return
+		}
+		defer conn.Close()
+		io.Copy(io.Discard, conn) //lint:allow errdrop test drain; the dial hook is the assertion
+	}()
+
+	var dialed atomic.Bool
+	a := &Agent{
+		APID:       1,
+		ServerAddr: lis.Addr().String(),
+		Source:     &SynthSource{Syn: testSynth(t, 14), TargetMAC: "m", Limit: 1},
+		Dial: func(ctx context.Context, network, addr string) (net.Conn, error) {
+			dialed.Store(true)
+			var d net.Dialer
+			return d.DialContext(ctx, network, addr)
+		},
+	}
+	if err := a.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if !dialed.Load() {
+		t.Fatal("custom Dial hook was not used")
+	}
+}

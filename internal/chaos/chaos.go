@@ -1,0 +1,59 @@
+// Package chaos is a deterministic fault-injection layer for SpotFi's
+// deployed path (AP → wire → server → collector → localize). It wraps the
+// seams the real system already has — net.Conn/net.Listener for the wire,
+// apnode's PacketSource for the NIC — and injects the failure classes a
+// fleet of commodity APs produces in practice: network latency, read/write
+// stalls, mid-frame connection resets, byte corruption, one-way
+// partitions, non-finite CSI, duplicated and reordered packets, and clock
+// skew.
+//
+// All randomness flows from a caller-provided seed, so a fault schedule
+// that exposes a bug replays exactly. Every injected fault increments a
+// per-class counter (obs.Counter, nil-safe and lock-free) so soak tests
+// can assert that each class actually fired rather than silently rolling
+// zero faults.
+package chaos
+
+import (
+	"math/rand"
+	"sync"
+)
+
+// rng is a mutex-guarded *rand.Rand: math/rand.Rand is not safe for
+// concurrent use, and a wrapped conn's Read and Write run on different
+// goroutines.
+type rng struct {
+	mu sync.Mutex
+	r  *rand.Rand
+}
+
+func newRNG(seed int64) *rng {
+	return &rng{r: rand.New(rand.NewSource(seed))}
+}
+
+// roll returns true with probability p.
+func (g *rng) roll(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Float64() < p
+}
+
+// intn returns a uniform int in [0, n). n must be > 0.
+func (g *rng) intn(n int) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Intn(n)
+}
+
+// int63n returns a uniform int64 in [0, n). n must be > 0.
+func (g *rng) int63n(n int64) int64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Int63n(n)
+}

@@ -1,0 +1,360 @@
+package chaos
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"net"
+	"testing"
+	"time"
+
+	"spotfi/internal/csi"
+)
+
+// pipe returns a wrapped client conn talking to a raw server conn.
+func pipe(t *testing.T, cfg ConnConfig) (*Conn, net.Conn) {
+	t.Helper()
+	c1, c2 := net.Pipe()
+	t.Cleanup(func() { c1.Close(); c2.Close() })
+	return WrapConn(c1, cfg), c2
+}
+
+func TestConnTransparentByDefault(t *testing.T) {
+	cc, srv := pipe(t, ConnConfig{Seed: 1})
+	msg := []byte("hello spotfi")
+	go func() {
+		if _, err := cc.Write(msg); err != nil {
+			t.Errorf("write: %v", err)
+		}
+	}()
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(srv, got); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("got %q, want %q", got, msg)
+	}
+	s := cc.Stats()
+	if n := s.Corruptions.Value() + s.Resets.Value() + s.Stalls.Value() + s.Partitions.Value(); n != 0 {
+		t.Fatalf("zero config injected %d faults", n)
+	}
+}
+
+func TestConnCorruption(t *testing.T) {
+	cc, srv := pipe(t, ConnConfig{Seed: 7, CorruptProb: 1})
+	msg := bytes.Repeat([]byte{0xab}, 64)
+	go cc.Write(msg) //lint:allow errdrop test write; the read side verifies delivery
+	got := make([]byte, len(msg))
+	if _, err := io.ReadFull(srv, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, msg) {
+		t.Fatal("CorruptProb=1 delivered the buffer unmodified")
+	}
+	diff := 0
+	for i := range got {
+		if got[i] != msg[i] {
+			diff++
+		}
+	}
+	if diff != 1 {
+		t.Fatalf("corruption changed %d bytes, want exactly 1", diff)
+	}
+	if cc.Stats().Corruptions.Value() != 1 {
+		t.Fatalf("Corruptions = %d, want 1", cc.Stats().Corruptions.Value())
+	}
+	if bytes.Equal(msg, bytes.Repeat([]byte{0xab}, 64)) == false {
+		t.Fatal("caller's buffer was mutated")
+	}
+}
+
+func TestConnResetMidWrite(t *testing.T) {
+	cc, srv := pipe(t, ConnConfig{Seed: 3, ResetProb: 1})
+	msg := bytes.Repeat([]byte{0x42}, 32)
+	go func() {
+		if n, err := cc.Write(msg); err != nil || n != len(msg) {
+			t.Errorf("reset write reported (%d, %v), want buffered success", n, err)
+		}
+	}()
+	got, err := io.ReadAll(srv)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) == 0 || len(got) >= len(msg) {
+		t.Fatalf("peer saw %d bytes, want a strict non-empty prefix of %d", len(got), len(msg))
+	}
+	if cc.Stats().Resets.Value() != 1 {
+		t.Fatalf("Resets = %d, want 1", cc.Stats().Resets.Value())
+	}
+	if _, err := cc.Write(msg); err == nil {
+		t.Fatal("write after injected reset succeeded")
+	}
+}
+
+func TestConnPartitionBlackholesWrites(t *testing.T) {
+	cc, srv := pipe(t, ConnConfig{Seed: 5, PartitionProb: 1})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 4; i++ {
+			if n, err := cc.Write([]byte("vanish")); err != nil || n != 6 {
+				t.Errorf("partitioned write reported (%d, %v)", n, err)
+			}
+		}
+	}()
+	<-done
+	srv.SetReadDeadline(time.Now().Add(50 * time.Millisecond)) //lint:allow errdrop net.Pipe deadlines cannot fail
+	if n, err := srv.Read(make([]byte, 16)); err == nil {
+		t.Fatalf("peer received %d bytes through a partition", n)
+	}
+	if cc.Stats().Partitions.Value() != 1 {
+		t.Fatalf("Partitions = %d, want 1 (sticky)", cc.Stats().Partitions.Value())
+	}
+}
+
+func TestConnStallDelaysWrite(t *testing.T) {
+	cc, srv := pipe(t, ConnConfig{Seed: 9, StallProb: 1, Stall: 80 * time.Millisecond})
+	start := time.Now()
+	go func() {
+		got := make([]byte, 2)
+		io.ReadFull(srv, got) //lint:allow errdrop test read; timing is the assertion
+	}()
+	if _, err := cc.Write([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	if d := time.Since(start); d < 80*time.Millisecond {
+		t.Fatalf("stalled write finished in %v, want ≥ 80ms", d)
+	}
+	if cc.Stats().Stalls.Value() == 0 {
+		t.Fatal("stall not counted")
+	}
+}
+
+func TestConnDeterminism(t *testing.T) {
+	run := func() []byte {
+		c1, c2 := net.Pipe()
+		defer c1.Close()
+		defer c2.Close()
+		cc := WrapConn(c1, ConnConfig{Seed: 11, CorruptProb: 0.5})
+		var got bytes.Buffer
+		done := make(chan struct{})
+		go func() {
+			defer close(done)
+			io.CopyN(&got, c2, 160) //lint:allow errdrop test read; the returned bytes are compared
+		}()
+		for i := 0; i < 10; i++ {
+			if _, err := cc.Write(bytes.Repeat([]byte{byte(i)}, 16)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		<-done
+		return got.Bytes()
+	}
+	if a, b := run(), run(); !bytes.Equal(a, b) {
+		t.Fatal("same seed and op sequence produced different fault schedules")
+	}
+}
+
+func TestListenerWrapsAcceptedConns(t *testing.T) {
+	raw, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	lis := WrapListener(raw, ConnConfig{Seed: 13, CorruptProb: 1})
+	defer lis.Close()
+
+	go func() {
+		c, err := net.Dial("tcp", lis.Addr().String())
+		if err != nil {
+			t.Error(err)
+			return
+		}
+		defer c.Close()
+		c.Write(bytes.Repeat([]byte{0x55}, 32)) //lint:allow errdrop test write; the accept side verifies delivery
+	}()
+
+	c, err := lis.Accept()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	got := make([]byte, 32)
+	if _, err := io.ReadFull(c, got); err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(got, bytes.Repeat([]byte{0x55}, 32)) {
+		t.Fatal("accepted conn was not fault-wrapped")
+	}
+	if lis.Stats().Corruptions.Value() == 0 {
+		t.Fatal("listener stats not shared with accepted conn")
+	}
+}
+
+// sliceSource emits a fixed packet sequence.
+type sliceSource struct {
+	pkts []*csi.Packet
+	i    int
+}
+
+func (s *sliceSource) Next() (*csi.Packet, error) {
+	if s.i >= len(s.pkts) {
+		return nil, io.EOF
+	}
+	p := s.pkts[s.i]
+	s.i++
+	return p, nil
+}
+
+func makePackets(n int) []*csi.Packet {
+	out := make([]*csi.Packet, n)
+	for i := range out {
+		m := csi.NewMatrix(3, 8)
+		for a := range m.Values {
+			for k := range m.Values[a] {
+				m.Values[a][k] = complex(1, float64(i))
+			}
+		}
+		out[i] = &csi.Packet{APID: 1, TargetMAC: "t", Seq: uint64(i), TimestampNs: int64(i) * 1000, RSSIdBm: -40, CSI: m}
+	}
+	return out
+}
+
+func TestSourceTransparentByDefault(t *testing.T) {
+	src := WrapSource(&sliceSource{pkts: makePackets(5)}, SourceConfig{Seed: 1})
+	for i := 0; i < 5; i++ {
+		p, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.Seq != uint64(i) || p.TimestampNs != int64(i)*1000 {
+			t.Fatalf("packet %d arrived as seq %d ts %d", i, p.Seq, p.TimestampNs)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("want EOF, got %v", err)
+	}
+}
+
+func TestSourceNaNInjection(t *testing.T) {
+	src := WrapSource(&sliceSource{pkts: makePackets(4)}, SourceConfig{Seed: 2, NaNProb: 1})
+	p, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	verr := p.Validate()
+	if verr == nil {
+		t.Fatal("NaN-poisoned packet validated")
+	}
+	if !errors.Is(verr, csi.ErrNonFinite) {
+		t.Fatalf("poisoned packet error %v does not wrap csi.ErrNonFinite", verr)
+	}
+	if src.Stats().NaNs.Value() != 1 {
+		t.Fatalf("NaNs = %d, want 1", src.Stats().NaNs.Value())
+	}
+}
+
+func TestSourceInfInjectionClonesInner(t *testing.T) {
+	pkts := makePackets(2)
+	src := WrapSource(&sliceSource{pkts: pkts}, SourceConfig{Seed: 4, InfProb: 1})
+	p, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Validate() == nil {
+		t.Fatal("Inf-poisoned packet validated")
+	}
+	// The inner source's packet must be untouched.
+	for _, row := range pkts[0].CSI.Values {
+		for _, v := range row {
+			if math.IsInf(real(v), 0) || math.IsInf(imag(v), 0) {
+				t.Fatal("poisoning mutated the inner source's packet")
+			}
+		}
+	}
+}
+
+func TestSourceDuplication(t *testing.T) {
+	src := WrapSource(&sliceSource{pkts: makePackets(3)}, SourceConfig{Seed: 3, DupProb: 1})
+	first, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second.Seq != first.Seq {
+		t.Fatalf("expected duplicate of seq %d, got seq %d", first.Seq, second.Seq)
+	}
+	if second == first {
+		t.Fatal("duplicate shares the original packet pointer")
+	}
+	if src.Stats().Dups.Value() == 0 {
+		t.Fatal("duplication not counted")
+	}
+}
+
+func TestSourceReorderAndSkew(t *testing.T) {
+	src := WrapSource(&sliceSource{pkts: makePackets(4)}, SourceConfig{
+		Seed: 6, ReorderProb: 1, SkewNs: 5_000_000,
+	})
+	var seqs []uint64
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := int64(p.Seq)*1000 + 5_000_000; p.TimestampNs != want {
+			t.Fatalf("seq %d skewed timestamp %d, want %d", p.Seq, p.TimestampNs, want)
+		}
+		seqs = append(seqs, p.Seq)
+	}
+	if len(seqs) != 4 {
+		t.Fatalf("reorder lost packets: got %d of 4 (%v)", len(seqs), seqs)
+	}
+	inOrder := true
+	for i := 1; i < len(seqs); i++ {
+		if seqs[i] < seqs[i-1] {
+			inOrder = false
+		}
+	}
+	if inOrder {
+		t.Fatalf("ReorderProb=1 emitted in order: %v", seqs)
+	}
+	if src.Stats().Reorders.Value() == 0 {
+		t.Fatal("reorder not counted")
+	}
+}
+
+func TestSourceDeterminism(t *testing.T) {
+	run := func() []uint64 {
+		src := WrapSource(&sliceSource{pkts: makePackets(16)}, SourceConfig{
+			Seed: 8, DupProb: 0.3, ReorderProb: 0.3, NaNProb: 0.2, JitterNs: 1000,
+		})
+		var out []uint64
+		for {
+			p, err := src.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, p.Seq, uint64(p.TimestampNs))
+		}
+		return out
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}

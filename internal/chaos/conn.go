@@ -1,0 +1,196 @@
+package chaos
+
+import (
+	"context"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"spotfi/internal/obs"
+)
+
+// ConnConfig selects the wire fault classes a wrapped connection injects
+// and how often. Probabilities are per Read/Write call; zero values inject
+// nothing, so a zero ConnConfig is a transparent wrapper.
+type ConnConfig struct {
+	// Seed drives every fault decision. The same seed over the same
+	// sequence of conn operations replays the same fault schedule.
+	Seed int64
+
+	// LatencyProb delays an operation by Latency before it proceeds —
+	// ordinary network queueing.
+	LatencyProb float64
+	Latency     time.Duration
+
+	// StallProb pauses an operation for Stall — long enough, in tests, to
+	// trip the server's read deadlines (slow-loris APs, congested links).
+	StallProb float64
+	Stall     time.Duration
+
+	// ResetProb abruptly closes the connection. On a write, a random
+	// strict prefix of the buffer is flushed first, so the peer observes a
+	// mid-frame truncation rather than a clean close.
+	ResetProb float64
+
+	// CorruptProb XORs one random byte of the transferred data — bit rot,
+	// a buggy middlebox, a bad NIC ring buffer.
+	CorruptProb float64
+
+	// PartitionProb silently blackholes the connection from then on:
+	// writes report success but carry nothing, reads never deliver data
+	// (deadlines on the underlying conn still fire). The peer sees a
+	// half-open connection, not a close.
+	PartitionProb float64
+}
+
+// ConnStats counts injected faults by class. Counters are lock-free and
+// shared by every conn a Listener or Dialer produces.
+type ConnStats struct {
+	Latencies   obs.Counter
+	Stalls      obs.Counter
+	Resets      obs.Counter
+	Corruptions obs.Counter
+	Partitions  obs.Counter
+}
+
+// Conn wraps a net.Conn with fault injection on Read and Write. Methods
+// not listed here (deadlines, addresses, Close) pass through.
+type Conn struct {
+	net.Conn
+	cfg         ConnConfig
+	g           *rng
+	stats       *ConnStats
+	partitioned atomic.Bool
+	reset       atomic.Bool
+}
+
+// WrapConn wraps c with fault injection per cfg, counting into fresh
+// stats (see Stats).
+func WrapConn(c net.Conn, cfg ConnConfig) *Conn {
+	return wrapShared(c, cfg, &ConnStats{})
+}
+
+func wrapShared(c net.Conn, cfg ConnConfig, stats *ConnStats) *Conn {
+	return &Conn{Conn: c, cfg: cfg, g: newRNG(cfg.Seed), stats: stats}
+}
+
+// Stats returns the fault counters this conn increments.
+func (c *Conn) Stats() *ConnStats { return c.stats }
+
+// delay injects the stall or latency fault, if rolled.
+func (c *Conn) delay() {
+	if c.g.roll(c.cfg.StallProb) {
+		c.stats.Stalls.Inc()
+		time.Sleep(c.cfg.Stall)
+	} else if c.g.roll(c.cfg.LatencyProb) {
+		c.stats.Latencies.Inc()
+		time.Sleep(c.cfg.Latency)
+	}
+}
+
+// Write injects faults, then forwards to the underlying conn. A reset
+// reports success — like a real RST, the failure surfaces on the next
+// operation.
+func (c *Conn) Write(b []byte) (int, error) {
+	if c.partitioned.Load() {
+		return len(b), nil
+	}
+	if c.g.roll(c.cfg.PartitionProb) {
+		c.partitioned.Store(true)
+		c.stats.Partitions.Inc()
+		return len(b), nil
+	}
+	if !c.reset.Load() && c.g.roll(c.cfg.ResetProb) {
+		c.reset.Store(true)
+		c.stats.Resets.Inc()
+		if len(b) >= 2 {
+			c.Conn.Write(b[:1+c.g.intn(len(b)-1)]) //lint:allow errdrop the connection is being torn down; the peer sees the truncation
+		}
+		c.Conn.Close() //lint:allow errdrop injected reset; the next operation reports the closed conn
+		return len(b), nil
+	}
+	c.delay()
+	if len(b) > 0 && c.g.roll(c.cfg.CorruptProb) {
+		c.stats.Corruptions.Inc()
+		mb := append([]byte(nil), b...)
+		mb[c.g.intn(len(mb))] ^= 0xff
+		return c.Conn.Write(mb)
+	}
+	return c.Conn.Write(b)
+}
+
+// Read injects faults, then forwards to the underlying conn. While
+// partitioned, delivered bytes are swallowed and the read keeps blocking,
+// so the caller observes a half-open connection until a deadline or close.
+func (c *Conn) Read(b []byte) (int, error) {
+	if !c.reset.Load() && c.g.roll(c.cfg.ResetProb) {
+		c.reset.Store(true)
+		c.stats.Resets.Inc()
+		c.Conn.Close() //lint:allow errdrop injected reset; the pass-through read below reports it
+	}
+	c.delay()
+	for {
+		n, err := c.Conn.Read(b)
+		if err != nil {
+			return n, err
+		}
+		if c.partitioned.Load() {
+			continue
+		}
+		if n > 0 && c.g.roll(c.cfg.CorruptProb) {
+			c.stats.Corruptions.Inc()
+			b[c.g.intn(n)] ^= 0xff
+		}
+		return n, nil
+	}
+}
+
+// Listener wraps a net.Listener so every accepted connection injects
+// faults. Connection i is wrapped with Seed+i, so each conn's schedule is
+// deterministic and distinct; all conns share one ConnStats.
+type Listener struct {
+	net.Listener
+	cfg   ConnConfig
+	stats *ConnStats
+	seq   atomic.Int64
+}
+
+// WrapListener wraps lis with per-connection fault injection.
+func WrapListener(lis net.Listener, cfg ConnConfig) *Listener {
+	return &Listener{Listener: lis, cfg: cfg, stats: &ConnStats{}}
+}
+
+// Accept accepts from the underlying listener and wraps the conn.
+func (l *Listener) Accept() (net.Conn, error) {
+	c, err := l.Listener.Accept()
+	if err != nil {
+		return nil, err
+	}
+	cfg := l.cfg
+	cfg.Seed += l.seq.Add(1)
+	return wrapShared(c, cfg, l.stats), nil
+}
+
+// Stats returns the fault counters shared by all accepted conns.
+func (l *Listener) Stats() *ConnStats { return l.stats }
+
+// DialFunc matches apnode.Agent's Dial hook.
+type DialFunc func(ctx context.Context, network, addr string) (net.Conn, error)
+
+// Dialer returns a DialFunc that dials with net.Dialer and wraps every
+// connection per cfg. Connection i gets Seed+i; all conns count into the
+// returned shared stats.
+func Dialer(cfg ConnConfig) (DialFunc, *ConnStats) {
+	stats := &ConnStats{}
+	var seq atomic.Int64
+	var d net.Dialer
+	return func(ctx context.Context, network, addr string) (net.Conn, error) {
+		c, err := d.DialContext(ctx, network, addr)
+		if err != nil {
+			return nil, err
+		}
+		cc := cfg
+		cc.Seed += seq.Add(1)
+		return wrapShared(c, cc, stats), nil
+	}, stats
+}

@@ -1,0 +1,33 @@
+package chaos
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"spotfi/internal/wire"
+)
+
+// PoisonCSIReport returns a copy of an encoded CSI-report frame with its
+// first CSI value overwritten by NaN. The frame stays structurally valid
+// — magic, lengths, and MAC untouched — so it exercises the server's
+// value-level defense (drop the packet, keep the connection) rather than
+// its framing defense. wire.EncodeCSIReport refuses to build such a frame
+// on purpose; chaos forges what a buggy NIC driver would ship.
+func PoisonCSIReport(f wire.Frame) (wire.Frame, error) {
+	// Payload layout (wire.EncodeCSIReport): APID(4) Seq(8) Timestamp(8)
+	// RSSI(8) MACLen(2) Antennas(2) Subcarriers(2) = 34-byte header, then
+	// the MAC, then (re, im) float64 pairs.
+	const hdrLen = 34
+	if f.Type != wire.TypeCSIReport || len(f.Payload) < hdrLen {
+		return wire.Frame{}, fmt.Errorf("chaos: not an encoded CSI report")
+	}
+	macLen := int(binary.LittleEndian.Uint16(f.Payload[28:30]))
+	off := hdrLen + macLen
+	if len(f.Payload) < off+8 {
+		return wire.Frame{}, fmt.Errorf("chaos: CSI report has no values to poison")
+	}
+	payload := append([]byte(nil), f.Payload...)
+	binary.LittleEndian.PutUint64(payload[off:off+8], math.Float64bits(math.NaN()))
+	return wire.Frame{Type: f.Type, Payload: payload}, nil
+}

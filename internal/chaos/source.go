@@ -1,0 +1,140 @@
+package chaos
+
+import (
+	"io"
+	"math"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/obs"
+)
+
+// PacketSource mirrors apnode.PacketSource structurally, so a chaos
+// Source slots into an apnode.Agent without this package importing it.
+type PacketSource interface {
+	Next() (*csi.Packet, error)
+}
+
+// SourceConfig selects the NIC-level fault classes a wrapped packet
+// source injects. Probabilities are per emitted packet; a zero config is
+// a transparent wrapper.
+type SourceConfig struct {
+	// Seed drives every fault decision.
+	Seed int64
+
+	// NaNProb and InfProb poison one CSI entry of the packet with NaN or
+	// +Inf — what a buggy NIC driver's uninitialized or overflowed CSI
+	// report looks like. The packet is cloned first; the inner source's
+	// packet is never mutated.
+	NaNProb float64
+	InfProb float64
+
+	// DupProb re-emits a clone of the previously emitted packet —
+	// retransmissions and driver-queue double reporting.
+	DupProb float64
+
+	// ReorderProb holds the packet back and emits its successor first.
+	ReorderProb float64
+
+	// SkewNs is a constant clock offset added to every timestamp, and
+	// JitterNs a per-packet uniform offset in [-JitterNs, +JitterNs] — the
+	// unsynchronized AP clocks the paper's design assumes (Sec. 3).
+	SkewNs   int64
+	JitterNs int64
+}
+
+// SourceStats counts injected faults by class.
+type SourceStats struct {
+	NaNs     obs.Counter
+	Infs     obs.Counter
+	Dups     obs.Counter
+	Reorders obs.Counter
+}
+
+// Source wraps a PacketSource with fault injection. It is not safe for
+// concurrent use, matching the contract of the sources it wraps.
+type Source struct {
+	inner PacketSource
+	cfg   SourceConfig
+	g     *rng
+	stats SourceStats
+
+	held *csi.Packet // packet withheld by a reorder
+	last *csi.Packet // previously emitted packet, for duplication
+}
+
+// WrapSource wraps inner with fault injection per cfg.
+func WrapSource(inner PacketSource, cfg SourceConfig) *Source {
+	return &Source{inner: inner, cfg: cfg, g: newRNG(cfg.Seed)}
+}
+
+// Stats returns the fault counters this source increments.
+func (s *Source) Stats() *SourceStats { return &s.stats }
+
+// Next yields the inner source's next packet, possibly duplicated,
+// reordered, clock-skewed, or poisoned with non-finite CSI.
+func (s *Source) Next() (*csi.Packet, error) {
+	if s.last != nil && s.g.roll(s.cfg.DupProb) {
+		s.stats.Dups.Inc()
+		return s.emit(clonePacket(s.last)), nil
+	}
+	p := s.held
+	s.held = nil
+	if p == nil {
+		var err error
+		p, err = s.inner.Next()
+		if err != nil {
+			return nil, err
+		}
+	}
+	if s.held == nil && s.g.roll(s.cfg.ReorderProb) {
+		next, err := s.inner.Next()
+		if err == nil {
+			s.stats.Reorders.Inc()
+			s.held = p
+			p = next
+		} else if err != io.EOF {
+			return nil, err
+		}
+		// On EOF keep p: the last packet has no successor to swap with.
+	}
+	return s.emit(s.poison(p)), nil
+}
+
+// emit records p as the most recently emitted packet and applies clock
+// faults.
+func (s *Source) emit(p *csi.Packet) *csi.Packet {
+	p.TimestampNs += s.cfg.SkewNs
+	if s.cfg.JitterNs > 0 {
+		p.TimestampNs += s.g.int63n(2*s.cfg.JitterNs+1) - s.cfg.JitterNs
+	}
+	s.last = p
+	return p
+}
+
+// poison replaces one CSI entry with NaN or +Inf, if rolled.
+func (s *Source) poison(p *csi.Packet) *csi.Packet {
+	var bad complex128
+	switch {
+	case s.g.roll(s.cfg.NaNProb):
+		s.stats.NaNs.Inc()
+		bad = complex(math.NaN(), math.NaN())
+	case s.g.roll(s.cfg.InfProb):
+		s.stats.Infs.Inc()
+		bad = complex(math.Inf(1), 0)
+	default:
+		return p
+	}
+	p = clonePacket(p)
+	rows := p.CSI.Values
+	row := rows[s.g.intn(len(rows))]
+	row[s.g.intn(len(row))] = bad
+	return p
+}
+
+func clonePacket(p *csi.Packet) *csi.Packet {
+	cp := *p
+	if p.CSI != nil {
+		cp.CSI = p.CSI.Clone()
+	}
+	return &cp
+}

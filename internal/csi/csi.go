@@ -6,10 +6,19 @@
 package csi
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/cmplx"
 )
+
+// ErrNonFinite marks validation failures caused by NaN or Inf values —
+// what a buggy NIC driver (or injected chaos) produces. Callers match it
+// with errors.Is to count and drop such packets at the door instead of
+// letting them propagate into MUSIC's eigendecomposition, and to
+// distinguish bad values (drop the packet) from structural corruption
+// (distrust the stream).
+var ErrNonFinite = errors.New("non-finite value")
 
 // Matrix holds CSI for one packet: Values[m][n] is the complex channel of
 // antenna m at reported subcarrier n (the paper's csi_{m,n}, Eq. 5).
@@ -63,7 +72,7 @@ func (c *Matrix) Validate() error {
 		}
 		for k, v := range row {
 			if math.IsNaN(real(v)) || math.IsNaN(imag(v)) || math.IsInf(real(v), 0) || math.IsInf(imag(v), 0) {
-				return fmt.Errorf("csi: non-finite entry at antenna %d subcarrier %d", m, k)
+				return fmt.Errorf("csi: entry at antenna %d subcarrier %d: %w", m, k, ErrNonFinite)
 			}
 		}
 	}
@@ -185,7 +194,7 @@ func (p *Packet) Validate() error {
 		return fmt.Errorf("csi: packet without target MAC")
 	}
 	if math.IsNaN(p.RSSIdBm) || math.IsInf(p.RSSIdBm, 0) {
-		return fmt.Errorf("csi: non-finite RSSI")
+		return fmt.Errorf("csi: RSSI: %w", ErrNonFinite)
 	}
 	return nil
 }

@@ -6,6 +6,7 @@ package server
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"spotfi/internal/csi"
 )
@@ -27,6 +28,15 @@ type CollectorConfig struct {
 	// MaxBuffered caps per-(target, AP) buffering so a target that only a
 	// single AP hears cannot grow memory without bound.
 	MaxBuffered int
+	// BurstTTL bounds how long a buffered packet may wait for its burst
+	// to complete. Packets older than the TTL are evicted by Sweep, so a
+	// target heard by fewer than MinAPs APs neither pins memory
+	// indefinitely nor gets its stale packets fused into a fresh burst
+	// minutes later. Zero disables expiry.
+	BurstTTL time.Duration
+	// Now overrides the clock used to stamp and expire buffered packets
+	// (tests). Nil means time.Now.
+	Now func() time.Time
 }
 
 // DefaultCollectorConfig matches the paper's method: bursts of 10 packets,
@@ -46,8 +56,32 @@ func (c CollectorConfig) Validate() error {
 	if c.MaxBuffered < c.BatchSize {
 		return fmt.Errorf("server: MaxBuffered (%d) must be ≥ BatchSize (%d)", c.MaxBuffered, c.BatchSize)
 	}
+	if c.BurstTTL < 0 {
+		return fmt.Errorf("server: BurstTTL must be ≥ 0")
+	}
 	return nil
 }
+
+// pendingPacket is one buffered packet with its arrival time, so the TTL
+// sweep can evict stale partial bursts packet-by-packet.
+type pendingPacket struct {
+	p  *csi.Packet
+	at time.Time
+}
+
+// QuarantinedBurst is a complete burst whose handler panicked. It is kept
+// aside — never re-fused, never retried — so the poisoned input is
+// available for debugging while the collector keeps serving.
+type QuarantinedBurst struct {
+	TargetMAC string
+	Bursts    map[int][]*csi.Packet
+	// Reason is the recovered panic value, stringified.
+	Reason string
+}
+
+// maxQuarantined bounds the quarantine ring: a handler that panics on
+// every burst must not grow memory without bound.
+const maxQuarantined = 16
 
 // Collector groups incoming CSI packets into per-target bursts. It is safe
 // for concurrent use.
@@ -56,11 +90,13 @@ type Collector struct {
 	handler BurstHandler
 	metrics *Metrics
 
-	mu       sync.Mutex
-	pending  map[string]map[int][]*csi.Packet
-	buffered int // total packets across pending, kept for O(1) stats
-	dropped  uint64
-	emitted  uint64
+	mu          sync.Mutex
+	pending     map[string]map[int][]pendingPacket
+	buffered    int // total packets across pending, kept for O(1) stats
+	dropped     uint64
+	emitted     uint64
+	expired     uint64
+	quarantined []QuarantinedBurst
 }
 
 // NewCollector returns a Collector that calls handler for every complete
@@ -76,8 +112,16 @@ func NewCollector(cfg CollectorConfig, handler BurstHandler) (*Collector, error)
 		cfg:     cfg,
 		handler: handler,
 		metrics: &Metrics{},
-		pending: make(map[string]map[int][]*csi.Packet),
+		pending: make(map[string]map[int][]pendingPacket),
 	}, nil
+}
+
+// now returns the collector's clock.
+func (c *Collector) now() time.Time {
+	if c.cfg.Now != nil {
+		return c.cfg.Now()
+	}
+	return time.Now()
 }
 
 // SetMetrics wires the collector's counters and gauges. Call before the
@@ -105,7 +149,7 @@ func (c *Collector) Add(p *csi.Packet) error {
 	c.mu.Lock()
 	byAP, ok := c.pending[p.TargetMAC]
 	if !ok {
-		byAP = make(map[int][]*csi.Packet)
+		byAP = make(map[int][]pendingPacket)
 		c.pending[p.TargetMAC] = byAP
 	}
 	q := byAP[p.APID]
@@ -117,7 +161,7 @@ func (c *Collector) Add(p *csi.Packet) error {
 		c.buffered--
 		c.metrics.PacketsDropped.Inc()
 	}
-	byAP[p.APID] = append(q, p)
+	byAP[p.APID] = append(q, pendingPacket{p: p, at: c.now()})
 	c.buffered++
 
 	// Emit when enough APs have a full batch.
@@ -131,7 +175,11 @@ func (c *Collector) Add(p *csi.Packet) error {
 		emit = make(map[int][]*csi.Packet, ready)
 		for ap, pkts := range byAP {
 			if len(pkts) >= c.cfg.BatchSize {
-				emit[ap] = pkts[:c.cfg.BatchSize:c.cfg.BatchSize]
+				burst := make([]*csi.Packet, c.cfg.BatchSize)
+				for i := range burst {
+					burst[i] = pkts[i].p
+				}
+				emit[ap] = burst
 				rest := pkts[c.cfg.BatchSize:]
 				c.buffered -= c.cfg.BatchSize
 				if len(rest) == 0 {
@@ -141,7 +189,7 @@ func (c *Collector) Add(p *csi.Packet) error {
 					// per-target map) forever.
 					delete(byAP, ap)
 				} else {
-					byAP[ap] = append([]*csi.Packet(nil), rest...)
+					byAP[ap] = append([]pendingPacket(nil), rest...)
 				}
 			}
 		}
@@ -157,9 +205,123 @@ func (c *Collector) Add(p *csi.Packet) error {
 	c.mu.Unlock()
 
 	if emit != nil {
-		c.handler(mac, emit)
+		c.emit(mac, emit)
 	}
 	return nil
+}
+
+// emit invokes the burst handler, containing any panic: the offending
+// burst is quarantined and counted, and the delivering goroutine (an AP
+// connection handler) keeps serving. One poisoned burst must not take
+// down the server.
+func (c *Collector) emit(mac string, bursts map[int][]*csi.Packet) {
+	defer func() {
+		if r := recover(); r != nil {
+			c.metrics.BurstPanics.Inc()
+			c.mu.Lock()
+			c.quarantined = append(c.quarantined, QuarantinedBurst{
+				TargetMAC: mac, Bursts: bursts, Reason: fmt.Sprint(r),
+			})
+			if len(c.quarantined) > maxQuarantined {
+				c.quarantined = append(c.quarantined[:0:0], c.quarantined[len(c.quarantined)-maxQuarantined:]...)
+			}
+			c.mu.Unlock()
+		}
+	}()
+	c.handler(mac, bursts)
+}
+
+// Sweep evicts buffered packets older than BurstTTL and returns how many
+// it removed. It is a no-op when BurstTTL is zero. Callers run it
+// periodically (StartSweeper) so partial bursts for targets too few APs
+// heard are reclaimed instead of pinning memory until process exit.
+func (c *Collector) Sweep() int {
+	if c.cfg.BurstTTL <= 0 {
+		return 0
+	}
+	cutoff := c.now().Add(-c.cfg.BurstTTL)
+	evicted := 0
+	c.mu.Lock()
+	for mac, byAP := range c.pending {
+		for ap, q := range byAP {
+			// Arrival times are non-decreasing within a queue (stamped
+			// under the collector lock), so stale packets form a prefix.
+			i := 0
+			for i < len(q) && !q[i].at.After(cutoff) {
+				i++
+			}
+			if i == 0 {
+				continue
+			}
+			evicted += i
+			c.buffered -= i
+			if i == len(q) {
+				delete(byAP, ap)
+			} else {
+				// Reallocate so the evicted prefix's packets are freed
+				// rather than kept alive by the shared backing array.
+				byAP[ap] = append([]pendingPacket(nil), q[i:]...)
+			}
+		}
+		if len(byAP) == 0 {
+			delete(c.pending, mac)
+		}
+	}
+	if evicted > 0 {
+		c.expired += uint64(evicted)
+		c.metrics.PacketsExpired.Add(uint64(evicted))
+	}
+	c.metrics.PendingTargets.Set(int64(len(c.pending)))
+	c.metrics.PendingPackets.Set(int64(c.buffered))
+	c.mu.Unlock()
+	return evicted
+}
+
+// StartSweeper runs Sweep every interval on a background goroutine until
+// the returned stop function is called. stop blocks until the goroutine
+// exits and is safe to call more than once.
+func (c *Collector) StartSweeper(interval time.Duration) (stop func()) {
+	if interval <= 0 {
+		panic("server: sweeper interval must be > 0")
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//lint:allow gospawn joined by the returned stop function via WaitGroup
+	go func() {
+		defer wg.Done()
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-t.C:
+				c.Sweep()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
+}
+
+// Quarantined returns the bursts whose handler panicked (oldest first, at
+// most maxQuarantined retained).
+func (c *Collector) Quarantined() []QuarantinedBurst {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return append([]QuarantinedBurst(nil), c.quarantined...)
+}
+
+// ExpiredPackets returns how many buffered packets the TTL sweep has
+// evicted.
+func (c *Collector) ExpiredPackets() uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.expired
 }
 
 // PendingStats returns how many targets currently have buffered packets

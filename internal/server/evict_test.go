@@ -1,0 +1,224 @@
+package server
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/obs"
+)
+
+// fakeClock is a settable clock for deterministic TTL tests.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.t
+}
+
+func (f *fakeClock) Advance(d time.Duration) {
+	f.mu.Lock()
+	f.t = f.t.Add(d)
+	f.mu.Unlock()
+}
+
+func ttlCollector(t *testing.T, clk *fakeClock, ttl time.Duration, h BurstHandler) *Collector {
+	t.Helper()
+	if h == nil {
+		h = func(string, map[int][]*csi.Packet) {}
+	}
+	c, err := NewCollector(CollectorConfig{
+		BatchSize: 3, MinAPs: 2, MaxBuffered: 10, BurstTTL: ttl, Now: clk.Now,
+	}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+// TestSweepEvictsStalePartialBurst: a target heard by a single AP never
+// completes a burst; its packets must be reclaimed once they outlive the
+// TTL, with the gauges returning to zero.
+func TestSweepEvictsStalePartialBurst(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := ttlCollector(t, clk, time.Second, nil)
+
+	for i := 0; i < 2; i++ {
+		if err := c.Add(mkPacket(0, "orphan", uint64(i), rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Sweep(); n != 0 {
+		t.Fatalf("fresh packets evicted: %d", n)
+	}
+	clk.Advance(1500 * time.Millisecond)
+	if n := c.Sweep(); n != 2 {
+		t.Fatalf("evicted %d packets, want 2", n)
+	}
+	if targets, packets := c.PendingStats(); targets != 0 || packets != 0 {
+		t.Fatalf("after sweep pending = (%d targets, %d packets), want (0, 0)", targets, packets)
+	}
+	if c.ExpiredPackets() != 2 {
+		t.Fatalf("ExpiredPackets = %d, want 2", c.ExpiredPackets())
+	}
+	// Re-sweeping an empty collector must be a no-op.
+	if n := c.Sweep(); n != 0 {
+		t.Fatalf("second sweep evicted %d", n)
+	}
+}
+
+// TestSweepTTLStraddle: packets on both sides of the TTL boundary — only
+// the stale prefix is evicted, and the surviving packets still complete a
+// burst (stale data is not fused into it).
+func TestSweepTTLStraddle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	var bursts []map[int][]*csi.Packet
+	c := ttlCollector(t, clk, time.Second, func(mac string, b map[int][]*csi.Packet) {
+		bursts = append(bursts, b)
+	})
+
+	// Two stale packets from AP0, then the clock advances past the TTL
+	// before the rest of the burst arrives.
+	if err := c.Add(mkPacket(0, "t", 0, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Add(mkPacket(0, "t", 1, rng)); err != nil {
+		t.Fatal(err)
+	}
+	clk.Advance(1100 * time.Millisecond)
+	if err := c.Add(mkPacket(0, "t", 2, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if n := c.Sweep(); n != 2 {
+		t.Fatalf("evicted %d packets, want the 2 stale ones", n)
+	}
+	if _, packets := c.PendingStats(); packets != 1 {
+		t.Fatalf("pending packets = %d, want 1 fresh survivor", packets)
+	}
+
+	// Complete the burst with fresh packets only: seqs 2,3,4 from AP0 and
+	// a full batch from AP1. The evicted seqs 0 and 1 must not appear.
+	for _, seq := range []uint64{3, 4} {
+		if err := c.Add(mkPacket(0, "t", seq, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, seq := range []uint64{10, 11, 12} {
+		if err := c.Add(mkPacket(1, "t", seq, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(bursts) != 1 {
+		t.Fatalf("got %d bursts, want 1", len(bursts))
+	}
+	for _, p := range bursts[0][0] {
+		if p.Seq < 2 {
+			t.Fatalf("stale packet seq %d fused into a fresh burst", p.Seq)
+		}
+	}
+}
+
+// TestSweepGaugesReturnToZero: the pending gauges a sweep updates must
+// drop back to baseline once everything stale is evicted.
+func TestSweepGaugesReturnToZero(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	clk := &fakeClock{t: time.Unix(1000, 0)}
+	c := ttlCollector(t, clk, time.Second, nil)
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	c.SetMetrics(m)
+
+	for ap := 0; ap < 2; ap++ {
+		for i := 0; i < 2; i++ {
+			if err := c.Add(mkPacket(ap, "a", uint64(i), rng)); err != nil {
+				t.Fatal(err)
+			}
+			if err := c.Add(mkPacket(ap, "b", uint64(i), rng)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if m.PendingTargets.Value() != 2 || m.PendingPackets.Value() != 8 {
+		t.Fatalf("gauges (%d, %d), want (2, 8)", m.PendingTargets.Value(), m.PendingPackets.Value())
+	}
+	clk.Advance(2 * time.Second)
+	if n := c.Sweep(); n != 8 {
+		t.Fatalf("evicted %d, want 8", n)
+	}
+	if m.PendingTargets.Value() != 0 || m.PendingPackets.Value() != 0 {
+		t.Fatalf("gauges (%d, %d) after sweep, want (0, 0)", m.PendingTargets.Value(), m.PendingPackets.Value())
+	}
+	if m.PacketsExpired.Value() != 8 {
+		t.Fatalf("PacketsExpired = %d, want 8", m.PacketsExpired.Value())
+	}
+}
+
+// TestSweepRacesCompletingBurst hammers Add on several goroutines while a
+// tight sweeper evicts, under -race in CI: eviction taking the lock
+// between a queue filling and the burst emitting must never corrupt the
+// buffered count or deliver short bursts.
+func TestSweepRacesCompletingBurst(t *testing.T) {
+	var mu sync.Mutex
+	var bursts int
+	c, err := NewCollector(CollectorConfig{
+		BatchSize: 4, MinAPs: 2, MaxBuffered: 16, BurstTTL: time.Millisecond,
+	}, func(mac string, b map[int][]*csi.Packet) {
+		mu.Lock()
+		bursts++
+		mu.Unlock()
+		for ap, pkts := range b {
+			if len(pkts) != 4 {
+				t.Errorf("AP %d burst has %d packets, want 4", ap, len(pkts))
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := c.StartSweeper(200 * time.Microsecond)
+	defer stop()
+
+	var wg sync.WaitGroup
+	for ap := 0; ap < 3; ap++ {
+		wg.Add(1)
+		go func(ap int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(100 + ap)))
+			for i := 0; i < 400; i++ {
+				if err := c.Add(mkPacket(ap, "shared", uint64(i), rng)); err != nil {
+					t.Errorf("add: %v", err)
+					return
+				}
+				if i%16 == 0 {
+					time.Sleep(50 * time.Microsecond)
+				}
+			}
+		}(ap)
+	}
+	wg.Wait()
+	stop()
+
+	// Invariant: buffered accounting survived the race. Everything still
+	// pending is now stale; a final sweep must drain exactly that amount.
+	_, packets := c.PendingStats()
+	time.Sleep(2 * time.Millisecond)
+	if n := c.Sweep(); n != packets {
+		t.Fatalf("final sweep evicted %d, pending reported %d", n, packets)
+	}
+	if targets, packets := c.PendingStats(); targets != 0 || packets != 0 {
+		t.Fatalf("pending (%d, %d) after drain, want (0, 0)", targets, packets)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if bursts == 0 {
+		t.Fatal("no bursts completed despite aggressive sweeping")
+	}
+}

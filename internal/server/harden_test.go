@@ -1,0 +1,218 @@
+package server
+
+import (
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"spotfi/internal/chaos"
+	"spotfi/internal/csi"
+	"spotfi/internal/obs"
+	"spotfi/internal/wire"
+)
+
+// hardenedServer starts a server with tight deadlines and returns it with
+// its metrics and address.
+func hardenedServer(t *testing.T, h BurstHandler) (*Server, *Metrics, net.Addr) {
+	t.Helper()
+	if h == nil {
+		h = func(string, map[int][]*csi.Packet) {}
+	}
+	c, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 10}, h)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics(obs.NewRegistry())
+	c.SetMetrics(m)
+	s, err := New(c, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetMetrics(m)
+	s.SetTimeouts(100*time.Millisecond, 150*time.Millisecond)
+	addr, err := s.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { s.Close() })
+	return s, m, addr
+}
+
+func waitCounter(t *testing.T, c *obs.Counter, want uint64, what string) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if c.Value() >= want {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("%s = %d, want ≥ %d", what, c.Value(), want)
+}
+
+// TestHandshakeDeadlineReapsHalfOpenConn: a peer that dials and sends
+// nothing must be reaped, counted, and its connection closed.
+func TestHandshakeDeadlineReapsHalfOpenConn(t *testing.T) {
+	_, m, addr := hardenedServer(t, nil)
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+
+	waitCounter(t, m.IdleTimeouts, 1, "IdleTimeouts")
+	// The server closed its side: our next read hits EOF/reset.
+	conn.SetReadDeadline(time.Now().Add(2 * time.Second)) //lint:allow errdrop TCP conn deadlines cannot fail here
+	if _, err := conn.Read(make([]byte, 1)); err == nil {
+		t.Fatal("server kept the half-open connection alive")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for m.ConnectionsOpen.Value() != 0 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if v := m.ConnectionsOpen.Value(); v != 0 {
+		t.Fatalf("ConnectionsOpen = %d after reaping, want 0", v)
+	}
+}
+
+// TestIdleDeadlineReapsStalledStream: an AP that completes the handshake
+// and then goes silent (slow-loris, partition) is reaped by the idle
+// deadline.
+func TestIdleDeadlineReapsStalledStream(t *testing.T) {
+	_, m, addr := hardenedServer(t, nil)
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, wire.EncodeHello(7)); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, m.IdleTimeouts, 1, "IdleTimeouts")
+	if m.DecodeErrors.Value() != 0 {
+		t.Fatalf("idle reap miscounted as decode error (%d)", m.DecodeErrors.Value())
+	}
+}
+
+// TestNonFiniteCSIDroppedWithoutClosingConn: a well-framed report with a
+// NaN CSI value is counted and dropped, and the same connection keeps
+// streaming valid packets afterwards.
+func TestNonFiniteCSIDroppedWithoutClosingConn(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	_, m, addr := hardenedServer(t, nil)
+	conn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := wire.WriteFrame(conn, wire.EncodeHello(3)); err != nil {
+		t.Fatal(err)
+	}
+
+	good, err := wire.EncodeCSIReport(mkPacket(3, "t", 0, rng))
+	if err != nil {
+		t.Fatal(err)
+	}
+	poisoned, err := chaos.PoisonCSIReport(good)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(conn, poisoned); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, m.PacketsNonFinite, 1, "PacketsNonFinite")
+	if m.DecodeErrors.Value() != 0 {
+		t.Fatalf("non-finite CSI miscounted as decode error (%d)", m.DecodeErrors.Value())
+	}
+
+	// The stream must still be trusted: a valid packet on the same
+	// connection reaches the collector.
+	if err := wire.WriteFrame(conn, good); err != nil {
+		t.Fatal(err)
+	}
+	waitCounter(t, m.FramesTotal, 2, "FramesTotal")
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if m.PendingPackets.Value() == 1 {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("valid packet after a dropped NaN packet never buffered (pending=%d)", m.PendingPackets.Value())
+}
+
+// TestBurstHandlerPanicQuarantined: a handler panic must not unwind into
+// the connection goroutine; the burst is quarantined, counted, and the
+// collector keeps emitting.
+func TestBurstHandlerPanicQuarantined(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	var mu sync.Mutex
+	var served []string
+	c, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 10},
+		func(mac string, bursts map[int][]*csi.Packet) {
+			if mac == "poison" {
+				panic("degenerate CSI killed the pipeline")
+			}
+			mu.Lock()
+			served = append(served, mac)
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMetrics(obs.NewRegistry())
+	c.SetMetrics(m)
+
+	feed := func(mac string) {
+		for ap := 0; ap < 2; ap++ {
+			for i := 0; i < 2; i++ {
+				if err := c.Add(mkPacket(ap, mac, uint64(i), rng)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	feed("poison") // must not panic out of Add
+	if m.BurstPanics.Value() != 1 {
+		t.Fatalf("BurstPanics = %d, want 1", m.BurstPanics.Value())
+	}
+	q := c.Quarantined()
+	if len(q) != 1 || q[0].TargetMAC != "poison" || q[0].Reason == "" {
+		t.Fatalf("quarantine = %+v, want the poisoned burst with a reason", q)
+	}
+	if len(q[0].Bursts) != 2 {
+		t.Fatalf("quarantined burst lost its packets: %d APs", len(q[0].Bursts))
+	}
+
+	feed("healthy") // the collector must keep serving
+	mu.Lock()
+	defer mu.Unlock()
+	if len(served) != 1 || served[0] != "healthy" {
+		t.Fatalf("served = %v, want [healthy]", served)
+	}
+}
+
+// TestQuarantineRingBounded: a handler that panics on every burst must
+// not grow the quarantine without bound.
+func TestQuarantineRingBounded(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	c, err := NewCollector(CollectorConfig{BatchSize: 1, MinAPs: 2, MaxBuffered: 10},
+		func(string, map[int][]*csi.Packet) { panic("always") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3*maxQuarantined; i++ {
+		mac := string(rune('a'+i%26)) + string(rune('0'+i/26))
+		if err := c.Add(mkPacket(0, mac, 0, rng)); err != nil {
+			t.Fatal(err)
+		}
+		if err := c.Add(mkPacket(1, mac, 0, rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := len(c.Quarantined()); n != maxQuarantined {
+		t.Fatalf("quarantine holds %d bursts, want capped at %d", n, maxQuarantined)
+	}
+}

@@ -18,9 +18,24 @@ type Metrics struct {
 	// PacketsRejected counts structurally valid frames whose packet the
 	// collector refused (failed csi validation or APID spoofing).
 	PacketsRejected *obs.Counter
+	// PacketsNonFinite counts the subset of rejects carrying NaN/Inf CSI
+	// or RSSI — dropped at the door before reaching MUSIC.
+	PacketsNonFinite *obs.Counter
+	// IdleTimeouts counts connections reaped by the handshake or idle
+	// read deadline: half-open peers, slow-loris APs, partitions.
+	IdleTimeouts *obs.Counter
+	// ConnResets counts connections torn down mid-frame (truncation or a
+	// TCP reset), as distinct from DecodeErrors' structural garbage.
+	ConnResets *obs.Counter
 	// BurstsEmitted and PacketsDropped mirror Collector.Stats.
 	BurstsEmitted  *obs.Counter
 	PacketsDropped *obs.Counter
+	// PacketsExpired counts buffered packets evicted by the collector's
+	// TTL sweep — partial bursts whose target too few APs heard.
+	PacketsExpired *obs.Counter
+	// BurstPanics counts bursts quarantined because the burst handler
+	// panicked on them.
+	BurstPanics *obs.Counter
 	// PendingTargets and PendingPackets gauge the collector's buffer: the
 	// number of targets with queued packets and the total queued packets.
 	// A monotonically growing PendingTargets is the signature of the
@@ -33,19 +48,26 @@ type Metrics struct {
 //
 //	spotfi_server_connections_open, spotfi_server_connects_total
 //	spotfi_server_frames_total, spotfi_server_decode_errors_total
-//	spotfi_server_packets_rejected_total
+//	spotfi_server_packets_rejected_total, spotfi_server_packets_nonfinite_total
+//	spotfi_server_idle_timeouts_total, spotfi_server_conn_resets_total
 //	spotfi_server_bursts_emitted_total, spotfi_server_packets_dropped_total
+//	spotfi_server_packets_expired_total, spotfi_server_burst_panics_total
 //	spotfi_server_pending_targets, spotfi_server_pending_packets
 func NewMetrics(r *obs.Registry) *Metrics {
 	return &Metrics{
-		ConnectionsOpen: r.Gauge("spotfi_server_connections_open", "Live AP connections.", nil),
-		ConnectsTotal:   r.Counter("spotfi_server_connects_total", "Accepted AP connections.", nil),
-		FramesTotal:     r.Counter("spotfi_server_frames_total", "Wire frames read from APs.", nil),
-		DecodeErrors:    r.Counter("spotfi_server_decode_errors_total", "Handshake/decode failures that closed a connection.", nil),
-		PacketsRejected: r.Counter("spotfi_server_packets_rejected_total", "Decoded packets refused by validation or APID check.", nil),
-		BurstsEmitted:   r.Counter("spotfi_server_bursts_emitted_total", "Complete bursts handed to the localization pipeline.", nil),
-		PacketsDropped:  r.Counter("spotfi_server_packets_dropped_total", "Buffered packets evicted by the MaxBuffered cap.", nil),
-		PendingTargets:  r.Gauge("spotfi_server_pending_targets", "Targets with buffered packets awaiting a burst.", nil),
-		PendingPackets:  r.Gauge("spotfi_server_pending_packets", "Total buffered packets across all targets.", nil),
+		ConnectionsOpen:  r.Gauge("spotfi_server_connections_open", "Live AP connections.", nil),
+		ConnectsTotal:    r.Counter("spotfi_server_connects_total", "Accepted AP connections.", nil),
+		FramesTotal:      r.Counter("spotfi_server_frames_total", "Wire frames read from APs.", nil),
+		DecodeErrors:     r.Counter("spotfi_server_decode_errors_total", "Handshake/decode failures that closed a connection.", nil),
+		PacketsRejected:  r.Counter("spotfi_server_packets_rejected_total", "Decoded packets refused by validation or APID check.", nil),
+		PacketsNonFinite: r.Counter("spotfi_server_packets_nonfinite_total", "Packets dropped for NaN/Inf CSI or RSSI.", nil),
+		IdleTimeouts:     r.Counter("spotfi_server_idle_timeouts_total", "Connections reaped by handshake/idle read deadlines.", nil),
+		ConnResets:       r.Counter("spotfi_server_conn_resets_total", "Connections torn down mid-frame by the peer.", nil),
+		BurstsEmitted:    r.Counter("spotfi_server_bursts_emitted_total", "Complete bursts handed to the localization pipeline.", nil),
+		PacketsDropped:   r.Counter("spotfi_server_packets_dropped_total", "Buffered packets evicted by the MaxBuffered cap.", nil),
+		PacketsExpired:   r.Counter("spotfi_server_packets_expired_total", "Stale buffered packets evicted by the TTL sweep.", nil),
+		BurstPanics:      r.Counter("spotfi_server_burst_panics_total", "Bursts quarantined after a burst-handler panic.", nil),
+		PendingTargets:   r.Gauge("spotfi_server_pending_targets", "Targets with buffered packets awaiting a burst.", nil),
+		PendingPackets:   r.Gauge("spotfi_server_pending_packets", "Total buffered packets across all targets.", nil),
 	}
 }

@@ -8,8 +8,21 @@ import (
 	"log"
 	"net"
 	"sync"
+	"syscall"
+	"time"
 
+	"spotfi/internal/csi"
 	"spotfi/internal/wire"
+)
+
+// Default connection deadlines. A real AP sends its hello immediately
+// after dialing and streams CSI continuously (the paper spaces packets
+// 100 ms apart), so a connection quiet for this long is a half-open peer,
+// a slow-loris, or a partition — reap it rather than pin a goroutine and
+// buffered state forever.
+const (
+	DefaultHandshakeTimeout = 10 * time.Second
+	DefaultIdleTimeout      = 90 * time.Second
 )
 
 // Server accepts AP connections and feeds their CSI reports into a
@@ -18,6 +31,9 @@ type Server struct {
 	collector *Collector
 	logf      func(format string, args ...any)
 	metrics   *Metrics
+
+	handshakeTimeout time.Duration
+	idleTimeout      time.Duration
 
 	lis net.Listener
 
@@ -38,11 +54,22 @@ func New(collector *Collector, logf func(string, ...any)) (*Server, error) {
 		logf = log.Printf
 	}
 	return &Server{
-		collector: collector,
-		logf:      logf,
-		metrics:   &Metrics{},
-		conns:     make(map[net.Conn]struct{}),
+		collector:        collector,
+		logf:             logf,
+		metrics:          &Metrics{},
+		handshakeTimeout: DefaultHandshakeTimeout,
+		idleTimeout:      DefaultIdleTimeout,
+		conns:            make(map[net.Conn]struct{}),
 	}, nil
+}
+
+// SetTimeouts overrides the handshake and idle read deadlines. Call
+// before Listen/Serve. A non-positive value disables that deadline.
+func (s *Server) SetTimeouts(handshake, idle time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.handshakeTimeout = handshake
+	s.idleTimeout = idle
 }
 
 // SetMetrics wires the ingest-path counters. Call before Listen; m must
@@ -61,18 +88,29 @@ func (s *Server) Listen(addr string) (net.Addr, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := s.Serve(lis); err != nil {
+		lis.Close() //lint:allow errdrop best-effort cleanup; the caller only sees the already-closed error
+		return nil, err
+	}
+	return lis.Addr(), nil
+}
+
+// Serve starts accepting on an existing listener in the background —
+// the injection point for fault-wrapping listeners (internal/chaos) and
+// pre-bound sockets. The server takes ownership of lis and closes it on
+// Close.
+func (s *Server) Serve(lis net.Listener) error {
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		lis.Close() //lint:allow errdrop best-effort cleanup; the caller only sees the already-closed error
-		return nil, fmt.Errorf("server: already closed")
+		return fmt.Errorf("server: already closed")
 	}
 	s.lis = lis
 	s.mu.Unlock()
 
 	s.wg.Add(1)
 	go s.acceptLoop(lis)
-	return lis.Addr(), nil
+	return nil
 }
 
 func (s *Server) acceptLoop(lis net.Listener) {
@@ -111,10 +149,20 @@ func (s *Server) handle(conn net.Conn) {
 		s.mu.Unlock()
 	}()
 
+	// A peer that dials but never completes the hello would otherwise pin
+	// this goroutine (and the connection) forever.
+	if s.handshakeTimeout > 0 {
+		conn.SetReadDeadline(time.Now().Add(s.handshakeTimeout)) //lint:allow errdrop a failed deadline surfaces as the read error it was meant to bound
+	}
 	hello, err := wire.ReadFrame(conn)
 	if err != nil {
-		s.metrics.DecodeErrors.Inc()
-		s.logf("server: %v: bad handshake: %v", conn.RemoteAddr(), err)
+		if isTimeout(err) {
+			s.metrics.IdleTimeouts.Inc()
+			s.logf("server: %v: handshake deadline exceeded, reaping", conn.RemoteAddr())
+		} else {
+			s.metrics.DecodeErrors.Inc()
+			s.logf("server: %v: bad handshake: %v", conn.RemoteAddr(), err)
+		}
 		return
 	}
 	apID, err := wire.DecodeHello(hello)
@@ -126,9 +174,24 @@ func (s *Server) handle(conn net.Conn) {
 	s.logf("server: AP %d connected from %v", apID, conn.RemoteAddr())
 
 	for {
+		// Refresh the idle deadline per frame: a healthy AP streams
+		// continuously, so only stalled, partitioned, or half-open peers
+		// ever hit it (slow-loris reaping).
+		if s.idleTimeout > 0 {
+			conn.SetReadDeadline(time.Now().Add(s.idleTimeout)) //lint:allow errdrop a failed deadline surfaces as the read error it was meant to bound
+		}
 		f, err := wire.ReadFrame(conn)
 		if err != nil {
-			if err != io.EOF && !errors.Is(err, net.ErrClosed) {
+			switch {
+			case err == io.EOF || errors.Is(err, net.ErrClosed):
+				// Clean close (or our own shutdown).
+			case isTimeout(err):
+				s.metrics.IdleTimeouts.Inc()
+				s.logf("server: AP %d: idle for %v, reaping", apID, s.idleTimeout)
+			case isConnReset(err):
+				s.metrics.ConnResets.Inc()
+				s.logf("server: AP %d: connection reset mid-frame: %v", apID, err)
+			default:
 				s.metrics.DecodeErrors.Inc()
 				s.logf("server: AP %d: read: %v", apID, err)
 			}
@@ -139,6 +202,15 @@ func (s *Server) handle(conn net.Conn) {
 		case wire.TypeCSIReport:
 			pkt, err := wire.DecodeCSIReport(f)
 			if err != nil {
+				if errors.Is(err, csi.ErrNonFinite) {
+					// Well-framed report, garbage values (buggy NIC
+					// driver): the stream is still in sync, so drop the
+					// packet at the door and keep the connection.
+					s.metrics.PacketsNonFinite.Inc()
+					s.metrics.PacketsRejected.Inc()
+					s.logf("server: AP %d: non-finite CSI dropped: %v", apID, err)
+					continue
+				}
 				s.metrics.DecodeErrors.Inc()
 				s.logf("server: AP %d: corrupt report: %v", apID, err)
 				return // a desynced stream cannot be trusted further
@@ -149,6 +221,9 @@ func (s *Server) handle(conn net.Conn) {
 				continue
 			}
 			if err := s.collector.Add(pkt); err != nil {
+				if errors.Is(err, csi.ErrNonFinite) {
+					s.metrics.PacketsNonFinite.Inc()
+				}
 				s.metrics.PacketsRejected.Inc()
 				s.logf("server: AP %d: rejected packet: %v", apID, err)
 			}
@@ -161,6 +236,22 @@ func (s *Server) handle(conn net.Conn) {
 			return
 		}
 	}
+}
+
+// isTimeout reports whether err is a read-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// isConnReset reports whether err is a connection torn down mid-frame —
+// truncation (the peer closed between a frame header and its payload) or
+// a TCP-level reset — as opposed to structural garbage on an intact
+// stream.
+func isConnReset(err error) bool {
+	return errors.Is(err, io.ErrUnexpectedEOF) ||
+		errors.Is(err, syscall.ECONNRESET) ||
+		errors.Is(err, syscall.EPIPE)
 }
 
 // Close stops accepting, closes every connection, and waits for handlers

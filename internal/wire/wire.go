@@ -11,7 +11,6 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"math"
 
 	"spotfi/internal/csi"
 )
@@ -67,7 +66,10 @@ func ReadFrame(r io.Reader) (Frame, error) {
 		if err == io.EOF {
 			return Frame{}, io.EOF
 		}
-		return Frame{}, fmt.Errorf("%w: header: %v", ErrBadFrame, err)
+		// Keep the underlying error in the chain: callers distinguish
+		// read deadlines (net.Error.Timeout) and connection resets
+		// (io.ErrUnexpectedEOF, ECONNRESET) from structural garbage.
+		return Frame{}, fmt.Errorf("%w: header: %w", ErrBadFrame, err)
 	}
 	if binary.LittleEndian.Uint32(hdr[0:4]) != frameMagic {
 		return Frame{}, fmt.Errorf("%w: bad magic", ErrBadFrame)
@@ -78,7 +80,7 @@ func ReadFrame(r io.Reader) (Frame, error) {
 	}
 	payload := make([]byte, length)
 	if _, err := io.ReadFull(r, payload); err != nil {
-		return Frame{}, fmt.Errorf("%w: payload: %v", ErrBadFrame, err)
+		return Frame{}, fmt.Errorf("%w: payload: %w", ErrBadFrame, err)
 	}
 	return Frame{Type: hdr[4], Payload: payload}, nil
 }
@@ -169,9 +171,6 @@ func DecodeCSIReport(f Frame) (*csi.Packet, error) {
 			if err := binary.Read(r, binary.LittleEndian, &pair); err != nil {
 				return nil, fmt.Errorf("%w: CSI values: %v", ErrBadFrame, err)
 			}
-			if math.IsNaN(pair[0]) || math.IsNaN(pair[1]) {
-				return nil, fmt.Errorf("%w: NaN CSI value", ErrBadFrame)
-			}
 			m.Values[a][n] = complex(pair[0], pair[1])
 		}
 	}
@@ -184,6 +183,13 @@ func DecodeCSIReport(f Frame) (*csi.Packet, error) {
 		CSI:         m,
 	}
 	if err := p.Validate(); err != nil {
+		if errors.Is(err, csi.ErrNonFinite) {
+			// A well-framed report carrying NaN/Inf is a value problem
+			// (buggy NIC, injected chaos), not a desynced stream: surface
+			// it as ErrNonFinite — not ErrBadFrame — so the server drops
+			// the packet and keeps the connection.
+			return nil, fmt.Errorf("wire: %w", err)
+		}
 		return nil, fmt.Errorf("%w: %v", ErrBadFrame, err)
 	}
 	return p, nil

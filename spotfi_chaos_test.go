@@ -1,0 +1,324 @@
+package spotfi
+
+import (
+	"context"
+	"math/rand"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"spotfi/internal/apnode"
+	"spotfi/internal/chaos"
+	"spotfi/internal/csi"
+	"spotfi/internal/obs"
+	"spotfi/internal/server"
+	"spotfi/internal/sim"
+	"spotfi/internal/testbed"
+	"spotfi/internal/wire"
+)
+
+// TestChaosSoak drives the full deployed path — AP agents → wire → server
+// → collector → localization — while injecting every fault class
+// internal/chaos knows: write stalls and half-open connections (reaped by
+// read deadlines), mid-frame resets, byte corruption, NaN CSI, duplicated
+// and reordered packets, and a poisoned burst that panics the handler.
+// The server must stay up, count each fault class on a dedicated obs
+// counter, evict the stale partial bursts the faulty APs leave behind,
+// and keep localizing the healthy target throughout.
+func TestChaosSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos soak run")
+	}
+	d := testbed.Office(42)
+	const (
+		targetIdx = 4
+		poisonMAC = "poison-target"
+		batch     = 8
+	)
+	healthyMAC := testbed.TargetMAC(targetIdx)
+	loc, err := New(DefaultConfig(d.Bounds), deploymentAPs(d))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fixes := make(chan Point, 16)
+	collector, err := server.NewCollector(server.CollectorConfig{
+		BatchSize:   batch,
+		MinAPs:      5,
+		MaxBuffered: 64,
+		BurstTTL:    600 * time.Millisecond,
+	}, func(mac string, bursts map[int][]*csi.Packet) {
+		switch mac {
+		case poisonMAC:
+			panic("chaos: poisoned burst reached the pipeline")
+		case healthyMAC:
+			p, _, _, err := loc.LocalizeBursts(bursts)
+			if err != nil {
+				t.Errorf("localize: %v", err)
+				return
+			}
+			select {
+			case fixes <- p:
+			default:
+			}
+		default:
+			t.Errorf("burst completed for unexpected MAC %s", mac)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := server.NewMetrics(obs.NewRegistry())
+	collector.SetMetrics(m)
+	stopSweeper := collector.StartSweeper(150 * time.Millisecond)
+	defer stopSweeper()
+
+	srv, err := server.New(collector, t.Logf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetMetrics(m)
+	srv.SetTimeouts(200*time.Millisecond, 300*time.Millisecond)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+
+	waitFor := func(what string, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(20 * time.Second)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+
+	// newAgent builds an agent streaming `limit` synthesized packets for
+	// mac, as AP apID, over the geometry of office AP apIdx.
+	newAgent := func(apIdx, apID int, mac string, limit int, seed int64) *apnode.Agent {
+		syn, err := sim.NewSynthesizer(d.Link(apIdx, targetIdx), d.Band, d.Array, d.Imp,
+			rand.New(rand.NewSource(seed)))
+		if err != nil {
+			t.Fatalf("AP %d: %v", apIdx, err)
+		}
+		return &apnode.Agent{
+			APID:       apID,
+			ServerAddr: addr.String(),
+			Source:     &apnode.SynthSource{Syn: syn, TargetMAC: mac, Limit: limit},
+		}
+	}
+
+	runHealthyWave := func(seedBase int64) {
+		var wg sync.WaitGroup
+		for apIdx := range d.APs {
+			agent := newAgent(apIdx, apIdx, healthyMAC, 2*batch, seedBase+int64(apIdx))
+			// Benign NIC chaos on two APs: duplicates, reordering, clock
+			// skew. Burst assembly and localization must shrug these off.
+			if apIdx < 2 {
+				agent.Source = chaos.WrapSource(agent.Source, chaos.SourceConfig{
+					Seed: seedBase + int64(apIdx), DupProb: 0.1, ReorderProb: 0.1,
+					SkewNs: 3_000_000, JitterNs: 50_000,
+				})
+			}
+			wg.Add(1)
+			go func(a *apnode.Agent, id int) {
+				defer wg.Done()
+				if err := a.RunWithRetry(ctx, 10, 5*time.Millisecond); err != nil && ctx.Err() == nil {
+					t.Errorf("healthy agent %d: %v", id, err)
+				}
+			}(agent, apIdx)
+		}
+		wg.Wait()
+	}
+
+	// --- Wave 1: healthy APs localize while every wire fault fires. ---
+
+	var faultWG sync.WaitGroup
+
+	// Half-open connection: dials, never sends a hello. The handshake
+	// deadline must reap it.
+	halfOpen, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer halfOpen.Close()
+
+	// Post-handshake idle AP: delivers one packet for a target no other
+	// AP hears, then goes silent — reaped by the idle deadline, and its
+	// stale packet must be TTL-evicted rather than pinned forever.
+	idleConn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idleConn.Close()
+	if err := wire.WriteFrame(idleConn, wire.EncodeHello(91)); err != nil {
+		t.Fatal(err)
+	}
+	staleSyn, err := sim.NewSynthesizer(d.Link(0, targetIdx), d.Band, d.Array, d.Imp,
+		rand.New(rand.NewSource(9100)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stalePkt := staleSyn.NextPacket("stale-target")
+	stalePkt.APID = 91
+	staleFrame, err := wire.EncodeCSIReport(stalePkt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := wire.WriteFrame(idleConn, staleFrame); err != nil {
+		t.Fatal(err)
+	}
+
+	// Stalled writer: every write pauses far longer than the handshake
+	// deadline (slow-loris).
+	stallDial, stallStats := chaos.Dialer(chaos.ConnConfig{
+		Seed: 71, StallProb: 1, Stall: 900 * time.Millisecond,
+	})
+	stallAgent := newAgent(0, 92, "stall-target", 4, 7100)
+	stallAgent.Dial = stallDial
+	faultWG.Add(1)
+	go func() {
+		defer faultWG.Done()
+		stallAgent.Run(ctx) //lint:allow errdrop the stalled conn is expected to die; the server-side counter is the assertion
+	}()
+
+	// Mid-frame resets.
+	resetDial, resetStats := chaos.Dialer(chaos.ConnConfig{Seed: 72, ResetProb: 0.15})
+	resetAgent := newAgent(1, 93, "reset-target", 30, 7200)
+	resetAgent.Dial = resetDial
+	resetAgent.HealthyReset = -1
+	faultWG.Add(1)
+	go func() {
+		defer faultWG.Done()
+		resetAgent.RunWithRetry(ctx, 1000, time.Millisecond) //lint:allow errdrop resets are injected on purpose; counters are the assertion
+	}()
+
+	// Byte corruption.
+	corruptDial, corruptStats := chaos.Dialer(chaos.ConnConfig{Seed: 73, CorruptProb: 0.5})
+	corruptAgent := newAgent(2, 94, "corrupt-target", 20, 7300)
+	corruptAgent.Dial = corruptDial
+	corruptAgent.HealthyReset = -1
+	faultWG.Add(1)
+	go func() {
+		defer faultWG.Done()
+		corruptAgent.RunWithRetry(ctx, 1000, time.Millisecond) //lint:allow errdrop corruption is injected on purpose; counters are the assertion
+	}()
+
+	// NaN CSI shipped over an otherwise healthy connection: each poisoned
+	// report must be dropped at the door without closing the stream.
+	nanConn, err := net.Dial("tcp", addr.String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nanConn.Close()
+	if err := wire.WriteFrame(nanConn, wire.EncodeHello(95)); err != nil {
+		t.Fatal(err)
+	}
+	nanSyn, err := sim.NewSynthesizer(d.Link(3, targetIdx), d.Band, d.Array, d.Imp,
+		rand.New(rand.NewSource(9500)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		pkt := nanSyn.NextPacket("nan-target")
+		pkt.APID = 95
+		f, err := wire.EncodeCSIReport(pkt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if f, err = chaos.PoisonCSIReport(f); err != nil {
+			t.Fatal(err)
+		}
+		if err := wire.WriteFrame(nanConn, f); err != nil {
+			t.Fatalf("NaN frame %d: the server closed a conn it should keep: %v", i, err)
+		}
+	}
+	// The conn that shipped NaN must still be alive and in sync after the
+	// server has processed (and dropped) every poisoned report: Bye must
+	// go through and be honored as a clean close, not a reset.
+	waitFor("non-finite CSI counted", func() bool { return m.PacketsNonFinite.Value() >= 3 })
+	if err := wire.WriteFrame(nanConn, wire.Frame{Type: wire.TypeBye}); err != nil {
+		t.Fatalf("NaN conn did not survive: %v", err)
+	}
+
+	runHealthyWave(500)
+
+	var fix1 Point
+	select {
+	case fix1 = <-fixes:
+	case <-time.After(20 * time.Second):
+		t.Fatal("no fix under chaos")
+	}
+	truth := d.Targets[targetIdx]
+	if e := fix1.Dist(truth); e > 3.5 {
+		t.Fatalf("chaos fix %v is %.2f m from truth %v", fix1, e, truth)
+	}
+
+	// Every injected fault class fired and was counted on its own
+	// counter.
+	waitFor("idle/handshake reaps", func() bool { return m.IdleTimeouts.Value() >= 2 })
+	waitFor("mid-frame reset counted", func() bool { return m.ConnResets.Value() >= 1 })
+	waitFor("corrupt frame counted", func() bool { return m.DecodeErrors.Value() >= 1 })
+	if stallStats.Stalls.Value() == 0 {
+		t.Error("stall fault never injected")
+	}
+	if resetStats.Resets.Value() == 0 {
+		t.Error("reset fault never injected")
+	}
+	if corruptStats.Corruptions.Value() == 0 {
+		t.Error("corruption fault never injected")
+	}
+
+	// --- Wave 2: a poisoned burst panics the handler; the server must
+	// quarantine it and keep serving. ---
+	var poisonWG sync.WaitGroup
+	for i := 0; i < 5; i++ {
+		agent := newAgent(i, 10+i, poisonMAC, batch, 600+int64(i))
+		poisonWG.Add(1)
+		go func(a *apnode.Agent, id int) {
+			defer poisonWG.Done()
+			if err := a.RunWithRetry(ctx, 10, 5*time.Millisecond); err != nil && ctx.Err() == nil {
+				t.Errorf("poison agent %d: %v", id, err)
+			}
+		}(agent, i)
+	}
+	poisonWG.Wait()
+	waitFor("poisoned burst quarantined", func() bool { return m.BurstPanics.Value() >= 1 })
+	q := collector.Quarantined()
+	if len(q) == 0 || q[0].TargetMAC != poisonMAC {
+		t.Fatalf("quarantine = %+v, want the %s burst", q, poisonMAC)
+	}
+
+	// --- Wave 3: after the panic, the server still localizes. ---
+	runHealthyWave(800)
+	select {
+	case p := <-fixes:
+		if e := p.Dist(truth); e > 3.5 {
+			t.Fatalf("post-panic fix %v is %.2f m from truth %v", p, e, truth)
+		}
+	case <-time.After(20 * time.Second):
+		t.Fatal("no fix after handler panic — server stopped serving")
+	}
+
+	// --- Settle: the sweeper must reclaim every stale partial burst the
+	// faulty APs left behind, returning the pending gauges to baseline. ---
+	cancel() // stop the remaining fault agents
+	faultWG.Wait()
+	waitFor("stale packets evicted", func() bool { return m.PacketsExpired.Value() >= 1 })
+	waitFor("pending gauges back to baseline", func() bool {
+		targets, packets := collector.PendingStats()
+		return targets == 0 && packets == 0 &&
+			m.PendingTargets.Value() == 0 && m.PendingPackets.Value() == 0
+	})
+	t.Logf("soak: fix error %.2fm; idleTimeouts=%d connResets=%d decodeErrors=%d nonFinite=%d expired=%d panics=%d",
+		fix1.Dist(truth), m.IdleTimeouts.Value(), m.ConnResets.Value(), m.DecodeErrors.Value(),
+		m.PacketsNonFinite.Value(), m.PacketsExpired.Value(), m.BurstPanics.Value())
+}
