@@ -12,7 +12,6 @@ import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"math/rand"
 	"os"
 	"os/signal"
@@ -20,6 +19,7 @@ import (
 	"time"
 
 	"spotfi/internal/apnode"
+	"spotfi/internal/cliutil"
 	"spotfi/internal/csi"
 	"spotfi/internal/sim"
 	"spotfi/internal/testbed"
@@ -38,7 +38,19 @@ func main() {
 	interval := flag.Duration("interval", 100*time.Millisecond, "packet pacing (paper: 100ms)")
 	tracePath := flag.String("trace", "", "replay a CSI trace file instead of simulating")
 	seed := flag.Int64("seed", 1, "testbed seed")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	version := flag.Bool("version", false, "print build version and exit")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("spotfi-ap", cliutil.ReadBuild())
+		return
+	}
+	logger, err := cliutil.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spotfi-ap:", err)
+		os.Exit(2)
+	}
 
 	var source apnode.PacketSource
 	if *tracePath != "" {
@@ -66,8 +78,8 @@ func main() {
 			os.Exit(1)
 		}
 		source = &apnode.SynthSource{Syn: syn, TargetMAC: testbed.TargetMAC(*target), Limit: *count}
-		log.Printf("simulating AP %d at %v hearing target %d at %v",
-			*id, d.APs[*id].Pos, *target, d.Targets[*target])
+		logger.Info("simulating AP", "ap", *id, "pos", d.APs[*id].Pos.String(),
+			"target", *target, "target_pos", d.Targets[*target].String())
 	}
 
 	agent := &apnode.Agent{
@@ -75,6 +87,7 @@ func main() {
 		ServerAddr: *serverAddr,
 		Source:     source,
 		Interval:   *interval,
+		Logger:     logger,
 	}
 
 	ctx, cancel := context.WithCancel(context.Background())
@@ -91,5 +104,5 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spotfi-ap:", err)
 		os.Exit(1)
 	}
-	log.Print("done")
+	logger.Info("done", "ap", *id, "dropped", agent.Dropped())
 }

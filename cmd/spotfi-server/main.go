@@ -16,7 +16,12 @@
 // counted instead of killing a worker.
 //
 // With -debug-addr set, an HTTP listener exposes /metrics (Prometheus text
-// format), /healthz, and net/http/pprof under /debug/pprof/.
+// format), /healthz, /debug/traces (recent burst traces as JSON, or an HTML
+// waterfall with ?view=html), and net/http/pprof under /debug/pprof/.
+//
+// Per-burst tracing samples 1 in -trace-sample bursts (0 disables) and
+// always retains traces slower than -trace-slow. Logs are structured
+// (-log-format text|json) and carry trace/burst/AP IDs.
 //
 // Usage:
 //
@@ -24,13 +29,14 @@
 //	    -ap 0,0.4,0.4,45 -ap 1,15.6,0.4,135 -ap 2,8,9.7,-90 \
 //	    -bounds 0,0,16,10 [-batch 10] [-minaps 3] \
 //	    [-workers N] [-queue 64] [-idle-timeout 90s] [-burst-ttl 30s] \
+//	    [-trace-sample 100] [-trace-slow 5s] [-log-format text] \
 //	    [-debug-addr 127.0.0.1:7101]
 package main
 
 import (
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"net/http/pprof"
 	"os"
@@ -44,12 +50,14 @@ import (
 	"spotfi/internal/cliutil"
 	"spotfi/internal/csi"
 	"spotfi/internal/obs"
+	"spotfi/internal/obs/trace"
 	"spotfi/internal/server"
 )
 
 type burstJob struct {
 	mac    string
 	bursts map[int][]*csi.Packet
+	tr     *trace.Trace
 }
 
 // localizeMetrics holds the serving-loop series. Registration happens
@@ -78,23 +86,27 @@ func newLocalizeMetrics(reg *obs.Registry) *localizeMetrics {
 // localizeOne runs one burst through the pipeline with panic isolation: a
 // numerical blow-up on one poisoned burst must cost that burst, not a
 // worker (and with it, eventually, the whole pool).
-func localizeOne(loc *spotfi.Localizer, lm *localizeMetrics, j burstJob) {
+func localizeOne(loc *spotfi.Localizer, lm *localizeMetrics, logger *slog.Logger, j burstJob) {
+	// The worker owns the burst lifecycle end: whatever happens below, the
+	// trace is completed and handed to its sinks.
+	defer j.tr.Finish()
 	defer func() {
 		if r := recover(); r != nil {
 			lm.localizePanics.Inc()
-			log.Printf("localize %s: panic recovered: %v", j.mac, r)
+			logger.Error("localize panic recovered", "mac", j.mac, "trace", j.tr.ID(), "panic", fmt.Sprint(r))
 		}
 	}()
-	p, reports, skipped, err := loc.LocalizeBursts(j.bursts)
+	p, reports, skipped, err := loc.LocalizeBurstsTraced(j.bursts, j.tr)
 	for _, s := range skipped {
-		log.Printf("localize %s: skipped %v", j.mac, s)
+		logger.Warn("AP skipped", "mac", j.mac, "trace", j.tr.ID(), "ap", s.APID, "err", s.Err)
 	}
 	if err != nil {
 		lm.localizeErrors.Inc()
-		log.Printf("localize %s: %v", j.mac, err)
+		logger.Warn("localize failed", "mac", j.mac, "trace", j.tr.ID(), "err", err)
 		return
 	}
-	log.Printf("target %s at (%.2f, %.2f) m  [%d APs]", j.mac, p.X, p.Y, len(reports))
+	logger.Info("target localized", "mac", j.mac, "trace", j.tr.ID(),
+		"x", p.X, "y", p.Y, "aps", len(reports))
 }
 
 func main() {
@@ -108,10 +120,25 @@ func main() {
 		"reap AP connections silent for this long (0 disables)")
 	burstTTL := flag.Duration("burst-ttl", 30*time.Second,
 		"evict buffered packets of incomplete bursts older than this (0 disables)")
-	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz, and /debug/pprof (disabled if empty)")
+	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz, /debug/traces, and /debug/pprof (disabled if empty)")
+	traceSample := flag.Int("trace-sample", 100, "trace 1 in N bursts (0 disables tracing)")
+	traceSlow := flag.Duration("trace-slow", 5*time.Second, "always retain traces of bursts slower than this end-to-end")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	version := flag.Bool("version", false, "print build version and exit")
 	var aps cliutil.APList
 	flag.Var(&aps, "ap", "AP spec id,x,y,normalDeg (repeatable)")
 	flag.Parse()
+
+	if *version {
+		fmt.Println("spotfi-server", cliutil.ReadBuild())
+		return
+	}
+	logger, err := cliutil.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
+		os.Exit(2)
+	}
+	slog.SetDefault(logger)
 
 	if len(aps) < 2 {
 		fmt.Fprintln(os.Stderr, "spotfi-server: need at least two -ap flags")
@@ -125,6 +152,10 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spotfi-server: -idle-timeout and -burst-ttl must be ≥ 0")
 		os.Exit(2)
 	}
+	if *traceSample < 0 {
+		fmt.Fprintln(os.Stderr, "spotfi-server: -trace-sample must be ≥ 0")
+		os.Exit(2)
+	}
 	bounds, err := cliutil.ParseBounds(*boundsStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
@@ -132,6 +163,13 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	cliutil.RegisterBuildInfo(reg)
+	tracer := trace.New(trace.Config{
+		SampleEvery:   *traceSample,
+		SlowThreshold: *traceSlow,
+		Registry:      reg,
+		Logger:        logger,
+	})
 	cfg := spotfi.DefaultConfig(bounds)
 	cfg.Metrics = spotfi.NewPipelineMetrics(reg)
 	loc, err := spotfi.New(cfg, aps)
@@ -153,7 +191,7 @@ func main() {
 			defer pool.Done()
 			for j := range jobs {
 				lm.queueDepth.Set(int64(len(jobs)))
-				localizeOne(loc, lm, j)
+				localizeOne(loc, lm, logger, j)
 			}
 		}()
 	}
@@ -164,13 +202,15 @@ func main() {
 		MinAPs:      *minAPs,
 		MaxBuffered: 40 * *batch,
 		BurstTTL:    *burstTTL,
-	}, func(mac string, bursts map[int][]*csi.Packet) {
+	}, func(mac string, bursts map[int][]*csi.Packet, tr *trace.Trace) {
 		select {
-		case jobs <- burstJob{mac: mac, bursts: bursts}:
+		case jobs <- burstJob{mac: mac, bursts: bursts, tr: tr}:
 			lm.queueDepth.Set(int64(len(jobs)))
 		default:
 			lm.overloadDrops.Inc()
-			log.Printf("localize %s: queue full, burst dropped", mac)
+			tr.Root().SetStr("dropped", "queue full")
+			tr.Finish()
+			logger.Warn("queue full, burst dropped", "mac", mac, "trace", tr.ID())
 		}
 	})
 	if err != nil {
@@ -178,6 +218,7 @@ func main() {
 		os.Exit(1)
 	}
 	collector.SetMetrics(metrics)
+	collector.SetTracer(tracer)
 	if *burstTTL > 0 {
 		// Sweep a few times per TTL so eviction lag stays a fraction of
 		// the staleness bound.
@@ -185,7 +226,7 @@ func main() {
 		defer stopSweeper()
 	}
 
-	srv, err := server.New(collector, log.Printf)
+	srv, err := server.New(collector, logger)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
 		os.Exit(1)
@@ -197,7 +238,7 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
 		os.Exit(1)
 	}
-	log.Printf("spotfi-server listening on %v (%d APs registered, %d workers)", addr, len(aps), *workers)
+	logger.Info("spotfi-server listening", "addr", addr.String(), "aps", len(aps), "workers", *workers)
 
 	if *debugAddr != "" {
 		mux := http.NewServeMux()
@@ -205,6 +246,7 @@ func main() {
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
+		mux.Handle("/debug/traces", tracer.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -212,9 +254,9 @@ func main() {
 		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
 		//lint:allow gospawn debug HTTP listener lives for the whole process; no join needed
 		go func() {
-			log.Printf("debug endpoints on http://%s/metrics", *debugAddr)
+			logger.Info("debug endpoints up", "url", "http://"+*debugAddr+"/metrics")
 			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
-				log.Printf("debug listener: %v", err)
+				logger.Warn("debug listener failed", "err", err)
 			}
 		}()
 	}
@@ -222,9 +264,9 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	log.Print("shutting down")
+	logger.Info("shutting down")
 	if err := srv.Close(); err != nil {
-		log.Printf("close: %v", err)
+		logger.Warn("close failed", "err", err)
 	}
 	// All connection goroutines are drained: no handler can enqueue now.
 	close(jobs)

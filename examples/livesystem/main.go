@@ -19,6 +19,7 @@ import (
 	"spotfi"
 	"spotfi/internal/apnode"
 	"spotfi/internal/csi"
+	"spotfi/internal/obs/trace"
 	"spotfi/internal/server"
 	"spotfi/internal/sim"
 	"spotfi/internal/testbed"
@@ -42,8 +43,9 @@ func main() {
 	fixes := make(chan spotfi.Point, 8)
 	collector, err := server.NewCollector(server.CollectorConfig{
 		BatchSize: 10, MinAPs: 5, MaxBuffered: 100,
-	}, func(mac string, bursts map[int][]*csi.Packet) {
-		p, reports, skipped, err := loc.LocalizeBursts(bursts)
+	}, func(mac string, bursts map[int][]*csi.Packet, tr *trace.Trace) {
+		defer tr.Finish()
+		p, reports, skipped, err := loc.LocalizeBurstsTraced(bursts, tr)
 		if err != nil {
 			log.Printf("localize %s: %v", mac, err)
 			return
@@ -57,7 +59,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv, err := server.New(collector, log.Printf)
+	srv, err := server.New(collector, nil) // slog.Default goes to stderr, same as log.Printf
 	if err != nil {
 		log.Fatal(err)
 	}

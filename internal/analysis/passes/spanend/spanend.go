@@ -1,0 +1,331 @@
+// Package spanend guards the trace span lifecycle: a span obtained from
+// StartSpan/StartSpanAt must be Ended on every path out of its scope.
+//
+// An un-Ended span is silently closed when the trace Finishes, with the
+// trace's end time as its end — so the bug is not a leak but a lie: the
+// stage's recorded duration absorbs everything that ran after it, and the
+// per-stage latency histograms drift. The fix is mechanical (defer
+// sp.End(), or End on each branch), so the analyzer insists on it.
+//
+// The checker is flow-sensitive but deliberately conservative:
+//
+//   - defer sp.End() anywhere after the start ends all later paths;
+//   - an End inside a loop is assumed to run;
+//   - passing the span to another function, capturing it in a closure or
+//     goroutine, or returning it hands off the obligation — not reported;
+//   - only spans bound with := to a single identifier are tracked; and
+//   - Trace.Finish is burst-lifecycle ownership, deliberately not linted.
+package spanend
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/passes/passutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "spanend",
+	Doc: "report trace spans started but not Ended on some path\n\n" +
+		"A span left open gets the trace's end time at Finish, corrupting the\n" +
+		"stage's recorded duration. defer sp.End(), or End it on every path.",
+	Run: run,
+}
+
+var tracePkg string
+
+func init() {
+	Analyzer.Flags.StringVar(&tracePkg, "pkg", "spotfi/internal/obs/trace",
+		"import path of the tracing package whose Span lifecycle is guarded")
+}
+
+var startMethods = map[string]bool{"StartSpan": true, "StartSpanAt": true}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if passutil.IsTestFile(pass, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			list := stmtList(n)
+			if list == nil {
+				return true
+			}
+			for i, s := range list {
+				switch s := s.(type) {
+				case *ast.ExprStmt:
+					if call := startCall(pass, s.X); call != nil {
+						pass.Reportf(call.Pos(),
+							"result of %s is discarded: the span can never be Ended and will absorb the rest of the trace", startName(call))
+					}
+				case *ast.AssignStmt:
+					checkAssign(pass, s, list[i+1:])
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// stmtList returns the statement list a node directly owns, or nil.
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// checkAssign inspects sp := x.StartSpan(...) bindings and walks the rest
+// of the enclosing scope for paths that leave sp un-Ended.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, rest []ast.Stmt) {
+	if len(as.Rhs) != 1 || len(as.Lhs) != 1 {
+		return
+	}
+	call := startCall(pass, as.Rhs[0])
+	if call == nil {
+		return
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		pass.Reportf(call.Pos(),
+			"result of %s is discarded: the span can never be Ended and will absorb the rest of the trace", startName(call))
+		return
+	}
+	if as.Tok != token.DEFINE {
+		// Plain = may rebind an outer variable whose lifetime we cannot
+		// see from this scope; the obligation may be met elsewhere.
+		return
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		return
+	}
+	c := &checker{pass: pass, obj: obj, start: call}
+	if !c.seq(rest, false) {
+		pass.Reportf(call.Pos(),
+			"span started here is not Ended before its scope exits on some path; defer %s.End() or End it on every branch", id.Name)
+	}
+}
+
+// checker walks the statements following one span binding. ended threads
+// through the walk: true once End (or a defer of it, or an escape that
+// hands the span off) is guaranteed on the current path.
+type checker struct {
+	pass  *analysis.Pass
+	obj   types.Object
+	start *ast.CallExpr
+}
+
+// seq walks a statement sequence and reports whether the span is Ended on
+// every path that falls off its end.
+func (c *checker) seq(stmts []ast.Stmt, ended bool) bool {
+	for _, s := range stmts {
+		if ended {
+			return true
+		}
+		ended = c.stmt(s, ended)
+	}
+	return ended
+}
+
+// stmt processes one statement and returns whether the span is Ended (or
+// the path terminated with the obligation met) afterwards.
+func (c *checker) stmt(s ast.Stmt, ended bool) bool {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if c.isEndCall(s.X) {
+			return true
+		}
+		return c.escapes(s) || ended
+	case *ast.DeferStmt:
+		// defer sp.End(), or deferring anything that captures the span
+		// (defer func() { sp.End() }()), covers every later exit.
+		return c.containsEnd(s) || c.escapes(s) || ended
+	case *ast.GoStmt:
+		return c.escapes(s) || ended
+	case *ast.ReturnStmt:
+		if c.escapes(s) {
+			return true // span returned: the caller owns End now
+		}
+		c.pass.Reportf(s.Pos(),
+			"return leaves the span started at %s un-Ended; End it before returning or defer it",
+			c.pass.Fset.Position(c.start.Pos()))
+		return true // path terminates; don't cascade a scope-exit report
+	case *ast.AssignStmt, *ast.DeclStmt:
+		return c.escapes(s) || ended
+	case *ast.BlockStmt:
+		return c.seq(s.List, ended)
+	case *ast.IfStmt:
+		body := c.seq(s.Body.List, ended)
+		els := ended
+		if s.Else != nil {
+			els = c.stmt(s.Else, ended)
+		}
+		return body && els
+	case *ast.ForStmt, *ast.RangeStmt:
+		// A loop body may run zero or many times: an End inside it is
+		// conservatively assumed to run; returns inside it still count.
+		if c.containsEnd(s) || c.escapes(s) {
+			return true
+		}
+		c.seq(loopBody(s).List, ended)
+		return ended
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return c.clauses(switchBody(s), ended, hasDefault(switchBody(s)))
+	case *ast.SelectStmt:
+		// A select with no default still always runs exactly one case.
+		return c.clauses(s.Body, ended, true)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, ended)
+	default:
+		// Anything else that mentions the span hands it off; be lenient.
+		return c.escapes(s) || ended
+	}
+}
+
+// clauses walks a switch/select body: the span is Ended after it only if
+// every clause ends it and (for switch) a default guarantees one runs.
+func (c *checker) clauses(body *ast.BlockStmt, ended, exhaustive bool) bool {
+	all := true
+	for _, cl := range body.List {
+		if list := stmtList(cl); list != nil {
+			if !c.seq(list, ended) {
+				all = false
+			}
+		}
+	}
+	return ended || (all && exhaustive)
+}
+
+func loopBody(s ast.Stmt) *ast.BlockStmt {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		return s.Body
+	case *ast.RangeStmt:
+		return s.Body
+	}
+	return &ast.BlockStmt{}
+}
+
+func switchBody(s ast.Stmt) *ast.BlockStmt {
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		return s.Body
+	case *ast.TypeSwitchStmt:
+		return s.Body
+	}
+	return &ast.BlockStmt{}
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// isEndCall reports whether expr is exactly sp.End() on the tracked span.
+func (c *checker) isEndCall(expr ast.Expr) bool {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != "End" {
+		return false
+	}
+	id, ok := ast.Unparen(sel.X).(*ast.Ident)
+	return ok && c.pass.TypesInfo.Uses[id] == c.obj
+}
+
+// containsEnd reports whether n contains sp.End() anywhere, including
+// inside function literals.
+func (c *checker) containsEnd(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && c.isEndCall(call) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// escapes reports whether n uses the span other than as the receiver of a
+// method call: passed to a function, captured by a closure, assigned,
+// compared, or returned. Any of those hands the End obligation to code we
+// cannot see, so the checker stops tracking.
+func (c *checker) escapes(n ast.Node) bool {
+	// First mark receivers of direct method calls as accounted for.
+	safe := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				safe[id] = true
+			}
+		}
+		return true
+	})
+	escaped := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == c.obj && !safe[id] {
+			escaped = true
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// startCall returns expr as a StartSpan/StartSpanAt call on the guarded
+// package's Span type, or nil.
+func startCall(pass *analysis.Pass, expr ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	fn := passutil.Callee(pass.TypesInfo, call)
+	if fn == nil || !startMethods[fn.Name()] {
+		return nil
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return nil
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return nil
+	}
+	obj := named.Obj()
+	if obj.Name() == "Span" && obj.Pkg() != nil && obj.Pkg().Path() == tracePkg {
+		return call
+	}
+	return nil
+}
+
+func startName(call *ast.CallExpr) string {
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		return sel.Sel.Name
+	}
+	return "StartSpan"
+}

@@ -1,0 +1,12 @@
+package spanend_test
+
+import (
+	"testing"
+
+	"spotfi/internal/analysis/analysistest"
+	"spotfi/internal/analysis/passes/spanend"
+)
+
+func TestSpanend(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), spanend.Analyzer, "a")
+}

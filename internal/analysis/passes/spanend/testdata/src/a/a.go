@@ -1,0 +1,162 @@
+package a
+
+import (
+	"errors"
+	"time"
+
+	"spotfi/internal/obs/trace"
+)
+
+var errBoom = errors.New("boom")
+
+// Deferred End right after the start: every later path is covered.
+func deferred(parent *trace.Span) error {
+	sp := parent.StartSpan("stage")
+	defer sp.End()
+	if errBoom != nil {
+		return errBoom
+	}
+	return nil
+}
+
+// Straight-line End before the only return.
+func straightLine(parent *trace.Span) {
+	sp := parent.StartSpan("stage")
+	sp.SetInt("k", 1)
+	sp.End()
+}
+
+// End on both branches of an if/else.
+func bothBranches(parent *trace.Span, ok bool) {
+	sp := parent.StartSpan("stage")
+	if ok {
+		sp.SetInt("ok", 1)
+		sp.End()
+	} else {
+		sp.End()
+	}
+}
+
+// End in the error branch and on the fall-through path.
+func errorBranch(parent *trace.Span) error {
+	sp := parent.StartSpan("stage")
+	if errBoom != nil {
+		sp.End()
+		return errBoom
+	}
+	sp.End()
+	return nil
+}
+
+// Discarding the result makes the span impossible to End.
+func discarded(parent *trace.Span) {
+	parent.StartSpan("stage") // want `result of StartSpan is discarded`
+}
+
+func discardedBlank(parent *trace.Span) {
+	_ = parent.StartSpan("stage") // want `result of StartSpan is discarded`
+}
+
+// An early return that skips End corrupts the recorded duration.
+func earlyReturn(parent *trace.Span) error {
+	sp := parent.StartSpan("stage")
+	if errBoom != nil {
+		return errBoom // want `return leaves the span started at .* un-Ended`
+	}
+	sp.End()
+	return nil
+}
+
+// Falling off the scope without End is just as bad as returning early.
+func fallsOff(parent *trace.Span) {
+	sp := parent.StartSpan("stage") // want `span started here is not Ended before its scope exits`
+	sp.SetInt("k", 1)
+}
+
+// Ending only one branch leaks the other.
+func oneBranch(parent *trace.Span, ok bool) {
+	sp := parent.StartSpan("stage") // want `span started here is not Ended before its scope exits`
+	if ok {
+		sp.End()
+	}
+}
+
+// StartSpanAt is held to the same rule.
+func startAt(parent *trace.Span) {
+	sp := parent.StartSpanAt("stage", time.Now()) // want `span started here is not Ended before its scope exits`
+	sp.SetInt("k", 1)
+}
+
+// An End inside a loop is conservatively assumed to run.
+func endInLoop(parent *trace.Span, n int) {
+	sp := parent.StartSpan("stage")
+	for i := 0; i < n; i++ {
+		if i == n-1 {
+			sp.End()
+		}
+	}
+}
+
+// A return inside a loop with no End anywhere is still a leak.
+func returnInLoop(parent *trace.Span, n int) {
+	sp := parent.StartSpan("stage") // want `span started here is not Ended before its scope exits`
+	for i := 0; i < n; i++ {
+		sp.SetInt("i", int64(i))
+		if i > 2 {
+			return // want `return leaves the span started at .* un-Ended`
+		}
+	}
+}
+
+// Handing the span to another function transfers the obligation.
+func handsOff(parent *trace.Span) {
+	sp := parent.StartSpan("stage")
+	finishLater(sp)
+}
+
+// Returning the span makes the caller responsible.
+func returned(parent *trace.Span) *trace.Span {
+	sp := parent.StartSpan("stage")
+	return sp
+}
+
+// A deferred closure that Ends the span covers every exit.
+func deferredClosure(parent *trace.Span) error {
+	sp := parent.StartSpan("stage")
+	defer func() { sp.End() }()
+	if errBoom != nil {
+		return errBoom
+	}
+	return nil
+}
+
+// A switch Ends the span only when every case does and a default exists.
+func switchAllCases(parent *trace.Span, k int) {
+	sp := parent.StartSpan("stage")
+	switch k {
+	case 0:
+		sp.End()
+	default:
+		sp.End()
+	}
+}
+
+func switchNoDefault(parent *trace.Span, k int) {
+	sp := parent.StartSpan("stage") // want `span started here is not Ended before its scope exits`
+	switch k {
+	case 0:
+		sp.End()
+	case 1:
+		sp.End()
+	}
+}
+
+// Nested child spans: each is tracked independently.
+func nested(parent *trace.Span) {
+	outer := parent.StartSpan("outer")
+	defer outer.End()
+	inner := outer.StartSpan("inner") // want `span started here is not Ended before its scope exits`
+	inner.SetInt("k", 1)
+}
+
+func finishLater(sp *trace.Span) { sp.End() }

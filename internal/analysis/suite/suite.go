@@ -11,6 +11,7 @@ import (
 	"spotfi/internal/analysis/passes/gospawn"
 	"spotfi/internal/analysis/passes/obsreg"
 	"spotfi/internal/analysis/passes/radians"
+	"spotfi/internal/analysis/passes/spanend"
 )
 
 // Analyzers returns the full suite in stable order.
@@ -22,5 +23,6 @@ func Analyzers() []*analysis.Analyzer {
 		gospawn.Analyzer,
 		obsreg.Analyzer,
 		radians.Analyzer,
+		spanend.Analyzer,
 	}
 }

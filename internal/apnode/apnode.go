@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"math/rand"
 	"net"
 	"sync/atomic"
@@ -75,6 +76,9 @@ type Agent struct {
 	// another consecutive one: RunWithRetry then resets its failure count
 	// and backoff. Zero means 30 s; negative disables resetting.
 	HealthyReset time.Duration
+	// Logger, when non-nil, receives structured records for connection
+	// lifecycle events (retries, backoff, give-up). Nil logs nothing.
+	Logger *slog.Logger
 
 	dropped atomic.Uint64
 }
@@ -201,7 +205,14 @@ func (a *Agent) RunWithRetry(ctx context.Context, maxRetries int, baseBackoff ti
 		}
 		failures++
 		if failures >= maxRetries {
+			if a.Logger != nil {
+				a.Logger.Error("giving up", "ap", a.APID, "attempts", failures, "err", err)
+			}
 			return fmt.Errorf("apnode: giving up after %d attempts: %w", failures, err)
+		}
+		if a.Logger != nil {
+			a.Logger.Warn("stream failed, backing off", "ap", a.APID,
+				"attempt", failures, "backoff", backoff, "err", err)
 		}
 		select {
 		case <-time.After(jitter(backoff)):

@@ -1,0 +1,72 @@
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"runtime/debug"
+
+	"spotfi/internal/obs"
+)
+
+// NewLogger builds the structured logger behind the shared -log-format
+// flag: "text" for human-readable key=value lines, "json" for one JSON
+// object per record (log shippers). Records at Info and above are emitted.
+func NewLogger(format string, w io.Writer) (*slog.Logger, error) {
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown log format %q (want text or json)", format)
+	}
+}
+
+// BuildInfo is the binary's provenance, read from the Go build metadata.
+type BuildInfo struct {
+	// Version is the main module version ("(devel)" for local builds).
+	Version string
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+	// Revision is the VCS commit, when the build was stamped with one.
+	Revision string
+}
+
+// ReadBuild returns the binary's build provenance, with "unknown" for
+// fields the build did not stamp.
+func ReadBuild() BuildInfo {
+	info := BuildInfo{Version: "unknown", GoVersion: runtime.Version(), Revision: "unknown"}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	if bi.GoVersion != "" {
+		info.GoVersion = bi.GoVersion
+	}
+	for _, s := range bi.Settings {
+		if s.Key == "vcs.revision" {
+			info.Revision = s.Value
+		}
+	}
+	return info
+}
+
+// String renders the -version flag output; callers prefix the tool name.
+func (b BuildInfo) String() string {
+	return fmt.Sprintf("%s (%s, rev %s)", b.Version, b.GoVersion, b.Revision)
+}
+
+// RegisterBuildInfo registers the conventional spotfi_build_info gauge:
+// constant 1, with the binary's provenance as labels, so dashboards can
+// join any series against the deployed version.
+func RegisterBuildInfo(r *obs.Registry) {
+	b := ReadBuild()
+	r.Gauge("spotfi_build_info",
+		"Build provenance of the running binary (value is always 1).",
+		obs.Labels{"version": b.Version, "go": b.GoVersion, "revision": b.Revision}).Set(1)
+}

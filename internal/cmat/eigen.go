@@ -14,6 +14,9 @@ import (
 type EigenDecomposition struct {
 	Values  []float64
 	Vectors [][]complex128
+	// Sweeps is the number of full Jacobi sweeps the iteration ran before
+	// converging — a conditioning diagnostic surfaced in burst traces.
+	Sweeps int
 }
 
 // ErrNotHermitian is returned by EigHermitian when the input is not
@@ -68,7 +71,9 @@ func EigHermitian(a *Matrix) (*EigenDecomposition, error) {
 	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
 		off := offDiagonalNorm(w)
 		if off <= jacobiTol*scale {
-			return collectEigen(w, v), nil
+			d := collectEigen(w, v)
+			d.Sweeps = sweep
+			return d, nil
 		}
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
@@ -78,7 +83,9 @@ func EigHermitian(a *Matrix) (*EigenDecomposition, error) {
 	}
 	if offDiagonalNorm(w) <= 1e-8*scale {
 		// Converged for every practical purpose; accept the result.
-		return collectEigen(w, v), nil
+		d := collectEigen(w, v)
+		d.Sweeps = jacobiMaxSweeps
+		return d, nil
 	}
 	return nil, ErrNoConvergence
 }

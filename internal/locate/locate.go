@@ -142,6 +142,9 @@ type Result struct {
 	Objective float64
 	// PathLoss is the fitted model at the solution.
 	PathLoss rf.PathLoss
+	// Iters is the total number of Gauss–Newton iterations spent across
+	// all starts and robust rounds — a convergence diagnostic for traces.
+	Iters int
 }
 
 // foldAoA maps an angle onto the ULA-observable range [−π/2, π/2].
@@ -227,8 +230,10 @@ func Locate(obs []APObservation, cfg Config) (Result, error) {
 	}
 
 	bestRes := Result{Objective: math.Inf(1), PathLoss: model}
+	totalIters := 0
 	for i := 0; i < nStarts; i++ {
 		res := descend(normObs, seeds[i].p, cfg)
+		totalIters += res.Iters
 		if res.Objective < bestRes.Objective {
 			bestRes = res
 		}
@@ -259,10 +264,12 @@ func Locate(obs []APObservation, cfg Config) (Result, error) {
 			break
 		}
 		refined := descend(rw, bestRes.Location, cfg)
+		totalIters += refined.Iters
 		// Track the refined location; objectives across rounds are not
 		// comparable (the weights changed), so accept unconditionally.
 		bestRes = refined
 	}
+	bestRes.Iters = totalIters
 	return bestRes, nil
 }
 
@@ -376,9 +383,11 @@ func descend(obs []APObservation, start geom.Point, cfg Config) Result {
 	}
 	f := objective(obs, p, model, cfg)
 	lambda := 1e-3
+	iters := 0
 	const h = 1e-4 // meters, for central differences
 
 	for iter := 0; iter < cfg.MaxIters; iter++ {
+		iters++
 		// Gradient and Gauss–Newton Hessian approximation from residuals.
 		var g [2]float64
 		var hess [2][2]float64
@@ -442,5 +451,5 @@ func descend(obs []APObservation, start geom.Point, cfg Config) Result {
 			break
 		}
 	}
-	return Result{Location: p, Objective: f, PathLoss: model}
+	return Result{Location: p, Objective: f, PathLoss: model, Iters: iters}
 }

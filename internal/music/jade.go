@@ -46,11 +46,20 @@ func NewJADE(p Params) (*JADE, error) {
 // EstimatePaths returns joint (AoA, ToF) estimates, sorted by descending
 // path power (the associated signal eigenvalue).
 func (j *JADE) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
+	paths, _, err := j.EstimatePathsDiag(c)
+	return paths, err
+}
+
+// EstimatePathsDiag is EstimatePaths plus per-packet DSP diagnostics for
+// burst tracing. JADE is search-free, so the grid fields of the Diag stay
+// zero. The Diag is valid only when err is nil.
+func (j *JADE) EstimatePathsDiag(c *csi.Matrix) ([]PathEstimate, Diag, error) {
+	var d Diag
 	if err := c.Validate(); err != nil {
-		return nil, err
+		return nil, d, err
 	}
 	if c.Antennas() != j.p.Array.Antennas || c.Subcarriers() != j.p.Band.Subcarriers {
-		return nil, fmt.Errorf("music: CSI is %dx%d, JADE expects %dx%d",
+		return nil, d, fmt.Errorf("music: CSI is %dx%d, JADE expects %dx%d",
 			c.Antennas(), c.Subcarriers(), j.p.Array.Antennas, j.p.Band.Subcarriers)
 	}
 	subAnt, subSub := j.p.SubarrayAntennas, j.p.SubarraySubcarriers
@@ -58,7 +67,7 @@ func (j *JADE) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
 	r := x.Gram()
 	eig, err := cmat.EigHermitian(r)
 	if err != nil {
-		return nil, fmt.Errorf("music: JADE eigendecomposition: %w", err)
+		return nil, d, fmt.Errorf("music: JADE eigendecomposition: %w", err)
 	}
 	l := eig.SignalDimension(j.p.EigenThreshold, j.p.MaxPaths)
 	// The shift-invariance equations need strictly fewer paths than
@@ -70,6 +79,9 @@ func (j *JADE) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
 	if l < 1 {
 		l = 1
 	}
+	d.EigenSweeps = eig.Sweeps
+	d.SignalDim = l
+	d.EigenGapDB = eigenGapDB(eig.Values, l)
 	rows := subAnt * subSub
 	es := cmat.New(rows, l)
 	for col := 0; col < l; col++ {
@@ -82,14 +94,14 @@ func (j *JADE) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
 		selectRows(es, subAnt, subSub, func(a, s int) bool { return s > 0 })
 	psiTau, err := cmat.LeastSquares(up1, dn1)
 	if err != nil {
-		return nil, fmt.Errorf("music: JADE subcarrier invariance: %w", err)
+		return nil, d, fmt.Errorf("music: JADE subcarrier invariance: %w", err)
 	}
 	// Antenna-shift invariance: blocks a < subAnt−1 vs a > 0.
 	up2, dn2 := selectRows(es, subAnt, subSub, func(a, s int) bool { return a < subAnt-1 }),
 		selectRows(es, subAnt, subSub, func(a, s int) bool { return a > 0 })
 	psiTheta, err := cmat.LeastSquares(up2, dn2)
 	if err != nil {
-		return nil, fmt.Errorf("music: JADE antenna invariance: %w", err)
+		return nil, d, fmt.Errorf("music: JADE antenna invariance: %w", err)
 	}
 
 	// Eigen-decompose the delay operator; its eigenvector basis T
@@ -97,7 +109,7 @@ func (j *JADE) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
 	// Ω(τ_k) with its Φ(θ_k).
 	omegas, tvecs, err := cmat.EigGeneral(psiTau, true)
 	if err != nil {
-		return nil, fmt.Errorf("music: JADE delay eigenproblem: %w", err)
+		return nil, d, fmt.Errorf("music: JADE delay eigenproblem: %w", err)
 	}
 	tmat := cmat.New(l, l)
 	for col, v := range tvecs {
@@ -105,7 +117,7 @@ func (j *JADE) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
 	}
 	tinv, err := cmat.Inverse(tmat)
 	if err != nil {
-		return nil, fmt.Errorf("music: JADE eigenbasis is singular: %w", err)
+		return nil, d, fmt.Errorf("music: JADE eigenbasis is singular: %w", err)
 	}
 	diag := tinv.Mul(psiTheta).Mul(tmat)
 
@@ -140,7 +152,8 @@ func (j *JADE) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
 		out = append(out, PathEstimate{AoA: math.Asin(s), ToF: tau, Power: power})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Power > out[b].Power })
-	return out, nil
+	d.Peaks = len(out)
+	return out, d, nil
 }
 
 // selectRows extracts the rows of es whose (antenna, subcarrier) window

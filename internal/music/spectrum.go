@@ -61,39 +61,54 @@ func (e *Estimator) Params() Params { return e.p }
 // spectrum power. The number of returned paths is the estimated signal
 // subspace dimension (≤ MaxPaths).
 func (e *Estimator) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
-	spec, dim, err := e.spectrum(c)
+	paths, _, err := e.EstimatePathsDiag(c)
+	return paths, err
+}
+
+// EstimatePathsDiag is EstimatePaths plus per-packet DSP diagnostics for
+// burst tracing. The Diag is valid only when err is nil.
+func (e *Estimator) EstimatePathsDiag(c *csi.Matrix) ([]PathEstimate, Diag, error) {
+	spec, dim, eig, err := e.spectrum(c)
 	if err != nil {
-		return nil, err
+		return nil, Diag{}, err
 	}
 	peaks := findPeaks2D(spec, dim)
-	return peaks, nil
+	d := Diag{
+		EigenSweeps: eig.Sweeps,
+		SignalDim:   dim,
+		EigenGapDB:  eigenGapDB(eig.Values, dim),
+		GridTheta:   len(spec.Thetas),
+		GridTau:     len(spec.Taus),
+		Peaks:       len(peaks),
+	}
+	return peaks, d, nil
 }
 
 // Spectrum evaluates the full 2-D pseudo-spectrum for one CSI matrix. It is
 // what CUPID-style max-power selection and diagnostics consume.
 func (e *Estimator) Spectrum(c *csi.Matrix) (*Spectrum, error) {
-	spec, _, err := e.spectrum(c)
+	spec, _, _, err := e.spectrum(c)
 	return spec, err
 }
 
-func (e *Estimator) spectrum(c *csi.Matrix) (*Spectrum, int, error) {
+func (e *Estimator) spectrum(c *csi.Matrix) (*Spectrum, int, *cmat.EigenDecomposition, error) {
 	if err := c.Validate(); err != nil {
-		return nil, 0, err
+		return nil, 0, nil, err
 	}
 	if c.Antennas() != e.p.Array.Antennas || c.Subcarriers() != e.p.Band.Subcarriers {
-		return nil, 0, fmt.Errorf("music: CSI is %dx%d, estimator expects %dx%d",
+		return nil, 0, nil, fmt.Errorf("music: CSI is %dx%d, estimator expects %dx%d",
 			c.Antennas(), c.Subcarriers(), e.p.Array.Antennas, e.p.Band.Subcarriers)
 	}
 	x := SmoothCSI(c, e.p.SubarrayAntennas, e.p.SubarraySubcarriers)
 	r := x.Gram()
 	eig, err := cmat.EigHermitian(r)
 	if err != nil {
-		return nil, 0, fmt.Errorf("music: covariance eigendecomposition: %w", err)
+		return nil, 0, nil, fmt.Errorf("music: covariance eigendecomposition: %w", err)
 	}
 	dim := eig.SignalDimension(e.p.EigenThreshold, e.p.MaxPaths)
 	en := eig.NoiseSubspace(e.p.EigenThreshold, e.p.MaxPaths)
 	if en == nil {
-		return nil, 0, fmt.Errorf("music: empty noise subspace")
+		return nil, 0, nil, fmt.Errorf("music: empty noise subspace")
 	}
 	proj := en.Mul(en.ConjTranspose()) // E_N·E_Nᴴ
 
@@ -139,7 +154,7 @@ func (e *Estimator) spectrum(c *csi.Matrix) (*Spectrum, int, error) {
 			spec.P[i][j] = 1 / denom
 		}
 	}
-	return spec, dim, nil
+	return spec, dim, eig, nil
 }
 
 // gridPoints returns the inclusive grid start, start+step, …, stop built

@@ -1,0 +1,105 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// Label values land between double quotes in the exposition format, so the
+// three characters Prometheus requires escaped — quote, backslash, newline
+// — must come out as \", \\, and \n or the scrape is unparseable.
+func TestWritePrometheusLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Gauge("esc", "", Labels{"quote": `say "hi"`}).Set(1)
+	r.Gauge("esc", "", Labels{"path": `C:\tmp\x`}).Set(2)
+	r.Gauge("esc", "", Labels{"msg": "line1\nline2"}).Set(3)
+
+	var buf strings.Builder
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, line := range []string{
+		`esc{quote="say \"hi\""} 1`,
+		`esc{path="C:\\tmp\\x"} 2`,
+		`esc{msg="line1\nline2"} 3`,
+	} {
+		if !strings.Contains(out, line+"\n") {
+			t.Fatalf("missing escaped line %q in:\n%s", line, out)
+		}
+	}
+	// A raw newline inside a label value would split the series line in two.
+	for _, l := range strings.Split(strings.TrimRight(out, "\n"), "\n") {
+		if !strings.HasPrefix(l, "#") && !strings.Contains(l, " ") {
+			t.Fatalf("line %q has no value: a label value leaked a raw newline:\n%s", l, out)
+		}
+	}
+}
+
+// Snapshot order is the registration order — families first-registered
+// first, series within a family likewise — and stable across calls, so
+// tests and diff-based tooling can rely on it.
+func TestSnapshotDeterministicOrder(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("z_total", "", nil).Inc()
+	r.Gauge("a_gauge", "", Labels{"stage": "locate"}).Set(1)
+	r.Gauge("a_gauge", "", Labels{"stage": "cluster"}).Set(2)
+	r.Histogram("m_seconds", "", []float64{1}, nil).Observe(0.5)
+
+	want := []struct{ name, labels string }{
+		{"z_total", ""},
+		{"a_gauge", `stage="locate"`},
+		{"a_gauge", `stage="cluster"`},
+		{"m_seconds", ""},
+	}
+	for run := 0; run < 5; run++ {
+		got := r.Snapshot()
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d samples, want %d", run, len(got), len(want))
+		}
+		for i, w := range want {
+			if got[i].Name != w.name || got[i].Labels != w.labels {
+				t.Fatalf("run %d sample %d: got %s{%s}, want %s{%s}",
+					run, i, got[i].Name, got[i].Labels, w.name, w.labels)
+			}
+		}
+	}
+}
+
+// Within one series key, label pairs are sorted by key regardless of the
+// map literal's order, so the same label set always names the same series.
+func TestLabelKeyOrderCanonical(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("c_total", "", Labels{"b": "2", "a": "1"})
+	b := r.Counter("c_total", "", Labels{"a": "1", "b": "2"})
+	if a != b {
+		t.Fatal("same label set in different literal order produced distinct series")
+	}
+	a.Inc()
+	if got := r.Snapshot()[0].Labels; got != `a="1",b="2"` {
+		t.Fatalf("labels rendered %q, want sorted a,b order", got)
+	}
+}
+
+// WritePrometheus output is byte-identical across calls: family and series
+// iteration comes from the recorded order, not map iteration.
+func TestWritePrometheusDeterministic(t *testing.T) {
+	r := NewRegistry()
+	for _, stage := range []string{"sanitize", "estimate", "cluster", "select", "locate"} {
+		r.Histogram("stage_seconds", "", []float64{0.1, 1}, Labels{"stage": stage}).Observe(0.2)
+	}
+	r.Counter("bursts_total", "", nil).Inc()
+
+	var first string
+	for run := 0; run < 5; run++ {
+		var buf strings.Builder
+		if err := r.WritePrometheus(&buf); err != nil {
+			t.Fatal(err)
+		}
+		if run == 0 {
+			first = buf.String()
+		} else if buf.String() != first {
+			t.Fatalf("run %d output differs:\n%s\n--- vs ---\n%s", run, buf.String(), first)
+		}
+	}
+}

@@ -1,0 +1,180 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// Handler serves the trace rings — mount it at /debug/traces.
+//
+//	GET /debug/traces            → JSON {"recent": [...], "slow": [...]}
+//	GET /debug/traces?n=10       → at most 10 traces per ring
+//	GET /debug/traces?slow=1     → only the slow ring
+//	GET /debug/traces?view=html  → HTML waterfall of the same selection
+func (t *Tracer) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		recent, slow := t.Recent(), t.Slow()
+		if r.URL.Query().Get("slow") == "1" {
+			recent = nil
+		}
+		if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n >= 0 {
+			if len(recent) > n {
+				recent = recent[:n]
+			}
+			if len(slow) > n {
+				slow = slow[:n]
+			}
+		}
+		if r.URL.Query().Get("view") == "html" {
+			writeWaterfall(w, recent, slow)
+			return
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(struct {
+			Recent []TraceData `json:"recent"`
+			Slow   []TraceData `json:"slow"`
+		}{recent, slow}); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		//lint:allow errdrop a failed write to the client has no one left to tell
+		_, _ = w.Write(buf.Bytes())
+	})
+}
+
+// rowView is one span row of the waterfall.
+type rowView struct {
+	Name     string
+	Depth    int
+	Indent   int // px
+	LeftPct  float64
+	WidthPct float64
+	Dur      string
+	Attrs    string
+}
+
+// traceView is one trace section of the waterfall page.
+type traceView struct {
+	ID    string
+	Start string
+	Dur   string
+	Slow  bool
+	Rows  []rowView
+}
+
+var waterfallTmpl = template.Must(template.New("waterfall").Parse(`<!DOCTYPE html>
+<html><head><title>spotfi traces</title><style>
+body { font: 13px/1.5 monospace; margin: 1.5em; background: #fafafa; color: #222; }
+h1 { font-size: 16px; }
+.trace { border: 1px solid #ddd; background: #fff; margin-bottom: 1.2em; padding: .6em .8em; }
+.trace.slow { border-color: #c0392b; }
+.hdr { margin-bottom: .4em; }
+.hdr .slowtag { color: #c0392b; font-weight: bold; }
+.row { display: flex; align-items: center; height: 1.4em; }
+.name { width: 30%; overflow: hidden; text-overflow: ellipsis; white-space: nowrap; }
+.lane { position: relative; flex: 1; height: .9em; background: #f0f0f0; }
+.bar { position: absolute; top: 0; height: 100%; background: #4a90d9; min-width: 1px; }
+.dur { width: 7em; text-align: right; color: #666; }
+.attrs { color: #888; margin-left: .8em; white-space: nowrap; overflow: hidden; text-overflow: ellipsis; max-width: 45%; }
+</style></head><body>
+<h1>spotfi burst traces</h1>
+{{if not .}}<p>no traces collected yet</p>{{end}}
+{{range .}}<div class="trace{{if .Slow}} slow{{end}}">
+<div class="hdr"><b>{{.ID}}</b> · {{.Start}} · {{.Dur}}{{if .Slow}} · <span class="slowtag">SLOW</span>{{end}}</div>
+{{range .Rows}}<div class="row">
+<span class="name" style="padding-left:{{.Indent}}px">{{.Name}}</span>
+<span class="lane"><span class="bar" style="left:{{printf "%.3f" .LeftPct}}%;width:{{printf "%.3f" .WidthPct}}%"></span></span>
+<span class="dur">{{.Dur}}</span>
+<span class="attrs">{{.Attrs}}</span>
+</div>
+{{end}}</div>
+{{end}}</body></html>
+`))
+
+func writeWaterfall(w http.ResponseWriter, recent, slow []TraceData) {
+	seen := make(map[string]bool)
+	var views []traceView
+	for _, td := range append(append([]TraceData(nil), slow...), recent...) {
+		if seen[td.ID] {
+			continue
+		}
+		seen[td.ID] = true
+		views = append(views, buildTraceView(td))
+	}
+	// Render to a buffer first: executing straight into w means a template
+	// error (or a client hanging up mid-body) lands after the 200 header is
+	// out, and the http.Error turns into a superfluous-WriteHeader log.
+	var buf bytes.Buffer
+	if err := waterfallTmpl.Execute(&buf, views); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	//lint:allow errdrop a failed write to the client has no one left to tell
+	_, _ = w.Write(buf.Bytes())
+}
+
+func buildTraceView(td TraceData) traceView {
+	tv := traceView{
+		ID:    td.ID,
+		Start: td.Start.Format(time.RFC3339Nano),
+		Dur:   time.Duration(td.DurNS).String(),
+		Slow:  td.Slow,
+	}
+	depth := make([]int, len(td.Spans))
+	for i, sp := range td.Spans {
+		if sp.Parent >= 0 && sp.Parent < i {
+			depth[i] = depth[sp.Parent] + 1
+		}
+	}
+	total := float64(td.DurNS)
+	if total <= 0 {
+		total = 1
+	}
+	for i, sp := range td.Spans {
+		tv.Rows = append(tv.Rows, rowView{
+			Name:     sp.Name,
+			Depth:    depth[i],
+			Indent:   depth[i] * 12,
+			LeftPct:  100 * float64(sp.StartNS) / total,
+			WidthPct: 100 * float64(sp.DurNS) / total,
+			Dur:      time.Duration(sp.DurNS).String(),
+			Attrs:    renderAttrs(sp.Attrs),
+		})
+	}
+	return tv
+}
+
+// renderAttrs flattens an attribute map into "k=v k=v" with sorted keys.
+func renderAttrs(attrs map[string]any) string {
+	if len(attrs) == 0 {
+		return ""
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := ""
+	for i, k := range keys {
+		if i > 0 {
+			out += " "
+		}
+		switch v := attrs[k].(type) {
+		case float64:
+			out += fmt.Sprintf("%s=%.4g", k, v)
+		default:
+			out += fmt.Sprintf("%s=%v", k, v)
+		}
+	}
+	return out
+}

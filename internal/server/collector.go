@@ -9,13 +9,16 @@ import (
 	"time"
 
 	"spotfi/internal/csi"
+	"spotfi/internal/obs/trace"
 )
 
 // BurstHandler receives a complete burst: for each AP that heard the
 // target, BatchSize consecutive packets. It runs on the goroutine that
 // delivered the completing packet; heavy work should be dispatched by the
-// handler itself.
-type BurstHandler func(targetMAC string, bursts map[int][]*csi.Packet)
+// handler itself. tr is the burst's trace — nil unless a tracer is wired
+// and the burst was sampled in. Whichever component completes the burst
+// owns the tr.Finish call.
+type BurstHandler func(targetMAC string, bursts map[int][]*csi.Packet, tr *trace.Trace)
 
 // CollectorConfig controls burst assembly.
 type CollectorConfig struct {
@@ -89,6 +92,7 @@ type Collector struct {
 	cfg     CollectorConfig
 	handler BurstHandler
 	metrics *Metrics
+	tracer  *trace.Tracer
 
 	mu          sync.Mutex
 	pending     map[string]map[int][]pendingPacket
@@ -132,6 +136,16 @@ func (c *Collector) SetMetrics(m *Metrics) {
 	c.metrics = m
 }
 
+// SetTracer wires burst tracing: each emitted burst that the tracer
+// samples in gets a trace whose root is backdated to the oldest packet in
+// the burst, with an "assemble" span covering buffering time. Call before
+// the first Add; nil disables tracing.
+func (c *Collector) SetTracer(t *trace.Tracer) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tracer = t
+}
+
 // Add ingests one CSI packet. Invalid packets are rejected with an error;
 // valid ones are buffered and may complete a burst, in which case the
 // handler is invoked before Add returns.
@@ -145,6 +159,7 @@ func (c *Collector) Add(p *csi.Packet) error {
 
 	var emit map[int][]*csi.Packet
 	var mac string
+	var oldest time.Time
 
 	c.mu.Lock()
 	byAP, ok := c.pending[p.TargetMAC]
@@ -175,6 +190,12 @@ func (c *Collector) Add(p *csi.Packet) error {
 		emit = make(map[int][]*csi.Packet, ready)
 		for ap, pkts := range byAP {
 			if len(pkts) >= c.cfg.BatchSize {
+				// Queues are in arrival order, so pkts[0] is this AP's
+				// oldest contribution — the burst's trace starts at the
+				// overall oldest so the assemble span covers buffering.
+				if oldest.IsZero() || pkts[0].at.Before(oldest) {
+					oldest = pkts[0].at
+				}
 				burst := make([]*csi.Packet, c.cfg.BatchSize)
 				for i := range burst {
 					burst[i] = pkts[i].p
@@ -202,10 +223,23 @@ func (c *Collector) Add(p *csi.Packet) error {
 	}
 	c.metrics.PendingTargets.Set(int64(len(c.pending)))
 	c.metrics.PendingPackets.Set(int64(c.buffered))
+	tracer := c.tracer
 	c.mu.Unlock()
 
 	if emit != nil {
-		c.emit(mac, emit)
+		tr := tracer.StartAt(trace.StageBurst, oldest)
+		if tr != nil {
+			total := 0
+			for _, b := range emit {
+				total += len(b)
+			}
+			asm := tr.Root().StartSpanAt(trace.StageAssemble, oldest)
+			asm.SetStr("mac", mac)
+			asm.SetInt("aps", int64(len(emit)))
+			asm.SetInt("packets", int64(total))
+			asm.End()
+		}
+		c.emit(mac, emit, tr)
 	}
 	return nil
 }
@@ -214,10 +248,12 @@ func (c *Collector) Add(p *csi.Packet) error {
 // burst is quarantined and counted, and the delivering goroutine (an AP
 // connection handler) keeps serving. One poisoned burst must not take
 // down the server.
-func (c *Collector) emit(mac string, bursts map[int][]*csi.Packet) {
+func (c *Collector) emit(mac string, bursts map[int][]*csi.Packet, tr *trace.Trace) {
 	defer func() {
 		if r := recover(); r != nil {
 			c.metrics.BurstPanics.Inc()
+			tr.Root().SetStr("panic", fmt.Sprint(r))
+			tr.Finish()
 			c.mu.Lock()
 			c.quarantined = append(c.quarantined, QuarantinedBurst{
 				TargetMAC: mac, Bursts: bursts, Reason: fmt.Sprint(r),
@@ -228,7 +264,7 @@ func (c *Collector) emit(mac string, bursts map[int][]*csi.Packet) {
 			c.mu.Unlock()
 		}
 	}()
-	c.handler(mac, bursts)
+	c.handler(mac, bursts, tr)
 }
 
 // Sweep evicts buffered packets older than BurstTTL and returns how many

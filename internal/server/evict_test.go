@@ -8,6 +8,7 @@ import (
 
 	"spotfi/internal/csi"
 	"spotfi/internal/obs"
+	"spotfi/internal/obs/trace"
 )
 
 // fakeClock is a settable clock for deterministic TTL tests.
@@ -31,7 +32,7 @@ func (f *fakeClock) Advance(d time.Duration) {
 func ttlCollector(t *testing.T, clk *fakeClock, ttl time.Duration, h BurstHandler) *Collector {
 	t.Helper()
 	if h == nil {
-		h = func(string, map[int][]*csi.Packet) {}
+		h = func(string, map[int][]*csi.Packet, *trace.Trace) {}
 	}
 	c, err := NewCollector(CollectorConfig{
 		BatchSize: 3, MinAPs: 2, MaxBuffered: 10, BurstTTL: ttl, Now: clk.Now,
@@ -81,7 +82,7 @@ func TestSweepTTLStraddle(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	clk := &fakeClock{t: time.Unix(1000, 0)}
 	var bursts []map[int][]*csi.Packet
-	c := ttlCollector(t, clk, time.Second, func(mac string, b map[int][]*csi.Packet) {
+	c := ttlCollector(t, clk, time.Second, func(mac string, b map[int][]*csi.Packet, tr *trace.Trace) {
 		bursts = append(bursts, b)
 	})
 
@@ -170,7 +171,7 @@ func TestSweepRacesCompletingBurst(t *testing.T) {
 	var bursts int
 	c, err := NewCollector(CollectorConfig{
 		BatchSize: 4, MinAPs: 2, MaxBuffered: 16, BurstTTL: time.Millisecond,
-	}, func(mac string, b map[int][]*csi.Packet) {
+	}, func(mac string, b map[int][]*csi.Packet, tr *trace.Trace) {
 		mu.Lock()
 		bursts++
 		mu.Unlock()

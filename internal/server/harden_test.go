@@ -10,6 +10,7 @@ import (
 	"spotfi/internal/chaos"
 	"spotfi/internal/csi"
 	"spotfi/internal/obs"
+	"spotfi/internal/obs/trace"
 	"spotfi/internal/wire"
 )
 
@@ -18,7 +19,7 @@ import (
 func hardenedServer(t *testing.T, h BurstHandler) (*Server, *Metrics, net.Addr) {
 	t.Helper()
 	if h == nil {
-		h = func(string, map[int][]*csi.Packet) {}
+		h = func(string, map[int][]*csi.Packet, *trace.Trace) {}
 	}
 	c, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 10}, h)
 	if err != nil {
@@ -26,7 +27,7 @@ func hardenedServer(t *testing.T, h BurstHandler) (*Server, *Metrics, net.Addr) 
 	}
 	m := NewMetrics(obs.NewRegistry())
 	c.SetMetrics(m)
-	s, err := New(c, t.Logf)
+	s, err := New(c, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -151,7 +152,7 @@ func TestBurstHandlerPanicQuarantined(t *testing.T) {
 	var mu sync.Mutex
 	var served []string
 	c, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 10},
-		func(mac string, bursts map[int][]*csi.Packet) {
+		func(mac string, bursts map[int][]*csi.Packet, tr *trace.Trace) {
 			if mac == "poison" {
 				panic("degenerate CSI killed the pipeline")
 			}
@@ -199,7 +200,7 @@ func TestBurstHandlerPanicQuarantined(t *testing.T) {
 func TestQuarantineRingBounded(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	c, err := NewCollector(CollectorConfig{BatchSize: 1, MinAPs: 2, MaxBuffered: 10},
-		func(string, map[int][]*csi.Packet) { panic("always") })
+		func(string, map[int][]*csi.Packet, *trace.Trace) { panic("always") })
 	if err != nil {
 		t.Fatal(err)
 	}

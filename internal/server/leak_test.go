@@ -8,6 +8,7 @@ import (
 
 	"spotfi/internal/csi"
 	"spotfi/internal/obs"
+	"spotfi/internal/obs/trace"
 )
 
 // TestCollectorPrunesDrainedTargets is the regression test for the
@@ -17,7 +18,7 @@ import (
 func TestCollectorPrunesDrainedTargets(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	c, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 10},
-		func(string, map[int][]*csi.Packet) {})
+		func(string, map[int][]*csi.Packet, *trace.Trace) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -61,7 +62,7 @@ func TestCollectorPendingGauges(t *testing.T) {
 	reg := obs.NewRegistry()
 	m := NewMetrics(reg)
 	c, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 10},
-		func(string, map[int][]*csi.Packet) {})
+		func(string, map[int][]*csi.Packet, *trace.Trace) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestCollectorSoakTransientMACs(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	var bursts int
 	c, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 10},
-		func(string, map[int][]*csi.Packet) { bursts++ })
+		func(string, map[int][]*csi.Packet, *trace.Trace) { bursts++ })
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -5,7 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"log"
+	"log/slog"
 	"net"
 	"sync"
 	"syscall"
@@ -29,7 +29,7 @@ const (
 // Collector.
 type Server struct {
 	collector *Collector
-	logf      func(format string, args ...any)
+	log       *slog.Logger
 	metrics   *Metrics
 
 	handshakeTimeout time.Duration
@@ -44,18 +44,18 @@ type Server struct {
 	wg sync.WaitGroup
 }
 
-// New returns a Server delivering packets to collector. logf may be nil
-// (log.Printf is used).
-func New(collector *Collector, logf func(string, ...any)) (*Server, error) {
+// New returns a Server delivering packets to collector. logger may be nil
+// (slog.Default is used); records carry structured ap/remote/err attrs.
+func New(collector *Collector, logger *slog.Logger) (*Server, error) {
 	if collector == nil {
 		return nil, fmt.Errorf("server: nil collector")
 	}
-	if logf == nil {
-		logf = log.Printf
+	if logger == nil {
+		logger = slog.Default()
 	}
 	return &Server{
 		collector:        collector,
-		logf:             logf,
+		log:              logger,
 		metrics:          &Metrics{},
 		handshakeTimeout: DefaultHandshakeTimeout,
 		idleTimeout:      DefaultIdleTimeout,
@@ -158,20 +158,20 @@ func (s *Server) handle(conn net.Conn) {
 	if err != nil {
 		if isTimeout(err) {
 			s.metrics.IdleTimeouts.Inc()
-			s.logf("server: %v: handshake deadline exceeded, reaping", conn.RemoteAddr())
+			s.log.Warn("handshake deadline exceeded, reaping", "remote", conn.RemoteAddr())
 		} else {
 			s.metrics.DecodeErrors.Inc()
-			s.logf("server: %v: bad handshake: %v", conn.RemoteAddr(), err)
+			s.log.Warn("bad handshake", "remote", conn.RemoteAddr(), "err", err)
 		}
 		return
 	}
 	apID, err := wire.DecodeHello(hello)
 	if err != nil {
 		s.metrics.DecodeErrors.Inc()
-		s.logf("server: %v: expected hello: %v", conn.RemoteAddr(), err)
+		s.log.Warn("expected hello", "remote", conn.RemoteAddr(), "err", err)
 		return
 	}
-	s.logf("server: AP %d connected from %v", apID, conn.RemoteAddr())
+	s.log.Info("AP connected", "ap", apID, "remote", conn.RemoteAddr())
 
 	for {
 		// Refresh the idle deadline per frame: a healthy AP streams
@@ -187,13 +187,13 @@ func (s *Server) handle(conn net.Conn) {
 				// Clean close (or our own shutdown).
 			case isTimeout(err):
 				s.metrics.IdleTimeouts.Inc()
-				s.logf("server: AP %d: idle for %v, reaping", apID, s.idleTimeout)
+				s.log.Warn("idle AP reaped", "ap", apID, "idle", s.idleTimeout)
 			case isConnReset(err):
 				s.metrics.ConnResets.Inc()
-				s.logf("server: AP %d: connection reset mid-frame: %v", apID, err)
+				s.log.Warn("connection reset mid-frame", "ap", apID, "err", err)
 			default:
 				s.metrics.DecodeErrors.Inc()
-				s.logf("server: AP %d: read: %v", apID, err)
+				s.log.Warn("read error", "ap", apID, "err", err)
 			}
 			return
 		}
@@ -208,16 +208,16 @@ func (s *Server) handle(conn net.Conn) {
 					// packet at the door and keep the connection.
 					s.metrics.PacketsNonFinite.Inc()
 					s.metrics.PacketsRejected.Inc()
-					s.logf("server: AP %d: non-finite CSI dropped: %v", apID, err)
+					s.log.Warn("non-finite CSI dropped", "ap", apID, "err", err)
 					continue
 				}
 				s.metrics.DecodeErrors.Inc()
-				s.logf("server: AP %d: corrupt report: %v", apID, err)
+				s.log.Warn("corrupt report, closing stream", "ap", apID, "err", err)
 				return // a desynced stream cannot be trusted further
 			}
 			if pkt.APID != int(apID) {
 				s.metrics.PacketsRejected.Inc()
-				s.logf("server: AP %d: report claims APID %d; dropping", apID, pkt.APID)
+				s.log.Warn("APID mismatch, dropping report", "ap", apID, "claimed", pkt.APID)
 				continue
 			}
 			if err := s.collector.Add(pkt); err != nil {
@@ -225,14 +225,14 @@ func (s *Server) handle(conn net.Conn) {
 					s.metrics.PacketsNonFinite.Inc()
 				}
 				s.metrics.PacketsRejected.Inc()
-				s.logf("server: AP %d: rejected packet: %v", apID, err)
+				s.log.Warn("rejected packet", "ap", apID, "err", err)
 			}
 		case wire.TypeBye:
-			s.logf("server: AP %d disconnected cleanly", apID)
+			s.log.Info("AP disconnected cleanly", "ap", apID)
 			return
 		default:
 			s.metrics.DecodeErrors.Inc()
-			s.logf("server: AP %d: unknown frame type %d", apID, f.Type)
+			s.log.Warn("unknown frame type", "ap", apID, "type", f.Type)
 			return
 		}
 	}

@@ -9,19 +9,20 @@ import (
 	"time"
 
 	"spotfi/internal/csi"
+	"spotfi/internal/obs/trace"
 	"spotfi/internal/wire"
 )
 
 func startTestServer(t *testing.T, onBurst BurstHandler) (*Server, net.Addr, *Collector) {
 	t.Helper()
 	if onBurst == nil {
-		onBurst = func(string, map[int][]*csi.Packet) {}
+		onBurst = func(string, map[int][]*csi.Packet, *trace.Trace) {}
 	}
 	collector, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 20}, onBurst)
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(collector, func(string, ...any) {})
+	srv, err := New(collector, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -65,7 +66,7 @@ func TestServerDropsUnknownFrameType(t *testing.T) {
 
 func TestServerDropsMismatchedAPID(t *testing.T) {
 	rng := rand.New(rand.NewSource(300))
-	_, addr, collector := startTestServer(t, func(string, map[int][]*csi.Packet) {
+	_, addr, collector := startTestServer(t, func(string, map[int][]*csi.Packet, *trace.Trace) {
 		t.Error("spoofed packet produced a burst")
 	})
 	conn := dialAndHello(t, addr, 1)
@@ -146,7 +147,7 @@ func TestServerShutdownViaContext(t *testing.T) {
 
 func TestCollectorPendingTargets(t *testing.T) {
 	rng := rand.New(rand.NewSource(302))
-	c, err := NewCollector(DefaultCollectorConfig(), func(string, map[int][]*csi.Packet) {})
+	c, err := NewCollector(DefaultCollectorConfig(), func(string, map[int][]*csi.Packet, *trace.Trace) {})
 	if err != nil {
 		t.Fatal(err)
 	}

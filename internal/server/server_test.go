@@ -11,6 +11,7 @@ import (
 	"spotfi/internal/apnode"
 	"spotfi/internal/csi"
 	"spotfi/internal/geom"
+	"spotfi/internal/obs/trace"
 	"spotfi/internal/rf"
 	"spotfi/internal/sim"
 )
@@ -46,7 +47,7 @@ func TestCollectorEmitsWhenReady(t *testing.T) {
 	var mu sync.Mutex
 	var got []map[int][]*csi.Packet
 	c, err := NewCollector(CollectorConfig{BatchSize: 3, MinAPs: 2, MaxBuffered: 10},
-		func(mac string, bursts map[int][]*csi.Packet) {
+		func(mac string, bursts map[int][]*csi.Packet, tr *trace.Trace) {
 			mu.Lock()
 			got = append(got, bursts)
 			mu.Unlock()
@@ -87,7 +88,7 @@ func TestCollectorSeparatesTargets(t *testing.T) {
 	rng := rand.New(rand.NewSource(112))
 	var bursts int
 	c, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 10},
-		func(mac string, b map[int][]*csi.Packet) {
+		func(mac string, b map[int][]*csi.Packet, tr *trace.Trace) {
 			bursts++
 			for _, pkts := range b {
 				for _, p := range pkts {
@@ -119,7 +120,7 @@ func TestCollectorSeparatesTargets(t *testing.T) {
 func TestCollectorDropsOldestWhenFull(t *testing.T) {
 	rng := rand.New(rand.NewSource(113))
 	c, err := NewCollector(CollectorConfig{BatchSize: 4, MinAPs: 2, MaxBuffered: 4},
-		func(string, map[int][]*csi.Packet) {})
+		func(string, map[int][]*csi.Packet, *trace.Trace) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -139,7 +140,7 @@ func TestCollectorDropsOldestWhenFull(t *testing.T) {
 }
 
 func TestCollectorRejectsBadInput(t *testing.T) {
-	c, err := NewCollector(DefaultCollectorConfig(), func(string, map[int][]*csi.Packet) {})
+	c, err := NewCollector(DefaultCollectorConfig(), func(string, map[int][]*csi.Packet, *trace.Trace) {})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestServerAgentIntegration(t *testing.T) {
 
 	burstCh := make(chan map[int][]*csi.Packet, 4)
 	collector, err := NewCollector(CollectorConfig{BatchSize: 5, MinAPs: 3, MaxBuffered: 50},
-		func(mac string, b map[int][]*csi.Packet) {
+		func(mac string, b map[int][]*csi.Packet, tr *trace.Trace) {
 			if mac != "02:aa" {
 				t.Errorf("burst for unexpected MAC %s", mac)
 			}
@@ -173,7 +174,7 @@ func TestServerAgentIntegration(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(collector, t.Logf)
+	srv, err := New(collector, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -231,13 +232,13 @@ func TestServerAgentIntegration(t *testing.T) {
 }
 
 func TestServerRejectsGarbage(t *testing.T) {
-	collector, err := NewCollector(DefaultCollectorConfig(), func(string, map[int][]*csi.Packet) {
+	collector, err := NewCollector(DefaultCollectorConfig(), func(string, map[int][]*csi.Packet, *trace.Trace) {
 		t.Error("garbage produced a burst")
 	})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(collector, func(string, ...any) {})
+	srv, err := New(collector, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,11 +266,11 @@ func TestServerRejectsGarbage(t *testing.T) {
 }
 
 func TestServerCloseIdempotent(t *testing.T) {
-	collector, err := NewCollector(DefaultCollectorConfig(), func(string, map[int][]*csi.Packet) {})
+	collector, err := NewCollector(DefaultCollectorConfig(), func(string, map[int][]*csi.Packet, *trace.Trace) {})
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(collector, func(string, ...any) {})
+	srv, err := New(collector, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}

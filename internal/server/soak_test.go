@@ -12,6 +12,7 @@ import (
 	"spotfi/internal/apnode"
 	"spotfi/internal/csi"
 	"spotfi/internal/geom"
+	"spotfi/internal/obs/trace"
 	"spotfi/internal/rf"
 	"spotfi/internal/sim"
 )
@@ -41,7 +42,7 @@ func TestServerSoakManyTargets(t *testing.T) {
 	var bursts int32
 	collector, err := NewCollector(CollectorConfig{
 		BatchSize: batchSize, MinAPs: minAPs, MaxBuffered: 100,
-	}, func(mac string, b map[int][]*csi.Packet) {
+	}, func(mac string, b map[int][]*csi.Packet, tr *trace.Trace) {
 		for ap, pkts := range b {
 			for _, p := range pkts {
 				if p.TargetMAC != mac {
@@ -59,7 +60,7 @@ func TestServerSoakManyTargets(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := New(collector, func(string, ...any) {})
+	srv, err := New(collector, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -36,6 +36,7 @@ import (
 	"spotfi/internal/locate"
 	"spotfi/internal/music"
 	"spotfi/internal/obs"
+	"spotfi/internal/obs/trace"
 	"spotfi/internal/rf"
 	"spotfi/internal/sanitize"
 )
@@ -297,12 +298,23 @@ func (l *Localizer) APs() []AP {
 // from one target: sanitization, per-packet super-resolution (in
 // parallel), clustering, and direct-path selection.
 func (l *Localizer) ProcessBurst(apID int, pkts []*Packet) (*APReport, error) {
+	return l.ProcessBurstTraced(apID, pkts, nil)
+}
+
+// ProcessBurstTraced is ProcessBurst recording stage spans and DSP
+// attributes under parent. A nil parent (tracing disabled or the burst
+// sampled out) adds no allocations to the hot path.
+func (l *Localizer) ProcessBurstTraced(apID int, pkts []*Packet, parent *trace.Span) (*APReport, error) {
 	if _, ok := l.aps[apID]; !ok {
 		return nil, fmt.Errorf("spotfi: unknown AP %d", apID)
 	}
 	if len(pkts) == 0 {
 		return nil, fmt.Errorf("spotfi: empty burst for AP %d", apID)
 	}
+	apSpan := parent.StartSpan(trace.StageAP)
+	defer apSpan.End()
+	apSpan.SetInt("ap", int64(apID))
+	apSpan.SetInt("packets", int64(len(pkts)))
 
 	perPacket := make([][]PathEstimate, len(pkts))
 	errs := make([]error, len(pkts))
@@ -327,23 +339,37 @@ func (l *Localizer) ProcessBurst(apID int, pkts []*Packet) (*APReport, error) {
 				}
 			}
 			if l.cfg.Sanitize {
+				ssp := apSpan.StartSpan(trace.StageSanitize)
 				start := time.Now()
-				_, err := sanitize.ToF(work, l.cfg.Music.Band.SubcarrierSpacingHz)
+				sres, err := sanitize.ToF(work, l.cfg.Music.Band.SubcarrierSpacingHz)
 				l.cfg.Metrics.SanitizeSeconds.ObserveSince(start)
+				ssp.SetInt("pkt", int64(i))
+				ssp.SetFloat("sto_ns", sres.STOEstimate*1e9)
+				ssp.End()
 				if err != nil {
 					errs[i] = err
 					return
 				}
 			}
+			esp := apSpan.StartSpan(trace.StageEstimate)
 			start := time.Now()
 			var est []PathEstimate
+			var diag music.Diag
 			var err error
 			if l.jade != nil {
-				est, err = l.jade.EstimatePaths(work)
+				est, diag, err = l.jade.EstimatePathsDiag(work)
 			} else {
-				est, err = l.est.EstimatePaths(work)
+				est, diag, err = l.est.EstimatePathsDiag(work)
 			}
 			l.cfg.Metrics.EstimateSeconds.ObserveSince(start)
+			esp.SetInt("pkt", int64(i))
+			esp.SetInt("eigen_sweeps", int64(diag.EigenSweeps))
+			esp.SetInt("signal_dim", int64(diag.SignalDim))
+			esp.SetFloat("eigen_gap_db", diag.EigenGapDB)
+			esp.SetInt("grid_theta", int64(diag.GridTheta))
+			esp.SetInt("grid_tau", int64(diag.GridTau))
+			esp.SetInt("peaks", int64(diag.Peaks))
+			esp.End()
 			if err != nil {
 				errs[i] = err
 				return
@@ -369,14 +395,29 @@ func (l *Localizer) ProcessBurst(apID int, pkts []*Packet) (*APReport, error) {
 	// RNG: concurrent ProcessBurst calls would otherwise consume the
 	// generator in scheduler order and make results run-dependent.
 	seed := int64(uint64(l.cfg.Seed)^uint64(apID+1)*0x9E3779B97F4A7C15^(pkts[0].Seq+1)*0xBF58476D1CE4E5B9^uint64(len(pkts))) & 0x7FFFFFFFFFFFFFFF
+	csp := apSpan.StartSpan(trace.StageCluster)
 	start := time.Now()
 	res, err := dpath.Identify(perPacket, l.cfg.DPath, rand.New(rand.NewSource(seed)))
 	l.cfg.Metrics.ClusterSeconds.ObserveSince(start)
 	if err != nil {
+		csp.End()
 		l.cfg.Metrics.BurstFailures.Inc()
 		return nil, err
 	}
+	csp.SetInt("clusters", int64(len(res.Candidates)))
+	csp.End()
 
+	sel := apSpan.StartSpan(trace.StageSelect)
+	defer sel.End()
+	if sel.Enabled() {
+		// Per-cluster Eq. 8 likelihoods, in the candidates' sorted order.
+		ls := make([]float64, len(res.Candidates))
+		for i, c := range res.Candidates {
+			ls[i] = c.Likelihood
+		}
+		sel.SetFloats("likelihoods", ls)
+		sel.SetStr("scheme", l.cfg.Selection.String())
+	}
 	var cand Candidate
 	var ok bool
 	switch l.cfg.Selection {
@@ -391,6 +432,9 @@ func (l *Localizer) ProcessBurst(apID int, pkts []*Packet) (*APReport, error) {
 		l.cfg.Metrics.BurstFailures.Inc()
 		return nil, fmt.Errorf("spotfi: no direct-path candidate for AP %d", apID)
 	}
+	sel.SetFloat("aoa_deg", cand.AoA*180/math.Pi)
+	sel.SetFloat("tof_ns", cand.ToF*1e9)
+	sel.SetFloat("likelihood", cand.Likelihood)
 	l.cfg.Metrics.BurstsProcessed.Inc()
 	return &APReport{
 		APID:        apID,
@@ -414,6 +458,12 @@ func firstError(errs []error) error {
 
 // Locate fuses per-AP reports into a location estimate (stage 3, Eq. 9).
 func (l *Localizer) Locate(reports []*APReport) (Point, error) {
+	return l.LocateTraced(reports, nil)
+}
+
+// LocateTraced is Locate recording a solver span (iterations, objective,
+// solution) under parent. A nil parent is free.
+func (l *Localizer) LocateTraced(reports []*APReport, parent *trace.Span) (Point, error) {
 	obs := make([]locate.APObservation, 0, len(reports))
 	for _, r := range reports {
 		ap, ok := l.aps[r.APID]
@@ -428,12 +478,19 @@ func (l *Localizer) Locate(reports []*APReport) (Point, error) {
 			Likelihood:  r.Likelihood,
 		})
 	}
+	lsp := parent.StartSpan(trace.StageLocate)
+	defer lsp.End()
+	lsp.SetInt("aps", int64(len(reports)))
 	start := time.Now()
 	res, err := locate.Locate(obs, l.cfg.Locate)
 	l.cfg.Metrics.LocateSeconds.ObserveSince(start)
 	if err != nil {
 		return Point{}, err
 	}
+	lsp.SetInt("iters", int64(res.Iters))
+	lsp.SetFloat("objective", res.Objective)
+	lsp.SetFloat("x", res.Location.X)
+	lsp.SetFloat("y", res.Location.Y)
 	return res.Location, nil
 }
 
@@ -455,6 +512,15 @@ func (s SkippedAP) String() string {
 // must survive. When localization proceeds, skipped is non-nil exactly
 // when at least one AP was dropped.
 func (l *Localizer) LocalizeBursts(bursts map[int][]*Packet) (Point, []*APReport, []SkippedAP, error) {
+	return l.LocalizeBurstsTraced(bursts, nil)
+}
+
+// LocalizeBurstsTraced is LocalizeBursts recording the full pipeline span
+// tree under tr's root. It does not Finish the trace — the caller that owns
+// the burst lifecycle does. A nil tr (tracing disabled or the burst sampled
+// out) adds no allocations.
+func (l *Localizer) LocalizeBurstsTraced(bursts map[int][]*Packet, tr *trace.Trace) (Point, []*APReport, []SkippedAP, error) {
+	root := tr.Root()
 	ids := make([]int, 0, len(bursts))
 	for id := range bursts {
 		ids = append(ids, id)
@@ -463,7 +529,7 @@ func (l *Localizer) LocalizeBursts(bursts map[int][]*Packet) (Point, []*APReport
 	var reports []*APReport
 	var skipped []SkippedAP
 	for _, id := range ids {
-		rep, err := l.ProcessBurst(id, bursts[id])
+		rep, err := l.ProcessBurstTraced(id, bursts[id], root)
 		if err != nil {
 			skipped = append(skipped, SkippedAP{APID: id, Err: err})
 			l.cfg.Metrics.APsSkipped.Inc()
@@ -471,11 +537,12 @@ func (l *Localizer) LocalizeBursts(bursts map[int][]*Packet) (Point, []*APReport
 		}
 		reports = append(reports, rep)
 	}
+	root.SetInt("aps_skipped", int64(len(skipped)))
 	if len(reports) < 2 {
 		return Point{}, nil, skipped, fmt.Errorf("spotfi: only %d usable AP reports (%d skipped: %v)",
 			len(reports), len(skipped), skipped)
 	}
-	p, err := l.Locate(reports)
+	p, err := l.LocateTraced(reports, root)
 	return p, reports, skipped, err
 }
 

@@ -12,6 +12,7 @@ import (
 	"spotfi/internal/chaos"
 	"spotfi/internal/csi"
 	"spotfi/internal/obs"
+	"spotfi/internal/obs/trace"
 	"spotfi/internal/server"
 	"spotfi/internal/sim"
 	"spotfi/internal/testbed"
@@ -48,7 +49,7 @@ func TestChaosSoak(t *testing.T) {
 		MinAPs:      5,
 		MaxBuffered: 64,
 		BurstTTL:    600 * time.Millisecond,
-	}, func(mac string, bursts map[int][]*csi.Packet) {
+	}, func(mac string, bursts map[int][]*csi.Packet, tr *trace.Trace) {
 		switch mac {
 		case poisonMAC:
 			panic("chaos: poisoned burst reached the pipeline")
@@ -74,7 +75,7 @@ func TestChaosSoak(t *testing.T) {
 	stopSweeper := collector.StartSweeper(150 * time.Millisecond)
 	defer stopSweeper()
 
-	srv, err := server.New(collector, t.Logf)
+	srv, err := server.New(collector, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 
 	"spotfi/internal/apnode"
 	"spotfi/internal/csi"
+	"spotfi/internal/obs/trace"
 	"spotfi/internal/server"
 	"spotfi/internal/sim"
 	"spotfi/internal/testbed"
@@ -31,7 +32,7 @@ func TestLiveSystemEndToEnd(t *testing.T) {
 	fixes := make(chan Point, 8)
 	collector, err := server.NewCollector(server.CollectorConfig{
 		BatchSize: 8, MinAPs: 5, MaxBuffered: 64,
-	}, func(mac string, bursts map[int][]*csi.Packet) {
+	}, func(mac string, bursts map[int][]*csi.Packet, tr *trace.Trace) {
 		if mac != testbed.TargetMAC(targetIdx) {
 			t.Errorf("burst for unexpected MAC %s", mac)
 			return
@@ -46,7 +47,7 @@ func TestLiveSystemEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv, err := server.New(collector, t.Logf)
+	srv, err := server.New(collector, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,6 +14,7 @@ import (
 	"spotfi/internal/apnode"
 	"spotfi/internal/csi"
 	"spotfi/internal/obs"
+	"spotfi/internal/obs/trace"
 	"spotfi/internal/server"
 	"spotfi/internal/sim"
 	"spotfi/internal/testbed"
@@ -65,7 +66,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 	fixes := make(chan Point, 8)
 	collector, err := server.NewCollector(server.CollectorConfig{
 		BatchSize: packets, MinAPs: 6, MaxBuffered: 64,
-	}, func(mac string, bursts map[int][]*csi.Packet) {
+	}, func(mac string, bursts map[int][]*csi.Packet, tr *trace.Trace) {
 		p, _, skipped, err := loc.LocalizeBursts(bursts)
 		if err != nil {
 			t.Errorf("localize: %v", err)
@@ -81,7 +82,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 	}
 	sm := server.NewMetrics(reg)
 	collector.SetMetrics(sm)
-	srv, err := server.New(collector, func(string, ...any) {})
+	srv, err := server.New(collector, testLogger(t))
 	if err != nil {
 		t.Fatal(err)
 	}

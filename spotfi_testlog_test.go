@@ -1,0 +1,20 @@
+package spotfi
+
+import (
+	"bytes"
+	"log/slog"
+	"testing"
+)
+
+// testLogger routes structured server logs through t.Logf so they
+// interleave with test output and vanish on success.
+func testLogger(t *testing.T) *slog.Logger {
+	return slog.New(slog.NewTextHandler(testLogWriter{t}, nil))
+}
+
+type testLogWriter struct{ t *testing.T }
+
+func (w testLogWriter) Write(p []byte) (int, error) {
+	w.t.Logf("%s", bytes.TrimRight(p, "\n"))
+	return len(p), nil
+}
