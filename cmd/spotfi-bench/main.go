@@ -2,9 +2,20 @@
 // evaluation (Sec. 4) on the simulated testbed and prints the series the
 // paper reports. Run with -quick for a reduced-scale smoke pass.
 //
+// Beyond the human-readable tables, the harness maintains a
+// machine-readable accuracy/perf fingerprint: -json writes
+// BENCH_<runid>.json with per-figure median/p90 error, wall time, and
+// heap-allocation deltas; -compare diffs the run against a committed
+// baseline (BENCH_baseline.json) and exits non-zero on any regression
+// beyond tolerance — the CI bench-baseline gate. Regenerate the committed
+// baseline with -write-baseline after an intentional accuracy or cost
+// change.
+//
 // Usage:
 //
 //	spotfi-bench [-quick] [-seed N] [-packets N] [-targets N] [-only figID]
+//	    [-json] [-runid ID] [-compare BENCH_baseline.json]
+//	    [-write-baseline BENCH_baseline.json] [-results out.json]
 package main
 
 import (
@@ -13,6 +24,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"time"
 
 	"spotfi/internal/experiments"
@@ -50,7 +62,11 @@ func main() {
 	repeats := flag.Int("repeats", 1, "independently-seeded deployments to pool per experiment")
 	only := flag.String("only", "", "run a single figure (fig5ab, fig5c, fig7a, fig7b, fig7c, fig8a, fig8b, fig9a, fig9b, planval)")
 	svgDir := flag.String("svg", "", "also write one SVG figure per experiment into this directory")
-	jsonOut := flag.String("json", "", "also write all results as JSON to this file")
+	resultsOut := flag.String("results", "", "also write the raw result series as JSON to this file")
+	jsonOut := flag.Bool("json", false, "write the machine-readable baseline to BENCH_<runid>.json")
+	runID := flag.String("runid", "", "run identifier for -json (default: UTC timestamp)")
+	comparePath := flag.String("compare", "", "compare this run against a baseline file; exit 1 on regression")
+	writeBaseline := flag.String("write-baseline", "", "write the machine-readable baseline to this exact path")
 	flag.Parse()
 
 	if *svgDir != "" {
@@ -85,6 +101,12 @@ func main() {
 		}
 	}
 
+	id := *runID
+	if id == "" {
+		id = time.Now().UTC().Format("20060102T150405Z")
+	}
+	baseline := experiments.NewBaseline(id, time.Now().UTC().Format(time.RFC3339), opts)
+
 	fns := map[string]func(experiments.Options) (*experiments.Result, error){
 		"fig5ab":  experiments.Fig5Sanitization,
 		"fig5c":   experiments.Fig5cClusters,
@@ -105,14 +127,22 @@ func main() {
 		if !ok {
 			return fmt.Errorf("unknown figure %q", id)
 		}
+		// Allocation deltas as a machine-independent cost proxy alongside
+		// the machine-dependent wall time.
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
 		start := time.Now()
 		r, err := fn(opts)
 		if err != nil {
 			return fmt.Errorf("%s: %w", id, err)
 		}
+		wall := time.Since(start)
+		runtime.ReadMemStats(&after)
+		baseline.AddFigure(r, wall.Seconds(),
+			after.TotalAlloc-before.TotalAlloc, after.Mallocs-before.Mallocs)
 		collected = append(collected, r)
 		fmt.Print(r.Render())
-		fmt.Printf("(%s in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		fmt.Printf("(%s in %v)\n\n", id, wall.Round(time.Millisecond))
 		if *svgDir != "" {
 			if err := writeSVG(*svgDir, r); err != nil {
 				return fmt.Errorf("%s: svg: %w", id, err)
@@ -134,16 +164,53 @@ func main() {
 			}
 		}
 	}
-	if *jsonOut != "" {
+	if *resultsOut != "" {
 		data, err := json.MarshalIndent(collected, "", "  ")
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "spotfi-bench:", err)
 			os.Exit(1)
 		}
-		if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+		if err := os.WriteFile(*resultsOut, data, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "spotfi-bench:", err)
 			os.Exit(1)
 		}
-		fmt.Printf("wrote %s\n", *jsonOut)
+		fmt.Printf("wrote %s\n", *resultsOut)
 	}
+	for _, path := range baselinePaths(*jsonOut, id, *writeBaseline) {
+		if err := baseline.WriteFile(path); err != nil {
+			fmt.Fprintln(os.Stderr, "spotfi-bench:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", path)
+	}
+	if *comparePath != "" {
+		base, err := experiments.LoadBaseline(*comparePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spotfi-bench:", err)
+			os.Exit(1)
+		}
+		violations := experiments.Compare(base, baseline, experiments.DefaultTolerance())
+		if len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "spotfi-bench: %d regression(s) vs %s:\n", len(violations), *comparePath)
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "  -", v)
+			}
+			os.Exit(1)
+		}
+		fmt.Printf("baseline check passed: no regressions vs %s\n", *comparePath)
+	}
+}
+
+// baselinePaths resolves where the machine-readable baseline goes: the
+// conventional BENCH_<runid>.json with -json, an explicit path with
+// -write-baseline, or both.
+func baselinePaths(jsonOut bool, runID, explicit string) []string {
+	var out []string
+	if jsonOut {
+		out = append(out, "BENCH_"+runID+".json")
+	}
+	if explicit != "" {
+		out = append(out, explicit)
+	}
+	return out
 }

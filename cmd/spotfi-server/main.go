@@ -16,8 +16,17 @@
 // counted instead of killing a worker.
 //
 // With -debug-addr set, an HTTP listener exposes /metrics (Prometheus text
-// format), /healthz, /debug/traces (recent burst traces as JSON, or an HTML
-// waterfall with ?view=html), and net/http/pprof under /debug/pprof/.
+// format, including Go runtime telemetry), /healthz (liveness), /readyz
+// (readiness: 503 until at least one AP has delivered a packet within
+// -burst-ttl, with a per-AP staleness report), /debug/traces (recent burst
+// traces as JSON, or an HTML waterfall with ?view=html), /debug/quality
+// (per-burst confidence scores and the per-AP drift/health scoreboard, JSON
+// or ?view=html), and net/http/pprof under /debug/pprof/.
+//
+// Every fix carries a confidence score in [0,1] folding DSP internals
+// (likelihood margin, eigen gap, STO stability, AoA agreement, solver
+// convergence, AP geometry); bursts scoring below -quality-floor are
+// counted in spotfi_quality_low_total.
 //
 // Per-burst tracing samples 1 in -trace-sample bursts (0 disables) and
 // always retains traces slower than -trace-slow. Logs are structured
@@ -30,7 +39,7 @@
 //	    -bounds 0,0,16,10 [-batch 10] [-minaps 3] \
 //	    [-workers N] [-queue 64] [-idle-timeout 90s] [-burst-ttl 30s] \
 //	    [-trace-sample 100] [-trace-slow 5s] [-log-format text] \
-//	    [-debug-addr 127.0.0.1:7101]
+//	    [-quality-floor 0.25] [-debug-addr 127.0.0.1:7101]
 package main
 
 import (
@@ -50,6 +59,7 @@ import (
 	"spotfi/internal/cliutil"
 	"spotfi/internal/csi"
 	"spotfi/internal/obs"
+	"spotfi/internal/obs/quality"
 	"spotfi/internal/obs/trace"
 	"spotfi/internal/server"
 )
@@ -106,7 +116,7 @@ func localizeOne(loc *spotfi.Localizer, lm *localizeMetrics, logger *slog.Logger
 		return
 	}
 	logger.Info("target localized", "mac", j.mac, "trace", j.tr.ID(),
-		"x", p.X, "y", p.Y, "aps", len(reports))
+		"x", p.X, "y", p.Y, "aps", len(reports), "confidence", p.Confidence)
 }
 
 func main() {
@@ -124,6 +134,8 @@ func main() {
 	traceSample := flag.Int("trace-sample", 100, "trace 1 in N bursts (0 disables tracing)")
 	traceSlow := flag.Duration("trace-slow", 5*time.Second, "always retain traces of bursts slower than this end-to-end")
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	qualityFloor := flag.Float64("quality-floor", quality.DefaultFloor,
+		"confidence score below which a fix counts as low-quality")
 	version := flag.Bool("version", false, "print build version and exit")
 	var aps cliutil.APList
 	flag.Var(&aps, "ap", "AP spec id,x,y,normalDeg (repeatable)")
@@ -162,16 +174,24 @@ func main() {
 		os.Exit(2)
 	}
 
+	if *qualityFloor < 0 || *qualityFloor > 1 {
+		fmt.Fprintln(os.Stderr, "spotfi-server: -quality-floor must be in [0,1]")
+		os.Exit(2)
+	}
+
 	reg := obs.NewRegistry()
 	cliutil.RegisterBuildInfo(reg)
+	obs.RegisterRuntimeMetrics(reg)
 	tracer := trace.New(trace.Config{
 		SampleEvery:   *traceSample,
 		SlowThreshold: *traceSlow,
 		Registry:      reg,
 		Logger:        logger,
 	})
+	monitor := quality.NewMonitor(reg, quality.Config{Floor: *qualityFloor})
 	cfg := spotfi.DefaultConfig(bounds)
 	cfg.Metrics = spotfi.NewPipelineMetrics(reg)
+	cfg.QualityMonitor = monitor
 	loc, err := spotfi.New(cfg, aps)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
@@ -243,10 +263,15 @@ func main() {
 	if *debugAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
+		// /healthz is pure liveness (the process is up); /readyz is
+		// readiness (at least one AP delivered a packet within -burst-ttl,
+		// so the server can actually produce fixes).
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
+		mux.Handle("/readyz", srv.Tracker().ReadinessHandler(*burstTTL))
 		mux.Handle("/debug/traces", tracer.Handler())
+		mux.Handle("/debug/quality", monitor.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)

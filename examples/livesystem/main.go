@@ -11,8 +11,9 @@ package main
 import (
 	"context"
 	"fmt"
-	"log"
+	"log/slog"
 	"math/rand"
+	"os"
 	"sync"
 	"time"
 
@@ -26,6 +27,7 @@ import (
 )
 
 func main() {
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil))
 	d := testbed.Office(42)
 	const targetIdx = 4
 	const packetsPerAP = 30
@@ -36,7 +38,8 @@ func main() {
 	}
 	loc, err := spotfi.New(spotfi.DefaultConfig(d.Bounds), aps)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("localizer init failed", "err", err)
+		os.Exit(1)
 	}
 
 	// The server localizes every time each of ≥5 APs has 10 fresh packets.
@@ -46,29 +49,36 @@ func main() {
 	}, func(mac string, bursts map[int][]*csi.Packet, tr *trace.Trace) {
 		defer tr.Finish()
 		p, reports, skipped, err := loc.LocalizeBurstsTraced(bursts, tr)
+		// Skipped APs are reported on the error path too: when
+		// localization dies for want of usable reports, the per-AP causes
+		// are the diagnosis.
+		for _, s := range skipped {
+			logger.Warn("AP skipped", "mac", mac, "trace", tr.ID(), "ap", s.APID, "err", s.Err)
+		}
 		if err != nil {
-			log.Printf("localize %s: %v", mac, err)
+			logger.Warn("localize failed", "mac", mac, "trace", tr.ID(), "err", err)
 			return
 		}
-		for _, s := range skipped {
-			log.Printf("localize %s: skipped %v", mac, s)
-		}
-		log.Printf("fix for %s: (%.2f, %.2f) m from %d APs", mac, p.X, p.Y, len(reports))
-		fixes <- p
+		logger.Info("target localized", "mac", mac, "trace", tr.ID(),
+			"x", p.X, "y", p.Y, "aps", len(reports), "confidence", p.Confidence)
+		fixes <- p.Point
 	})
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("collector init failed", "err", err)
+		os.Exit(1)
 	}
-	srv, err := server.New(collector, nil) // slog.Default goes to stderr, same as log.Printf
+	srv, err := server.New(collector, logger)
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("server init failed", "err", err)
+		os.Exit(1)
 	}
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
-		log.Fatal(err)
+		logger.Error("listen failed", "err", err)
+		os.Exit(1)
 	}
 	defer srv.Close()
-	log.Printf("server on %v", addr)
+	logger.Info("server listening", "addr", addr.String())
 
 	// Six AP agents stream CSI over real TCP connections.
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
@@ -79,7 +89,7 @@ func main() {
 		syn, err := sim.NewSynthesizer(link, d.Band, d.Array, d.Imp,
 			rand.New(rand.NewSource(int64(100+apIdx))))
 		if err != nil {
-			log.Printf("AP %d cannot hear the target: %v", apIdx, err)
+			logger.Warn("AP cannot hear the target", "ap", apIdx, "err", err)
 			continue
 		}
 		agent := &apnode.Agent{
@@ -97,7 +107,7 @@ func main() {
 		go func(id int) {
 			defer wg.Done()
 			if err := agent.Run(ctx); err != nil {
-				log.Printf("agent %d: %v", id, err)
+				logger.Warn("agent exited", "ap", id, "err", err)
 			}
 		}(apIdx)
 	}
@@ -122,7 +132,8 @@ drain:
 		}
 	}
 	if n == 0 {
-		log.Fatal("no fixes produced")
+		logger.Error("no fixes produced")
+		os.Exit(1)
 	}
 	fmt.Printf("\nground truth (%.2f, %.2f) m; %d fixes, mean error %.2f m\n",
 		truth.X, truth.Y, n, sumErr/float64(n))

@@ -66,7 +66,7 @@ func main() {
 			continue
 		}
 		// Kalman update: each waypoint is ~2 s apart.
-		state, err := tracker.Update(track.Fix{T: 2 * float64(i), Pos: fix})
+		state, err := tracker.Update(track.Fix{T: 2 * float64(i), Pos: fix.Point})
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -57,3 +57,10 @@ func (g *rng) int63n(n int64) int64 {
 	defer g.mu.Unlock()
 	return g.r.Int63n(n)
 }
+
+// float64u returns a uniform float64 in [0, 1).
+func (g *rng) float64u() float64 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.r.Float64()
+}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"io"
 	"math"
+	"math/cmplx"
 	"net"
 	"testing"
 	"time"
@@ -356,5 +357,74 @@ func TestSourceDeterminism(t *testing.T) {
 		if a[i] != b[i] {
 			t.Fatalf("same seed diverged at %d: %d vs %d", i, a[i], b[i])
 		}
+	}
+}
+
+func TestSourcePhaseRamp(t *testing.T) {
+	pkts := makePackets(2)
+	const ramp = 0.8
+	src := WrapSource(&sliceSource{pkts: pkts}, SourceConfig{Seed: 9, PhaseRampRad: ramp})
+	p, err := src.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Antenna i is rotated by i·ramp relative to the original CSI; the
+	// amplitudes are untouched and the packet still validates (the whole
+	// point of the fault: framing-level defenses cannot see it).
+	if err := p.Validate(); err != nil {
+		t.Fatalf("phase-skewed packet no longer validates: %v", err)
+	}
+	for i, row := range p.CSI.Values {
+		for k, v := range row {
+			orig := pkts[0].CSI.Values[i][k]
+			if math.Abs(cmplx.Abs(v)-cmplx.Abs(orig)) > 1e-12 {
+				t.Fatalf("antenna %d sub %d amplitude changed: %v -> %v", i, k, orig, v)
+			}
+			got := cmplx.Phase(v) - cmplx.Phase(orig)
+			want := float64(i) * ramp
+			// Compare modulo 2π.
+			if d := math.Mod(got-want+3*math.Pi, 2*math.Pi) - math.Pi; math.Abs(d) > 1e-9 {
+				t.Fatalf("antenna %d phase shift %.4f, want %.4f", i, got, want)
+			}
+		}
+	}
+	// The inner source's packet must be untouched.
+	if pkts[0].CSI.Values[1][0] != complex(1, 0) {
+		t.Fatalf("phase skew mutated the inner source's packet: %v", pkts[0].CSI.Values[1][0])
+	}
+	if src.Stats().PhaseSkews.Value() != 1 {
+		t.Fatalf("PhaseSkews = %d, want 1", src.Stats().PhaseSkews.Value())
+	}
+}
+
+func TestSourcePhaseJitterVariesPerPacket(t *testing.T) {
+	src := WrapSource(&sliceSource{pkts: makePackets(6)}, SourceConfig{Seed: 10, PhaseJitterRad: 0.5})
+	// All inner packets have identical CSI, so any difference between
+	// emitted packets' antenna-1 phases is the per-packet jitter.
+	var phases []float64
+	for {
+		p, err := src.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		phases = append(phases, cmplx.Phase(p.CSI.Values[1][0]))
+	}
+	if len(phases) != 6 {
+		t.Fatalf("got %d packets, want 6", len(phases))
+	}
+	varies := false
+	for i := 1; i < len(phases); i++ {
+		if math.Abs(phases[i]-phases[0]) > 1e-6 {
+			varies = true
+		}
+	}
+	if !varies {
+		t.Fatalf("PhaseJitterRad produced identical ramps across packets: %v", phases)
+	}
+	if got := src.Stats().PhaseSkews.Value(); got != 6 {
+		t.Fatalf("PhaseSkews = %d, want 6", got)
 	}
 }

@@ -3,6 +3,7 @@ package chaos
 import (
 	"io"
 	"math"
+	"math/cmplx"
 
 	"spotfi/internal/csi"
 	"spotfi/internal/obs"
@@ -40,14 +41,27 @@ type SourceConfig struct {
 	// unsynchronized AP clocks the paper's design assumes (Sec. 3).
 	SkewNs   int64
 	JitterNs int64
+
+	// PhaseRampRad rotates antenna i's CSI by i·PhaseRampRad on every
+	// packet — a miscalibrated RF chain or mismatched antenna cable. At
+	// λ/2 spacing a ramp of φ shifts the apparent AoA by asin(φ/π) while
+	// leaving amplitudes, timestamps, and framing untouched, so only the
+	// estimate-quality layer can see it.
+	PhaseRampRad float64
+
+	// PhaseJitterRad adds a per-packet uniform ramp slope in
+	// [-PhaseJitterRad, +PhaseJitterRad] on top of PhaseRampRad — phase-lock
+	// instability that makes the AoA wander within a single burst.
+	PhaseJitterRad float64
 }
 
 // SourceStats counts injected faults by class.
 type SourceStats struct {
-	NaNs     obs.Counter
-	Infs     obs.Counter
-	Dups     obs.Counter
-	Reorders obs.Counter
+	NaNs       obs.Counter
+	Infs       obs.Counter
+	Dups       obs.Counter
+	Reorders   obs.Counter
+	PhaseSkews obs.Counter
 }
 
 // Source wraps a PacketSource with fault injection. It is not safe for
@@ -97,7 +111,10 @@ func (s *Source) Next() (*csi.Packet, error) {
 		}
 		// On EOF keep p: the last packet has no successor to swap with.
 	}
-	return s.emit(s.poison(p)), nil
+	// Phase skew is applied to fresh packets only: the dup path above
+	// re-emits a clone of an already-skewed packet, and ramping it again
+	// would double the fault.
+	return s.emit(s.skewPhase(s.poison(p))), nil
 }
 
 // emit records p as the most recently emitted packet and applies clock
@@ -128,6 +145,31 @@ func (s *Source) poison(p *csi.Packet) *csi.Packet {
 	rows := p.CSI.Values
 	row := rows[s.g.intn(len(rows))]
 	row[s.g.intn(len(row))] = bad
+	return p
+}
+
+// skewPhase applies the configured per-antenna phase ramp (constant plus
+// per-packet jitter). The packet is cloned first; the inner source's CSI
+// is never mutated.
+func (s *Source) skewPhase(p *csi.Packet) *csi.Packet {
+	if s.cfg.PhaseRampRad == 0 && s.cfg.PhaseJitterRad <= 0 { //lint:allow floateq zero means the fault is configured off, not a computed value
+		return p
+	}
+	if p.CSI == nil || len(p.CSI.Values) == 0 {
+		return p
+	}
+	slope := s.cfg.PhaseRampRad
+	if s.cfg.PhaseJitterRad > 0 {
+		slope += (2*s.g.float64u() - 1) * s.cfg.PhaseJitterRad
+	}
+	s.stats.PhaseSkews.Inc()
+	p = clonePacket(p)
+	for i, row := range p.CSI.Values {
+		rot := cmplx.Exp(complex(0, float64(i)*slope))
+		for k := range row {
+			row[k] *= rot
+		}
+	}
 	return p
 }
 

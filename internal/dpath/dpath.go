@@ -115,6 +115,27 @@ func (r *Result) Best() (Candidate, bool) {
 	return r.Candidates[0], true
 }
 
+// Margin returns the top-two likelihood margin 1 − l₂/l₁ ∈ [0,1]: how
+// decisively the best candidate beat the runner-up under Eq. 8. A single
+// candidate is maximally decisive (1); no candidates score 0.
+func (r *Result) Margin() float64 {
+	switch {
+	case len(r.Candidates) == 0:
+		return 0
+	case len(r.Candidates) == 1:
+		return 1
+	}
+	l1 := r.Candidates[0].Likelihood
+	if l1 <= 0 {
+		return 0
+	}
+	m := 1 - r.Candidates[1].Likelihood/l1
+	if m < 0 {
+		return 0
+	}
+	return m
+}
+
 // MinToF returns the candidate with the smallest mean ToF — the LTEye
 // selection rule (valid because STO shifts all paths of a packet equally).
 func (r *Result) MinToF() (Candidate, bool) {

@@ -230,3 +230,22 @@ func TestIdentifyAutoK(t *testing.T) {
 		t.Fatalf("auto-K selection error %.1f°", geom.Deg(math.Abs(best.AoA-truth)))
 	}
 }
+
+func TestMargin(t *testing.T) {
+	cases := []struct {
+		name string
+		r    Result
+		want float64
+	}{
+		{"none", Result{}, 0},
+		{"single", Result{Candidates: []Candidate{{Likelihood: 2}}}, 1},
+		{"decisive", Result{Candidates: []Candidate{{Likelihood: 10}, {Likelihood: 1}}}, 0.9},
+		{"tied", Result{Candidates: []Candidate{{Likelihood: 5}, {Likelihood: 5}}}, 0},
+		{"zero-top", Result{Candidates: []Candidate{{Likelihood: 0}, {Likelihood: 0}}}, 0},
+	}
+	for _, tc := range cases {
+		if got := tc.r.Margin(); math.Abs(got-tc.want) > 1e-12 {
+			t.Errorf("%s: Margin() = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}

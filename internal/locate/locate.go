@@ -145,6 +145,12 @@ type Result struct {
 	// Iters is the total number of Gauss–Newton iterations spent across
 	// all starts and robust rounds — a convergence diagnostic for traces.
 	Iters int
+	// AoAResid holds each input observation's direct-path AoA residual at
+	// the solution (predicted − observed, wrapped), in the order the
+	// observations were passed in. NaN for observations with non-positive
+	// likelihood. It is the cross-AP agreement signal quality scoring and
+	// drift detection consume.
+	AoAResid []float64
 }
 
 // foldAoA maps an angle onto the ULA-observable range [−π/2, π/2].
@@ -270,6 +276,14 @@ func Locate(obs []APObservation, cfg Config) (Result, error) {
 		bestRes = refined
 	}
 	bestRes.Iters = totalIters
+	bestRes.AoAResid = make([]float64, len(obs))
+	for i, o := range obs {
+		if o.Likelihood <= 0 {
+			bestRes.AoAResid[i] = math.NaN()
+			continue
+		}
+		bestRes.AoAResid[i] = geom.NormalizeAngle(predictAoA(o, bestRes.Location) - o.AoA)
+	}
 	return bestRes, nil
 }
 

@@ -354,3 +354,34 @@ func TestRefitModelGuardsUnphysicalExponent(t *testing.T) {
 		t.Fatalf("degenerate geometry changed exponent to %v", got.Exponent)
 	}
 }
+
+func TestLocateAoAResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(95))
+	aps, normals := defaultAPs()
+	truth := geom.Point{X: 5.3, Y: 6.1}
+	obs := makeObs(truth, aps, normals, 0, 0, rng)
+	// One AP disagrees hard; one is unusable.
+	obs[1].AoA = foldAoA(obs[1].AoA + geom.Rad(25))
+	obs[2].Likelihood = 0
+	res, err := Locate(obs, DefaultConfig(testBounds))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.AoAResid) != len(obs) {
+		t.Fatalf("AoAResid has %d entries, want %d", len(res.AoAResid), len(obs))
+	}
+	if !math.IsNaN(res.AoAResid[2]) {
+		t.Fatalf("zero-likelihood AP residual = %v, want NaN", res.AoAResid[2])
+	}
+	// The consistent APs pin the solution, so the corrupted AP's residual
+	// must dwarf theirs.
+	bad := math.Abs(res.AoAResid[1])
+	for _, i := range []int{0, 3, 4} {
+		if good := math.Abs(res.AoAResid[i]); good >= bad/3 {
+			t.Fatalf("AP %d residual %v not well below corrupted AP's %v", i, good, bad)
+		}
+	}
+	if bad < geom.Rad(5) {
+		t.Fatalf("corrupted AP residual %v rad, want ≥ 5°", bad)
+	}
+}

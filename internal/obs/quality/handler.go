@@ -1,0 +1,222 @@
+package quality
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"spotfi/internal/viz"
+)
+
+// Handler serves the quality scoreboard — mount it at /debug/quality.
+//
+//	GET /debug/quality            → JSON Snapshot
+//	GET /debug/quality?n=10       → at most 10 recent bursts
+//	GET /debug/quality?view=html  → HTML scoreboard with a score CDF
+func (m *Monitor) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := m.Snapshot()
+		if n, err := strconv.Atoi(r.URL.Query().Get("n")); err == nil && n >= 0 && len(snap.Recent) > n {
+			snap.Recent = snap.Recent[:n]
+		}
+		if r.URL.Query().Get("view") == "html" {
+			writeScoreboard(w, snap)
+			return
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(snap); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		//lint:allow errdrop a failed write to the client has no one left to tell
+		_, _ = w.Write(buf.Bytes())
+	})
+}
+
+// metricRowView is one drift baseline row of the AP table.
+type metricRowView struct {
+	Name     string
+	Mean     string
+	Sigma    string
+	LastZ    string
+	Breaches uint64
+}
+
+// apView is one AP row of the scoreboard.
+type apView struct {
+	APID     int
+	Health   string
+	Class    string // good / warn / bad
+	Score    string
+	Bursts   int
+	Warmed   bool
+	LastSeen string
+	Metrics  []metricRowView
+}
+
+// burstView is one recent-burst row.
+type burstView struct {
+	Time    string
+	Overall string
+	Class   string
+	PerAP   string
+	Parts   string
+}
+
+// boardView is the scoreboard page model.
+type boardView struct {
+	Floor  string
+	Bursts uint64
+	Low    uint64
+	APs    []apView
+	Recent []burstView
+	CDF    template.HTML // pre-rendered SVG of recent score CDFs
+}
+
+var scoreboardTmpl = template.Must(template.New("scoreboard").Parse(`<!DOCTYPE html>
+<html><head><title>spotfi quality</title><style>
+body { font: 13px/1.5 monospace; margin: 1.5em; background: #fafafa; color: #222; }
+h1 { font-size: 16px; } h2 { font-size: 14px; margin-top: 1.4em; }
+table { border-collapse: collapse; background: #fff; }
+th, td { border: 1px solid #ddd; padding: .25em .6em; text-align: right; }
+th { background: #f0f0f0; } td.l { text-align: left; }
+.good { color: #1e8449; font-weight: bold; }
+.warn { color: #b7950b; font-weight: bold; }
+.bad  { color: #c0392b; font-weight: bold; }
+.dim  { color: #888; }
+</style></head><body>
+<h1>spotfi estimate quality</h1>
+<p>floor {{.Floor}} · {{.Bursts}} bursts scored · {{.Low}} below floor</p>
+<h2>AP health</h2>
+{{if not .APs}}<p class="dim">no bursts scored yet</p>{{else}}
+<table><tr><th>ap</th><th>health</th><th>score</th><th>bursts</th><th>drift baselines (mean ± σ, last z, breaches)</th></tr>
+{{range .APs}}<tr>
+<td>{{.APID}}</td><td class="{{.Class}}">{{.Health}}</td><td>{{.Score}}</td>
+<td>{{.Bursts}}{{if not .Warmed}} <span class="dim">(warming)</span>{{end}}</td>
+<td class="l">{{range .Metrics}}{{.Name}}: {{.Mean}} ± {{.Sigma}} (z {{.LastZ}}, breaches {{.Breaches}})<br>{{end}}</td>
+</tr>{{end}}</table>{{end}}
+{{if .CDF}}<h2>score distribution (recent bursts)</h2>
+{{.CDF}}{{end}}
+<h2>recent bursts</h2>
+{{if not .Recent}}<p class="dim">none</p>{{else}}
+<table><tr><th>time</th><th>score</th><th>per-AP</th><th>components</th></tr>
+{{range .Recent}}<tr>
+<td class="l">{{.Time}}</td><td class="{{.Class}}">{{.Overall}}</td>
+<td class="l">{{.PerAP}}</td><td class="l dim">{{.Parts}}</td>
+</tr>{{end}}</table>{{end}}
+</body></html>
+`))
+
+func writeScoreboard(w http.ResponseWriter, snap Snapshot) {
+	bv := boardView{
+		Floor:  fmt.Sprintf("%.2f", snap.Floor),
+		Bursts: snap.Bursts,
+		Low:    snap.LowBursts,
+	}
+	for _, ap := range snap.APs {
+		av := apView{
+			APID:     ap.APID,
+			Health:   fmt.Sprintf("%.3f", ap.Health),
+			Class:    healthClass(ap.Health),
+			Score:    fmt.Sprintf("%.3f", ap.Score),
+			Bursts:   ap.Bursts,
+			Warmed:   ap.Warmed,
+			LastSeen: ap.LastSeen.Format(time.RFC3339),
+		}
+		for _, name := range DriftMetrics() {
+			ms, ok := ap.Metrics[name]
+			if !ok {
+				continue
+			}
+			av.Metrics = append(av.Metrics, metricRowView{
+				Name:     name,
+				Mean:     fmt.Sprintf("%.4g", ms.Mean),
+				Sigma:    fmt.Sprintf("%.3g", ms.Sigma),
+				LastZ:    fmt.Sprintf("%+.2f", ms.LastZ),
+				Breaches: ms.Breaches,
+			})
+		}
+		bv.APs = append(bv.APs, av)
+	}
+	for _, rec := range snap.Recent {
+		perAP := ""
+		for i, ap := range rec.PerAP {
+			if i > 0 {
+				perAP += " "
+			}
+			perAP += fmt.Sprintf("ap%d=%.2f", ap.APID, ap.Score)
+		}
+		b := rec.Breakdown
+		bv.Recent = append(bv.Recent, burstView{
+			Time:    rec.Time.Format(time.RFC3339),
+			Overall: fmt.Sprintf("%.3f", rec.Overall),
+			Class:   healthClass(rec.Overall),
+			PerAP:   perAP,
+			Parts: fmt.Sprintf("margin=%.2f gap=%.2f sto=%.2f agree=%.2f solver=%.2f aps=%.2f",
+				b.Margin, b.EigenGap, b.STOStability, b.Agreement, b.Solver, b.APGeometry),
+		})
+	}
+	bv.CDF = scoreCDF(snap)
+
+	// Render to a buffer first so a template error still produces a clean
+	// 500 instead of trailing a 200.
+	var buf bytes.Buffer
+	if err := scoreboardTmpl.Execute(&buf, bv); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	//lint:allow errdrop a failed write to the client has no one left to tell
+	_, _ = w.Write(buf.Bytes())
+}
+
+func healthClass(h float64) string {
+	switch {
+	case h >= 0.7:
+		return "good"
+	case h >= 0.4:
+		return "warn"
+	}
+	return "bad"
+}
+
+// scoreCDF renders per-AP and overall score CDFs over the recent ring as an
+// inline SVG ("" when there is nothing to plot).
+func scoreCDF(snap Snapshot) template.HTML {
+	if len(snap.Recent) == 0 {
+		return ""
+	}
+	overall := make([]float64, 0, len(snap.Recent))
+	byAP := make(map[int][]float64)
+	for _, rec := range snap.Recent {
+		overall = append(overall, rec.Overall)
+		for _, ap := range rec.PerAP {
+			byAP[ap.APID] = append(byAP[ap.APID], ap.Score)
+		}
+	}
+	ids := make([]int, 0, len(byAP))
+	for id := range byAP {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	labels := []string{"overall"}
+	samples := [][]float64{overall}
+	for _, id := range ids {
+		labels = append(labels, "ap "+strconv.Itoa(id))
+		samples = append(samples, byAP[id])
+	}
+	p, err := viz.CDFPlot("confidence score CDF", "score", labels, samples)
+	if err != nil {
+		return ""
+	}
+	p.Width, p.Height = 560, 300
+	return template.HTML(p.SVG())
+}

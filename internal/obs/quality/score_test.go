@@ -1,0 +1,141 @@
+package quality
+
+import (
+	"math"
+	"testing"
+)
+
+func cleanAP(id int) APInputs {
+	return APInputs{
+		APID:        id,
+		Margin:      0.85,
+		EigenGapDB:  25,
+		STOMeanNs:   40,
+		STOJitterNs: 3,
+		AoAResidRad: 0.02,
+		Likelihood:  1,
+		Packets:     20,
+	}
+}
+
+func cleanBurst(nAPs int) BurstInputs {
+	in := BurstInputs{Iters: 12, Objective: 0.01}
+	for i := 0; i < nAPs; i++ {
+		in.APs = append(in.APs, cleanAP(i))
+	}
+	return in
+}
+
+func TestScoreBurstCleanScoresHigh(t *testing.T) {
+	sc := ScoreBurst(cleanBurst(4), ScoreConfig{})
+	if sc.Overall < 0.7 || sc.Overall > 1 {
+		t.Fatalf("clean burst Overall = %.3f, want in [0.7, 1]", sc.Overall)
+	}
+	if len(sc.PerAP) != 4 {
+		t.Fatalf("PerAP = %d entries, want 4", len(sc.PerAP))
+	}
+	for _, ap := range sc.PerAP {
+		if ap.Score < 0.7 {
+			t.Fatalf("clean AP %d score = %.3f, want ≥ 0.7", ap.APID, ap.Score)
+		}
+	}
+	b := sc.Breakdown
+	for name, c := range map[string]float64{
+		"Margin": b.Margin, "EigenGap": b.EigenGap, "STOStability": b.STOStability,
+		"Agreement": b.Agreement, "Solver": b.Solver, "APGeometry": b.APGeometry,
+	} {
+		if c < 0 || c > 1 {
+			t.Fatalf("component %s = %.3f out of [0,1]", name, c)
+		}
+	}
+}
+
+func TestScoreBurstDegradedAPScoresLower(t *testing.T) {
+	in := cleanBurst(3)
+	// AP 0 disagrees hard with the fused location and has a jittery STO
+	// fit — the miscalibrated-AP signature.
+	in.APs[0].AoAResidRad = 0.35
+	in.APs[0].STOJitterNs = 40
+	in.APs[0].Margin = 0.2
+	sc := ScoreBurst(in, ScoreConfig{})
+	clean := ScoreBurst(cleanBurst(3), ScoreConfig{})
+	if sc.Overall >= clean.Overall {
+		t.Fatalf("degraded burst %.3f not below clean %.3f", sc.Overall, clean.Overall)
+	}
+	if sc.PerAP[0].Score >= sc.PerAP[1].Score {
+		t.Fatalf("degraded AP score %.3f not below clean AP %.3f",
+			sc.PerAP[0].Score, sc.PerAP[1].Score)
+	}
+	if sc.PerAP[0].Score > 0.4 {
+		t.Fatalf("degraded AP score = %.3f, want ≤ 0.4", sc.PerAP[0].Score)
+	}
+}
+
+func TestScoreBurstMoreAPsScoreHigher(t *testing.T) {
+	two := ScoreBurst(cleanBurst(2), ScoreConfig{})
+	five := ScoreBurst(cleanBurst(5), ScoreConfig{})
+	if five.Overall <= two.Overall {
+		t.Fatalf("5 APs %.3f not above 2 APs %.3f", five.Overall, two.Overall)
+	}
+	if two.Breakdown.APGeometry != 0.5 {
+		t.Fatalf("APGeometry(2) = %.3f, want 0.5", two.Breakdown.APGeometry)
+	}
+}
+
+func TestScoreBurstEmptyAndNaN(t *testing.T) {
+	if sc := ScoreBurst(BurstInputs{}, ScoreConfig{}); sc.Overall != 0 || sc.PerAP != nil {
+		t.Fatalf("empty burst = %+v, want zero Score", sc)
+	}
+
+	in := cleanBurst(2)
+	// Sanitization disabled: jitter is NaN and the component is skipped.
+	in.APs[0].STOJitterNs = math.NaN()
+	in.APs[1].STOJitterNs = math.NaN()
+	sc := ScoreBurst(in, ScoreConfig{})
+	if sc.Breakdown.STOStability != 1 {
+		t.Fatalf("STOStability with sanitize off = %.3f, want 1", sc.Breakdown.STOStability)
+	}
+	if math.IsNaN(sc.Overall) || sc.Overall <= 0 {
+		t.Fatalf("Overall = %v, want finite positive", sc.Overall)
+	}
+
+	// A NaN residual must not propagate into a NaN score.
+	in = cleanBurst(2)
+	in.APs[0].AoAResidRad = math.NaN()
+	sc = ScoreBurst(in, ScoreConfig{})
+	if math.IsNaN(sc.Overall) {
+		t.Fatal("NaN residual produced NaN Overall")
+	}
+}
+
+func TestScoreBurstBounds(t *testing.T) {
+	// Garbage inputs must still land in [0,1].
+	in := BurstInputs{
+		APs: []APInputs{{
+			Margin:      -3,
+			EigenGapDB:  -10,
+			STOJitterNs: 1e9,
+			AoAResidRad: math.Pi,
+		}},
+		Objective: 1e6,
+	}
+	sc := ScoreBurst(in, ScoreConfig{})
+	if sc.Overall < 0 || sc.Overall > 1 || math.IsNaN(sc.Overall) {
+		t.Fatalf("Overall = %v, want in [0,1]", sc.Overall)
+	}
+	if sc.Overall > 0.1 {
+		t.Fatalf("garbage burst Overall = %.3f, want ≤ 0.1", sc.Overall)
+	}
+}
+
+func TestScoreConfigFill(t *testing.T) {
+	c := ScoreConfig{}.fill()
+	d := DefaultScoreConfig()
+	if c != d {
+		t.Fatalf("zero config filled to %+v, want %+v", c, d)
+	}
+	custom := ScoreConfig{AgreeScaleRad: 0.5}.fill()
+	if custom.AgreeScaleRad != 0.5 || custom.EigenGapScaleDB != d.EigenGapScaleDB {
+		t.Fatalf("partial fill = %+v", custom)
+	}
+}

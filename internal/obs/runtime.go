@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"math"
+	"runtime/metrics"
+)
+
+// Runtime metric names read from runtime/metrics at scrape time.
+const (
+	rmGoroutines = "/sched/goroutines:goroutines"
+	rmHeapObj    = "/memory/classes/heap/objects:bytes"
+	rmHeapUnused = "/memory/classes/heap/unused:bytes"
+	rmGCPauses   = "/sched/pauses/total/gc:seconds"
+)
+
+// RegisterRuntimeMetrics registers Go runtime telemetry on r, read from
+// runtime/metrics at every scrape:
+//
+//	spotfi_go_goroutines          live goroutine count
+//	spotfi_go_heap_inuse_bytes    bytes in in-use heap spans
+//	spotfi_go_gc_pause_p99_seconds  p99 stop-the-world GC pause since start
+//
+// Pipeline-level series say whether SpotFi is keeping up; these say whether
+// the process is about to fall over (goroutine leak, heap growth, GC
+// stalls) before it does.
+func RegisterRuntimeMetrics(r *Registry) {
+	r.GaugeFunc("spotfi_go_goroutines",
+		"Live goroutines in the process.", nil,
+		func() float64 { return readRuntimeValue(rmGoroutines) })
+	r.GaugeFunc("spotfi_go_heap_inuse_bytes",
+		"Bytes in in-use heap spans (live objects plus span-internal free space).", nil,
+		func() float64 {
+			return readRuntimeValue(rmHeapObj) + readRuntimeValue(rmHeapUnused)
+		})
+	r.GaugeFunc("spotfi_go_gc_pause_p99_seconds",
+		"99th-percentile stop-the-world GC pause duration since process start.", nil,
+		func() float64 { return readRuntimeP99(rmGCPauses) })
+}
+
+// readRuntimeValue reads one scalar runtime/metrics sample (0 when the
+// metric is unsupported on this Go version).
+func readRuntimeValue(name string) float64 {
+	s := []metrics.Sample{{Name: name}}
+	metrics.Read(s)
+	switch s[0].Value.Kind() {
+	case metrics.KindUint64:
+		return float64(s[0].Value.Uint64())
+	case metrics.KindFloat64:
+		return s[0].Value.Float64()
+	default:
+		return 0
+	}
+}
+
+// readRuntimeP99 reads a runtime/metrics histogram and returns its p99 (0
+// when unsupported or empty).
+func readRuntimeP99(name string) float64 {
+	s := []metrics.Sample{{Name: name}}
+	metrics.Read(s)
+	if s[0].Value.Kind() != metrics.KindFloat64Histogram {
+		return 0
+	}
+	return histP99(s[0].Value.Float64Histogram())
+}
+
+// histP99 computes the 99th percentile from a runtime/metrics histogram.
+// Buckets are half-open (Buckets[i], Buckets[i+1]]; the upper edge of the
+// bucket containing the percentile is returned, clamped to the largest
+// finite edge for the overflow bucket.
+func histP99(h *metrics.Float64Histogram) float64 {
+	if h == nil || len(h.Counts) == 0 {
+		return 0
+	}
+	var total uint64
+	for _, c := range h.Counts {
+		total += c
+	}
+	if total == 0 {
+		return 0
+	}
+	target := uint64(math.Ceil(0.99 * float64(total)))
+	var cum uint64
+	for i, c := range h.Counts {
+		cum += c
+		if cum >= target {
+			// Bucket i spans (Buckets[i], Buckets[i+1]].
+			hi := len(h.Buckets) - 1
+			edge := i + 1
+			if edge > hi {
+				edge = hi
+			}
+			v := h.Buckets[edge]
+			if math.IsInf(v, 1) && edge > 0 {
+				v = h.Buckets[edge-1]
+			}
+			if math.IsInf(v, 0) || math.IsNaN(v) {
+				return 0
+			}
+			return v
+		}
+	}
+	return 0
+}

@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"runtime/metrics"
+)
+
+func TestRegisterRuntimeMetrics(t *testing.T) {
+	r := NewRegistry()
+	RegisterRuntimeMetrics(r)
+	// Force at least one GC so pause histograms have content.
+	runtime.GC()
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	text := sb.String()
+	for _, want := range []string{
+		"spotfi_go_goroutines",
+		"spotfi_go_heap_inuse_bytes",
+		"spotfi_go_gc_pause_p99_seconds",
+	} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("exposition missing %s:\n%s", want, text)
+		}
+	}
+	if g := readRuntimeValue("/sched/goroutines:goroutines"); g < 1 {
+		t.Fatalf("goroutines = %v, want ≥ 1", g)
+	}
+	heap := readRuntimeValue("/memory/classes/heap/objects:bytes")
+	if heap <= 0 {
+		t.Fatalf("heap objects = %v, want > 0", heap)
+	}
+	if p99 := readRuntimeP99("/sched/pauses/total/gc:seconds"); p99 < 0 || p99 > 10 {
+		t.Fatalf("GC pause p99 = %v s, want sane", p99)
+	}
+}
+
+func TestReadRuntimeUnknownMetric(t *testing.T) {
+	if v := readRuntimeValue("/not/a/metric:units"); v != 0 {
+		t.Fatalf("unknown scalar = %v, want 0", v)
+	}
+	if v := readRuntimeP99("/not/a/metric:units"); v != 0 {
+		t.Fatalf("unknown histogram p99 = %v, want 0", v)
+	}
+}
+
+func TestHistP99(t *testing.T) {
+	if v := histP99(nil); v != 0 {
+		t.Fatalf("nil histogram = %v", v)
+	}
+	h := &metrics.Float64Histogram{
+		Counts:  []uint64{98, 1, 1},
+		Buckets: []float64{0, 1e-6, 1e-3, 1},
+	}
+	// 100 samples: p99 target lands in the second-to-last bucket.
+	if v := histP99(h); v != 1e-3 {
+		t.Fatalf("p99 = %v, want 1e-3", v)
+	}
+	empty := &metrics.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if v := histP99(empty); v != 0 {
+		t.Fatalf("empty histogram p99 = %v", v)
+	}
+}

@@ -1,0 +1,122 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// APTracker records when each AP last delivered an accepted CSI packet —
+// the signal behind the readiness probe: a server whose APs have all gone
+// quiet is alive but cannot produce fixes.
+type APTracker struct {
+	mu   sync.Mutex
+	last map[int]time.Time
+	now  func() time.Time // injectable for tests
+}
+
+// NewAPTracker returns an empty tracker.
+func NewAPTracker() *APTracker {
+	return &APTracker{last: make(map[int]time.Time), now: time.Now}
+}
+
+// Mark records that ap just delivered an accepted packet. Safe on a nil
+// receiver.
+func (t *APTracker) Mark(ap int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.last[ap] = t.now()
+	t.mu.Unlock()
+}
+
+// LastSeen returns a copy of the per-AP last-packet times.
+func (t *APTracker) LastSeen() map[int]time.Time {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make(map[int]time.Time, len(t.last))
+	for ap, ts := range t.last {
+		out[ap] = ts
+	}
+	return out
+}
+
+// APStaleness is one AP's row in the readiness report.
+type APStaleness struct {
+	APID int `json:"ap"`
+	// AgeSeconds is how long ago the AP's last packet was accepted.
+	AgeSeconds float64 `json:"age_seconds"`
+	// Stale reports whether the age exceeded the staleness bound.
+	Stale bool `json:"stale"`
+}
+
+// ReadinessReport is the JSON body served by the readiness handler.
+type ReadinessReport struct {
+	Ready bool `json:"ready"`
+	// StaleAfterSeconds is the staleness bound (0 = disabled).
+	StaleAfterSeconds float64       `json:"stale_after_seconds"`
+	APs               []APStaleness `json:"aps"`
+}
+
+// report builds the readiness view at time now. Ready means at least one
+// AP delivered a packet within staleAfter: a server that never heard an AP,
+// or whose APs have all gone silent, is alive (liveness) but cannot produce
+// fixes (readiness). staleAfter ≤ 0 disables the staleness check and only
+// reports ages.
+func (t *APTracker) report(staleAfter time.Duration) ReadinessReport {
+	rep := ReadinessReport{StaleAfterSeconds: staleAfter.Seconds()}
+	if staleAfter <= 0 {
+		rep.Ready = true
+	}
+	if t == nil {
+		return rep
+	}
+	t.mu.Lock()
+	now := t.now()
+	for ap, ts := range t.last {
+		age := now.Sub(ts)
+		stale := staleAfter > 0 && age > staleAfter
+		rep.APs = append(rep.APs, APStaleness{
+			APID:       ap,
+			AgeSeconds: age.Seconds(),
+			Stale:      stale,
+		})
+		if staleAfter > 0 && !stale {
+			rep.Ready = true
+		}
+	}
+	t.mu.Unlock()
+	sort.Slice(rep.APs, func(i, j int) bool { return rep.APs[i].APID < rep.APs[j].APID })
+	return rep
+}
+
+// ReadinessHandler serves the readiness probe — mount it at /readyz, next
+// to the liveness /healthz. It answers 200 with a JSON per-AP staleness
+// report while at least one AP delivered a packet within staleAfter, and
+// 503 (with the same report) when none did — including at startup before
+// any AP has connected. staleAfter ≤ 0 disables the check (always 200).
+func (t *APTracker) ReadinessHandler(staleAfter time.Duration) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		rep := t.report(staleAfter)
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		if !rep.Ready {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		//lint:allow errdrop a failed write to the client has no one left to tell
+		_, _ = w.Write(buf.Bytes())
+	})
+}

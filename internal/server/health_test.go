@@ -1,0 +1,103 @@
+package server
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+)
+
+func trackerAt(t0 time.Time) (*APTracker, *time.Time) {
+	now := t0
+	tr := NewAPTracker()
+	tr.now = func() time.Time { return now }
+	return tr, &now
+}
+
+func readiness(t *testing.T, tr *APTracker, staleAfter time.Duration) (int, ReadinessReport) {
+	t.Helper()
+	rr := httptest.NewRecorder()
+	tr.ReadinessHandler(staleAfter).ServeHTTP(rr, httptest.NewRequest("GET", "/readyz", nil))
+	var rep ReadinessReport
+	if err := json.Unmarshal(rr.Body.Bytes(), &rep); err != nil {
+		t.Fatalf("invalid readiness JSON: %v", err)
+	}
+	return rr.Code, rep
+}
+
+func TestReadinessNoAPsYet(t *testing.T) {
+	tr, _ := trackerAt(time.Unix(1000, 0))
+	code, rep := readiness(t, tr, 30*time.Second)
+	if code != 503 || rep.Ready {
+		t.Fatalf("startup readiness = %d ready=%v, want 503 not-ready", code, rep.Ready)
+	}
+	if len(rep.APs) != 0 {
+		t.Fatalf("APs = %+v, want empty", rep.APs)
+	}
+}
+
+func TestReadinessFreshAndStale(t *testing.T) {
+	tr, now := trackerAt(time.Unix(1000, 0))
+	tr.Mark(0)
+	tr.Mark(1)
+	*now = now.Add(10 * time.Second)
+	tr.Mark(1) // AP 1 refreshes; AP 0 ages
+
+	code, rep := readiness(t, tr, 30*time.Second)
+	if code != 200 || !rep.Ready {
+		t.Fatalf("fresh APs = %d ready=%v, want 200 ready", code, rep.Ready)
+	}
+	if len(rep.APs) != 2 || rep.APs[0].APID != 0 || rep.APs[1].APID != 1 {
+		t.Fatalf("APs = %+v", rep.APs)
+	}
+	if rep.APs[0].AgeSeconds < 9.9 || rep.APs[1].AgeSeconds > 0.1 {
+		t.Fatalf("ages = %+v", rep.APs)
+	}
+
+	// Only AP 0 goes stale: still ready, staleness reported per AP.
+	*now = now.Add(25 * time.Second) // AP 0 at 35 s, AP 1 at 25 s
+	code, rep = readiness(t, tr, 30*time.Second)
+	if code != 200 || !rep.Ready || !rep.APs[0].Stale || rep.APs[1].Stale {
+		t.Fatalf("one-stale = %d %+v", code, rep)
+	}
+
+	// All APs stale: not ready.
+	*now = now.Add(time.Minute)
+	code, rep = readiness(t, tr, 30*time.Second)
+	if code != 503 || rep.Ready {
+		t.Fatalf("all-stale = %d ready=%v, want 503", code, rep.Ready)
+	}
+	if !rep.APs[0].Stale || !rep.APs[1].Stale {
+		t.Fatalf("all-stale rows = %+v", rep.APs)
+	}
+}
+
+func TestReadinessDisabled(t *testing.T) {
+	tr, _ := trackerAt(time.Unix(1000, 0))
+	code, rep := readiness(t, tr, 0)
+	if code != 200 || !rep.Ready {
+		t.Fatalf("disabled staleness = %d ready=%v, want always ready", code, rep.Ready)
+	}
+}
+
+func TestTrackerNilSafe(t *testing.T) {
+	var tr *APTracker
+	tr.Mark(1)
+	if m := tr.LastSeen(); m != nil {
+		t.Fatalf("nil tracker LastSeen = %v", m)
+	}
+	code, rep := readiness(t, tr, 30*time.Second)
+	if code != 503 || rep.Ready {
+		t.Fatalf("nil tracker readiness = %d ready=%v", code, rep.Ready)
+	}
+}
+
+func TestTrackerLastSeenCopies(t *testing.T) {
+	tr, now := trackerAt(time.Unix(1000, 0))
+	tr.Mark(3)
+	m := tr.LastSeen()
+	m[3] = now.Add(time.Hour) // mutating the copy must not touch the tracker
+	if got := tr.LastSeen()[3]; !got.Equal(time.Unix(1000, 0)) {
+		t.Fatalf("LastSeen leaked internal map: %v", got)
+	}
+}

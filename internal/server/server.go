@@ -31,6 +31,7 @@ type Server struct {
 	collector *Collector
 	log       *slog.Logger
 	metrics   *Metrics
+	tracker   *APTracker
 
 	handshakeTimeout time.Duration
 	idleTimeout      time.Duration
@@ -57,10 +58,17 @@ func New(collector *Collector, logger *slog.Logger) (*Server, error) {
 		collector:        collector,
 		log:              logger,
 		metrics:          &Metrics{},
+		tracker:          NewAPTracker(),
 		handshakeTimeout: DefaultHandshakeTimeout,
 		idleTimeout:      DefaultIdleTimeout,
 		conns:            make(map[net.Conn]struct{}),
 	}, nil
+}
+
+// Tracker returns the per-AP last-packet tracker feeding the readiness
+// probe (see APTracker.ReadinessHandler).
+func (s *Server) Tracker() *APTracker {
+	return s.tracker
 }
 
 // SetTimeouts overrides the handshake and idle read deadlines. Call
@@ -226,7 +234,11 @@ func (s *Server) handle(conn net.Conn) {
 				}
 				s.metrics.PacketsRejected.Inc()
 				s.log.Warn("rejected packet", "ap", apID, "err", err)
+				continue
 			}
+			// Readiness tracks accepted packets only: an AP streaming
+			// garbage is not a working observation source.
+			s.tracker.Mark(pkt.APID)
 		case wire.TypeBye:
 			s.log.Info("AP disconnected cleanly", "ap", apID)
 			return

@@ -35,14 +35,21 @@ var palette = []string{
 
 // CDFPlot builds a LinePlot from labeled sample sets: each series becomes
 // its empirical CDF curve, the standard presentation of localization
-// error.
+// error. Non-finite samples (NaN, ±Inf) are dropped — a failed pipeline
+// run marks its error NaN, and one such value must not blank the whole
+// figure; a series left with no finite samples is skipped.
 func CDFPlot(title, xlabel string, labels []string, samples [][]float64) (*LinePlot, error) {
 	if len(labels) != len(samples) || len(labels) == 0 {
 		return nil, fmt.Errorf("viz: labels/samples mismatch")
 	}
 	p := &LinePlot{Title: title, XLabel: xlabel, YLabel: "CDF"}
 	for i, lab := range labels {
-		xs := append([]float64(nil), samples[i]...)
+		xs := make([]float64, 0, len(samples[i]))
+		for _, x := range samples[i] {
+			if finite(x) {
+				xs = append(xs, x)
+			}
+		}
 		if len(xs) == 0 {
 			continue
 		}

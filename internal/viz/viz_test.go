@@ -37,6 +37,62 @@ func TestCDFPlotErrors(t *testing.T) {
 	if _, err := CDFPlot("t", "x", []string{"a"}, [][]float64{{}}); err == nil {
 		t.Fatal("all-empty series accepted")
 	}
+	// All-NaN is as empty as empty.
+	if _, err := CDFPlot("t", "x", []string{"a"}, [][]float64{{math.NaN(), math.NaN()}}); err == nil {
+		t.Fatal("all-NaN series accepted")
+	}
+}
+
+func TestCDFPlotSingleSample(t *testing.T) {
+	p, err := CDFPlot("t", "x", []string{"a"}, [][]float64{{2.5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := p.Series[0]
+	// One sample still yields a curve: a step from (2.5, 0) to (2.5, 1).
+	if len(s.X) != 2 || s.X[0] != 2.5 || s.X[1] != 2.5 || s.Y[0] != 0 || s.Y[1] != 1 {
+		t.Fatalf("single-sample curve = X%v Y%v", s.X, s.Y)
+	}
+	// And the degenerate X range must still render.
+	if svg := p.SVG(); !strings.Contains(svg, "<polyline") {
+		t.Fatal("single-sample plot did not render a curve")
+	}
+}
+
+func TestCDFPlotDropsNonFinite(t *testing.T) {
+	p, err := CDFPlot("t", "x", []string{"good", "poisoned", "dead"},
+		[][]float64{
+			{1, 2},
+			{math.NaN(), 0.5, math.Inf(1), 1.5, math.Inf(-1)},
+			{math.NaN(), math.Inf(1)},
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The all-non-finite series is skipped, like an empty one.
+	if len(p.Series) != 2 {
+		t.Fatalf("series = %d, want 2 (dead series dropped)", len(p.Series))
+	}
+	poisoned := p.Series[1]
+	if poisoned.Label != "poisoned" {
+		t.Fatalf("series[1] = %q", poisoned.Label)
+	}
+	// Only the two finite samples survive: lead-in point + two steps.
+	if len(poisoned.X) != 3 {
+		t.Fatalf("poisoned curve has %d points, want 3: %v", len(poisoned.X), poisoned.X)
+	}
+	for i, x := range poisoned.X {
+		if !finite(x) || !finite(poisoned.Y[i]) {
+			t.Fatalf("non-finite leaked into curve: X%v Y%v", poisoned.X, poisoned.Y)
+		}
+	}
+	if poisoned.Y[len(poisoned.Y)-1] != 1 {
+		t.Fatal("CDF of surviving samples does not end at 1")
+	}
+	// The rendered SVG must be NaN-free.
+	if svg := p.SVG(); strings.Contains(svg, "NaN") {
+		t.Fatal("NaN leaked into SVG output")
+	}
 }
 
 func TestLinePlotSVGWellFormed(t *testing.T) {

@@ -36,6 +36,7 @@ import (
 	"spotfi/internal/locate"
 	"spotfi/internal/music"
 	"spotfi/internal/obs"
+	"spotfi/internal/obs/quality"
 	"spotfi/internal/obs/trace"
 	"spotfi/internal/rf"
 	"spotfi/internal/sanitize"
@@ -150,6 +151,15 @@ type Config struct {
 	// Metrics, when non-nil, receives per-stage timings and failure
 	// counts for every burst processed (see NewPipelineMetrics).
 	Metrics *PipelineMetrics
+	// Quality holds the confidence-score scales and weights; the zero
+	// value selects quality.DefaultScoreConfig. Every Location carries a
+	// score regardless — this only tunes it.
+	Quality quality.ScoreConfig
+	// QualityMonitor, when non-nil, receives every burst's quality score:
+	// it feeds the spotfi_quality_* metrics, the per-AP drift detector,
+	// and the /debug/quality scoreboard (see quality.NewMonitor). Nil
+	// records nothing.
+	QualityMonitor *quality.Monitor
 }
 
 // PipelineMetrics instruments the Localizer: per-stage latency histograms
@@ -238,6 +248,16 @@ type APReport struct {
 	PerPacket [][]PathEstimate
 	// Packets is how many packets contributed.
 	Packets int
+	// Margin is the top-two Eq. 8 likelihood margin 1 − l₂/l₁ ∈ [0,1]:
+	// how decisively the selected cluster beat the runner-up.
+	Margin float64
+	// EigenGapDB is the burst-mean signal/noise eigen-subspace gap (dB)
+	// across the packets that survived estimation.
+	EigenGapDB float64
+	// STOMeanNs and STOJitterNs are the burst mean and packet-to-packet
+	// standard deviation of the Algorithm 1 sanitization slope, in
+	// nanoseconds. NaN when sanitization is disabled.
+	STOMeanNs, STOJitterNs float64
 }
 
 // Localizer runs the SpotFi pipeline.
@@ -318,6 +338,14 @@ func (l *Localizer) ProcessBurstTraced(apID int, pkts []*Packet, parent *trace.S
 
 	perPacket := make([][]PathEstimate, len(pkts))
 	errs := make([]error, len(pkts))
+	// Per-packet DSP diagnostics, NaN until the stage ran: the burst
+	// mean/std feed the quality scorer and the per-AP drift baselines.
+	stoNs := make([]float64, len(pkts))
+	gapDB := make([]float64, len(pkts))
+	for i := range stoNs {
+		stoNs[i] = math.NaN()
+		gapDB[i] = math.NaN()
+	}
 	var rssiSum float64
 	for _, p := range pkts {
 		rssiSum += p.RSSIdBm
@@ -350,6 +378,7 @@ func (l *Localizer) ProcessBurstTraced(apID int, pkts []*Packet, parent *trace.S
 					errs[i] = err
 					return
 				}
+				stoNs[i] = sres.STOEstimate * 1e9
 			}
 			esp := apSpan.StartSpan(trace.StageEstimate)
 			start := time.Now()
@@ -375,6 +404,7 @@ func (l *Localizer) ProcessBurstTraced(apID int, pkts []*Packet, parent *trace.S
 				return
 			}
 			perPacket[i] = est
+			gapDB[i] = diag.EigenGapDB
 		}(i, p)
 	}
 	wg.Wait()
@@ -436,6 +466,8 @@ func (l *Localizer) ProcessBurstTraced(apID int, pkts []*Packet, parent *trace.S
 	sel.SetFloat("tof_ns", cand.ToF*1e9)
 	sel.SetFloat("likelihood", cand.Likelihood)
 	l.cfg.Metrics.BurstsProcessed.Inc()
+	stoMean, stoStd := meanStd(stoNs)
+	gapMean, _ := meanStd(gapDB)
 	return &APReport{
 		APID:        apID,
 		AoA:         cand.AoA,
@@ -444,7 +476,36 @@ func (l *Localizer) ProcessBurstTraced(apID int, pkts []*Packet, parent *trace.S
 		Candidates:  res.Candidates,
 		PerPacket:   perPacket,
 		Packets:     len(pkts),
+		Margin:      res.Margin(),
+		EigenGapDB:  gapMean,
+		STOMeanNs:   stoMean,
+		STOJitterNs: stoStd,
 	}, nil
+}
+
+// meanStd returns the mean and population standard deviation of the finite
+// entries of xs (NaN, NaN when none are finite — e.g. sanitize disabled).
+func meanStd(xs []float64) (mean, std float64) {
+	n := 0
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		mean += x
+		n++
+	}
+	if n == 0 {
+		return math.NaN(), math.NaN()
+	}
+	mean /= float64(n)
+	for _, x := range xs {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			continue
+		}
+		d := x - mean
+		std += d * d
+	}
+	return mean, math.Sqrt(std / float64(n))
 }
 
 func firstError(errs []error) error {
@@ -456,6 +517,21 @@ func firstError(errs []error) error {
 	return nil
 }
 
+// Location is a localization fix: the fused position plus the quality
+// metadata the pipeline derived while producing it. Point is embedded, so
+// a Location is usable anywhere a position is expected. The struct is
+// comparable.
+type Location struct {
+	Point
+	// Confidence ∈ [0,1] scores how trustworthy this fix is, folding the
+	// Eq. 8 likelihood margin, eigen-subspace gap, sanitization-slope
+	// stability, cross-AP AoA agreement, Eq. 9 residual, and AP-geometry
+	// coverage into one number (see internal/obs/quality).
+	Confidence float64
+	// Quality is the per-component breakdown of Confidence.
+	Quality quality.Breakdown
+}
+
 // Locate fuses per-AP reports into a location estimate (stage 3, Eq. 9).
 func (l *Localizer) Locate(reports []*APReport) (Point, error) {
 	return l.LocateTraced(reports, nil)
@@ -464,11 +540,18 @@ func (l *Localizer) Locate(reports []*APReport) (Point, error) {
 // LocateTraced is Locate recording a solver span (iterations, objective,
 // solution) under parent. A nil parent is free.
 func (l *Localizer) LocateTraced(reports []*APReport, parent *trace.Span) (Point, error) {
+	res, err := l.locateFull(reports, parent)
+	return res.Location, err
+}
+
+// locateFull runs stage 3 and returns the full solver result (objective,
+// iterations, per-observation AoA residuals) for quality scoring.
+func (l *Localizer) locateFull(reports []*APReport, parent *trace.Span) (locate.Result, error) {
 	obs := make([]locate.APObservation, 0, len(reports))
 	for _, r := range reports {
 		ap, ok := l.aps[r.APID]
 		if !ok {
-			return Point{}, fmt.Errorf("spotfi: report from unknown AP %d", r.APID)
+			return locate.Result{}, fmt.Errorf("spotfi: report from unknown AP %d", r.APID)
 		}
 		obs = append(obs, locate.APObservation{
 			Pos:         ap.Pos,
@@ -485,13 +568,37 @@ func (l *Localizer) LocateTraced(reports []*APReport, parent *trace.Span) (Point
 	res, err := locate.Locate(obs, l.cfg.Locate)
 	l.cfg.Metrics.LocateSeconds.ObserveSince(start)
 	if err != nil {
-		return Point{}, err
+		return locate.Result{}, err
 	}
 	lsp.SetInt("iters", int64(res.Iters))
 	lsp.SetFloat("objective", res.Objective)
 	lsp.SetFloat("x", res.Location.X)
 	lsp.SetFloat("y", res.Location.Y)
-	return res.Location, nil
+	return res, nil
+}
+
+// scoreBurst folds the per-AP reports and solver result of one fused burst
+// into a quality score. Reports and res.AoAResid are index-aligned (both
+// follow the order reports were passed to the solver).
+func (l *Localizer) scoreBurst(reports []*APReport, res locate.Result) quality.Score {
+	in := quality.BurstInputs{Iters: res.Iters, Objective: res.Objective}
+	for i, r := range reports {
+		resid := math.NaN()
+		if i < len(res.AoAResid) {
+			resid = res.AoAResid[i]
+		}
+		in.APs = append(in.APs, quality.APInputs{
+			APID:        r.APID,
+			Margin:      r.Margin,
+			EigenGapDB:  r.EigenGapDB,
+			STOMeanNs:   r.STOMeanNs,
+			STOJitterNs: r.STOJitterNs,
+			AoAResidRad: resid,
+			Likelihood:  r.Likelihood,
+			Packets:     r.Packets,
+		})
+	}
+	return quality.ScoreBurst(in, l.cfg.Quality)
 }
 
 // SkippedAP records an AP whose burst failed stages 1–2 and was excluded
@@ -510,8 +617,9 @@ func (s SkippedAP) String() string {
 // excluded and reported in the skipped slice so callers can surface per-AP
 // health instead of silently fusing fewer observations — but at least two
 // must survive. When localization proceeds, skipped is non-nil exactly
-// when at least one AP was dropped.
-func (l *Localizer) LocalizeBursts(bursts map[int][]*Packet) (Point, []*APReport, []SkippedAP, error) {
+// when at least one AP was dropped. The returned Location carries the
+// burst's confidence score and its component breakdown.
+func (l *Localizer) LocalizeBursts(bursts map[int][]*Packet) (Location, []*APReport, []SkippedAP, error) {
 	return l.LocalizeBurstsTraced(bursts, nil)
 }
 
@@ -519,7 +627,7 @@ func (l *Localizer) LocalizeBursts(bursts map[int][]*Packet) (Point, []*APReport
 // tree under tr's root. It does not Finish the trace — the caller that owns
 // the burst lifecycle does. A nil tr (tracing disabled or the burst sampled
 // out) adds no allocations.
-func (l *Localizer) LocalizeBurstsTraced(bursts map[int][]*Packet, tr *trace.Trace) (Point, []*APReport, []SkippedAP, error) {
+func (l *Localizer) LocalizeBurstsTraced(bursts map[int][]*Packet, tr *trace.Trace) (Location, []*APReport, []SkippedAP, error) {
 	root := tr.Root()
 	ids := make([]int, 0, len(bursts))
 	for id := range bursts {
@@ -539,11 +647,21 @@ func (l *Localizer) LocalizeBurstsTraced(bursts map[int][]*Packet, tr *trace.Tra
 	}
 	root.SetInt("aps_skipped", int64(len(skipped)))
 	if len(reports) < 2 {
-		return Point{}, nil, skipped, fmt.Errorf("spotfi: only %d usable AP reports (%d skipped: %v)",
+		return Location{}, nil, skipped, fmt.Errorf("spotfi: only %d usable AP reports (%d skipped: %v)",
 			len(reports), len(skipped), skipped)
 	}
-	p, err := l.LocateTraced(reports, root)
-	return p, reports, skipped, err
+	res, err := l.locateFull(reports, root)
+	if err != nil {
+		return Location{}, reports, skipped, err
+	}
+	sc := l.scoreBurst(reports, res)
+	root.SetFloat("confidence", sc.Overall)
+	l.cfg.QualityMonitor.Observe(sc)
+	return Location{
+		Point:      res.Location,
+		Confidence: sc.Overall,
+		Quality:    sc.Breakdown,
+	}, reports, skipped, nil
 }
 
 func sortInts(xs []int) {

@@ -60,7 +60,7 @@ func TestChaosSoak(t *testing.T) {
 				return
 			}
 			select {
-			case fixes <- p:
+			case fixes <- p.Point:
 			default:
 			}
 		default:

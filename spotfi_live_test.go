@@ -42,7 +42,7 @@ func TestLiveSystemEndToEnd(t *testing.T) {
 			t.Errorf("localize: %v", err)
 			return
 		}
-		fixes <- p
+		fixes <- p.Point
 	})
 	if err != nil {
 		t.Fatal(err)

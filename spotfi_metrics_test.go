@@ -75,7 +75,7 @@ func TestMetricsEndToEnd(t *testing.T) {
 		for _, s := range skipped {
 			t.Logf("skipped %v", s)
 		}
-		fixes <- p
+		fixes <- p.Point
 	})
 	if err != nil {
 		t.Fatal(err)

@@ -93,7 +93,7 @@ func TestLocalizeBurstsSkipsDeadAP(t *testing.T) {
 	if len(skipped) != 1 || skipped[0].APID != 3 || skipped[0].Err == nil {
 		t.Fatalf("skipped = %v, want exactly AP 3 with its error", skipped)
 	}
-	if !d.Bounds.Contains(p) {
+	if !d.Bounds.Contains(p.Point) {
 		t.Fatalf("estimate %v outside bounds", p)
 	}
 }

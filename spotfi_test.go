@@ -37,11 +37,24 @@ func TestEndToEndOfficeLocalization(t *testing.T) {
 			}
 			bursts[a] = b
 		}
-		p, _, _, err := loc.LocalizeBursts(bursts)
+		p, reports, _, err := loc.LocalizeBursts(bursts)
 		if err != nil {
 			t.Fatalf("target %d: %v", ti, err)
 		}
 		errs = append(errs, p.Dist(d.Targets[ti]))
+		// Every fix carries a confidence score; clean simulated bursts
+		// from 6 LoS-rich APs should not look doubtful.
+		if p.Confidence <= 0.3 || p.Confidence > 1 {
+			t.Fatalf("target %d: confidence %.3f (quality %+v), want (0.3, 1]", ti, p.Confidence, p.Quality)
+		}
+		for _, r := range reports {
+			if r.Margin < 0 || r.Margin > 1 {
+				t.Fatalf("AP %d margin %v out of [0,1]", r.APID, r.Margin)
+			}
+			if math.IsNaN(r.EigenGapDB) || math.IsNaN(r.STOMeanNs) {
+				t.Fatalf("AP %d burst diagnostics missing: gap=%v sto=%v", r.APID, r.EigenGapDB, r.STOMeanNs)
+			}
+		}
 	}
 	med := stats.Median(errs)
 	t.Logf("office end-to-end: median %.2f m over %d targets (errors %v)", med, len(errs), errs)

@@ -73,7 +73,7 @@ func TestTracedLiveSystemEndToEnd(t *testing.T) {
 			t.Errorf("localize: %v", err)
 			return
 		}
-		fixes <- p
+		fixes <- p.Point
 	})
 	if err != nil {
 		t.Fatal(err)
