@@ -182,6 +182,7 @@ func main() {
 	reg := obs.NewRegistry()
 	cliutil.RegisterBuildInfo(reg)
 	obs.RegisterRuntimeMetrics(reg)
+	spotfi.RegisterSteeringCacheMetrics(reg)
 	tracer := trace.New(trace.Config{
 		SampleEvery:   *traceSample,
 		SlowThreshold: *traceSlow,

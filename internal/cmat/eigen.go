@@ -4,7 +4,6 @@ import (
 	"errors"
 	"math"
 	"math/cmplx"
-	"sort"
 )
 
 // EigenDecomposition holds the spectral factorization A = V·diag(λ)·Vᴴ of a
@@ -33,6 +32,34 @@ const (
 	jacobiTol       = 1e-13
 )
 
+// EigenWorkspace owns the scratch buffers one eigendecomposition needs, so
+// a caller decomposing many same-sized matrices (the MUSIC per-packet hot
+// path) allocates nothing in steady state. A workspace is single-goroutine;
+// the zero value is ready to use.
+//
+// Across calls the workspace also retains the previous eigenvector basis V
+// and warm-starts the next decomposition with the similarity transform
+// W = Vᴴ·A·V: when consecutive inputs are close (packets of one burst see
+// the same channel plus noise), W is nearly diagonal and Jacobi converges
+// in one or two cheap sweeps instead of five to nine full ones. The
+// transform is unitary, so the result is exact regardless of how stale the
+// basis is — a cold basis only costs the two matrix products. Call Reset to
+// drop the basis (e.g. when a workspace is recycled across unrelated
+// streams).
+type EigenWorkspace struct {
+	w, v, tmp *Matrix
+	d         EigenDecomposition
+	vecArena  []complex128
+	idx       []int
+	diag      []float64
+	// warmN is the dimension of the basis held in v from the previous
+	// call, 0 when the workspace is cold.
+	warmN int
+}
+
+// Reset drops the retained warm-start basis. Buffers stay allocated.
+func (ws *EigenWorkspace) Reset() { ws.warmN = 0 }
+
 // EigHermitian computes all eigenvalues and orthonormal eigenvectors of the
 // Hermitian matrix a using the cyclic Jacobi method with complex rotations.
 // The input is not modified. Eigenvalues are returned in descending order.
@@ -44,20 +71,45 @@ const (
 // delivers small residuals ‖Av−λv‖ — exactly what the MUSIC noise-subspace
 // projector needs.
 func EigHermitian(a *Matrix) (*EigenDecomposition, error) {
+	return EigHermitianInto(a, &EigenWorkspace{})
+}
+
+// EigHermitianInto is EigHermitian computing into ws: the returned
+// decomposition and its Values/Vectors storage are owned by ws and are
+// overwritten by the next call on the same workspace. Clone what must
+// outlive it.
+func EigHermitianInto(a *Matrix, ws *EigenWorkspace) (*EigenDecomposition, error) {
 	if a.rows != a.cols {
 		return nil, ErrNotHermitian
 	}
 	scale := a.FrobeniusNorm()
 	if scale == 0 {
 		// Zero matrix: zero spectrum, canonical basis.
-		return canonicalDecomposition(a.rows), nil
+		ws.warmN = 0
+		return canonicalDecompositionInto(a.rows, ws), nil
 	}
-	if !a.IsHermitian(1e-9 * scale) {
+	if !a.isHermitianFast(1e-9 * scale) {
+		ws.warmN = 0
 		return nil, ErrNotHermitian
 	}
 	n := a.rows
-	w := a.Clone()
-	// Enforce exact symmetry so rounding in the caller cannot bias rotations.
+	ws.w = Reshape(ws.w, n, n)
+	w := ws.w
+	if ws.warmN == n {
+		// Warm start: rotate A into the previous eigenbasis. For inputs
+		// close to the previous one this lands W nearly diagonal, and the
+		// thresholded sweeps below skip almost every rotation.
+		ws.tmp = Reshape(ws.tmp, n, n)
+		mulInto(ws.tmp, a, ws.v)
+		conjTransposeMulInto(w, ws.v, ws.tmp)
+	} else {
+		copy(w.data, a.data)
+		ws.v = Reshape(ws.v, n, n)
+		ws.v.SetIdentity()
+	}
+	v := ws.v
+	// Enforce exact symmetry so rounding (in the caller, or in the warm
+	// similarity transform) cannot bias rotations.
 	for i := 0; i < n; i++ {
 		w.data[i*n+i] = complex(real(w.data[i*n+i]), 0)
 		for j := i + 1; j < n; j++ {
@@ -66,41 +118,76 @@ func EigHermitian(a *Matrix) (*EigenDecomposition, error) {
 			w.data[j*n+i] = cmplx.Conj(avg)
 		}
 	}
-	v := Identity(n)
 
+	// Pivots below skipThresh are left in place: even if every pair sits
+	// exactly at the threshold the off-diagonal norm stays under
+	// jacobiTol·scale/2, so the sweep-level convergence check still fires.
+	// Skipping tiny pivots is where the warm start pays off — converged
+	// regions of the matrix cost one comparison instead of three O(n)
+	// update loops.
+	skipThresh := jacobiTol * scale / float64(2*n)
 	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
 		off := offDiagonalNorm(w)
 		if off <= jacobiTol*scale {
-			d := collectEigen(w, v)
+			d := collectEigenInto(w, v, ws)
 			d.Sweeps = sweep
+			ws.warmN = n
 			return d, nil
 		}
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
-				jacobiRotate(w, v, p, q)
+				if mag := cmplx.Abs(w.data[p*n+q]); mag > skipThresh {
+					jacobiRotate(w, v, p, q)
+				}
 			}
 		}
 	}
 	if offDiagonalNorm(w) <= 1e-8*scale {
 		// Converged for every practical purpose; accept the result.
-		d := collectEigen(w, v)
+		d := collectEigenInto(w, v, ws)
 		d.Sweeps = jacobiMaxSweeps
+		ws.warmN = n
 		return d, nil
 	}
+	ws.warmN = 0
 	return nil, ErrNoConvergence
 }
 
-func canonicalDecomposition(n int) *EigenDecomposition {
-	d := &EigenDecomposition{
-		Values:  make([]float64, n),
-		Vectors: make([][]complex128, n),
+func canonicalDecompositionInto(n int, ws *EigenWorkspace) *EigenDecomposition {
+	d := ws.prepare(n)
+	for i := range d.Values {
+		d.Values[i] = 0
 	}
 	for i := range d.Vectors {
-		vec := make([]complex128, n)
+		vec := d.Vectors[i]
+		for j := range vec {
+			vec[j] = 0
+		}
 		vec[i] = 1
-		d.Vectors[i] = vec
 	}
 	return d
+}
+
+// prepare sizes the workspace's result storage for an n×n decomposition:
+// Values, idx, and n eigenvector slices viewing one backing arena.
+func (ws *EigenWorkspace) prepare(n int) *EigenDecomposition {
+	if cap(ws.vecArena) < n*n {
+		ws.vecArena = make([]complex128, n*n)
+		ws.d.Values = make([]float64, n)
+		ws.d.Vectors = make([][]complex128, n)
+		ws.idx = make([]int, n)
+		ws.diag = make([]float64, n)
+	}
+	ws.vecArena = ws.vecArena[:n*n]
+	ws.d.Values = ws.d.Values[:n]
+	ws.d.Vectors = ws.d.Vectors[:n]
+	ws.idx = ws.idx[:n]
+	ws.diag = ws.diag[:n]
+	for i := 0; i < n; i++ {
+		ws.d.Vectors[i] = ws.vecArena[i*n : (i+1)*n]
+	}
+	ws.d.Sweeps = 0
+	return &ws.d
 }
 
 // jacobiRotate zeroes w[p][q] (and w[q][p]) with a complex Jacobi rotation,
@@ -176,39 +263,52 @@ func offDiagonalNorm(m *Matrix) float64 {
 	return math.Sqrt(sum)
 }
 
-func collectEigen(w, v *Matrix) *EigenDecomposition {
+// collectEigenInto sorts the converged diagonal of w into ws's result
+// storage, copying the matching eigenvector columns of v into the
+// workspace arena. v itself is left untouched — it is the accumulated
+// basis the next warm start builds on.
+func collectEigenInto(w, v *Matrix, ws *EigenWorkspace) *EigenDecomposition {
 	n := w.rows
-	idx := make([]int, n)
-	vals := make([]float64, n)
+	d := ws.prepare(n)
+	idx, diag := ws.idx, ws.diag
 	for i := 0; i < n; i++ {
 		idx[i] = i
-		vals[i] = real(w.data[i*n+i])
+		diag[i] = real(w.data[i*n+i])
 	}
-	sort.Slice(idx, func(a, b int) bool { return vals[idx[a]] > vals[idx[b]] })
+	// Insertion sort, descending by eigenvalue: allocation-free (unlike
+	// sort.Slice's closure) and near-linear on the almost-sorted diagonals
+	// the warm-started iterations produce.
+	for i := 1; i < n; i++ {
+		cur := idx[i]
+		key := diag[cur]
+		j := i - 1
+		for j >= 0 && diag[idx[j]] < key {
+			idx[j+1] = idx[j]
+			j--
+		}
+		idx[j+1] = cur
+	}
 
-	d := &EigenDecomposition{
-		Values:  make([]float64, n),
-		Vectors: make([][]complex128, n),
-	}
 	for rank, col := range idx {
-		d.Values[rank] = vals[col]
-		vec := v.Col(col)
+		d.Values[rank] = diag[col]
+		vec := d.Vectors[rank]
+		for k := 0; k < n; k++ {
+			vec[k] = v.data[k*n+col]
+		}
 		Normalize(vec)
-		d.Vectors[rank] = vec
 	}
 	return d
 }
 
-// NoiseSubspace returns the eigenvectors whose eigenvalues fall below
-// threshold·maxValue, i.e. the MUSIC noise subspace, as a matrix whose
-// columns are those eigenvectors. minSignal caps how many eigenvectors can
-// be claimed by the signal subspace: at least (n − maxSignal) vectors are
-// always returned so the projector never degenerates. It returns nil if
-// every eigenvector is classified as signal.
-func (d *EigenDecomposition) NoiseSubspace(threshold float64, maxSignal int) *Matrix {
+// SignalCut returns the index of the first eigenvector belonging to the
+// noise subspace under MUSIC's threshold rule: the first eigenvalue below
+// threshold·λmax, capped at maxSignal, and capped at n−1 so at least one
+// noise vector always remains. Vectors[cut:] span the noise subspace;
+// Vectors[:cut] span the signal subspace.
+func (d *EigenDecomposition) SignalCut(threshold float64, maxSignal int) int {
 	n := len(d.Values)
 	if n == 0 {
-		return nil
+		return 0
 	}
 	maxVal := d.Values[0]
 	cut := n // first index belonging to the noise subspace
@@ -224,6 +324,21 @@ func (d *EigenDecomposition) NoiseSubspace(threshold float64, maxSignal int) *Ma
 	if cut >= n {
 		cut = n - 1 // keep at least one noise vector
 	}
+	return cut
+}
+
+// NoiseSubspace returns the eigenvectors whose eigenvalues fall below
+// threshold·maxValue, i.e. the MUSIC noise subspace, as a matrix whose
+// columns are those eigenvectors. maxSignal caps how many eigenvectors can
+// be claimed by the signal subspace: at least (n − maxSignal) vectors are
+// always returned so the projector never degenerates. It returns nil if
+// every eigenvector is classified as signal.
+func (d *EigenDecomposition) NoiseSubspace(threshold float64, maxSignal int) *Matrix {
+	n := len(d.Values)
+	if n == 0 {
+		return nil
+	}
+	cut := d.SignalCut(threshold, maxSignal)
 	if n-cut <= 0 {
 		return nil
 	}

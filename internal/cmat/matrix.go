@@ -63,6 +63,38 @@ func Identity(n int) *Matrix {
 	return m
 }
 
+// Reshape returns a zeroed rows×cols matrix, reusing m's backing storage
+// when its capacity suffices. Pass nil (or any previous scratch matrix) to
+// size workspace arenas without allocating in steady state. The returned
+// matrix aliases m's storage, so m must not be used afterwards.
+func Reshape(m *Matrix, rows, cols int) *Matrix {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("cmat: invalid dimensions %dx%d", rows, cols))
+	}
+	if m == nil || cap(m.data) < rows*cols {
+		return New(rows, cols)
+	}
+	m.rows, m.cols = rows, cols
+	m.data = m.data[:rows*cols]
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	return m
+}
+
+// SetIdentity overwrites a square matrix with the identity.
+func (m *Matrix) SetIdentity() {
+	if m.rows != m.cols {
+		panic("cmat: SetIdentity on non-square matrix")
+	}
+	for i := range m.data {
+		m.data[i] = 0
+	}
+	for i := 0; i < m.rows; i++ {
+		m.data[i*m.cols+i] = 1
+	}
+}
+
 // Rows returns the number of rows.
 func (m *Matrix) Rows() int { return m.rows }
 
@@ -188,6 +220,102 @@ func (m *Matrix) Gram() *Matrix {
 		}
 	}
 	return out
+}
+
+// GramInto computes m·mᴴ into out, which must be rows×rows. Semantics
+// match Gram (exact Hermitian symmetry enforced); no allocation.
+func (m *Matrix) GramInto(out *Matrix) *Matrix {
+	if out.rows != m.rows || out.cols != m.rows {
+		panic(fmt.Sprintf("cmat: GramInto got %dx%d output, want %dx%d", out.rows, out.cols, m.rows, m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		ri := m.data[i*m.cols : (i+1)*m.cols]
+		for j := i; j < m.rows; j++ {
+			rj := m.data[j*m.cols : (j+1)*m.cols]
+			var sum complex128
+			for k := range ri {
+				sum += ri[k] * cmplx.Conj(rj[k])
+			}
+			if i == j {
+				// Diagonal of a Gram matrix is real and non-negative.
+				out.data[i*m.rows+i] = complex(real(sum), 0)
+				continue
+			}
+			out.data[i*m.rows+j] = sum
+			out.data[j*m.rows+i] = cmplx.Conj(sum)
+		}
+	}
+	return out
+}
+
+// mulInto computes a·b into out without allocating. out must not alias a
+// or b.
+func mulInto(out, a, b *Matrix) {
+	if a.cols != b.rows || out.rows != a.rows || out.cols != b.cols {
+		panic("cmat: mulInto dimension mismatch")
+	}
+	for i := range out.data {
+		out.data[i] = 0
+	}
+	for i := 0; i < a.rows; i++ {
+		arow := a.data[i*a.cols : (i+1)*a.cols]
+		orow := out.data[i*b.cols : (i+1)*b.cols]
+		for k, aik := range arow {
+			if aik == 0 {
+				continue
+			}
+			brow := b.data[k*b.cols : (k+1)*b.cols]
+			for j, bkj := range brow {
+				orow[j] += aik * bkj
+			}
+		}
+	}
+}
+
+// conjTransposeMulInto computes aᴴ·b into out without allocating. out must
+// not alias a or b.
+func conjTransposeMulInto(out, a, b *Matrix) {
+	if a.rows != b.rows || out.rows != a.cols || out.cols != b.cols {
+		panic("cmat: conjTransposeMulInto dimension mismatch")
+	}
+	for i := range out.data {
+		out.data[i] = 0
+	}
+	for k := 0; k < a.rows; k++ {
+		arow := a.data[k*a.cols : (k+1)*a.cols]
+		brow := b.data[k*b.cols : (k+1)*b.cols]
+		for i, aki := range arow {
+			c := cmplx.Conj(aki)
+			if c == 0 {
+				continue
+			}
+			orow := out.data[i*out.cols : (i+1)*out.cols]
+			for j, bkj := range brow {
+				orow[j] += c * bkj
+			}
+		}
+	}
+}
+
+// isHermitianFast is IsHermitian with a cheap bit-exact prepass: matrices
+// built by Gram/GramInto are exactly Hermitian, so the common case costs
+// one equality compare per pair instead of a cmplx.Abs.
+func (m *Matrix) isHermitianFast(tol float64) bool {
+	if m.rows != m.cols {
+		return false
+	}
+	for i := 0; i < m.rows; i++ {
+		for j := i; j < m.cols; j++ {
+			u, l := m.data[i*m.cols+j], m.data[j*m.cols+i]
+			if u == cmplx.Conj(l) { //lint:allow floateq bit-exact fast path; inexact pairs fall through to the tolerance check
+				continue
+			}
+			if cmplx.Abs(u-cmplx.Conj(l)) > tol {
+				return false
+			}
+		}
+	}
+	return true
 }
 
 // Scale returns s·m.

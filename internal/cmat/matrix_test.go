@@ -273,3 +273,57 @@ func randomHermitian(rng *rand.Rand, n int) *Matrix {
 	a := randomMatrix(rng, n, n)
 	return a.Gram()
 }
+
+func TestReshapeReusesCapacity(t *testing.T) {
+	m := New(6, 8)
+	m.Set(0, 0, 3)
+	r := Reshape(m, 4, 4) // fits in 48 elements: same object, zeroed
+	if r != m {
+		t.Fatal("Reshape allocated despite sufficient capacity")
+	}
+	if r.Rows() != 4 || r.Cols() != 4 {
+		t.Fatalf("Reshape dims %dx%d, want 4x4", r.Rows(), r.Cols())
+	}
+	if r.At(0, 0) != 0 {
+		t.Fatal("Reshape did not zero the content")
+	}
+	big := Reshape(m, 10, 10) // exceeds capacity: fresh storage
+	big.Set(9, 9, 1)
+	if m.Rows() == 10 && m.Cols() == 10 && big == m {
+		t.Fatal("Reshape should have allocated a larger matrix")
+	}
+	if nilGrown := Reshape(nil, 2, 3); nilGrown.Rows() != 2 || nilGrown.Cols() != 3 {
+		t.Fatal("Reshape(nil) did not allocate")
+	}
+}
+
+func TestGramIntoMatchesGram(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	a := randomMatrix(rng, 5, 7)
+	want := a.Gram()
+	got := a.GramInto(New(5, 5))
+	for i := 0; i < 5; i++ {
+		for j := 0; j < 5; j++ {
+			if !almostEqual(got.At(i, j), want.At(i, j), 1e-12) {
+				t.Fatalf("GramInto (%d,%d): got %v want %v", i, j, got.At(i, j), want.At(i, j))
+			}
+		}
+	}
+}
+
+func TestSetIdentity(t *testing.T) {
+	m := New(3, 3)
+	m.Set(1, 2, 5)
+	m.SetIdentity()
+	for i := 0; i < 3; i++ {
+		for j := 0; j < 3; j++ {
+			want := complex128(0)
+			if i == j {
+				want = 1
+			}
+			if m.At(i, j) != want {
+				t.Fatalf("SetIdentity (%d,%d) = %v", i, j, m.At(i, j))
+			}
+		}
+	}
+}

@@ -1,0 +1,255 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+)
+
+// Subspace iteration parameters. Convergence is judged by the Ritz
+// residuals ‖A·y − λ·y‖ of the pairs that matter (see TopEigenInto), so
+// the criterion is self-validating: a small residual proves the pair is
+// converged no matter how few iterations ran.
+const (
+	topEigenTol      = 3e-6
+	topEigenMaxIters = 200
+)
+
+// TopEigenWorkspace owns the scratch of TopEigenInto: the iteration block,
+// its image under A, the small Ritz problem (solved with a warm-started
+// Jacobi — the Ritz matrix barely moves between iterations), and the
+// result storage. Single-goroutine; the zero value is ready to use.
+type TopEigenWorkspace struct {
+	q, z, s  *Matrix
+	sw       EigenWorkspace
+	d        EigenDecomposition
+	vecArena []complex128
+}
+
+// TopEigenInto computes the k dominant eigenpairs of the Hermitian matrix
+// a by blocked orthogonal iteration with Rayleigh–Ritz extraction,
+// reusing ws's arenas. The returned decomposition holds exactly k Values
+// and Vectors in descending order (or all n when k ≥ n, where it falls
+// back to the full Jacobi decomposition); its storage is owned by ws and
+// overwritten by the next call.
+//
+// thresh ∈ [0, 1) declares which pairs need converged eigenvectors: those
+// with Ritz value ≥ thresh·λ₁ (the dominant pair always does). Pairs below
+// the threshold get a representative value — accurate enough to stay below
+// the threshold — but their vectors are not iterated to convergence. That
+// is exactly MUSIC's contract: the signal eigenvectors and the
+// signal/noise eigenvalue split matter, while diagonalizing the rotating,
+// nearly degenerate noise cluster is pure waste (and its degeneracy makes
+// waiting for it to settle hopeless). Pass thresh = 0 to require full
+// convergence of all k pairs.
+//
+// The iteration is deterministic: a fixed canonical starting block and no
+// state carried across calls.
+func TopEigenInto(a *Matrix, k int, thresh float64, ws *TopEigenWorkspace) (*EigenDecomposition, error) {
+	n := a.rows
+	if a.cols != n {
+		return nil, ErrNotHermitian
+	}
+	if k >= n {
+		ws.sw.Reset()
+		return EigHermitianInto(a, &ws.sw)
+	}
+	if k < 1 {
+		k = 1
+	}
+	scale := a.FrobeniusNorm()
+	if scale == 0 {
+		d := ws.prepare(n, k)
+		for i := range d.Values {
+			d.Values[i] = 0
+		}
+		for i := range d.Vectors {
+			vec := d.Vectors[i]
+			for j := range vec {
+				vec[j] = 0
+			}
+			vec[i] = 1
+		}
+		return d, nil
+	}
+	if !a.isHermitianFast(1e-9 * scale) {
+		return nil, ErrNotHermitian
+	}
+
+	ws.q = Reshape(ws.q, n, k)
+	ws.z = Reshape(ws.z, n, k)
+	ws.s = Reshape(ws.s, k, k)
+	// Deterministic start: the first k canonical basis vectors. The
+	// iteration must not inherit state from a previous (unrelated) call,
+	// so the small Ritz solver's warm start is reset too — it warms up
+	// across the iterations of this call only.
+	for c := 0; c < k; c++ {
+		ws.q.data[c*k+c] = 1
+	}
+	ws.sw.Reset()
+
+	for iter := 1; iter <= topEigenMaxIters; iter++ {
+		mulInto(ws.z, a, ws.q)                 // Z = A·Q
+		conjTransposeMulInto(ws.s, ws.q, ws.z) // S = Qᴴ·A·Q
+		eigS, err := EigHermitianInto(ws.s, &ws.sw)
+		if err != nil {
+			break // corrupt input; let the Jacobi fallback report it
+		}
+		lambda1 := eigS.Values[0]
+		floor := thresh * lambda1
+		rtol2 := topEigenTol * topEigenTol * lambda1 * lambda1
+		if lambda1 <= 0 {
+			// Indefinite or negative-definite input: no scale to
+			// classify against, demand convergence of everything
+			// relative to the Frobenius norm.
+			floor = math.Inf(1) * -1
+			rtol2 = topEigenTol * topEigenTol * scale * scale
+		}
+		converged := true
+		for j := 0; j < k; j++ {
+			v := eigS.Values[j]
+			if j > 0 && v < floor {
+				break // below threshold: value-only accuracy suffices
+			}
+			if ritzResidual2(ws.z, ws.q, eigS.Vectors[j], v) > rtol2 {
+				converged = false
+				break
+			}
+		}
+		if converged {
+			// Rotate the block onto the Ritz vectors, V_j = Q·u_j,
+			// pairing each returned vector with its Ritz value.
+			d := ws.prepare(n, k)
+			for j := 0; j < k; j++ {
+				d.Values[j] = eigS.Values[j]
+				u := eigS.Vectors[j]
+				vec := d.Vectors[j]
+				for r := 0; r < n; r++ {
+					var sum complex128
+					qrow := ws.q.data[r*k : (r+1)*k]
+					for c, qc := range qrow {
+						sum += qc * u[c]
+					}
+					vec[r] = sum
+				}
+				Normalize(vec)
+			}
+			d.Sweeps = iter
+			return d, nil
+		}
+		orthonormalizeColumns(ws.z, ws.q, scale, iter)
+	}
+	// The iteration did not settle (pathological spectrum or corrupt
+	// input): fall back to the full, unconditionally-convergent Jacobi.
+	ws.sw.Reset()
+	return EigHermitianInto(a, &ws.sw)
+}
+
+// ritzResidual2 returns ‖A·y − v·y‖² for the Ritz pair (v, y = Q·u),
+// using A·y = Z·u (Z = A·Q): the squared norm of (Z − v·Q)·u.
+func ritzResidual2(z, q *Matrix, u []complex128, v float64) float64 {
+	n, k := z.rows, z.cols
+	vv := complex(v, 0)
+	var sum float64
+	for row := 0; row < n; row++ {
+		base := row * k
+		var acc complex128
+		for c, uc := range u {
+			acc += (z.data[base+c] - vv*q.data[base+c]) * uc
+		}
+		sum += real(acc)*real(acc) + imag(acc)*imag(acc)
+	}
+	return sum
+}
+
+// prepare sizes the workspace result storage for k eigenpairs of length n.
+func (ws *TopEigenWorkspace) prepare(n, k int) *EigenDecomposition {
+	if cap(ws.vecArena) < n*k {
+		ws.vecArena = make([]complex128, n*k)
+		ws.d.Values = make([]float64, k)
+		ws.d.Vectors = make([][]complex128, k)
+	}
+	ws.vecArena = ws.vecArena[:n*k]
+	if cap(ws.d.Values) < k {
+		ws.d.Values = make([]float64, k)
+		ws.d.Vectors = make([][]complex128, k)
+	}
+	ws.d.Values = ws.d.Values[:k]
+	ws.d.Vectors = ws.d.Vectors[:k]
+	for i := 0; i < k; i++ {
+		ws.d.Vectors[i] = ws.vecArena[i*n : (i+1)*n]
+	}
+	ws.d.Sweeps = 0
+	return &ws.d
+}
+
+// orthonormalizeColumns overwrites dst with an orthonormal basis of src's
+// column span via modified Gram–Schmidt with one reorthogonalization pass.
+// A rank-deficient column (the covariance had fewer independent directions
+// than the block is wide — the noiseless synthetic case) is replaced
+// deterministically by the next canonical basis vector orthogonalized
+// against the block, so the iteration always carries a full-rank block.
+func orthonormalizeColumns(src, dst *Matrix, scale float64, iter int) {
+	n, k := src.rows, src.cols
+	copy(dst.data, src.data)
+	eps := 1e-14 * scale
+	for c := 0; c < k; c++ {
+		for pass := 0; pass < 2; pass++ {
+			for p := 0; p < c; p++ {
+				// r = col_pᴴ·col_c
+				var r complex128
+				for row := 0; row < n; row++ {
+					base := row * k
+					r += cmplx.Conj(dst.data[base+p]) * dst.data[base+c]
+				}
+				for row := 0; row < n; row++ {
+					base := row * k
+					dst.data[base+c] -= r * dst.data[base+p]
+				}
+			}
+		}
+		if !normalizeColumn(dst, c, eps) {
+			// Deficient: cycle deterministically through canonical
+			// vectors until one survives orthogonalization.
+			for seed := 0; seed < n; seed++ {
+				e := (c + iter + seed) % n
+				for row := 0; row < n; row++ {
+					dst.data[row*k+c] = 0
+				}
+				dst.data[e*k+c] = 1
+				for p := 0; p < c; p++ {
+					var r complex128
+					for row := 0; row < n; row++ {
+						base := row * k
+						r += cmplx.Conj(dst.data[base+p]) * dst.data[base+c]
+					}
+					for row := 0; row < n; row++ {
+						base := row * k
+						dst.data[base+c] -= r * dst.data[base+p]
+					}
+				}
+				if normalizeColumn(dst, c, 1e-3) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// normalizeColumn scales column c of m to unit norm, reporting false (and
+// leaving the column unspecified) when its norm is at or below eps.
+func normalizeColumn(m *Matrix, c int, eps float64) bool {
+	var sum float64
+	for row := 0; row < m.rows; row++ {
+		v := m.data[row*m.cols+c]
+		sum += real(v)*real(v) + imag(v)*imag(v)
+	}
+	norm := math.Sqrt(sum)
+	if norm <= eps {
+		return false
+	}
+	inv := complex(1/norm, 0)
+	for row := 0; row < m.rows; row++ {
+		m.data[row*m.cols+c] *= inv
+	}
+	return true
+}

@@ -1,0 +1,335 @@
+package cmat
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+// randomHermitian returns a random n×n Hermitian PSD matrix with the given
+// eigenvalues (descending), built as V·diag(λ)·Vᴴ from a random unitary V.
+func spectrumHermitian(t *testing.T, rng *rand.Rand, lambdas []float64) *Matrix {
+	t.Helper()
+	n := len(lambdas)
+	// Random full-rank matrix → orthonormal columns via Gram–Schmidt.
+	v := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v.Set(i, j, complex(rng.NormFloat64(), rng.NormFloat64()))
+		}
+	}
+	for c := 0; c < n; c++ {
+		for p := 0; p < c; p++ {
+			var r complex128
+			for row := 0; row < n; row++ {
+				r += cmplx.Conj(v.At(row, p)) * v.At(row, c)
+			}
+			for row := 0; row < n; row++ {
+				v.Set(row, c, v.At(row, c)-r*v.At(row, p))
+			}
+		}
+		var norm float64
+		for row := 0; row < n; row++ {
+			norm += real(v.At(row, c))*real(v.At(row, c)) + imag(v.At(row, c))*imag(v.At(row, c))
+		}
+		inv := complex(1/math.Sqrt(norm), 0)
+		for row := 0; row < n; row++ {
+			v.Set(row, c, v.At(row, c)*inv)
+		}
+	}
+	a := New(n, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var sum complex128
+			for k := 0; k < n; k++ {
+				sum += v.At(i, k) * complex(lambdas[k], 0) * cmplx.Conj(v.At(j, k))
+			}
+			a.Set(i, j, sum)
+		}
+	}
+	return a
+}
+
+// gappedSpectrum mimics a MUSIC covariance: a few strong signal
+// eigenvalues over a nearly degenerate noise cluster.
+func gappedSpectrum(rng *rand.Rand, n, signal int) []float64 {
+	out := make([]float64, n)
+	for i := 0; i < signal; i++ {
+		out[i] = 10 / float64(i+1)
+	}
+	for i := signal; i < n; i++ {
+		// Cluster around 0.01·λ1 with a few-percent spread.
+		out[i] = 0.1 * (1 + 0.05*rng.Float64())
+	}
+	// Keep descending order inside the cluster too.
+	for i := signal + 1; i < n; i++ {
+		if out[i] > out[i-1] {
+			out[i], out[i-1] = out[i-1], out[i]
+		}
+	}
+	return out
+}
+
+func TestTopEigenMatchesFullDecomposition(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	const n, k, thresh = 20, 5, 0.015
+	for trial := 0; trial < 10; trial++ {
+		lambdas := gappedSpectrum(rng, n, 3)
+		a := spectrumHermitian(t, rng, lambdas)
+		full, err := EigHermitian(a)
+		if err != nil {
+			t.Fatalf("full: %v", err)
+		}
+		var ws TopEigenWorkspace
+		top, err := TopEigenInto(a, k, thresh, &ws)
+		if err != nil {
+			t.Fatalf("top: %v", err)
+		}
+		if len(top.Values) != k || len(top.Vectors) != k {
+			t.Fatalf("got %d values, %d vectors, want %d", len(top.Values), len(top.Vectors), k)
+		}
+		lim := 1e-5 * full.Values[0]
+		for i := 0; i < k; i++ {
+			if i == 0 || top.Values[i] >= thresh*top.Values[0] {
+				// Above the threshold the values must match tightly.
+				if math.Abs(top.Values[i]-full.Values[i]) > lim {
+					t.Errorf("trial %d value %d: top %.9g full %.9g", trial, i, top.Values[i], full.Values[i])
+				}
+				continue
+			}
+			// Below the threshold the contract is a representative value:
+			// a Rayleigh quotient over the residual subspace, so it must
+			// interlace — at most the true λᵢ, at least the smallest
+			// eigenvalue.
+			if top.Values[i] > full.Values[i]+lim || top.Values[i] < full.Values[n-1]-lim {
+				t.Errorf("trial %d noise value %d: top %.9g outside [%.9g, %.9g]",
+					trial, i, top.Values[i], full.Values[n-1], full.Values[i])
+			}
+		}
+		// Above-threshold (signal) eigenvectors must match the full
+		// decomposition up to phase: |⟨v_top, v_full⟩| ≈ 1. These
+		// eigenvalues are well separated by construction.
+		for i := 0; i < k && top.Values[i] >= thresh*top.Values[0]; i++ {
+			dot := cmplx.Abs(Dot(top.Vectors[i], full.Vectors[i]))
+			if math.Abs(dot-1) > 1e-4 {
+				t.Errorf("trial %d vector %d: |<top,full>| = %.9f, want 1", trial, i, dot)
+			}
+		}
+	}
+}
+
+func TestTopEigenResiduals(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	const n, k, thresh = 30, 6, 0.015
+	lambdas := gappedSpectrum(rng, n, 4)
+	a := spectrumHermitian(t, rng, lambdas)
+	var ws TopEigenWorkspace
+	d, err := TopEigenInto(a, k, thresh, &ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < k; i++ {
+		if d.Values[i] < thresh*d.Values[0] && i > 0 {
+			break // noise pairs carry no residual guarantee
+		}
+		var res float64
+		for r := 0; r < n; r++ {
+			var av complex128
+			for c := 0; c < n; c++ {
+				av += a.At(r, c) * d.Vectors[i][c]
+			}
+			diff := av - complex(d.Values[i], 0)*d.Vectors[i][r]
+			res += real(diff)*real(diff) + imag(diff)*imag(diff)
+		}
+		if math.Sqrt(res) > 1e-5*d.Values[0] {
+			t.Errorf("pair %d residual %.3g too large", i, math.Sqrt(res))
+		}
+	}
+}
+
+func TestTopEigenRankDeficient(t *testing.T) {
+	// Rank-2 matrix, block width 4: the iteration must repair the
+	// deficient columns and still return finite, orthonormal vectors.
+	rng := rand.New(rand.NewSource(3))
+	const n, k = 12, 4
+	lambdas := make([]float64, n)
+	lambdas[0], lambdas[1] = 5, 2
+	a := spectrumHermitian(t, rng, lambdas)
+	var ws TopEigenWorkspace
+	d, err := TopEigenInto(a, k, 0.015, &ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(d.Values[0]-5) > 1e-6 || math.Abs(d.Values[1]-2) > 1e-6 {
+		t.Fatalf("top values %v, want [5 2 ...]", d.Values)
+	}
+	for i := 2; i < k; i++ {
+		if math.Abs(d.Values[i]) > 1e-6 {
+			t.Errorf("null-space value %d = %.3g, want ~0", i, d.Values[i])
+		}
+	}
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			dot := cmplx.Abs(Dot(d.Vectors[i], d.Vectors[j]))
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(dot-want) > 1e-6 {
+				t.Errorf("|<v%d,v%d>| = %.9f, want %v", i, j, dot, want)
+			}
+		}
+	}
+}
+
+func TestTopEigenZeroMatrixAndFullWidth(t *testing.T) {
+	var ws TopEigenWorkspace
+	d, err := TopEigenInto(New(6, 6), 3, 0.015, &ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range d.Values {
+		if v != 0 {
+			t.Fatalf("zero matrix spectrum %v", d.Values)
+		}
+	}
+
+	// k ≥ n delegates to the full decomposition.
+	rng := rand.New(rand.NewSource(5))
+	a := spectrumHermitian(t, rng, []float64{4, 3, 2, 1})
+	full, err := EigHermitian(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = TopEigenInto(a, 4, 0.015, &ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(d.Values) != 4 {
+		t.Fatalf("full-width call returned %d values", len(d.Values))
+	}
+	for i := range d.Values {
+		if math.Abs(d.Values[i]-full.Values[i]) > 1e-8*full.Values[0] {
+			t.Errorf("value %d: %.9g vs %.9g", i, d.Values[i], full.Values[i])
+		}
+	}
+}
+
+func TestTopEigenRejectsNonHermitian(t *testing.T) {
+	a := New(4, 4)
+	a.Set(0, 1, 1)
+	a.Set(1, 0, 2) // not the conjugate
+	var ws TopEigenWorkspace
+	if _, err := TopEigenInto(a, 2, 0.015, &ws); err == nil {
+		t.Fatal("expected ErrNotHermitian")
+	}
+}
+
+func TestTopEigenDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	lambdas := gappedSpectrum(rng, 30, 3)
+	a := spectrumHermitian(t, rng, lambdas)
+	b := spectrumHermitian(t, rng, gappedSpectrum(rng, 30, 5))
+
+	run := func() ([]float64, []complex128) {
+		var ws TopEigenWorkspace
+		// Interleave an unrelated decomposition to prove no cross-call
+		// state leaks into the result for a.
+		if _, err := TopEigenInto(b, 6, 0.015, &ws); err != nil {
+			t.Fatal(err)
+		}
+		d, err := TopEigenInto(a, 6, 0.015, &ws)
+		if err != nil {
+			t.Fatal(err)
+		}
+		vals := append([]float64(nil), d.Values...)
+		vec := append([]complex128(nil), d.Vectors[0]...)
+		return vals, vec
+	}
+	v1, vec1 := run()
+	v2, vec2 := run()
+	for i := range v1 {
+		if v1[i] != v2[i] { //lint:allow floateq determinism means bitwise identity
+			t.Fatalf("value %d differs across identical runs: %v vs %v", i, v1[i], v2[i])
+		}
+	}
+	for i := range vec1 {
+		if vec1[i] != vec2[i] { //lint:allow floateq determinism means bitwise identity
+			t.Fatalf("vector element %d differs across identical runs", i)
+		}
+	}
+}
+
+func TestTopEigenSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	a := spectrumHermitian(t, rng, gappedSpectrum(rng, 30, 3))
+	var ws TopEigenWorkspace
+	if _, err := TopEigenInto(a, 6, 0.015, &ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := TopEigenInto(a, 6, 0.015, &ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state TopEigenInto allocates %.1f times per call, want 0", allocs)
+	}
+}
+
+func TestEigHermitianIntoWarmMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	base := spectrumHermitian(t, rng, gappedSpectrum(rng, 12, 3))
+	var warm EigenWorkspace
+	if _, err := EigHermitianInto(base, &warm); err != nil {
+		t.Fatal(err)
+	}
+	for trial := 0; trial < 5; trial++ {
+		// Perturb: warm basis is stale but the result must still be exact.
+		next := base.Clone()
+		for i := 0; i < next.Rows(); i++ {
+			for j := i; j < next.Cols(); j++ {
+				d := complex(0.01*rng.NormFloat64(), 0.01*rng.NormFloat64())
+				if i == j {
+					d = complex(real(d), 0)
+				}
+				next.Set(i, j, next.At(i, j)+d)
+				if i != j {
+					next.Set(j, i, cmplx.Conj(next.At(i, j)))
+				}
+			}
+		}
+		wd, err := EigHermitianInto(next, &warm)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cd, err := EigHermitian(next)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range cd.Values {
+			if math.Abs(wd.Values[i]-cd.Values[i]) > 1e-8*cd.Values[0] {
+				t.Errorf("trial %d value %d: warm %.12g cold %.12g", trial, i, wd.Values[i], cd.Values[i])
+			}
+		}
+		base = next
+	}
+}
+
+func TestEigHermitianIntoSteadyStateAllocs(t *testing.T) {
+	rng := rand.New(rand.NewSource(19))
+	a := spectrumHermitian(t, rng, gappedSpectrum(rng, 12, 3))
+	var ws EigenWorkspace
+	if _, err := EigHermitianInto(a, &ws); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := EigHermitianInto(a, &ws); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state EigHermitianInto allocates %.1f times per call, want 0", allocs)
+	}
+}

@@ -186,6 +186,16 @@ func (r *Result) Oracle(truthAoA float64) (Candidate, bool) {
 // clusters. perPacket[i] holds the super-resolution estimates from packet
 // i; empty packets are skipped. rng seeds clustering; pass a deterministic
 // source for reproducible output.
+//
+// AoA-only input — every estimate carrying the same ToF, as produced by
+// search-free estimators like ESPRIT where ToF is not observable — is
+// supported: the degenerate ToF axis collapses under normalization
+// (cluster.Normalize maps a constant axis to 0.5), so clustering runs on
+// AoA alone, and the Eq. 8 ToF-mean term is zeroed rather than charging
+// every cluster a phantom mid-burst delay. Ranking is unaffected either
+// way (the term would be a common factor), but absolute likelihoods stay
+// comparable with joint (AoA, ToF) runs. MinToF is meaningless on such
+// input: every candidate reports the same ToF.
 func Identify(perPacket [][]music.PathEstimate, cfg Config, rng *rand.Rand) (*Result, error) {
 	var aoas, tofs, powers []float64
 	packets := 0
@@ -234,6 +244,11 @@ func Identify(perPacket [][]music.PathEstimate, cfg Config, rng *rand.Rand) (*Re
 		return nil, err2
 	}
 
+	// A constant ToF axis (AoA-only estimates) carries no earliest-path
+	// information: every cluster would sit at the normalized midpoint 0.5
+	// and Eq. 8 would charge each one the same phantom delay.
+	aoaOnly := norm.ScaleY == 0
+
 	res := &Result{Candidates: make([]Candidate, 0, len(clusters))}
 	for _, cl := range clusters {
 		cand := Candidate{
@@ -243,6 +258,9 @@ func Identify(perPacket [][]music.PathEstimate, cfg Config, rng *rand.Rand) (*Re
 			AoAVar:  cl.VarX,
 			ToFVar:  cl.VarY,
 			NormToF: cl.Mean.Y,
+		}
+		if aoaOnly {
+			cand.NormToF = 0
 		}
 		for _, m := range cl.Members {
 			if powers[m] > cand.MaxPower {

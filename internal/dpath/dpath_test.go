@@ -249,3 +249,79 @@ func TestMargin(t *testing.T) {
 		}
 	}
 }
+
+// synthAoAOnly mimics ESPRIT output over a burst: AoA estimates with the
+// ToF axis pinned at zero (not observable by a search-free estimator).
+func synthAoAOnly(rng *rand.Rand, packets int) ([][]music.PathEstimate, float64) {
+	directAoA := geom.Rad(12)
+	out := make([][]music.PathEstimate, packets)
+	for i := range out {
+		out[i] = []music.PathEstimate{
+			{AoA: directAoA + rng.NormFloat64()*geom.Rad(0.4), Power: 50 + rng.Float64()*5},
+			{AoA: geom.Rad(-35) + rng.NormFloat64()*geom.Rad(4), Power: 90 + rng.Float64()*10},
+			{AoA: geom.Rad(55) + rng.NormFloat64()*geom.Rad(6), Power: 20 + rng.Float64()*5},
+		}
+	}
+	return out, directAoA
+}
+
+// TestIdentifyAoAOnly exercises the degenerate-ToF path: clustering must
+// fall back to AoA alone, the Eq. 8 ToF-mean term must be zeroed (not
+// charged at the normalized midpoint 0.5), and the tight direct cluster
+// must still win.
+func TestIdentifyAoAOnly(t *testing.T) {
+	rng := rand.New(rand.NewSource(81))
+	obs, truth := synthAoAOnly(rng, 40)
+	cfg := DefaultConfig()
+	res, err := Identify(obs, cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	best, ok := res.Best()
+	if !ok {
+		t.Fatal("no candidates")
+	}
+	if geom.Deg(math.Abs(best.AoA-truth)) > 2 {
+		t.Fatalf("AoA-only selection picked %v°, want ≈12°", geom.Deg(best.AoA))
+	}
+	for i, c := range res.Candidates {
+		if c.NormToF != 0 {
+			t.Fatalf("candidate %d NormToF = %v, want 0 on a constant ToF axis", i, c.NormToF)
+		}
+		if c.ToF != 0 {
+			t.Fatalf("candidate %d ToF = %v, want the input's constant 0", i, c.ToF)
+		}
+		// With the ToF terms inert, the likelihood must reduce to the
+		// count/AoA-variance form exactly.
+		want := math.Exp(cfg.Weights.WCount*float64(c.Count) - cfg.Weights.WAoAVar*c.AoAVar)
+		if math.Abs(c.Likelihood-want) > 1e-12*want {
+			t.Fatalf("candidate %d likelihood %v, want %v (ToF terms should be inert)", i, c.Likelihood, want)
+		}
+	}
+}
+
+// TestIdentifyAoAOnlyNonzeroConstant pins the same behavior when the
+// constant ToF is nonzero (e.g. a calibration offset applied uniformly):
+// candidates echo the constant, and no mid-burst delay penalty appears.
+func TestIdentifyAoAOnlyNonzeroConstant(t *testing.T) {
+	rng := rand.New(rand.NewSource(82))
+	obs, _ := synthAoAOnly(rng, 20)
+	const off = 25e-9
+	for _, pkt := range obs {
+		for i := range pkt {
+			pkt[i].ToF = off
+		}
+	}
+	res, err := Identify(obs, DefaultConfig(), rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range res.Candidates {
+		if c.NormToF != 0 {
+			t.Fatalf("candidate %d NormToF = %v, want 0", i, c.NormToF)
+		}
+		if math.Abs(c.ToF-off) > 1e-18 {
+			t.Fatalf("candidate %d ToF = %v, want %v", i, c.ToF, off)
+		}
+	}
+}

@@ -19,8 +19,11 @@ import (
 func Fig8aAoA(opts Options) (*Result, error) {
 	opts = opts.fill()
 	d := testbed.Office(opts.Seed)
-	est, err := music.NewEstimator(music.DefaultParams())
-	if err != nil {
+	// Validate the estimator configuration (and warm the shared steering
+	// cache) before fanning out; each worker goroutine then builds its own
+	// estimator — a music.Estimator owns mutable sweep arenas and is
+	// single-goroutine.
+	if _, err := music.NewEstimator(opts.musicParams()); err != nil {
 		return nil, err
 	}
 	base, err := music.NewAoAEstimator(music.DefaultAoAParams())
@@ -56,6 +59,10 @@ func Fig8aAoA(opts Options) (*Result, error) {
 		go func(i, t int) {
 			sem <- struct{}{}
 			defer func() { <-sem; done <- i }()
+			est, err := music.NewEstimator(opts.musicParams())
+			if err != nil {
+				return
+			}
 			losSet := map[int]bool{}
 			for _, a := range d.LoSAPs(t) {
 				losSet[a] = true
@@ -127,8 +134,7 @@ func Fig8aAoA(opts Options) (*Result, error) {
 // oracle rules, all operating on SpotFi's super-resolution estimates.
 func Fig8bSelection(opts Options) (*Result, error) {
 	opts = opts.fill()
-	est, err := music.NewEstimator(music.DefaultParams())
-	if err != nil {
+	if _, err := music.NewEstimator(opts.musicParams()); err != nil {
 		return nil, err
 	}
 	series := map[string][]float64{}
@@ -144,6 +150,10 @@ func Fig8bSelection(opts Options) (*Result, error) {
 			go func(i, t int) {
 				sem <- struct{}{}
 				defer func() { <-sem; done <- i }()
+				est, err := music.NewEstimator(opts.musicParams())
+				if err != nil {
+					return
+				}
 				vals := map[string][]float64{}
 				for a := range d.APs {
 					burst, err := d.Burst(a, t, opts.Packets)

@@ -33,23 +33,37 @@ func NewESPRIT(p AoAParams) (*ESPRIT, error) {
 // EstimatePaths returns the AoA estimates (ToF is not observable; Power is
 // the associated signal eigenvalue), sorted by descending eigenvalue.
 func (e *ESPRIT) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
+	paths, _, err := e.EstimatePathsDiag(c)
+	return paths, err
+}
+
+// EstimatePathsDiag is EstimatePaths plus the subset of Diag a search-free
+// estimator can populate (eigen iteration count, signal dimension, eigen
+// gap). It is what the localizer's ESPRIT-first fast path consumes to
+// decide whether the cheap estimate is trustworthy.
+func (e *ESPRIT) EstimatePathsDiag(c *csi.Matrix) ([]PathEstimate, Diag, error) {
 	if err := c.Validate(); err != nil {
-		return nil, err
+		return nil, Diag{}, err
 	}
 	m := e.p.Array.Antennas
 	if c.Antennas() != m || c.Subcarriers() != e.p.Band.Subcarriers {
-		return nil, fmt.Errorf("music: CSI is %dx%d, ESPRIT expects %dx%d",
+		return nil, Diag{}, fmt.Errorf("music: CSI is %dx%d, ESPRIT expects %dx%d",
 			c.Antennas(), c.Subcarriers(), m, e.p.Band.Subcarriers)
 	}
 	x := cmat.FromRows(c.Values)
 	r := x.Gram()
 	eig, err := cmat.EigHermitian(r)
 	if err != nil {
-		return nil, fmt.Errorf("music: ESPRIT eigendecomposition: %w", err)
+		return nil, Diag{}, fmt.Errorf("music: ESPRIT eigendecomposition: %w", err)
 	}
 	l := eig.SignalDimension(e.p.EigenThreshold, e.p.MaxPaths)
 	if l > m-1 {
 		l = m - 1
+	}
+	d := Diag{
+		EigenSweeps: eig.Sweeps,
+		SignalDim:   l,
+		EigenGapDB:  eigenGapDB(eig.Values, l),
 	}
 
 	// Signal subspace Es (m×l); subarrays drop the last / first row.
@@ -72,11 +86,11 @@ func (e *ESPRIT) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
 	bMat := es1.ConjTranspose().Mul(es2)
 	psi, err := solveSmallHermitian(a, bMat)
 	if err != nil {
-		return nil, err
+		return nil, Diag{}, err
 	}
 	phis, err := smallEigenvalues(psi)
 	if err != nil {
-		return nil, err
+		return nil, Diag{}, err
 	}
 
 	sinFactor := 2 * math.Pi * e.p.Array.SpacingM * e.p.Band.CarrierHz / rf.SpeedOfLight
@@ -96,7 +110,7 @@ func (e *ESPRIT) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
 		out = append(out, PathEstimate{AoA: math.Asin(s), Power: power})
 	}
 	sort.Slice(out, func(a, b int) bool { return out[a].Power > out[b].Power })
-	return out, nil
+	return out, d, nil
 }
 
 // solveSmallHermitian solves A·X = B for Hermitian positive-definite A of

@@ -38,7 +38,24 @@ type Params struct {
 	// MaxPaths caps the signal-subspace dimension and the number of
 	// returned peaks.
 	MaxPaths int
+
+	// CoarseGridFactor controls the coarse-to-fine sweep: the estimator
+	// first evaluates every CoarseGridFactor-th grid point on both axes,
+	// then densely re-sweeps windows around the surviving coarse maxima.
+	// 1 forces the classic dense sweep; 0 selects the default (4).
+	CoarseGridFactor int
+	// DedupeAoARad and DedupeToFS are the physical merge radii for
+	// near-duplicate spectrum peaks: a peak within both radii of a
+	// stronger one is dropped. Zero selects 1.5× the corresponding grid
+	// step (the historical behavior, which made the surviving peak set
+	// depend on grid resolution).
+	DedupeAoARad float64
+	DedupeToFS   float64
 }
+
+// DefaultCoarseGridFactor is the coarse-to-fine decimation used when
+// CoarseGridFactor is 0.
+const DefaultCoarseGridFactor = 4
 
 // DefaultParams returns the estimator configuration matching the paper's
 // prototype: 2×15 smoothing window, 1° AoA grid, 2 ns ToF grid over
@@ -56,6 +73,9 @@ func DefaultParams() Params {
 		ToFMaxS:             200e-9,
 		EigenThreshold:      0.015,
 		MaxPaths:            5,
+		CoarseGridFactor:    DefaultCoarseGridFactor,
+		DedupeAoARad:        1.5 * math.Pi / 180,
+		DedupeToFS:          3e-9,
 	}
 }
 
@@ -88,7 +108,34 @@ func (p Params) Validate() error {
 	if p.MaxPaths < 1 {
 		return fmt.Errorf("music: MaxPaths must be ≥ 1")
 	}
+	if p.CoarseGridFactor < 0 {
+		return fmt.Errorf("music: CoarseGridFactor %d must be ≥ 0", p.CoarseGridFactor)
+	}
+	if p.DedupeAoARad < 0 || p.DedupeToFS < 0 {
+		return fmt.Errorf("music: dedupe radii must be ≥ 0")
+	}
 	return nil
+}
+
+// coarseFactor resolves CoarseGridFactor: 0 means the default.
+func (p Params) coarseFactor() int {
+	if p.CoarseGridFactor == 0 {
+		return DefaultCoarseGridFactor
+	}
+	return p.CoarseGridFactor
+}
+
+// dedupeRadii resolves the peak-merge radii, falling back to 1.5× the grid
+// step for unset axes.
+func (p Params) dedupeRadii() (aoaRad, tofS float64) {
+	aoaRad, tofS = p.DedupeAoARad, p.DedupeToFS
+	if aoaRad == 0 {
+		aoaRad = 1.5 * p.AoAGridRad
+	}
+	if tofS == 0 {
+		tofS = 1.5 * p.ToFGridS
+	}
+	return aoaRad, tofS
 }
 
 // PathEstimate is one resolved propagation path.

@@ -4,7 +4,6 @@ import (
 	"fmt"
 	"math"
 	"math/cmplx"
-	"sort"
 
 	"spotfi/internal/cmat"
 	"spotfi/internal/csi"
@@ -21,34 +20,93 @@ type Spectrum struct {
 }
 
 // Estimator runs SpotFi's joint AoA/ToF super-resolution on single-packet
-// CSI matrices. It precomputes the search grids; one Estimator may be
-// reused across packets and is safe for concurrent use (it is read-only
-// after construction).
+// CSI matrices.
+//
+// Concurrency contract: an Estimator owns mutable workspace arenas (the
+// smoothed-CSI matrix, the eigendecomposition scratch, the spectrum and
+// per-column caches), so it is single-goroutine — one goroutine per
+// Estimator at a time. The expensive pure-geometry precomputation (grids
+// and steering powers) lives in a shared read-only steeringTable obtained
+// from the package steering cache, so constructing extra estimators for
+// extra goroutines is cheap; callers that fan out across goroutines should
+// keep a pool of estimators (see the localizer's sync.Pool).
 type Estimator struct {
-	p      Params
+	p   Params
+	tab *steeringTable
+
+	// thetas and taus alias the shared table's grids (read-only).
 	thetas []float64
 	taus   []float64
-	// phiPows[i][a] = Φ(thetas[i])^a for a < SubarrayAntennas.
-	phiPows [][]complex128
-	// omegaPows[j][s] = Ω(taus[j])^s for s < SubarraySubcarriers.
-	omegaPows [][]complex128
+
+	// Workspace arenas, reused across calls. Everything below is reset or
+	// overwritten by each estimate; nothing escapes to callers.
+	smooth *cmat.Matrix
+	gram   *cmat.Matrix
+	eigWS  cmat.TopEigenWorkspace
+
+	// vecs/cut are the signal eigenvectors of the current packet,
+	// borrowed from eigWS between eigendecomposition and sweep.
+	vecs [][]complex128
+	cut  int
+
+	// w[k*subAnt+a] = v_k[a-th block]ᴴ·o(τ) for the column being
+	// evaluated.
+	w []complex128
+
+	// Per-column sweep cache: the block quadratic forms q_ab(τ_j) shared
+	// by every θ in column j. colDone marks columns already computed for
+	// the current packet, so the refinement windows never recompute a
+	// column the coarse pass touched.
+	colQDiag []float64
+	colQPair []complex128
+	colDone  []bool
+
+	// specP/computed are the (flattened row-major) spectrum arena and its
+	// evaluation mask for the current packet.
+	specP    []float64
+	computed []bool
+	// evalIdx lists the flattened indices of evaluated cells in evaluation
+	// order, so peak finding after a coarse pass visits only those cells
+	// instead of scanning (and mask-testing) the whole grid.
+	evalIdx []int32
+	// denseDone marks that every cell of specP is evaluated.
+	denseDone bool
+	// cells counts evaluated cells for diagnostics.
+	cells int
+
+	// Peak-finding scratch.
+	scratch   []PathEstimate
+	coarseTop []coarseMax
+	latI      []int
+	latJ      []int
 }
 
-// NewEstimator validates p and precomputes the spectrum grids.
+type coarseMax struct {
+	i, j int
+	v    float64
+}
+
+// NewEstimator validates p and binds the shared precomputed steering
+// table, allocating the estimator-owned workspace arenas.
 func NewEstimator(p Params) (*Estimator, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	e := &Estimator{p: p}
-	e.thetas = gridPoints(-math.Pi/2, math.Pi/2, p.AoAGridRad)
-	e.taus = gridPoints(p.ToFMinS, p.ToFMaxS, p.ToFGridS)
-	e.phiPows = make([][]complex128, len(e.thetas))
-	for i, th := range e.thetas {
-		e.phiPows[i] = geometricSeries(Phi(th, p.Array, p.Band), p.SubarrayAntennas)
-	}
-	e.omegaPows = make([][]complex128, len(e.taus))
-	for j, tau := range e.taus {
-		e.omegaPows[j] = geometricSeries(Omega(tau, p.Band), p.SubarraySubcarriers)
+	tab := lookupSteeringTable(p)
+	nt, nu := len(tab.thetas), len(tab.taus)
+	e := &Estimator{
+		p:        p,
+		tab:      tab,
+		thetas:   tab.thetas,
+		taus:     tab.taus,
+		w:        make([]complex128, p.MaxPaths*tab.subAnt),
+		colQDiag: make([]float64, nu),
+		colQPair: make([]complex128, nu*tab.nPair),
+		colDone:  make([]bool, nu),
+		specP:    make([]float64, nt*nu),
+		computed: make([]bool, nt*nu),
+		evalIdx:  make([]int32, 0, nt*nu),
+		scratch:  make([]PathEstimate, 0, 32),
 	}
 	return e, nil
 }
@@ -59,7 +117,8 @@ func (e *Estimator) Params() Params { return e.p }
 // EstimatePaths returns the multipath (AoA, ToF) estimates for one CSI
 // matrix: Algorithm 2 lines 4–7. Estimates are sorted by descending
 // spectrum power. The number of returned paths is the estimated signal
-// subspace dimension (≤ MaxPaths).
+// subspace dimension (≤ MaxPaths). The returned slice is freshly
+// allocated and owned by the caller.
 func (e *Estimator) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
 	paths, _, err := e.EstimatePathsDiag(c)
 	return paths, err
@@ -68,93 +127,439 @@ func (e *Estimator) EstimatePaths(c *csi.Matrix) ([]PathEstimate, error) {
 // EstimatePathsDiag is EstimatePaths plus per-packet DSP diagnostics for
 // burst tracing. The Diag is valid only when err is nil.
 func (e *Estimator) EstimatePathsDiag(c *csi.Matrix) ([]PathEstimate, Diag, error) {
-	spec, dim, eig, err := e.spectrum(c)
+	dim, eig, err := e.sweep(c)
 	if err != nil {
 		return nil, Diag{}, err
 	}
-	peaks := findPeaks2D(spec, dim)
+	peaks, denseFallback := e.peaksWithFallback(dim)
 	d := Diag{
-		EigenSweeps: eig.Sweeps,
-		SignalDim:   dim,
-		EigenGapDB:  eigenGapDB(eig.Values, dim),
-		GridTheta:   len(spec.Thetas),
-		GridTau:     len(spec.Taus),
-		Peaks:       len(peaks),
+		EigenSweeps:   eig.Sweeps,
+		SignalDim:     dim,
+		EigenGapDB:    eigenGapDB(eig.Values, dim),
+		GridTheta:     len(e.thetas),
+		GridTau:       len(e.taus),
+		Peaks:         len(peaks),
+		CellsSwept:    e.cells,
+		DenseFallback: denseFallback,
 	}
-	return peaks, d, nil
+	out := make([]PathEstimate, len(peaks))
+	copy(out, peaks)
+	return out, d, nil
 }
 
-// Spectrum evaluates the full 2-D pseudo-spectrum for one CSI matrix. It is
-// what CUPID-style max-power selection and diagnostics consume.
+// Spectrum evaluates the full (dense) 2-D pseudo-spectrum for one CSI
+// matrix. It is what CUPID-style max-power selection and diagnostics
+// consume. The returned spectrum is a fresh copy, unaffected by later
+// estimator calls.
 func (e *Estimator) Spectrum(c *csi.Matrix) (*Spectrum, error) {
-	spec, _, _, err := e.spectrum(c)
-	return spec, err
+	if _, _, err := e.sweep(c); err != nil {
+		return nil, err
+	}
+	e.evalRemaining()
+	nt, nu := len(e.thetas), len(e.taus)
+	spec := &Spectrum{Thetas: e.thetas, Taus: e.taus, P: make([][]float64, nt)}
+	flat := make([]float64, nt*nu)
+	copy(flat, e.specP)
+	for i := range spec.P {
+		spec.P[i] = flat[i*nu : (i+1)*nu]
+	}
+	return spec, nil
 }
 
-func (e *Estimator) spectrum(c *csi.Matrix) (*Spectrum, int, *cmat.EigenDecomposition, error) {
+// sweep runs the front half of the pipeline — smoothing, covariance,
+// eigendecomposition — then evaluates the pseudo-spectrum, coarse-to-fine
+// unless configured dense. On return specP/computed hold the evaluated
+// region for the packet.
+func (e *Estimator) sweep(c *csi.Matrix) (int, *cmat.EigenDecomposition, error) {
 	if err := c.Validate(); err != nil {
-		return nil, 0, nil, err
+		return 0, nil, err
 	}
 	if c.Antennas() != e.p.Array.Antennas || c.Subcarriers() != e.p.Band.Subcarriers {
-		return nil, 0, nil, fmt.Errorf("music: CSI is %dx%d, estimator expects %dx%d",
+		return 0, nil, fmt.Errorf("music: CSI is %dx%d, estimator expects %dx%d",
 			c.Antennas(), c.Subcarriers(), e.p.Array.Antennas, e.p.Band.Subcarriers)
 	}
-	x := SmoothCSI(c, e.p.SubarrayAntennas, e.p.SubarraySubcarriers)
-	r := x.Gram()
-	eig, err := cmat.EigHermitian(r)
+	e.smooth = SmoothCSIInto(c, e.p.SubarrayAntennas, e.p.SubarraySubcarriers, e.smooth)
+	e.gram = cmat.Reshape(e.gram, e.smooth.Rows(), e.smooth.Rows())
+	e.smooth.GramInto(e.gram)
+	// Only the top MaxPaths+1 eigenpairs matter: MaxPaths caps the signal
+	// dimension, and one extra value below the cut supplies the
+	// signal/noise threshold split and the eigen-gap diagnostic. The
+	// sweep never touches noise eigenvectors — columnQ projects through
+	// the signal subspace complement.
+	eig, err := cmat.TopEigenInto(e.gram, e.p.MaxPaths+1, e.p.EigenThreshold, &e.eigWS)
 	if err != nil {
-		return nil, 0, nil, fmt.Errorf("music: covariance eigendecomposition: %w", err)
+		return 0, nil, fmt.Errorf("music: covariance eigendecomposition: %w", err)
 	}
 	dim := eig.SignalDimension(e.p.EigenThreshold, e.p.MaxPaths)
-	en := eig.NoiseSubspace(e.p.EigenThreshold, e.p.MaxPaths)
-	if en == nil {
-		return nil, 0, nil, fmt.Errorf("music: empty noise subspace")
-	}
-	proj := en.Mul(en.ConjTranspose()) // E_N·E_Nᴴ
+	e.cut = eig.SignalCut(e.p.EigenThreshold, e.p.MaxPaths)
+	e.vecs = eig.Vectors[:e.cut]
 
-	spec := &Spectrum{Thetas: e.thetas, Taus: e.taus, P: make([][]float64, len(e.thetas))}
-	for i := range spec.P {
-		spec.P[i] = make([]float64, len(e.taus))
+	// Reset the per-packet sweep state.
+	for i := range e.colDone {
+		e.colDone[i] = false
+	}
+	for i := range e.computed {
+		e.computed[i] = false
+	}
+	e.cells = 0
+	e.evalIdx = e.evalIdx[:0]
+	e.denseDone = false
+
+	nt, nu := len(e.thetas), len(e.taus)
+	cf := e.p.coarseFactor()
+	if cf <= 1 || nt < 4*cf || nu < 4*cf {
+		// Dense sweep: configured, or the grid is too small for the
+		// coarse lattice to be meaningful.
+		e.evalRemaining()
+	} else {
+		e.coarsePass(cf)
+	}
+	return dim, eig, nil
+}
+
+// coarsePass evaluates the stride-cf lattice (endpoints forced in), finds
+// its local maxima, and densely evaluates a window of radius 2·cf around
+// each of the strongest MaxPaths+4 of them.
+func (e *Estimator) coarsePass(cf int) {
+	nt, nu := len(e.thetas), len(e.taus)
+	e.latI = latticeIndices(e.latI[:0], nt, cf)
+	e.latJ = latticeIndices(e.latJ[:0], nu, cf)
+	for _, j := range e.latJ {
+		e.evalColumn(j, e.latI)
 	}
 
-	// Exploit the Kronecker structure a(θ,τ) = p(θ) ⊗ o(τ): partition the
-	// projector into subAnt² blocks of size subSub×subSub; then
-	// aᴴ·proj·a = Σ_a q_aa + 2·Re Σ_{a<b} conj(p_a)·p_b·q_ab with
-	// q_ab = o(τ)ᴴ·proj_ab·o(τ). The q_ab are computed once per τ, making
-	// the θ sweep O(1) per point instead of O((subAnt·subSub)²).
-	subAnt, subSub := e.p.SubarrayAntennas, e.p.SubarraySubcarriers
-	nblk := subAnt * (subAnt + 1) / 2
-	q := make([]complex128, nblk)
-	for j := range e.taus {
-		o := e.omegaPows[j]
-		bi := 0
-		for a := 0; a < subAnt; a++ {
-			for b := a; b < subAnt; b++ {
-				q[bi] = blockQuadraticForm(proj, a, b, subSub, o)
-				bi++
-			}
-		}
-		for i := range e.thetas {
-			p := e.phiPows[i]
-			var denom float64
-			bi = 0
-			for a := 0; a < subAnt; a++ {
-				for b := a; b < subAnt; b++ {
-					if a == b {
-						denom += real(q[bi])
-					} else {
-						denom += 2 * real(cmplx.Conj(p[a])*p[b]*q[bi])
+	// Local maxima over the coarse lattice, edges included (out-of-range
+	// neighbors are ignored, so a peak drifting past the lattice border
+	// still seeds a window).
+	li, lj := len(e.latI), len(e.latJ)
+	top := e.coarseTop[:0]
+	maxKeep := e.p.MaxPaths + 4
+	for a := 0; a < li; a++ {
+		for b := 0; b < lj; b++ {
+			v := e.specP[e.latI[a]*nu+e.latJ[b]]
+			isMax := true
+			for da := -1; da <= 1 && isMax; da++ {
+				for db := -1; db <= 1; db++ {
+					if da == 0 && db == 0 {
+						continue
 					}
-					bi++
+					na, nb := a+da, b+db
+					if na < 0 || na >= li || nb < 0 || nb >= lj {
+						continue
+					}
+					if e.specP[e.latI[na]*nu+e.latJ[nb]] > v {
+						isMax = false
+						break
+					}
 				}
 			}
-			if denom < 1e-18 {
-				denom = 1e-18
+			if isMax {
+				top = insertCoarseMax(top, coarseMax{i: e.latI[a], j: e.latJ[b], v: v}, maxKeep)
 			}
-			spec.P[i][j] = 1 / denom
 		}
 	}
-	return spec, dim, eig, nil
+	e.coarseTop = top
+
+	r := 2 * cf
+	for _, m := range top {
+		i0, i1 := m.i-r, m.i+r
+		if i0 < 0 {
+			i0 = 0
+		}
+		if i1 > nt-1 {
+			i1 = nt - 1
+		}
+		j0, j1 := m.j-r, m.j+r
+		if j0 < 0 {
+			j0 = 0
+		}
+		if j1 > nu-1 {
+			j1 = nu - 1
+		}
+		for j := j0; j <= j1; j++ {
+			e.evalColumnRange(j, i0, i1)
+		}
+	}
+}
+
+// latticeIndices appends 0, cf, 2·cf, … and forces the final index n−1.
+func latticeIndices(dst []int, n, cf int) []int {
+	for i := 0; i < n; i += cf {
+		dst = append(dst, i)
+	}
+	if dst[len(dst)-1] != n-1 {
+		dst = append(dst, n-1)
+	}
+	return dst
+}
+
+// insertCoarseMax keeps top sorted by descending value, capped at k.
+func insertCoarseMax(top []coarseMax, m coarseMax, k int) []coarseMax {
+	pos := len(top)
+	for pos > 0 && top[pos-1].v < m.v {
+		pos--
+	}
+	if pos >= k {
+		return top
+	}
+	if len(top) < k {
+		top = append(top, coarseMax{})
+	}
+	copy(top[pos+1:], top[pos:])
+	top[pos] = m
+	return top
+}
+
+// evalColumn evaluates the given rows of column j.
+func (e *Estimator) evalColumn(j int, rows []int) {
+	qd, qp := e.columnQ(j)
+	nu := len(e.taus)
+	for _, i := range rows {
+		idx := i*nu + j
+		if !e.computed[idx] {
+			e.evalCell(idx, i, qd, qp)
+		}
+	}
+}
+
+// evalColumnRange evaluates rows [i0, i1] of column j, skipping cells the
+// coarse pass already computed.
+func (e *Estimator) evalColumnRange(j, i0, i1 int) {
+	qd, qp := e.columnQ(j)
+	nu := len(e.taus)
+	for i := i0; i <= i1; i++ {
+		idx := i*nu + j
+		if !e.computed[idx] {
+			e.evalCell(idx, i, qd, qp)
+		}
+	}
+}
+
+// evalCell computes P(θ_i, τ_j) from the column's cached block forms: the
+// Kronecker decomposition of Eq. 7 reduces each cell to nPair complex
+// multiplies against the per-theta antenna pair products.
+func (e *Estimator) evalCell(idx, i int, qd float64, qp []complex128) {
+	nPair := e.tab.nPair
+	pr := e.tab.pair[i*nPair : (i+1)*nPair]
+	var cross float64
+	for c, qc := range qp {
+		cross += real(pr[c])*real(qc) - imag(pr[c])*imag(qc)
+	}
+	denom := qd + 2*cross
+	if denom < 1e-18 {
+		denom = 1e-18
+	}
+	e.specP[idx] = 1 / denom
+	e.computed[idx] = true
+	e.evalIdx = append(e.evalIdx, int32(idx))
+	e.cells++
+}
+
+// columnQ returns the block quadratic forms of column j — the diagonal sum
+// Σ_a q_aa and the off-diagonal q_ab for a<b — computing and caching them
+// on first use. Rather than materializing the noise projector E_N·E_Nᴴ
+// (the dominant cost of the old dense sweep), it uses the complement
+// identity P_N = I − Σ_k v_k·v_kᴴ over the few signal eigenvectors:
+// q_ab = δ_ab·‖o‖² − Σ_k conj(w_ka)·w_kb with w_ka = v_k[block a]ᴴ·o(τ_j).
+func (e *Estimator) columnQ(j int) (float64, []complex128) {
+	nPair := e.tab.nPair
+	qp := e.colQPair[j*nPair : (j+1)*nPair]
+	if e.colDone[j] {
+		return e.colQDiag[j], qp
+	}
+	subAnt, subSub := e.tab.subAnt, e.tab.subSub
+	o := e.tab.omega[j*subSub : (j+1)*subSub]
+	w := e.w[:e.cut*subAnt]
+	for k, v := range e.vecs {
+		for a := 0; a < subAnt; a++ {
+			blk := v[a*subSub : (a+1)*subSub]
+			var sum complex128
+			for s, os := range o {
+				sum += cmplx.Conj(blk[s]) * os
+			}
+			w[k*subAnt+a] = sum
+		}
+	}
+	qd := float64(subAnt) * e.tab.omegaNorm[j]
+	for _, wv := range w {
+		qd -= real(wv)*real(wv) + imag(wv)*imag(wv)
+	}
+	c := 0
+	for a := 0; a < subAnt; a++ {
+		for b := a + 1; b < subAnt; b++ {
+			var sum complex128
+			for k := 0; k < e.cut; k++ {
+				sum += cmplx.Conj(w[k*subAnt+a]) * w[k*subAnt+b]
+			}
+			qp[c] = -sum
+			c++
+		}
+	}
+	e.colQDiag[j] = qd
+	e.colDone[j] = true
+	return qd, qp
+}
+
+// evalRemaining evaluates every not-yet-computed cell (the dense sweep, or
+// the dense fallback after a coarse pass).
+func (e *Estimator) evalRemaining() {
+	if e.denseDone {
+		return
+	}
+	nt, nu := len(e.thetas), len(e.taus)
+	for j := 0; j < nu; j++ {
+		e.evalColumnRange(j, 0, nt-1)
+	}
+	e.denseDone = true
+}
+
+// peaksWithFallback finds peaks on the evaluated region and falls back to
+// the dense sweep when the result is untrustworthy: a candidate peak sits
+// on the border of the evaluated region (its true neighborhood is
+// unknown), and that candidate is strong enough to displace the weakest
+// accepted peak (or too few peaks were found at all). The returned slice
+// aliases the estimator's scratch arena.
+func (e *Estimator) peaksWithFallback(dim int) ([]PathEstimate, bool) {
+	peaks, crowdMax := e.findPeaksMasked(dim)
+	if e.denseDone || crowdMax == 0 {
+		return peaks, false
+	}
+	if len(peaks) >= dim && crowdMax <= peaks[len(peaks)-1].Power {
+		return peaks, false
+	}
+	e.evalRemaining()
+	peaks, _ = e.findPeaksMasked(dim)
+	return peaks, true
+}
+
+// findPeaksMasked locates local maxima of the evaluated pseudo-spectrum
+// region, refines them with per-axis quadratic interpolation, merges
+// near-duplicates by physical distance, and returns the top count peaks by
+// power (in the estimator's scratch arena). crowdMax is the strongest
+// would-be peak that touched the border of the evaluated region — zero
+// when the region's peaks are all interior, i.e. the coarse windows were
+// large enough.
+//
+// Grid-edge cells are excluded: a maximum at the ±90° AoA edge (array
+// endfire, where a ULA has no resolution) or at the ToF search boundary is
+// a truncation artifact, not a resolvable path, and its packet-to-packet
+// repeatability would otherwise fabricate a spuriously tight cluster.
+func (e *Estimator) findPeaksMasked(count int) ([]PathEstimate, float64) {
+	nt, nu := len(e.thetas), len(e.taus)
+	peaks := e.scratch[:0]
+	crowdMax := 0.0
+	if e.denseDone {
+		// Every cell is evaluated: scan row-major with no mask loads and
+		// the neighbor comparisons flattened.
+		for i := 1; i < nt-1; i++ {
+			for j := 1; j < nu-1; j++ {
+				idx := i*nu + j
+				v := e.specP[idx]
+				if e.specP[idx-nu-1] > v || e.specP[idx-nu] > v || e.specP[idx-nu+1] > v ||
+					e.specP[idx-1] > v || e.specP[idx+1] > v ||
+					e.specP[idx+nu-1] > v || e.specP[idx+nu] > v || e.specP[idx+nu+1] > v {
+					continue
+				}
+				peaks = e.appendRefined(peaks, i, j, v)
+			}
+		}
+	} else {
+		// Sparse region: visit only the evaluated cells, in evaluation
+		// order. Enumeration order does not affect results —
+		// sortPeaksByPower orders ties by position, so plateaus of
+		// exact-equal cells (e.g. at the denominator clamp) resolve the
+		// same way as under the dense row-major scan.
+		for _, idx32 := range e.evalIdx {
+			idx := int(idx32)
+			i, j := idx/nu, idx%nu
+			if i == 0 || i == nt-1 || j == 0 || j == nu-1 {
+				continue
+			}
+			v := e.specP[idx]
+			isPeak, border := true, false
+			for di := -1; di <= 1 && isPeak; di++ {
+				for dj := -1; dj <= 1; dj++ {
+					if di == 0 && dj == 0 {
+						continue
+					}
+					nidx := (i+di)*nu + (j + dj)
+					if !e.computed[nidx] {
+						border = true
+						continue
+					}
+					if e.specP[nidx] > v {
+						isPeak = false
+						break
+					}
+				}
+			}
+			if !isPeak {
+				continue
+			}
+			if border {
+				// No computed neighbor beats it, but part of its
+				// neighborhood is unknown: can neither accept nor
+				// reject. Record it for the fallback decision.
+				if v > crowdMax {
+					crowdMax = v
+				}
+				continue
+			}
+			peaks = e.appendRefined(peaks, i, j, v)
+		}
+	}
+	sortPeaksByPower(peaks)
+	rTheta, rTau := e.p.dedupeRadii()
+	peaks = dedupePeaks(peaks, rTheta, rTau)
+	if len(peaks) > count {
+		peaks = peaks[:count]
+	}
+	e.scratch = peaks[:0]
+	return peaks, crowdMax
+}
+
+// appendRefined quadratically refines the accepted maximum at (i, j) on
+// both axes and appends the estimate.
+func (e *Estimator) appendRefined(peaks []PathEstimate, i, j int, v float64) []PathEstimate {
+	nu := len(e.taus)
+	theta := refineAxis(e.thetas, i, func(k int) float64 { return e.specP[k*nu+j] })
+	tau := refineAxis(e.taus, j, func(k int) float64 { return e.specP[i*nu+k] })
+	return append(peaks, PathEstimate{AoA: theta, ToF: tau, Power: v})
+}
+
+// sortPeaksByPower sorts descending by Power with an allocation-free
+// insertion sort (peak counts are tiny). Equal powers order by position
+// (AoA, then ToF) so the result is a pure function of the peak set — the
+// coarse and dense sweeps enumerate candidates in different orders, and
+// dedupePeaks keeps whichever duplicate sorts first.
+func sortPeaksByPower(peaks []PathEstimate) {
+	for i := 1; i < len(peaks); i++ {
+		p := peaks[i]
+		j := i
+		for j > 0 && peakBefore(p, peaks[j-1]) {
+			peaks[j] = peaks[j-1]
+			j--
+		}
+		peaks[j] = p
+	}
+}
+
+// peakBefore is the canonical peak order: descending power, ties broken
+// by ascending AoA then ToF.
+func peakBefore(a, b PathEstimate) bool {
+	if a.Power > b.Power {
+		return true
+	}
+	if a.Power < b.Power {
+		return false
+	}
+	if a.AoA < b.AoA {
+		return true
+	}
+	if a.AoA > b.AoA {
+		return false
+	}
+	return a.ToF < b.ToF
 }
 
 // gridPoints returns the inclusive grid start, start+step, …, stop built
@@ -173,74 +578,18 @@ func gridPoints(start, stop, step float64) []float64 {
 	return out
 }
 
-// blockQuadraticForm computes oᴴ·proj[a·n:(a+1)·n][b·n:(b+1)·n]·o.
-func blockQuadraticForm(proj *cmat.Matrix, a, b, n int, o []complex128) complex128 {
-	var sum complex128
-	rowOff, colOff := a*n, b*n
-	for r := 0; r < n; r++ {
-		var inner complex128
-		for c := 0; c < n; c++ {
-			inner += proj.At(rowOff+r, colOff+c) * o[c]
-		}
-		sum += cmplx.Conj(o[r]) * inner
-	}
-	return sum
-}
-
-// findPeaks2D locates local maxima of the pseudo-spectrum, refines them
-// with per-axis quadratic interpolation, and returns the top count peaks
-// by power. Grid-edge cells are excluded: a maximum at the ±90° AoA edge
-// (array endfire, where a ULA has no resolution) or at the ToF search
-// boundary is a truncation artifact, not a resolvable path, and its
-// packet-to-packet repeatability would otherwise fabricate a spuriously
-// tight cluster.
-func findPeaks2D(spec *Spectrum, count int) []PathEstimate {
-	ni, nj := len(spec.Thetas), len(spec.Taus)
-	var peaks []PathEstimate
-	for i := 1; i < ni-1; i++ {
-		for j := 1; j < nj-1; j++ {
-			v := spec.P[i][j]
-			isPeak := true
-			for di := -1; di <= 1 && isPeak; di++ {
-				for dj := -1; dj <= 1; dj++ {
-					if di == 0 && dj == 0 {
-						continue
-					}
-					if spec.P[i+di][j+dj] > v {
-						isPeak = false
-						break
-					}
-				}
-			}
-			if !isPeak {
-				continue
-			}
-			theta := refineAxis(spec.Thetas, i, func(k int) float64 { return spec.P[k][j] })
-			tau := refineAxis(spec.Taus, j, func(k int) float64 { return spec.P[i][k] })
-			peaks = append(peaks, PathEstimate{AoA: theta, ToF: tau, Power: v})
-		}
-	}
-	sort.Slice(peaks, func(a, b int) bool { return peaks[a].Power > peaks[b].Power })
-	peaks = dedupePeaks(peaks, spec)
-	if len(peaks) > count {
-		peaks = peaks[:count]
-	}
-	return peaks
-}
-
-// dedupePeaks drops peaks that sit within one grid cell of a stronger one
-// (plateaus produce runs of equal-valued "peaks").
-func dedupePeaks(peaks []PathEstimate, spec *Spectrum) []PathEstimate {
+// dedupePeaks drops peaks within both physical merge radii of a stronger
+// one (plateaus produce runs of near-equal "peaks"). peaks must be sorted
+// by descending power; the filter compacts in place.
+func dedupePeaks(peaks []PathEstimate, rTheta, rTau float64) []PathEstimate {
 	if len(peaks) < 2 {
 		return peaks
 	}
-	dTheta := spec.Thetas[1] - spec.Thetas[0]
-	dTau := spec.Taus[1] - spec.Taus[0]
-	var out []PathEstimate
+	out := peaks[:0]
 	for _, p := range peaks {
 		dup := false
 		for _, kept := range out {
-			if math.Abs(p.AoA-kept.AoA) <= 1.5*dTheta && math.Abs(p.ToF-kept.ToF) <= 1.5*dTau {
+			if math.Abs(p.AoA-kept.AoA) <= rTheta && math.Abs(p.ToF-kept.ToF) <= rTau {
 				dup = true
 				break
 			}
@@ -253,9 +602,21 @@ func dedupePeaks(peaks []PathEstimate, spec *Spectrum) []PathEstimate {
 }
 
 // refineAxis fits a parabola through the peak sample and its two axis
-// neighbors and returns the interpolated abscissa of the maximum.
+// neighbors and returns the interpolated abscissa of the maximum. Indices
+// outside the grid are clamped; boundary indices return the grid point
+// itself (no neighbor to fit through); the refined value never leaves
+// [grid[0], grid[len-1]].
 func refineAxis(grid []float64, idx int, val func(int) float64) float64 {
-	if idx <= 0 || idx >= len(grid)-1 {
+	if len(grid) == 0 {
+		return 0
+	}
+	if idx < 0 {
+		idx = 0
+	}
+	if idx > len(grid)-1 {
+		idx = len(grid) - 1
+	}
+	if idx == 0 || idx == len(grid)-1 {
 		return grid[idx]
 	}
 	ym, y0, yp := val(idx-1), val(idx), val(idx+1)
@@ -270,5 +631,11 @@ func refineAxis(grid []float64, idx int, val func(int) float64) float64 {
 		delta = -0.5
 	}
 	step := grid[1] - grid[0]
-	return grid[idx] + delta*step
+	x := grid[idx] + delta*step
+	if x < grid[0] {
+		x = grid[0]
+	} else if x > grid[len(grid)-1] {
+		x = grid[len(grid)-1]
+	}
+	return x
 }

@@ -1,0 +1,359 @@
+package music
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/rf"
+)
+
+// optScene synthesizes a noisy multipath packet with the given paths.
+func optScene(seed int64, sigma float64, paths []PathEstimate, gains []complex128) *csi.Matrix {
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	c := buildCSI(band, array, paths, gains)
+	addNoise(c, sigma, rand.New(rand.NewSource(seed)))
+	return c
+}
+
+func TestSteeringCacheSharedAndCounted(t *testing.T) {
+	p := DefaultParams()
+	// Perturb the grid so this configuration cannot collide with other
+	// tests' cache entries.
+	p.ToFMaxS = 201e-9
+	h0, m0, _ := SteeringCacheStats()
+	e1, err := NewEstimator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, m1, _ := SteeringCacheStats()
+	if m1 != m0+1 || h1 != h0 {
+		t.Fatalf("first build: hits %d→%d misses %d→%d, want one miss", h0, h1, m0, m1)
+	}
+	e2, err := NewEstimator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, m2, _ := SteeringCacheStats()
+	if h2 != h1+1 || m2 != m1 {
+		t.Fatalf("second build: hits %d→%d misses %d→%d, want one hit", h1, h2, m1, m2)
+	}
+	if e1.tab != e2.tab {
+		t.Fatal("same params produced different steering tables")
+	}
+	// A different grid is a different entry.
+	p2 := p
+	p2.AoAGridRad = math.Pi / 360
+	e3, err := NewEstimator(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e3.tab == e1.tab {
+		t.Fatal("different grids share a steering table")
+	}
+}
+
+func TestSteeringCacheConcurrentLookup(t *testing.T) {
+	p := DefaultParams()
+	p.ToFMaxS = 202e-9 // unique cache key for this test
+	var wg sync.WaitGroup
+	tabs := make([]*steeringTable, 16)
+	for i := range tabs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			e, err := NewEstimator(p)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			tabs[i] = e.tab
+		}(i)
+	}
+	wg.Wait()
+	for i := 1; i < len(tabs); i++ {
+		if tabs[i] != tabs[0] {
+			t.Fatal("concurrent lookups produced distinct tables")
+		}
+	}
+}
+
+func TestSteeringTableMatchesDirectEvaluation(t *testing.T) {
+	p := DefaultParams()
+	e, err := NewEstimator(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := e.tab
+	for _, i := range []int{0, 1, len(tab.thetas) / 2, len(tab.thetas) - 1} {
+		phi := Phi(tab.thetas[i], p.Array, p.Band)
+		for a := 0; a < tab.subAnt; a++ {
+			want := complexPow(phi, a)
+			if cmplx.Abs(tab.phi[i*tab.subAnt+a]-want) > 1e-12 {
+				t.Fatalf("phi table (%d,%d) = %v, want %v", i, a, tab.phi[i*tab.subAnt+a], want)
+			}
+		}
+	}
+	for _, j := range []int{0, len(tab.taus) / 2, len(tab.taus) - 1} {
+		om := Omega(tab.taus[j], p.Band)
+		for s := 0; s < tab.subSub; s++ {
+			want := complexPow(om, s)
+			if cmplx.Abs(tab.omega[j*tab.subSub+s]-want) > 1e-12 {
+				t.Fatalf("omega table (%d,%d) mismatch", j, s)
+			}
+		}
+	}
+}
+
+func complexPow(z complex128, n int) complex128 {
+	r, phase := cmplx.Polar(z)
+	return cmplx.Rect(math.Pow(r, float64(n)), phase*float64(n))
+}
+
+// TestCoarseMatchesDense is the core equivalence guarantee of the
+// coarse-to-fine sweep: across seeded scenes — including multipath-heavy
+// ones — the returned paths must match the classic dense sweep exactly
+// (same cells, same refinement, same dedupe).
+func TestCoarseMatchesDense(t *testing.T) {
+	scenes := []struct {
+		name  string
+		paths []PathEstimate
+		gains []complex128
+		sigma float64
+	}{
+		{
+			name:  "single",
+			paths: []PathEstimate{{AoA: 0.2, ToF: 30e-9}},
+			gains: []complex128{1},
+			sigma: 0.05,
+		},
+		{
+			name: "three-path",
+			paths: []PathEstimate{
+				{AoA: 0.3, ToF: 15e-9}, {AoA: -0.5, ToF: 55e-9}, {AoA: 0.9, ToF: 95e-9}},
+			gains: []complex128{1, 0.6 + 0.2i, 0.35 - 0.1i},
+			sigma: 0.05,
+		},
+		{
+			name: "multipath-heavy",
+			paths: []PathEstimate{
+				{AoA: -1.1, ToF: -80e-9}, {AoA: -0.4, ToF: 10e-9}, {AoA: -0.32, ToF: 22e-9},
+				{AoA: 0.15, ToF: 60e-9}, {AoA: 0.8, ToF: 120e-9}, {AoA: 1.25, ToF: 180e-9}},
+			gains: []complex128{0.7, 1, 0.9 - 0.3i, 0.5 + 0.4i, 0.45, 0.3i},
+			sigma: 0.08,
+		},
+	}
+	pd := DefaultParams()
+	pd.CoarseGridFactor = 1
+	dense, err := NewEstimator(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := DefaultParams()
+	coarse, err := NewEstimator(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sc := range scenes {
+		for seed := int64(1); seed <= 8; seed++ {
+			c := optScene(seed, sc.sigma, sc.paths, sc.gains)
+			dp, dd, err := dense.EstimatePathsDiag(c.Clone())
+			if err != nil {
+				t.Fatalf("%s/%d dense: %v", sc.name, seed, err)
+			}
+			cp, cd, err := coarse.EstimatePathsDiag(c)
+			if err != nil {
+				t.Fatalf("%s/%d coarse: %v", sc.name, seed, err)
+			}
+			if len(dp) != len(cp) {
+				t.Fatalf("%s/%d: dense %d paths, coarse %d", sc.name, seed, len(dp), len(cp))
+			}
+			for i := range dp {
+				if dp[i] != cp[i] { //lint:allow floateq equivalence means identical cells and refinement
+					t.Fatalf("%s/%d path %d: dense %+v coarse %+v", sc.name, seed, i, dp[i], cp[i])
+				}
+			}
+			if cd.CellsSwept > dd.CellsSwept {
+				t.Fatalf("%s/%d: coarse swept %d cells, dense %d", sc.name, seed, cd.CellsSwept, dd.CellsSwept)
+			}
+		}
+	}
+}
+
+// TestCoarseWindowEdgeFallback forces an extremely coarse lattice so peaks
+// routinely land on window borders, exercising the dense-fallback guard —
+// equivalence must hold regardless.
+func TestCoarseWindowEdgeFallback(t *testing.T) {
+	paths := []PathEstimate{
+		{AoA: -0.45, ToF: 18e-9}, {AoA: -0.38, ToF: 26e-9},
+		{AoA: 0.52, ToF: 70e-9}, {AoA: 0.58, ToF: 85e-9}}
+	gains := []complex128{1, 0.95 - 0.2i, 0.8 + 0.3i, 0.75}
+
+	pd := DefaultParams()
+	pd.CoarseGridFactor = 1
+	dense, err := NewEstimator(pd)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc := DefaultParams()
+	pc.CoarseGridFactor = 16
+	coarse, err := NewEstimator(pc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fallbacks := 0
+	for seed := int64(1); seed <= 12; seed++ {
+		c := optScene(seed, 0.1, paths, gains)
+		dp, _, err := dense.EstimatePathsDiag(c.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		cp, cd, err := coarse.EstimatePathsDiag(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cd.DenseFallback {
+			fallbacks++
+		}
+		if len(dp) != len(cp) {
+			t.Fatalf("seed %d: dense %d paths, coarse-16 %d (fallback=%v)", seed, len(dp), len(cp), cd.DenseFallback)
+		}
+		for i := range dp {
+			if dp[i] != cp[i] { //lint:allow floateq equivalence means identical cells and refinement
+				t.Fatalf("seed %d path %d: dense %+v coarse-16 %+v", seed, i, dp[i], cp[i])
+			}
+		}
+	}
+	t.Logf("dense fallbacks triggered on %d/12 seeds", fallbacks)
+}
+
+func TestEstimateSteadyStateAllocs(t *testing.T) {
+	e, err := NewEstimator(DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cs := make([]*csi.Matrix, 4)
+	for i := range cs {
+		cs[i] = optScene(int64(i+1), 0.05,
+			[]PathEstimate{{AoA: 0.3, ToF: 15e-9}, {AoA: -0.5, ToF: 55e-9}},
+			[]complex128{1, 0.6 + 0.2i})
+	}
+	for _, c := range cs {
+		if _, err := e.EstimatePaths(c); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n := 0
+	allocs := testing.AllocsPerRun(16, func() {
+		if _, err := e.EstimatePaths(cs[n%len(cs)]); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	})
+	// The only steady-state allocation is the caller-owned result slice.
+	if allocs > 2 {
+		t.Fatalf("steady-state EstimatePaths allocates %.1f times per call, want ≤ 2", allocs)
+	}
+}
+
+// TestDedupeRadiiSurviveGridRefinement is the regression test for the
+// grid-index dedupe bug: halving both grid steps must not change how many
+// distinct paths survive merging, because the merge radii are physical.
+func TestDedupeRadiiSurviveGridRefinement(t *testing.T) {
+	paths := []PathEstimate{
+		{AoA: 0.3, ToF: 20e-9}, {AoA: -0.6, ToF: 80e-9}}
+	gains := []complex128{1, 0.7 + 0.2i}
+
+	counts := make(map[string]int)
+	for _, cfg := range []struct {
+		name  string
+		scale float64
+	}{{"default-grid", 1}, {"half-step-grid", 0.5}} {
+		p := DefaultParams()
+		p.AoAGridRad *= cfg.scale
+		p.ToFGridS *= cfg.scale
+		e, err := NewEstimator(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		c := optScene(3, 0.05, paths, gains)
+		got, err := e.EstimatePaths(c)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[cfg.name] = len(got)
+	}
+	if counts["default-grid"] != counts["half-step-grid"] {
+		t.Fatalf("path count changed with grid refinement: %v", counts)
+	}
+}
+
+// TestGeometricSeriesClosedForm is the regression test for phase/magnitude
+// accumulation drift: element n of the series must match the closed form
+// z^n even at n = 256.
+func TestGeometricSeriesClosedForm(t *testing.T) {
+	const n = 256
+	z := cmplx.Exp(complex(0, -2*math.Pi*0.31830988618)) // irrational turn: worst case for drift
+	out := geometricSeries(z, n)
+	phase := cmplx.Phase(z)
+	for _, i := range []int{1, 2, 17, 128, n - 1} {
+		want := cmplx.Rect(1, phase*float64(i))
+		if cmplx.Abs(out[i]-want) > 1e-12 {
+			t.Fatalf("element %d: %v, want %v (|Δ| = %.3g)", i, out[i], want, cmplx.Abs(out[i]-want))
+		}
+		// The input z = e^{jθ} itself carries ~1 ulp of magnitude error,
+		// so the bound is a few ulps — independent of i, unlike the
+		// repeated-multiplication drift which grows linearly with i.
+		if d := math.Abs(cmplx.Abs(out[i]) - 1); d > 5e-15 {
+			t.Fatalf("element %d walked off the unit circle by %.3g", i, d)
+		}
+	}
+	// Non-unit modulus stays on the closed form too.
+	r := 0.99
+	zr := complex(r, 0) * z
+	outR := geometricSeries(zr, n)
+	for _, i := range []int{1, 64, n - 1} {
+		want := cmplx.Rect(math.Pow(r, float64(i)), phase*float64(i))
+		if cmplx.Abs(outR[i]-want) > 1e-12*math.Pow(r, float64(i))+1e-18 {
+			t.Fatalf("damped element %d: %v, want %v", i, outR[i], want)
+		}
+	}
+}
+
+func TestRefineAxisBoundaryAndClamp(t *testing.T) {
+	grid := []float64{0, 1, 2, 3}
+	flat := func(int) float64 { return 1 }
+	// Out-of-range indices clamp into the grid instead of panicking.
+	if got := refineAxis(grid, -3, flat); got != 0 {
+		t.Fatalf("refineAxis(-3) = %v, want 0", got)
+	}
+	if got := refineAxis(grid, 99, flat); got != 3 {
+		t.Fatalf("refineAxis(99) = %v, want 3", got)
+	}
+	// Boundary indices return the grid point: no neighbor to fit through.
+	if got := refineAxis(grid, 0, flat); got != 0 {
+		t.Fatalf("refineAxis(0) = %v, want 0", got)
+	}
+	if got := refineAxis(grid, len(grid)-1, flat); got != 3 {
+		t.Fatalf("refineAxis(last) = %v, want 3", got)
+	}
+	// A flat (degenerate) parabola at an interior point returns the grid
+	// point rather than dividing by ~0.
+	if got := refineAxis(grid, 1, flat); got != 1 {
+		t.Fatalf("flat refineAxis = %v, want 1", got)
+	}
+	// The interpolated result never leaves the grid range even when the
+	// parabola vertex would.
+	steep := func(k int) float64 { return []float64{10, 9.99, 0, -50}[k] }
+	got := refineAxis(grid, 1, steep)
+	if got < grid[0] || got > grid[len(grid)-1] {
+		t.Fatalf("refined value %v escaped the grid", got)
+	}
+	if refineAxis(nil, 0, flat) != 0 {
+		t.Fatal("empty grid must return 0")
+	}
+}

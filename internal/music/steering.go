@@ -32,13 +32,30 @@ func SteeringVector(theta, tof float64, antennas, subcarriers int, array rf.Arra
 	return cmat.Kron(phiPow, omegaPow)
 }
 
-// geometricSeries returns [1, z, z², …, z^(n−1)].
+// geometricSeries returns [1, z, z², …, z^(n−1)]. Powers are computed in
+// polar form — z^i = |z|^i·e^{i·arg(z)·i} — rather than by repeated
+// multiplication: the accumulated product drifts in both phase and
+// magnitude by an ulp per step, which for the steering powers (|z| = 1)
+// slowly walks the vector off the unit circle as n grows. The closed form
+// keeps element n exact to within one rounding of the sine/cosine.
 func geometricSeries(z complex128, n int) []complex128 {
 	out := make([]complex128, n)
-	acc := complex(1, 0)
-	for i := 0; i < n; i++ {
-		out[i] = acc
-		acc *= z
+	if n == 0 {
+		return out
+	}
+	out[0] = 1
+	r, phase := cmplx.Polar(z)
+	if math.Abs(r-1) < 1e-12 {
+		// Unit-modulus input (every steering factor is e^{jφ}, though
+		// cmplx.Exp delivers |z| = 1 only to within an ulp — which r^i
+		// would amplify i-fold): stay exactly on the unit circle.
+		for i := 1; i < n; i++ {
+			out[i] = cmplx.Rect(1, phase*float64(i))
+		}
+		return out
+	}
+	for i := 1; i < n; i++ {
+		out[i] = cmplx.Rect(math.Pow(r, float64(i)), phase*float64(i))
 	}
 	return out
 }
@@ -51,6 +68,13 @@ func geometricSeries(z complex128, n int) []complex128 {
 // steering vectors, which is what lets MUSIC resolve more paths than
 // antennas.
 func SmoothCSI(c *csi.Matrix, subAnt, subSub int) *cmat.Matrix {
+	return SmoothCSIInto(c, subAnt, subSub, nil)
+}
+
+// SmoothCSIInto is SmoothCSI writing into dst's storage when its capacity
+// suffices (see cmat.Reshape); pass nil to allocate. It returns the matrix
+// actually used.
+func SmoothCSIInto(c *csi.Matrix, subAnt, subSub int, dst *cmat.Matrix) *cmat.Matrix {
 	m, n := c.Antennas(), c.Subcarriers()
 	antShifts := m - subAnt + 1
 	subShifts := n - subSub + 1
@@ -59,7 +83,7 @@ func SmoothCSI(c *csi.Matrix, subAnt, subSub int) *cmat.Matrix {
 	}
 	rows := subAnt * subSub
 	cols := antShifts * subShifts
-	x := cmat.New(rows, cols)
+	x := cmat.Reshape(dst, rows, cols)
 	col := 0
 	for b := 0; b < antShifts; b++ {
 		for t := 0; t < subShifts; t++ {

@@ -160,7 +160,33 @@ type Config struct {
 	// and the /debug/quality scoreboard (see quality.NewMonitor). Nil
 	// records nothing.
 	QualityMonitor *quality.Monitor
+	// FastPath gates the ESPRIT-first estimation fast path (MUSIC
+	// estimator only). Disabled by default.
+	FastPath FastPathConfig
 }
+
+// FastPathConfig configures the ESPRIT-first fast path: the burst is first
+// run through the search-free ESPRIT AoA estimator (~100× cheaper than the
+// 2-D MUSIC sweep) and its result is accepted only when the burst looks
+// easy on both of the pipeline's confidence components — the signal/noise
+// eigen-subspace gap and the Eq. 8 likelihood margin. Any burst failing
+// either gate is re-estimated with full MUSIC, so the fast path trades no
+// accuracy in the hard cases it cannot judge.
+type FastPathConfig struct {
+	// Enabled turns the fast path on.
+	Enabled bool
+	// MinEigenGapDB is the minimum burst-mean signal/noise eigenvalue gap
+	// (dB) for the ESPRIT result to be trusted; 0 means the default 10.
+	MinEigenGapDB float64
+	// MinMargin is the minimum Eq. 8 top-two likelihood margin ∈ [0,1];
+	// 0 means the default 0.5.
+	MinMargin float64
+}
+
+const (
+	defaultFastPathMinEigenGapDB = 10
+	defaultFastPathMinMargin     = 0.5
+)
 
 // PipelineMetrics instruments the Localizer: per-stage latency histograms
 // and failure counters. Construct with NewPipelineMetrics to register the
@@ -185,6 +211,11 @@ type PipelineMetrics struct {
 	BurstFailures   *obs.Counter
 	// APsSkipped counts per-AP bursts LocalizeBursts had to discard.
 	APsSkipped *obs.Counter
+	// FastPathAccepted counts bursts resolved by the ESPRIT fast path;
+	// FastPathFallbacks counts bursts that tried it but were re-estimated
+	// with full MUSIC because a confidence gate failed.
+	FastPathAccepted  *obs.Counter
+	FastPathFallbacks *obs.Counter
 }
 
 // NewPipelineMetrics registers the pipeline's metric families on r and
@@ -194,6 +225,8 @@ type PipelineMetrics struct {
 //	spotfi_packets_processed_total, spotfi_packet_failures_total
 //	spotfi_bursts_processed_total, spotfi_burst_failures_total
 //	spotfi_aps_skipped_total
+//	spotfi_fastpath_accepted_total, spotfi_fastpath_fallback_total
+//	spotfi_steering_cache_{hits,misses,entries} (process-wide gauges)
 func NewPipelineMetrics(r *obs.Registry) *PipelineMetrics {
 	stage := func(name string) *obs.Histogram {
 		return r.Histogram("spotfi_stage_duration_seconds",
@@ -210,7 +243,23 @@ func NewPipelineMetrics(r *obs.Registry) *PipelineMetrics {
 		BurstsProcessed:  r.Counter("spotfi_bursts_processed_total", "Per-AP bursts that produced a direct-path report.", nil),
 		BurstFailures:    r.Counter("spotfi_burst_failures_total", "Per-AP bursts that failed stages 1-2.", nil),
 		APsSkipped:       r.Counter("spotfi_aps_skipped_total", "APs excluded from localization because their burst failed.", nil),
+		FastPathAccepted: r.Counter("spotfi_fastpath_accepted_total", "Bursts resolved by the ESPRIT fast path.", nil),
+		FastPathFallbacks: r.Counter("spotfi_fastpath_fallback_total",
+			"Bursts that tried the ESPRIT fast path but fell back to full MUSIC.", nil),
 	}
+}
+
+// RegisterSteeringCacheMetrics exports the process-wide MUSIC steering-table
+// cache counters on r as gauges. Separate from NewPipelineMetrics because
+// the cache is shared by every Localizer in the process, so it should be
+// registered once per registry, not once per pipeline.
+func RegisterSteeringCacheMetrics(r *obs.Registry) {
+	r.GaugeFunc("spotfi_steering_cache_hits", "Steering-table cache hits since process start.", nil,
+		func() float64 { h, _, _ := music.SteeringCacheStats(); return float64(h) })
+	r.GaugeFunc("spotfi_steering_cache_misses", "Steering-table cache misses (tables built) since process start.", nil,
+		func() float64 { _, m, _ := music.SteeringCacheStats(); return float64(m) })
+	r.GaugeFunc("spotfi_steering_cache_entries", "Steering tables currently cached.", nil,
+		func() float64 { _, _, e := music.SteeringCacheStats(); return float64(e) })
 }
 
 // DefaultConfig returns the paper's configuration over search bounds b.
@@ -261,15 +310,25 @@ type APReport struct {
 }
 
 // Localizer runs the SpotFi pipeline.
+//
+// A music.Estimator is single-goroutine (it owns eigendecomposition and
+// sweep arenas), so the per-packet estimation goroutines draw estimators
+// from a sync.Pool instead of sharing one. Estimation is deterministic —
+// an estimator carries no numerical state between calls — so which pooled
+// estimator serves which packet cannot affect results.
 type Localizer struct {
-	cfg  Config
-	est  *music.Estimator
-	jade *music.JADE
-	aps  map[int]AP
+	cfg    Config
+	pool   sync.Pool // of *music.Estimator, all built from cfg.Music
+	esprit *music.ESPRIT
+	jade   *music.JADE
+	aps    map[int]AP
 }
 
 // New builds a Localizer for the given APs.
 func New(cfg Config, aps []AP) (*Localizer, error) {
+	// Build one estimator eagerly: it validates cfg.Music and constructs
+	// (or finds cached) the shared steering table, so later pool misses
+	// cannot fail.
 	est, err := music.NewEstimator(cfg.Music)
 	if err != nil {
 		return nil, err
@@ -279,6 +338,30 @@ func New(cfg Config, aps []AP) (*Localizer, error) {
 		jade, err = music.NewJADE(cfg.Music)
 		if err != nil {
 			return nil, err
+		}
+	}
+	var esprit *music.ESPRIT
+	if cfg.FastPath.Enabled && jade == nil {
+		if cfg.FastPath.MinEigenGapDB == 0 {
+			cfg.FastPath.MinEigenGapDB = defaultFastPathMinEigenGapDB
+		}
+		if cfg.FastPath.MinMargin == 0 {
+			cfg.FastPath.MinMargin = defaultFastPathMinMargin
+		}
+		maxPaths := cfg.Music.MaxPaths
+		if lim := cfg.Music.Array.Antennas - 1; maxPaths > lim {
+			maxPaths = lim
+		}
+		esprit, err = music.NewESPRIT(music.AoAParams{
+			Band:            cfg.Music.Band,
+			Array:           cfg.Music.Array,
+			AoAGridRad:      math.Pi / 180, // unused by ESPRIT; must validate
+			EigenThreshold:  cfg.Music.EigenThreshold,
+			MaxPaths:        maxPaths,
+			ForwardBackward: true,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("spotfi: fast path: %w", err)
 		}
 	}
 	if err := cfg.Locate.Validate(); err != nil {
@@ -302,7 +385,16 @@ func New(cfg Config, aps []AP) (*Localizer, error) {
 		// the time.Now calls.
 		cfg.Metrics = &PipelineMetrics{}
 	}
-	return &Localizer{cfg: cfg, est: est, jade: jade, aps: m}, nil
+	l := &Localizer{cfg: cfg, esprit: esprit, jade: jade, aps: m}
+	l.pool.New = func() any {
+		e, err := music.NewEstimator(l.cfg.Music)
+		if err != nil {
+			return nil // unreachable: cfg.Music validated above
+		}
+		return e
+	}
+	l.pool.Put(est)
+	return l, nil
 }
 
 // APs returns the registered access points.
@@ -324,6 +416,13 @@ func (l *Localizer) ProcessBurst(apID int, pkts []*Packet) (*APReport, error) {
 // ProcessBurstTraced is ProcessBurst recording stage spans and DSP
 // attributes under parent. A nil parent (tracing disabled or the burst
 // sampled out) adds no allocations to the hot path.
+//
+// The burst runs in three stages: prep (clone, calibrate, sanitize — once,
+// shared by every estimation attempt), estimate (per-packet
+// super-resolution in parallel), and cluster/select. When the ESPRIT fast
+// path is enabled, the estimate+cluster stages first run with ESPRIT and
+// the result is kept only if it clears the FastPathConfig confidence
+// gates; otherwise the same prepped packets are re-estimated with MUSIC.
 func (l *Localizer) ProcessBurstTraced(apID int, pkts []*Packet, parent *trace.Span) (*APReport, error) {
 	if _, ok := l.aps[apID]; !ok {
 		return nil, fmt.Errorf("spotfi: unknown AP %d", apID)
@@ -336,21 +435,56 @@ func (l *Localizer) ProcessBurstTraced(apID int, pkts []*Packet, parent *trace.S
 	apSpan.SetInt("ap", int64(apID))
 	apSpan.SetInt("packets", int64(len(pkts)))
 
-	perPacket := make([][]PathEstimate, len(pkts))
-	errs := make([]error, len(pkts))
-	// Per-packet DSP diagnostics, NaN until the stage ran: the burst
-	// mean/std feed the quality scorer and the per-AP drift baselines.
-	stoNs := make([]float64, len(pkts))
-	gapDB := make([]float64, len(pkts))
-	for i := range stoNs {
-		stoNs[i] = math.NaN()
-		gapDB[i] = math.NaN()
-	}
 	var rssiSum float64
 	for _, p := range pkts {
 		rssiSum += p.RSSIdBm
 	}
 
+	works, prepErrs, stoNs := l.prepBurst(apID, pkts, apSpan)
+
+	if l.esprit != nil {
+		rep, err := l.estimateAndCluster(apID, pkts, works, prepErrs, stoNs, rssiSum, apSpan, estimatorESPRITKind)
+		if err == nil && rep.EigenGapDB >= l.cfg.FastPath.MinEigenGapDB && rep.Margin >= l.cfg.FastPath.MinMargin {
+			apSpan.SetStr("estimator", estimatorESPRITKind)
+			apSpan.SetInt("fast_path", 1)
+			l.cfg.Metrics.FastPathAccepted.Inc()
+			l.cfg.Metrics.BurstsProcessed.Inc()
+			return rep, nil
+		}
+		l.cfg.Metrics.FastPathFallbacks.Inc()
+	}
+
+	kind := EstimatorMUSIC.String()
+	if l.jade != nil {
+		kind = EstimatorJADE.String()
+	}
+	apSpan.SetStr("estimator", kind)
+	rep, err := l.estimateAndCluster(apID, pkts, works, prepErrs, stoNs, rssiSum, apSpan, kind)
+	if err != nil {
+		l.cfg.Metrics.BurstFailures.Inc()
+		return nil, err
+	}
+	l.cfg.Metrics.BurstsProcessed.Inc()
+	return rep, nil
+}
+
+// estimatorESPRITKind labels the fast-path estimator in spans; the MUSIC
+// and JADE labels come from EstimatorKind.String.
+const estimatorESPRITKind = "esprit"
+
+// prepBurst runs the per-packet preparation stage — clone, per-AP
+// calibration, Algorithm 1 sanitization — in parallel. It returns the
+// prepared CSI (nil where prep failed), the per-packet errors, and the
+// sanitization slopes in ns (NaN where unavailable). The prepared matrices
+// are estimator-independent, so a fast-path fallback reuses them instead
+// of sanitizing twice.
+func (l *Localizer) prepBurst(apID int, pkts []*Packet, apSpan *trace.Span) ([]*CSIMatrix, []error, []float64) {
+	works := make([]*CSIMatrix, len(pkts))
+	errs := make([]error, len(pkts))
+	stoNs := make([]float64, len(pkts))
+	for i := range stoNs {
+		stoNs[i] = math.NaN()
+	}
 	var wg sync.WaitGroup
 	sem := make(chan struct{}, l.cfg.Workers)
 	for i, p := range pkts {
@@ -380,24 +514,72 @@ func (l *Localizer) ProcessBurstTraced(apID int, pkts []*Packet, parent *trace.S
 				}
 				stoNs[i] = sres.STOEstimate * 1e9
 			}
+			works[i] = work
+		}(i, p)
+	}
+	wg.Wait()
+	return works, errs, stoNs
+}
+
+// estimateAndCluster runs stages 1–2 over already-prepped packets with the
+// named estimator and assembles the APReport. It increments the per-packet
+// counters (each estimation pass is real work) but leaves the burst
+// counters to the caller, which knows whether this pass's result was kept.
+func (l *Localizer) estimateAndCluster(apID int, pkts []*Packet, works []*CSIMatrix, prepErrs []error, stoNs []float64, rssiSum float64, apSpan *trace.Span, kind string) (*APReport, error) {
+	perPacket := make([][]PathEstimate, len(pkts))
+	errs := make([]error, len(pkts))
+	copy(errs, prepErrs)
+	// Per-packet eigen gap, NaN until estimation ran: the burst mean feeds
+	// the quality scorer, the per-AP drift baselines, and the fast-path
+	// gate.
+	gapDB := make([]float64, len(pkts))
+	for i := range gapDB {
+		gapDB[i] = math.NaN()
+	}
+
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, l.cfg.Workers)
+	for i := range pkts {
+		if errs[i] != nil || works[i] == nil {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, work *CSIMatrix) {
+			defer wg.Done()
+			defer func() { <-sem }()
 			esp := apSpan.StartSpan(trace.StageEstimate)
 			start := time.Now()
 			var est []PathEstimate
 			var diag music.Diag
 			var err error
-			if l.jade != nil {
+			switch kind {
+			case estimatorESPRITKind:
+				est, diag, err = l.esprit.EstimatePathsDiag(work)
+			case "jade":
 				est, diag, err = l.jade.EstimatePathsDiag(work)
-			} else {
-				est, diag, err = l.est.EstimatePathsDiag(work)
+			default:
+				me, _ := l.pool.Get().(*music.Estimator)
+				if me == nil {
+					err = fmt.Errorf("spotfi: estimator pool exhausted")
+				} else {
+					est, diag, err = me.EstimatePathsDiag(work)
+					l.pool.Put(me)
+				}
 			}
 			l.cfg.Metrics.EstimateSeconds.ObserveSince(start)
 			esp.SetInt("pkt", int64(i))
+			esp.SetStr("estimator", kind)
 			esp.SetInt("eigen_sweeps", int64(diag.EigenSweeps))
 			esp.SetInt("signal_dim", int64(diag.SignalDim))
 			esp.SetFloat("eigen_gap_db", diag.EigenGapDB)
 			esp.SetInt("grid_theta", int64(diag.GridTheta))
 			esp.SetInt("grid_tau", int64(diag.GridTau))
 			esp.SetInt("peaks", int64(diag.Peaks))
+			esp.SetInt("cells_swept", int64(diag.CellsSwept))
+			if diag.DenseFallback {
+				esp.SetInt("dense_fallback", 1)
+			}
 			esp.End()
 			if err != nil {
 				errs[i] = err
@@ -405,7 +587,7 @@ func (l *Localizer) ProcessBurstTraced(apID int, pkts []*Packet, parent *trace.S
 			}
 			perPacket[i] = est
 			gapDB[i] = diag.EigenGapDB
-		}(i, p)
+		}(i, works[i])
 	}
 	wg.Wait()
 	var failed int
@@ -417,7 +599,6 @@ func (l *Localizer) ProcessBurstTraced(apID int, pkts []*Packet, parent *trace.S
 	l.cfg.Metrics.PacketFailures.Add(uint64(failed))
 	l.cfg.Metrics.PacketsProcessed.Add(uint64(len(pkts) - failed))
 	if failed == len(pkts) {
-		l.cfg.Metrics.BurstFailures.Inc()
 		return nil, fmt.Errorf("spotfi: every packet in the burst failed estimation: %v", firstError(errs))
 	}
 
@@ -431,7 +612,6 @@ func (l *Localizer) ProcessBurstTraced(apID int, pkts []*Packet, parent *trace.S
 	l.cfg.Metrics.ClusterSeconds.ObserveSince(start)
 	if err != nil {
 		csp.End()
-		l.cfg.Metrics.BurstFailures.Inc()
 		return nil, err
 	}
 	csp.SetInt("clusters", int64(len(res.Candidates)))
@@ -459,13 +639,11 @@ func (l *Localizer) ProcessBurstTraced(apID int, pkts []*Packet, parent *trace.S
 		cand, ok = res.Best()
 	}
 	if !ok {
-		l.cfg.Metrics.BurstFailures.Inc()
 		return nil, fmt.Errorf("spotfi: no direct-path candidate for AP %d", apID)
 	}
 	sel.SetFloat("aoa_deg", cand.AoA*180/math.Pi)
 	sel.SetFloat("tof_ns", cand.ToF*1e9)
 	sel.SetFloat("likelihood", cand.Likelihood)
-	l.cfg.Metrics.BurstsProcessed.Inc()
 	stoMean, stoStd := meanStd(stoNs)
 	gapMean, _ := meanStd(gapDB)
 	return &APReport{
