@@ -36,6 +36,12 @@ type Analyzer struct {
 	// through pass.Report. The result value is unused by this driver but
 	// kept for x/tools API parity.
 	Run func(*Pass) (any, error)
+
+	// FactType, when non-nil, returns a fresh zero fact value (a pointer
+	// to a JSON-decodable struct) for deserializing this analyzer's facts
+	// from a dependency's fact file in vettool mode. Analyzers that export
+	// no facts leave it nil.
+	FactType func() any
 }
 
 func (a *Analyzer) String() string { return a.Name }
@@ -61,6 +67,13 @@ type Pass struct {
 
 	// Report delivers one diagnostic. The driver fills this in.
 	Report func(Diagnostic)
+
+	// Facts is the module-local cross-package fact store (see Facts).
+	// Drivers analyze packages in dependency order, so facts recorded
+	// while analyzing a dependency are visible here. Never nil when run
+	// through the checker, the analysistest harness, or the vettool
+	// driver.
+	Facts *Facts
 }
 
 // Reportf reports a formatted diagnostic at pos.

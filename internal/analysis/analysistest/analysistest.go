@@ -28,6 +28,7 @@ import (
 	"testing"
 
 	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/checker"
 	"spotfi/internal/analysis/load"
 )
 
@@ -52,6 +53,62 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, dirs ...string) {
 }
 
 func runOne(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, dir)
+	fset, files := pkg.Fset, pkg.Syntax
+
+	var diags []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  a,
+		Fset:      fset,
+		Files:     files,
+		Pkg:       pkg.Types,
+		TypesInfo: pkg.TypesInfo,
+		Facts:     analysis.NewFacts(),
+		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
+	}
+	if _, err := a.Run(pass); err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+
+	checkExpectations(t, fset, files, diags)
+}
+
+// RunSuppressed runs a through the checker driver — which, unlike Run,
+// honors //lint:allow comments — over each fixture package and asserts
+// that every diagnostic is suppressed and every suppression is used.
+// It is the harness for an analyzer's suppressed-case fixtures: the code
+// violates the invariant, the allows absorb it, and a stale allow (one
+// covering nothing) still fails.
+func RunSuppressed(t *testing.T, testdata string, a *analysis.Analyzer, dirs ...string) {
+	t.Helper()
+	for _, dir := range dirs {
+		t.Run(dir, func(t *testing.T) { runSuppressedOne(t, filepath.Join(testdata, "src", dir), a) })
+	}
+}
+
+func runSuppressedOne(t *testing.T, dir string, a *analysis.Analyzer) {
+	t.Helper()
+	pkg := loadFixture(t, dir)
+	res, err := checker.RunDetail([]*analysis.Analyzer{a}, []*load.Package{pkg})
+	if err != nil {
+		t.Fatalf("%s: %v", a.Name, err)
+	}
+	for _, f := range res.Findings {
+		t.Errorf("finding survived its //lint:allow: %s", f)
+	}
+	if len(res.Suppressed) == 0 {
+		t.Errorf("fixture %s suppressed nothing: it does not exercise the analyzer", dir)
+	}
+	for _, al := range res.Allows {
+		if !al.Used {
+			t.Errorf("%s: //lint:allow %s suppresses nothing in this fixture", al.Pos, al.Analyzer)
+		}
+	}
+}
+
+// loadFixture parses and type-checks one fixture package directory.
+func loadFixture(t *testing.T, dir string) *load.Package {
 	t.Helper()
 	names, err := filepath.Glob(filepath.Join(dir, "*.go"))
 	if err != nil || len(names) == 0 {
@@ -82,21 +139,7 @@ func runOne(t *testing.T, dir string, a *analysis.Analyzer) {
 		t.Fatalf("type-checking fixture %s: %v", dir, err)
 	}
 	pkg.Types = tpkg
-
-	var diags []analysis.Diagnostic
-	pass := &analysis.Pass{
-		Analyzer:  a,
-		Fset:      fset,
-		Files:     files,
-		Pkg:       tpkg,
-		TypesInfo: pkg.TypesInfo,
-		Report:    func(d analysis.Diagnostic) { diags = append(diags, d) },
-	}
-	if _, err := a.Run(pass); err != nil {
-		t.Fatalf("%s: %v", a.Name, err)
-	}
-
-	checkExpectations(t, fset, files, diags)
+	return pkg
 }
 
 // expectation is one // want pattern awaiting a diagnostic.

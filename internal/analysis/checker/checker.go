@@ -17,7 +17,8 @@ import (
 	"spotfi/internal/analysis/load"
 )
 
-// A Finding is one surviving (unsuppressed) diagnostic.
+// A Finding is one diagnostic that survived (or, in Result.Suppressed,
+// did not survive) suppression.
 type Finding struct {
 	Analyzer string
 	Pos      token.Position
@@ -28,18 +29,90 @@ func (f Finding) String() string {
 	return fmt.Sprintf("%s: [%s] %s", f.Pos, f.Analyzer, f.Message)
 }
 
+// An Allow is one (comment, analyzer) suppression pair: a
+// //lint:allow a,b reason comment yields one Allow for a and one for b.
+// Used reports whether it suppressed at least one diagnostic this run.
+type Allow struct {
+	Pos      token.Position
+	Analyzer string
+	Reason   string
+	Used     bool
+}
+
+// A Result is the full outcome of one checker run.
+type Result struct {
+	// Findings are the surviving diagnostics, sorted by position. Stale
+	// //lint:allow comments (see below) and malformed ones appear here
+	// under the pseudo-analyzer "lint".
+	Findings []Finding
+	// Suppressed are the diagnostics a //lint:allow absorbed, sorted.
+	Suppressed []Finding
+	// Allows lists every suppression comment seen, in position order,
+	// with Used marked. An unused Allow whose analyzer was part of this
+	// run is stale and also reported as a Finding: a suppression that no
+	// longer suppresses anything is a lie about the code under it.
+	Allows []Allow
+}
+
 // Run applies every analyzer to every package and returns the surviving
-// findings sorted by position. Suppressed diagnostics are dropped;
-// malformed //lint:allow comments become findings themselves so a typo
-// cannot silently disable a check.
+// findings (including stale/malformed suppression findings) sorted by
+// position. It is RunDetail for callers that only gate on findings.
 func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package) ([]Finding, error) {
+	res, err := RunDetail(analyzers, pkgs)
+	if err != nil {
+		return nil, err
+	}
+	return res.Findings, nil
+}
+
+// RunDetail applies every analyzer to every package, in the order given —
+// load.Packages yields dependencies before dependents, so facts recorded
+// for a callee package are visible while analyzing its callers.
+// Suppressed diagnostics are diverted, not dropped; malformed and stale
+// //lint:allow comments become findings so a typo or a fixed violation
+// cannot silently disable a check.
+func RunDetail(analyzers []*analysis.Analyzer, pkgs []*load.Package) (*Result, error) {
+	return RunDetailFacts(analyzers, pkgs, analysis.NewFacts())
+}
+
+// RunDetailFacts is RunDetail against a caller-supplied fact store. The
+// vet driver uses it to seed facts imported from dependency vetx files
+// and to export the store — grown by this run — for dependents.
+func RunDetailFacts(analyzers []*analysis.Analyzer, pkgs []*load.Package, facts *analysis.Facts) (*Result, error) {
 	if err := analysis.Validate(analyzers); err != nil {
 		return nil, err
 	}
-	var findings []Finding
+	active := make(map[string]bool)
+	for _, a := range analyzers {
+		active[a.Name] = true
+	}
+	res := &Result{}
+	var allows []*Allow
 	for _, pkg := range pkgs {
-		sup, bad := suppressions(pkg.Fset, pkg.Syntax)
-		findings = append(findings, bad...)
+		if pkg.FactsOnly {
+			// Unselected dependency: run the analyzers so their facts
+			// (annotations, escape summaries) are recorded for dependents,
+			// but its diagnostics and //lint:allow bookkeeping belong to
+			// runs that select it.
+			for _, a := range analyzers {
+				pass := &analysis.Pass{
+					Analyzer:  a,
+					Fset:      pkg.Fset,
+					Files:     pkg.Syntax,
+					Pkg:       pkg.Types,
+					TypesInfo: pkg.TypesInfo,
+					Facts:     facts,
+					Report:    func(analysis.Diagnostic) {},
+				}
+				if _, err := a.Run(pass); err != nil {
+					return nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
+				}
+			}
+			continue
+		}
+		sup, pkgAllows, bad := suppressions(pkg.Fset, pkg.Syntax)
+		res.Findings = append(res.Findings, bad...)
+		allows = append(allows, pkgAllows...)
 		for _, a := range analyzers {
 			pass := &analysis.Pass{
 				Analyzer:  a,
@@ -47,19 +120,51 @@ func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package) ([]Finding, error
 				Files:     pkg.Syntax,
 				Pkg:       pkg.Types,
 				TypesInfo: pkg.TypesInfo,
+				Facts:     facts,
 			}
 			pass.Report = func(d analysis.Diagnostic) {
 				pos := pkg.Fset.Position(d.Pos)
-				if sup.allows(a.Name, pos) {
+				f := Finding{Analyzer: a.Name, Pos: pos, Message: d.Message}
+				if sup.suppress(a.Name, pos) {
+					res.Suppressed = append(res.Suppressed, f)
 					return
 				}
-				findings = append(findings, Finding{Analyzer: a.Name, Pos: pos, Message: d.Message})
+				res.Findings = append(res.Findings, f)
 			}
 			if _, err := a.Run(pass); err != nil {
 				return nil, fmt.Errorf("%s: %s: %v", pkg.PkgPath, a.Name, err)
 			}
 		}
 	}
+	for _, al := range allows {
+		if !al.Used && active[al.Analyzer] {
+			res.Findings = append(res.Findings, Finding{
+				Analyzer: "lint",
+				Pos:      al.Pos,
+				Message: fmt.Sprintf("stale //lint:allow %s: it no longer suppresses any diagnostic; delete it",
+					al.Analyzer),
+			})
+		}
+		res.Allows = append(res.Allows, *al)
+	}
+	sortFindings(res.Findings)
+	sortFindings(res.Suppressed)
+	res.Findings = dedupe(res.Findings)
+	res.Suppressed = dedupe(res.Suppressed)
+	sort.Slice(res.Allows, func(i, j int) bool {
+		a, b := res.Allows[i], res.Allows[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return res, nil
+}
+
+func sortFindings(findings []Finding) {
 	sort.Slice(findings, func(i, j int) bool {
 		a, b := findings[i], findings[j]
 		if a.Pos.Filename != b.Pos.Filename {
@@ -73,7 +178,6 @@ func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package) ([]Finding, error
 		}
 		return a.Analyzer < b.Analyzer
 	})
-	return dedupe(findings), nil
 }
 
 // Print writes findings one per line, with paths relative to dir when
@@ -81,14 +185,21 @@ func Run(analyzers []*analysis.Analyzer, pkgs []*load.Package) ([]Finding, error
 func Print(w io.Writer, dir string, findings []Finding) int {
 	for _, f := range findings {
 		pos := f.Pos
-		if dir != "" {
-			if rel, err := filepath.Rel(dir, pos.Filename); err == nil && !strings.HasPrefix(rel, "..") {
-				pos.Filename = rel
-			}
-		}
+		pos.Filename = RelPath(dir, pos.Filename)
 		fmt.Fprintf(w, "%s: [%s] %s\n", pos, f.Analyzer, f.Message)
 	}
 	return len(findings)
+}
+
+// RelPath rewrites name relative to dir when it lies under it.
+func RelPath(dir, name string) string {
+	if dir == "" {
+		return name
+	}
+	if rel, err := filepath.Rel(dir, name); err == nil && !strings.HasPrefix(rel, "..") {
+		return rel
+	}
+	return name
 }
 
 func dedupe(findings []Finding) []Finding {
@@ -103,9 +214,11 @@ func dedupe(findings []Finding) []Finding {
 	return out
 }
 
-// suppressor records which (file, line) pairs are covered by a
-// //lint:allow comment, per analyzer name.
-type suppressor map[suppressKey]bool
+// suppressor records which (file, line) pairs are covered by //lint:allow
+// comments, per analyzer name. A line can be covered by more than one
+// comment (its own trailing comment plus one on the line above); a
+// suppressed diagnostic marks them all used, so neither is reported stale.
+type suppressor map[suppressKey][]*Allow
 
 type suppressKey struct {
 	file     string
@@ -113,20 +226,27 @@ type suppressKey struct {
 	analyzer string
 }
 
-func (s suppressor) allows(analyzer string, pos token.Position) bool {
-	return s[suppressKey{pos.Filename, pos.Line, analyzer}]
+func (s suppressor) suppress(analyzer string, pos token.Position) bool {
+	refs := s[suppressKey{pos.Filename, pos.Line, analyzer}]
+	for _, al := range refs {
+		al.Used = true
+	}
+	return len(refs) > 0
 }
 
 // suppressions scans the files' comments for //lint:allow directives.
 // A directive has the form
 //
-//	//lint:allow <analyzer> <reason...>
+//	//lint:allow <analyzer>[,<analyzer>...] <reason...>
 //
-// and suppresses that analyzer's diagnostics on the comment's own line
-// (trailing comment) and on the following line (comment above the
-// statement). A directive missing its reason is reported as a finding.
-func suppressions(fset *token.FileSet, files []*ast.File) (suppressor, []Finding) {
+// and suppresses the named analyzers' diagnostics on the comment's own
+// line (trailing comment) and on the following line (comment above the
+// statement). Only line comments count: a /* lint:allow */ block is
+// inert, like Go's own //go: directives. A directive missing its reason
+// is reported as a finding.
+func suppressions(fset *token.FileSet, files []*ast.File) (suppressor, []*Allow, []Finding) {
 	sup := make(suppressor)
+	var allows []*Allow
 	var bad []Finding
 	for _, f := range files {
 		for _, cg := range f.Comments {
@@ -141,15 +261,22 @@ func suppressions(fset *token.FileSet, files []*ast.File) (suppressor, []Finding
 					bad = append(bad, Finding{
 						Analyzer: "lint",
 						Pos:      pos,
-						Message:  "malformed //lint:allow: want \"//lint:allow <analyzer> <reason>\"",
+						Message:  "malformed //lint:allow: want \"//lint:allow <analyzer>[,<analyzer>] <reason>\"",
 					})
 					continue
 				}
-				name := fields[0]
-				sup[suppressKey{pos.Filename, pos.Line, name}] = true
-				sup[suppressKey{pos.Filename, pos.Line + 1, name}] = true
+				reason := strings.Join(fields[1:], " ")
+				for _, name := range strings.Split(fields[0], ",") {
+					if name == "" {
+						continue
+					}
+					al := &Allow{Pos: pos, Analyzer: name, Reason: reason}
+					allows = append(allows, al)
+					sup[suppressKey{pos.Filename, pos.Line, name}] = append(sup[suppressKey{pos.Filename, pos.Line, name}], al)
+					sup[suppressKey{pos.Filename, pos.Line + 1, name}] = append(sup[suppressKey{pos.Filename, pos.Line + 1, name}], al)
+				}
 			}
 		}
 	}
-	return sup, bad
+	return sup, allows, bad
 }

@@ -102,9 +102,115 @@ func TestSuppressionDoesNotReachPastNextLine(t *testing.T) {
 
 var mark int
 `)
-	if len(findings) != 1 {
+	// The comment is out of range, so the mark finding survives — and the
+	// comment itself, suppressing nothing, is reported stale.
+	var mark, stale int
+	for _, f := range findings {
+		switch {
+		case f.Analyzer == "mark":
+			mark++
+		case f.Analyzer == "lint" && strings.Contains(f.Message, "stale //lint:allow mark"):
+			stale++
+		default:
+			t.Errorf("unexpected finding: %v", f)
+		}
+	}
+	if mark != 1 {
 		t.Errorf("//lint:allow two lines above suppressed the finding: %v", findings)
 	}
+	if stale != 1 {
+		t.Errorf("out-of-range //lint:allow not reported stale: %v", findings)
+	}
+}
+
+func TestBlockCommentDoesNotSuppress(t *testing.T) {
+	findings := run(t, `package p
+
+var mark int /* lint:allow mark block comments are inert */
+`)
+	if len(findings) != 1 || findings[0].Analyzer != "mark" {
+		t.Errorf("block comment changed the outcome: %v", findings)
+	}
+}
+
+func TestCommaListSuppressesMultipleAnalyzers(t *testing.T) {
+	res := runDetail(t, `package p
+
+var mark int //lint:allow other,mark covers both analyzers
+`)
+	if len(res.Findings) != 0 {
+		// "other" never ran, so it cannot be stale; "mark" is used.
+		t.Errorf("comma-separated //lint:allow did not suppress cleanly: %v", res.Findings)
+	}
+	if len(res.Suppressed) != 1 || res.Suppressed[0].Analyzer != "mark" {
+		t.Errorf("suppressed diagnostics not recorded: %v", res.Suppressed)
+	}
+	var used, unused int
+	for _, al := range res.Allows {
+		if al.Reason != "covers both analyzers" {
+			t.Errorf("reason lost in comma parsing: %+v", al)
+		}
+		if al.Used {
+			used++
+		} else {
+			unused++
+		}
+	}
+	if used != 1 || unused != 1 {
+		t.Errorf("want exactly the mark allow used and the other unused: %+v", res.Allows)
+	}
+}
+
+func TestStaleSuppressionForActiveAnalyzer(t *testing.T) {
+	res := runDetail(t, `package p
+
+var clean int //lint:allow mark nothing to suppress here
+`)
+	if len(res.Findings) != 1 || res.Findings[0].Analyzer != "lint" ||
+		!strings.Contains(res.Findings[0].Message, "stale //lint:allow mark") {
+		t.Errorf("unused allow for an active analyzer must be stale: %v", res.Findings)
+	}
+}
+
+func TestUnusedAllowForInactiveAnalyzerIsNotStale(t *testing.T) {
+	res := runDetail(t, `package p
+
+var clean int //lint:allow gofancy this analyzer is not in the run
+`)
+	if len(res.Findings) != 0 {
+		t.Errorf("allow for an analyzer outside the active set reported stale: %v", res.Findings)
+	}
+}
+
+func TestBothCoveringCommentsMarkedUsed(t *testing.T) {
+	// The finding's line is covered twice: by the comment above and its
+	// own trailing comment. One diagnostic must mark both used, or the
+	// other would be falsely stale.
+	res := runDetail(t, `package p
+
+//lint:allow mark above
+var mark int //lint:allow mark trailing
+`)
+	if len(res.Findings) != 0 {
+		t.Errorf("doubly-covered line produced findings: %v", res.Findings)
+	}
+	if len(res.Allows) != 2 {
+		t.Fatalf("want 2 allows, got %+v", res.Allows)
+	}
+	for _, al := range res.Allows {
+		if !al.Used {
+			t.Errorf("allow not marked used: %+v", al)
+		}
+	}
+}
+
+func runDetail(t *testing.T, src string) *checker.Result {
+	t.Helper()
+	res, err := checker.RunDetail([]*analysis.Analyzer{markAnalyzer}, []*load.Package{parsePkg(t, src)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
 }
 
 func TestMalformedDirectiveIsAFinding(t *testing.T) {

@@ -1,0 +1,670 @@
+// Package dataflow is the intraprocedural value-flow layer under the
+// hot-path contract analyzers (noalloc, arenaescape, poolreuse). It
+// answers one question cheaply: given a set of root values in a function
+// (an arena receiver, a pool Get result, the function's own parameters),
+// where do references derived from them go?
+//
+// The design is a taint lattice over types.Objects. Each root gets a bit;
+// every local that a reference can flow into accumulates the union of the
+// root bits that reach it (assignments, field/index/slice projections,
+// address-of, conversions, composite literals, closure captures, and —
+// via summaries or a conservative default — call results). A fixpoint
+// over the function body makes ordering irrelevant. Afterwards a second
+// walk records sinks: places a derived reference leaves the function's
+// control — returns, stores to package-level variables, channel sends,
+// go statements, and calls (with the argument index, so the caller can
+// consult the callee's summary or a cross-package fact).
+//
+// Only pointerish values are tracked (pointers, slices, maps, chans,
+// funcs, interfaces, and aggregates containing them): copying a float64
+// out of an arena does not carry a reference, so it never taints.
+//
+// Summarizer builds per-function escape summaries (which parameters
+// escape, and how) for a whole package at once, resolving same-package
+// calls by fixpoint and cross-package calls through a pluggable External
+// hook — which the analyzers back with the module-local fact store, giving
+// callee→caller propagation across package boundaries.
+package dataflow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Escape is a bitmask describing how a value leaves a function.
+type Escape uint8
+
+const (
+	// EscReturn: the value flows into one of the function's results.
+	EscReturn Escape = 1 << iota
+	// EscGlobal: the value is stored into a package-level variable.
+	EscGlobal
+	// EscChannel: the value is sent on a channel.
+	EscChannel
+	// EscGoroutine: the value is referenced by a go statement, directly
+	// or through a captured closure.
+	EscGoroutine
+	// EscHeap: the value is passed to a function whose behavior is
+	// unknown (no summary, no fact) — assume the worst.
+	EscHeap
+
+	// EscNone: the value provably stays within the function.
+	EscNone Escape = 0
+)
+
+func (e Escape) String() string {
+	if e == EscNone {
+		return "does not escape"
+	}
+	var parts []string
+	if e&EscReturn != 0 {
+		parts = append(parts, "returned")
+	}
+	if e&EscGlobal != 0 {
+		parts = append(parts, "stored to a global")
+	}
+	if e&EscChannel != 0 {
+		parts = append(parts, "sent on a channel")
+	}
+	if e&EscGoroutine != 0 {
+		parts = append(parts, "captured by a goroutine")
+	}
+	if e&EscHeap != 0 {
+		parts = append(parts, "passed to an unknown function")
+	}
+	return strings.Join(parts, ", ")
+}
+
+// SinkKind classifies where a derived reference left the function.
+type SinkKind int
+
+const (
+	SinkReturn SinkKind = iota
+	SinkGlobal
+	SinkChannel
+	SinkGoroutine
+	SinkCall
+)
+
+// A Sink is one place a derived reference leaves the function's control.
+type Sink struct {
+	Kind SinkKind
+	Pos  token.Pos
+	// Mask is the union of root bits that reach this sink (bit i = the
+	// i'th root passed to Track; roots past 63 share bit 63).
+	Mask uint64
+	// Expr is the derived expression at the sink.
+	Expr ast.Expr
+	// Result is the result index for SinkReturn, -1 otherwise.
+	Result int
+	// Call and Arg identify the call and argument index for SinkCall
+	// (Arg == -1 means the method receiver).
+	Call *ast.CallExpr
+	Arg  int
+}
+
+// Resolve returns the escape this sink implies for the value that reached
+// it, given the callee's summary for SinkCall sinks (nil = unknown). A
+// callee parameter's EscReturn is masked off: the value re-enters the
+// caller as a call result, which Track already follows.
+func (s Sink) Resolve(sum *Summary) Escape {
+	switch s.Kind {
+	case SinkReturn:
+		return EscReturn
+	case SinkGlobal:
+		return EscGlobal
+	case SinkChannel:
+		return EscChannel
+	case SinkGoroutine:
+		return EscGoroutine
+	case SinkCall:
+		if sum == nil {
+			return EscHeap
+		}
+		if s.Arg < 0 {
+			return sum.Recv &^ EscReturn
+		}
+		return sum.Param(s.Arg) &^ EscReturn
+	}
+	return EscNone
+}
+
+// Pointerish reports whether a value of type t can carry a reference:
+// pointers, slices, maps, channels, funcs, interfaces, unsafe.Pointer,
+// and structs/arrays containing any of those. Strings are excluded —
+// their bytes are immutable, so they cannot alias a mutable arena.
+func Pointerish(t types.Type) bool {
+	return pointerish(t, 0)
+}
+
+// ResultCarries reports whether a call result of type t propagates taint
+// from the call's inputs. It is Pointerish minus the predeclared error
+// interface: error results carry diagnostic text about the inputs, not
+// live references into them, and deriving them would mark every fallible
+// call on tainted data as a leak. Named error types are still tracked —
+// only the plain `error` result is exempt.
+func ResultCarries(t types.Type) bool {
+	if t != nil && types.Identical(t, errType) {
+		return false
+	}
+	return Pointerish(t)
+}
+
+var errType = types.Universe.Lookup("error").Type()
+
+func pointerish(t types.Type, depth int) bool {
+	if t == nil || depth > 16 {
+		return true // give up conservatively
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Slice, *types.Map, *types.Chan, *types.Signature, *types.Interface:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer || u.Kind() == types.Invalid
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if pointerish(u.Field(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	case *types.Array:
+		return pointerish(u.Elem(), depth+1)
+	case *types.Tuple:
+		for i := 0; i < u.Len(); i++ {
+			if pointerish(u.At(i).Type(), depth+1) {
+				return true
+			}
+		}
+		return false
+	}
+	return false
+}
+
+// A Tracker configures the flow analysis for one type-checked package.
+type Tracker struct {
+	Info *types.Info
+
+	// CallResults, when non-nil, refines which results of a call derive
+	// from tainted inputs: it receives the callee (nil for calls of
+	// func-typed values), the receiver's taint mask, and one mask per
+	// syntactic argument, and returns one mask per result. A nil return
+	// falls back to the conservative default: every pointerish result
+	// gets the union of all input masks.
+	CallResults func(call *ast.CallExpr, fn *types.Func, recvMask uint64, argMasks []uint64) []uint64
+}
+
+// A Flow holds the result of tracking one function body.
+type Flow struct {
+	tr    *Tracker
+	Roots []types.Object
+	mask  map[types.Object]uint64
+	Sinks []Sink
+}
+
+// rootBit returns the mask bit for root index i (roots ≥ 63 share a bit).
+func rootBit(i int) uint64 {
+	if i > 63 {
+		i = 63
+	}
+	return 1 << uint(i)
+}
+
+// RootsOf expands a sink mask back into the root objects it covers.
+func (f *Flow) RootsOf(mask uint64) []types.Object {
+	var out []types.Object
+	for i, r := range f.Roots {
+		if mask&rootBit(i) != 0 {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// Mask returns the taint mask of an expression after the fixpoint.
+func (f *Flow) Mask(e ast.Expr) uint64 { return f.derived(e) }
+
+// ObjMask returns the taint mask accumulated by an object.
+func (f *Flow) ObjMask(obj types.Object) uint64 { return f.mask[obj] }
+
+// Track runs the flow analysis over one function body. roots are the
+// objects whose references are traced (each gets a mask bit, in order);
+// results are the function's named result objects, if any, so naked
+// returns register Return sinks. The returned Flow lists every sink a
+// derived reference reached.
+func (t *Tracker) Track(body *ast.BlockStmt, roots, results []types.Object) *Flow {
+	f := &Flow{tr: t, Roots: roots, mask: make(map[types.Object]uint64)}
+	for i, r := range roots {
+		if r != nil {
+			f.mask[r] |= rootBit(i)
+		}
+	}
+	for f.propagate(body) {
+	}
+	f.collect(body, results)
+	return f
+}
+
+// propagate performs one pass of taint propagation through assignments,
+// declarations, and range statements, and reports whether anything new
+// was learned.
+func (f *Flow) propagate(body *ast.BlockStmt) bool {
+	changed := false
+	taint := func(obj types.Object, mask uint64) {
+		v, ok := obj.(*types.Var)
+		if !ok || mask == 0 || packageLevel(v) {
+			return
+		}
+		if f.mask[obj]|mask != f.mask[obj] {
+			f.mask[obj] |= mask
+			changed = true
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			f.assign(n.Lhs, n.Rhs, taint)
+		case *ast.ValueSpec:
+			if len(n.Values) == 0 {
+				return true
+			}
+			lhs := make([]ast.Expr, len(n.Names))
+			for i, id := range n.Names {
+				lhs[i] = id
+			}
+			f.assign(lhs, n.Values, taint)
+		case *ast.RangeStmt:
+			if m := f.derived(n.X); m != 0 {
+				f.taintTarget(n.Key, m, taint)
+				f.taintTarget(n.Value, m, taint)
+			}
+		}
+		return true
+	})
+	return changed
+}
+
+// assign propagates taint from rhs expressions into lhs targets, handling
+// both pairwise and tuple (single call / comma-ok) forms.
+func (f *Flow) assign(lhs, rhs []ast.Expr, taint func(types.Object, uint64)) {
+	if len(rhs) == 1 && len(lhs) > 1 {
+		if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+			res := f.callResults(call)
+			for i := range lhs {
+				if i < len(res) {
+					f.taintTarget(lhs[i], res[i], taint)
+				}
+			}
+			return
+		}
+		// v, ok := m[k] / x.(T) / <-ch: only the value can carry taint.
+		f.taintTarget(lhs[0], f.derived(rhs[0]), taint)
+		return
+	}
+	for i := range lhs {
+		if i < len(rhs) {
+			f.taintTarget(lhs[i], f.derived(rhs[i]), taint)
+		}
+	}
+}
+
+// taintTarget marks an assignment target as reached by mask. Writes into
+// a projection (x.f = v, x[i] = v, *p = v) taint the container: it now
+// holds the reference, so wherever the container goes, the value goes.
+func (f *Flow) taintTarget(target ast.Expr, mask uint64, taint func(types.Object, uint64)) {
+	if target == nil || mask == 0 {
+		return
+	}
+	switch e := ast.Unparen(target).(type) {
+	case *ast.Ident:
+		if e.Name == "_" {
+			return
+		}
+		taint(f.ident(e), mask)
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr, *ast.SliceExpr:
+		if obj := f.baseObject(target); obj != nil {
+			taint(obj, mask)
+		}
+	}
+}
+
+// baseObject strips projections down to the root identifier's object:
+// e.g. for `ws.cols[i].data` it returns ws's object.
+func (f *Flow) baseObject(e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			return f.ident(x)
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.SliceExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
+}
+
+func (f *Flow) ident(id *ast.Ident) types.Object {
+	if obj := f.tr.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return f.tr.Info.Defs[id]
+}
+
+// derived returns the union of root bits reaching expression e.
+func (f *Flow) derived(e ast.Expr) uint64 {
+	if e == nil {
+		return 0
+	}
+	// A non-pointerish value cannot carry a reference out of the arena;
+	// tuple-typed expressions (comma-ok forms) skip the gate.
+	if tv, ok := f.tr.Info.Types[e]; ok && tv.Type != nil {
+		if _, tuple := tv.Type.(*types.Tuple); !tuple && !Pointerish(tv.Type) {
+			return 0
+		}
+	}
+	switch e := e.(type) {
+	case *ast.Ident:
+		return f.mask[f.ident(e)]
+	case *ast.ParenExpr:
+		return f.derived(e.X)
+	case *ast.SelectorExpr:
+		if _, ok := f.tr.Info.Selections[e]; ok {
+			return f.derived(e.X) // field or method of a tainted value
+		}
+		return f.mask[f.tr.Info.Uses[e.Sel]] // qualified identifier
+	case *ast.IndexExpr:
+		return f.derived(e.X)
+	case *ast.IndexListExpr:
+		return f.derived(e.X)
+	case *ast.SliceExpr:
+		return f.derived(e.X)
+	case *ast.StarExpr:
+		return f.derived(e.X)
+	case *ast.UnaryExpr:
+		if e.Op == token.AND || e.Op == token.ARROW {
+			return f.derived(e.X)
+		}
+		return 0
+	case *ast.TypeAssertExpr:
+		return f.derived(e.X)
+	case *ast.CompositeLit:
+		var m uint64
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			m |= f.derived(el)
+		}
+		return m
+	case *ast.FuncLit:
+		var m uint64
+		for _, obj := range Captures(f.tr.Info, e) {
+			m |= f.mask[obj]
+		}
+		return m
+	case *ast.CallExpr:
+		var m uint64
+		for _, r := range f.callResults(e) {
+			m |= r
+		}
+		return m
+	}
+	return 0
+}
+
+// callResults returns the taint mask of each result of a call.
+func (f *Flow) callResults(call *ast.CallExpr) []uint64 {
+	info := f.tr.Info
+	// Conversions pass their operand through.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return []uint64{f.derived(call.Args[0])}
+	}
+	// Builtins: append merges its inputs; everything else (len, cap,
+	// make, new, copy, ...) yields fresh or scalar values.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			if b.Name() == "append" {
+				var m uint64
+				for _, a := range call.Args {
+					m |= f.derived(a)
+				}
+				return []uint64{m}
+			}
+			return []uint64{0}
+		}
+	}
+
+	recvMask, argMasks, any := f.callInputs(call)
+	sig := callSignature(info, call)
+	n := 0
+	if sig != nil {
+		n = sig.Results().Len()
+	}
+	out := make([]uint64, n)
+	if any == 0 {
+		return out
+	}
+	if f.tr.CallResults != nil {
+		fn, _ := f.calleeOf(call)
+		if r := f.tr.CallResults(call, fn, recvMask, argMasks); r != nil {
+			return r
+		}
+	}
+	// Conservative default: every pointerish result derives from the
+	// union of all tainted inputs.
+	for i := range out {
+		if sig != nil && ResultCarries(sig.Results().At(i).Type()) {
+			out[i] = any
+		}
+	}
+	return out
+}
+
+// callInputs returns the receiver mask, per-argument masks, and their
+// union for a call. A tainted func value being called also counts as an
+// input (a closure can return what it captured).
+func (f *Flow) callInputs(call *ast.CallExpr) (recvMask uint64, argMasks []uint64, any uint64) {
+	info := f.tr.Info
+	if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+		if _, isSel := info.Selections[sel]; isSel {
+			recvMask = f.derived(sel.X)
+		}
+	}
+	any = recvMask | f.derived(call.Fun)
+	argMasks = make([]uint64, len(call.Args))
+	for i, a := range call.Args {
+		argMasks[i] = f.derived(a)
+		any |= argMasks[i]
+	}
+	return recvMask, argMasks, any
+}
+
+// calleeOf resolves the called *types.Func and whether the call is a
+// method call (has a receiver).
+func (f *Flow) calleeOf(call *ast.CallExpr) (*types.Func, bool) {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := f.tr.Info.Uses[fun].(*types.Func)
+		return fn, false
+	case *ast.SelectorExpr:
+		fn, _ := f.tr.Info.Uses[fun.Sel].(*types.Func)
+		_, isSel := f.tr.Info.Selections[fun]
+		return fn, isSel && fn != nil && fn.Type().(*types.Signature).Recv() != nil
+	}
+	return nil, false
+}
+
+func callSignature(info *types.Info, call *ast.CallExpr) *types.Signature {
+	tv, ok := info.Types[call.Fun]
+	if !ok || tv.Type == nil {
+		return nil
+	}
+	sig, _ := tv.Type.Underlying().(*types.Signature)
+	return sig
+}
+
+// collect walks the body once after the fixpoint and records sinks.
+// inLit tracking keeps return statements inside function literals from
+// registering as returns of the enclosing function — a closure's returns
+// surface at its call sites instead (via the conservative call default).
+func (f *Flow) collect(body *ast.BlockStmt, results []types.Object) {
+	f.collectWalk(body, results, false)
+}
+
+func (f *Flow) collectWalk(n ast.Node, results []types.Object, inLit bool) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			f.collectWalk(n.Body, results, true)
+			return false
+		case *ast.AssignStmt:
+			f.collectStores(n.Lhs, n.Rhs)
+		case *ast.ValueSpec:
+			// Package-level specs never appear inside a body; nothing to do.
+		case *ast.SendStmt:
+			if m := f.derived(n.Value); m != 0 {
+				f.sink(Sink{Kind: SinkChannel, Pos: n.Arrow, Mask: m, Expr: n.Value, Result: -1, Arg: -1})
+			}
+		case *ast.ReturnStmt:
+			if inLit {
+				return true
+			}
+			if len(n.Results) == 0 {
+				for i, rv := range results {
+					if m := f.mask[rv]; m != 0 {
+						f.sink(Sink{Kind: SinkReturn, Pos: n.Pos(), Mask: m, Result: i, Arg: -1})
+					}
+				}
+				return true
+			}
+			for i, r := range n.Results {
+				if m := f.derived(r); m != 0 {
+					f.sink(Sink{Kind: SinkReturn, Pos: r.Pos(), Mask: m, Expr: r, Result: i, Arg: -1})
+				}
+			}
+		case *ast.GoStmt:
+			if m := f.derived(n.Call.Fun); m != 0 {
+				f.sink(Sink{Kind: SinkGoroutine, Pos: n.Pos(), Mask: m, Expr: n.Call.Fun, Result: -1, Arg: -1})
+			}
+			for _, a := range n.Call.Args {
+				if m := f.derived(a); m != 0 {
+					f.sink(Sink{Kind: SinkGoroutine, Pos: a.Pos(), Mask: m, Expr: a, Result: -1, Arg: -1})
+				}
+			}
+			// Args and captures are accounted for; don't re-report the
+			// call's arguments as SinkCall below.
+			for _, a := range n.Call.Args {
+				f.collectWalk(a, results, inLit)
+			}
+			return false
+		case *ast.CallExpr:
+			f.collectCall(n)
+		}
+		return true
+	})
+}
+
+// collectStores records stores of derived values into package-level
+// variables (directly or through a projection of one).
+func (f *Flow) collectStores(lhs, rhs []ast.Expr) {
+	maskAt := func(i int) uint64 {
+		if len(rhs) == 1 && len(lhs) > 1 {
+			if call, ok := ast.Unparen(rhs[0]).(*ast.CallExpr); ok {
+				res := f.callResults(call)
+				if i < len(res) {
+					return res[i]
+				}
+				return 0
+			}
+			if i == 0 {
+				return f.derived(rhs[0])
+			}
+			return 0
+		}
+		if i < len(rhs) {
+			return f.derived(rhs[i])
+		}
+		return 0
+	}
+	for i, l := range lhs {
+		m := maskAt(i)
+		if m == 0 {
+			continue
+		}
+		if v, ok := f.baseObject(l).(*types.Var); ok && packageLevel(v) {
+			f.sink(Sink{Kind: SinkGlobal, Pos: l.Pos(), Mask: m, Expr: l, Result: -1, Arg: -1})
+		}
+	}
+}
+
+// collectCall records derived arguments and receivers escaping into a
+// callee. Builtins and conversions are skipped (they don't retain), and
+// calling a tainted func value is a use, not an escape.
+func (f *Flow) collectCall(call *ast.CallExpr) {
+	info := f.tr.Info
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		return
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, isBuiltin := info.Uses[id].(*types.Builtin); isBuiltin {
+			return
+		}
+	}
+	fn, isMethod := f.calleeOf(call)
+	if isMethod {
+		if sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr); ok {
+			if m := f.derived(sel.X); m != 0 {
+				f.sink(Sink{Kind: SinkCall, Pos: call.Pos(), Mask: m, Expr: sel.X, Result: -1, Call: call, Arg: -1})
+			}
+		}
+	}
+	_ = fn
+	for i, a := range call.Args {
+		if m := f.derived(a); m != 0 {
+			f.sink(Sink{Kind: SinkCall, Pos: a.Pos(), Mask: m, Expr: a, Result: -1, Call: call, Arg: i})
+		}
+	}
+}
+
+func (f *Flow) sink(s Sink) { f.Sinks = append(f.Sinks, s) }
+
+// Captures returns the distinct local variables of an enclosing function
+// that lit references — the closure's captured environment. Package-level
+// variables and struct fields are not captures.
+func Captures(info *types.Info, lit *ast.FuncLit) []types.Object {
+	seen := make(map[types.Object]bool)
+	var out []types.Object
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj, ok := info.Uses[id].(*types.Var)
+		if !ok || obj.IsField() || seen[obj] || packageLevel(obj) {
+			return true
+		}
+		if obj.Pos() >= lit.Pos() && obj.Pos() < lit.End() {
+			return true // declared inside the literal (param or local)
+		}
+		seen[obj] = true
+		out = append(out, obj)
+		return true
+	})
+	return out
+}
+
+// packageLevel reports whether v is declared at package scope.
+func packageLevel(v *types.Var) bool {
+	return v.Parent() != nil && v.Pkg() != nil && v.Parent() == v.Pkg().Scope()
+}

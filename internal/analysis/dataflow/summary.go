@@ -1,0 +1,244 @@
+package dataflow
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// A Summary records how a function treats its pointerish inputs: one
+// escape mask for the receiver and one per parameter. EscNone means the
+// input provably stays inside the callee (or flows only into its results,
+// which callers track as call-result derivation via EscReturn).
+//
+// The zero Summary (no receiver escape, no parameters) describes a
+// function that retains nothing — which is also the right meaning for
+// its JSON round-trip through the fact store.
+type Summary struct {
+	Recv   Escape   `json:"recv,omitempty"`
+	Params []Escape `json:"params,omitempty"`
+}
+
+// Param returns the escape mask of parameter i, clamping past-the-end
+// indices to the last parameter (variadic calls).
+func (s *Summary) Param(i int) Escape {
+	if len(s.Params) == 0 {
+		return EscHeap // summary shape mismatch: assume the worst
+	}
+	if i >= len(s.Params) {
+		i = len(s.Params) - 1
+	}
+	return s.Params[i]
+}
+
+// Pure reports whether no input escapes at all.
+func (s *Summary) Pure() bool {
+	if s.Recv != EscNone {
+		return false
+	}
+	for _, p := range s.Params {
+		if p != EscNone {
+			return false
+		}
+	}
+	return true
+}
+
+// A Summarizer computes escape summaries for every function declared in a
+// package.
+type Summarizer struct {
+	Info *types.Info
+
+	// External resolves the summary of a function declared outside the
+	// summarized files — typically by consulting a cross-package fact.
+	// A nil result means unknown, which makes arguments passed to the
+	// function EscHeap.
+	External func(fn *types.Func) *Summary
+}
+
+// Package computes a summary for every function with a body in files,
+// iterating to fixpoint so same-package calls (including mutual
+// recursion) resolve precisely. Summaries start optimistic (EscNone) and
+// grow monotonically, so the iteration terminates.
+func (s *Summarizer) Package(files []*ast.File) map[*types.Func]*Summary {
+	type fnDecl struct {
+		fn   *types.Func
+		decl *ast.FuncDecl
+	}
+	var decls []fnDecl
+	sums := make(map[*types.Func]*Summary)
+	for _, file := range files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := s.Info.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			decls = append(decls, fnDecl{fn, fd})
+			sig := fn.Type().(*types.Signature)
+			sum := &Summary{Params: make([]Escape, sig.Params().Len())}
+			sums[fn] = sum
+		}
+	}
+
+	lookup := func(fn *types.Func) *Summary {
+		if fn == nil {
+			return nil
+		}
+		if sum, ok := sums[fn]; ok {
+			return sum
+		}
+		if s.External != nil {
+			return s.External(fn)
+		}
+		return nil
+	}
+
+	tracker := &Tracker{
+		Info: s.Info,
+		CallResults: func(call *ast.CallExpr, fn *types.Func, recvMask uint64, argMasks []uint64) []uint64 {
+			sum := lookup(fn)
+			if sum == nil {
+				return nil // conservative default
+			}
+			var m uint64
+			if recvMask != 0 && sum.Recv&EscReturn != 0 {
+				m |= recvMask
+			}
+			for i, am := range argMasks {
+				if am != 0 && sum.Param(i)&EscReturn != 0 {
+					m |= am
+				}
+			}
+			sig := callSignature(s.Info, call)
+			if sig == nil {
+				return nil
+			}
+			out := make([]uint64, sig.Results().Len())
+			for i := range out {
+				if ResultCarries(sig.Results().At(i).Type()) {
+					out[i] = m
+				}
+			}
+			return out
+		},
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, fd := range decls {
+			if s.update(tracker, fd.fn, fd.decl, sums[fd.fn], lookup) {
+				changed = true
+			}
+		}
+	}
+	return sums
+}
+
+// update recomputes one function's summary; reports whether it grew.
+func (s *Summarizer) update(tracker *Tracker, fn *types.Func, decl *ast.FuncDecl, sum *Summary, lookup func(*types.Func) *Summary) bool {
+	sig := fn.Type().(*types.Signature)
+	roots, results := SignatureObjects(s.Info, decl)
+	// Root order: receiver first (if pointerish), then pointerish params;
+	// non-pointerish inputs stay in the slice as nil so indices line up.
+	flow := tracker.Track(decl.Body, roots, results)
+
+	changed := false
+	fold := func(idx int, esc Escape) {
+		if idx == 0 && sig.Recv() != nil {
+			if sum.Recv|esc != sum.Recv {
+				sum.Recv |= esc
+				changed = true
+			}
+			return
+		}
+		p := idx
+		if sig.Recv() != nil {
+			p--
+		}
+		if p >= 0 && p < len(sum.Params) && sum.Params[p]|esc != sum.Params[p] {
+			sum.Params[p] |= esc
+			changed = true
+		}
+	}
+	for _, sink := range flow.Sinks {
+		var esc Escape
+		if sink.Kind == SinkCall {
+			callee, _ := flowCallee(s.Info, sink.Call)
+			esc = sink.Resolve(lookup(callee))
+		} else {
+			esc = sink.Resolve(nil)
+		}
+		if esc == EscNone {
+			continue
+		}
+		for i := range roots {
+			if roots[i] != nil && sink.Mask&rootBit(i) != 0 {
+				fold(i, esc)
+			}
+		}
+	}
+	return changed
+}
+
+// SignatureObjects returns the function's trackable inputs — receiver
+// (if any) followed by parameters, with non-pointerish entries nil so
+// indices stay aligned with the signature — and its named result objects.
+func SignatureObjects(info *types.Info, decl *ast.FuncDecl) (roots, results []types.Object) {
+	addFields := func(fl *ast.FieldList, out *[]types.Object, filter bool) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			if len(field.Names) == 0 {
+				// Unnamed input: untrackable but occupies a slot.
+				if out == &roots {
+					*out = append(*out, nil)
+				}
+				continue
+			}
+			for _, name := range field.Names {
+				obj := info.Defs[name]
+				if filter && (obj == nil || !Pointerish(obj.Type())) {
+					*out = append(*out, nil)
+					continue
+				}
+				*out = append(*out, obj)
+			}
+		}
+	}
+	addFields(decl.Recv, &roots, true)
+	if decl.Type.Params != nil {
+		addFields(decl.Type.Params, &roots, true)
+	}
+	if decl.Type.Results != nil {
+		for _, field := range decl.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := info.Defs[name]; obj != nil {
+					results = append(results, obj)
+				}
+			}
+		}
+	}
+	return roots, results
+}
+
+// flowCallee resolves a call's *types.Func, mirroring Flow.calleeOf for
+// use outside a Flow.
+func flowCallee(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	if call == nil {
+		return nil, false
+	}
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		fn, _ := info.Uses[fun].(*types.Func)
+		return fn, false
+	case *ast.SelectorExpr:
+		fn, _ := info.Uses[fun.Sel].(*types.Func)
+		_, isSel := info.Selections[fun]
+		return fn, isSel && fn != nil && fn.Type().(*types.Signature).Recv() != nil
+	}
+	return nil, false
+}

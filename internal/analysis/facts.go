@@ -1,0 +1,159 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/types"
+	"sort"
+)
+
+// Facts is a module-local, cross-package fact store: analyzers record
+// conclusions about package-level objects (functions, types) while
+// analyzing the package that declares them, and read facts about callees
+// when analyzing dependents. Drivers visit packages in dependency order
+// (go list -deps emits dependencies first), which makes callee→caller
+// propagation a single forward pass.
+//
+// In vettool mode, where each package is analyzed by a separate process,
+// facts ride the vetx files cmd/go threads through the build graph: see
+// Export and Import. Facts are keyed by a stable textual object key (see
+// ObjectKey), so an object observed through export data resolves to the
+// same fact recorded when its declaring package was analyzed from source.
+type Facts struct {
+	entries map[factKey]factEntry
+}
+
+type factKey struct {
+	analyzer string
+	object   string
+}
+
+type factEntry struct {
+	pkgPath string
+	fact    any
+}
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts {
+	return &Facts{entries: make(map[factKey]factEntry)}
+}
+
+// Put records analyzer's fact about obj, replacing any previous one.
+// Facts about objects without a package (builtins, nil) are dropped.
+func (f *Facts) Put(analyzer string, obj types.Object, fact any) {
+	key := ObjectKey(obj)
+	if key == "" {
+		return
+	}
+	f.entries[factKey{analyzer, key}] = factEntry{pkgPath: obj.Pkg().Path(), fact: fact}
+}
+
+// Get returns analyzer's fact about obj, if any.
+func (f *Facts) Get(analyzer string, obj types.Object) (any, bool) {
+	e, ok := f.entries[factKey{analyzer, ObjectKey(obj)}]
+	if !ok {
+		return nil, false
+	}
+	return e.fact, true
+}
+
+// ObjectKey returns a stable textual identity for a package-level object:
+// "pkgpath.Name" for functions, types, and vars, "pkgpath.(Recv).Name" or
+// "pkgpath.(*Recv).Name" for methods. It is identical whether the object
+// was type-checked from source or resolved through gc export data, which
+// is what lets facts cross package and process boundaries. Objects with no
+// package (builtins) yield "".
+func ObjectKey(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			t := sig.Recv().Type()
+			star := ""
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+				star = "*"
+			}
+			if named, ok := t.(*types.Named); ok {
+				return obj.Pkg().Path() + ".(" + star + named.Obj().Name() + ")." + obj.Name()
+			}
+		}
+	}
+	return obj.Pkg().Path() + "." + obj.Name()
+}
+
+// wireFact is the serialized form of one fact (vetx payload line).
+type wireFact struct {
+	Analyzer string          `json:"a"`
+	Object   string          `json:"o"`
+	Pkg      string          `json:"p"`
+	Fact     json.RawMessage `json:"f"`
+}
+
+// Export serializes the whole store — imported facts included, so a
+// package's fact file transitively carries its dependencies' facts — as
+// deterministic JSON lines suitable for a vetx file.
+func (f *Facts) Export() ([]byte, error) {
+	keys := make([]factKey, 0, len(f.entries))
+	for k := range f.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].analyzer != keys[j].analyzer {
+			return keys[i].analyzer < keys[j].analyzer
+		}
+		return keys[i].object < keys[j].object
+	})
+	var buf bytes.Buffer
+	enc := json.NewEncoder(&buf)
+	for _, k := range keys {
+		e := f.entries[k]
+		raw, err := json.Marshal(e.fact)
+		if err != nil {
+			return nil, fmt.Errorf("analysis: encoding fact %s/%s: %v", k.analyzer, k.object, err)
+		}
+		if err := enc.Encode(wireFact{Analyzer: k.analyzer, Object: k.object, Pkg: e.pkgPath, Fact: raw}); err != nil {
+			return nil, err
+		}
+	}
+	return buf.Bytes(), nil
+}
+
+// Import merges facts serialized by Export, decoding each analyzer's
+// payloads with its FactType. Facts for unknown analyzers (or analyzers
+// without a FactType) are skipped; existing entries are not overwritten,
+// so re-importing shared transitive facts is idempotent.
+func (f *Facts) Import(data []byte, analyzers []*Analyzer) error {
+	if len(data) == 0 {
+		return nil
+	}
+	types := make(map[string]func() any)
+	for _, a := range analyzers {
+		if a.FactType != nil {
+			types[a.Name] = a.FactType
+		}
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	for dec.More() {
+		var w wireFact
+		if err := dec.Decode(&w); err != nil {
+			return fmt.Errorf("analysis: decoding fact file: %v", err)
+		}
+		mk, ok := types[w.Analyzer]
+		if !ok {
+			continue
+		}
+		key := factKey{w.Analyzer, w.Object}
+		if _, exists := f.entries[key]; exists {
+			continue
+		}
+		fact := mk()
+		if err := json.Unmarshal(w.Fact, fact); err != nil {
+			return fmt.Errorf("analysis: decoding %s fact for %s: %v", w.Analyzer, w.Object, err)
+		}
+		f.entries[key] = factEntry{pkgPath: w.Pkg, fact: fact}
+	}
+	return nil
+}

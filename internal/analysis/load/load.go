@@ -38,6 +38,12 @@ type Package struct {
 	// TypeErrors holds soft type-check errors. Analyzers still run on a
 	// package with errors, but drivers should surface them.
 	TypeErrors []error
+
+	// FactsOnly marks a dependency loaded solely so analyzers can record
+	// facts (annotations, escape summaries) its dependents consume. The
+	// checker runs analyzers over it but discards its diagnostics: the
+	// user did not select it, so its findings are not this run's business.
+	FactsOnly bool
 }
 
 // listPackage mirrors the subset of `go list -json` output we consume.
@@ -56,8 +62,10 @@ type listPackage struct {
 }
 
 // Packages loads, parses, and type-checks the packages matched by
-// patterns (e.g. "./..."), resolved relative to dir. Test files are not
-// loaded, matching `go build` package contents.
+// patterns (e.g. "./..."), resolved relative to dir, plus their
+// non-stdlib dependencies as FactsOnly packages (dependencies first) so
+// cross-package facts resolve even when patterns select a subtree. Test
+// files are not loaded, matching `go build` package contents.
 func Packages(dir string, patterns []string) ([]*Package, error) {
 	if len(patterns) == 0 {
 		patterns = []string{"."}
@@ -73,12 +81,17 @@ func Packages(dir string, patterns []string) ([]*Package, error) {
 	}
 
 	var targets []*listPackage
+	factsOnly := make(map[string]bool)
 	exports := make(map[string]string)
 	if err := decodeList(stdout.Bytes(), func(lp *listPackage) {
 		recordExport(exports, lp)
-		if !lp.DepOnly {
-			targets = append(targets, lp)
+		if lp.DepOnly && (lp.Standard || len(lp.CgoFiles) > 0) {
+			return // stdlib and cgo deps contribute export data only
 		}
+		if lp.DepOnly {
+			factsOnly[lp.ImportPath] = true
+		}
+		targets = append(targets, lp)
 	}); err != nil {
 		return nil, err
 	}
@@ -101,6 +114,7 @@ func Packages(dir string, patterns []string) ([]*Package, error) {
 		if err != nil {
 			return nil, err
 		}
+		pkg.FactsOnly = factsOnly[lp.ImportPath]
 		out = append(out, pkg)
 	}
 	return out, nil

@@ -19,6 +19,7 @@ import (
 	"go/token"
 	"go/types"
 	"go/version"
+	"io"
 	"os"
 	"runtime/debug"
 	"strings"
@@ -47,6 +48,8 @@ func Main(analyzers []*analysis.Analyzer) int {
 	fs.Usage = func() { usage(fs, analyzers) }
 	printVersion := fs.String("V", "", "print version information ('full' is used by cmd/go)")
 	printFlags := fs.Bool("flags", false, "print flags as JSON (used by cmd/go to plan the vet invocation)")
+	jsonOut := fs.Bool("json", false, "emit one JSON object per line for each diagnostic (file, line, col, analyzer, message, suppressed)")
+	allowsMode := fs.Bool("allows", false, "audit //lint:allow comments: list each with its analyzer, reason, and whether it suppressed anything")
 	enabled := make(map[string]*bool)
 	for _, a := range analyzers {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
@@ -75,9 +78,9 @@ func Main(analyzers []*analysis.Analyzer) int {
 
 	args := fs.Args()
 	if len(args) == 1 && strings.HasSuffix(args[0], ".cfg") {
-		return unitcheck(args[0], active)
+		return unitcheck(args[0], active, *jsonOut)
 	}
-	return standalone(args, active)
+	return standalone(args, active, *jsonOut, *allowsMode)
 }
 
 // describeFlags answers cmd/go's `vettool -flags` probe: a JSON array of
@@ -113,7 +116,7 @@ func usage(fs *flag.FlagSet, analyzers []*analysis.Analyzer) {
 	fs.PrintDefaults()
 }
 
-func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
+func standalone(patterns []string, analyzers []*analysis.Analyzer, jsonOut, allowsMode bool) int {
 	cwd, err := os.Getwd()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -134,13 +137,83 @@ func standalone(patterns []string, analyzers []*analysis.Analyzer) int {
 	if broken {
 		return exitError
 	}
-	findings, err := checker.Run(analyzers, pkgs)
+	res, err := checker.RunDetail(analyzers, pkgs)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		return exitError
 	}
-	if checker.Print(os.Stdout, cwd, findings) > 0 {
+	if allowsMode {
+		return printAllows(os.Stdout, cwd, res.Allows, jsonOut)
+	}
+	if jsonOut {
+		if printJSON(os.Stdout, cwd, res) > 0 {
+			return exitDiags
+		}
+		return exitClean
+	}
+	if checker.Print(os.Stdout, cwd, res.Findings) > 0 {
 		return exitDiags
+	}
+	return exitClean
+}
+
+// jsonDiag is the -json wire format: one object per line, findings and
+// suppressed diagnostics alike, distinguished by the suppressed field.
+type jsonDiag struct {
+	File       string `json:"file"`
+	Line       int    `json:"line"`
+	Col        int    `json:"col"`
+	Analyzer   string `json:"analyzer"`
+	Message    string `json:"message"`
+	Suppressed bool   `json:"suppressed"`
+}
+
+// printJSON writes every diagnostic of the run as JSON lines and returns
+// the number of surviving (non-suppressed) findings.
+func printJSON(w io.Writer, dir string, res *checker.Result) int {
+	enc := json.NewEncoder(w)
+	emit := func(f checker.Finding, suppressed bool) {
+		enc.Encode(jsonDiag{ //lint:allow errdrop encoding a flat struct of strings and ints cannot fail
+			File:       checker.RelPath(dir, f.Pos.Filename),
+			Line:       f.Pos.Line,
+			Col:        f.Pos.Column,
+			Analyzer:   f.Analyzer,
+			Message:    f.Message,
+			Suppressed: suppressed,
+		})
+	}
+	for _, f := range res.Findings {
+		emit(f, false)
+	}
+	for _, f := range res.Suppressed {
+		emit(f, true)
+	}
+	return len(res.Findings)
+}
+
+// printAllows renders the -allows audit: every //lint:allow comment seen,
+// with whether it suppressed anything this run. Stale comments are also
+// findings in a normal run; the audit is the human-readable inventory.
+func printAllows(w io.Writer, dir string, allows []checker.Allow, jsonOut bool) int {
+	type jsonAllow struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Analyzer string `json:"analyzer"`
+		Reason   string `json:"reason"`
+		Used     bool   `json:"used"`
+	}
+	enc := json.NewEncoder(w)
+	for _, al := range allows {
+		file := checker.RelPath(dir, al.Pos.Filename)
+		if jsonOut {
+			enc.Encode(jsonAllow{file, al.Pos.Line, al.Analyzer, al.Reason, al.Used}) //lint:allow errdrop encoding a flat struct of strings and ints cannot fail
+			continue
+		}
+		state := "used "
+		if !al.Used {
+			state = "STALE"
+		}
+		fmt.Fprintf(w, "%s:%d: %s [%s] %s\n", file, al.Pos.Line, state, al.Analyzer, al.Reason)
 	}
 	return exitClean
 }
@@ -155,12 +228,13 @@ type vetConfig struct {
 	GoFiles                   []string
 	ImportMap                 map[string]string
 	PackageFile               map[string]string
+	PackageVetx               map[string]string
 	VetxOnly                  bool
 	VetxOutput                string
 	SucceedOnTypecheckFailure bool
 }
 
-func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
+func unitcheck(cfgFile string, analyzers []*analysis.Analyzer, jsonOut bool) int {
 	data, err := os.ReadFile(cfgFile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -195,10 +269,37 @@ func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
 	}
 	pkg.Types = tpkg
 
-	// cmd/go expects the facts ("vetx") output file to exist even though
-	// these analyzers export none.
+	// Seed the fact store from the vetx files cmd/go recorded for this
+	// package's dependencies — each file transitively carries its own
+	// dependencies' facts, so one level of import suffices.
+	facts := analysis.NewFacts()
+	for _, vetx := range cfg.PackageVetx {
+		data, err := os.ReadFile(vetx)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+		if err := facts.Import(data, analyzers); err != nil {
+			fmt.Fprintf(os.Stderr, "spotfi-lint: importing facts from %s: %v\n", vetx, err)
+			return exitError
+		}
+	}
+
+	res, err := checker.RunDetailFacts(analyzers, []*load.Package{pkg}, facts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return exitError
+	}
+
+	// cmd/go expects the vetx output to exist even when no facts were
+	// recorded; dependents read it back through PackageVetx above.
 	if cfg.VetxOutput != "" {
-		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+		data, err := facts.Export()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return exitError
+		}
+		if err := os.WriteFile(cfg.VetxOutput, data, 0o666); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			return exitError
 		}
@@ -207,12 +308,13 @@ func unitcheck(cfgFile string, analyzers []*analysis.Analyzer) int {
 		return exitClean
 	}
 
-	findings, err := checker.Run(analyzers, []*load.Package{pkg})
-	if err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		return exitError
+	if jsonOut {
+		if printJSON(os.Stderr, cfg.Dir, res) > 0 {
+			return exitVetDiags
+		}
+		return exitClean
 	}
-	if checker.Print(os.Stderr, cfg.Dir, findings) > 0 {
+	if checker.Print(os.Stderr, cfg.Dir, res.Findings) > 0 {
 		return exitVetDiags
 	}
 	return exitClean

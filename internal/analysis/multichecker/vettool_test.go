@@ -2,6 +2,7 @@ package multichecker_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -136,6 +137,163 @@ func same(a, b float64) bool {
 		})
 		if out, err := runVet(t, bin, dir); err != nil {
 			t.Fatalf("go vet failed on a suppressed finding: %v\n%s", err, out)
+		}
+	})
+
+	// Facts must cross package boundaries through the vetx files cmd/go
+	// shuttles between vet invocations: inner's //spotfi:noalloc annotation
+	// is recorded as a fact when inner is vetted, and the caller package's
+	// noalloc pass must see it — otherwise every cross-package call from an
+	// annotated function would be flagged.
+	t.Run("CrossPackageFacts", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": "module vetx\n\ngo 1.24\n",
+			"inner/inner.go": `package inner
+
+//spotfi:noalloc
+func Fast(x int) int { return x * 2 }
+
+func Slow(n int) []int { return make([]int, n) }
+`,
+			"hot.go": `package vetx
+
+import "vetx/inner"
+
+//spotfi:noalloc
+func hot(x int) int { return inner.Fast(x) }
+
+var _ = hot
+`,
+		})
+		if out, err := runVet(t, bin, dir); err != nil {
+			t.Fatalf("go vet flagged a cross-package call to an annotated function: %v\n%s", err, out)
+		}
+	})
+
+	t.Run("CrossPackageDirty", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": "module vetx\n\ngo 1.24\n",
+			"inner/inner.go": `package inner
+
+func Slow(n int) []int { return make([]int, n) }
+`,
+			"hot.go": `package vetx
+
+import "vetx/inner"
+
+//spotfi:noalloc
+func hot(n int) []int { return inner.Slow(n) }
+
+var _ = hot
+`,
+		})
+		out, err := runVet(t, bin, dir)
+		if err == nil {
+			t.Fatalf("go vet passed a noalloc function calling an un-annotated cross-package function:\n%s", out)
+		}
+		if !strings.Contains(out, "noalloc") || !strings.Contains(out, "Slow") {
+			t.Errorf("expected a noalloc diagnostic naming Slow:\n%s", out)
+		}
+	})
+}
+
+// runLint invokes the standalone (non-vettool) driver in dir.
+func runLint(t *testing.T, bin, dir string, args ...string) (string, int) {
+	t.Helper()
+	cmd := exec.Command(bin, args...)
+	cmd.Dir = dir
+	var buf bytes.Buffer
+	cmd.Stdout = &buf
+	cmd.Stderr = &buf
+	err := cmd.Run()
+	code := 0
+	if ee, ok := err.(*exec.ExitError); ok {
+		code = ee.ExitCode()
+	} else if err != nil {
+		t.Fatalf("running spotfi-lint: %v\n%s", err, buf.String())
+	}
+	return buf.String(), code
+}
+
+// TestStandaloneOutput exercises the -json and -allows modes of the
+// standalone driver.
+func TestStandaloneOutput(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a binary and invokes cmd/go")
+	}
+	bin := buildLint(t, t.TempDir())
+	dir := writeModule(t, map[string]string{
+		"go.mod": "module vetx\n\ngo 1.24\n",
+		"eq.go": `package vetx
+
+func same(a, b float64) bool { return a == b }
+
+func close(a, b float64) bool {
+	return a == b //lint:allow floateq exact comparison intended here
+}
+`,
+	})
+
+	t.Run("JSON", func(t *testing.T) {
+		out, code := runLint(t, bin, dir, "-json", "./...")
+		if code != 3 {
+			t.Fatalf("exit code = %d, want 3 (findings)\n%s", code, out)
+		}
+		var sawFinding, sawSuppressed bool
+		for _, line := range strings.Split(strings.TrimSpace(out), "\n") {
+			var d struct {
+				File       string `json:"file"`
+				Line       int    `json:"line"`
+				Analyzer   string `json:"analyzer"`
+				Message    string `json:"message"`
+				Suppressed bool   `json:"suppressed"`
+			}
+			if err := json.Unmarshal([]byte(line), &d); err != nil {
+				t.Fatalf("non-JSON output line %q: %v", line, err)
+			}
+			if d.File == "" || d.Line == 0 || d.Analyzer == "" || d.Message == "" {
+				t.Errorf("incomplete diagnostic: %q", line)
+			}
+			if d.Analyzer == "floateq" && !d.Suppressed {
+				sawFinding = true
+			}
+			if d.Analyzer == "floateq" && d.Suppressed {
+				sawSuppressed = true
+			}
+		}
+		if !sawFinding || !sawSuppressed {
+			t.Errorf("want one surviving and one suppressed floateq diagnostic, got:\n%s", out)
+		}
+	})
+
+	t.Run("Allows", func(t *testing.T) {
+		out, code := runLint(t, bin, dir, "-allows", "./...")
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0 (audit mode)\n%s", code, out)
+		}
+		if !strings.Contains(out, "used") || !strings.Contains(out, "exact comparison intended here") {
+			t.Errorf("audit output missing the used allow:\n%s", out)
+		}
+	})
+
+	t.Run("AllowsJSON", func(t *testing.T) {
+		out, code := runLint(t, bin, dir, "-allows", "-json", "./...")
+		if code != 0 {
+			t.Fatalf("exit code = %d, want 0 (audit mode)\n%s", code, out)
+		}
+		var al struct {
+			File     string `json:"file"`
+			Line     int    `json:"line"`
+			Analyzer string `json:"analyzer"`
+			Reason   string `json:"reason"`
+			Used     bool   `json:"used"`
+		}
+		line, _, _ := strings.Cut(strings.TrimSpace(out), "\n")
+		if err := json.Unmarshal([]byte(line), &al); err != nil {
+			t.Fatalf("non-JSON allows line %q: %v", line, err)
+		}
+		if al.Analyzer != "floateq" || !al.Used || al.Reason == "" {
+			t.Errorf("unexpected allow record: %+v", al)
 		}
 	})
 }

@@ -1,0 +1,16 @@
+package arenaescape_test
+
+import (
+	"testing"
+
+	"spotfi/internal/analysis/analysistest"
+	"spotfi/internal/analysis/passes/arenaescape"
+)
+
+func TestArenaEscape(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), arenaescape.Analyzer, "a")
+}
+
+func TestArenaEscapeSuppressed(t *testing.T) {
+	analysistest.RunSuppressed(t, analysistest.TestData(t), arenaescape.Analyzer, "suppressed")
+}

@@ -1,0 +1,103 @@
+package a
+
+// Workspace mirrors the estimator arena shape: slices reused across
+// bursts, recycled through a pool, never safely referenced after the
+// call that borrowed them returns.
+//
+//spotfi:arena
+type Workspace struct {
+	buf []float64
+	vec []complex128
+}
+
+var leak []float64
+var hold *Workspace
+var fnSink func([]float64)
+
+// keep retains its parameter in a global — the canonical leaking callee.
+func keep(p []float64) { leak = p }
+
+// fill writes scalars in place; its parameter provably does not escape.
+func fill(w *Workspace) {
+	for i := range w.buf {
+		w.buf[i] = 0
+	}
+}
+
+// view returns a derived pointer from an unexported function: legal —
+// its callers are in the same fixpoint and keep tracking the result.
+func view(w *Workspace) []float64 { return w.buf }
+
+func storesGlobal(w *Workspace) {
+	leak = w.buf // want `pointer derived from the Workspace arena is stored to a global; it must not outlive the estimator`
+}
+
+func storesSelf(w *Workspace) {
+	hold = w // want `pointer derived from the Workspace arena is stored to a global`
+}
+
+func sends(w *Workspace, ch chan []float64) {
+	ch <- w.buf // want `pointer derived from the Workspace arena is sent on a channel`
+}
+
+func spawns(w *Workspace) {
+	go fill(w) // want `pointer derived from the Workspace arena is captured by a goroutine`
+}
+
+func spawnsClosure(w *Workspace) {
+	go func() { // want `pointer derived from the Workspace arena is captured by a goroutine`
+		fill(w)
+	}()
+}
+
+// Buf is exported: returning the arena backing publishes a borrow
+// outside the package.
+func (w *Workspace) Buf() []float64 {
+	return w.buf // want `Buf returns a pointer into the Workspace arena to callers outside the package; the borrow must not outlive the estimator`
+}
+
+// viaView leaks through an unexported returning helper: the call result
+// is derived, so the global store downstream is still caught.
+func viaView(w *Workspace) {
+	leak = view(w) // want `pointer derived from the Workspace arena is stored to a global`
+}
+
+// viaKeep leaks through a callee whose summary says the argument is
+// stored to a global.
+func viaKeep(w *Workspace) {
+	keep(w.buf) // want `pointer derived from the Workspace arena is passed to keep, which leaks it \(stored to a global\)`
+}
+
+// viaFuncValue passes the arena to a function value: no summary exists,
+// so the worst is assumed.
+func viaFuncValue(w *Workspace) {
+	fnSink(w.buf) // want `pointer derived from the Workspace arena is passed to a function value, which has no escape summary; it may be retained past the call`
+}
+
+// --- clean shapes: no findings ---
+
+// scalarOut copies a value out of the arena; a float64 carries no
+// reference.
+func scalarOut(w *Workspace) float64 { return w.buf[0] }
+
+// localUse keeps the derived slice strictly local.
+func localUse(w *Workspace) {
+	s := w.buf[:4]
+	s[0] = 1
+}
+
+// callsFill passes the arena to a callee whose summary is EscNone.
+func callsFill(w *Workspace) { fill(w) }
+
+// reset / Reset: method receiver calls resolve through the receiver
+// summary; nothing escapes.
+func (w *Workspace) reset() { w.buf = w.buf[:0] }
+func (w *Workspace) Reset() { w.reset() }
+
+// appendLocal grows a fresh local from arena values; append of scalars
+// carries no reference back to the arena.
+func appendLocal(w *Workspace) float64 {
+	out := make([]float64, 0, len(w.buf))
+	out = append(out, w.buf...)
+	return out[0]
+}

@@ -1,0 +1,162 @@
+// Package immutfield enforces construct-then-freeze on types annotated
+// //spotfi:immutable: their fields may be written only inside a
+// constructor — a same-package function or method whose results include
+// the type (by value or pointer).
+//
+// The repo's motivating case is the steering table: it is built once,
+// cached globally, and then read concurrently by every pooled estimator
+// without synchronization. That is only sound because nothing writes it
+// after construction — a contract the type system cannot state, so this
+// analyzer does.
+//
+// The contract is shallow: the analyzer flags direct field writes
+// (assignment, op-assign, ++/--) outside constructors, not mutations
+// through a previously-read field value (table.data[i] = v writes the
+// element the field points at, not the field). Shared-slice spine
+// mutations are the arena analyzers' concern; the freeze here is the
+// field set itself.
+//
+// Annotated exported types are recorded as facts so dependent packages
+// flag their writes too.
+package immutfield
+
+import (
+	"go/ast"
+	"go/types"
+
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/passes/passutil"
+)
+
+const name = "immutfield"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "report writes to fields of //spotfi:immutable types outside their constructors\n\n" +
+		"Immutable types (the steering table) are read concurrently without\n" +
+		"locks; any post-construction write is a data race.",
+	Run:      run,
+	FactType: func() any { return new(Fact) },
+}
+
+// Fact marks an annotated type for cross-package enforcement.
+type Fact struct {
+	Immutable bool `json:"immutable"`
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	facts := pass.Facts
+	if facts == nil {
+		facts = analysis.NewFacts()
+	}
+
+	// Pass 1: locally annotated types (exported as facts).
+	annotated := make(map[*types.TypeName]bool)
+	var files []*ast.File
+	for _, file := range pass.Files {
+		if passutil.IsTestFile(pass, file) {
+			continue
+		}
+		files = append(files, file)
+		for _, d := range file.Decls {
+			gd, ok := d.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok || !passutil.TypeDirective(gd, ts, "immutable") {
+					continue
+				}
+				if tn, ok := pass.TypesInfo.Defs[ts.Name].(*types.TypeName); ok {
+					annotated[tn] = true
+					facts.Put(name, tn, &Fact{Immutable: true})
+				}
+			}
+		}
+	}
+	immutable := func(tn *types.TypeName) bool {
+		if tn == nil {
+			return false
+		}
+		if annotated[tn] {
+			return true
+		}
+		f, ok := facts.Get(name, tn)
+		return ok && f.(*Fact).Immutable
+	}
+
+	// Pass 2: check every function body; constructors are exempt.
+	for _, file := range files {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			builds := constructedTypes(pass.TypesInfo, fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.AssignStmt:
+					for _, l := range n.Lhs {
+						checkWrite(pass, immutable, builds, l)
+					}
+				case *ast.IncDecStmt:
+					checkWrite(pass, immutable, builds, n.X)
+				}
+				return true
+			})
+		}
+	}
+	return nil, nil
+}
+
+// checkWrite reports target if it is a direct field selector of an
+// immutable type not under construction in this function.
+func checkWrite(pass *analysis.Pass, immutable func(*types.TypeName) bool, builds map[*types.TypeName]bool, target ast.Expr) {
+	sel, ok := ast.Unparen(target).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	selection, ok := pass.TypesInfo.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return
+	}
+	tn := namedOf(selection.Recv())
+	if tn == nil || !immutable(tn) || builds[tn] {
+		return
+	}
+	pass.Reportf(sel.Sel.Pos(),
+		"field %s of //spotfi:immutable type %s is written outside its constructor", sel.Sel.Name, tn.Name())
+}
+
+// constructedTypes returns the named types a function counts as a
+// constructor for: each result type, dereferenced.
+func constructedTypes(info *types.Info, fd *ast.FuncDecl) map[*types.TypeName]bool {
+	out := make(map[*types.TypeName]bool)
+	if fd.Type.Results == nil {
+		return out
+	}
+	for _, field := range fd.Type.Results.List {
+		t := info.TypeOf(field.Type)
+		if tn := namedOf(t); tn != nil {
+			out[tn] = true
+		}
+	}
+	return out
+}
+
+// namedOf unwraps pointers and returns the named type's TypeName, if any.
+func namedOf(t types.Type) *types.TypeName {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	} else if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}

@@ -1,0 +1,16 @@
+package immutfield_test
+
+import (
+	"testing"
+
+	"spotfi/internal/analysis/analysistest"
+	"spotfi/internal/analysis/passes/immutfield"
+)
+
+func TestImmutField(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), immutfield.Analyzer, "a")
+}
+
+func TestImmutFieldSuppressed(t *testing.T) {
+	analysistest.RunSuppressed(t, analysistest.TestData(t), immutfield.Analyzer, "suppressed")
+}

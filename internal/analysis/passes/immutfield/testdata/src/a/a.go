@@ -1,0 +1,57 @@
+package a
+
+// table mirrors the steering table: built once, then read concurrently
+// with no synchronization.
+//
+//spotfi:immutable
+type table struct {
+	grid []float64
+	n    int
+}
+
+// newTable is a constructor (results include *table): writes are free.
+func newTable(n int) *table {
+	t := &table{n: n}
+	t.grid = make([]float64, n)
+	return t
+}
+
+// clone is a constructor too — a method whose result is the type.
+func (t *table) clone() *table {
+	c := &table{}
+	c.n = t.n
+	c.grid = append([]float64(nil), t.grid...)
+	return c
+}
+
+func mutate(t *table) {
+	t.n = 3 // want `field n of //spotfi:immutable type table is written outside its constructor`
+}
+
+func (t *table) grow() {
+	t.grid = append(t.grid, 0) // want `field grid of //spotfi:immutable type table is written outside its constructor`
+}
+
+func bump(t *table) {
+	t.n++ // want `field n of //spotfi:immutable type table is written outside its constructor`
+}
+
+func swap(a, b *table) {
+	a.n, b.n = b.n, a.n // want `field n of //spotfi:immutable type table is written outside its constructor` `field n of //spotfi:immutable type table is written outside its constructor`
+}
+
+// --- clean shapes: no findings ---
+
+// elementWrite mutates through the field value, not the field itself;
+// the freeze contract is shallow and this is out of scope by design.
+func elementWrite(t *table) {
+	t.grid[0] = 1
+}
+
+// read-only access is always fine.
+func read(t *table) int { return t.n }
+
+// other types are not the analyzer's business.
+type mutable struct{ n int }
+
+func touch(m *mutable) { m.n = 7 }

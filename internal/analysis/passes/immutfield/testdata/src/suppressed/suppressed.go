@@ -1,0 +1,11 @@
+package suppressed
+
+//spotfi:immutable
+type table struct{ hits int }
+
+// recount is the documented exception shape: a maintenance path that
+// rewrites a cached field while holding the cache's own lock, so the
+// concurrent-read argument the annotation encodes still holds.
+func recount(t *table, n int) {
+	t.hits = n //lint:allow immutfield rewritten under the steering cache mutex during invalidation
+}

@@ -1,0 +1,775 @@
+// Package noalloc enforces the warm-path allocation contract: a function
+// annotated //spotfi:noalloc may not contain a construct that allocates
+// on every call, and may only call functions that uphold the same
+// contract.
+//
+// PR 6 took a warm MUSIC estimate from 246 allocations to 1 by routing
+// every buffer through estimator-owned arenas. That invariant is
+// load-bearing — the bench gate asserts it — but a bench can only say
+// *that* a regression happened, not *where*. This analyzer localizes the
+// exact line: reintroduce a make, a boxing conversion, or an escaping
+// closure inside the annotated warm path and the finding lands on it.
+//
+// Flagged constructs:
+//
+//   - make, new, and go statements;
+//   - slice and map composite literals (their backing store is fresh
+//     per call), and &T{} literals whose pointer escapes the function
+//     (a non-escaping &T{} is stack-allocated and fine);
+//   - append, unless it is the amortized-arena shape: self-append
+//     (x = append(x, ...)) or returning an append to a parameter —
+//     both grow a caller- or arena-owned buffer whose capacity
+//     stabilizes after warmup;
+//   - interface boxing: assigning, passing, returning, or sending a
+//     non-pointer-shaped concrete value as an interface;
+//   - non-constant string concatenation and string<->[]byte/[]rune
+//     conversions;
+//   - map writes (they may grow the table);
+//   - closures that capture variables, unless immediately invoked or
+//     passed directly to a callee whose corresponding parameter
+//     provably does not escape (then the closure lives on the stack) —
+//     decided with the dataflow escape summaries, cross-package via
+//     the fact store;
+//   - calls to functions that are neither //spotfi:noalloc (locally or
+//     by imported fact) nor in the allow-listed packages
+//     (-noalloc.allow, default math, math/cmplx, math/bits,
+//     sync/atomic), and dynamic calls through interfaces.
+//
+// panic calls and their arguments are exempt: a panic is cold by
+// definition, and the repo's bounds-check panics are constant strings
+// precisely so the hot accessors stay inlinable. Cold fallback paths
+// inside annotated functions (e.g. a first-call arena growth) carry a
+// //lint:allow noalloc with a reason.
+//
+// The analyzer exports a fact per function — whether it is annotated,
+// plus its parameter escape summary — so callee checks and closure-arg
+// decisions work across package boundaries in dependency order.
+package noalloc
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/dataflow"
+	"spotfi/internal/analysis/passes/passutil"
+)
+
+const name = "noalloc"
+
+var Analyzer = &analysis.Analyzer{
+	Name: name,
+	Doc: "report allocating constructs in //spotfi:noalloc functions\n\n" +
+		"The MUSIC warm path holds at ~1 allocation per estimate by routing all\n" +
+		"buffers through estimator arenas. Annotated functions may not allocate\n" +
+		"nor call functions that have not made the same promise.",
+	Run:      run,
+	FactType: func() any { return new(Fact) },
+}
+
+// Fact is the cross-package record for one function: its annotation
+// state and how its inputs escape (for closure-argument decisions).
+type Fact struct {
+	Noalloc bool             `json:"noalloc,omitempty"`
+	Sum     dataflow.Summary `json:"sum"`
+}
+
+var allowPkgs string
+
+func init() {
+	Analyzer.Flags.StringVar(&allowPkgs, "allow", "math,math/cmplx,math/bits,sync/atomic",
+		"comma-separated package path prefixes callable from //spotfi:noalloc functions")
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	facts := pass.Facts
+	if facts == nil {
+		facts = analysis.NewFacts()
+	}
+	allowed := passutil.CommaSet(allowPkgs)
+
+	// Pass 1: find annotated functions and compute escape summaries for
+	// the whole package, backing cross-package calls with imported facts.
+	annotated := make(map[*types.Func]bool)
+	var sumFiles []*ast.File
+	for _, file := range pass.Files {
+		if passutil.IsTestFile(pass, file) {
+			continue
+		}
+		sumFiles = append(sumFiles, file)
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || !passutil.Directive(fd.Doc, "noalloc") {
+				continue
+			}
+			if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+				annotated[fn] = true
+			}
+		}
+	}
+	summarizer := &dataflow.Summarizer{
+		Info: pass.TypesInfo,
+		External: func(fn *types.Func) *dataflow.Summary {
+			if f, ok := facts.Get(name, fn); ok {
+				return &f.(*Fact).Sum
+			}
+			return nil
+		},
+	}
+	sums := summarizer.Package(sumFiles)
+	for fn, sum := range sums {
+		facts.Put(name, fn, &Fact{Noalloc: annotated[fn], Sum: *sum})
+	}
+
+	// Pass 2: check annotated bodies.
+	c := &checker{
+		pass:      pass,
+		facts:     facts,
+		annotated: annotated,
+		sums:      sums,
+		allowed:   allowed,
+	}
+	for _, file := range sumFiles {
+		for _, d := range file.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !passutil.Directive(fd.Doc, "noalloc") {
+				continue
+			}
+			c.checkFunc(fd)
+		}
+	}
+	return nil, nil
+}
+
+type checker struct {
+	pass      *analysis.Pass
+	facts     *analysis.Facts
+	annotated map[*types.Func]bool
+	sums      map[*types.Func]*dataflow.Summary
+	allowed   map[string]bool
+
+	// per-function state
+	decl   *ast.FuncDecl
+	params map[types.Object]bool
+}
+
+func (c *checker) checkFunc(fd *ast.FuncDecl) {
+	c.decl = fd
+	c.params = make(map[types.Object]bool)
+	roots, _ := dataflow.SignatureObjects(c.pass.TypesInfo, fd)
+	for _, r := range roots {
+		if r != nil {
+			c.params[r] = true
+		}
+	}
+	c.walk(fd.Body)
+}
+
+// walk inspects one node tree, pruning panic arguments and handling the
+// constructs that need context (append shape, &T{} escape, closures).
+func (c *checker) walk(n ast.Node) {
+	if n == nil {
+		return
+	}
+	info := c.pass.TypesInfo
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			c.pass.Reportf(n.Pos(), "go statement allocates a goroutine in a //spotfi:noalloc function")
+			return true
+		case *ast.AssignStmt:
+			c.checkAssign(n)
+			// Self-append and &T{} handling need the assignment context;
+			// walk the RHS manually so the generic CallExpr/CompositeLit
+			// cases below don't double-report, then skip the subtree.
+			for _, r := range n.Rhs {
+				c.walkValue(r, n)
+			}
+			for _, l := range n.Lhs {
+				c.walk(l)
+			}
+			return false
+		case *ast.ReturnStmt:
+			c.checkReturn(n)
+			for _, r := range n.Results {
+				c.walkValue(r, n)
+			}
+			return false
+		case *ast.ValueSpec:
+			c.checkValueSpec(n)
+			for _, v := range n.Values {
+				c.walkValue(v, nil)
+			}
+			return false
+		case *ast.SendStmt:
+			if t := chanElem(info, n.Chan); t != nil {
+				c.checkBox(n.Value, t)
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.ADD && isString(info, n) && !isConst(info, n) {
+				c.pass.Reportf(n.OpPos, "string concatenation allocates in a //spotfi:noalloc function")
+			}
+		case *ast.UnaryExpr:
+			// &T{} in a generic expression position (call argument,
+			// nested literal): no assignment to prove it stack-bound, so
+			// conservatively heap. The CompositeLit case below skips
+			// struct/array literals without a proven address-taking
+			// context, so this does not double-report.
+			if n.Op == token.AND {
+				if lit, ok := ast.Unparen(n.X).(*ast.CompositeLit); ok {
+					switch typeUnder(info, lit).(type) {
+					case *types.Struct, *types.Array:
+						c.pass.Reportf(lit.Pos(), "&composite literal escapes and allocates in a //spotfi:noalloc function")
+					}
+				}
+			}
+		case *ast.CallExpr:
+			return c.checkCall(n, nil)
+		case *ast.CompositeLit:
+			c.checkCompositeLit(n, nil)
+		case *ast.FuncLit:
+			c.checkFuncLit(n, nil)
+			return false // capture check done; body walked by checkFuncLit
+		}
+		return true
+	})
+}
+
+// walkValue walks one rhs/result expression with its consuming statement
+// as context, so the shape-sensitive checks can see how the value is used.
+func (c *checker) walkValue(e ast.Expr, ctx ast.Stmt) {
+	e = ast.Unparen(e)
+	switch v := e.(type) {
+	case *ast.CallExpr:
+		if c.checkCall(v, ctx) {
+			for _, a := range v.Args {
+				c.walk(a)
+			}
+		}
+		return
+	case *ast.UnaryExpr:
+		if v.Op == token.AND {
+			if lit, ok := ast.Unparen(v.X).(*ast.CompositeLit); ok {
+				c.checkCompositeLit(lit, ctx)
+				for _, el := range lit.Elts {
+					c.walk(el)
+				}
+				return
+			}
+		}
+	case *ast.CompositeLit:
+		c.checkCompositeLit(v, ctx)
+		for _, el := range v.Elts {
+			c.walk(el)
+		}
+		return
+	case *ast.FuncLit:
+		c.checkFuncLit(v, ctx)
+		return
+	}
+	c.walk(e)
+}
+
+// checkCall vets one call. The return value says whether to descend into
+// the arguments (false when they were handled or are exempt).
+func (c *checker) checkCall(call *ast.CallExpr, ctx ast.Stmt) bool {
+	info := c.pass.TypesInfo
+
+	// Conversions: only string<->[]byte/[]rune copy.
+	if tv, ok := info.Types[call.Fun]; ok && tv.IsType() {
+		c.checkConversion(call, tv.Type)
+		return true
+	}
+
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if b, ok := info.Uses[id].(*types.Builtin); ok {
+			return c.checkBuiltin(call, b, ctx)
+		}
+	}
+
+	// Immediately-invoked closure: the func value never escapes, so it
+	// stays on the stack regardless of captures.
+	if lit, ok := ast.Unparen(call.Fun).(*ast.FuncLit); ok {
+		c.walk(lit.Body)
+		for _, a := range call.Args {
+			c.walk(a)
+		}
+		return false
+	}
+
+	fn, _ := passutilCallee(info, call)
+	if fn == nil {
+		// A func-typed value: invoking it is free; the closure paid its
+		// cost at creation. Arguments still need checking.
+		c.checkArgs(call, nil)
+		return true
+	}
+	if isInterfaceMethod(fn) {
+		c.pass.Reportf(call.Pos(), "dynamic call of %s cannot be verified in a //spotfi:noalloc function", fn.Name())
+		return true
+	}
+	if !c.calleeOK(fn) {
+		c.pass.Reportf(call.Pos(),
+			"call to %s, which is not //spotfi:noalloc (annotate it, or add its package to -noalloc.allow)", calleeName(fn))
+		return true
+	}
+	c.checkArgs(call, fn)
+	// Closure arguments are part of this call's shape; vet them here and
+	// keep the generic walk out.
+	for _, a := range call.Args {
+		if lit, ok := ast.Unparen(a).(*ast.FuncLit); ok {
+			c.checkFuncLitArg(lit, call, fn)
+		} else {
+			c.walk(a)
+		}
+	}
+	return false
+}
+
+func (c *checker) checkBuiltin(call *ast.CallExpr, b *types.Builtin, ctx ast.Stmt) bool {
+	switch b.Name() {
+	case "make":
+		c.pass.Reportf(call.Pos(), "make allocates in a //spotfi:noalloc function")
+	case "new":
+		c.pass.Reportf(call.Pos(), "new allocates in a //spotfi:noalloc function")
+	case "append":
+		if !c.amortizedAppend(call, ctx) {
+			c.pass.Reportf(call.Pos(),
+				"append may grow and allocate; only self-append (x = append(x, ...)) or returning an append to a parameter is allowed in a //spotfi:noalloc function")
+		}
+	case "panic":
+		// Cold by definition; the argument (even a boxing one) is exempt.
+		return false
+	case "print", "println":
+		c.pass.Reportf(call.Pos(), "%s allocates in a //spotfi:noalloc function", b.Name())
+	}
+	return true
+}
+
+// amortizedAppend recognizes the two arena-growth shapes that do not
+// allocate per call once capacity has warmed up: x = append(x, ...) and
+// return append(param, ...).
+func (c *checker) amortizedAppend(call *ast.CallExpr, ctx ast.Stmt) bool {
+	if len(call.Args) == 0 {
+		return true
+	}
+	dst := ast.Unparen(call.Args[0])
+	switch s := ctx.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) == 1 && len(s.Rhs) == 1 && ast.Unparen(s.Rhs[0]) == call {
+			return exprEqual(c.pass.TypesInfo, s.Lhs[0], dst)
+		}
+	case *ast.ReturnStmt:
+		if id, ok := dst.(*ast.Ident); ok {
+			return c.params[c.pass.TypesInfo.Uses[id]]
+		}
+	}
+	return false
+}
+
+// calleeOK reports whether fn may be called from a noalloc function:
+// locally annotated, noalloc by imported fact, or allow-listed package.
+func (c *checker) calleeOK(fn *types.Func) bool {
+	if c.annotated[fn] {
+		return true
+	}
+	if f, ok := c.facts.Get(name, fn); ok && f.(*Fact).Noalloc {
+		return true
+	}
+	if pkg := fn.Pkg(); pkg != nil {
+		for prefix := range c.allowed {
+			if pkg.Path() == prefix || strings.HasPrefix(pkg.Path(), prefix+"/") {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// checkFuncLit vets a closure outside a call-argument position: capturing
+// anything means a heap closure unless it is immediately invoked.
+func (c *checker) checkFuncLit(lit *ast.FuncLit, ctx ast.Stmt) {
+	caps := dataflow.Captures(c.pass.TypesInfo, lit)
+	if len(caps) > 0 && !immediatelyInvoked(lit, ctx) {
+		c.pass.Reportf(lit.Pos(), "closure capturing %s allocates in a //spotfi:noalloc function; pass it to a non-escaping parameter or hoist it to a func", captureList(caps))
+	}
+	c.walk(lit.Body)
+}
+
+// checkFuncLitArg vets a closure passed directly as a call argument: it
+// stays on the stack iff the callee's parameter provably does not escape.
+func (c *checker) checkFuncLitArg(lit *ast.FuncLit, call *ast.CallExpr, fn *types.Func) {
+	caps := dataflow.Captures(c.pass.TypesInfo, lit)
+	if len(caps) > 0 {
+		idx := -1
+		for i, a := range call.Args {
+			if ast.Unparen(a) == lit {
+				idx = i
+			}
+		}
+		sum := c.summaryOf(fn)
+		if sum == nil || idx < 0 || sum.Param(idx) != dataflow.EscNone {
+			c.pass.Reportf(lit.Pos(), "closure capturing %s allocates: %s's parameter escapes (or has no escape fact), so the closure cannot stay on the stack", captureList(caps), fn.Name())
+		}
+	}
+	c.walk(lit.Body)
+}
+
+func (c *checker) summaryOf(fn *types.Func) *dataflow.Summary {
+	if sum, ok := c.sums[fn]; ok {
+		return sum
+	}
+	if f, ok := c.facts.Get(name, fn); ok {
+		return &f.(*Fact).Sum
+	}
+	return nil
+}
+
+// checkCompositeLit flags literals whose backing store is heap-fresh.
+// ctx, when the literal is the direct rhs of an assignment to a plain
+// local, lets &T{} prove it stays on the stack.
+func (c *checker) checkCompositeLit(lit *ast.CompositeLit, ctx ast.Stmt) {
+	t := c.pass.TypesInfo.TypeOf(lit)
+	if t == nil {
+		return
+	}
+	switch t.Underlying().(type) {
+	case *types.Slice:
+		c.pass.Reportf(lit.Pos(), "slice literal allocates its backing array in a //spotfi:noalloc function")
+	case *types.Map:
+		c.pass.Reportf(lit.Pos(), "map literal allocates in a //spotfi:noalloc function")
+	case *types.Struct, *types.Array:
+		if c.addressTakenEscapes(lit, ctx) {
+			c.pass.Reportf(lit.Pos(), "&composite literal escapes and allocates in a //spotfi:noalloc function")
+		}
+	}
+}
+
+// addressTakenEscapes reports whether an &T{} literal's pointer leaves
+// the function. Assigned to a local whose flow never reaches a sink, the
+// compiler keeps it on the stack; anything else is conservatively heap.
+func (c *checker) addressTakenEscapes(lit *ast.CompositeLit, ctx ast.Stmt) bool {
+	// Only relevant when the literal's address is taken.
+	as, ok := ctx.(*ast.AssignStmt)
+	if !ok || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return c.isAddressTaken(lit, ctx)
+	}
+	un, ok := ast.Unparen(as.Rhs[0]).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND || ast.Unparen(un.X) != lit {
+		return false // value literal: copied, not allocated
+	}
+	id, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return true
+	}
+	obj := c.pass.TypesInfo.Defs[id]
+	if obj == nil {
+		obj = c.pass.TypesInfo.Uses[id]
+	}
+	if obj == nil {
+		return true
+	}
+	tracker := &dataflow.Tracker{Info: c.pass.TypesInfo, CallResults: c.callResults}
+	flow := tracker.Track(c.decl.Body, []types.Object{obj}, nil)
+	for _, sink := range flow.Sinks {
+		var esc dataflow.Escape
+		if sink.Kind == dataflow.SinkCall {
+			callee, _ := passutilCallee(c.pass.TypesInfo, sink.Call)
+			esc = sink.Resolve(c.summaryOf(callee))
+		} else {
+			esc = sink.Resolve(nil)
+		}
+		if esc != dataflow.EscNone {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *checker) callResults(call *ast.CallExpr, fn *types.Func, recvMask uint64, argMasks []uint64) []uint64 {
+	sum := c.summaryOf(fn)
+	if sum == nil {
+		return nil
+	}
+	var m uint64
+	if recvMask != 0 && sum.Recv&dataflow.EscReturn != 0 {
+		m |= recvMask
+	}
+	for i, am := range argMasks {
+		if am != 0 && sum.Param(i)&dataflow.EscReturn != 0 {
+			m |= am
+		}
+	}
+	sig, _ := c.pass.TypesInfo.TypeOf(call.Fun).Underlying().(*types.Signature)
+	if sig == nil {
+		return nil
+	}
+	out := make([]uint64, sig.Results().Len())
+	for i := range out {
+		if dataflow.Pointerish(sig.Results().At(i).Type()) {
+			out[i] = m
+		}
+	}
+	return out
+}
+
+// isAddressTaken reports whether lit sits under a & within ctx (or has no
+// statement context at all, e.g. nested in another literal).
+func (c *checker) isAddressTaken(lit *ast.CompositeLit, ctx ast.Stmt) bool {
+	if ctx == nil {
+		return false // bare T{} value in expression context: copied
+	}
+	taken := false
+	ast.Inspect(ctx, func(n ast.Node) bool {
+		if un, ok := n.(*ast.UnaryExpr); ok && un.Op == token.AND && ast.Unparen(un.X) == lit {
+			taken = true
+		}
+		return !taken
+	})
+	return taken
+}
+
+// checkAssign flags map writes and interface boxing on assignment.
+func (c *checker) checkAssign(as *ast.AssignStmt) {
+	info := c.pass.TypesInfo
+	for i, l := range as.Lhs {
+		if idx, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
+			if _, isMap := typeUnder(info, idx.X).(*types.Map); isMap {
+				c.pass.Reportf(l.Pos(), "map assignment may grow the map in a //spotfi:noalloc function")
+			}
+		}
+		if i < len(as.Rhs) && len(as.Lhs) == len(as.Rhs) {
+			if t := info.TypeOf(l); t != nil {
+				c.checkBox(as.Rhs[i], t)
+			}
+		}
+	}
+	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && isString(info, as.Lhs[0]) {
+		c.pass.Reportf(as.TokPos, "string concatenation allocates in a //spotfi:noalloc function")
+	}
+}
+
+// checkValueSpec flags interface boxing in var declarations.
+func (c *checker) checkValueSpec(vs *ast.ValueSpec) {
+	info := c.pass.TypesInfo
+	for i, name := range vs.Names {
+		if i >= len(vs.Values) {
+			break
+		}
+		if obj := info.Defs[name]; obj != nil {
+			c.checkBox(vs.Values[i], obj.Type())
+		}
+	}
+}
+
+// checkReturn flags interface boxing at return sites.
+func (c *checker) checkReturn(ret *ast.ReturnStmt) {
+	sig, ok := c.pass.TypesInfo.Defs[c.decl.Name].(*types.Func)
+	if !ok {
+		return
+	}
+	results := sig.Type().(*types.Signature).Results()
+	if len(ret.Results) != results.Len() {
+		return // tuple-forwarding return; boxing happened in the callee
+	}
+	for i, r := range ret.Results {
+		c.checkBox(r, results.At(i).Type())
+	}
+}
+
+// checkArgs flags interface boxing of call arguments against the callee's
+// parameter types.
+func (c *checker) checkArgs(call *ast.CallExpr, fn *types.Func) {
+	sig, _ := c.pass.TypesInfo.TypeOf(call.Fun).Underlying().(*types.Signature)
+	if sig == nil {
+		return
+	}
+	params := sig.Params()
+	for i, a := range call.Args {
+		var pt types.Type
+		switch {
+		case sig.Variadic() && i >= params.Len()-1:
+			if call.Ellipsis == token.NoPos {
+				pt = params.At(params.Len() - 1).Type().(*types.Slice).Elem()
+			}
+		case i < params.Len():
+			pt = params.At(i).Type()
+		}
+		if pt != nil {
+			c.checkBox(a, pt)
+		}
+	}
+}
+
+// checkBox reports a conversion of a non-pointer-shaped concrete value
+// into an interface — which allocates to box the value.
+func (c *checker) checkBox(e ast.Expr, dst types.Type) {
+	if dst == nil || e == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
+	info := c.pass.TypesInfo
+	tv, ok := info.Types[e]
+	if !ok || tv.Type == nil {
+		return
+	}
+	src := tv.Type
+	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
+		return
+	}
+	if _, ok := src.Underlying().(*types.Interface); ok {
+		return
+	}
+	if pointerShaped(src) {
+		return
+	}
+	c.pass.Reportf(e.Pos(), "converting %s to %s allocates (interface boxing) in a //spotfi:noalloc function", src, dst)
+}
+
+func (c *checker) checkConversion(call *ast.CallExpr, dst types.Type) {
+	if len(call.Args) != 1 {
+		return
+	}
+	src := c.pass.TypesInfo.TypeOf(call.Args[0])
+	if src == nil {
+		return
+	}
+	if (isStringType(src) && isByteOrRuneSlice(dst)) || (isByteOrRuneSlice(src) && isStringType(dst)) {
+		c.pass.Reportf(call.Pos(), "conversion between string and %s copies and allocates in a //spotfi:noalloc function", dst)
+	}
+}
+
+// --- small type/AST helpers ---
+
+func passutilCallee(info *types.Info, call *ast.CallExpr) (*types.Func, bool) {
+	fn := passutil.Callee(info, call)
+	return fn, fn != nil
+}
+
+func calleeName(fn *types.Func) string {
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		t := sig.Recv().Type()
+		if p, ok := t.(*types.Pointer); ok {
+			t = p.Elem()
+		}
+		if named, ok := t.(*types.Named); ok {
+			return fmt.Sprintf("(%s).%s", named.Obj().Name(), fn.Name())
+		}
+	}
+	return fn.Name()
+}
+
+func isInterfaceMethod(fn *types.Func) bool {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	_, ok = sig.Recv().Type().Underlying().(*types.Interface)
+	return ok
+}
+
+// pointerShaped reports whether values of t fit an interface word without
+// boxing: pointers, channels, maps, funcs, and unsafe.Pointer.
+func pointerShaped(t types.Type) bool {
+	switch u := t.Underlying().(type) {
+	case *types.Pointer, *types.Chan, *types.Map, *types.Signature:
+		return true
+	case *types.Basic:
+		return u.Kind() == types.UnsafePointer
+	}
+	return false
+}
+
+func immediatelyInvoked(lit *ast.FuncLit, ctx ast.Stmt) bool {
+	es, ok := ctx.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	return ok && ast.Unparen(call.Fun) == lit
+}
+
+func captureList(caps []types.Object) string {
+	var names []string
+	for _, o := range caps {
+		names = append(names, o.Name())
+	}
+	if len(names) > 3 {
+		names = append(names[:3], "...")
+	}
+	return strings.Join(names, ", ")
+}
+
+func chanElem(info *types.Info, ch ast.Expr) types.Type {
+	if t, ok := typeUnder(info, ch).(*types.Chan); ok {
+		return t.Elem()
+	}
+	return nil
+}
+
+func typeUnder(info *types.Info, e ast.Expr) types.Type {
+	t := info.TypeOf(e)
+	if t == nil {
+		return nil
+	}
+	return t.Underlying()
+}
+
+func isString(info *types.Info, e ast.Expr) bool {
+	t := info.TypeOf(e)
+	return t != nil && isStringType(t)
+}
+
+func isStringType(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsString != 0
+}
+
+func isByteOrRuneSlice(t types.Type) bool {
+	s, ok := t.Underlying().(*types.Slice)
+	if !ok {
+		return false
+	}
+	b, ok := s.Elem().Underlying().(*types.Basic)
+	return ok && (b.Kind() == types.Byte || b.Kind() == types.Rune || b.Kind() == types.Uint8 || b.Kind() == types.Int32)
+}
+
+func isConst(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	return ok && tv.Value != nil
+}
+
+// exprEqual reports structural equality of two simple lvalue expressions
+// (identifier or selector chains resolving to the same objects), the test
+// for the self-append shape.
+func exprEqual(info *types.Info, a, b ast.Expr) bool {
+	a, b = ast.Unparen(a), ast.Unparen(b)
+	switch a := a.(type) {
+	case *ast.Ident:
+		bid, ok := b.(*ast.Ident)
+		if !ok {
+			return false
+		}
+		ao := info.Uses[a]
+		if ao == nil {
+			ao = info.Defs[a]
+		}
+		bo := info.Uses[bid]
+		if bo == nil {
+			bo = info.Defs[bid]
+		}
+		return ao != nil && ao == bo
+	case *ast.SelectorExpr:
+		bsel, ok := b.(*ast.SelectorExpr)
+		if !ok {
+			return false
+		}
+		return info.Uses[a.Sel] != nil && info.Uses[a.Sel] == info.Uses[bsel.Sel] && exprEqual(info, a.X, bsel.X)
+	}
+	return false
+}

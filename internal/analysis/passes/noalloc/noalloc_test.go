@@ -1,0 +1,23 @@
+package noalloc_test
+
+import (
+	"testing"
+
+	"spotfi/internal/analysis/analysistest"
+	"spotfi/internal/analysis/passes/noalloc"
+)
+
+func TestNoalloc(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), noalloc.Analyzer, "a")
+}
+
+func TestNoallocSuppressed(t *testing.T) {
+	analysistest.RunSuppressed(t, analysistest.TestData(t), noalloc.Analyzer, "suppressed")
+}
+
+// TestNoallocCatchesArenaRegression re-introduces a per-call allocation
+// in an annotated arena-reuse function and asserts the finding lands on
+// the exact make line — the static counterpart of the bench alloc gate.
+func TestNoallocCatchesArenaRegression(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), noalloc.Analyzer, "regress")
+}

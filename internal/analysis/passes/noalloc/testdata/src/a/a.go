@@ -1,0 +1,179 @@
+package a
+
+import "math"
+
+type ws struct {
+	scratch []float64
+	sum     float64
+}
+
+//spotfi:noalloc
+func selfAppend(buf []float64, v float64) []float64 {
+	buf = append(buf, v) // ok: amortized self-append
+	return buf
+}
+
+//spotfi:noalloc
+func (w *ws) arenaReuse(n int) {
+	w.scratch = w.scratch[:0]
+	for i := 0; i < n; i++ {
+		w.scratch = append(w.scratch, float64(i)) // ok: arena self-append
+	}
+}
+
+//spotfi:noalloc
+func returnsAppendToParam(buf []int, v int) []int {
+	return append(buf, v) // ok: caller-owned amortized buffer
+}
+
+//spotfi:noalloc
+func badMake(n int) []float64 {
+	out := make([]float64, n) // want `make allocates in a //spotfi:noalloc function`
+	return out
+}
+
+//spotfi:noalloc
+func badNew() *ws {
+	return new(ws) // want `new allocates in a //spotfi:noalloc function`
+}
+
+//spotfi:noalloc
+func sliceLit() []int {
+	s := []int{1, 2, 3} // want `slice literal allocates its backing array`
+	return s
+}
+
+//spotfi:noalloc
+func mapLit() map[string]int {
+	return map[string]int{"a": 1} // want `map literal allocates`
+}
+
+//spotfi:noalloc
+func freshAppend(v int) []int {
+	var s []int
+	t := append(s, v) // want `append may grow and allocate`
+	return t
+}
+
+var global *ws
+
+//spotfi:noalloc
+func escapingLit() {
+	w := &ws{} // want `&composite literal escapes and allocates`
+	global = w
+}
+
+//spotfi:noalloc
+func stackLit() float64 {
+	w := &ws{} // ok: provably never escapes, stays on the stack
+	w.sum = 1
+	return w.sum
+}
+
+//spotfi:noalloc
+func boxes(v int) any {
+	return v // want `interface boxing`
+}
+
+//spotfi:noalloc
+func noBox(p *ws) any {
+	return p // ok: pointer-shaped, no boxing allocation
+}
+
+//spotfi:noalloc
+func concat(a, b string) string {
+	return a + b // want `string concatenation allocates`
+}
+
+//spotfi:noalloc
+func convert(s string) []byte {
+	return []byte(s) // want `conversion between string and \[\]byte`
+}
+
+//spotfi:noalloc
+func spawns() {
+	go func() {}() // want `go statement allocates a goroutine`
+}
+
+//spotfi:noalloc
+func mapWrite(m map[string]int) {
+	m["k"] = 1 // want `map assignment may grow the map`
+}
+
+func helper() {}
+
+//spotfi:noalloc
+func callsUnannotated() {
+	helper() // want `call to helper, which is not //spotfi:noalloc`
+}
+
+//spotfi:noalloc
+func usesMath(x float64) float64 {
+	return math.Sqrt(x) // ok: math is allow-listed
+}
+
+//spotfi:noalloc
+func callee(x float64) float64 { return x * 2 }
+
+//spotfi:noalloc
+func callsAnnotated(x float64) float64 {
+	return callee(x) // ok: callee carries the same contract
+}
+
+//spotfi:noalloc
+func applyNoEscape(n int, f func(int) float64) float64 {
+	var s float64
+	for i := 0; i < n; i++ {
+		s += f(i)
+	}
+	return s
+}
+
+//spotfi:noalloc
+func closureToNoEscapeParam(vals []float64) float64 {
+	return applyNoEscape(len(vals), func(i int) float64 { return vals[i] }) // ok: f never escapes applyNoEscape
+}
+
+var fglobal func(int) float64
+
+//spotfi:noalloc
+func storeFn(f func(int) float64) {
+	fglobal = f // storing a func value allocates nothing here...
+}
+
+//spotfi:noalloc
+func closureToEscapingParam(vals []float64) {
+	storeFn(func(i int) float64 { return vals[i] }) // want `closure capturing vals allocates`
+}
+
+//spotfi:noalloc
+func closureHeld(vals []float64) float64 {
+	f := func(i int) float64 { return vals[i] } // want `closure capturing vals allocates`
+	return f(0)
+}
+
+//spotfi:noalloc
+func iife(vals []float64) float64 {
+	total := func() float64 { // ok: immediately invoked, stays on the stack
+		var s float64
+		for _, v := range vals {
+			s += v
+		}
+		return s
+	}()
+	return total
+}
+
+type doer interface{ do() }
+
+//spotfi:noalloc
+func dynamic(d doer) {
+	d.do() // want `dynamic call of do cannot be verified`
+}
+
+//spotfi:noalloc
+func panics(i, n int) {
+	if i >= n {
+		panic("index out of range") // ok: panics are cold by definition
+	}
+}

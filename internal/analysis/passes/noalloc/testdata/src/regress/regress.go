@@ -1,0 +1,37 @@
+package regress
+
+// estimator mirrors the music.Estimator arena shape: smooth is owned by
+// the estimator and reused across calls, so a warm estimate performs
+// zero per-call allocations.
+type estimator struct {
+	smooth []complex128
+}
+
+// estimate is the warm path with the arena-reuse line deliberately
+// replaced by a per-call make — exactly the regression that only
+// BenchmarkSpectrumWarm's alloc gate could catch before this analyzer.
+// The finding must land on the make line itself.
+//
+//spotfi:noalloc
+func (e *estimator) estimate(csi []complex128) complex128 {
+	smooth := make([]complex128, len(csi)) // want `make allocates in a //spotfi:noalloc function`
+	copy(smooth, csi)
+	var acc complex128
+	for _, v := range smooth {
+		acc += v
+	}
+	return acc
+}
+
+// estimateReused is the correct arena shape for contrast: no findings.
+//
+//spotfi:noalloc
+func (e *estimator) estimateReused(csi []complex128) complex128 {
+	e.smooth = e.smooth[:0]
+	e.smooth = append(e.smooth, csi...)
+	var acc complex128
+	for _, v := range e.smooth {
+		acc += v
+	}
+	return acc
+}

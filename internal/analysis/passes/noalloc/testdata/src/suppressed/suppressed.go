@@ -1,0 +1,16 @@
+package suppressed
+
+type ws struct{ buf []float64 }
+
+// coldGrow mirrors the repo's cold-fallback idiom: the arena grows on
+// first use (or capacity change) and the annotated warm remainder reuses
+// it. The growth line is allocating by construction and carries the
+// mandatory reasoned allow.
+//
+//spotfi:noalloc
+func coldGrow(w *ws, n int) {
+	if cap(w.buf) < n {
+		w.buf = make([]float64, n) //lint:allow noalloc first-call arena growth, cold by construction
+	}
+	w.buf = w.buf[:n]
+}

@@ -62,6 +62,37 @@ func (e *EnclosingFuncs) Lookup(n ast.Node) *ast.FuncDecl {
 	return nil
 }
 
+// DirectivePrefix introduces the repo's annotation comments
+// (//spotfi:noalloc, //spotfi:immutable, //spotfi:arena). Like Go's own
+// //go: directives they must start at the comment opener, with no space.
+const DirectivePrefix = "//spotfi:"
+
+// Directive reports whether doc carries a //spotfi:<name> directive,
+// optionally followed by arguments after a space.
+func Directive(doc *ast.CommentGroup, name string) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		rest, ok := strings.CutPrefix(c.Text, DirectivePrefix)
+		if !ok {
+			continue
+		}
+		word, _, _ := strings.Cut(rest, " ")
+		if word == name {
+			return true
+		}
+	}
+	return false
+}
+
+// TypeDirective reports whether the type declaration of spec carries the
+// //spotfi:<name> directive, checking both the GenDecl doc (single-spec
+// declarations) and the spec's own doc (grouped declarations).
+func TypeDirective(decl *ast.GenDecl, spec *ast.TypeSpec, name string) bool {
+	return Directive(spec.Doc, name) || (len(decl.Specs) == 1 && Directive(decl.Doc, name))
+}
+
 // CommaSet parses a comma-separated flag value into a set, trimming
 // whitespace and dropping empty entries.
 func CommaSet(s string) map[string]bool {

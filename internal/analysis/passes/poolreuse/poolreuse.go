@@ -1,0 +1,454 @@
+// Package poolreuse guards sync.Pool discipline on the estimator pool: a
+// value obtained with Get must go back with exactly one Put, on every
+// path out of its scope — including panic unwinds — and must never be
+// touched after it is Put or shared with another goroutine.
+//
+// The pooled music.Estimator owns eigendecomposition and sweep arenas,
+// so each violation has a concrete failure mode:
+//
+//   - a path without Put does not leak memory (the GC reclaims unpooled
+//     values) but silently degrades the pool until every estimate pays a
+//     cold construction — the warm-path alloc budget evaporates;
+//   - an inline Put does not run when a call between Get and Put panics,
+//     which is the same degradation triggered only under error recovery,
+//     the hardest place to notice it — so Put must be deferred;
+//   - a use after Put races with whatever goroutine drew the value next;
+//   - sharing the value with a goroutine breaks the estimator's
+//     single-goroutine contract outright.
+//
+// The checker is flow-sensitive and deliberately lenient at the edges:
+// returning the value or passing it to another function hands the Put
+// obligation off and stops tracking; `if x == nil` / `if x != nil`
+// guards around the Get result exempt the nil path (a pool whose New can
+// fail yields nil, and nil needs no Put); Put without a visible Get
+// (pool seeding in a constructor) is not the analyzer's business.
+package poolreuse
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/passes/passutil"
+)
+
+var Analyzer = &analysis.Analyzer{
+	Name: "poolreuse",
+	Doc: "report sync.Pool values not Put back on every path, used after Put, or shared across goroutines\n\n" +
+		"Pooled estimators are single-owner: Get, use, deferred Put. Anything\n" +
+		"else either drains the pool under panics or races the next owner.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) (any, error) {
+	for _, file := range pass.Files {
+		if passutil.IsTestFile(pass, file) {
+			continue
+		}
+		ast.Inspect(file, func(n ast.Node) bool {
+			list := stmtList(n)
+			if list == nil {
+				return true
+			}
+			for i, s := range list {
+				switch s := s.(type) {
+				case *ast.ExprStmt:
+					if call := getCall(pass, s.X); call != nil {
+						pass.Reportf(call.Pos(),
+							"result of Get is discarded: the pooled value can never be Put back")
+					}
+				case *ast.AssignStmt:
+					checkAssign(pass, s, list[i+1:])
+				}
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+func stmtList(n ast.Node) []ast.Stmt {
+	switch n := n.(type) {
+	case *ast.BlockStmt:
+		return n.List
+	case *ast.CaseClause:
+		return n.Body
+	case *ast.CommClause:
+		return n.Body
+	}
+	return nil
+}
+
+// checkAssign inspects x := pool.Get() bindings (optionally through a
+// type assertion) and walks the rest of the enclosing scope.
+func checkAssign(pass *analysis.Pass, as *ast.AssignStmt, rest []ast.Stmt) {
+	if len(as.Rhs) != 1 {
+		return
+	}
+	call := getCall(pass, as.Rhs[0])
+	if call == nil {
+		return
+	}
+	id, ok := as.Lhs[0].(*ast.Ident)
+	if !ok {
+		return
+	}
+	if id.Name == "_" {
+		pass.Reportf(call.Pos(),
+			"result of Get is discarded: the pooled value can never be Put back")
+		return
+	}
+	if as.Tok != token.DEFINE {
+		// Rebinding an outer variable: its lifetime extends beyond this
+		// scope and the obligation may be met elsewhere.
+		return
+	}
+	obj := pass.TypesInfo.Defs[id]
+	if obj == nil {
+		return
+	}
+	c := &checker{pass: pass, obj: obj, get: call}
+
+	// Sharing with a goroutine breaks single-ownership regardless of
+	// path structure; scan once up front.
+	for _, s := range rest {
+		var shared ast.Node
+		ast.Inspect(s, func(n ast.Node) bool {
+			if g, ok := n.(*ast.GoStmt); ok && c.usesObj(g) {
+				shared = g
+				return false
+			}
+			return true
+		})
+		if shared != nil {
+			pass.Reportf(shared.Pos(),
+				"pooled value %s is captured by a goroutine; pooled values are single-owner", id.Name)
+			return
+		}
+	}
+
+	st := c.seq(rest, live)
+	if st == live {
+		pass.Reportf(call.Pos(),
+			"pooled value is not Put back on some path out of its scope; defer pool.Put(%s)", id.Name)
+	}
+	for _, pos := range c.inlinePuts {
+		pass.Reportf(pos,
+			"Put is not deferred: a panic between Get and this Put leaks %s from the pool; use defer", id.Name)
+	}
+}
+
+// state of the tracked value along one path.
+type state int
+
+const (
+	live       state = iota // obtained, not yet discharged
+	doneDefer               // a deferred Put (or handoff) covers every later exit
+	doneInline              // an inline Put ran: later uses are use-after-Put
+)
+
+type checker struct {
+	pass       *analysis.Pass
+	obj        types.Object
+	get        *ast.CallExpr
+	inlinePuts []token.Pos
+	afterPut   bool // a use-after-Put was already reported
+}
+
+// seq walks a statement sequence, threading the value's state through.
+func (c *checker) seq(stmts []ast.Stmt, st state) state {
+	for _, s := range stmts {
+		switch st {
+		case doneInline:
+			if !c.afterPut && c.usesObj(s) && !c.isDeferOfPut(s) {
+				c.afterPut = true
+				c.pass.Reportf(s.Pos(),
+					"pooled value used after Put: the next Get may already own it")
+			}
+		case doneDefer:
+			// Covered; nothing left to check on this path.
+		default:
+			st = c.stmt(s, st)
+		}
+	}
+	return st
+}
+
+func (c *checker) isDeferOfPut(s ast.Stmt) bool {
+	d, ok := s.(*ast.DeferStmt)
+	return ok && c.containsPut(d)
+}
+
+// stmt processes one statement and returns the state afterwards.
+func (c *checker) stmt(s ast.Stmt, st state) state {
+	switch s := s.(type) {
+	case *ast.ExprStmt:
+		if call := c.putCall(s.X); call != nil {
+			c.inlinePuts = append(c.inlinePuts, call.Pos())
+			return doneInline
+		}
+		if c.escapes(s) {
+			return doneDefer // handed off
+		}
+		return st
+	case *ast.DeferStmt:
+		if c.containsPut(s) || c.escapes(s) {
+			return doneDefer
+		}
+		return st
+	case *ast.ReturnStmt:
+		if c.escapes(s) {
+			return doneDefer // returned: the caller owns the Put now
+		}
+		c.pass.Reportf(s.Pos(),
+			"return leaves the pooled value obtained at %s un-Put; defer the Put",
+			c.pass.Fset.Position(c.get.Pos()))
+		return doneDefer // path terminates; don't cascade a scope-exit report
+	case *ast.AssignStmt, *ast.DeclStmt:
+		if c.escapes(s) {
+			return doneDefer
+		}
+		return st
+	case *ast.BlockStmt:
+		return c.seq(s.List, st)
+	case *ast.IfStmt:
+		if g := c.nilGuard(s.Cond); g != 0 {
+			if g < 0 { // if x == nil: the body is the no-value path
+				if s.Else != nil {
+					return c.stmt(s.Else, st)
+				}
+				return st
+			}
+			// if x != nil: the else / fallthrough is the no-value path.
+			return c.seq(s.Body.List, st)
+		}
+		body := c.seq(s.Body.List, st)
+		els := st
+		if s.Else != nil {
+			els = c.stmt(s.Else, st)
+		}
+		if body != live && els != live {
+			if body == doneInline || els == doneInline {
+				return doneInline
+			}
+			return doneDefer
+		}
+		return live
+	case *ast.ForStmt, *ast.RangeStmt:
+		// A loop body may run zero or many times; a Put inside it is
+		// conservatively assumed to run.
+		if c.containsPut(s) || c.escapes(s) {
+			return doneDefer
+		}
+		c.seq(loopBody(s).List, st)
+		return st
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		return c.clauses(switchBody(s), st, hasDefault(switchBody(s)))
+	case *ast.SelectStmt:
+		return c.clauses(s.Body, st, true)
+	case *ast.LabeledStmt:
+		return c.stmt(s.Stmt, st)
+	default:
+		if c.escapes(s) {
+			return doneDefer
+		}
+		return st
+	}
+}
+
+// clauses walks a switch/select body: the value is discharged after it
+// only if every clause discharges it and a default guarantees one runs.
+func (c *checker) clauses(body *ast.BlockStmt, st state, exhaustive bool) state {
+	if st != live {
+		return st
+	}
+	all := doneDefer
+	for _, cl := range body.List {
+		list := stmtList(cl)
+		if list == nil {
+			continue
+		}
+		switch c.seq(list, st) {
+		case live:
+			all = live
+		case doneInline:
+			if all == doneDefer {
+				all = doneInline
+			}
+		}
+	}
+	if !exhaustive {
+		return live
+	}
+	return all
+}
+
+// nilGuard classifies cond as a nil check of the tracked value:
+// -1 for x == nil, +1 for x != nil, 0 otherwise.
+func (c *checker) nilGuard(cond ast.Expr) int {
+	be, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (be.Op != token.EQL && be.Op != token.NEQ) {
+		return 0
+	}
+	isObj := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && c.pass.TypesInfo.Uses[id] == c.obj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if (isObj(be.X) && isNil(be.Y)) || (isNil(be.X) && isObj(be.Y)) {
+		if be.Op == token.EQL {
+			return -1
+		}
+		return 1
+	}
+	return 0
+}
+
+func loopBody(s ast.Stmt) *ast.BlockStmt {
+	switch s := s.(type) {
+	case *ast.ForStmt:
+		return s.Body
+	case *ast.RangeStmt:
+		return s.Body
+	}
+	return &ast.BlockStmt{}
+}
+
+func switchBody(s ast.Stmt) *ast.BlockStmt {
+	switch s := s.(type) {
+	case *ast.SwitchStmt:
+		return s.Body
+	case *ast.TypeSwitchStmt:
+		return s.Body
+	}
+	return &ast.BlockStmt{}
+}
+
+func hasDefault(body *ast.BlockStmt) bool {
+	for _, cl := range body.List {
+		if cc, ok := cl.(*ast.CaseClause); ok && cc.List == nil {
+			return true
+		}
+	}
+	return false
+}
+
+// putCall returns expr as pool.Put(x) on the tracked value, or nil.
+func (c *checker) putCall(expr ast.Expr) *ast.CallExpr {
+	call, ok := ast.Unparen(expr).(*ast.CallExpr)
+	if !ok || len(call.Args) != 1 {
+		return nil
+	}
+	if !isPoolMethod(c.pass, call, "Put") {
+		return nil
+	}
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if ok && c.pass.TypesInfo.Uses[id] == c.obj {
+		return call
+	}
+	return nil
+}
+
+// containsPut reports whether n contains pool.Put(x) anywhere, including
+// inside function literals.
+func (c *checker) containsPut(n ast.Node) bool {
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && c.putCall(call) != nil {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+func (c *checker) usesObj(n ast.Node) bool {
+	used := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == c.obj {
+			used = true
+		}
+		return !used
+	})
+	return used
+}
+
+// escapes reports whether n uses the value other than as the receiver of
+// a method call or the argument of a Put: passed to another function,
+// assigned, compared, or returned. Any of those hands the obligation to
+// code we cannot see, so the checker stops tracking.
+func (c *checker) escapes(n ast.Node) bool {
+	safe := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				safe[id] = true
+			}
+		}
+		if pc := c.putCall(call); pc != nil {
+			if id, ok := ast.Unparen(pc.Args[0]).(*ast.Ident); ok {
+				safe[id] = true
+			}
+		}
+		return true
+	})
+	escaped := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == c.obj && !safe[id] {
+			escaped = true
+		}
+		return !escaped
+	})
+	return escaped
+}
+
+// getCall returns expr as pool.Get() on a sync.Pool (optionally through
+// a type assertion), or nil.
+func getCall(pass *analysis.Pass, expr ast.Expr) *ast.CallExpr {
+	e := ast.Unparen(expr)
+	if ta, ok := e.(*ast.TypeAssertExpr); ok {
+		e = ast.Unparen(ta.X)
+	}
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return nil
+	}
+	if isPoolMethod(pass, call, "Get") {
+		return call
+	}
+	return nil
+}
+
+// isPoolMethod reports whether call is sync.Pool method name.
+func isPoolMethod(pass *analysis.Pass, call *ast.CallExpr, name string) bool {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	fn := passutil.Callee(pass.TypesInfo, call)
+	if fn == nil {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return false
+	}
+	recv := sig.Recv().Type()
+	if ptr, ok := recv.(*types.Pointer); ok {
+		recv = ptr.Elem()
+	}
+	named, ok := recv.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Pool" && obj.Pkg() != nil && obj.Pkg().Path() == "sync"
+}

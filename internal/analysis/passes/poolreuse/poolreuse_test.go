@@ -1,0 +1,16 @@
+package poolreuse_test
+
+import (
+	"testing"
+
+	"spotfi/internal/analysis/analysistest"
+	"spotfi/internal/analysis/passes/poolreuse"
+)
+
+func TestPoolReuse(t *testing.T) {
+	analysistest.Run(t, analysistest.TestData(t), poolreuse.Analyzer, "a")
+}
+
+func TestPoolReuseSuppressed(t *testing.T) {
+	analysistest.RunSuppressed(t, analysistest.TestData(t), poolreuse.Analyzer, "suppressed")
+}

@@ -1,0 +1,106 @@
+package a
+
+import "sync"
+
+type estimator struct{ buf []float64 }
+
+func (e *estimator) run() float64 { return e.buf[0] }
+
+var pool sync.Pool
+
+func relay(e *estimator) { pool.Put(e) }
+
+func discarded() {
+	pool.Get() // want `result of Get is discarded: the pooled value can never be Put back`
+}
+
+func discardedBlank() {
+	_ = pool.Get() // want `result of Get is discarded: the pooled value can never be Put back`
+}
+
+func missingPath(ok bool) {
+	e, _ := pool.Get().(*estimator) // want `pooled value is not Put back on some path out of its scope; defer pool.Put\(e\)`
+	if ok {
+		pool.Put(e) // want `Put is not deferred: a panic between Get and this Put leaks e from the pool; use defer`
+	}
+}
+
+func inlinePut() float64 {
+	e, _ := pool.Get().(*estimator)
+	v := e.run()
+	pool.Put(e) // want `Put is not deferred: a panic between Get and this Put leaks e from the pool; use defer`
+	return v
+}
+
+func useAfterPut() float64 {
+	e, _ := pool.Get().(*estimator)
+	pool.Put(e)    // want `Put is not deferred`
+	return e.run() // want `pooled value used after Put: the next Get may already own it`
+}
+
+func shared() {
+	e, _ := pool.Get().(*estimator)
+	go func() { // want `pooled value e is captured by a goroutine; pooled values are single-owner`
+		_ = e.run()
+		pool.Put(e)
+	}()
+}
+
+func returnLeak(ok bool) float64 {
+	e, _ := pool.Get().(*estimator)
+	if ok {
+		return 0 // want `return leaves the pooled value obtained at .* un-Put; defer the Put`
+	}
+	defer pool.Put(e)
+	return e.run()
+}
+
+// --- clean shapes: no findings ---
+
+// good is the canonical discipline: nil-guard the Get (a pool whose New
+// can fail yields nil), then defer the Put.
+func good() float64 {
+	e, _ := pool.Get().(*estimator)
+	if e == nil {
+		return 0
+	}
+	defer pool.Put(e)
+	return e.run()
+}
+
+// goodGuarded uses the inverted guard: the nil path has no obligation.
+func goodGuarded() float64 {
+	e, _ := pool.Get().(*estimator)
+	if e != nil {
+		defer pool.Put(e)
+		return e.run()
+	}
+	return 0
+}
+
+// handoffReturn transfers the Put obligation to the caller.
+func handoffReturn() *estimator {
+	e, _ := pool.Get().(*estimator)
+	return e
+}
+
+// handoffCall transfers the obligation to the callee.
+func handoffCall() {
+	e, _ := pool.Get().(*estimator)
+	relay(e)
+}
+
+// seedPool Puts without a visible Get: constructor seeding, not tracked.
+func seedPool() {
+	pool.Put(&estimator{buf: make([]float64, 4)})
+}
+
+// deferredClosure covers the exits through a closure that Puts.
+func deferredClosure() float64 {
+	e, _ := pool.Get().(*estimator)
+	if e == nil {
+		return 0
+	}
+	defer func() { pool.Put(e) }()
+	return e.run()
+}

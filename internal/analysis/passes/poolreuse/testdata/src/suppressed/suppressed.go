@@ -1,0 +1,18 @@
+package suppressed
+
+import "sync"
+
+type scratch struct{ buf []float64 }
+
+func (s *scratch) reset() { s.buf = s.buf[:0] }
+
+var pool sync.Pool
+
+// flush keeps an inline Put with a reasoned allow: reset is a slice
+// re-length with no calls, so the panic window the analyzer guards
+// against provably cannot open.
+func flush() {
+	s, _ := pool.Get().(*scratch)
+	s.reset()
+	pool.Put(s) //lint:allow poolreuse reset cannot panic; inline Put keeps this cold path defer-free
+}

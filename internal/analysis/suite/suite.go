@@ -5,11 +5,15 @@ package suite
 
 import (
 	"spotfi/internal/analysis"
+	"spotfi/internal/analysis/passes/arenaescape"
 	"spotfi/internal/analysis/passes/errdrop"
 	"spotfi/internal/analysis/passes/floateq"
 	"spotfi/internal/analysis/passes/floatloop"
 	"spotfi/internal/analysis/passes/gospawn"
+	"spotfi/internal/analysis/passes/immutfield"
+	"spotfi/internal/analysis/passes/noalloc"
 	"spotfi/internal/analysis/passes/obsreg"
+	"spotfi/internal/analysis/passes/poolreuse"
 	"spotfi/internal/analysis/passes/radians"
 	"spotfi/internal/analysis/passes/spanend"
 )
@@ -17,11 +21,15 @@ import (
 // Analyzers returns the full suite in stable order.
 func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
+		arenaescape.Analyzer,
 		errdrop.Analyzer,
 		floateq.Analyzer,
 		floatloop.Analyzer,
 		gospawn.Analyzer,
+		immutfield.Analyzer,
+		noalloc.Analyzer,
 		obsreg.Analyzer,
+		poolreuse.Analyzer,
 		radians.Analyzer,
 		spanend.Analyzer,
 	}

@@ -152,7 +152,7 @@ func (s *Source) poison(p *csi.Packet) *csi.Packet {
 // per-packet jitter). The packet is cloned first; the inner source's CSI
 // is never mutated.
 func (s *Source) skewPhase(p *csi.Packet) *csi.Packet {
-	if s.cfg.PhaseRampRad == 0 && s.cfg.PhaseJitterRad <= 0 { //lint:allow floateq zero means the fault is configured off, not a computed value
+	if s.cfg.PhaseRampRad == 0 && s.cfg.PhaseJitterRad <= 0 {
 		return p
 	}
 	if p.CSI == nil || len(p.CSI.Values) == 0 {

@@ -46,6 +46,8 @@ const (
 // basis is — a cold basis only costs the two matrix products. Call Reset to
 // drop the basis (e.g. when a workspace is recycled across unrelated
 // streams).
+//
+//spotfi:arena
 type EigenWorkspace struct {
 	w, v, tmp *Matrix
 	d         EigenDecomposition
@@ -58,6 +60,8 @@ type EigenWorkspace struct {
 }
 
 // Reset drops the retained warm-start basis. Buffers stay allocated.
+//
+//spotfi:noalloc
 func (ws *EigenWorkspace) Reset() { ws.warmN = 0 }
 
 // EigHermitian computes all eigenvalues and orthonormal eigenvectors of the
@@ -78,6 +82,8 @@ func EigHermitian(a *Matrix) (*EigenDecomposition, error) {
 // decomposition and its Values/Vectors storage are owned by ws and are
 // overwritten by the next call on the same workspace. Clone what must
 // outlive it.
+//
+//spotfi:noalloc
 func EigHermitianInto(a *Matrix, ws *EigenWorkspace) (*EigenDecomposition, error) {
 	if a.rows != a.cols {
 		return nil, ErrNotHermitian
@@ -86,7 +92,7 @@ func EigHermitianInto(a *Matrix, ws *EigenWorkspace) (*EigenDecomposition, error
 	if scale == 0 {
 		// Zero matrix: zero spectrum, canonical basis.
 		ws.warmN = 0
-		return canonicalDecompositionInto(a.rows, ws), nil
+		return canonicalDecompositionInto(a.rows, ws), nil //lint:allow arenaescape documented borrow: the decomposition views ws storage until the next call
 	}
 	if !a.isHermitianFast(1e-9 * scale) {
 		ws.warmN = 0
@@ -132,7 +138,7 @@ func EigHermitianInto(a *Matrix, ws *EigenWorkspace) (*EigenDecomposition, error
 			d := collectEigenInto(w, v, ws)
 			d.Sweeps = sweep
 			ws.warmN = n
-			return d, nil
+			return d, nil //lint:allow arenaescape documented borrow: the decomposition views ws storage until the next call
 		}
 		for p := 0; p < n-1; p++ {
 			for q := p + 1; q < n; q++ {
@@ -147,12 +153,13 @@ func EigHermitianInto(a *Matrix, ws *EigenWorkspace) (*EigenDecomposition, error
 		d := collectEigenInto(w, v, ws)
 		d.Sweeps = jacobiMaxSweeps
 		ws.warmN = n
-		return d, nil
+		return d, nil //lint:allow arenaescape documented borrow: the decomposition views ws storage until the next call
 	}
 	ws.warmN = 0
 	return nil, ErrNoConvergence
 }
 
+//spotfi:noalloc
 func canonicalDecompositionInto(n int, ws *EigenWorkspace) *EigenDecomposition {
 	d := ws.prepare(n)
 	for i := range d.Values {
@@ -170,12 +177,14 @@ func canonicalDecompositionInto(n int, ws *EigenWorkspace) *EigenDecomposition {
 
 // prepare sizes the workspace's result storage for an n×n decomposition:
 // Values, idx, and n eigenvector slices viewing one backing arena.
+//
+//spotfi:noalloc
 func (ws *EigenWorkspace) prepare(n int) *EigenDecomposition {
 	if cap(ws.vecArena) < n*n {
-		ws.vecArena = make([]complex128, n*n)
-		ws.d.Values = make([]float64, n)
+		ws.vecArena = make([]complex128, n*n) //lint:allow noalloc first-call arena growth, cold by construction
+		ws.d.Values = make([]float64, n)      //lint:allow noalloc first-call arena growth, cold by construction
 		ws.d.Vectors = make([][]complex128, n)
-		ws.idx = make([]int, n)
+		ws.idx = make([]int, n) //lint:allow noalloc first-call arena growth, cold by construction
 		ws.diag = make([]float64, n)
 	}
 	ws.vecArena = ws.vecArena[:n*n]
@@ -192,6 +201,8 @@ func (ws *EigenWorkspace) prepare(n int) *EigenDecomposition {
 
 // jacobiRotate zeroes w[p][q] (and w[q][p]) with a complex Jacobi rotation,
 // accumulating the transform into v.
+//
+//spotfi:noalloc
 func jacobiRotate(w, v *Matrix, p, q int) {
 	n := w.rows
 	apq := w.data[p*n+q]
@@ -248,6 +259,7 @@ func jacobiRotate(w, v *Matrix, p, q int) {
 	}
 }
 
+//spotfi:noalloc
 func offDiagonalNorm(m *Matrix) float64 {
 	n := m.rows
 	var sum float64
@@ -267,6 +279,8 @@ func offDiagonalNorm(m *Matrix) float64 {
 // storage, copying the matching eigenvector columns of v into the
 // workspace arena. v itself is left untouched — it is the accumulated
 // basis the next warm start builds on.
+//
+//spotfi:noalloc
 func collectEigenInto(w, v *Matrix, ws *EigenWorkspace) *EigenDecomposition {
 	n := w.rows
 	d := ws.prepare(n)
@@ -305,6 +319,8 @@ func collectEigenInto(w, v *Matrix, ws *EigenWorkspace) *EigenDecomposition {
 // threshold·λmax, capped at maxSignal, and capped at n−1 so at least one
 // noise vector always remains. Vectors[cut:] span the noise subspace;
 // Vectors[:cut] span the signal subspace.
+//
+//spotfi:noalloc
 func (d *EigenDecomposition) SignalCut(threshold float64, maxSignal int) int {
 	n := len(d.Values)
 	if n == 0 {
@@ -352,6 +368,8 @@ func (d *EigenDecomposition) NoiseSubspace(threshold float64, maxSignal int) *Ma
 // SignalDimension returns the number of eigenvalues at or above
 // threshold·maxValue, clamped to [1, maxSignal]. It estimates the number of
 // resolvable propagation paths.
+//
+//spotfi:noalloc
 func (d *EigenDecomposition) SignalDimension(threshold float64, maxSignal int) int {
 	if len(d.Values) == 0 {
 		return 0

@@ -67,12 +67,14 @@ func Identity(n int) *Matrix {
 // when its capacity suffices. Pass nil (or any previous scratch matrix) to
 // size workspace arenas without allocating in steady state. The returned
 // matrix aliases m's storage, so m must not be used afterwards.
+//
+//spotfi:noalloc
 func Reshape(m *Matrix, rows, cols int) *Matrix {
 	if rows <= 0 || cols <= 0 {
 		panic(fmt.Sprintf("cmat: invalid dimensions %dx%d", rows, cols))
 	}
 	if m == nil || cap(m.data) < rows*cols {
-		return New(rows, cols)
+		return New(rows, cols) //lint:allow noalloc first-call arena growth or a capacity change, cold by construction
 	}
 	m.rows, m.cols = rows, cols
 	m.data = m.data[:rows*cols]
@@ -83,6 +85,8 @@ func Reshape(m *Matrix, rows, cols int) *Matrix {
 }
 
 // SetIdentity overwrites a square matrix with the identity.
+//
+//spotfi:noalloc
 func (m *Matrix) SetIdentity() {
 	if m.rows != m.cols {
 		panic("cmat: SetIdentity on non-square matrix")
@@ -96,18 +100,26 @@ func (m *Matrix) SetIdentity() {
 }
 
 // Rows returns the number of rows.
+//
+//spotfi:noalloc
 func (m *Matrix) Rows() int { return m.rows }
 
 // Cols returns the number of columns.
+//
+//spotfi:noalloc
 func (m *Matrix) Cols() int { return m.cols }
 
 // At returns the element at row i, column j.
+//
+//spotfi:noalloc
 func (m *Matrix) At(i, j int) complex128 {
 	m.check(i, j)
 	return m.data[i*m.cols+j]
 }
 
 // Set assigns the element at row i, column j.
+//
+//spotfi:noalloc
 func (m *Matrix) Set(i, j int, v complex128) {
 	m.check(i, j)
 	m.data[i*m.cols+j] = v
@@ -118,6 +130,8 @@ func (m *Matrix) Set(i, j int, v complex128) {
 // budget, and At/Set sit on the MUSIC hot path where the bounds check must
 // inline away. The unsigned compare folds the negative and too-large cases
 // into one branch per axis, the same shape the compiler emits for slices.
+//
+//spotfi:noalloc
 func (m *Matrix) check(i, j int) {
 	if uint(i) >= uint(m.rows) || uint(j) >= uint(m.cols) {
 		panic("cmat: index out of range")
@@ -224,6 +238,8 @@ func (m *Matrix) Gram() *Matrix {
 
 // GramInto computes m·mᴴ into out, which must be rows×rows. Semantics
 // match Gram (exact Hermitian symmetry enforced); no allocation.
+//
+//spotfi:noalloc
 func (m *Matrix) GramInto(out *Matrix) *Matrix {
 	if out.rows != m.rows || out.cols != m.rows {
 		panic(fmt.Sprintf("cmat: GramInto got %dx%d output, want %dx%d", out.rows, out.cols, m.rows, m.rows))
@@ -250,6 +266,8 @@ func (m *Matrix) GramInto(out *Matrix) *Matrix {
 
 // mulInto computes a·b into out without allocating. out must not alias a
 // or b.
+//
+//spotfi:noalloc
 func mulInto(out, a, b *Matrix) {
 	if a.cols != b.rows || out.rows != a.rows || out.cols != b.cols {
 		panic("cmat: mulInto dimension mismatch")
@@ -274,6 +292,8 @@ func mulInto(out, a, b *Matrix) {
 
 // conjTransposeMulInto computes aᴴ·b into out without allocating. out must
 // not alias a or b.
+//
+//spotfi:noalloc
 func conjTransposeMulInto(out, a, b *Matrix) {
 	if a.rows != b.rows || out.rows != a.cols || out.cols != b.cols {
 		panic("cmat: conjTransposeMulInto dimension mismatch")
@@ -300,6 +320,8 @@ func conjTransposeMulInto(out, a, b *Matrix) {
 // isHermitianFast is IsHermitian with a cheap bit-exact prepass: matrices
 // built by Gram/GramInto are exactly Hermitian, so the common case costs
 // one equality compare per pair instead of a cmplx.Abs.
+//
+//spotfi:noalloc
 func (m *Matrix) isHermitianFast(tol float64) bool {
 	if m.rows != m.cols {
 		return false
@@ -369,6 +391,8 @@ func (m *Matrix) MulVec(v []complex128) []complex128 {
 }
 
 // FrobeniusNorm returns the Frobenius norm of m.
+//
+//spotfi:noalloc
 func (m *Matrix) FrobeniusNorm() float64 {
 	var sum float64
 	for _, v := range m.data {

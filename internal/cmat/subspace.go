@@ -18,6 +18,8 @@ const (
 // its image under A, the small Ritz problem (solved with a warm-started
 // Jacobi — the Ritz matrix barely moves between iterations), and the
 // result storage. Single-goroutine; the zero value is ready to use.
+//
+//spotfi:arena
 type TopEigenWorkspace struct {
 	q, z, s  *Matrix
 	sw       EigenWorkspace
@@ -44,6 +46,8 @@ type TopEigenWorkspace struct {
 //
 // The iteration is deterministic: a fixed canonical starting block and no
 // state carried across calls.
+//
+//spotfi:noalloc
 func TopEigenInto(a *Matrix, k int, thresh float64, ws *TopEigenWorkspace) (*EigenDecomposition, error) {
 	n := a.rows
 	if a.cols != n {
@@ -51,7 +55,7 @@ func TopEigenInto(a *Matrix, k int, thresh float64, ws *TopEigenWorkspace) (*Eig
 	}
 	if k >= n {
 		ws.sw.Reset()
-		return EigHermitianInto(a, &ws.sw)
+		return EigHermitianInto(a, &ws.sw) //lint:allow arenaescape documented borrow: the decomposition views ws storage until the next call
 	}
 	if k < 1 {
 		k = 1
@@ -69,7 +73,7 @@ func TopEigenInto(a *Matrix, k int, thresh float64, ws *TopEigenWorkspace) (*Eig
 			}
 			vec[i] = 1
 		}
-		return d, nil
+		return d, nil //lint:allow arenaescape documented borrow: the decomposition views ws storage until the next call
 	}
 	if !a.isHermitianFast(1e-9 * scale) {
 		return nil, ErrNotHermitian
@@ -134,18 +138,20 @@ func TopEigenInto(a *Matrix, k int, thresh float64, ws *TopEigenWorkspace) (*Eig
 				Normalize(vec)
 			}
 			d.Sweeps = iter
-			return d, nil
+			return d, nil //lint:allow arenaescape documented borrow: the decomposition views ws storage until the next call
 		}
 		orthonormalizeColumns(ws.z, ws.q, scale, iter)
 	}
 	// The iteration did not settle (pathological spectrum or corrupt
 	// input): fall back to the full, unconditionally-convergent Jacobi.
 	ws.sw.Reset()
-	return EigHermitianInto(a, &ws.sw)
+	return EigHermitianInto(a, &ws.sw) //lint:allow arenaescape documented borrow: the decomposition views ws storage until the next call
 }
 
 // ritzResidual2 returns ‖A·y − v·y‖² for the Ritz pair (v, y = Q·u),
 // using A·y = Z·u (Z = A·Q): the squared norm of (Z − v·Q)·u.
+//
+//spotfi:noalloc
 func ritzResidual2(z, q *Matrix, u []complex128, v float64) float64 {
 	n, k := z.rows, z.cols
 	vv := complex(v, 0)
@@ -162,15 +168,17 @@ func ritzResidual2(z, q *Matrix, u []complex128, v float64) float64 {
 }
 
 // prepare sizes the workspace result storage for k eigenpairs of length n.
+//
+//spotfi:noalloc
 func (ws *TopEigenWorkspace) prepare(n, k int) *EigenDecomposition {
 	if cap(ws.vecArena) < n*k {
-		ws.vecArena = make([]complex128, n*k)
-		ws.d.Values = make([]float64, k)
+		ws.vecArena = make([]complex128, n*k) //lint:allow noalloc first-call arena growth, cold by construction
+		ws.d.Values = make([]float64, k)      //lint:allow noalloc first-call arena growth, cold by construction
 		ws.d.Vectors = make([][]complex128, k)
 	}
 	ws.vecArena = ws.vecArena[:n*k]
 	if cap(ws.d.Values) < k {
-		ws.d.Values = make([]float64, k)
+		ws.d.Values = make([]float64, k) //lint:allow noalloc dimension change re-sizes the result storage, cold by construction
 		ws.d.Vectors = make([][]complex128, k)
 	}
 	ws.d.Values = ws.d.Values[:k]
@@ -188,6 +196,8 @@ func (ws *TopEigenWorkspace) prepare(n, k int) *EigenDecomposition {
 // than the block is wide — the noiseless synthetic case) is replaced
 // deterministically by the next canonical basis vector orthogonalized
 // against the block, so the iteration always carries a full-rank block.
+//
+//spotfi:noalloc
 func orthonormalizeColumns(src, dst *Matrix, scale float64, iter int) {
 	n, k := src.rows, src.cols
 	copy(dst.data, src.data)
@@ -237,6 +247,8 @@ func orthonormalizeColumns(src, dst *Matrix, scale float64, iter int) {
 
 // normalizeColumn scales column c of m to unit norm, reporting false (and
 // leaving the column unspecified) when its norm is at or below eps.
+//
+//spotfi:noalloc
 func normalizeColumn(m *Matrix, c int, eps float64) bool {
 	var sum float64
 	for row := 0; row < m.rows; row++ {

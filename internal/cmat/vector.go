@@ -19,6 +19,8 @@ func Dot(a, b []complex128) complex128 {
 }
 
 // Norm2 returns the Euclidean norm of v.
+//
+//spotfi:noalloc
 func Norm2(v []complex128) float64 {
 	var sum float64
 	for _, x := range v {
@@ -29,6 +31,8 @@ func Norm2(v []complex128) float64 {
 
 // Normalize scales v in place to unit Euclidean norm and returns v.
 // A zero vector is returned unchanged.
+//
+//spotfi:noalloc
 func Normalize(v []complex128) []complex128 {
 	n := Norm2(v)
 	if n == 0 {

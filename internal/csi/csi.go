@@ -40,9 +40,13 @@ func NewMatrix(antennas, subcarriers int) *Matrix {
 }
 
 // Antennas returns the number of antenna rows.
+//
+//spotfi:noalloc
 func (c *Matrix) Antennas() int { return len(c.Values) }
 
 // Subcarriers returns the number of subcarrier columns.
+//
+//spotfi:noalloc
 func (c *Matrix) Subcarriers() int {
 	if len(c.Values) == 0 {
 		return 0

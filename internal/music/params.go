@@ -118,6 +118,8 @@ func (p Params) Validate() error {
 }
 
 // coarseFactor resolves CoarseGridFactor: 0 means the default.
+//
+//spotfi:noalloc
 func (p Params) coarseFactor() int {
 	if p.CoarseGridFactor == 0 {
 		return DefaultCoarseGridFactor
@@ -127,6 +129,8 @@ func (p Params) coarseFactor() int {
 
 // dedupeRadii resolves the peak-merge radii, falling back to 1.5× the grid
 // step for unset axes.
+//
+//spotfi:noalloc
 func (p Params) dedupeRadii() (aoaRad, tofS float64) {
 	aoaRad, tofS = p.DedupeAoARad, p.DedupeToFS
 	if aoaRad == 0 {

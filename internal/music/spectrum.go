@@ -30,6 +30,8 @@ type Spectrum struct {
 // from the package steering cache, so constructing extra estimators for
 // extra goroutines is cheap; callers that fan out across goroutines should
 // keep a pool of estimators (see the localizer's sync.Pool).
+//
+//spotfi:arena
 type Estimator struct {
 	p   Params
 	tab *steeringTable
@@ -163,19 +165,21 @@ func (e *Estimator) Spectrum(c *csi.Matrix) (*Spectrum, error) {
 	for i := range spec.P {
 		spec.P[i] = flat[i*nu : (i+1)*nu]
 	}
-	return spec, nil
+	return spec, nil //lint:allow arenaescape Thetas/Taus alias the immutable shared steering table, safe to hold
 }
 
 // sweep runs the front half of the pipeline — smoothing, covariance,
 // eigendecomposition — then evaluates the pseudo-spectrum, coarse-to-fine
 // unless configured dense. On return specP/computed hold the evaluated
 // region for the packet.
+//
+//spotfi:noalloc
 func (e *Estimator) sweep(c *csi.Matrix) (int, *cmat.EigenDecomposition, error) {
-	if err := c.Validate(); err != nil {
+	if err := c.Validate(); err != nil { //lint:allow noalloc rejection path; a malformed packet never reaches the sweep twice
 		return 0, nil, err
 	}
 	if c.Antennas() != e.p.Array.Antennas || c.Subcarriers() != e.p.Band.Subcarriers {
-		return 0, nil, fmt.Errorf("music: CSI is %dx%d, estimator expects %dx%d",
+		return 0, nil, fmt.Errorf("music: CSI is %dx%d, estimator expects %dx%d", //lint:allow noalloc rejection path; a mis-sized packet never reaches the sweep twice
 			c.Antennas(), c.Subcarriers(), e.p.Array.Antennas, e.p.Band.Subcarriers)
 	}
 	e.smooth = SmoothCSIInto(c, e.p.SubarrayAntennas, e.p.SubarraySubcarriers, e.smooth)
@@ -188,7 +192,7 @@ func (e *Estimator) sweep(c *csi.Matrix) (int, *cmat.EigenDecomposition, error) 
 	// the signal subspace complement.
 	eig, err := cmat.TopEigenInto(e.gram, e.p.MaxPaths+1, e.p.EigenThreshold, &e.eigWS)
 	if err != nil {
-		return 0, nil, fmt.Errorf("music: covariance eigendecomposition: %w", err)
+		return 0, nil, fmt.Errorf("music: covariance eigendecomposition: %w", err) //lint:allow noalloc corrupt-covariance path, cold by construction
 	}
 	dim := eig.SignalDimension(e.p.EigenThreshold, e.p.MaxPaths)
 	e.cut = eig.SignalCut(e.p.EigenThreshold, e.p.MaxPaths)
@@ -220,6 +224,8 @@ func (e *Estimator) sweep(c *csi.Matrix) (int, *cmat.EigenDecomposition, error) 
 // coarsePass evaluates the stride-cf lattice (endpoints forced in), finds
 // its local maxima, and densely evaluates a window of radius 2·cf around
 // each of the strongest MaxPaths+4 of them.
+//
+//spotfi:noalloc
 func (e *Estimator) coarsePass(cf int) {
 	nt, nu := len(e.thetas), len(e.taus)
 	e.latI = latticeIndices(e.latI[:0], nt, cf)
@@ -283,6 +289,8 @@ func (e *Estimator) coarsePass(cf int) {
 }
 
 // latticeIndices appends 0, cf, 2·cf, … and forces the final index n−1.
+//
+//spotfi:noalloc
 func latticeIndices(dst []int, n, cf int) []int {
 	for i := 0; i < n; i += cf {
 		dst = append(dst, i)
@@ -294,6 +302,8 @@ func latticeIndices(dst []int, n, cf int) []int {
 }
 
 // insertCoarseMax keeps top sorted by descending value, capped at k.
+//
+//spotfi:noalloc
 func insertCoarseMax(top []coarseMax, m coarseMax, k int) []coarseMax {
 	pos := len(top)
 	for pos > 0 && top[pos-1].v < m.v {
@@ -311,6 +321,8 @@ func insertCoarseMax(top []coarseMax, m coarseMax, k int) []coarseMax {
 }
 
 // evalColumn evaluates the given rows of column j.
+//
+//spotfi:noalloc
 func (e *Estimator) evalColumn(j int, rows []int) {
 	qd, qp := e.columnQ(j)
 	nu := len(e.taus)
@@ -324,6 +336,8 @@ func (e *Estimator) evalColumn(j int, rows []int) {
 
 // evalColumnRange evaluates rows [i0, i1] of column j, skipping cells the
 // coarse pass already computed.
+//
+//spotfi:noalloc
 func (e *Estimator) evalColumnRange(j, i0, i1 int) {
 	qd, qp := e.columnQ(j)
 	nu := len(e.taus)
@@ -338,6 +352,8 @@ func (e *Estimator) evalColumnRange(j, i0, i1 int) {
 // evalCell computes P(θ_i, τ_j) from the column's cached block forms: the
 // Kronecker decomposition of Eq. 7 reduces each cell to nPair complex
 // multiplies against the per-theta antenna pair products.
+//
+//spotfi:noalloc
 func (e *Estimator) evalCell(idx, i int, qd float64, qp []complex128) {
 	nPair := e.tab.nPair
 	pr := e.tab.pair[i*nPair : (i+1)*nPair]
@@ -361,6 +377,8 @@ func (e *Estimator) evalCell(idx, i int, qd float64, qp []complex128) {
 // (the dominant cost of the old dense sweep), it uses the complement
 // identity P_N = I − Σ_k v_k·v_kᴴ over the few signal eigenvectors:
 // q_ab = δ_ab·‖o‖² − Σ_k conj(w_ka)·w_kb with w_ka = v_k[block a]ᴴ·o(τ_j).
+//
+//spotfi:noalloc
 func (e *Estimator) columnQ(j int) (float64, []complex128) {
 	nPair := e.tab.nPair
 	qp := e.colQPair[j*nPair : (j+1)*nPair]
@@ -402,6 +420,8 @@ func (e *Estimator) columnQ(j int) (float64, []complex128) {
 
 // evalRemaining evaluates every not-yet-computed cell (the dense sweep, or
 // the dense fallback after a coarse pass).
+//
+//spotfi:noalloc
 func (e *Estimator) evalRemaining() {
 	if e.denseDone {
 		return
@@ -419,6 +439,8 @@ func (e *Estimator) evalRemaining() {
 // unknown), and that candidate is strong enough to displace the weakest
 // accepted peak (or too few peaks were found at all). The returned slice
 // aliases the estimator's scratch arena.
+//
+//spotfi:noalloc
 func (e *Estimator) peaksWithFallback(dim int) ([]PathEstimate, bool) {
 	peaks, crowdMax := e.findPeaksMasked(dim)
 	if e.denseDone || crowdMax == 0 {
@@ -444,6 +466,8 @@ func (e *Estimator) peaksWithFallback(dim int) ([]PathEstimate, bool) {
 // endfire, where a ULA has no resolution) or at the ToF search boundary is
 // a truncation artifact, not a resolvable path, and its packet-to-packet
 // repeatability would otherwise fabricate a spuriously tight cluster.
+//
+//spotfi:noalloc
 func (e *Estimator) findPeaksMasked(count int) ([]PathEstimate, float64) {
 	nt, nu := len(e.thetas), len(e.taus)
 	peaks := e.scratch[:0]
@@ -520,6 +544,8 @@ func (e *Estimator) findPeaksMasked(count int) ([]PathEstimate, float64) {
 
 // appendRefined quadratically refines the accepted maximum at (i, j) on
 // both axes and appends the estimate.
+//
+//spotfi:noalloc
 func (e *Estimator) appendRefined(peaks []PathEstimate, i, j int, v float64) []PathEstimate {
 	nu := len(e.taus)
 	theta := refineAxis(e.thetas, i, func(k int) float64 { return e.specP[k*nu+j] })
@@ -532,6 +558,8 @@ func (e *Estimator) appendRefined(peaks []PathEstimate, i, j int, v float64) []P
 // (AoA, then ToF) so the result is a pure function of the peak set — the
 // coarse and dense sweeps enumerate candidates in different orders, and
 // dedupePeaks keeps whichever duplicate sorts first.
+//
+//spotfi:noalloc
 func sortPeaksByPower(peaks []PathEstimate) {
 	for i := 1; i < len(peaks); i++ {
 		p := peaks[i]
@@ -546,6 +574,8 @@ func sortPeaksByPower(peaks []PathEstimate) {
 
 // peakBefore is the canonical peak order: descending power, ties broken
 // by ascending AoA then ToF.
+//
+//spotfi:noalloc
 func peakBefore(a, b PathEstimate) bool {
 	if a.Power > b.Power {
 		return true
@@ -581,6 +611,8 @@ func gridPoints(start, stop, step float64) []float64 {
 // dedupePeaks drops peaks within both physical merge radii of a stronger
 // one (plateaus produce runs of near-equal "peaks"). peaks must be sorted
 // by descending power; the filter compacts in place.
+//
+//spotfi:noalloc
 func dedupePeaks(peaks []PathEstimate, rTheta, rTau float64) []PathEstimate {
 	if len(peaks) < 2 {
 		return peaks
@@ -606,6 +638,8 @@ func dedupePeaks(peaks []PathEstimate, rTheta, rTau float64) []PathEstimate {
 // outside the grid are clamped; boundary indices return the grid point
 // itself (no neighbor to fit through); the refined value never leaves
 // [grid[0], grid[len-1]].
+//
+//spotfi:noalloc
 func refineAxis(grid []float64, idx int, val func(int) float64) float64 {
 	if len(grid) == 0 {
 		return 0

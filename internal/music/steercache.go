@@ -28,6 +28,8 @@ type steeringKey struct {
 // powers, and the per-theta antenna pair products the block-decomposed
 // sweep consumes. A table is immutable after build and shared across
 // estimators, bursts, and goroutines without locks.
+//
+//spotfi:immutable
 type steeringTable struct {
 	thetas []float64
 	taus   []float64

@@ -11,12 +11,16 @@ import (
 
 // Phi returns Φ(θ) = exp(−j·2π·d·sin(θ)·f/c), the phase factor between
 // adjacent antennas for a path arriving at angle θ (Eq. 1).
+//
+//spotfi:noalloc
 func Phi(theta float64, array rf.Array, band rf.Band) complex128 {
 	return cmplx.Exp(complex(0, -2*math.Pi*array.SpacingM*math.Sin(theta)*band.CarrierHz/rf.SpeedOfLight))
 }
 
 // Omega returns Ω(τ) = exp(−j·2π·f_δ·τ), the phase factor between adjacent
 // subcarriers for a path with time of flight τ (Eq. 6).
+//
+//spotfi:noalloc
 func Omega(tof float64, band rf.Band) complex128 {
 	return cmplx.Exp(complex(0, -2*math.Pi*band.SubcarrierSpacingHz*tof))
 }
@@ -74,6 +78,8 @@ func SmoothCSI(c *csi.Matrix, subAnt, subSub int) *cmat.Matrix {
 // SmoothCSIInto is SmoothCSI writing into dst's storage when its capacity
 // suffices (see cmat.Reshape); pass nil to allocate. It returns the matrix
 // actually used.
+//
+//spotfi:noalloc
 func SmoothCSIInto(c *csi.Matrix, subAnt, subSub int, dst *cmat.Matrix) *cmat.Matrix {
 	m, n := c.Antennas(), c.Subcarriers()
 	antShifts := m - subAnt + 1

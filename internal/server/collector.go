@@ -323,7 +323,6 @@ func (c *Collector) StartSweeper(interval time.Duration) (stop func()) {
 	done := make(chan struct{})
 	var wg sync.WaitGroup
 	wg.Add(1)
-	//lint:allow gospawn joined by the returned stop function via WaitGroup
 	go func() {
 		defer wg.Done()
 		t := time.NewTicker(interval)

@@ -406,6 +406,19 @@ func (l *Localizer) APs() []AP {
 	return out
 }
 
+// estimateMUSIC draws a pooled estimator, runs one packet through it,
+// and returns the estimator with a defer — so a panicking estimate
+// (poisoned input tripping an internal invariant) does not silently
+// drain the pool and degrade every later burst to cold construction.
+func (l *Localizer) estimateMUSIC(work *CSIMatrix) ([]PathEstimate, music.Diag, error) {
+	me, _ := l.pool.Get().(*music.Estimator)
+	if me == nil {
+		return nil, music.Diag{}, fmt.Errorf("spotfi: estimator pool exhausted")
+	}
+	defer l.pool.Put(me)
+	return me.EstimatePathsDiag(work)
+}
+
 // ProcessBurst runs stages 1–2 on a burst of packets received by one AP
 // from one target: sanitization, per-packet super-resolution (in
 // parallel), clustering, and direct-path selection.
@@ -559,13 +572,7 @@ func (l *Localizer) estimateAndCluster(apID int, pkts []*Packet, works []*CSIMat
 			case "jade":
 				est, diag, err = l.jade.EstimatePathsDiag(work)
 			default:
-				me, _ := l.pool.Get().(*music.Estimator)
-				if me == nil {
-					err = fmt.Errorf("spotfi: estimator pool exhausted")
-				} else {
-					est, diag, err = me.EstimatePathsDiag(work)
-					l.pool.Put(me)
-				}
+				est, diag, err = l.estimateMUSIC(work)
 			}
 			l.cfg.Metrics.EstimateSeconds.ObserveSince(start)
 			esp.SetInt("pkt", int64(i))
