@@ -32,11 +32,14 @@ func (f Finding) String() string {
 // An Allow is one (comment, analyzer) suppression pair: a
 // //lint:allow a,b reason comment yields one Allow for a and one for b.
 // Used reports whether it suppressed at least one diagnostic this run.
+// Stale marks an unused Allow whose analyzer was part of the run: it is
+// provably dead and also reported as a Finding.
 type Allow struct {
 	Pos      token.Position
 	Analyzer string
 	Reason   string
 	Used     bool
+	Stale    bool
 }
 
 // A Result is the full outcome of one checker run.
@@ -137,7 +140,8 @@ func RunDetailFacts(analyzers []*analysis.Analyzer, pkgs []*load.Package, facts 
 		}
 	}
 	for _, al := range allows {
-		if !al.Used && active[al.Analyzer] {
+		al.Stale = !al.Used && active[al.Analyzer]
+		if al.Stale {
 			res.Findings = append(res.Findings, Finding{
 				Analyzer: "lint",
 				Pos:      al.Pos,
@@ -244,11 +248,19 @@ func (s suppressor) suppress(analyzer string, pos token.Position) bool {
 // statement). Only line comments count: a /* lint:allow */ block is
 // inert, like Go's own //go: directives. A directive missing its reason
 // is reported as a finding.
+//
+// _test.go files are exempt from all of this: every analyzer skips them
+// (passutil.IsTestFile), so an allow there can never suppress anything
+// and must not be reported stale when a driver that loads test variants
+// (go vet) hands them to the checker.
 func suppressions(fset *token.FileSet, files []*ast.File) (suppressor, []*Allow, []Finding) {
 	sup := make(suppressor)
 	var allows []*Allow
 	var bad []Finding
 	for _, f := range files {
+		if strings.HasSuffix(fset.Position(f.Pos()).Filename, "_test.go") {
+			continue
+		}
 		for _, cg := range f.Comments {
 			for _, c := range cg.List {
 				text, ok := strings.CutPrefix(c.Text, "//lint:allow")

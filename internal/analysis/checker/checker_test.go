@@ -170,6 +170,35 @@ var clean int //lint:allow mark nothing to suppress here
 		!strings.Contains(res.Findings[0].Message, "stale //lint:allow mark") {
 		t.Errorf("unused allow for an active analyzer must be stale: %v", res.Findings)
 	}
+	if len(res.Allows) != 1 || !res.Allows[0].Stale {
+		t.Errorf("stale allow not marked Stale in the inventory: %+v", res.Allows)
+	}
+}
+
+func TestTestFileAllowsAreExempt(t *testing.T) {
+	// Every analyzer skips _test.go files, so an allow there can never be
+	// used. When a driver that loads test variants (go vet) hands such a
+	// file to the checker, its allows must be ignored outright — not
+	// inventoried, and above all not reported stale.
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p_test.go", `package p
+
+var clean int //lint:allow mark analyzers never see test files
+`, parser.ParseComments|parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg := &load.Package{PkgPath: "p", Fset: fset, Syntax: []*ast.File{file}}
+	res, err := checker.RunDetail([]*analysis.Analyzer{markAnalyzer}, []*load.Package{pkg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Findings) != 0 {
+		t.Errorf("allow in a _test.go file produced findings: %v", res.Findings)
+	}
+	if len(res.Allows) != 0 {
+		t.Errorf("allow in a _test.go file was inventoried: %+v", res.Allows)
+	}
 }
 
 func TestUnusedAllowForInactiveAnalyzerIsNotStale(t *testing.T) {
@@ -179,6 +208,9 @@ var clean int //lint:allow gofancy this analyzer is not in the run
 `)
 	if len(res.Findings) != 0 {
 		t.Errorf("allow for an analyzer outside the active set reported stale: %v", res.Findings)
+	}
+	if len(res.Allows) != 1 || res.Allows[0].Stale {
+		t.Errorf("allow for an inactive analyzer must not be marked Stale: %+v", res.Allows)
 	}
 }
 

@@ -49,7 +49,7 @@ func Main(analyzers []*analysis.Analyzer) int {
 	printVersion := fs.String("V", "", "print version information ('full' is used by cmd/go)")
 	printFlags := fs.Bool("flags", false, "print flags as JSON (used by cmd/go to plan the vet invocation)")
 	jsonOut := fs.Bool("json", false, "emit one JSON object per line for each diagnostic (file, line, col, analyzer, message, suppressed)")
-	allowsMode := fs.Bool("allows", false, "audit //lint:allow comments: list each with its analyzer, reason, and whether it suppressed anything")
+	allowsMode := fs.Bool("allows", false, "audit //lint:allow comments: list each with its analyzer, reason, and whether it suppressed anything; exit nonzero if any is stale")
 	enabled := make(map[string]*bool)
 	for _, a := range analyzers {
 		enabled[a.Name] = fs.Bool(a.Name, true, "enable the "+a.Name+" analyzer")
@@ -192,8 +192,10 @@ func printJSON(w io.Writer, dir string, res *checker.Result) int {
 }
 
 // printAllows renders the -allows audit: every //lint:allow comment seen,
-// with whether it suppressed anything this run. Stale comments are also
-// findings in a normal run; the audit is the human-readable inventory.
+// with whether it suppressed anything this run. Stale comments — unused
+// allows whose analyzer was in the run — exit nonzero so the audit gates
+// like a normal run; "inert" marks an allow for an analyzer that was not
+// in the run, which cannot be judged and does not fail the audit.
 func printAllows(w io.Writer, dir string, allows []checker.Allow, jsonOut bool) int {
 	type jsonAllow struct {
 		File     string `json:"file"`
@@ -201,19 +203,30 @@ func printAllows(w io.Writer, dir string, allows []checker.Allow, jsonOut bool) 
 		Analyzer string `json:"analyzer"`
 		Reason   string `json:"reason"`
 		Used     bool   `json:"used"`
+		Stale    bool   `json:"stale"`
 	}
 	enc := json.NewEncoder(w)
+	stale := 0
 	for _, al := range allows {
+		if al.Stale {
+			stale++
+		}
 		file := checker.RelPath(dir, al.Pos.Filename)
 		if jsonOut {
-			enc.Encode(jsonAllow{file, al.Pos.Line, al.Analyzer, al.Reason, al.Used}) //lint:allow errdrop encoding a flat struct of strings and ints cannot fail
+			enc.Encode(jsonAllow{file, al.Pos.Line, al.Analyzer, al.Reason, al.Used, al.Stale}) //lint:allow errdrop encoding a flat struct of strings and ints cannot fail
 			continue
 		}
 		state := "used "
-		if !al.Used {
+		switch {
+		case al.Stale:
 			state = "STALE"
+		case !al.Used:
+			state = "inert"
 		}
 		fmt.Fprintf(w, "%s:%d: %s [%s] %s\n", file, al.Pos.Line, state, al.Analyzer, al.Reason)
+	}
+	if stale > 0 {
+		return exitDiags
 	}
 	return exitClean
 }

@@ -170,6 +170,29 @@ var _ = hot
 		}
 	})
 
+	// go vet analyzes test variants, so _test.go files reach the checker.
+	// Analyzers skip them (passutil.IsTestFile), meaning an allow there
+	// can never be used — it must be exempt from stale reporting, not a
+	// guaranteed failure.
+	t.Run("TestFileAllowsExempt", func(t *testing.T) {
+		dir := writeModule(t, map[string]string{
+			"go.mod": "module vetx\n\ngo 1.24\n",
+			"eq.go": `package vetx
+
+func scale(a float64) float64 { return a * 2 }
+`,
+			"eq_test.go": `package vetx
+
+func almostEq(a, b float64) bool {
+	return a == b //lint:allow floateq test helper compares exact bits
+}
+`,
+		})
+		if out, err := runVet(t, bin, dir); err != nil {
+			t.Fatalf("go vet flagged a //lint:allow in a _test.go file as stale: %v\n%s", err, out)
+		}
+	})
+
 	t.Run("CrossPackageDirty", func(t *testing.T) {
 		dir := writeModule(t, map[string]string{
 			"go.mod": "module vetx\n\ngo 1.24\n",
@@ -287,13 +310,35 @@ func close(a, b float64) bool {
 			Analyzer string `json:"analyzer"`
 			Reason   string `json:"reason"`
 			Used     bool   `json:"used"`
+			Stale    bool   `json:"stale"`
 		}
 		line, _, _ := strings.Cut(strings.TrimSpace(out), "\n")
 		if err := json.Unmarshal([]byte(line), &al); err != nil {
 			t.Fatalf("non-JSON allows line %q: %v", line, err)
 		}
-		if al.Analyzer != "floateq" || !al.Used || al.Reason == "" {
+		if al.Analyzer != "floateq" || !al.Used || al.Reason == "" || al.Stale {
 			t.Errorf("unexpected allow record: %+v", al)
+		}
+	})
+
+	// A stale allow must fail the audit, not just be listed — the CI
+	// suppression-audit step gates on this exit code.
+	t.Run("AllowsStaleGate", func(t *testing.T) {
+		staleDir := writeModule(t, map[string]string{
+			"go.mod": "module vetx\n\ngo 1.24\n",
+			"eq.go": `package vetx
+
+func scale(a float64) float64 {
+	return a * 2 //lint:allow floateq nothing on this line compares floats
+}
+`,
+		})
+		out, code := runLint(t, bin, staleDir, "-allows", "./...")
+		if code != 3 {
+			t.Fatalf("exit code = %d, want 3 (stale allow must gate)\n%s", code, out)
+		}
+		if !strings.Contains(out, "STALE") {
+			t.Errorf("audit output does not mark the stale allow:\n%s", out)
 		}
 	})
 }

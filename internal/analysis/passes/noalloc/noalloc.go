@@ -535,16 +535,27 @@ func (c *checker) isAddressTaken(lit *ast.CompositeLit, ctx ast.Stmt) bool {
 // checkAssign flags map writes and interface boxing on assignment.
 func (c *checker) checkAssign(as *ast.AssignStmt) {
 	info := c.pass.TypesInfo
+	// x, y = f() (and the v, ok comma forms): the single RHS yields a
+	// tuple, so each LHS slot is checked against its result type.
+	var tuple *types.Tuple
+	if len(as.Lhs) > 1 && len(as.Rhs) == 1 {
+		tuple, _ = info.TypeOf(as.Rhs[0]).(*types.Tuple)
+	}
 	for i, l := range as.Lhs {
 		if idx, ok := ast.Unparen(l).(*ast.IndexExpr); ok {
 			if _, isMap := typeUnder(info, idx.X).(*types.Map); isMap {
 				c.pass.Reportf(l.Pos(), "map assignment may grow the map in a //spotfi:noalloc function")
 			}
 		}
-		if i < len(as.Rhs) && len(as.Lhs) == len(as.Rhs) {
-			if t := info.TypeOf(l); t != nil {
-				c.checkBox(as.Rhs[i], t)
-			}
+		t := info.TypeOf(l)
+		if t == nil {
+			continue // blank identifier: nothing is stored, nothing boxes
+		}
+		switch {
+		case len(as.Lhs) == len(as.Rhs):
+			c.checkBox(as.Rhs[i], t)
+		case tuple != nil && i < tuple.Len():
+			c.checkBoxType(as.Rhs[0].Pos(), tuple.At(i).Type(), t)
 		}
 	}
 	if as.Tok == token.ADD_ASSIGN && len(as.Lhs) == 1 && isString(info, as.Lhs[0]) {
@@ -555,6 +566,17 @@ func (c *checker) checkAssign(as *ast.AssignStmt) {
 // checkValueSpec flags interface boxing in var declarations.
 func (c *checker) checkValueSpec(vs *ast.ValueSpec) {
 	info := c.pass.TypesInfo
+	// var a, b T = f(): tuple initializer, one result per name.
+	if len(vs.Names) > 1 && len(vs.Values) == 1 {
+		if tuple, ok := info.TypeOf(vs.Values[0]).(*types.Tuple); ok {
+			for i, name := range vs.Names {
+				if obj := info.Defs[name]; obj != nil && i < tuple.Len() {
+					c.checkBoxType(vs.Values[0].Pos(), tuple.At(i).Type(), obj.Type())
+				}
+			}
+			return
+		}
+	}
 	for i, name := range vs.Names {
 		if i >= len(vs.Values) {
 			break
@@ -610,15 +632,22 @@ func (c *checker) checkBox(e ast.Expr, dst types.Type) {
 	if dst == nil || e == nil {
 		return
 	}
-	if _, ok := dst.Underlying().(*types.Interface); !ok {
-		return
-	}
-	info := c.pass.TypesInfo
-	tv, ok := info.Types[e]
+	tv, ok := c.pass.TypesInfo.Types[e]
 	if !ok || tv.Type == nil {
 		return
 	}
-	src := tv.Type
+	c.checkBoxType(e.Pos(), tv.Type, dst)
+}
+
+// checkBoxType is checkBox for cases where the boxed value is one element
+// of a tuple-valued expression and has no ast.Expr of its own.
+func (c *checker) checkBoxType(pos token.Pos, src, dst types.Type) {
+	if src == nil || dst == nil {
+		return
+	}
+	if _, ok := dst.Underlying().(*types.Interface); !ok {
+		return
+	}
 	if b, ok := src.Underlying().(*types.Basic); ok && b.Kind() == types.UntypedNil {
 		return
 	}
@@ -628,7 +657,7 @@ func (c *checker) checkBox(e ast.Expr, dst types.Type) {
 	if pointerShaped(src) {
 		return
 	}
-	c.pass.Reportf(e.Pos(), "converting %s to %s allocates (interface boxing) in a //spotfi:noalloc function", src, dst)
+	c.pass.Reportf(pos, "converting %s to %s allocates (interface boxing) in a //spotfi:noalloc function", src, dst)
 }
 
 func (c *checker) checkConversion(call *ast.CallExpr, dst types.Type) {

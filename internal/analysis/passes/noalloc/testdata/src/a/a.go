@@ -177,3 +177,49 @@ func panics(i, n int) {
 		panic("index out of range") // ok: panics are cold by definition
 	}
 }
+
+//spotfi:noalloc
+func twoVals() (int, int) { return 1, 2 }
+
+//spotfi:noalloc
+func twoPtrs() (*ws, *ws) { return nil, nil }
+
+//spotfi:noalloc
+func tupleAssignBoxes() any {
+	var a any
+	var b int
+	a, b = twoVals() // want `converting int to any allocates`
+	_ = b
+	return a
+}
+
+//spotfi:noalloc
+func tupleDeclBoxes() any {
+	var a, b any = twoVals() // want `converting int to any allocates` `converting int to any allocates`
+	_ = b
+	return a
+}
+
+//spotfi:noalloc
+func commaOkBoxes(m map[string]int, k string) any {
+	var v any
+	var ok bool
+	v, ok = m[k] // want `converting int to any allocates`
+	_ = ok
+	return v
+}
+
+//spotfi:noalloc
+func tupleNoBox() any {
+	var a any
+	var b *ws
+	a, b = twoPtrs() // ok: pointer-shaped results fit the interface word
+	_ = b
+	return a
+}
+
+//spotfi:noalloc
+func tupleDefineNoBox() int {
+	x, y := twoVals() // ok: := gives each name its exact result type
+	return x + y
+}
