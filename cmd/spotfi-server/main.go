@@ -4,10 +4,29 @@
 //
 // AP positions are supplied as repeated -ap flags: "id,x,y,normalDeg".
 //
-// Complete bursts are localized by a bounded worker pool (-workers, -queue)
-// rather than one goroutine per burst: under overload the queue fills and
-// further bursts are dropped and counted, instead of goroutines (and their
-// pinned CSI buffers) growing without bound.
+// Complete bursts are localized by a bounded worker pool (-workers) fed
+// through an admission-controlled queue (-queue, -admit-*) rather than one
+// goroutine per burst. Under overload the queue sheds the *stalest* work
+// first instead of tail-dropping the freshest: bursts that waited past
+// -admit-deadline are shed outright, a CoDel-style control law
+// (-admit-target, -admit-interval) sheds at an increasing rate while the
+// standing queue persists, and at capacity the chattiest target's oldest
+// burst is evicted so one device cannot starve the fleet. Shedding is
+// summarized in the log at most once per -admit-log-every and exported as
+// spotfi_admit_shed_total{reason=...}.
+//
+// Load also degrades fidelity before it degrades availability: a mode
+// ladder steps the pipeline down from full MUSIC to the ESPRIT fast path
+// to a coarser MUSIC grid as queue sojourn crosses thresholds derived from
+// -admit-target, and steps back up under hysteresis. Every fix carries the
+// mode it was computed in.
+//
+// Per-AP circuit breakers (-breaker-*) quarantine misbehaving APs: drift
+// breaches, per-burst quality collapses, non-finite CSI streams, and
+// reconnect churn trip an AP's breaker open, excluding it from
+// localization (its packets are still accepted) until a cooldown elapses
+// and a few healthy probation bursts close the breaker again. Breaker
+// states are exported as spotfi_ap_breaker_state{ap=...}.
 //
 // The ingest path is hardened against misbehaving APs: connections that
 // stall mid-handshake or go silent are reaped after -idle-timeout,
@@ -15,13 +34,18 @@
 // -burst-ttl, and a panic while localizing one burst is recovered and
 // counted instead of killing a worker.
 //
+// On SIGINT/SIGTERM the server drains gracefully: intake stops, queued
+// bursts are localized against -drain-timeout, and whatever remains past
+// the deadline is shed and counted.
+//
 // With -debug-addr set, an HTTP listener exposes /metrics (Prometheus text
 // format, including Go runtime telemetry), /healthz (liveness), /readyz
 // (readiness: 503 until at least one AP has delivered a packet within
-// -burst-ttl, with a per-AP staleness report), /debug/traces (recent burst
-// traces as JSON, or an HTML waterfall with ?view=html), /debug/quality
-// (per-burst confidence scores and the per-AP drift/health scoreboard, JSON
-// or ?view=html), and net/http/pprof under /debug/pprof/.
+// -burst-ttl, or while admission control is shedding more than
+// -admit-shed-floor of bursts), /debug/traces (recent burst traces as
+// JSON, or an HTML waterfall with ?view=html), /debug/quality (per-burst
+// confidence scores and the per-AP drift/health scoreboard, JSON or
+// ?view=html), and net/http/pprof under /debug/pprof/.
 //
 // Every fix carries a confidence score in [0,1] folding DSP internals
 // (likelihood margin, eigen gap, STO stability, AoA agreement, solver
@@ -38,6 +62,10 @@
 //	    -ap 0,0.4,0.4,45 -ap 1,15.6,0.4,135 -ap 2,8,9.7,-90 \
 //	    -bounds 0,0,16,10 [-batch 10] [-minaps 3] \
 //	    [-workers N] [-queue 64] [-idle-timeout 90s] [-burst-ttl 30s] \
+//	    [-admit-target 150ms] [-admit-deadline 1s] [-admit-interval 2s] \
+//	    [-admit-shed-floor 0.5] [-admit-log-every 5s] [-modes 3] \
+//	    [-breaker-window 30s] [-breaker-failures 8] [-breaker-cooldown 15s] \
+//	    [-breaker-probes 3] [-drain-timeout 5s] \
 //	    [-trace-sample 100] [-trace-slow 5s] [-log-format text] \
 //	    [-quality-floor 0.25] [-debug-addr 127.0.0.1:7101]
 package main
@@ -56,6 +84,7 @@ import (
 	"time"
 
 	"spotfi"
+	"spotfi/internal/admit"
 	"spotfi/internal/cliutil"
 	"spotfi/internal/csi"
 	"spotfi/internal/obs"
@@ -74,29 +103,28 @@ type burstJob struct {
 // once, here, before any worker starts: Registry registration takes a
 // lock, so hot paths only touch the returned handles.
 type localizeMetrics struct {
-	overloadDrops  *obs.Counter
 	localizeErrors *obs.Counter
 	localizePanics *obs.Counter
-	queueDepth     *obs.Gauge
+	breakerDrops   *obs.Counter
 }
 
 func newLocalizeMetrics(reg *obs.Registry) *localizeMetrics {
 	return &localizeMetrics{
-		overloadDrops: reg.Counter("spotfi_server_bursts_overload_dropped_total",
-			"Complete bursts dropped because the localization queue was full.", nil),
 		localizeErrors: reg.Counter("spotfi_server_localize_errors_total",
 			"Bursts whose localization failed end-to-end.", nil),
 		localizePanics: reg.Counter("spotfi_server_localize_panics_total",
 			"Localization worker panics recovered; the burst was discarded.", nil),
-		queueDepth: reg.Gauge("spotfi_server_localize_queue_depth",
-			"Bursts waiting for a localization worker.", nil),
+		breakerDrops: reg.Counter("spotfi_server_bursts_breaker_dropped_total",
+			"Queued bursts dropped because breakers opened on too many of their APs before a worker picked them up.", nil),
 	}
 }
 
 // localizeOne runs one burst through the pipeline with panic isolation: a
 // numerical blow-up on one poisoned burst must cost that burst, not a
-// worker (and with it, eventually, the whole pool).
-func localizeOne(loc *spotfi.Localizer, lm *localizeMetrics, logger *slog.Logger, j burstJob) {
+// worker (and with it, eventually, the whole pool). Bursts whose APs were
+// quarantined while queued are re-filtered here, so the breaker's view is
+// never more than one queue sojourn stale.
+func localizeOne(loc *spotfi.Localizer, breakers *admit.BreakerSet, lm *localizeMetrics, logger *slog.Logger, j burstJob) {
 	// The worker owns the burst lifecycle end: whatever happens below, the
 	// trace is completed and handed to its sinks.
 	defer j.tr.Finish()
@@ -106,6 +134,21 @@ func localizeOne(loc *spotfi.Localizer, lm *localizeMetrics, logger *slog.Logger
 			logger.Error("localize panic recovered", "mac", j.mac, "trace", j.tr.ID(), "panic", fmt.Sprint(r))
 		}
 	}()
+	excluded := 0
+	for ap := range j.bursts {
+		if !breakers.Allow(ap) {
+			delete(j.bursts, ap)
+			excluded++
+		}
+	}
+	if excluded > 0 {
+		j.tr.Root().SetInt("breaker_excluded", int64(excluded))
+	}
+	if len(j.bursts) < 2 {
+		lm.breakerDrops.Inc()
+		j.tr.Root().SetStr("dropped", "breaker")
+		return
+	}
 	p, reports, skipped, err := loc.LocalizeBurstsTraced(j.bursts, j.tr)
 	for _, s := range skipped {
 		logger.Warn("AP skipped", "mac", j.mac, "trace", j.tr.ID(), "ap", s.APID, "err", s.Err)
@@ -116,7 +159,44 @@ func localizeOne(loc *spotfi.Localizer, lm *localizeMetrics, logger *slog.Logger
 		return
 	}
 	logger.Info("target localized", "mac", j.mac, "trace", j.tr.ID(),
-		"x", p.X, "y", p.Y, "aps", len(reports), "confidence", p.Confidence)
+		"x", p.X, "y", p.Y, "aps", len(reports), "confidence", p.Confidence, "mode", p.Mode)
+}
+
+// buildLocalizers constructs one Localizer per degradation rung, cheapest
+// last, all sharing the pipeline metrics and quality monitor. modes bounds
+// how many rungs are built (≥ 1).
+func buildLocalizers(base spotfi.Config, aps []spotfi.AP, modes int) ([]*spotfi.Localizer, error) {
+	configs := []func(spotfi.Config) spotfi.Config{
+		func(c spotfi.Config) spotfi.Config {
+			c.ModeLabel = admit.ModeFull.String()
+			return c
+		},
+		func(c spotfi.Config) spotfi.Config {
+			c.ModeLabel = admit.ModeFastPath.String()
+			c.FastPath.Enabled = true
+			return c
+		},
+		func(c spotfi.Config) spotfi.Config {
+			c.ModeLabel = admit.ModeCoarse.String()
+			c.FastPath.Enabled = true
+			// Halve the coarse-pass resolution of the MUSIC fallback on
+			// top of the fast path: cheaper hard bursts, same refinement.
+			c.Music.CoarseGridFactor *= 2
+			return c
+		},
+	}
+	if modes < len(configs) {
+		configs = configs[:modes]
+	}
+	locs := make([]*spotfi.Localizer, 0, len(configs))
+	for _, mk := range configs {
+		loc, err := spotfi.New(mk(base), aps)
+		if err != nil {
+			return nil, err
+		}
+		locs = append(locs, loc)
+	}
+	return locs, nil
 }
 
 func main() {
@@ -125,11 +205,33 @@ func main() {
 	batch := flag.Int("batch", 10, "packets per AP per localization burst")
 	minAPs := flag.Int("minaps", 3, "minimum APs with a full batch before localizing")
 	workers := flag.Int("workers", runtime.GOMAXPROCS(0), "localization worker goroutines")
-	queue := flag.Int("queue", 64, "burst queue depth; bursts beyond it are dropped")
+	queue := flag.Int("queue", 64, "burst queue capacity; at capacity the chattiest target's oldest burst is evicted")
 	idleTimeout := flag.Duration("idle-timeout", server.DefaultIdleTimeout,
 		"reap AP connections silent for this long (0 disables)")
 	burstTTL := flag.Duration("burst-ttl", 30*time.Second,
 		"evict buffered packets of incomplete bursts older than this (0 disables)")
+	admitTarget := flag.Duration("admit-target", 150*time.Millisecond,
+		"acceptable standing queue sojourn; CoDel shedding engages above it")
+	admitDeadline := flag.Duration("admit-deadline", time.Second,
+		"hard freshness budget: queued bursts older than this are shed")
+	admitInterval := flag.Duration("admit-interval", 2*time.Second,
+		"CoDel observation interval before shedding starts")
+	admitShedFloor := flag.Float64("admit-shed-floor", 0.5,
+		"shed-rate fraction above which /readyz reports degraded")
+	admitLogEvery := flag.Duration("admit-log-every", 5*time.Second,
+		"summarize shed bursts in the log at most this often")
+	modes := flag.Int("modes", 3,
+		"degradation ladder depth: 1 full MUSIC only, 2 adds the ESPRIT fast path, 3 adds the coarse grid")
+	breakerWindow := flag.Duration("breaker-window", 30*time.Second,
+		"failure window for tripping an AP's circuit breaker")
+	breakerFailures := flag.Int("breaker-failures", 8,
+		"failures within -breaker-window that trip an AP's breaker open")
+	breakerCooldown := flag.Duration("breaker-cooldown", 15*time.Second,
+		"quarantine before an open breaker probes the AP again (doubles per reopen)")
+	breakerProbes := flag.Int("breaker-probes", 3,
+		"healthy probation bursts that close a half-open breaker")
+	drainTimeout := flag.Duration("drain-timeout", 5*time.Second,
+		"shutdown budget for localizing already-queued bursts; the rest are shed")
 	debugAddr := flag.String("debug-addr", "", "HTTP address for /metrics, /healthz, /debug/traces, and /debug/pprof (disabled if empty)")
 	traceSample := flag.Int("trace-sample", 100, "trace 1 in N bursts (0 disables tracing)")
 	traceSlow := flag.Duration("trace-slow", 5*time.Second, "always retain traces of bursts slower than this end-to-end")
@@ -168,6 +270,26 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spotfi-server: -trace-sample must be ≥ 0")
 		os.Exit(2)
 	}
+	if *admitTarget <= 0 || *admitInterval <= 0 || *admitDeadline < *admitTarget {
+		fmt.Fprintln(os.Stderr, "spotfi-server: -admit-target/-admit-interval must be > 0 and -admit-deadline ≥ -admit-target")
+		os.Exit(2)
+	}
+	if *admitShedFloor <= 0 || *admitShedFloor > 1 {
+		fmt.Fprintln(os.Stderr, "spotfi-server: -admit-shed-floor must be in (0,1]")
+		os.Exit(2)
+	}
+	if *modes < 1 || *modes > 3 {
+		fmt.Fprintln(os.Stderr, "spotfi-server: -modes must be 1, 2, or 3")
+		os.Exit(2)
+	}
+	if *breakerWindow <= 0 || *breakerCooldown <= 0 || *breakerFailures < 1 || *breakerProbes < 1 {
+		fmt.Fprintln(os.Stderr, "spotfi-server: -breaker-* values must be positive")
+		os.Exit(2)
+	}
+	if *drainTimeout < 0 {
+		fmt.Fprintln(os.Stderr, "spotfi-server: -drain-timeout must be ≥ 0")
+		os.Exit(2)
+	}
 	bounds, err := cliutil.ParseBounds(*boundsStr)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
@@ -189,30 +311,86 @@ func main() {
 		Registry:      reg,
 		Logger:        logger,
 	})
-	monitor := quality.NewMonitor(reg, quality.Config{Floor: *qualityFloor})
+
+	// Per-AP circuit breakers, fed from three directions: ingest events
+	// (reconnect churn, non-finite CSI) via the server's event sink, drift
+	// breaches and per-burst AP scores via the quality monitor's hooks.
+	breakers := admit.NewBreakerSet(reg, admit.BreakerConfig{
+		Window:   *breakerWindow,
+		Failures: *breakerFailures,
+		Cooldown: *breakerCooldown,
+		Probes:   *breakerProbes,
+		OnTransition: func(ap int, from, to admit.State, kind admit.FailureKind) {
+			logger.Warn("AP breaker state change", "ap", ap, "from", from.String(), "to", to.String(), "kind", string(kind))
+		},
+	})
+	monitor := quality.NewMonitor(reg, quality.Config{
+		Floor: *qualityFloor,
+		OnBurst: func(sc quality.Score) {
+			for _, ap := range sc.PerAP {
+				breakers.ObserveScore(ap.APID, ap.Score)
+			}
+		},
+		OnDriftBreach: func(apID, breached int) {
+			// A single breached observable can be an outlier burst; two or
+			// more breaching together is a real distribution shift.
+			if breached >= 2 {
+				breakers.Failure(apID, admit.FailDrift)
+			}
+		},
+	})
+
 	cfg := spotfi.DefaultConfig(bounds)
 	cfg.Metrics = spotfi.NewPipelineMetrics(reg)
 	cfg.QualityMonitor = monitor
-	loc, err := spotfi.New(cfg, aps)
+	locs, err := buildLocalizers(cfg, aps, *modes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
 		os.Exit(1)
 	}
 
 	lm := newLocalizeMetrics(reg)
+	shedlog := admit.NewShedLogger(logger, *admitLogEvery, nil)
 
-	// Bounded localization pool: burst handlers run on connection
-	// goroutines, so they must never block on or spawn unbounded work.
-	jobs := make(chan burstJob, *queue)
+	// Admission-controlled burst queue: burst handlers run on connection
+	// goroutines, so they must never block; workers pop through the
+	// CoDel/deadline policy so they never waste time on stale bursts.
+	adq := admit.NewQueue(admit.QueueConfig{
+		Capacity: *queue,
+		Target:   *admitTarget,
+		Deadline: *admitDeadline,
+		Interval: *admitInterval,
+		Metrics:  admit.NewQueueMetrics(reg),
+		OnShed: func(it admit.Item, reason admit.ShedReason) {
+			j := it.Payload.(burstJob)
+			j.tr.Root().SetStr("shed", string(reason))
+			j.tr.Finish()
+			shedlog.Note(reason)
+		},
+	})
+
+	// Degradation ladder: sojourn thresholds derived from the admission
+	// target, bounded by -modes.
+	lcfg := admit.DefaultLadderConfig(*admitTarget)
+	lcfg.MaxMode = admit.Mode(*modes - 1)
+	lcfg.OnChange = func(from, to admit.Mode) {
+		logger.Warn("degradation mode change", "from", from.String(), "to", to.String())
+	}
+	ladder := admit.NewLadder(reg, lcfg)
+
 	var pool sync.WaitGroup
 	for i := 0; i < *workers; i++ {
 		pool.Add(1)
 		//lint:allow gospawn this loop is the bounded localization pool itself (WaitGroup-joined, -workers sized)
 		go func() {
 			defer pool.Done()
-			for j := range jobs {
-				lm.queueDepth.Set(int64(len(jobs)))
-				localizeOne(loc, lm, logger, j)
+			for {
+				it, sojourn, ok := adq.Pop()
+				if !ok {
+					return
+				}
+				mode := ladder.Observe(sojourn)
+				localizeOne(locs[mode], breakers, lm, logger, it.Payload.(burstJob))
 			}
 		}()
 	}
@@ -224,15 +402,7 @@ func main() {
 		MaxBuffered: 40 * *batch,
 		BurstTTL:    *burstTTL,
 	}, func(mac string, bursts map[int][]*csi.Packet, tr *trace.Trace) {
-		select {
-		case jobs <- burstJob{mac: mac, bursts: bursts, tr: tr}:
-			lm.queueDepth.Set(int64(len(jobs)))
-		default:
-			lm.overloadDrops.Inc()
-			tr.Root().SetStr("dropped", "queue full")
-			tr.Finish()
-			logger.Warn("queue full, burst dropped", "mac", mac, "trace", tr.ID())
-		}
+		adq.Push(mac, burstJob{mac: mac, bursts: bursts, tr: tr})
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
@@ -240,6 +410,8 @@ func main() {
 	}
 	collector.SetMetrics(metrics)
 	collector.SetTracer(tracer)
+	// Quarantined APs are excluded from burst assembly at the source.
+	collector.SetQuarantine(breakers.Allow)
 	if *burstTTL > 0 {
 		// Sweep a few times per TTL so eviction lag stays a fraction of
 		// the staleness bound.
@@ -254,23 +426,30 @@ func main() {
 	}
 	srv.SetMetrics(metrics)
 	srv.SetTimeouts(server.DefaultHandshakeTimeout, *idleTimeout)
+	srv.SetEventSink(breakers)
 	addr, err := srv.Listen(*listen)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
 		os.Exit(1)
 	}
-	logger.Info("spotfi-server listening", "addr", addr.String(), "aps", len(aps), "workers", *workers)
+	logger.Info("spotfi-server listening", "addr", addr.String(), "aps", len(aps), "workers", *workers, "modes", *modes)
 
 	if *debugAddr != "" {
 		mux := http.NewServeMux()
 		mux.Handle("/metrics", reg.Handler())
 		// /healthz is pure liveness (the process is up); /readyz is
-		// readiness (at least one AP delivered a packet within -burst-ttl,
-		// so the server can actually produce fixes).
+		// readiness (at least one AP delivered a packet within -burst-ttl
+		// and admission control is not hard-shedding, so the server can
+		// actually produce fixes).
 		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
-		mux.Handle("/readyz", srv.Tracker().ReadinessHandler(*burstTTL))
+		mux.Handle("/readyz", srv.Tracker().ReadinessHandler(*burstTTL, func() (string, bool) {
+			if rate := adq.ShedRate(); rate > *admitShedFloor {
+				return fmt.Sprintf("admission control shedding %.0f%% of bursts", 100*rate), false
+			}
+			return "", true
+		}))
 		mux.Handle("/debug/traces", tracer.Handler())
 		mux.Handle("/debug/quality", monitor.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
@@ -290,11 +469,31 @@ func main() {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
-	logger.Info("shutting down")
+	logger.Info("shutting down, draining queued bursts", "deadline", *drainTimeout)
+
+	// Graceful drain, outermost-in: stop accepting packets, stop burst
+	// assembly (waiting out any in-flight handler), then let the workers
+	// localize what is already queued — against a deadline, past which the
+	// remainder is shed and counted rather than holding the process
+	// hostage.
 	if err := srv.Close(); err != nil {
 		logger.Warn("close failed", "err", err)
 	}
-	// All connection goroutines are drained: no handler can enqueue now.
-	close(jobs)
-	pool.Wait()
+	discarded := collector.Shutdown()
+	adq.Close()
+	done := make(chan struct{})
+	//lint:allow gospawn shutdown-only helper; joined via done before exit on both paths
+	go func() {
+		pool.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-time.After(*drainTimeout):
+		shed := adq.Abort()
+		logger.Warn("drain deadline exceeded, shedding queued bursts", "shed", shed)
+		<-done
+	}
+	shedlog.Flush()
+	logger.Info("drained", "discarded_partial_packets", discarded)
 }

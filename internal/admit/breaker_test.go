@@ -1,0 +1,214 @@
+package admit
+
+import (
+	"testing"
+	"time"
+)
+
+func testBreakerConfig(clk *fakeClock) BreakerConfig {
+	return BreakerConfig{
+		Window:         10 * time.Second,
+		Failures:       3,
+		Cooldown:       5 * time.Second,
+		Probes:         2,
+		UnhealthyBelow: 0.2,
+		HealthyAbove:   0.5,
+		Now:            clk.Now,
+	}
+}
+
+func TestBreakerTripsOnFailureBurst(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreakerSet(nil, testBreakerConfig(clk))
+
+	b.Failure(7, FailNonFinite)
+	b.Failure(7, FailNonFinite)
+	if !b.Allow(7) || b.State(7) != StateClosed {
+		t.Fatal("2 failures of 3 must not trip")
+	}
+	b.Failure(7, FailNonFinite)
+	if b.Allow(7) || b.State(7) != StateOpen {
+		t.Fatalf("3rd failure must trip open, state=%v", b.State(7))
+	}
+	// Other APs are unaffected.
+	if !b.Allow(8) {
+		t.Fatal("untracked AP must be allowed")
+	}
+}
+
+func TestBreakerWindowExpiry(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreakerSet(nil, testBreakerConfig(clk))
+
+	// Three failures spanning 12 s: the oldest is outside the 10 s window
+	// when the ring fills, so no trip.
+	b.Failure(1, FailDrift)
+	clk.Advance(6 * time.Second)
+	b.Failure(1, FailDrift)
+	clk.Advance(6 * time.Second)
+	b.Failure(1, FailDrift)
+	if b.State(1) != StateClosed {
+		t.Fatal("slow failure trickle must not trip")
+	}
+	// A fourth failure 1 s later: the last three span 7 s — trip.
+	clk.Advance(time.Second)
+	b.Failure(1, FailDrift)
+	if b.State(1) != StateOpen {
+		t.Fatal("3 failures within the window must trip")
+	}
+}
+
+func TestBreakerHalfOpenProbeCloses(t *testing.T) {
+	clk := newFakeClock()
+	var transitions []State
+	cfg := testBreakerConfig(clk)
+	cfg.OnTransition = func(ap int, from, to State, kind FailureKind) {
+		transitions = append(transitions, to)
+	}
+	b := NewBreakerSet(nil, cfg)
+	for i := 0; i < 3; i++ {
+		b.Failure(4, FailUnhealthy)
+	}
+	if b.Allow(4) {
+		t.Fatal("open breaker must quarantine")
+	}
+
+	// Cooldown not yet elapsed: still quarantined.
+	clk.Advance(4 * time.Second)
+	if b.Allow(4) {
+		t.Fatal("cooldown not elapsed")
+	}
+	// Cooldown elapsed: readmitted on probation.
+	clk.Advance(2 * time.Second)
+	if !b.Allow(4) || b.State(4) != StateHalfOpen {
+		t.Fatalf("want half-open probation, state=%v", b.State(4))
+	}
+
+	// Probes: a mid-band score is neutral, two healthy ones close.
+	b.ObserveScore(4, 0.3)
+	if b.State(4) != StateHalfOpen {
+		t.Fatal("neutral score must not change probation")
+	}
+	b.ObserveScore(4, 0.8)
+	b.ObserveScore(4, 0.9)
+	if b.State(4) != StateClosed {
+		t.Fatalf("2 healthy probes must close, state=%v", b.State(4))
+	}
+	want := []State{StateOpen, StateHalfOpen, StateClosed}
+	if len(transitions) != len(want) {
+		t.Fatalf("transitions = %v, want %v", transitions, want)
+	}
+	for i := range want {
+		if transitions[i] != want[i] {
+			t.Fatalf("transitions = %v, want %v", transitions, want)
+		}
+	}
+}
+
+func TestBreakerReopenDoublesCooldown(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreakerSet(nil, testBreakerConfig(clk))
+	for i := 0; i < 3; i++ {
+		b.Failure(2, FailNonFinite)
+	}
+	clk.Advance(5 * time.Second)
+	if b.State(2) != StateHalfOpen {
+		t.Fatal("want probation after cooldown")
+	}
+	// A bad probe reopens with a doubled (10 s) cooldown.
+	b.ObserveScore(2, 0.05)
+	if b.State(2) != StateOpen {
+		t.Fatal("unhealthy probe must reopen")
+	}
+	clk.Advance(6 * time.Second)
+	if b.State(2) != StateOpen {
+		t.Fatal("reopened breaker must wait the doubled cooldown")
+	}
+	clk.Advance(5 * time.Second)
+	if b.State(2) != StateHalfOpen {
+		t.Fatal("want probation after the doubled cooldown")
+	}
+	// Closing resets the backoff to the configured cooldown.
+	b.ObserveScore(2, 0.9)
+	b.ObserveScore(2, 0.9)
+	if b.State(2) != StateClosed {
+		t.Fatal("want closed after probes")
+	}
+}
+
+func TestBreakerDriftIgnoredDuringProbation(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreakerSet(nil, testBreakerConfig(clk))
+	for i := 0; i < 3; i++ {
+		b.Failure(5, FailUnhealthy)
+	}
+	clk.Advance(5 * time.Second)
+	if b.State(5) != StateHalfOpen {
+		t.Fatal("want probation")
+	}
+	// Drift baselines are stale after quarantine — breaches during
+	// probation must not reopen.
+	b.Failure(5, FailDrift)
+	if b.State(5) != StateHalfOpen {
+		t.Fatal("drift breach during probation must be ignored")
+	}
+	// A hard failure still reopens immediately.
+	b.Failure(5, FailNonFinite)
+	if b.State(5) != StateOpen {
+		t.Fatal("hard failure during probation must reopen")
+	}
+}
+
+func TestBreakerReconnectChurn(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreakerSet(nil, testBreakerConfig(clk))
+	b.APConnected(3) // first connect: normal startup
+	if b.State(3) != StateClosed {
+		t.Fatal("first connect must not count as churn")
+	}
+	b.APConnected(3)
+	b.APConnected(3)
+	if b.State(3) != StateClosed {
+		t.Fatal("2 reconnects of 3 must not trip")
+	}
+	b.APConnected(3)
+	if b.State(3) != StateOpen {
+		t.Fatal("reconnect churn must trip the breaker")
+	}
+}
+
+func TestBreakerNilReceiver(t *testing.T) {
+	var b *BreakerSet
+	if !b.Allow(1) {
+		t.Fatal("nil set must allow")
+	}
+	b.Failure(1, FailNonFinite)
+	b.ObserveScore(1, 0.1)
+	b.APConnected(1)
+	b.NonFiniteCSI(1)
+	if b.State(1) != StateClosed {
+		t.Fatal("nil set must read closed")
+	}
+	if b.Snapshot() != nil {
+		t.Fatal("nil set snapshot must be nil")
+	}
+}
+
+func TestBreakerSnapshot(t *testing.T) {
+	clk := newFakeClock()
+	b := NewBreakerSet(nil, testBreakerConfig(clk))
+	b.APConnected(9)
+	for i := 0; i < 3; i++ {
+		b.Failure(1, FailNonFinite)
+	}
+	snap := b.Snapshot()
+	if len(snap) != 2 || snap[0].AP != 1 || snap[1].AP != 9 {
+		t.Fatalf("snapshot = %+v, want APs [1 9]", snap)
+	}
+	if snap[0].State != "open" || snap[0].Trips != 1 {
+		t.Fatalf("AP 1 = %+v, want open with 1 trip", snap[0])
+	}
+	if snap[1].State != "closed" {
+		t.Fatalf("AP 9 = %+v, want closed", snap[1])
+	}
+}

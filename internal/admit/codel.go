@@ -1,0 +1,74 @@
+package admit
+
+import "math"
+
+// codel is the CoDel control law (Nichols & Jacobson, CACM 2012) applied
+// to burst sojourn times, plus a hard freshness deadline. All state is in
+// nanoseconds so the decision sits on the per-burst hot path without
+// touching time.Time.
+//
+// The law: while every delivered item's sojourn stays below target the
+// queue is healthy. Once sojourn stays above target for a full interval,
+// enter the dropping state and shed one item; subsequent sheds come at
+// interval/√count spacing, so the shed rate ramps up until sojourn dips
+// back under target, which resets the controller.
+type codel struct {
+	targetNs   int64
+	intervalNs int64
+	deadlineNs int64
+
+	firstAboveNs int64 // when sojourn first exceeded target (0 = not above)
+	dropping     bool
+	dropNextNs   int64 // next scheduled shed while dropping
+	dropCount    int   // sheds this dropping episode
+}
+
+// decide returns the admission decision for an item popped at nowNs after
+// waiting sojournNs. It runs under the queue lock on every delivered
+// burst, so it must stay allocation-free.
+//
+//spotfi:noalloc
+func (c *codel) decide(nowNs, sojournNs int64) (bool, ShedReason) {
+	if sojournNs >= c.deadlineNs {
+		// Hard freshness budget blown: shed regardless of controller
+		// state, but keep feeding the above-target tracker so the control
+		// law still engages against the backlog behind this item.
+		if c.firstAboveNs == 0 {
+			c.firstAboveNs = nowNs
+		}
+		return true, ShedStale
+	}
+	if sojournNs < c.targetNs {
+		c.firstAboveNs = 0
+		c.dropping = false
+		c.dropCount = 0
+		return false, ""
+	}
+	if c.firstAboveNs == 0 {
+		c.firstAboveNs = nowNs
+		return false, ""
+	}
+	if !c.dropping {
+		if nowNs-c.firstAboveNs >= c.intervalNs {
+			c.dropping = true
+			c.dropCount = 1
+			c.dropNextNs = nowNs + controlInterval(c.intervalNs, 1)
+			return true, ShedCoDel
+		}
+		return false, ""
+	}
+	if nowNs >= c.dropNextNs {
+		c.dropCount++
+		c.dropNextNs = nowNs + controlInterval(c.intervalNs, c.dropCount)
+		return true, ShedCoDel
+	}
+	return false, ""
+}
+
+// controlInterval is CoDel's shed spacing: interval/√count, so sustained
+// overload sheds at a gently increasing rate instead of a cliff.
+//
+//spotfi:noalloc
+func controlInterval(intervalNs int64, count int) int64 {
+	return int64(float64(intervalNs) / math.Sqrt(float64(count)))
+}

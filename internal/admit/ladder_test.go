@@ -1,0 +1,83 @@
+package admit
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLadderStepsDownAndRecovers(t *testing.T) {
+	cfg := DefaultLadderConfig(100 * time.Millisecond)
+	cfg.HoldGood = 3
+	var changes [][2]Mode
+	cfg.OnChange = func(from, to Mode) { changes = append(changes, [2]Mode{from, to}) }
+	l := NewLadder(nil, cfg)
+
+	if got := l.Observe(50 * time.Millisecond); got != ModeFull {
+		t.Fatalf("healthy sojourn → %v, want full", got)
+	}
+	// 200 ms ≥ 2× target: degrade one rung.
+	if got := l.Observe(200 * time.Millisecond); got != ModeFastPath {
+		t.Fatalf("2×target sojourn → %v, want fastpath", got)
+	}
+	// Still heavy but below the next threshold (600 ms): hold.
+	if got := l.Observe(400 * time.Millisecond); got != ModeFastPath {
+		t.Fatalf("mid sojourn → %v, want fastpath held", got)
+	}
+	// 600 ms ≥ 6× target: bottom rung.
+	if got := l.Observe(700 * time.Millisecond); got != ModeCoarse {
+		t.Fatalf("6×target sojourn → %v, want coarse", got)
+	}
+	// Further overload has nowhere to go.
+	if got := l.Observe(5 * time.Second); got != ModeCoarse {
+		t.Fatalf("deep overload → %v, want coarse (MaxMode)", got)
+	}
+
+	// Recovery needs HoldGood consecutive good sojourns; a heavy one in
+	// between resets the streak.
+	l.Observe(10 * time.Millisecond)
+	l.Observe(10 * time.Millisecond)
+	l.Observe(200 * time.Millisecond) // resets the streak (neutral zone)
+	l.Observe(10 * time.Millisecond)
+	l.Observe(10 * time.Millisecond)
+	if got := l.Observe(10 * time.Millisecond); got != ModeFastPath {
+		t.Fatalf("3 consecutive good → %v, want one rung up", got)
+	}
+	l.Observe(10 * time.Millisecond)
+	l.Observe(10 * time.Millisecond)
+	if got := l.Observe(10 * time.Millisecond); got != ModeFull {
+		t.Fatalf("3 more good → %v, want full", got)
+	}
+
+	want := [][2]Mode{
+		{ModeFull, ModeFastPath},
+		{ModeFastPath, ModeCoarse},
+		{ModeCoarse, ModeFastPath},
+		{ModeFastPath, ModeFull},
+	}
+	if len(changes) != len(want) {
+		t.Fatalf("changes = %v, want %v", changes, want)
+	}
+	for i := range want {
+		if changes[i] != want[i] {
+			t.Fatalf("changes = %v, want %v", changes, want)
+		}
+	}
+}
+
+func TestLadderMaxModeBoundsDegradation(t *testing.T) {
+	cfg := DefaultLadderConfig(100 * time.Millisecond)
+	cfg.MaxMode = ModeFastPath
+	l := NewLadder(nil, cfg)
+	l.Observe(time.Second)
+	if got := l.Observe(time.Second); got != ModeFastPath {
+		t.Fatalf("mode = %v, want capped at fastpath", got)
+	}
+}
+
+func TestModeStrings(t *testing.T) {
+	for m, want := range map[Mode]string{ModeFull: "full", ModeFastPath: "fastpath", ModeCoarse: "coarse"} {
+		if m.String() != want {
+			t.Fatalf("Mode(%d).String() = %q, want %q", m, m.String(), want)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package admit
+
+import (
+	"time"
+
+	"spotfi/internal/obs"
+)
+
+// QueueMetrics holds the admission-control series. Register once with
+// NewQueueMetrics before the queue starts; all methods are safe on a nil
+// receiver, so an unwired queue pays only nil checks.
+type QueueMetrics struct {
+	sojourn *obs.Histogram
+	depth   *obs.Gauge
+	shed    map[ShedReason]*obs.Counter
+}
+
+// NewQueueMetrics registers the admission series on reg. Every shed
+// reason's series is registered eagerly so dashboards see zeros instead
+// of absent series.
+func NewQueueMetrics(reg *obs.Registry) *QueueMetrics {
+	m := &QueueMetrics{
+		sojourn: reg.Histogram("spotfi_admit_queue_sojourn_seconds",
+			"Queue wait of delivered bursts, from enqueue to worker pickup.",
+			obs.LatencyBuckets, nil),
+		depth: reg.Gauge("spotfi_admit_queue_depth",
+			"Bursts waiting for a localization worker.", nil),
+		shed: make(map[ShedReason]*obs.Counter, len(ShedReasons())),
+	}
+	for _, r := range ShedReasons() {
+		m.shed[r] = reg.Counter("spotfi_admit_shed_total",
+			"Bursts shed by admission control, by reason.",
+			obs.Labels{"reason": string(r)})
+	}
+	return m
+}
+
+// observeDelivered records a delivered burst's sojourn and the remaining
+// depth.
+func (m *QueueMetrics) observeDelivered(sojourn time.Duration, depth int) {
+	if m == nil {
+		return
+	}
+	m.sojourn.Observe(sojourn.Seconds())
+	m.depth.Set(int64(depth))
+}
+
+// countShed increments the reason's shed counter.
+func (m *QueueMetrics) countShed(r ShedReason) {
+	if m == nil {
+		return
+	}
+	m.shed[r].Inc()
+}
+
+// setDepth updates the depth gauge.
+func (m *QueueMetrics) setDepth(depth int) {
+	if m == nil {
+		return
+	}
+	m.depth.Set(int64(depth))
+}

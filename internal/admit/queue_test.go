@@ -1,0 +1,325 @@
+package admit
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// fakeClock is a manually advanced clock shared by a test and the code
+// under test.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	c.t = c.t.Add(d)
+	c.mu.Unlock()
+}
+
+// shedRecorder collects OnShed callbacks.
+type shedRecorder struct {
+	mu    sync.Mutex
+	items []Item
+	why   []ShedReason
+}
+
+func (r *shedRecorder) observe(it Item, reason ShedReason) {
+	r.mu.Lock()
+	r.items = append(r.items, it)
+	r.why = append(r.why, reason)
+	r.mu.Unlock()
+}
+
+func (r *shedRecorder) count() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.items)
+}
+
+func TestQueueFIFOAndSojourn(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(QueueConfig{Capacity: 8, Now: clk.Now})
+	q.Push("aa", 1)
+	clk.Advance(10 * time.Millisecond)
+	q.Push("bb", 2)
+	clk.Advance(20 * time.Millisecond)
+
+	it, sojourn, ok := q.Pop()
+	if !ok || it.Payload.(int) != 1 {
+		t.Fatalf("first pop = %+v ok=%v, want payload 1", it, ok)
+	}
+	if sojourn != 30*time.Millisecond {
+		t.Fatalf("sojourn = %v, want 30ms", sojourn)
+	}
+	it, sojourn, ok = q.Pop()
+	if !ok || it.Payload.(int) != 2 || sojourn != 20*time.Millisecond {
+		t.Fatalf("second pop = %+v sojourn=%v ok=%v", it, sojourn, ok)
+	}
+}
+
+func TestQueueHardDeadlineShedsStale(t *testing.T) {
+	clk := newFakeClock()
+	rec := &shedRecorder{}
+	q := NewQueue(QueueConfig{
+		Capacity: 8,
+		Target:   50 * time.Millisecond,
+		Deadline: 200 * time.Millisecond,
+		Now:      clk.Now,
+		OnShed:   rec.observe,
+	})
+	q.Push("old", 1)
+	clk.Advance(300 * time.Millisecond) // blows the 200ms budget
+	q.Push("fresh", 2)
+	clk.Advance(10 * time.Millisecond)
+
+	it, _, ok := q.Pop()
+	if !ok || it.MAC != "fresh" {
+		t.Fatalf("pop = %+v ok=%v, want the fresh item", it, ok)
+	}
+	if rec.count() != 1 || rec.why[0] != ShedStale || rec.items[0].MAC != "old" {
+		t.Fatalf("shed = %v %v, want [old]/stale", rec.items, rec.why)
+	}
+}
+
+func TestQueueCoDelControlLaw(t *testing.T) {
+	const (
+		target   = 100 * time.Millisecond
+		interval = 1 * time.Second
+		step     = 50 * time.Millisecond
+	)
+	clk := newFakeClock()
+	rec := &shedRecorder{}
+	q := NewQueue(QueueConfig{
+		Capacity: 8,
+		Target:   target,
+		Interval: interval,
+		Deadline: time.Hour, // out of the way: isolate the control law
+		Now:      clk.Now,
+		OnShed:   rec.observe,
+	})
+
+	// Sustained standing queue: every pop sees a sojourn of ≥ 200 ms
+	// (> target). The queue is topped up to 2 items before each pop, so a
+	// CoDel shed still leaves something deliverable and Pop never blocks.
+	start := clk.Now()
+	var shedTimes []time.Duration
+	for clk.Now().Sub(start) < 4*interval {
+		for q.Len() < 2 {
+			q.Push("aa", nil)
+		}
+		clk.Advance(200 * time.Millisecond)
+		before := rec.count()
+		if _, _, ok := q.Pop(); !ok {
+			t.Fatal("queue unexpectedly closed")
+		}
+		if rec.count() != before {
+			shedTimes = append(shedTimes, clk.Now().Sub(start))
+		}
+		clk.Advance(step)
+	}
+
+	if len(shedTimes) < 3 {
+		t.Fatalf("want ≥ 3 CoDel sheds over 4 intervals of standing queue, got %d", len(shedTimes))
+	}
+	// No shed before a full interval of above-target sojourn.
+	if shedTimes[0] < interval {
+		t.Fatalf("first shed at %v, want ≥ %v", shedTimes[0], interval)
+	}
+	// The control law accelerates: interval/√count spacing shrinks.
+	gap1, gap2 := shedTimes[1]-shedTimes[0], shedTimes[2]-shedTimes[1]
+	if gap2 >= gap1 {
+		t.Fatalf("shed gaps %v then %v, want shrinking spacing", gap1, gap2)
+	}
+	for _, why := range rec.why {
+		if why != ShedCoDel {
+			t.Fatalf("shed reason = %v, want codel", why)
+		}
+	}
+
+	// Load clears: drain the backlog, then a below-target sojourn resets
+	// the controller.
+	for q.Len() > 0 {
+		q.Pop()
+	}
+	q.Push("aa", nil)
+	clk.Advance(10 * time.Millisecond)
+	before := rec.count()
+	if _, _, ok := q.Pop(); !ok || rec.count() != before {
+		t.Fatal("below-target pop should deliver and reset the controller")
+	}
+	q.Push("aa", nil)
+	clk.Advance(200 * time.Millisecond)
+	if _, _, ok := q.Pop(); !ok || rec.count() != before {
+		t.Fatal("one above-target pop right after reset must not shed")
+	}
+}
+
+func TestQueueFairEviction(t *testing.T) {
+	clk := newFakeClock()
+	rec := &shedRecorder{}
+	q := NewQueue(QueueConfig{Capacity: 4, Now: clk.Now, OnShed: rec.observe})
+
+	// Chatty target aa holds 3 of 4 slots; bb holds 1.
+	q.Push("aa", 1)
+	q.Push("aa", 2)
+	q.Push("bb", 3)
+	q.Push("aa", 4)
+
+	// bb pushes into a full queue: the heaviest target (aa) loses its
+	// oldest, not bb.
+	q.Push("bb", 5)
+	if rec.count() != 1 || rec.items[0].MAC != "aa" || rec.items[0].Payload.(int) != 1 {
+		t.Fatalf("victim = %+v, want aa's oldest (payload 1)", rec.items)
+	}
+	if rec.why[0] != ShedFull {
+		t.Fatalf("reason = %v, want full", rec.why[0])
+	}
+
+	// aa pushes while itself heaviest: it evicts its own oldest — the
+	// chatty device cannot displace anyone else's backlog.
+	q.Push("aa", 6)
+	if rec.count() != 2 || rec.items[1].MAC != "aa" || rec.items[1].Payload.(int) != 2 {
+		t.Fatalf("second victim = %+v, want aa's payload 2", rec.items)
+	}
+
+	// What remains pops in arrival order with the victims gone.
+	var got []int
+	for i := 0; i < 4; i++ {
+		it, _, ok := q.Pop()
+		if !ok {
+			t.Fatal("queue closed early")
+		}
+		got = append(got, it.Payload.(int))
+	}
+	want := []int{3, 4, 5, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueCloseDrainsThenStops(t *testing.T) {
+	clk := newFakeClock()
+	rec := &shedRecorder{}
+	q := NewQueue(QueueConfig{Capacity: 4, Now: clk.Now, OnShed: rec.observe})
+	q.Push("aa", 1)
+	q.Push("bb", 2)
+	q.Close()
+
+	if q.Push("cc", 3) {
+		t.Fatal("push after Close must be refused")
+	}
+	if rec.count() != 1 || rec.why[0] != ShedDrain {
+		t.Fatalf("post-close push shed = %v, want drain", rec.why)
+	}
+	for want := 1; want <= 2; want++ {
+		it, _, ok := q.Pop()
+		if !ok || it.Payload.(int) != want {
+			t.Fatalf("drain pop = %+v ok=%v, want %d", it, ok, want)
+		}
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("pop after drain must report done")
+	}
+}
+
+func TestQueueAbortShedsRemainder(t *testing.T) {
+	clk := newFakeClock()
+	rec := &shedRecorder{}
+	q := NewQueue(QueueConfig{Capacity: 4, Now: clk.Now, OnShed: rec.observe})
+	q.Push("aa", 1)
+	q.Push("bb", 2)
+	if n := q.Abort(); n != 2 {
+		t.Fatalf("Abort = %d, want 2", n)
+	}
+	if rec.count() != 2 || rec.why[0] != ShedDrain || rec.why[1] != ShedDrain {
+		t.Fatalf("abort sheds = %v, want 2× drain", rec.why)
+	}
+	if _, _, ok := q.Pop(); ok {
+		t.Fatal("pop after Abort must report done")
+	}
+	if q.Len() != 0 {
+		t.Fatalf("Len = %d after Abort", q.Len())
+	}
+}
+
+func TestQueueShedRateWindow(t *testing.T) {
+	clk := newFakeClock()
+	q := NewQueue(QueueConfig{
+		Capacity:   8,
+		Deadline:   100 * time.Millisecond,
+		RateWindow: 10 * time.Second,
+		Now:        clk.Now,
+	})
+	// 3 delivered, 1 shed (stale).
+	for i := 0; i < 3; i++ {
+		q.Push("aa", nil)
+		clk.Advance(time.Millisecond)
+		if _, _, ok := q.Pop(); !ok {
+			t.Fatal("pop failed")
+		}
+	}
+	q.Push("aa", nil)
+	clk.Advance(200 * time.Millisecond)
+	q.Push("aa", nil)
+	clk.Advance(time.Millisecond)
+	if _, _, ok := q.Pop(); !ok { // sheds the stale one, delivers the fresh
+		t.Fatal("pop failed")
+	}
+	if got := q.ShedRate(); got < 0.19 || got > 0.21 {
+		t.Fatalf("ShedRate = %v, want 1 shed of 5 outcomes = 0.2", got)
+	}
+	// History decays: two idle windows later the rate reads zero.
+	clk.Advance(25 * time.Second)
+	if got := q.ShedRate(); got != 0 {
+		t.Fatalf("ShedRate after idle = %v, want 0", got)
+	}
+}
+
+func TestQueueConcurrentPushPop(t *testing.T) {
+	q := NewQueue(QueueConfig{Capacity: 16, Deadline: time.Hour, Target: time.Hour / 2})
+	const producers, each = 4, 200
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			macs := []string{"aa", "bb", "cc"}
+			for i := 0; i < each; i++ {
+				q.Push(macs[(p+i)%len(macs)], i)
+			}
+		}(p)
+	}
+	var consumed int
+	var cwg sync.WaitGroup
+	cwg.Add(1)
+	go func() {
+		defer cwg.Done()
+		for {
+			if _, _, ok := q.Pop(); !ok {
+				return
+			}
+			consumed++
+		}
+	}()
+	wg.Wait()
+	q.Close()
+	cwg.Wait()
+	if total := consumed + int(q.ShedTotal()); total != producers*each {
+		t.Fatalf("consumed %d + shed %d = %d, want %d", consumed, q.ShedTotal(), total, producers*each)
+	}
+}

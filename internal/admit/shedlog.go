@@ -1,0 +1,102 @@
+package admit
+
+import (
+	"log/slog"
+	"sync"
+	"time"
+)
+
+// ShedLogger rate-limits overload logging: instead of one Warn per shed
+// burst (a logging DoS at exactly the moment the server is drowning), it
+// emits at most one summary record per interval with per-reason counts.
+// The first shed after a quiet interval logs immediately, so operators
+// still get a prompt signal.
+type ShedLogger struct {
+	log      *slog.Logger
+	interval time.Duration
+	now      func() time.Time
+
+	mu       sync.Mutex
+	counts   map[ShedReason]uint64
+	total    uint64
+	lastEmit time.Time
+}
+
+// NewShedLogger returns a ShedLogger emitting on logger at most once per
+// interval (default 5 s). now overrides the clock for tests; nil means
+// time.Now.
+func NewShedLogger(logger *slog.Logger, interval time.Duration, now func() time.Time) *ShedLogger {
+	if logger == nil {
+		logger = slog.Default()
+	}
+	if interval <= 0 {
+		interval = 5 * time.Second
+	}
+	if now == nil {
+		now = time.Now
+	}
+	return &ShedLogger{
+		log:      logger,
+		interval: interval,
+		now:      now,
+		counts:   make(map[ShedReason]uint64),
+	}
+}
+
+// Note records one shed and emits the pending summary when the interval
+// has elapsed since the last emission.
+func (s *ShedLogger) Note(reason ShedReason) {
+	s.mu.Lock()
+	s.counts[reason]++
+	s.total++
+	rec, ok := s.flushLocked(false)
+	s.mu.Unlock()
+	if ok {
+		s.emit(rec)
+	}
+}
+
+// Flush emits any pending summary immediately — call it on shutdown so
+// the tail of an overload episode is not lost.
+func (s *ShedLogger) Flush() {
+	s.mu.Lock()
+	rec, ok := s.flushLocked(true)
+	s.mu.Unlock()
+	if ok {
+		s.emit(rec)
+	}
+}
+
+// shedSummary is one drained summary, emitted outside the lock.
+type shedSummary struct {
+	total  uint64
+	counts map[ShedReason]uint64
+	window time.Duration
+}
+
+// flushLocked drains the pending counts when due (or forced), resetting
+// the interval clock.
+func (s *ShedLogger) flushLocked(force bool) (shedSummary, bool) {
+	if s.total == 0 {
+		return shedSummary{}, false
+	}
+	now := s.now()
+	if !force && !s.lastEmit.IsZero() && now.Sub(s.lastEmit) < s.interval {
+		return shedSummary{}, false
+	}
+	rec := shedSummary{total: s.total, counts: s.counts, window: s.interval}
+	s.counts = make(map[ShedReason]uint64)
+	s.total = 0
+	s.lastEmit = now
+	return rec, true
+}
+
+func (s *ShedLogger) emit(rec shedSummary) {
+	s.log.Warn("overload: bursts shed",
+		"total", rec.total,
+		"full", rec.counts[ShedFull],
+		"stale", rec.counts[ShedStale],
+		"codel", rec.counts[ShedCoDel],
+		"drain", rec.counts[ShedDrain],
+		"interval", rec.window)
+}

@@ -1,0 +1,64 @@
+package admit
+
+import (
+	"bytes"
+	"log/slog"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestShedLoggerRateLimits(t *testing.T) {
+	clk := newFakeClock()
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	s := NewShedLogger(logger, 5*time.Second, clk.Now)
+
+	// First shed logs immediately — overload onset must be visible.
+	s.Note(ShedFull)
+	if got := strings.Count(buf.String(), "overload: bursts shed"); got != 1 {
+		t.Fatalf("records after first shed = %d, want 1", got)
+	}
+
+	// A storm inside the interval stays silent.
+	for i := 0; i < 1000; i++ {
+		s.Note(ShedStale)
+	}
+	if got := strings.Count(buf.String(), "overload: bursts shed"); got != 1 {
+		t.Fatalf("records during storm = %d, want still 1", got)
+	}
+
+	// The next shed after the interval carries the aggregate.
+	clk.Advance(6 * time.Second)
+	s.Note(ShedCoDel)
+	out := buf.String()
+	if got := strings.Count(out, "overload: bursts shed"); got != 2 {
+		t.Fatalf("records after interval = %d, want 2", got)
+	}
+	if !strings.Contains(out, "total=1001") || !strings.Contains(out, "stale=1000") || !strings.Contains(out, "codel=1") {
+		t.Fatalf("summary missing aggregate counts:\n%s", out)
+	}
+}
+
+func TestShedLoggerFlush(t *testing.T) {
+	clk := newFakeClock()
+	var buf bytes.Buffer
+	logger := slog.New(slog.NewTextHandler(&buf, nil))
+	s := NewShedLogger(logger, time.Minute, clk.Now)
+
+	s.Flush() // nothing pending: no record
+	if buf.Len() != 0 {
+		t.Fatalf("empty flush wrote: %s", buf.String())
+	}
+
+	s.Note(ShedDrain) // logs immediately (first shed)
+	s.Note(ShedDrain) // pending
+	s.Flush()
+	out := buf.String()
+	if got := strings.Count(out, "overload: bursts shed"); got != 2 {
+		t.Fatalf("records = %d, want immediate + flushed", got)
+	}
+	if !strings.Contains(out, "drain=1") {
+		t.Fatalf("flushed summary missing drain count:\n%s", out)
+	}
+}

@@ -35,6 +35,15 @@ type Config struct {
 	// Recent is the capacity of the recent-bursts ring backing the
 	// scoreboard (default 512).
 	Recent int
+	// OnBurst, when non-nil, receives every scored burst right after it is
+	// folded into the monitor — the hook feeding per-AP instantaneous
+	// scores to circuit breakers. Called outside the monitor lock, on the
+	// goroutine that localized the burst; it must not call Observe.
+	OnBurst func(sc Score)
+	// OnDriftBreach, when non-nil, fires per AP whose burst breached ≥1
+	// drift baselines, with the breach count. Called outside the monitor
+	// lock; it must not call Observe.
+	OnDriftBreach func(apID, breached int)
 }
 
 // Monitor aggregates burst confidence scores: it feeds the quality metrics
@@ -154,9 +163,15 @@ func (m *Monitor) Observe(sc Score) {
 	rec := BurstRecord{Time: now, Overall: sc.Overall, Breakdown: sc.Breakdown}
 	breached := 0
 	var fresh []int
+	type apBreach struct{ ap, n int }
+	var breaches []apBreach
 	m.mu.Lock()
 	for _, ap := range sc.PerAP {
-		breached += m.drift.observe(ap, now)
+		n := m.drift.observe(ap, now)
+		breached += n
+		if n > 0 && m.cfg.OnDriftBreach != nil {
+			breaches = append(breaches, apBreach{ap: ap.APID, n: n})
+		}
 		rec.PerAP = append(rec.PerAP, APBurstScore{APID: ap.APID, Score: ap.Score})
 		if !m.gauges[ap.APID] {
 			m.gauges[ap.APID] = true
@@ -182,6 +197,12 @@ func (m *Monitor) Observe(sc Score) {
 	}
 	if breached > 0 {
 		m.breaches.Add(uint64(breached))
+	}
+	for _, b := range breaches {
+		m.cfg.OnDriftBreach(b.ap, b.n)
+	}
+	if m.cfg.OnBurst != nil {
+		m.cfg.OnBurst(sc)
 	}
 }
 

@@ -4,6 +4,7 @@
 package server
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -11,6 +12,10 @@ import (
 	"spotfi/internal/csi"
 	"spotfi/internal/obs/trace"
 )
+
+// ErrShutdown is returned by Add after Shutdown: the collector no longer
+// assembles bursts.
+var ErrShutdown = errors.New("server: collector shut down")
 
 // BurstHandler receives a complete burst: for each AP that heard the
 // target, BatchSize consecutive packets. It runs on the goroutine that
@@ -101,6 +106,12 @@ type Collector struct {
 	emitted     uint64
 	expired     uint64
 	quarantined []QuarantinedBurst
+	quarantine  func(ap int) bool // AP participates only when true; nil = all
+	down        bool              // Shutdown called: Add rejects, no more emits
+
+	// emitWG tracks in-flight burst handlers so Shutdown can guarantee no
+	// handler runs after it returns.
+	emitWG sync.WaitGroup
 }
 
 // NewCollector returns a Collector that calls handler for every complete
@@ -146,9 +157,29 @@ func (c *Collector) SetTracer(t *trace.Tracer) {
 	c.tracer = t
 }
 
+// SetQuarantine installs the per-AP admission predicate (typically
+// admit.BreakerSet.Allow): an AP for which it returns false still has its
+// packets buffered — the connection stays healthy — but is excluded from
+// burst readiness and emitted bursts, so a quarantined AP cannot poison a
+// fix. Its buffered packets are reclaimed by the TTL sweep (or the
+// per-queue cap). fn runs under the collector lock on the per-packet path
+// and must be fast and must not call back into the Collector; nil allows
+// every AP.
+func (c *Collector) SetQuarantine(fn func(ap int) bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.quarantine = fn
+}
+
+// allowedLocked reports whether ap may participate in bursts.
+func (c *Collector) allowedLocked(ap int) bool {
+	return c.quarantine == nil || c.quarantine(ap)
+}
+
 // Add ingests one CSI packet. Invalid packets are rejected with an error;
 // valid ones are buffered and may complete a burst, in which case the
-// handler is invoked before Add returns.
+// handler is invoked before Add returns. After Shutdown it rejects every
+// packet with ErrShutdown.
 func (c *Collector) Add(p *csi.Packet) error {
 	if p == nil {
 		return fmt.Errorf("server: nil packet")
@@ -162,6 +193,10 @@ func (c *Collector) Add(p *csi.Packet) error {
 	var oldest time.Time
 
 	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		return ErrShutdown
+	}
 	byAP, ok := c.pending[p.TargetMAC]
 	if !ok {
 		byAP = make(map[int][]pendingPacket)
@@ -179,17 +214,19 @@ func (c *Collector) Add(p *csi.Packet) error {
 	byAP[p.APID] = append(q, pendingPacket{p: p, at: c.now()})
 	c.buffered++
 
-	// Emit when enough APs have a full batch.
+	// Emit when enough non-quarantined APs have a full batch: a breaker
+	// that opens mid-buffer removes its AP from both the readiness count
+	// and the emitted burst, so MinAPs keeps meaning "APs a fix can trust".
 	ready := 0
-	for _, pkts := range byAP {
-		if len(pkts) >= c.cfg.BatchSize {
+	for ap, pkts := range byAP {
+		if len(pkts) >= c.cfg.BatchSize && c.allowedLocked(ap) {
 			ready++
 		}
 	}
 	if ready >= c.cfg.MinAPs {
 		emit = make(map[int][]*csi.Packet, ready)
 		for ap, pkts := range byAP {
-			if len(pkts) >= c.cfg.BatchSize {
+			if len(pkts) >= c.cfg.BatchSize && c.allowedLocked(ap) {
 				// Queues are in arrival order, so pkts[0] is this AP's
 				// oldest contribution — the burst's trace starts at the
 				// overall oldest so the assemble span covers buffering.
@@ -224,9 +261,16 @@ func (c *Collector) Add(p *csi.Packet) error {
 	c.metrics.PendingTargets.Set(int64(len(c.pending)))
 	c.metrics.PendingPackets.Set(int64(c.buffered))
 	tracer := c.tracer
+	if emit != nil {
+		// Registered under the lock, before the shutdown flag can be
+		// re-checked: Shutdown waits for this handler invocation, so no
+		// burst is ever processed after Shutdown returns.
+		c.emitWG.Add(1)
+	}
 	c.mu.Unlock()
 
 	if emit != nil {
+		defer c.emitWG.Done()
 		tr := tracer.StartAt(trace.StageBurst, oldest)
 		if tr != nil {
 			total := 0
@@ -265,6 +309,29 @@ func (c *Collector) emit(mac string, bursts map[int][]*csi.Packet, tr *trace.Tra
 		}
 	}()
 	c.handler(mac, bursts, tr)
+}
+
+// Shutdown stops burst assembly: subsequent Adds fail with ErrShutdown,
+// buffered partial bursts are discarded (they can never complete), and
+// Shutdown blocks until every in-flight burst handler has returned — after
+// it returns, no handler will run again. It returns how many buffered
+// packets it discarded and is safe to call more than once.
+func (c *Collector) Shutdown() int {
+	c.mu.Lock()
+	if c.down {
+		c.mu.Unlock()
+		c.emitWG.Wait()
+		return 0
+	}
+	c.down = true
+	discarded := c.buffered
+	c.pending = make(map[string]map[int][]pendingPacket)
+	c.buffered = 0
+	c.metrics.PendingTargets.Set(0)
+	c.metrics.PendingPackets.Set(0)
+	c.mu.Unlock()
+	c.emitWG.Wait()
+	return discarded
 }
 
 // Sweep evicts buffered packets older than BurstTTL and returns how many

@@ -63,7 +63,18 @@ type ReadinessReport struct {
 	// StaleAfterSeconds is the staleness bound (0 = disabled).
 	StaleAfterSeconds float64       `json:"stale_after_seconds"`
 	APs               []APStaleness `json:"aps"`
+	// Degraded lists the reasons auxiliary checks reported (e.g. the
+	// admission layer shedding above its floor). Any entry forces
+	// Ready=false.
+	Degraded []string `json:"degraded,omitempty"`
 }
+
+// ReadyCheck is an auxiliary readiness predicate evaluated per probe: it
+// returns ok=false with a human-readable reason when the server should
+// report itself degraded (503) even though APs are streaming — e.g. when
+// admission control is hard-shedding most bursts, a fleet should route
+// fixes elsewhere. Checks must be safe for concurrent use.
+type ReadyCheck func() (reason string, ok bool)
 
 // report builds the readiness view at time now. Ready means at least one
 // AP delivered a packet within staleAfter: a server that never heard an AP,
@@ -101,10 +112,18 @@ func (t *APTracker) report(staleAfter time.Duration) ReadinessReport {
 // to the liveness /healthz. It answers 200 with a JSON per-AP staleness
 // report while at least one AP delivered a packet within staleAfter, and
 // 503 (with the same report) when none did — including at startup before
-// any AP has connected. staleAfter ≤ 0 disables the check (always 200).
-func (t *APTracker) ReadinessHandler(staleAfter time.Duration) http.Handler {
+// any AP has connected. staleAfter ≤ 0 disables the staleness check.
+// Additional checks (e.g. the admission shed-rate floor) are evaluated on
+// every probe; any failing check marks the report degraded and not ready.
+func (t *APTracker) ReadinessHandler(staleAfter time.Duration, checks ...ReadyCheck) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
 		rep := t.report(staleAfter)
+		for _, check := range checks {
+			if reason, ok := check(); !ok {
+				rep.Degraded = append(rep.Degraded, reason)
+				rep.Ready = false
+			}
+		}
 		var buf bytes.Buffer
 		enc := json.NewEncoder(&buf)
 		enc.SetIndent("", "  ")

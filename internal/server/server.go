@@ -25,6 +25,18 @@ const (
 	DefaultIdleTimeout      = 90 * time.Second
 )
 
+// APEventSink observes per-AP ingest events that feed health decisions —
+// reconnect churn and non-finite CSI streams (implemented by
+// admit.BreakerSet). Implementations must be safe for concurrent use and
+// fast: both methods run on connection goroutines' packet paths.
+type APEventSink interface {
+	// APConnected fires after every completed AP handshake.
+	APConnected(ap int)
+	// NonFiniteCSI fires for every well-framed report carrying non-finite
+	// values (a buggy NIC driver).
+	NonFiniteCSI(ap int)
+}
+
 // Server accepts AP connections and feeds their CSI reports into a
 // Collector.
 type Server struct {
@@ -32,6 +44,7 @@ type Server struct {
 	log       *slog.Logger
 	metrics   *Metrics
 	tracker   *APTracker
+	events    APEventSink
 
 	handshakeTimeout time.Duration
 	idleTimeout      time.Duration
@@ -78,6 +91,15 @@ func (s *Server) SetTimeouts(handshake, idle time.Duration) {
 	defer s.mu.Unlock()
 	s.handshakeTimeout = handshake
 	s.idleTimeout = idle
+}
+
+// SetEventSink wires per-AP ingest events (reconnects, non-finite CSI)
+// into sink — typically an admit.BreakerSet. Call before Listen/Serve;
+// nil disables.
+func (s *Server) SetEventSink(sink APEventSink) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.events = sink
 }
 
 // SetMetrics wires the ingest-path counters. Call before Listen; m must
@@ -180,6 +202,9 @@ func (s *Server) handle(conn net.Conn) {
 		return
 	}
 	s.log.Info("AP connected", "ap", apID, "remote", conn.RemoteAddr())
+	if s.events != nil {
+		s.events.APConnected(int(apID))
+	}
 
 	for {
 		// Refresh the idle deadline per frame: a healthy AP streams
@@ -216,6 +241,9 @@ func (s *Server) handle(conn net.Conn) {
 					// packet at the door and keep the connection.
 					s.metrics.PacketsNonFinite.Inc()
 					s.metrics.PacketsRejected.Inc()
+					if s.events != nil {
+						s.events.NonFiniteCSI(int(apID))
+					}
 					s.log.Warn("non-finite CSI dropped", "ap", apID, "err", err)
 					continue
 				}
@@ -231,6 +259,9 @@ func (s *Server) handle(conn net.Conn) {
 			if err := s.collector.Add(pkt); err != nil {
 				if errors.Is(err, csi.ErrNonFinite) {
 					s.metrics.PacketsNonFinite.Inc()
+					if s.events != nil {
+						s.events.NonFiniteCSI(int(apID))
+					}
 				}
 				s.metrics.PacketsRejected.Inc()
 				s.log.Warn("rejected packet", "ap", apID, "err", err)

@@ -1,0 +1,216 @@
+package server
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/obs/trace"
+)
+
+// TestCollectorShutdownStopsIntake: after Shutdown, every Add is refused
+// with ErrShutdown, pending state is discarded, and Shutdown is idempotent.
+func TestCollectorShutdownStopsIntake(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c, err := NewCollector(CollectorConfig{BatchSize: 4, MinAPs: 2, MaxBuffered: 40},
+		func(string, map[int][]*csi.Packet, *trace.Trace) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Buffer a partial burst that can never complete.
+	for i := 0; i < 3; i++ {
+		if err := c.Add(mkPacket(0, "t1", uint64(i), rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := c.Shutdown(); n != 3 {
+		t.Fatalf("Shutdown discarded %d packets, want 3", n)
+	}
+	if err := c.Add(mkPacket(0, "t1", 9, rng)); !errors.Is(err, ErrShutdown) {
+		t.Fatalf("Add after Shutdown = %v, want ErrShutdown", err)
+	}
+	if targets, packets := c.PendingStats(); targets != 0 || packets != 0 {
+		t.Fatalf("pending after Shutdown = %d targets / %d packets, want empty", targets, packets)
+	}
+	if n := c.Shutdown(); n != 0 {
+		t.Fatalf("second Shutdown discarded %d, want 0", n)
+	}
+}
+
+// TestCollectorShutdownUnderConcurrentLoad races Add (many goroutines), the
+// TTL sweeper, and Shutdown against each other: no handler may run after
+// Shutdown returns, every Add must either succeed or fail ErrShutdown, and
+// the pending map must end empty.
+func TestCollectorShutdownUnderConcurrentLoad(t *testing.T) {
+	var closed atomic.Bool
+	var emits atomic.Int64
+	c, err := NewCollector(CollectorConfig{
+		BatchSize:   3,
+		MinAPs:      2,
+		MaxBuffered: 30,
+		BurstTTL:    time.Millisecond,
+	}, func(string, map[int][]*csi.Packet, *trace.Trace) {
+		if closed.Load() {
+			t.Error("burst handler invoked after Shutdown returned")
+		}
+		emits.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stopSweeper := c.StartSweeper(200 * time.Microsecond)
+	defer stopSweeper()
+
+	const producers = 8
+	var wg sync.WaitGroup
+	start := make(chan struct{})
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(p)))
+			macs := []string{"aa:aa", "bb:bb", "cc:cc"}
+			<-start
+			for i := 0; ; i++ {
+				pkt := mkPacket(i%3, macs[(p+i)%len(macs)], uint64(i), rng)
+				if err := c.Add(pkt); err != nil {
+					if !errors.Is(err, ErrShutdown) {
+						t.Errorf("Add failed mid-flood: %v", err)
+					}
+					return
+				}
+			}
+		}(p)
+	}
+	close(start)
+	// Let the flood, sweeper, and emit path genuinely overlap before the
+	// shutdown races in: wait until at least one burst has been emitted.
+	deadline := time.Now().Add(5 * time.Second)
+	for emits.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no burst emitted within 5s of flooding")
+		}
+		time.Sleep(100 * time.Microsecond)
+	}
+	time.Sleep(2 * time.Millisecond)
+	c.Shutdown()
+	closed.Store(true)
+	wg.Wait()
+
+	if emits.Load() == 0 {
+		t.Fatal("no bursts emitted before shutdown — the race never exercised the emit path")
+	}
+	if targets, packets := c.PendingStats(); targets != 0 || packets != 0 {
+		t.Fatalf("pending after drain = %d targets / %d packets, want empty", targets, packets)
+	}
+	// Late sweeps against the reset map must be harmless.
+	if n := c.Sweep(); n != 0 {
+		t.Fatalf("post-shutdown sweep evicted %d packets from an empty map", n)
+	}
+}
+
+// TestCollectorQuarantineExcludesAP: a quarantined AP neither counts toward
+// burst readiness nor appears in emitted bursts, and rejoins once the
+// predicate clears it again.
+func TestCollectorQuarantineExcludesAP(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	var mu sync.Mutex
+	var got []map[int][]*csi.Packet
+	c, err := NewCollector(CollectorConfig{BatchSize: 2, MinAPs: 2, MaxBuffered: 20},
+		func(_ string, bursts map[int][]*csi.Packet, _ *trace.Trace) {
+			mu.Lock()
+			got = append(got, bursts)
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sick atomic.Bool
+	sick.Store(true)
+	c.SetQuarantine(func(ap int) bool { return ap != 1 || !sick.Load() })
+
+	// All three APs fill a batch. With AP 1 quarantined, the burst emits
+	// from APs 0 and 2 only.
+	seq := uint64(0)
+	for i := 0; i < 2; i++ {
+		for ap := 0; ap < 3; ap++ {
+			if err := c.Add(mkPacket(ap, "t1", seq, rng)); err != nil {
+				t.Fatal(err)
+			}
+			seq++
+		}
+	}
+	mu.Lock()
+	if len(got) != 1 {
+		mu.Unlock()
+		t.Fatalf("emitted %d bursts, want 1", len(got))
+	}
+	if _, in := got[0][1]; in || len(got[0]) != 2 {
+		mu.Unlock()
+		t.Fatalf("burst APs = %v, want {0,2} without the quarantined AP", got[0])
+	}
+	mu.Unlock()
+
+	// AP 1's packets stayed buffered; once the breaker clears, its full
+	// batch counts toward readiness again — the next burst fires as soon
+	// as one more AP fills, and AP 1 is in it.
+	sick.Store(false)
+	for i := 0; i < 2; i++ {
+		if err := c.Add(mkPacket(0, "t1", seq, rng)); err != nil {
+			t.Fatal(err)
+		}
+		seq++
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != 2 {
+		t.Fatalf("emitted %d bursts after recovery, want 2", len(got))
+	}
+	if _, in := got[1][1]; !in || len(got[1]) != 2 {
+		t.Fatalf("recovered burst APs = %v, want {0,1} with the cleared AP back in", got[1])
+	}
+}
+
+// TestCollectorQuarantinedPacketsExpire: packets buffered for a quarantined
+// AP are reclaimed by the TTL sweep — quarantine must not turn into a
+// memory leak.
+func TestCollectorQuarantinedPacketsExpire(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	now := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	var mu sync.Mutex
+	clock := func() time.Time {
+		mu.Lock()
+		defer mu.Unlock()
+		return now
+	}
+	c, err := NewCollector(CollectorConfig{
+		BatchSize: 2, MinAPs: 2, MaxBuffered: 20,
+		BurstTTL: 100 * time.Millisecond,
+		Now:      clock,
+	}, func(string, map[int][]*csi.Packet, *trace.Trace) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.SetQuarantine(func(ap int) bool { return false }) // everything sick
+	for i := 0; i < 4; i++ {
+		if err := c.Add(mkPacket(i%2, "t1", uint64(i), rng)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, packets := c.PendingStats(); packets != 4 {
+		t.Fatalf("buffered %d packets, want 4 (accepted but excluded)", packets)
+	}
+	mu.Lock()
+	now = now.Add(time.Second)
+	mu.Unlock()
+	if n := c.Sweep(); n != 4 {
+		t.Fatalf("sweep evicted %d, want all 4 quarantined-AP packets", n)
+	}
+	if targets, packets := c.PendingStats(); targets != 0 || packets != 0 {
+		t.Fatalf("pending after sweep = %d targets / %d packets, want empty", targets, packets)
+	}
+}

@@ -163,6 +163,12 @@ type Config struct {
 	// FastPath gates the ESPRIT-first estimation fast path (MUSIC
 	// estimator only). Disabled by default.
 	FastPath FastPathConfig
+	// ModeLabel names this Localizer's rung on the server's degradation
+	// ladder (e.g. "full", "fastpath", "coarse"). When non-empty it is
+	// stamped on every Location.Mode and on the burst trace root, so each
+	// fix records the fidelity it was computed at. Empty leaves both
+	// unset.
+	ModeLabel string
 }
 
 // FastPathConfig configures the ESPRIT-first fast path: the burst is first
@@ -715,6 +721,10 @@ type Location struct {
 	Confidence float64
 	// Quality is the per-component breakdown of Confidence.
 	Quality quality.Breakdown
+	// Mode is the degradation-ladder label of the Localizer that produced
+	// this fix (Config.ModeLabel; empty when unset) — under overload the
+	// server steps down to cheaper estimators, and the fix says so.
+	Mode string
 }
 
 // Locate fuses per-AP reports into a location estimate (stage 3, Eq. 9).
@@ -841,11 +851,15 @@ func (l *Localizer) LocalizeBurstsTraced(bursts map[int][]*Packet, tr *trace.Tra
 	}
 	sc := l.scoreBurst(reports, res)
 	root.SetFloat("confidence", sc.Overall)
+	if l.cfg.ModeLabel != "" {
+		root.SetStr("mode", l.cfg.ModeLabel)
+	}
 	l.cfg.QualityMonitor.Observe(sc)
 	return Location{
 		Point:      res.Location,
 		Confidence: sc.Overall,
 		Quality:    sc.Breakdown,
+		Mode:       l.cfg.ModeLabel,
 	}, reports, skipped, nil
 }
 

@@ -1,0 +1,429 @@
+package spotfi
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spotfi/internal/admit"
+	"spotfi/internal/apnode"
+	"spotfi/internal/chaos"
+	"spotfi/internal/csi"
+	"spotfi/internal/obs"
+	"spotfi/internal/obs/quality"
+	"spotfi/internal/obs/trace"
+	"spotfi/internal/server"
+	"spotfi/internal/sim"
+	"spotfi/internal/testbed"
+)
+
+// cycleSource synthesizes an unbounded packet stream round-robining over
+// several targets — one AP's view of a crowded floor, used to flood the
+// server far past its localization capacity.
+type cycleSource struct {
+	syns []*sim.Synthesizer
+	macs []string
+	i    int
+}
+
+func (s *cycleSource) Next() (*csi.Packet, error) {
+	k := s.i % len(s.syns)
+	s.i++
+	return s.syns[k].NextPacket(s.macs[k]), nil
+}
+
+// phasedSource switches one long-lived AP stream between two regimes
+// without reconnecting (a reconnect would — correctly — count as breaker
+// churn): an unthrottled multi-target flood while *flood* is set, then a
+// throttled single-target trickle the server can comfortably keep up with.
+type phasedSource struct {
+	flood    *atomic.Bool
+	floodSrc apnode.PacketSource
+	calmSrc  apnode.PacketSource
+	throttle time.Duration
+}
+
+func (s *phasedSource) Next() (*csi.Packet, error) {
+	if s.flood.Load() {
+		return s.floodSrc.Next()
+	}
+	time.Sleep(s.throttle)
+	return s.calmSrc.Next()
+}
+
+// TestOverloadSoak floods the full deployed path — AP agents → wire →
+// server → collector → admission queue → degraded-mode localization — at
+// far above worker capacity, with one AP phase-skewed the whole flood.
+// The overload-resilience layer must hold the line on every axis at once:
+//
+//   - admission control sheds (capacity eviction, hard deadline, CoDel)
+//     instead of queue sojourn growing without bound — every burst that
+//     does reach a worker waited less than the freshness deadline;
+//   - the mode ladder steps the pipeline down under pressure and fixes
+//     keep flowing, stamped with the degraded mode;
+//   - the skewed AP's circuit breaker trips open on its collapsed burst
+//     scores, quarantining it out of localization;
+//   - once the flood stops, the breaker half-opens, probes the now-healthy
+//     AP back in, and the ladder climbs back to full fidelity;
+//   - drain tears everything down without leaking goroutines.
+func TestOverloadSoak(t *testing.T) {
+	if testing.Short() {
+		t.Skip("overload soak run")
+	}
+	d := testbed.Office(42)
+	const (
+		batch       = 6
+		skewedAP    = 0
+		floodTgts   = 6 // concurrent targets during the flood
+		calmTgt     = 4 // the one target of the recovery phase
+		workers     = 2
+		queueCap    = 32
+		admitTarget = 60 * time.Millisecond
+		deadline    = 600 * time.Millisecond
+	)
+
+	reg := obs.NewRegistry()
+
+	// Three localizers, one per degradation rung, sharing monitor/metrics —
+	// the same ladder spotfi-server builds.
+	// UnhealthyBelow sits far under the healthy fleet's occasional
+	// single-burst dips (~0.15 of bursts score 0.1–0.3 even on clean APs):
+	// the sick AP's trip signal in this soak is its non-finite CSI, which
+	// fires deterministically on the ingest path.
+	breakers := admit.NewBreakerSet(reg, admit.BreakerConfig{
+		Window:         10 * time.Second,
+		Failures:       6,
+		Cooldown:       1500 * time.Millisecond,
+		Probes:         2,
+		UnhealthyBelow: 0.05,
+	})
+	monitor := quality.NewMonitor(reg, quality.Config{
+		OnBurst: func(sc quality.Score) {
+			for _, ap := range sc.PerAP {
+				breakers.ObserveScore(ap.APID, ap.Score)
+			}
+		},
+		OnDriftBreach: func(apID, breached int) {
+			if breached >= 2 {
+				breakers.Failure(apID, admit.FailDrift)
+			}
+		},
+	})
+	base := DefaultConfig(d.Bounds)
+	base.Metrics = NewPipelineMetrics(reg)
+	base.QualityMonitor = monitor
+	mkLoc := func(mode admit.Mode) *Localizer {
+		cfg := base
+		cfg.ModeLabel = mode.String()
+		switch mode {
+		case admit.ModeFastPath:
+			cfg.FastPath.Enabled = true
+		case admit.ModeCoarse:
+			cfg.FastPath.Enabled = true
+			cfg.Music.CoarseGridFactor *= 2
+		}
+		loc, err := New(cfg, deploymentAPs(d))
+		if err != nil {
+			t.Fatalf("localizer %v: %v", mode, err)
+		}
+		return loc
+	}
+	locs := []*Localizer{mkLoc(admit.ModeFull), mkLoc(admit.ModeFastPath), mkLoc(admit.ModeCoarse)}
+
+	var shedByReason [4]atomic.Uint64
+	reasonIdx := map[admit.ShedReason]int{
+		admit.ShedFull: 0, admit.ShedStale: 1, admit.ShedCoDel: 2, admit.ShedDrain: 3,
+	}
+	adq := admit.NewQueue(admit.QueueConfig{
+		Capacity: queueCap,
+		Target:   admitTarget,
+		Deadline: deadline,
+		Interval: 250 * time.Millisecond,
+		Metrics:  admit.NewQueueMetrics(reg),
+		OnShed: func(_ admit.Item, r admit.ShedReason) {
+			shedByReason[reasonIdx[r]].Add(1)
+		},
+	})
+	ladder := admit.NewLadder(reg, admit.LadderConfig{
+		MaxMode:     admit.ModeCoarse,
+		StepDownAt:  []time.Duration{2 * admitTarget, 6 * admitTarget},
+		StepUpBelow: admitTarget / 2,
+		HoldGood:    4,
+	})
+
+	type job struct {
+		mac    string
+		bursts map[int][]*csi.Packet
+	}
+
+	// The worker loop mirrors spotfi-server's: pop through the admission
+	// policy, step the ladder on the observed sojourn, re-filter APs whose
+	// breaker opened while the burst sat queued, localize on the rung's
+	// localizer.
+	type fix struct {
+		mac string
+		loc Location
+	}
+	var (
+		fixMu       sync.Mutex
+		fixes       []fix
+		sojourns    []time.Duration
+		maxModeSeen atomic.Int64
+	)
+	var pool sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		pool.Add(1)
+		go func() {
+			defer pool.Done()
+			for {
+				it, sojourn, ok := adq.Pop()
+				if !ok {
+					return
+				}
+				mode := ladder.Observe(sojourn)
+				if int64(mode) > maxModeSeen.Load() {
+					maxModeSeen.Store(int64(mode))
+				}
+				j := it.Payload.(job)
+				for ap := range j.bursts {
+					if !breakers.Allow(ap) {
+						delete(j.bursts, ap)
+					}
+				}
+				if len(j.bursts) < 2 {
+					continue
+				}
+				p, _, _, err := locs[mode].LocalizeBursts(j.bursts)
+				fixMu.Lock()
+				sojourns = append(sojourns, sojourn)
+				if err == nil {
+					fixes = append(fixes, fix{mac: j.mac, loc: p})
+				}
+				fixMu.Unlock()
+			}
+		}()
+	}
+
+	m := server.NewMetrics(reg)
+	collector, err := server.NewCollector(server.CollectorConfig{
+		BatchSize:   batch,
+		MinAPs:      3,
+		MaxBuffered: 64,
+		BurstTTL:    500 * time.Millisecond,
+	}, func(mac string, bursts map[int][]*csi.Packet, tr *trace.Trace) {
+		adq.Push(mac, job{mac: mac, bursts: bursts})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector.SetMetrics(m)
+	collector.SetQuarantine(breakers.Allow)
+	stopSweeper := collector.StartSweeper(100 * time.Millisecond)
+	defer stopSweeper()
+
+	srv, err := server.New(collector, testLogger(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetMetrics(m)
+	srv.SetEventSink(breakers)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+
+	waitFor := func(what string, timeout time.Duration, cond func() bool) {
+		t.Helper()
+		deadline := time.Now().Add(timeout)
+		for time.Now().Before(deadline) {
+			if cond() {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Fatalf("timed out waiting for %s", what)
+	}
+
+	goroutinesBefore := runtime.NumGoroutine()
+
+	// One long-lived connection per AP for the whole soak: the flood is a
+	// traffic regime, not a reconnect storm, so breaker churn accounting
+	// stays clean. The skewed AP streams through a miscalibrated RF chain
+	// (inter-antenna phase ramp + per-packet jitter) for the flood phase.
+	var flood atomic.Bool
+	flood.Store(true)
+	var agents sync.WaitGroup
+	for apIdx := range d.APs {
+		syns := make([]*sim.Synthesizer, floodTgts)
+		macs := make([]string, floodTgts)
+		for tgt := 0; tgt < floodTgts; tgt++ {
+			syn, err := sim.NewSynthesizer(d.Link(apIdx, tgt), d.Band, d.Array, d.Imp,
+				rand.New(rand.NewSource(int64(100*apIdx+tgt))))
+			if err != nil {
+				t.Fatalf("AP %d target %d: %v", apIdx, tgt, err)
+			}
+			syns[tgt] = syn
+			macs[tgt] = testbed.TargetMAC(tgt)
+		}
+		var floodSrc apnode.PacketSource = &cycleSource{syns: syns, macs: macs}
+		if apIdx == skewedAP {
+			// A miscalibrated RF chain (inter-antenna phase ramp + jitter)
+			// plus sporadic NaN CSI: the phase skew poisons the AP's burst
+			// scores; the non-finite packets are rejected at ingest and
+			// each one feeds the AP's breaker a hard failure.
+			floodSrc = chaos.WrapSource(floodSrc, chaos.SourceConfig{
+				Seed:           int64(7 + apIdx),
+				PhaseRampRad:   1.8,
+				PhaseJitterRad: 0.8,
+				NaNProb:        0.02,
+			})
+		}
+		calmSyn, err := sim.NewSynthesizer(d.Link(apIdx, calmTgt), d.Band, d.Array, d.Imp,
+			rand.New(rand.NewSource(int64(9000+apIdx))))
+		if err != nil {
+			t.Fatalf("AP %d calm: %v", apIdx, err)
+		}
+		agent := &apnode.Agent{
+			APID:       apIdx,
+			ServerAddr: addr.String(),
+			Source: &phasedSource{
+				flood:    &flood,
+				floodSrc: floodSrc,
+				// ~100 ms per packet per AP ⇒ a handful of bursts per
+				// second fleet-wide: comfortably under two -race workers'
+				// localization throughput, so queue sojourn collapses and
+				// the ladder can climb.
+				calmSrc:  &apnode.SynthSource{Syn: calmSyn, TargetMAC: testbed.TargetMAC(calmTgt)},
+				throttle: 100 * time.Millisecond,
+			},
+		}
+		agents.Add(1)
+		go func(a *apnode.Agent, id int) {
+			defer agents.Done()
+			if err := a.RunWithRetry(ctx, 100, 5*time.Millisecond); err != nil && ctx.Err() == nil {
+				t.Errorf("agent %d: %v", id, err)
+			}
+		}(agent, apIdx)
+	}
+
+	// --- Flood phase: ~6 unthrottled target streams per AP against 2
+	// workers. Hold the flood until every overload mechanism has visibly
+	// engaged. ---
+	fixCount := func() int {
+		fixMu.Lock()
+		defer fixMu.Unlock()
+		return len(fixes)
+	}
+	waitFor("admission control shedding", 30*time.Second, func() bool {
+		return adq.ShedTotal() > 0
+	})
+	waitFor("ladder stepping down", 30*time.Second, func() bool {
+		return maxModeSeen.Load() >= int64(admit.ModeFastPath)
+	})
+	waitFor("skewed AP breaker open", 30*time.Second, func() bool {
+		return breakers.State(skewedAP) == admit.StateOpen
+	})
+	waitFor("fixes flowing during overload", 30*time.Second, func() bool {
+		return fixCount() > 0
+	})
+	floodFixes := fixCount()
+
+	// --- Recovery phase: drop to a trickle the workers easily absorb. The
+	// skewed AP is clean now; its breaker must probe it back in, and the
+	// ladder must climb back to full fidelity. ---
+	flood.Store(false)
+	// The reopen backoff may have pushed the cooldown to its 8× cap during
+	// the flood (every half-open probe met another NaN), so allow a full
+	// backoff cycle before the clean probes land.
+	waitFor("breaker closing after probation", 60*time.Second, func() bool {
+		return breakers.State(skewedAP) == admit.StateClosed
+	})
+	waitFor("ladder back to full fidelity", 30*time.Second, func() bool {
+		return ladder.Current() == admit.ModeFull
+	})
+	waitFor("fixes flowing after recovery", 30*time.Second, func() bool {
+		return fixCount() > floodFixes
+	})
+
+	// A post-recovery full-mode fix for the calm target lands near truth.
+	waitFor("full-mode fix for the calm target", 30*time.Second, func() bool {
+		fixMu.Lock()
+		defer fixMu.Unlock()
+		for i := len(fixes) - 1; i >= 0; i-- {
+			f := fixes[i]
+			if f.mac == testbed.TargetMAC(calmTgt) && f.loc.Mode == admit.ModeFull.String() {
+				if e := f.loc.Point.Dist(d.Targets[calmTgt]); e > 3.5 {
+					t.Fatalf("recovered fix %v is %.2f m from truth %v", f.loc.Point, e, d.Targets[calmTgt])
+				}
+				return true
+			}
+		}
+		return false
+	})
+
+	// --- Drain: stop intake, stop assembly, drain the queue, join the
+	// pool. Nothing may leak. ---
+	cancel()
+	agents.Wait()
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	collector.Shutdown()
+	adq.Close()
+	pool.Wait()
+	stopSweeper()
+
+	// Every delivered burst respected the hard freshness deadline — the
+	// stale-first shed policy means overload manifests as sheds, not as
+	// unbounded queue sojourn.
+	fixMu.Lock()
+	sorted := append([]time.Duration(nil), sojourns...)
+	fixMu.Unlock()
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	if len(sorted) == 0 {
+		t.Fatal("no delivered sojourns recorded")
+	}
+	p99 := sorted[len(sorted)*99/100]
+	if p99 > deadline {
+		t.Fatalf("p99 delivered sojourn %v exceeds the %v freshness deadline", p99, deadline)
+	}
+
+	// Degraded-mode fixes actually happened and carried their mode label.
+	degraded := 0
+	fixMu.Lock()
+	for _, f := range fixes {
+		if f.loc.Mode != "" && f.loc.Mode != admit.ModeFull.String() {
+			degraded++
+		}
+	}
+	total := len(fixes)
+	fixMu.Unlock()
+	if degraded == 0 {
+		t.Error("no fix was produced in a degraded mode despite the ladder stepping down")
+	}
+
+	// The flood pushed well past capacity, so capacity eviction must have
+	// fired (alongside whatever the deadline and CoDel shed).
+	if shedByReason[reasonIdx[admit.ShedFull]].Load() == 0 {
+		t.Error("no capacity eviction at 5× overload — fair shedding never engaged")
+	}
+
+	// The pool and the agent goroutines are gone; nothing else grew.
+	waitFor("goroutines back to baseline", 10*time.Second, func() bool {
+		return runtime.NumGoroutine() <= goroutinesBefore+3
+	})
+
+	t.Logf("soak: %d fixes (%d degraded), p99 sojourn %v, sheds full=%d stale=%d codel=%d drain=%d, max mode %v, breaker trips=%v",
+		total, degraded, p99,
+		shedByReason[0].Load(), shedByReason[1].Load(), shedByReason[2].Load(), shedByReason[3].Load(),
+		admit.Mode(maxModeSeen.Load()), breakers.Snapshot())
+}

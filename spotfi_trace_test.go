@@ -49,7 +49,9 @@ func TestTracedLiveSystemEndToEnd(t *testing.T) {
 	}
 	d := testbed.Office(42)
 	const targetIdx = 4
-	loc, err := New(DefaultConfig(d.Bounds), deploymentAPs(d))
+	cfg := DefaultConfig(d.Bounds)
+	cfg.ModeLabel = "full" // the degradation rung must be visible on every trace
+	loc, err := New(cfg, deploymentAPs(d))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,6 +162,10 @@ func TestTracedLiveSystemEndToEnd(t *testing.T) {
 	if full.Spans[0].Name != trace.StageBurst || full.Spans[0].Parent != -1 {
 		t.Fatalf("first span is %q (parent %d), want root %q",
 			full.Spans[0].Name, full.Spans[0].Parent, trace.StageBurst)
+	}
+	// The root carries the degradation mode the fix was computed in.
+	if mode, ok := full.Spans[0].Attrs["mode"].(string); !ok || mode != "full" {
+		t.Fatalf("root span mode attr = %v, want \"full\": %v", full.Spans[0].Attrs["mode"], full.Spans[0].Attrs)
 	}
 	byName := map[string][]spanJSON{}
 	for _, sp := range full.Spans {
