@@ -1,0 +1,197 @@
+// Command spotfi-loadgen load-tests a live spotfi-server over the real
+// wire protocol: it simulates N APs hearing M targets at known positions,
+// offers bursts open-loop on a phase schedule (steady, ramp), and
+// measures the server's fix throughput, packet→fix latency percentiles,
+// shed rate, and live localization error against ground truth. Results
+// are written as a schema-versioned LOAD_<runid>.json; -compare gates a
+// run against a committed baseline and exits nonzero on regression.
+//
+// Usage:
+//
+//	spotfi-loadgen -print-server-flags        # flags to launch a matching server
+//	spotfi-loadgen -server 127.0.0.1:7100 -debug http://127.0.0.1:7101 \
+//	    -phases "warm:5s@10,ramp:10s@10..60,soak:10s@120"
+//	spotfi-loadgen ... -compare LOAD_baseline.json
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"spotfi/internal/cliutil"
+	"spotfi/internal/geom"
+	"spotfi/internal/loadgen"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "spotfi-loadgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	serverAddr := flag.String("server", "127.0.0.1:7100", "spotfi-server wire address the AP streams dial")
+	debugURL := flag.String("debug", "http://127.0.0.1:7101", "spotfi-server debug base URL (/metrics, /debug/fixes, /debug/slo)")
+	apCount := flag.Int("aps", 6, "synthetic APs on the perimeter")
+	targets := flag.Int("targets", 24, "distinct target MACs cycled through")
+	positions := flag.Int("positions", 12, "quantized ground-truth positions")
+	apsPerTarget := flag.Int("aps-per-target", 4, "nearest APs that hear each position (≥ server -minaps)")
+	batch := flag.Int("batch", 10, "packets per AP per burst (must match server -batch)")
+	boundsFlag := flag.String("bounds", "0,0,16,10", "deployment region minX,minY,maxX,maxY")
+	phasesFlag := flag.String("phases", "warm:5s@10,ramp:10s@10..60,soak:10s@120",
+		"load schedule: name:duration@rate or name:duration@start..end, comma-separated (rates are bursts/sec)")
+	seed := flag.Int64("seed", 1, "scene seed (pins AP/position placement and all CSI)")
+	runID := flag.String("runid", "", "run identifier (default load-<unix time>)")
+	out := flag.String("out", "", "report output path (default LOAD_<runid>.json)")
+	compare := flag.String("compare", "", "baseline LOAD_*.json to gate against; regressions exit nonzero")
+	settle := flag.Duration("settle", 2*time.Second, "post-schedule drain for in-flight fixes")
+	sendBuffer := flag.Int("send-buffer", 128, "per-AP client send queue depth")
+	logFormat := flag.String("log-format", "text", "log output format: text or json")
+	printServerFlags := flag.Bool("print-server-flags", false, "print matching spotfi-server flags and exit")
+	version := flag.Bool("version", false, "print build version and exit")
+	flag.Parse()
+
+	if *version {
+		fmt.Println("spotfi-loadgen", cliutil.ReadBuild())
+		return nil
+	}
+	logger, err := cliutil.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		return err
+	}
+	bounds, err := cliutil.ParseBounds(*boundsFlag)
+	if err != nil {
+		return fmt.Errorf("-bounds: %w", err)
+	}
+	scene, err := loadgen.NewScene(loadgen.SceneConfig{
+		Seed:         *seed,
+		APs:          *apCount,
+		Targets:      *targets,
+		Positions:    *positions,
+		APsPerTarget: *apsPerTarget,
+		Batch:        *batch,
+		Bounds:       bounds,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *printServerFlags {
+		// The server must know the same AP poses and assemble the same
+		// burst shape the generator sends; echo the flags that line it up.
+		// MinAPs is one below the APs actually offered per position: the
+		// server's health breakers may quarantine an AP whose synthetic
+		// geometry scores poorly, and with MinAPs == APsPerTarget a single
+		// quarantined AP would wedge burst assembly for every position that
+		// includes it. One AP of slack turns that into a degraded-accuracy
+		// fix instead of a stall.
+		minAPs := scene.Cfg.APsPerTarget - 1
+		if minAPs < 2 {
+			minAPs = 2
+		}
+		// Quality quarantine is tuned for real deployments, where a
+		// persistently low-scoring AP means miscalibration. The synthetic
+		// scene deliberately includes hard-multipath positions that score
+		// poorly by design; at load-test rates those trip the breakers
+		// within seconds and quarantine healthy APs, so the failure
+		// threshold is pushed out of reach for capacity runs.
+		parts := []string{
+			fmt.Sprintf("-bounds %s", *boundsFlag),
+			fmt.Sprintf("-batch %d", scene.Cfg.Batch),
+			fmt.Sprintf("-minaps %d", minAPs),
+			"-breaker-failures 1000000",
+		}
+		for _, ap := range scene.APs {
+			parts = append(parts, fmt.Sprintf("-ap %d,%g,%g,%g", ap.ID, ap.Pos.X, ap.Pos.Y, geom.Deg(ap.NormalAngle)))
+		}
+		fmt.Println(strings.Join(parts, " "))
+		return nil
+	}
+
+	phases, err := loadgen.ParsePhases(*phasesFlag)
+	if err != nil {
+		return err
+	}
+	if *runID == "" {
+		*runID = fmt.Sprintf("load-%d", time.Now().Unix())
+	}
+	if *out == "" {
+		*out = fmt.Sprintf("LOAD_%s.json", *runID)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+
+	logger.Info("starting load run", "server", *serverAddr, "aps", len(scene.APs),
+		"targets", scene.Cfg.Targets, "phases", loadgen.FormatPhases(phases))
+	res, err := loadgen.Run(ctx, loadgen.RunConfig{
+		ServerAddr: *serverAddr,
+		DebugURL:   *debugURL,
+		Scene:      scene,
+		Phases:     phases,
+		SendBuffer: *sendBuffer,
+		Settle:     *settle,
+		Logger:     logger,
+	})
+	if err != nil {
+		return err
+	}
+
+	opts := loadgen.ReportOpts{
+		Seed:         *seed,
+		APs:          *apCount,
+		Targets:      *targets,
+		Positions:    *positions,
+		APsPerTarget: *apsPerTarget,
+		Batch:        *batch,
+		Phases:       loadgen.FormatPhases(phases),
+	}
+	report := loadgen.NewReport(*runID, time.Now().UTC().Format(time.RFC3339), opts, res)
+	if err := report.WriteFile(*out); err != nil {
+		return err
+	}
+	printSummary(report)
+	fmt.Printf("report: %s\n", *out)
+	if res.FeedErr != "" {
+		logger.Warn("fix feed ended with error", "err", res.FeedErr)
+	}
+	if res.SendErrs > 0 {
+		logger.Warn("AP streams lost mid-run", "count", res.SendErrs)
+	}
+
+	if *compare != "" {
+		base, err := loadgen.LoadReport(*compare)
+		if err != nil {
+			return err
+		}
+		if violations := loadgen.CompareReports(base, report, loadgen.Tolerance{}); len(violations) > 0 {
+			fmt.Fprintf(os.Stderr, "spotfi-loadgen: %d regression(s) vs %s:\n", len(violations), *compare)
+			for _, v := range violations {
+				fmt.Fprintln(os.Stderr, "  -", v)
+			}
+			return fmt.Errorf("baseline comparison failed")
+		}
+		fmt.Printf("baseline comparison passed (%s)\n", *compare)
+	}
+	return nil
+}
+
+// printSummary renders the per-phase table a human reads first; the JSON
+// report carries the same numbers for machines.
+func printSummary(r *loadgen.Report) {
+	fmt.Printf("%-10s %8s %8s %8s %9s %9s %9s %7s %8s %8s\n",
+		"phase", "offered", "fixes", "fix/s", "p50ms", "p95ms", "p99ms", "shed", "errMed", "errP90")
+	for _, p := range r.Phases {
+		fmt.Printf("%-10s %8d %8d %8.1f %9.1f %9.1f %9.1f %6.1f%% %7.2fm %7.2fm\n",
+			p.Name, p.OfferedBursts, p.Fixes, p.FixRatePerSec,
+			p.LatencyP50Ms, p.LatencyP95Ms, p.LatencyP99Ms,
+			p.ShedRate*100, p.ErrMedianM, p.ErrP90M)
+	}
+}

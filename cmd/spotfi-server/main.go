@@ -41,11 +41,22 @@
 // With -debug-addr set, an HTTP listener exposes /metrics (Prometheus text
 // format, including Go runtime telemetry), /healthz (liveness), /readyz
 // (readiness: 503 until at least one AP has delivered a packet within
-// -burst-ttl, or while admission control is shedding more than
-// -admit-shed-floor of bursts), /debug/traces (recent burst traces as
-// JSON, or an HTML waterfall with ?view=html), /debug/quality (per-burst
-// confidence scores and the per-AP drift/health scoreboard, JSON or
-// ?view=html), and net/http/pprof under /debug/pprof/.
+// -burst-ttl, while admission control is shedding more than
+// -admit-shed-floor of bursts, or while an SLO is burning), /debug/traces
+// (recent burst traces as JSON, or an HTML waterfall with ?view=html),
+// /debug/quality (per-burst confidence scores and the per-AP drift/health
+// scoreboard, JSON or ?view=html), /debug/slo (multi-window SLO burn
+// rates, JSON or ?view=html), /debug/fixes (a bounded-fanout JSON-lines
+// stream of every fix: MAC, position, confidence, mode, capture and emit
+// timestamps — slow subscribers are dropped and counted), and
+// net/http/pprof under /debug/pprof/.
+//
+// Two SLOs are tracked with Google SRE-style multi-window burn rates
+// (-slo-fast-window/-slo-slow-window): packet→fix latency
+// (-slo-latency-bound at -slo-latency-target) and admission shed rate
+// (-slo-shed-target). Both export spotfi_slo_* gauges; when both windows
+// of an objective burn faster than -slo-burn-threshold, /readyz degrades
+// with the objective named in the reason.
 //
 // Every fix carries a confidence score in [0,1] folding DSP internals
 // (likelihood margin, eigen gap, STO stability, AoA agreement, solver
@@ -87,8 +98,10 @@ import (
 	"spotfi/internal/admit"
 	"spotfi/internal/cliutil"
 	"spotfi/internal/csi"
+	"spotfi/internal/feed"
 	"spotfi/internal/obs"
 	"spotfi/internal/obs/quality"
+	"spotfi/internal/obs/slo"
 	"spotfi/internal/obs/trace"
 	"spotfi/internal/server"
 )
@@ -106,6 +119,7 @@ type localizeMetrics struct {
 	localizeErrors *obs.Counter
 	localizePanics *obs.Counter
 	breakerDrops   *obs.Counter
+	fixLatency     *obs.Histogram
 }
 
 func newLocalizeMetrics(reg *obs.Registry) *localizeMetrics {
@@ -116,7 +130,34 @@ func newLocalizeMetrics(reg *obs.Registry) *localizeMetrics {
 			"Localization worker panics recovered; the burst was discarded.", nil),
 		breakerDrops: reg.Counter("spotfi_server_bursts_breaker_dropped_total",
 			"Queued bursts dropped because breakers opened on too many of their APs before a worker picked them up.", nil),
+		// HDR-style buckets from 100 µs to 10 s; the grid hits 1.0 (and
+		// every decade) exactly, so the default -slo-latency-bound is an
+		// exact bucket bound and the SLO's good-count is not snapped.
+		fixLatency: reg.Histogram("spotfi_fix_latency_seconds",
+			"Packet→fix latency: newest CSI sender timestamp in the burst to fix emission. Only observed when sender clocks look like wall clocks.",
+			obs.ExpBuckets(100e-6, 10, 5), nil),
 	}
+}
+
+// fixLatencySane bounds what we are willing to call an end-to-end
+// latency: sender timestamps are only comparable to the server clock
+// when the AP stamps wall-clock time (spotfi-loadgen does; the sim's
+// synthetic 100 ms-per-packet timeline does not). Outside this window
+// the observation would poison the latency SLO, so it is skipped.
+const fixLatencySane = 10 * time.Minute
+
+// captureNs returns the newest sender timestamp across the burst — the
+// fix's capture time on the sender clock.
+func captureNs(bursts map[int][]*csi.Packet) int64 {
+	var newest int64
+	for _, pkts := range bursts {
+		for _, p := range pkts {
+			if p.TimestampNs > newest {
+				newest = p.TimestampNs
+			}
+		}
+	}
+	return newest
 }
 
 // localizeOne runs one burst through the pipeline with panic isolation: a
@@ -124,7 +165,7 @@ func newLocalizeMetrics(reg *obs.Registry) *localizeMetrics {
 // worker (and with it, eventually, the whole pool). Bursts whose APs were
 // quarantined while queued are re-filtered here, so the breaker's view is
 // never more than one queue sojourn stale.
-func localizeOne(loc *spotfi.Localizer, breakers *admit.BreakerSet, lm *localizeMetrics, logger *slog.Logger, j burstJob) {
+func localizeOne(loc *spotfi.Localizer, breakers *admit.BreakerSet, lm *localizeMetrics, fixes *feed.Feed, logger *slog.Logger, j burstJob) {
 	// The worker owns the burst lifecycle end: whatever happens below, the
 	// trace is completed and handed to its sinks.
 	defer j.tr.Finish()
@@ -149,6 +190,7 @@ func localizeOne(loc *spotfi.Localizer, breakers *admit.BreakerSet, lm *localize
 		j.tr.Root().SetStr("dropped", "breaker")
 		return
 	}
+	capture := captureNs(j.bursts)
 	p, reports, skipped, err := loc.LocalizeBurstsTraced(j.bursts, j.tr)
 	for _, s := range skipped {
 		logger.Warn("AP skipped", "mac", j.mac, "trace", j.tr.ID(), "ap", s.APID, "err", s.Err)
@@ -158,6 +200,20 @@ func localizeOne(loc *spotfi.Localizer, breakers *admit.BreakerSet, lm *localize
 		logger.Warn("localize failed", "mac", j.mac, "trace", j.tr.ID(), "err", err)
 		return
 	}
+	emit := time.Now().UnixNano()
+	if lat := time.Duration(emit - capture); capture > 0 && lat >= 0 && lat < fixLatencySane {
+		lm.fixLatency.Observe(lat.Seconds())
+	}
+	fixes.Publish(feed.Fix{
+		MAC:        j.mac,
+		X:          p.X,
+		Y:          p.Y,
+		Confidence: p.Confidence,
+		Mode:       p.Mode,
+		CaptureNs:  capture,
+		EmitNs:     emit,
+		APs:        len(reports),
+	})
 	logger.Info("target localized", "mac", j.mac, "trace", j.tr.ID(),
 		"x", p.X, "y", p.Y, "aps", len(reports), "confidence", p.Confidence, "mode", p.Mode)
 }
@@ -238,6 +294,20 @@ func main() {
 	logFormat := flag.String("log-format", "text", "log output format: text or json")
 	qualityFloor := flag.Float64("quality-floor", quality.DefaultFloor,
 		"confidence score below which a fix counts as low-quality")
+	fixFeedBuffer := flag.Int("fix-feed-buffer", 64,
+		"per-subscriber fix-feed buffer; a /debug/fixes client this far behind is dropped")
+	fixFeedSubs := flag.Int("fix-feed-subs", 16, "max concurrent /debug/fixes subscribers")
+	sloLatencyBound := flag.Duration("slo-latency-bound", time.Second,
+		"packet→fix latency bound defining a good fix for the latency SLO")
+	sloLatencyTarget := flag.Float64("slo-latency-target", 0.99,
+		"fraction of fixes that must meet -slo-latency-bound")
+	sloShedTarget := flag.Float64("slo-shed-target", 0.95,
+		"fraction of bursts admission control must deliver (not shed)")
+	sloFastWindow := flag.Duration("slo-fast-window", 5*time.Minute, "fast burn-rate window")
+	sloSlowWindow := flag.Duration("slo-slow-window", time.Hour, "slow burn-rate window")
+	sloTick := flag.Duration("slo-tick", 10*time.Second, "SLO source sampling interval")
+	sloBurnThreshold := flag.Float64("slo-burn-threshold", 6,
+		"burn rate both windows must exceed before an SLO counts as burning (degrades /readyz)")
 	version := flag.Bool("version", false, "print build version and exit")
 	var aps cliutil.APList
 	flag.Var(&aps, "ap", "AP spec id,x,y,normalDeg (repeatable)")
@@ -300,6 +370,18 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spotfi-server: -quality-floor must be in [0,1]")
 		os.Exit(2)
 	}
+	if *fixFeedBuffer < 1 || *fixFeedSubs < 1 {
+		fmt.Fprintln(os.Stderr, "spotfi-server: -fix-feed-buffer and -fix-feed-subs must be ≥ 1")
+		os.Exit(2)
+	}
+	if *sloLatencyBound <= 0 || *sloFastWindow <= 0 || *sloSlowWindow < *sloFastWindow || *sloTick <= 0 || *sloBurnThreshold <= 0 {
+		fmt.Fprintln(os.Stderr, "spotfi-server: -slo-latency-bound/-slo-*-window/-slo-tick/-slo-burn-threshold must be positive, slow ≥ fast")
+		os.Exit(2)
+	}
+	if *sloLatencyTarget <= 0 || *sloLatencyTarget >= 1 || *sloShedTarget <= 0 || *sloShedTarget >= 1 {
+		fmt.Fprintln(os.Stderr, "spotfi-server: -slo-latency-target and -slo-shed-target must be in (0,1)")
+		os.Exit(2)
+	}
 
 	reg := obs.NewRegistry()
 	cliutil.RegisterBuildInfo(reg)
@@ -352,6 +434,14 @@ func main() {
 	lm := newLocalizeMetrics(reg)
 	shedlog := admit.NewShedLogger(logger, *admitLogEvery, nil)
 
+	// Fix feed: every successful localization is published to /debug/fixes
+	// subscribers (bounded fanout; slow clients are dropped, not waited on).
+	fixes := feed.New(feed.Config{
+		Buffer:         *fixFeedBuffer,
+		MaxSubscribers: *fixFeedSubs,
+		Metrics:        feed.NewMetrics(reg),
+	})
+
 	// Admission-controlled burst queue: burst handlers run on connection
 	// goroutines, so they must never block; workers pop through the
 	// CoDel/deadline policy so they never waste time on stale bursts.
@@ -378,6 +468,28 @@ func main() {
 	}
 	ladder := admit.NewLadder(reg, lcfg)
 
+	// SLO burn-rate tracking over the latency histogram and the admission
+	// queue's delivered/shed counters, exported as spotfi_slo_* and folded
+	// into /readyz: a sustained burn on both windows degrades readiness.
+	slos := slo.New(slo.Config{
+		FastWindow:    *sloFastWindow,
+		SlowWindow:    *sloSlowWindow,
+		Tick:          *sloTick,
+		BurnThreshold: *sloBurnThreshold,
+	})
+	slos.Add(slo.LatencyObjective("fix_latency",
+		"packet→fix latency within the bound", lm.fixLatency,
+		sloLatencyBound.Seconds(), *sloLatencyTarget))
+	slos.Add(slo.RatioObjective("admit_shed",
+		"bursts delivered (not shed) by admission control", *sloShedTarget,
+		func() (uint64, uint64) {
+			delivered := adq.DeliveredTotal()
+			return delivered, delivered + adq.ShedTotal()
+		}))
+	slos.Register(reg)
+	stopSLO := slos.Start()
+	defer stopSLO()
+
 	var pool sync.WaitGroup
 	for i := 0; i < *workers; i++ {
 		pool.Add(1)
@@ -390,7 +502,7 @@ func main() {
 					return
 				}
 				mode := ladder.Observe(sojourn)
-				localizeOne(locs[mode], breakers, lm, logger, it.Payload.(burstJob))
+				localizeOne(locs[mode], breakers, lm, fixes, logger, it.Payload.(burstJob))
 			}
 		}()
 	}
@@ -449,9 +561,11 @@ func main() {
 				return fmt.Sprintf("admission control shedding %.0f%% of bursts", 100*rate), false
 			}
 			return "", true
-		}))
+		}, slos.ReadyCheck()))
 		mux.Handle("/debug/traces", tracer.Handler())
 		mux.Handle("/debug/quality", monitor.Handler())
+		mux.Handle("/debug/slo", slos.Handler())
+		mux.Handle("/debug/fixes", fixes.Handler())
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -494,6 +608,7 @@ func main() {
 		logger.Warn("drain deadline exceeded, shedding queued bursts", "shed", shed)
 		<-done
 	}
+	fixes.Close()
 	shedlog.Flush()
 	logger.Info("drained", "discarded_partial_packets", discarded)
 }

@@ -125,6 +125,7 @@ type Queue struct {
 	prevShed  uint64
 	prevOut   uint64
 	shedTotal uint64
+	outTotal  uint64
 }
 
 // NewQueue returns a Queue with cfg's policy.
@@ -260,6 +261,7 @@ func (q *Queue) Pop() (Item, time.Duration, bool) {
 		}
 		q.rollWindowLocked(now)
 		q.curOut++
+		q.outTotal++
 		depth := len(q.items)
 		q.mu.Unlock()
 		q.cfg.Metrics.observeDelivered(sojourn, depth)
@@ -315,6 +317,15 @@ func (q *Queue) ShedTotal() uint64 {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	return q.shedTotal
+}
+
+// DeliveredTotal returns how many items Pop has handed to workers since
+// start. Together with ShedTotal it is the good/total pair behind the
+// admission-shed SLO: delivered / (delivered + shed).
+func (q *Queue) DeliveredTotal() uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.outTotal
 }
 
 // ShedRate returns the fraction of queue outcomes (delivered + shed) that

@@ -1,0 +1,207 @@
+package feed
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"testing"
+	"time"
+
+	"spotfi/internal/obs"
+)
+
+// TestSlowSubscriberDropped is the backpressure contract: a subscriber
+// that stops reading is disconnected and counted once its buffer fills,
+// while a subscriber that keeps up receives every fix.
+func TestSlowSubscriberDropped(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	f := New(Config{Buffer: 2, Metrics: m})
+
+	fast, err := f.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := f.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.Subscribers.Value(); got != 2 {
+		t.Fatalf("subscribers gauge = %d, want 2", got)
+	}
+
+	var got []Fix
+	for i := 0; i < 10; i++ {
+		f.Publish(Fix{EmitNs: int64(i)})
+		// Drain fast synchronously so only slow falls behind.
+		select {
+		case fx := <-fast.Fixes():
+			got = append(got, fx)
+		default:
+			t.Fatalf("fast subscriber missing fix %d", i)
+		}
+	}
+
+	if !slow.Dropped() {
+		t.Fatal("slow subscriber not dropped")
+	}
+	if fast.Dropped() {
+		t.Fatal("fast subscriber dropped")
+	}
+	if len(got) != 10 {
+		t.Fatalf("fast subscriber got %d fixes, want 10", len(got))
+	}
+	for i, fx := range got {
+		if fx.EmitNs != int64(i) {
+			t.Fatalf("fix %d out of order: EmitNs %d", i, fx.EmitNs)
+		}
+	}
+	if got := m.DroppedSubs.Value(); got != 1 {
+		t.Fatalf("dropped counter = %d, want 1", got)
+	}
+	if got := m.Subscribers.Value(); got != 1 {
+		t.Fatalf("subscribers gauge after drop = %d, want 1", got)
+	}
+	// The slow channel still delivers what was buffered before the drop,
+	// then closes.
+	n := 0
+	for range slow.Fixes() {
+		n++
+	}
+	if n != 2 {
+		t.Fatalf("slow subscriber drained %d buffered fixes, want 2", n)
+	}
+	// Unsubscribe after a forced drop must not double-close.
+	f.Unsubscribe(slow)
+	f.Unsubscribe(fast)
+	f.Unsubscribe(fast)
+	if got := m.Subscribers.Value(); got != 0 {
+		t.Fatalf("subscribers gauge after unsubscribe = %d, want 0", got)
+	}
+}
+
+func TestSubscriberCap(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	f := New(Config{MaxSubscribers: 2, Metrics: m})
+	if _, err := f.Subscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Subscribe(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.Subscribe(); err != ErrTooManySubscribers {
+		t.Fatalf("third Subscribe err = %v, want ErrTooManySubscribers", err)
+	}
+	if got := m.RejectedSubs.Value(); got != 1 {
+		t.Fatalf("rejected counter = %d, want 1", got)
+	}
+}
+
+func TestCloseEndsStreams(t *testing.T) {
+	f := New(Config{})
+	s, err := f.Subscribe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Publish(Fix{MAC: "aa"})
+	f.Close()
+	f.Close() // idempotent
+	n := 0
+	for range s.Fixes() {
+		n++
+	}
+	if n != 1 {
+		t.Fatalf("drained %d fixes through close, want 1", n)
+	}
+	if s.Dropped() {
+		t.Fatal("clean close marked subscriber as dropped")
+	}
+	if _, err := f.Subscribe(); err != ErrClosed {
+		t.Fatalf("Subscribe after Close err = %v, want ErrClosed", err)
+	}
+	f.Publish(Fix{}) // must not panic
+}
+
+// TestHandlerStreamsAndCleansUp runs the ndjson handler end to end: a
+// client receives fixes as lines, and after it disconnects the
+// subscription is torn down — no goroutine or subscriber leaks.
+func TestHandlerStreamsAndCleansUp(t *testing.T) {
+	reg := obs.NewRegistry()
+	m := NewMetrics(reg)
+	f := New(Config{Metrics: m})
+	srv := httptest.NewServer(f.Handler())
+	defer srv.Close()
+
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, srv.URL, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+
+	// The subscription exists once the stream is open.
+	waitFor(t, func() bool { return f.SubscriberCount() == 1 })
+
+	f.Publish(Fix{MAC: "02:aa", X: 1.5, Y: -2, Confidence: 0.8, CaptureNs: 100, EmitNs: 200, APs: 4})
+	f.Publish(Fix{MAC: "02:bb", X: 3, Y: 4})
+
+	sc := bufio.NewScanner(resp.Body)
+	var fixes []Fix
+	for len(fixes) < 2 && sc.Scan() {
+		var fx Fix
+		if err := json.Unmarshal(sc.Bytes(), &fx); err != nil {
+			t.Fatalf("bad ndjson line %q: %v", sc.Text(), err)
+		}
+		fixes = append(fixes, fx)
+	}
+	if len(fixes) != 2 || fixes[0].MAC != "02:aa" || fixes[0].EmitNs != 200 || fixes[1].X != 3 {
+		t.Fatalf("streamed fixes = %+v", fixes)
+	}
+
+	// Disconnect; the handler must unsubscribe on its way out.
+	cancel()
+	waitFor(t, func() bool { return f.SubscriberCount() == 0 })
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before+2 })
+
+	// The feed keeps working for the next subscriber.
+	resp2, err := http.Get(srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp2.Body.Close()
+	waitFor(t, func() bool { return f.SubscriberCount() == 1 })
+	f.Publish(Fix{MAC: "02:cc"})
+	line, err := bufio.NewReader(resp2.Body).ReadString('\n')
+	if err != nil {
+		t.Fatal(err)
+	}
+	var fx Fix
+	if err := json.Unmarshal([]byte(line), &fx); err != nil || fx.MAC != "02:cc" {
+		t.Fatalf("second stream line %q err %v", line, err)
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatal("condition not reached within deadline")
+}

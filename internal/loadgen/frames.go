@@ -1,0 +1,119 @@
+package loadgen
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math/rand"
+
+	"spotfi/internal/rf"
+	"spotfi/internal/sim"
+	"spotfi/internal/wire"
+)
+
+// CSI-report payload offsets, fixed by the wire encoding (little-endian,
+// packed): APID i32 @0, Seq u64 @4, TimestampNs i64 @12, RSSI f64 @20,
+// MACLen u16 @28, Antennas u16 @30, Subcarriers u16 @32, MAC @34.
+// frames_test.go cross-checks patched payloads against wire.DecodeCSIReport
+// so drift in the wire layout fails loudly here instead of corrupting runs.
+const (
+	payloadOffSeq       = 4
+	payloadOffTimestamp = 12
+	payloadOffMAC       = 34
+	// targetMACLen is the byte length of every TargetMAC string; all
+	// generator MACs share it, so MAC patching never resizes the payload.
+	targetMACLen = 17
+)
+
+// Encoder holds pre-encoded CSI-report frame payloads for every
+// (AP, position) link the scene uses. Synthesizing and serializing CSI is
+// far more expensive than sending it; doing it once up front keeps the
+// generator's send path cheap enough to drive the server into overload
+// from a single process. Per send, only the sequence number, timestamp,
+// and MAC are patched in place.
+type Encoder struct {
+	scene *Scene
+	// payloads[a][p] is the batch of frame payloads for AP a at position
+	// p, nil when AP a is not assigned to p. Payloads are mutated in
+	// place by PatchPayload; each AP's sender goroutine is the only
+	// writer of its own payloads.
+	payloads [][][][]byte
+	// header is the 9-byte frame header shared by every payload (all
+	// payloads have identical length: same CSI dims, same MAC length).
+	header     []byte
+	payloadLen int
+}
+
+// NewEncoder synthesizes and pre-encodes the scene's frame templates.
+func NewEncoder(s *Scene) (*Encoder, error) {
+	band := rf.DefaultBand()
+	array := rf.DefaultArray(band)
+	imp := sim.DefaultImpairments()
+	linkCfg := sim.DefaultLinkConfig()
+	mac := s.MAC(0)
+	if len(mac) != targetMACLen {
+		return nil, fmt.Errorf("loadgen: template MAC %q has length %d, want %d", mac, len(mac), targetMACLen)
+	}
+
+	e := &Encoder{scene: s, payloads: make([][][][]byte, len(s.APs))}
+	for a := range s.APs {
+		e.payloads[a] = make([][][]byte, len(s.Positions))
+	}
+	for p := range s.Positions {
+		for _, a := range s.apsForPos[p] {
+			link := sim.NewLink(s.Env, s.APs[a], s.Positions[p], linkCfg,
+				rand.New(rand.NewSource(mix(s.Cfg.Seed, a, p))))
+			syn, err := sim.NewSynthesizer(link, band, array, imp,
+				rand.New(rand.NewSource(mix(s.Cfg.Seed+1, a, p))))
+			if err != nil {
+				return nil, fmt.Errorf("loadgen: AP%d→pos%d: %w", a, p, err)
+			}
+			pkts := syn.Burst(mac, s.Cfg.Batch)
+			batch := make([][]byte, len(pkts))
+			for k, pkt := range pkts {
+				f, err := wire.EncodeCSIReport(pkt)
+				if err != nil {
+					return nil, fmt.Errorf("loadgen: encode AP%d→pos%d: %w", a, p, err)
+				}
+				if e.payloadLen == 0 {
+					e.payloadLen = len(f.Payload)
+					// Let the wire package build the frame header once so
+					// it stays the single source of truth for the framing.
+					var buf bytes.Buffer
+					if err := wire.WriteFrame(&buf, f); err != nil {
+						return nil, err
+					}
+					e.header = append([]byte(nil), buf.Bytes()[:buf.Len()-e.payloadLen]...)
+				} else if len(f.Payload) != e.payloadLen {
+					return nil, fmt.Errorf("loadgen: payload length %d != %d — CSI dims not uniform", len(f.Payload), e.payloadLen)
+				}
+				batch[k] = f.Payload
+			}
+			e.payloads[a][p] = batch
+		}
+	}
+	return e, nil
+}
+
+// Payloads returns AP a's pre-encoded batch for position p (nil when the
+// AP is not assigned there). The returned slices are the live templates:
+// callers patch and write them, one goroutine per AP.
+func (e *Encoder) Payloads(a, p int) [][]byte { return e.payloads[a][p] }
+
+// Header returns the frame header every payload shares.
+func (e *Encoder) Header() []byte { return e.header }
+
+// PatchPayload stamps seq, the capture timestamp, and the target MAC
+// into a pre-encoded payload in place.
+func PatchPayload(payload []byte, seq uint64, tsNs int64, mac string) error {
+	if len(mac) != targetMACLen {
+		return fmt.Errorf("loadgen: MAC %q has length %d, want %d", mac, len(mac), targetMACLen)
+	}
+	if len(payload) < payloadOffMAC+targetMACLen {
+		return fmt.Errorf("loadgen: payload of %d bytes too short to patch", len(payload))
+	}
+	binary.LittleEndian.PutUint64(payload[payloadOffSeq:], seq)
+	binary.LittleEndian.PutUint64(payload[payloadOffTimestamp:], uint64(tsNs))
+	copy(payload[payloadOffMAC:], mac)
+	return nil
+}

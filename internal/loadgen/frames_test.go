@@ -1,0 +1,114 @@
+package loadgen
+
+import (
+	"bytes"
+	"testing"
+
+	"spotfi/internal/wire"
+)
+
+// TestPatchedFramesDecode is the layout contract: a pre-encoded payload
+// patched with a fresh seq, timestamp, and MAC must decode through the
+// real wire codec into exactly that seq, timestamp, and MAC — with the
+// CSI and AP identity untouched. If the wire layout ever shifts, this
+// fails before a load run silently corrupts traffic.
+func TestPatchedFramesDecode(t *testing.T) {
+	s, err := NewScene(SceneConfig{Seed: 11, APs: 4, Targets: 6, Positions: 3, APsPerTarget: 3, Batch: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(enc.Header()) != 9 {
+		t.Fatalf("frame header is %d bytes, want 9", len(enc.Header()))
+	}
+
+	seq := uint64(0)
+	for p := range s.Positions {
+		for _, a := range s.APsForPos(p) {
+			payloads := enc.Payloads(a, p)
+			if len(payloads) != s.Cfg.Batch {
+				t.Fatalf("AP %d pos %d: %d payloads, want %d", a, p, len(payloads), s.Cfg.Batch)
+			}
+			for k, payload := range payloads {
+				seq++
+				tsNs := int64(1_700_000_000_000_000_000) + int64(seq)
+				mac := s.MAC(p*7 + k)
+				if err := PatchPayload(payload, seq, tsNs, mac); err != nil {
+					t.Fatal(err)
+				}
+
+				// Reassemble header+payload and push it through the real
+				// reader + decoder.
+				var buf bytes.Buffer
+				buf.Write(enc.Header())
+				buf.Write(payload)
+				fr, err := wire.ReadFrame(&buf)
+				if err != nil {
+					t.Fatalf("AP %d pos %d pkt %d: ReadFrame: %v", a, p, k, err)
+				}
+				pkt, err := wire.DecodeCSIReport(fr)
+				if err != nil {
+					t.Fatalf("AP %d pos %d pkt %d: DecodeCSIReport: %v", a, p, k, err)
+				}
+				if pkt.APID != a {
+					t.Fatalf("decoded APID %d, want %d", pkt.APID, a)
+				}
+				if pkt.Seq != seq {
+					t.Fatalf("decoded Seq %d, want %d", pkt.Seq, seq)
+				}
+				if pkt.TimestampNs != tsNs {
+					t.Fatalf("decoded TimestampNs %d, want %d", pkt.TimestampNs, tsNs)
+				}
+				if pkt.TargetMAC != mac {
+					t.Fatalf("decoded MAC %q, want %q", pkt.TargetMAC, mac)
+				}
+				if pkt.CSI.Antennas() == 0 || pkt.CSI.Subcarriers() == 0 {
+					t.Fatal("decoded CSI is empty")
+				}
+			}
+		}
+	}
+}
+
+// TestUnassignedPayloadsNil: APs not covering a position have no frames
+// for it.
+func TestUnassignedPayloadsNil(t *testing.T) {
+	s, err := NewScene(SceneConfig{Seed: 2, APs: 6, Targets: 4, Positions: 4, APsPerTarget: 2, Batch: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	enc, err := NewEncoder(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := range s.Positions {
+		assigned := map[int]bool{}
+		for _, a := range s.APsForPos(p) {
+			assigned[a] = true
+		}
+		for a := range s.APs {
+			got := enc.Payloads(a, p)
+			if assigned[a] && got == nil {
+				t.Fatalf("AP %d pos %d assigned but has no payloads", a, p)
+			}
+			if !assigned[a] && got != nil {
+				t.Fatalf("AP %d pos %d not assigned but has payloads", a, p)
+			}
+		}
+	}
+}
+
+func TestPatchPayloadRejectsBadInput(t *testing.T) {
+	if err := PatchPayload(make([]byte, 100), 1, 2, "02:00:00:00:00:00"); err != nil {
+		t.Fatalf("valid patch rejected: %v", err)
+	}
+	if err := PatchPayload(make([]byte, 10), 1, 2, "02:00:00:00:00:00"); err == nil {
+		t.Fatal("short payload accepted")
+	}
+	if err := PatchPayload(make([]byte, 100), 1, 2, "short"); err == nil {
+		t.Fatal("short MAC accepted")
+	}
+}

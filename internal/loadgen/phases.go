@@ -1,0 +1,112 @@
+package loadgen
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Phase is one segment of the load schedule: a steady rate, or a linear
+// ramp from StartRate to EndRate over Duration. Rates are bursts per
+// second; each burst is Batch packets from each of APsPerTarget APs.
+type Phase struct {
+	Name      string
+	Duration  time.Duration
+	StartRate float64
+	EndRate   float64
+}
+
+// rateAt returns the offered rate the given time into the phase.
+func (p Phase) rateAt(into time.Duration) float64 {
+	//lint:allow floateq a steady phase is parsed with StartRate and EndRate set from the same token, so identity is exact
+	if p.Duration <= 0 || p.StartRate == p.EndRate {
+		return p.StartRate
+	}
+	frac := float64(into) / float64(p.Duration)
+	if frac < 0 {
+		frac = 0
+	}
+	if frac > 1 {
+		frac = 1
+	}
+	return p.StartRate + frac*(p.EndRate-p.StartRate)
+}
+
+// ParsePhases parses a schedule spec: comma-separated phases of the form
+// "name:duration@rate" (steady) or "name:duration@start..end" (linear
+// ramp), e.g. "warm:5s@10,ramp:10s@10..80,soak:10s@120".
+func ParsePhases(s string) ([]Phase, error) {
+	var out []Phase
+	seen := map[string]bool{}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		name, rest, ok := strings.Cut(part, ":")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("loadgen: phase %q: want name:duration@rate", part)
+		}
+		durStr, rateStr, ok := strings.Cut(rest, "@")
+		if !ok {
+			return nil, fmt.Errorf("loadgen: phase %q: want name:duration@rate", part)
+		}
+		dur, err := time.ParseDuration(durStr)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: phase %q: bad duration: %v", part, err)
+		}
+		if dur <= 0 {
+			return nil, fmt.Errorf("loadgen: phase %q: duration must be positive", part)
+		}
+		ph := Phase{Name: name, Duration: dur}
+		if lo, hi, ramp := strings.Cut(rateStr, ".."); ramp {
+			if ph.StartRate, err = parseRate(part, lo); err != nil {
+				return nil, err
+			}
+			if ph.EndRate, err = parseRate(part, hi); err != nil {
+				return nil, err
+			}
+		} else {
+			if ph.StartRate, err = parseRate(part, rateStr); err != nil {
+				return nil, err
+			}
+			ph.EndRate = ph.StartRate
+		}
+		if seen[name] {
+			return nil, fmt.Errorf("loadgen: duplicate phase name %q", name)
+		}
+		seen[name] = true
+		out = append(out, ph)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("loadgen: empty phase schedule %q", s)
+	}
+	return out, nil
+}
+
+func parseRate(phase, s string) (float64, error) {
+	v, err := strconv.ParseFloat(strings.TrimSpace(s), 64)
+	if err != nil {
+		return 0, fmt.Errorf("loadgen: phase %q: bad rate %q: %v", phase, s, err)
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("loadgen: phase %q: negative rate %g", phase, v)
+	}
+	return v, nil
+}
+
+// FormatPhases renders phases back into the spec syntax ParsePhases
+// accepts — the canonical form recorded in report opts.
+func FormatPhases(ps []Phase) string {
+	parts := make([]string, len(ps))
+	for i, p := range ps {
+		//lint:allow floateq steady vs ramp formatting keys on the same parsed-token identity as rateAt
+		if p.StartRate == p.EndRate {
+			parts[i] = fmt.Sprintf("%s:%s@%g", p.Name, p.Duration, p.StartRate)
+		} else {
+			parts[i] = fmt.Sprintf("%s:%s@%g..%g", p.Name, p.Duration, p.StartRate, p.EndRate)
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,83 @@
+package loadgen
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParsePhases(t *testing.T) {
+	ps, err := ParsePhases("warm:5s@10, ramp:10s@10..80 ,soak:2m@120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Phase{
+		{Name: "warm", Duration: 5 * time.Second, StartRate: 10, EndRate: 10},
+		{Name: "ramp", Duration: 10 * time.Second, StartRate: 10, EndRate: 80},
+		{Name: "soak", Duration: 2 * time.Minute, StartRate: 120, EndRate: 120},
+	}
+	if len(ps) != len(want) {
+		t.Fatalf("got %d phases, want %d", len(ps), len(want))
+	}
+	for i := range want {
+		if ps[i] != want[i] {
+			t.Fatalf("phase %d = %+v, want %+v", i, ps[i], want[i])
+		}
+	}
+}
+
+func TestParsePhasesErrors(t *testing.T) {
+	for _, bad := range []string{
+		"",
+		"noduration@5",
+		"x:5s",
+		"x:bogus@5",
+		"x:-3s@5",
+		"x:0s@5",
+		"x:5s@-1",
+		"x:5s@1..nope",
+		"a:1s@1,a:1s@2", // duplicate name
+	} {
+		if _, err := ParsePhases(bad); err == nil {
+			t.Errorf("ParsePhases(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+func TestRateAtRampsLinearly(t *testing.T) {
+	p := Phase{Name: "ramp", Duration: 10 * time.Second, StartRate: 20, EndRate: 120}
+	cases := []struct {
+		into time.Duration
+		want float64
+	}{
+		{0, 20},
+		{5 * time.Second, 70},
+		{10 * time.Second, 120},
+		{15 * time.Second, 120}, // clamped past the end
+	}
+	for _, c := range cases {
+		if got := p.rateAt(c.into); got != c.want {
+			t.Errorf("rateAt(%v) = %g, want %g", c.into, got, c.want)
+		}
+	}
+	steady := Phase{Name: "s", Duration: time.Second, StartRate: 7, EndRate: 7}
+	if got := steady.rateAt(500 * time.Millisecond); got != 7 {
+		t.Errorf("steady rateAt = %g, want 7", got)
+	}
+}
+
+func TestFormatPhasesRoundTrip(t *testing.T) {
+	spec := "warm:5s@10,ramp:10s@10..80,soak:2m0s@120"
+	ps, err := ParsePhases(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParsePhases(FormatPhases(ps))
+	if err != nil {
+		t.Fatalf("FormatPhases output %q does not re-parse: %v", FormatPhases(ps), err)
+	}
+	for i := range ps {
+		if ps[i] != back[i] {
+			t.Fatalf("round trip changed phase %d: %+v vs %+v", i, ps[i], back[i])
+		}
+	}
+}

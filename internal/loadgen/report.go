@@ -1,0 +1,246 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"spotfi/internal/stats"
+)
+
+// ReportSchema versions the LOAD_*.json format; CompareReports refuses
+// files written by a different schema rather than mis-reading them.
+const ReportSchema = 1
+
+// ReportOpts pins the scale a report was recorded at. Comparing runs
+// with different opts would gate on scale noise, not regressions.
+type ReportOpts struct {
+	Seed         int64  `json:"seed"`
+	APs          int    `json:"aps"`
+	Targets      int    `json:"targets"`
+	Positions    int    `json:"positions"`
+	APsPerTarget int    `json:"aps_per_target"`
+	Batch        int    `json:"batch"`
+	Phases       string `json:"phases"`
+}
+
+// PhaseReport is one phase's derived figures.
+type PhaseReport struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+	// OfferedBursts is what the open-loop scheduler offered;
+	// ClientDroppedSends counts per-AP enqueues the generator itself
+	// dropped (saturated local send queue).
+	OfferedBursts      uint64  `json:"offered_bursts"`
+	OfferedRatePerSec  float64 `json:"offered_rate_per_sec"`
+	ClientDroppedSends uint64  `json:"client_dropped_sends"`
+	// Fixes and FixRatePerSec measure server output attributed to the
+	// phase by emit time.
+	Fixes         uint64  `json:"fixes"`
+	FixRatePerSec float64 `json:"fix_rate_per_sec"`
+	// Latency percentiles are end-to-end packet→fix, milliseconds,
+	// from HDR-style buckets (so p99 is interpolated, not exact).
+	LatencyP50Ms float64 `json:"latency_p50_ms"`
+	LatencyP95Ms float64 `json:"latency_p95_ms"`
+	LatencyP99Ms float64 `json:"latency_p99_ms"`
+	// ShedRate is shed/(shed+delivered) from the server's admission
+	// counters over the phase window.
+	ShedRate float64 `json:"shed_rate"`
+	// ErrMedianM/ErrP90M are live localization error vs ground truth,
+	// meters, over the phase's fixes.
+	ErrMedianM float64 `json:"err_median_m"`
+	ErrP90M    float64 `json:"err_p90_m"`
+}
+
+// Report is the machine-readable fingerprint of one load run: what
+// LOAD_<runid>.json holds and what the CI load-smoke job diffs against
+// the committed LOAD_baseline.json.
+type Report struct {
+	Schema int    `json:"schema"`
+	RunID  string `json:"run_id"`
+	// CreatedAt is an RFC 3339 timestamp, informational only.
+	CreatedAt string        `json:"created_at"`
+	Opts      ReportOpts    `json:"opts"`
+	Phases    []PhaseReport `json:"phases"`
+	// TotalFixes/SendErrs/FeedErr summarize run health.
+	TotalFixes uint64 `json:"total_fixes"`
+	SendErrs   uint64 `json:"send_errs"`
+	FeedErr    string `json:"feed_err,omitempty"`
+	// SLO is the server's /debug/slo snapshot at the end of the run.
+	SLO json.RawMessage `json:"slo,omitempty"`
+}
+
+// NewReport derives the report from a run's raw measurements.
+func NewReport(runID, createdAt string, opts ReportOpts, res *Result) *Report {
+	r := &Report{
+		Schema:     ReportSchema,
+		RunID:      runID,
+		CreatedAt:  createdAt,
+		Opts:       opts,
+		TotalFixes: res.TotalFixes,
+		SendErrs:   res.SendErrs,
+		FeedErr:    res.FeedErr,
+		SLO:        res.SLO,
+	}
+	for _, st := range res.Phases {
+		secs := float64(st.EndNs-st.StartNs) / 1e9
+		pr := PhaseReport{
+			Name:               st.Phase.Name,
+			Seconds:            secs,
+			OfferedBursts:      st.Offered,
+			ClientDroppedSends: st.Dropped,
+			Fixes:              st.Fixes,
+			ShedRate:           st.Counters.shedRate(),
+		}
+		if secs > 0 {
+			pr.OfferedRatePerSec = float64(st.Offered) / secs
+			pr.FixRatePerSec = float64(st.Fixes) / secs
+		}
+		if st.Latency != nil && st.Latency.Count() > 0 {
+			pr.LatencyP50Ms = st.Latency.Quantile(0.5) * 1e3
+			pr.LatencyP95Ms = st.Latency.Quantile(0.95) * 1e3
+			pr.LatencyP99Ms = st.Latency.Quantile(0.99) * 1e3
+		}
+		if len(st.Errors) > 0 {
+			pr.ErrMedianM = stats.Median(st.Errors)
+			pr.ErrP90M = stats.Percentile(st.Errors, 90)
+		}
+		r.Phases = append(r.Phases, pr)
+	}
+	return r
+}
+
+// WriteFile writes the report as indented JSON.
+func (r *Report) WriteFile(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// LoadReport reads a report file and checks its schema.
+func LoadReport(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("loadgen: %s: %w", path, err)
+	}
+	if r.Schema != ReportSchema {
+		return nil, fmt.Errorf("loadgen: %s: schema %d, want %d", path, r.Schema, ReportSchema)
+	}
+	return &r, nil
+}
+
+// Tolerance bounds how much worse a run may be than its baseline before
+// CompareReports flags a regression. Load figures are wall-clock and
+// machine-dependent, so the defaults are deliberately loose — the gate
+// catches collapses (no fixes, runaway latency, everything shed), not
+// percent-level drift.
+type Tolerance struct {
+	// FixRateFactor fails a phase whose fix rate fell below
+	// baseline/factor (only for phases where the baseline produced
+	// fixes).
+	FixRateFactor float64
+	// LatencyFactor fails a phase whose p99 exceeds baseline×factor.
+	LatencyFactor float64
+	// ShedAbs fails a phase whose shed rate exceeds baseline+abs.
+	ShedAbs float64
+	// ErrRel/ErrAbs bound localization error like the bench gate:
+	// current must not exceed base + max(ErrAbs, base·ErrRel).
+	ErrRel float64
+	ErrAbs float64
+}
+
+// DefaultTolerance matches the CI load-smoke gate.
+func DefaultTolerance() Tolerance {
+	return Tolerance{FixRateFactor: 3, LatencyFactor: 10, ShedAbs: 0.25, ErrRel: 0.5, ErrAbs: 0.5}
+}
+
+func (t Tolerance) fill() Tolerance {
+	d := DefaultTolerance()
+	if t.FixRateFactor <= 0 {
+		t.FixRateFactor = d.FixRateFactor
+	}
+	if t.LatencyFactor <= 0 {
+		t.LatencyFactor = d.LatencyFactor
+	}
+	if t.ShedAbs <= 0 {
+		t.ShedAbs = d.ShedAbs
+	}
+	if t.ErrRel <= 0 {
+		t.ErrRel = d.ErrRel
+	}
+	if t.ErrAbs <= 0 {
+		t.ErrAbs = d.ErrAbs
+	}
+	return t
+}
+
+// CompareReports diffs cur against base and returns one violation per
+// regression beyond tol (empty = pass). Phases are matched by name;
+// a baseline phase missing from the current run is a violation,
+// current-only phases are ignored. Mismatched opts are a single
+// violation: cross-scale numbers are not comparable.
+func CompareReports(base, cur *Report, tol Tolerance) []string {
+	tol = tol.fill()
+	if base.Opts != cur.Opts {
+		return []string{fmt.Sprintf("opts mismatch: baseline %+v vs current %+v (rerun with matching scene and phase flags)",
+			base.Opts, cur.Opts)}
+	}
+	curByName := make(map[string]PhaseReport, len(cur.Phases))
+	for _, p := range cur.Phases {
+		curByName[p.Name] = p
+	}
+	var out []string
+	for _, bp := range base.Phases {
+		cp, ok := curByName[bp.Name]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: phase missing from current run", bp.Name))
+			continue
+		}
+		if bp.Fixes > 0 && cp.Fixes == 0 {
+			out = append(out, fmt.Sprintf("%s: no fixes (baseline had %d)", bp.Name, bp.Fixes))
+			continue
+		}
+		if bp.FixRatePerSec > 0 && cp.FixRatePerSec < bp.FixRatePerSec/tol.FixRateFactor {
+			out = append(out, fmt.Sprintf("%s: fix rate %.2f/s < baseline %.2f/s ÷ %.0f",
+				bp.Name, cp.FixRatePerSec, bp.FixRatePerSec, tol.FixRateFactor))
+		}
+		if bp.LatencyP99Ms > 0 && cp.LatencyP99Ms > bp.LatencyP99Ms*tol.LatencyFactor {
+			out = append(out, fmt.Sprintf("%s: latency p99 %.1fms > %.0f× baseline %.1fms",
+				bp.Name, cp.LatencyP99Ms, tol.LatencyFactor, bp.LatencyP99Ms))
+		}
+		if cp.ShedRate > bp.ShedRate+tol.ShedAbs {
+			out = append(out, fmt.Sprintf("%s: shed rate %.3f > baseline %.3f + %.2f",
+				bp.Name, cp.ShedRate, bp.ShedRate, tol.ShedAbs))
+		}
+		// Only the error median is gated. The p90 is reported but too
+		// noisy to gate: under shedding, *which* fixes survive varies run
+		// to run, and at a few hundred samples the tail swings by meters
+		// while the median moves by centimeters.
+		if v := errViolation(bp.Name, "err median", bp.ErrMedianM, cp.ErrMedianM, tol); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// errViolation gates one accuracy stat one-sidedly: only getting worse
+// beyond the combined slack fails.
+func errViolation(phase, stat string, base, cur float64, tol Tolerance) string {
+	if base <= 0 {
+		return "" // baseline phase had no error samples to compare against
+	}
+	slack := base * tol.ErrRel
+	if tol.ErrAbs > slack {
+		slack = tol.ErrAbs
+	}
+	if cur > base+slack {
+		return fmt.Sprintf("%s: %s %.2fm > baseline %.2fm + %.2fm", phase, stat, cur, base, slack)
+	}
+	return ""
+}

@@ -1,0 +1,153 @@
+package loadgen
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"spotfi/internal/obs/slo"
+)
+
+func sampleResult() *Result {
+	lat := slo.NewDist(latencyBuckets())
+	for i := 0; i < 90; i++ {
+		lat.Observe(0.02)
+	}
+	for i := 0; i < 10; i++ {
+		lat.Observe(0.8)
+	}
+	return &Result{
+		TotalFixes: 100,
+		Phases: []PhaseStats{{
+			Phase:    Phase{Name: "soak", Duration: 10 * time.Second, StartRate: 50, EndRate: 50},
+			StartNs:  0,
+			EndNs:    int64(10 * time.Second),
+			Offered:  500,
+			Sends:    2000,
+			Dropped:  20,
+			Fixes:    100,
+			Latency:  lat,
+			Errors:   []float64{0.5, 1.0, 1.5, 2.0, 4.0},
+			Counters: serverCounters{Shed: 100, Delivered: 300},
+		}},
+	}
+}
+
+func TestNewReportDerivation(t *testing.T) {
+	opts := ReportOpts{Seed: 1, APs: 6, Targets: 24, Positions: 12, APsPerTarget: 4, Batch: 10, Phases: "soak:10s@50"}
+	r := NewReport("run1", "2026-08-08T00:00:00Z", opts, sampleResult())
+	if r.Schema != ReportSchema || len(r.Phases) != 1 {
+		t.Fatalf("report = %+v", r)
+	}
+	p := r.Phases[0]
+	if p.Seconds != 10 || p.OfferedBursts != 500 || p.OfferedRatePerSec != 50 {
+		t.Fatalf("offered stats wrong: %+v", p)
+	}
+	if p.Fixes != 100 || p.FixRatePerSec != 10 {
+		t.Fatalf("fix stats wrong: %+v", p)
+	}
+	// 90% at 20ms, 10% at 800ms: p50 lands in the 20ms bucket's decade,
+	// p99 in the 800ms one.
+	if p.LatencyP50Ms <= 1 || p.LatencyP50Ms > 40 {
+		t.Fatalf("p50 = %gms, want ~20ms scale", p.LatencyP50Ms)
+	}
+	if p.LatencyP99Ms <= 200 || p.LatencyP99Ms > 1100 {
+		t.Fatalf("p99 = %gms, want ~800ms scale", p.LatencyP99Ms)
+	}
+	if p.ShedRate != 0.25 {
+		t.Fatalf("shed rate = %g, want 0.25", p.ShedRate)
+	}
+	if p.ErrMedianM != 1.5 {
+		t.Fatalf("err median = %g, want 1.5", p.ErrMedianM)
+	}
+	if p.ErrP90M < 2 || p.ErrP90M > 4 {
+		t.Fatalf("err p90 = %g, want in [2,4]", p.ErrP90M)
+	}
+}
+
+func TestReportFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "LOAD_x.json")
+	opts := ReportOpts{Seed: 1, APs: 6, Phases: "p:1s@1"}
+	r := NewReport("x", "2026-08-08T00:00:00Z", opts, sampleResult())
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadReport(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.RunID != "x" || back.Opts != opts || len(back.Phases) != 1 {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+
+	// A wrong schema is refused, not misread.
+	r.Schema = 99
+	if err := r.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadReport(path); err == nil || !strings.Contains(err.Error(), "schema") {
+		t.Fatalf("schema mismatch err = %v", err)
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	opts := ReportOpts{Seed: 1, APs: 6, Phases: "soak:10s@50"}
+	base := NewReport("base", "", opts, sampleResult())
+
+	// Identical run: clean pass.
+	if v := CompareReports(base, NewReport("cur", "", opts, sampleResult()), Tolerance{}); len(v) != 0 {
+		t.Fatalf("identical run flagged: %v", v)
+	}
+
+	// Opts mismatch is a single violation.
+	other := NewReport("cur", "", ReportOpts{Seed: 2, APs: 6, Phases: "soak:10s@50"}, sampleResult())
+	if v := CompareReports(base, other, Tolerance{}); len(v) != 1 || !strings.Contains(v[0], "opts mismatch") {
+		t.Fatalf("opts mismatch → %v", v)
+	}
+
+	// Collapse on every axis: fixes gone, latency exploded, shed way up,
+	// error way up — each produces its violation.
+	bad := NewReport("cur", "", opts, sampleResult())
+	bad.Phases[0].Fixes = 0
+	v := CompareReports(base, bad, Tolerance{})
+	if len(v) != 1 || !strings.Contains(v[0], "no fixes") {
+		t.Fatalf("zero fixes → %v", v)
+	}
+
+	bad = NewReport("cur", "", opts, sampleResult())
+	bad.Phases[0].FixRatePerSec = base.Phases[0].FixRatePerSec / 10
+	bad.Phases[0].LatencyP99Ms = base.Phases[0].LatencyP99Ms * 20
+	bad.Phases[0].ShedRate = base.Phases[0].ShedRate + 0.5
+	bad.Phases[0].ErrMedianM = base.Phases[0].ErrMedianM + 10
+	v = CompareReports(base, bad, Tolerance{})
+	for _, want := range []string{"fix rate", "latency p99", "shed rate", "err median"} {
+		found := false
+		for _, s := range v {
+			if strings.Contains(s, want) {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("regression on %q not flagged; got %v", want, v)
+		}
+	}
+
+	// A baseline phase missing from the current run is a coverage loss.
+	empty := NewReport("cur", "", opts, &Result{})
+	if v := CompareReports(base, empty, Tolerance{}); len(v) != 1 || !strings.Contains(v[0], "missing") {
+		t.Fatalf("missing phase → %v", v)
+	}
+
+	// Improvements never fail.
+	better := NewReport("cur", "", opts, sampleResult())
+	better.Phases[0].FixRatePerSec *= 2
+	better.Phases[0].LatencyP99Ms /= 5
+	better.Phases[0].ShedRate = 0
+	better.Phases[0].ErrMedianM /= 2
+	better.Phases[0].ErrP90M /= 2
+	if v := CompareReports(base, better, Tolerance{}); len(v) != 0 {
+		t.Fatalf("improvement flagged: %v", v)
+	}
+}

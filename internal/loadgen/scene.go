@@ -1,0 +1,282 @@
+// Package loadgen drives a live spotfi-server with synthetic CSI traffic
+// over the real wire protocol and measures what comes out the other end:
+// fix throughput, packet→fix latency, shed rate, and live localization
+// error against known ground truth.
+//
+// The generator is open-loop: it offers bursts at the scheduled rate
+// regardless of how the server is coping, so overload shows up as shed
+// and latency — not as the generator politely slowing down. Traffic is
+// physically plausible (ray-traced multipath CSI from internal/sim), so
+// the server's full pipeline — sanitization, MUSIC, clustering,
+// localization — runs exactly as it would against real APs.
+package loadgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+
+	"spotfi/internal/geom"
+	"spotfi/internal/locate"
+	"spotfi/internal/sim"
+)
+
+// SceneConfig sizes the synthetic deployment. Zero fields take the
+// defaults noted; the same config and seed always produce the same
+// scene, so a committed baseline pins its traffic exactly.
+type SceneConfig struct {
+	// Seed drives AP placement jitter, position sampling, and every
+	// per-link synthesizer deterministically.
+	Seed int64
+	// APs is the number of synthetic access points, placed evenly on the
+	// bounds perimeter facing the room center (default 6, min 2).
+	APs int
+	// Targets is the number of distinct MACs cycled through (default 24).
+	Targets int
+	// Positions is the number of quantized ground-truth positions targets
+	// stand at; target t occupies position t mod Positions (default 12).
+	// Quantizing keeps the pre-encoded frame-template set small while
+	// still exercising many MACs.
+	Positions int
+	// APsPerTarget is how many of the nearest APs hear each position
+	// (default 4) — it must be at least the server's -minaps for bursts
+	// to assemble.
+	APsPerTarget int
+	// Batch is packets per AP per burst; must match the server's -batch
+	// (default 10).
+	Batch int
+	// Bounds is the deployment region (default 0,0,16,10 — the paper's
+	// office).
+	Bounds locate.Bounds
+}
+
+func (c SceneConfig) withDefaults() SceneConfig {
+	if c.APs == 0 {
+		c.APs = 6
+	}
+	if c.Targets == 0 {
+		c.Targets = 24
+	}
+	if c.Positions == 0 {
+		c.Positions = 12
+	}
+	if c.APsPerTarget == 0 {
+		c.APsPerTarget = 4
+	}
+	if c.Batch == 0 {
+		c.Batch = 10
+	}
+	if c.Bounds == (locate.Bounds{}) {
+		c.Bounds = locate.Bounds{MinX: 0, MinY: 0, MaxX: 16, MaxY: 10}
+	}
+	return c
+}
+
+// Scene is a fully specified synthetic deployment: AP poses, the
+// quantized ground-truth positions, and which APs hear each position.
+type Scene struct {
+	Cfg SceneConfig
+	// APs are the synthetic access points; APs[i].ID == i.
+	APs []sim.AP
+	// Positions are the quantized ground-truth target positions.
+	Positions []geom.Point
+	// Env is the multipath environment every link is traced through.
+	Env *sim.Environment
+
+	// apsForPos[p] lists the Cfg.APsPerTarget nearest AP indices.
+	apsForPos [][]int
+}
+
+// NewScene builds the deterministic deployment for cfg.
+func NewScene(cfg SceneConfig) (*Scene, error) {
+	cfg = cfg.withDefaults()
+	if cfg.APs < 2 {
+		return nil, fmt.Errorf("loadgen: need at least 2 APs, got %d", cfg.APs)
+	}
+	if cfg.Bounds.MinX >= cfg.Bounds.MaxX || cfg.Bounds.MinY >= cfg.Bounds.MaxY {
+		return nil, fmt.Errorf("loadgen: empty bounds %+v", cfg.Bounds)
+	}
+	if cfg.APsPerTarget > cfg.APs {
+		return nil, fmt.Errorf("loadgen: aps-per-target %d exceeds %d APs", cfg.APsPerTarget, cfg.APs)
+	}
+	if cfg.Targets < 1 || cfg.Positions < 1 || cfg.Batch < 1 || cfg.APsPerTarget < 1 {
+		return nil, fmt.Errorf("loadgen: targets, positions, aps-per-target, and batch must be positive")
+	}
+	if cfg.Targets > 1<<32-1 {
+		return nil, fmt.Errorf("loadgen: %d targets exceed the 32-bit MAC encoding", cfg.Targets)
+	}
+	s := &Scene{
+		Cfg: cfg,
+		APs: perimeterAPs(cfg.APs, cfg.Bounds),
+		Env: sceneEnvironment(cfg.Bounds),
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	pos, err := samplePositions(rng, cfg.Bounds, cfg.Positions, s.APs)
+	if err != nil {
+		return nil, err
+	}
+	s.Positions = pos
+	s.apsForPos = make([][]int, len(pos))
+	for p := range pos {
+		s.apsForPos[p] = nearestAPs(s.APs, pos[p], cfg.APsPerTarget)
+	}
+	return s, nil
+}
+
+// PosIndex returns the ground-truth position index of target t.
+func (s *Scene) PosIndex(t int) int { return t % len(s.Positions) }
+
+// Truth returns the ground-truth position of target t.
+func (s *Scene) Truth(t int) geom.Point { return s.Positions[s.PosIndex(t)] }
+
+// APsForPos returns the AP indices that hear position p.
+func (s *Scene) APsForPos(p int) []int { return s.apsForPos[p] }
+
+// MAC returns the synthetic MAC of target t. The index is carried in
+// the last four octets, so a fix's MAC maps back to ground truth via
+// TargetIndex.
+func (s *Scene) MAC(t int) string { return TargetMAC(t) }
+
+// TargetMAC encodes target index t into a locally administered MAC.
+func TargetMAC(t int) string {
+	u := uint32(t)
+	return fmt.Sprintf("02:00:%02x:%02x:%02x:%02x",
+		byte(u>>24), byte(u>>16), byte(u>>8), byte(u))
+}
+
+// TargetIndex inverts TargetMAC. ok is false for MACs the generator did
+// not mint (foreign traffic sharing the server).
+func TargetIndex(mac string) (int, bool) {
+	var b [4]byte
+	if len(mac) != 17 {
+		return 0, false
+	}
+	if _, err := fmt.Sscanf(mac, "02:00:%02x:%02x:%02x:%02x", &b[0], &b[1], &b[2], &b[3]); err != nil {
+		return 0, false
+	}
+	u := uint32(b[0])<<24 | uint32(b[1])<<16 | uint32(b[2])<<8 | uint32(b[3])
+	return int(u), true
+}
+
+// mix derives a deterministic per-(ap, position) seed (splitmix64
+// finalizer — same construction the testbed uses for per-link seeds).
+func mix(seed int64, ap, pos int) int64 {
+	z := uint64(seed) ^ (uint64(ap+1) * 0x9E3779B97F4A7C15) ^ (uint64(pos+1) * 0xBF58476D1CE4E5B9)
+	z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+	z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+	z ^= z >> 31
+	return int64(z & 0x7FFFFFFFFFFFFFFF)
+}
+
+// perimeterAPs places n APs evenly along the bounds perimeter (inset so
+// they sit inside the walls), broadside facing the room center.
+func perimeterAPs(n int, b locate.Bounds) []sim.AP {
+	const inset = 0.4
+	minX, minY := b.MinX+inset, b.MinY+inset
+	w, h := b.MaxX-b.MinX-2*inset, b.MaxY-b.MinY-2*inset
+	perim := 2 * (w + h)
+	center := geom.Point{X: (b.MinX + b.MaxX) / 2, Y: (b.MinY + b.MaxY) / 2}
+	aps := make([]sim.AP, n)
+	for i := range aps {
+		d := perim * float64(i) / float64(n)
+		var p geom.Point
+		switch {
+		case d < w:
+			p = geom.Point{X: minX + d, Y: minY}
+		case d < w+h:
+			p = geom.Point{X: minX + w, Y: minY + (d - w)}
+		case d < 2*w+h:
+			p = geom.Point{X: minX + w - (d - w - h), Y: minY + h}
+		default:
+			p = geom.Point{X: minX, Y: minY + h - (d - 2*w - h)}
+		}
+		aps[i] = sim.AP{ID: i, Pos: p, NormalAngle: center.Sub(p).Angle()}
+	}
+	return aps
+}
+
+// sceneEnvironment builds a multipath-rich room scaled to the bounds:
+// a reflective perimeter shell plus scatterers at fixed fractional
+// positions — enough paths that the pipeline works as hard as in the
+// office testbed.
+func sceneEnvironment(b locate.Bounds) *sim.Environment {
+	mk := func(ax, ay, bx, by float64) sim.Wall {
+		return sim.Wall{
+			Seg:           geom.Segment{A: geom.Point{X: ax, Y: ay}, B: geom.Point{X: bx, Y: by}},
+			LossDB:        16,
+			ReflectLossDB: 3,
+		}
+	}
+	at := func(fx, fy float64) geom.Point {
+		return geom.Point{X: b.MinX + fx*(b.MaxX-b.MinX), Y: b.MinY + fy*(b.MaxY-b.MinY)}
+	}
+	scat := [][2]float64{{0.2, 0.75}, {0.8, 0.2}, {0.5, 0.55}, {0.85, 0.8}, {0.15, 0.25}}
+	env := &sim.Environment{
+		Walls: []sim.Wall{
+			mk(b.MinX, b.MinY, b.MaxX, b.MinY),
+			mk(b.MaxX, b.MinY, b.MaxX, b.MaxY),
+			mk(b.MaxX, b.MaxY, b.MinX, b.MaxY),
+			mk(b.MinX, b.MaxY, b.MinX, b.MinY),
+		},
+	}
+	for i, f := range scat {
+		env.Scatterers = append(env.Scatterers, sim.Scatterer{
+			Pos:    at(f[0], f[1]),
+			LossDB: 10 + 2*float64(i%3),
+		})
+	}
+	return env
+}
+
+// samplePositions draws count jittered positions inside the bounds,
+// keeping clearance from APs and from each other so no link is
+// degenerate.
+func samplePositions(rng *rand.Rand, b locate.Bounds, count int, aps []sim.AP) ([]geom.Point, error) {
+	var out []geom.Point
+	margin := 0.8
+	if m := math.Min(b.MaxX-b.MinX, b.MaxY-b.MinY) / 4; m < margin {
+		margin = m
+	}
+	const maxAttempts = 50000
+	for attempt := 0; attempt < maxAttempts && len(out) < count; attempt++ {
+		p := geom.Point{
+			X: b.MinX + margin + (b.MaxX-b.MinX-2*margin)*rng.Float64(),
+			Y: b.MinY + margin + (b.MaxY-b.MinY-2*margin)*rng.Float64(),
+		}
+		ok := true
+		for _, ap := range aps {
+			if p.Dist(ap.Pos) < 1.0 {
+				ok = false
+				break
+			}
+		}
+		for _, q := range out {
+			if p.Dist(q) < 0.5 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	if len(out) < count {
+		return nil, fmt.Errorf("loadgen: placed only %d of %d positions in %+v (bounds too small?)", len(out), count, b)
+	}
+	return out, nil
+}
+
+// nearestAPs returns the k AP indices closest to p, nearest first.
+func nearestAPs(aps []sim.AP, p geom.Point, k int) []int {
+	idx := make([]int, len(aps))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool {
+		return aps[idx[a]].Pos.Dist(p) < aps[idx[b]].Pos.Dist(p)
+	})
+	out := make([]int, k)
+	copy(out, idx[:k])
+	return out
+}

@@ -1,0 +1,117 @@
+package loadgen
+
+import (
+	"reflect"
+	"testing"
+
+	"spotfi/internal/locate"
+)
+
+func boundsAt(minX, minY, maxX, maxY float64) locate.Bounds {
+	return locate.Bounds{MinX: minX, MinY: minY, MaxX: maxX, MaxY: maxY}
+}
+
+func TestSceneDeterministic(t *testing.T) {
+	cfg := SceneConfig{Seed: 7, APs: 5, Targets: 20, Positions: 8, APsPerTarget: 3, Batch: 4}
+	a, err := NewScene(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewScene(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.APs, b.APs) || !reflect.DeepEqual(a.Positions, b.Positions) {
+		t.Fatal("same config+seed produced different scenes")
+	}
+	if !reflect.DeepEqual(a.apsForPos, b.apsForPos) {
+		t.Fatal("same config+seed produced different AP assignments")
+	}
+	c, err := NewScene(SceneConfig{Seed: 8, APs: 5, Targets: 20, Positions: 8, APsPerTarget: 3, Batch: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Positions, c.Positions) {
+		t.Fatal("different seeds produced identical positions")
+	}
+}
+
+func TestSceneGeometry(t *testing.T) {
+	s, err := NewScene(SceneConfig{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := s.Cfg.Bounds
+	for i, ap := range s.APs {
+		if ap.ID != i {
+			t.Fatalf("AP %d has ID %d", i, ap.ID)
+		}
+		if ap.Pos.X < b.MinX || ap.Pos.X > b.MaxX || ap.Pos.Y < b.MinY || ap.Pos.Y > b.MaxY {
+			t.Fatalf("AP %d at %v outside bounds %+v", i, ap.Pos, b)
+		}
+	}
+	if len(s.Positions) != s.Cfg.Positions {
+		t.Fatalf("placed %d positions, want %d", len(s.Positions), s.Cfg.Positions)
+	}
+	for p, pos := range s.Positions {
+		if pos.X < b.MinX || pos.X > b.MaxX || pos.Y < b.MinY || pos.Y > b.MaxY {
+			t.Fatalf("position %d at %v outside bounds", p, pos)
+		}
+		aps := s.APsForPos(p)
+		if len(aps) != s.Cfg.APsPerTarget {
+			t.Fatalf("position %d assigned %d APs, want %d", p, len(aps), s.Cfg.APsPerTarget)
+		}
+		// Nearest-first: distances are non-decreasing.
+		for i := 1; i < len(aps); i++ {
+			if s.APs[aps[i-1]].Pos.Dist(pos) > s.APs[aps[i]].Pos.Dist(pos) {
+				t.Fatalf("position %d AP assignment not nearest-first: %v", p, aps)
+			}
+		}
+	}
+}
+
+func TestSceneValidation(t *testing.T) {
+	cases := []SceneConfig{
+		{APs: 1},                          // too few APs
+		{APs: 4, APsPerTarget: 5},         // more APs per target than APs
+		{APs: 4, Targets: -1},             // negative targets
+		{Bounds: boundsAt(0, 0, 1, -1)},   // empty bounds
+		{Positions: 500, APs: 4, Seed: 1}, // cannot place that many in 16×10 with 0.5 m spacing
+	}
+	for i, cfg := range cases {
+		if _, err := NewScene(cfg); err == nil {
+			t.Errorf("case %d: NewScene(%+v) succeeded, want error", i, cfg)
+		}
+	}
+}
+
+func TestTargetMACRoundTrip(t *testing.T) {
+	for _, idx := range []int{0, 1, 255, 256, 65535, 65536, 1 << 20} {
+		mac := TargetMAC(idx)
+		if len(mac) != targetMACLen {
+			t.Fatalf("MAC %q has length %d, want %d", mac, len(mac), targetMACLen)
+		}
+		got, ok := TargetIndex(mac)
+		if !ok || got != idx {
+			t.Fatalf("TargetIndex(%q) = %d,%v, want %d,true", mac, got, ok, idx)
+		}
+	}
+	for _, bad := range []string{"", "02:00:00:00:00", "aa:bb:cc:dd:ee:ff", "02:01:00:00:00:00"} {
+		if _, ok := TargetIndex(bad); ok {
+			t.Fatalf("TargetIndex(%q) accepted a foreign MAC", bad)
+		}
+	}
+}
+
+func TestTruthQuantized(t *testing.T) {
+	s, err := NewScene(SceneConfig{Seed: 3, Positions: 5, Targets: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PosIndex(0) != 0 || s.PosIndex(5) != 0 || s.PosIndex(7) != 2 {
+		t.Fatalf("PosIndex mapping wrong: %d %d %d", s.PosIndex(0), s.PosIndex(5), s.PosIndex(7))
+	}
+	if s.Truth(12) != s.Positions[2] {
+		t.Fatal("Truth(12) is not Positions[2]")
+	}
+}

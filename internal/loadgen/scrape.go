@@ -1,0 +1,128 @@
+package loadgen
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+)
+
+// serverCounters are the cumulative server-side counters the generator
+// samples at phase boundaries; per-phase deltas yield the shed rate the
+// report records.
+type serverCounters struct {
+	// Shed sums spotfi_admit_shed_total across reasons.
+	Shed float64
+	// Delivered is spotfi_admit_queue_sojourn_seconds_count — bursts the
+	// admission queue handed to workers.
+	Delivered float64
+	// Published is spotfi_feed_published_total — fixes the server
+	// produced (whether or not a feed subscriber saw them).
+	Published float64
+}
+
+func (c serverCounters) sub(prev serverCounters) serverCounters {
+	d := serverCounters{
+		Shed:      c.Shed - prev.Shed,
+		Delivered: c.Delivered - prev.Delivered,
+		Published: c.Published - prev.Published,
+	}
+	// A server restart mid-run resets counters; clamp so one bad phase
+	// doesn't report negative rates.
+	if d.Shed < 0 {
+		d.Shed = 0
+	}
+	if d.Delivered < 0 {
+		d.Delivered = 0
+	}
+	if d.Published < 0 {
+		d.Published = 0
+	}
+	return d
+}
+
+// shedRate returns shed/(shed+delivered), the fraction of assembled
+// bursts admission control dropped — 0 when nothing flowed.
+func (c serverCounters) shedRate() float64 {
+	total := c.Shed + c.Delivered
+	if total <= 0 {
+		return 0
+	}
+	return c.Shed / total
+}
+
+// scrapeCounters fetches and parses /metrics from the server's debug
+// endpoint.
+func scrapeCounters(ctx context.Context, client *http.Client, baseURL string) (serverCounters, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, baseURL+"/metrics", nil)
+	if err != nil {
+		return serverCounters{}, err
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return serverCounters{}, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return serverCounters{}, fmt.Errorf("loadgen: GET /metrics: %s", resp.Status)
+	}
+	series, err := parsePrometheus(resp.Body)
+	if err != nil {
+		return serverCounters{}, err
+	}
+	return serverCounters{
+		Shed:      sumSeries(series, "spotfi_admit_shed_total"),
+		Delivered: sumSeries(series, "spotfi_admit_queue_sojourn_seconds_count"),
+		Published: sumSeries(series, "spotfi_feed_published_total"),
+	}, nil
+}
+
+// parsePrometheus reads the text exposition format into a map from full
+// series name (including the label block) to value. Comment and blank
+// lines are skipped; malformed value lines are an error so a truncated
+// scrape cannot silently zero a phase's deltas.
+func parsePrometheus(r io.Reader) (map[string]float64, error) {
+	out := make(map[string]float64)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		// The value is the last space-separated field; the series name
+		// (possibly containing spaces inside label values) is the rest.
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			return nil, fmt.Errorf("loadgen: bad metrics line %q", line)
+		}
+		v, err := strconv.ParseFloat(line[i+1:], 64)
+		if err != nil {
+			return nil, fmt.Errorf("loadgen: bad metrics value in %q: %v", line, err)
+		}
+		out[strings.TrimSpace(line[:i])] = v
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// sumSeries sums every series of the family: the bare name plus any
+// labeled variants.
+func sumSeries(series map[string]float64, name string) float64 {
+	var vals []float64
+	for k, v := range series {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			vals = append(vals, v)
+		}
+	}
+	var total float64
+	for _, v := range vals {
+		total += v
+	}
+	return total
+}

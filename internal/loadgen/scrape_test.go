@@ -1,0 +1,81 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+const sampleExposition = `# HELP spotfi_admit_shed_total Bursts shed by admission control, by reason.
+# TYPE spotfi_admit_shed_total counter
+spotfi_admit_shed_total{reason="full"} 10
+spotfi_admit_shed_total{reason="stale"} 5
+spotfi_admit_shed_total{reason="codel"} 2
+# TYPE spotfi_admit_queue_sojourn_seconds histogram
+spotfi_admit_queue_sojourn_seconds_bucket{le="0.01"} 3
+spotfi_admit_queue_sojourn_seconds_bucket{le="+Inf"} 40
+spotfi_admit_queue_sojourn_seconds_sum 1.25
+spotfi_admit_queue_sojourn_seconds_count 40
+# TYPE spotfi_feed_published_total counter
+spotfi_feed_published_total 33
+`
+
+func TestParsePrometheus(t *testing.T) {
+	series, err := parsePrometheus(strings.NewReader(sampleExposition))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := series[`spotfi_admit_shed_total{reason="full"}`]; got != 10 {
+		t.Fatalf("full sheds = %g, want 10", got)
+	}
+	if got := series["spotfi_feed_published_total"]; got != 33 {
+		t.Fatalf("published = %g, want 33", got)
+	}
+	if got := sumSeries(series, "spotfi_admit_shed_total"); got != 17 {
+		t.Fatalf("summed sheds = %g, want 17", got)
+	}
+	// The histogram's _count series must not leak into the base name sum.
+	if got := sumSeries(series, "spotfi_admit_queue_sojourn_seconds_count"); got != 40 {
+		t.Fatalf("delivered = %g, want 40", got)
+	}
+	if _, err := parsePrometheus(strings.NewReader("garbage line without value_here\n")); err == nil {
+		t.Fatal("malformed line accepted")
+	}
+}
+
+func TestScrapeCountersAndDeltas(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/metrics" {
+			http.NotFound(w, r)
+			return
+		}
+		if _, err := w.Write([]byte(sampleExposition)); err != nil {
+			t.Error(err)
+		}
+	}))
+	defer srv.Close()
+
+	c, err := scrapeCounters(context.Background(), srv.Client(), srv.URL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Shed != 17 || c.Delivered != 40 || c.Published != 33 {
+		t.Fatalf("counters = %+v", c)
+	}
+
+	d := c.sub(serverCounters{Shed: 7, Delivered: 10, Published: 30})
+	if d.Shed != 10 || d.Delivered != 30 || d.Published != 3 {
+		t.Fatalf("delta = %+v", d)
+	}
+	if got := d.shedRate(); got != 0.25 {
+		t.Fatalf("shed rate = %g, want 0.25", got)
+	}
+	// Counter reset (server restart): deltas clamp instead of going
+	// negative.
+	reset := serverCounters{}.sub(c)
+	if reset.Shed != 0 || reset.Delivered != 0 || reset.shedRate() != 0 {
+		t.Fatalf("reset delta = %+v", reset)
+	}
+}

@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+func TestExpBuckets(t *testing.T) {
+	b := ExpBuckets(1e-4, 10, 5)
+	if !sort.Float64sAreSorted(b) {
+		t.Fatal("ExpBuckets not sorted")
+	}
+	if b[0] != 1e-4 {
+		t.Fatalf("first bound = %g, want 1e-4", b[0])
+	}
+	if last := b[len(b)-1]; last < 10 {
+		t.Fatalf("last bound = %g, want ≥ 10", last)
+	}
+	// 5 per decade over 5 decades → 26 bounds, and each decade boundary is
+	// hit exactly (computed by index, not accumulated).
+	if len(b) != 26 {
+		t.Fatalf("len = %d, want 26", len(b))
+	}
+	if got := b[5]; math.Abs(got-1e-3) > 1e-15 {
+		t.Fatalf("decade boundary = %g, want 1e-3", got)
+	}
+	for _, bad := range []func(){
+		func() { ExpBuckets(0, 1, 5) },
+		func() { ExpBuckets(1, 1, 5) },
+		func() { ExpBuckets(1e-3, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("malformed ExpBuckets args did not panic")
+				}
+			}()
+			bad()
+		}()
+	}
+}
+
+func TestHistogramCumulativeAndCountAtOrBelow(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "", []float64{0.01, 0.1, 1}, nil)
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	cum := h.Cumulative()
+	want := []uint64{2, 3, 4, 5}
+	if len(cum) != len(want) {
+		t.Fatalf("cumulative len = %d, want %d", len(cum), len(want))
+	}
+	for i := range want {
+		if cum[i] != want[i] {
+			t.Fatalf("cumulative[%d] = %d, want %d", i, cum[i], want[i])
+		}
+	}
+	cases := []struct {
+		bound float64
+		want  uint64
+	}{
+		{0.001, 0}, // below every bucket
+		{0.01, 2},  // exact bound: its bucket counts
+		{0.05, 2},  // between bounds: snaps down
+		{0.1, 3},
+		{1, 4},
+		{100, 4}, // above the top finite bound: everything finite
+	}
+	for _, c := range cases {
+		if got := h.CountAtOrBelow(c.bound); got != c.want {
+			t.Fatalf("CountAtOrBelow(%g) = %d, want %d", c.bound, got, c.want)
+		}
+	}
+	if got := h.Bounds(); len(got) != 3 || got[2] != 1 {
+		t.Fatalf("Bounds = %v", got)
+	}
+
+	var nilH *Histogram
+	if nilH.Cumulative() != nil || nilH.CountAtOrBelow(1) != 0 || nilH.Bounds() != nil {
+		t.Fatal("nil histogram introspection not zero")
+	}
+}
+
+func TestHistogramConflictingBucketsPanic(t *testing.T) {
+	r := NewRegistry()
+	r.Histogram("span_seconds", "", []float64{0.1, 1}, Labels{"span": "a"})
+	// Same layout in a different order is fine (sorted before comparing).
+	r.Histogram("span_seconds", "", []float64{1, 0.1}, Labels{"span": "b"})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("conflicting bucket layouts did not panic")
+		}
+	}()
+	r.Histogram("span_seconds", "", []float64{0.5, 1}, Labels{"span": "c"})
+}
+
+// TestSeriesCapDropsNewLabels is the cardinality guard's contract: at the
+// cap, new label sets are refused and counted — no panic, no corruption of
+// existing series, and the returned handles still work (they just are not
+// exported).
+func TestSeriesCapDropsNewLabels(t *testing.T) {
+	r := NewRegistry()
+	r.SetSeriesLimit(3)
+	var kept []*Gauge
+	for i := 0; i < 5; i++ {
+		g := r.Gauge("ap_health", "", Labels{"ap": fmt.Sprint(i)})
+		g.Set(int64(10 + i))
+		kept = append(kept, g)
+	}
+	if got := r.DroppedLabels(); got != 2 {
+		t.Fatalf("DroppedLabels = %d, want 2", got)
+	}
+	// Dropped handles are functional, just invisible.
+	kept[4].Add(1)
+	if kept[4].Value() != 15 {
+		t.Fatalf("dropped gauge value = %d, want 15", kept[4].Value())
+	}
+	// Re-lookup of an existing label set is a hit, not a drop — even at cap.
+	if r.Gauge("ap_health", "", Labels{"ap": "1"}) != kept[1] {
+		t.Fatal("re-lookup at cap returned a different series")
+	}
+	if got := r.DroppedLabels(); got != 2 {
+		t.Fatalf("DroppedLabels after re-lookup = %d, want 2", got)
+	}
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for i := 0; i < 3; i++ {
+		if !strings.Contains(out, fmt.Sprintf("ap_health{ap=%q} %d", fmt.Sprint(i), 10+i)) {
+			t.Fatalf("retained series %d missing from exposition:\n%s", i, out)
+		}
+	}
+	for i := 3; i < 5; i++ {
+		if strings.Contains(out, fmt.Sprintf("ap=%q", fmt.Sprint(i))) {
+			t.Fatalf("dropped series %d leaked into exposition:\n%s", i, out)
+		}
+	}
+	if !strings.Contains(out, "spotfi_obs_dropped_labels_total 2") {
+		t.Fatalf("drop counter missing from exposition:\n%s", out)
+	}
+
+	// GaugeFunc past the cap: dropped silently, existing series untouched.
+	r.GaugeFunc("ap_health", "", Labels{"ap": "99"}, func() float64 { return 1 })
+	if got := r.DroppedLabels(); got != 3 {
+		t.Fatalf("DroppedLabels after GaugeFunc = %d, want 3", got)
+	}
+
+	// A registry that never drops does not expose the drop family.
+	clean := NewRegistry()
+	clean.Counter("x_total", "", nil).Inc()
+	var sb2 strings.Builder
+	if err := clean.WritePrometheus(&sb2); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(sb2.String(), "spotfi_obs_dropped_labels_total") {
+		t.Fatal("clean registry exposes the drop family")
+	}
+}

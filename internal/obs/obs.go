@@ -110,12 +110,37 @@ type Histogram struct {
 	sum    atomic.Uint64 // math.Float64bits of the running sum
 }
 
-// LatencyBuckets spans 100 µs … 10 s, a sensible default for pipeline
-// stage timings (MUSIC on one packet is ~ms; a full burst ~tens of ms).
+// LatencyBuckets spans 10 µs … 10 s, a sensible default for pipeline
+// stage timings. The sub-100 µs bounds matter since the PR-6 hot-path
+// rework: a warm MUSIC estimate runs ~0.34 ms and admission decisions are
+// microseconds, so a floor at 100 µs flattened the entire fast path into
+// one or two buckets.
 var LatencyBuckets = []float64{
-	100e-6, 250e-6, 500e-6,
+	10e-6, 25e-6, 50e-6, 100e-6, 250e-6, 500e-6, 750e-6,
 	1e-3, 2.5e-3, 5e-3, 10e-3, 25e-3, 50e-3, 100e-3, 250e-3, 500e-3,
 	1, 2.5, 5, 10,
+}
+
+// ExpBuckets returns perDecade log-spaced bucket bounds per power of ten
+// from min up to (and including the first bound ≥) max — HDR-style
+// resolution for histograms whose observations span several orders of
+// magnitude, e.g. packet→fix latency from hundreds of microseconds under
+// light load to seconds under overload. It panics on a non-positive range
+// or perDecade, like a malformed literal bucket slice would fail review.
+func ExpBuckets(min, max float64, perDecade int) []float64 {
+	if min <= 0 || max <= min || perDecade < 1 {
+		panic("obs: ExpBuckets needs 0 < min < max and perDecade ≥ 1")
+	}
+	// Bounds are computed by index (min·10^(i/perDecade)), not by repeated
+	// multiplication, so no float error accumulates across buckets.
+	var out []float64
+	for i := 0; ; i++ {
+		b := min * math.Pow(10, float64(i)/float64(perDecade))
+		out = append(out, b)
+		if b >= max {
+			return out
+		}
+	}
 }
 
 func newHistogram(buckets []float64) *Histogram {
@@ -170,6 +195,56 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sum.Load())
 }
 
+// Bounds returns a copy of the bucket upper bounds (the implicit +Inf
+// bucket is not included). Nil on a nil receiver.
+func (h *Histogram) Bounds() []float64 {
+	if h == nil {
+		return nil
+	}
+	return append([]float64(nil), h.bounds...)
+}
+
+// Cumulative returns the cumulative per-bucket counts, len(Bounds())+1
+// entries with the final one equal to Count() — the raw material for
+// windowed quantile estimation (internal/obs/slo samples these and
+// differences consecutive samples). Nil on a nil receiver. Counts are read
+// bucket-by-bucket without a global lock, so under concurrent Observe the
+// vector may be off by in-flight observations; consumers difference
+// samples, where the error stays bounded by concurrency, not time.
+func (h *Histogram) Cumulative() []uint64 {
+	if h == nil {
+		return nil
+	}
+	out := make([]uint64, len(h.counts))
+	var cum uint64
+	for i := range h.counts {
+		cum += h.counts[i].Load()
+		out[i] = cum
+	}
+	return out
+}
+
+// CountAtOrBelow returns how many observations fell into buckets whose
+// upper bound is ≤ bound — the "good event" count for a latency objective.
+// bound is snapped down to the nearest bucket boundary; pick SLO bounds
+// that are bucket bounds for exact accounting. 0 on a nil receiver.
+func (h *Histogram) CountAtOrBelow(bound float64) uint64 {
+	if h == nil {
+		return 0
+	}
+	// First bound strictly greater than bound: buckets [0,i) are ≤ bound.
+	i := sort.SearchFloat64s(h.bounds, bound)
+	//lint:allow floateq callers must pass an exact bucket bound; nearest-bucket rounding would silently miscount
+	if i < len(h.bounds) && h.bounds[i] == bound {
+		i++
+	}
+	var cum uint64
+	for j := 0; j < i; j++ {
+		cum += h.counts[j].Load()
+	}
+	return cum
+}
+
 // Metric type names as used in Prometheus exposition.
 const (
 	TypeCounter   = "counter"
@@ -193,26 +268,84 @@ type family struct {
 	typ    string
 	order  []string
 	series map[string]*series
+	// buckets pins the bucket layout of a histogram family: Prometheus
+	// consumers aggregate across a family's series, which is only sound
+	// when every series shares one layout.
+	buckets []float64
 }
+
+// DefaultSeriesLimit caps how many labeled series one metric family may
+// hold before new label sets are dropped and counted instead of
+// registered. Lazily-registered per-AP / per-target series (e.g.
+// spotfi_ap_health{ap=…}) are driven by whatever identifiers the traffic
+// carries, and a load generator replaying thousands of APs must not grow
+// the registry — and every scrape — without bound.
+const DefaultSeriesLimit = 1000
+
+// droppedLabelsMetric counts label sets refused by the per-family series
+// cap. The family is materialized on the first drop, so registries that
+// never hit a cap expose exactly the series their code registered.
+const droppedLabelsMetric = "spotfi_obs_dropped_labels_total"
 
 // Registry holds a set of metric families. The zero value is not usable;
 // call NewRegistry. Registration takes a lock; updates on the returned
 // metrics are lock-free.
 type Registry struct {
-	mu       sync.Mutex
-	order    []string
-	families map[string]*family
+	mu          sync.Mutex
+	order       []string
+	families    map[string]*family
+	seriesLimit int
+	dropped     *Counter // non-nil once the drop family is materialized
 }
 
-// NewRegistry returns an empty registry.
+// NewRegistry returns an empty registry with the default per-family
+// series cap.
 func NewRegistry() *Registry {
-	return &Registry{families: make(map[string]*family)}
+	return &Registry{
+		families:    make(map[string]*family),
+		seriesLimit: DefaultSeriesLimit,
+	}
+}
+
+// SetSeriesLimit overrides the per-family series cap (≤ 0 disables the
+// cap). Call before high-cardinality traffic arrives; lowering it later
+// does not evict already-registered series.
+func (r *Registry) SetSeriesLimit(n int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.seriesLimit = n
+}
+
+// DroppedLabels returns how many label sets the series cap has refused.
+func (r *Registry) DroppedLabels() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.dropped.Value()
+}
+
+// dropSeriesLocked counts one refused label set, materializing the
+// spotfi_obs_dropped_labels_total family on first use. Caller holds r.mu.
+func (r *Registry) dropSeriesLocked() {
+	if r.dropped == nil {
+		r.dropped = &Counter{}
+		f := &family{
+			name:   droppedLabelsMetric,
+			help:   "Label sets refused by the per-family series cap (SetSeriesLimit).",
+			typ:    TypeCounter,
+			series: map[string]*series{"": {counter: r.dropped}},
+			order:  []string{""},
+		}
+		r.families[droppedLabelsMetric] = f
+		r.order = append(r.order, droppedLabelsMetric)
+	}
+	r.dropped.Inc()
 }
 
 // lookup get-or-creates the (family, series) pair, enforcing that a name is
-// only ever used with one metric type. Misuse is a programming error and
-// panics, like redeclaring a variable would fail to compile.
-func (r *Registry) lookup(name, help, typ string, labels Labels) *series {
+// only ever used with one metric type (and, for histograms, one bucket
+// layout). Misuse is a programming error and panics, like redeclaring a
+// variable would fail to compile.
+func (r *Registry) lookup(name, help, typ string, labels Labels, buckets []float64) *series {
 	if name == "" {
 		panic("obs: empty metric name")
 	}
@@ -226,10 +359,27 @@ func (r *Registry) lookup(name, help, typ string, labels Labels) *series {
 	} else if f.typ != typ {
 		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
 	}
+	if typ == TypeHistogram {
+		sorted := append([]float64(nil), buckets...)
+		sort.Float64s(sorted)
+		if f.buckets == nil {
+			f.buckets = sorted
+		} else if !equalBounds(f.buckets, sorted) {
+			panic(fmt.Sprintf("obs: histogram %q registered with conflicting buckets", name))
+		}
+	}
 	key := labels.render()
 	s, ok := f.series[key]
 	if !ok {
 		s = &series{labels: key}
+		// The series cap bounds label cardinality, not correctness: past
+		// it, callers still get a fully functional handle — it just is not
+		// retained or exported, and the drop is counted. A fleet replaying
+		// thousands of APs degrades scrape coverage, never crashes.
+		if r.seriesLimit > 0 && len(f.series) >= r.seriesLimit {
+			r.dropSeriesLocked()
+			return s
+		}
 		f.series[key] = s
 		f.order = append(f.order, key)
 	}
@@ -238,7 +388,7 @@ func (r *Registry) lookup(name, help, typ string, labels Labels) *series {
 
 // Counter returns the counter for name+labels, registering it on first use.
 func (r *Registry) Counter(name, help string, labels Labels) *Counter {
-	s := r.lookup(name, help, TypeCounter, labels)
+	s := r.lookup(name, help, TypeCounter, labels, nil)
 	if s.counter == nil {
 		s.counter = &Counter{}
 	}
@@ -247,7 +397,7 @@ func (r *Registry) Counter(name, help string, labels Labels) *Counter {
 
 // Gauge returns the gauge for name+labels, registering it on first use.
 func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
-	s := r.lookup(name, help, TypeGauge, labels)
+	s := r.lookup(name, help, TypeGauge, labels, nil)
 	if s.gauge == nil {
 		s.gauge = &Gauge{}
 	}
@@ -258,18 +408,36 @@ func (r *Registry) Gauge(name, help string, labels Labels) *Gauge {
 // time — for values already maintained elsewhere (e.g. a map size under
 // someone else's lock). fn must be safe to call from any goroutine.
 func (r *Registry) GaugeFunc(name, help string, labels Labels, fn func() float64) {
-	s := r.lookup(name, help, TypeGauge, labels)
+	s := r.lookup(name, help, TypeGauge, labels, nil)
 	s.gaugeFn = fn
 }
 
 // Histogram returns the histogram for name+labels, registering it on first
-// use with the given bucket upper bounds (a +Inf bucket is implicit).
+// use with the given bucket upper bounds (a +Inf bucket is implicit). The
+// first registration of a family pins its bucket layout; registering the
+// same family again with different buckets panics — previously the later
+// buckets were silently ignored, which hid per-histogram overrides (e.g. a
+// µs-resolution sojourn histogram) behind whichever call site ran first.
 func (r *Registry) Histogram(name, help string, buckets []float64, labels Labels) *Histogram {
-	s := r.lookup(name, help, TypeHistogram, labels)
+	s := r.lookup(name, help, TypeHistogram, labels, buckets)
 	if s.hist == nil {
 		s.hist = newHistogram(buckets)
 	}
 	return s.hist
+}
+
+// equalBounds reports whether two sorted bucket layouts are identical.
+func equalBounds(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		//lint:allow floateq bucket grids are shared only when bit-identical
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
 }
 
 // Bucket is one cumulative histogram bucket in a snapshot.

@@ -1,0 +1,156 @@
+// Package slo tracks service-level objectives with Google SRE-style
+// multi-window burn-rate alerting. Objectives are ratios of good events
+// to total events read from cumulative sources (obs histograms and
+// counters); the Tracker samples those sources on a tick, differences
+// samples to get per-window counts, and reports the burn rate — the
+// fraction of the error budget consumed per unit of budget — over a fast
+// and a slow window. An objective is "burning" only when both windows
+// exceed the threshold: the fast window makes the alert responsive, the
+// slow window keeps a brief spike from paging.
+package slo
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Dist is a fixed-bucket distribution used for windowed quantile
+// estimation. It mirrors the bucket layout of an obs.Histogram but holds
+// plain counts — typically the difference between two Cumulative()
+// snapshots — so quantiles describe a window, not the process lifetime.
+type Dist struct {
+	bounds []float64 // sorted upper bounds; an implicit +Inf bucket follows
+	counts []uint64  // len(bounds)+1
+	total  uint64
+}
+
+// NewDist returns an empty distribution over the given bucket upper
+// bounds (copied and sorted). Panics on an empty bound set.
+func NewDist(bounds []float64) *Dist {
+	if len(bounds) == 0 {
+		panic("slo: NewDist needs at least one bucket bound")
+	}
+	b := append([]float64(nil), bounds...)
+	sort.Float64s(b)
+	return &Dist{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
+// FromCumulative builds the window distribution between two cumulative
+// snapshots (after − before), as returned by obs.Histogram.Cumulative.
+// before may be nil (treated as all zeros). Deltas that come out negative
+// — snapshots race with concurrent Observe calls — clamp to zero rather
+// than wrapping.
+func FromCumulative(bounds []float64, before, after []uint64) *Dist {
+	d := NewDist(bounds)
+	if len(after) != len(d.counts) || (before != nil && len(before) != len(after)) {
+		panic(fmt.Sprintf("slo: cumulative snapshot length %d does not match %d bounds", len(after), len(bounds)))
+	}
+	var prevDelta uint64
+	for i := range after {
+		cum := after[i]
+		if before != nil {
+			if before[i] >= cum {
+				cum = 0
+			} else {
+				cum -= before[i]
+			}
+		}
+		// De-cumulate; clamp per-bucket negatives from racy snapshots.
+		if cum > prevDelta {
+			d.counts[i] = cum - prevDelta
+			prevDelta = cum
+		}
+	}
+	d.total = prevDelta
+	return d
+}
+
+// Observe records one value.
+func (d *Dist) Observe(v float64) { d.Add(v, 1) }
+
+// Add records n observations of value v.
+func (d *Dist) Add(v float64, n uint64) {
+	i := sort.SearchFloat64s(d.bounds, v) // first bound ≥ v
+	d.counts[i] += n
+	d.total += n
+}
+
+// Count returns the number of recorded observations.
+func (d *Dist) Count() uint64 {
+	if d == nil {
+		return 0
+	}
+	return d.total
+}
+
+// Bounds returns a copy of the bucket upper bounds.
+func (d *Dist) Bounds() []float64 {
+	return append([]float64(nil), d.bounds...)
+}
+
+// Merge adds o's counts into d. The two distributions must share a bucket
+// layout; merging mismatched layouts returns an error and leaves d
+// unchanged. A nil or empty o is a no-op.
+func (d *Dist) Merge(o *Dist) error {
+	if o == nil || o.total == 0 {
+		return nil
+	}
+	if len(d.bounds) != len(o.bounds) {
+		return fmt.Errorf("slo: merging %d-bucket dist into %d-bucket dist", len(o.bounds), len(d.bounds))
+	}
+	for i, b := range d.bounds {
+		//lint:allow floateq merging requires bit-identical bucket grids, not approximately equal ones
+		if b != o.bounds[i] {
+			return fmt.Errorf("slo: bucket bound mismatch at %d: %g vs %g", i, b, o.bounds[i])
+		}
+	}
+	for i, c := range o.counts {
+		d.counts[i] += c
+	}
+	d.total += o.total
+	return nil
+}
+
+// Quantile returns the q-quantile (q in [0,1], clamped) with linear
+// interpolation inside the containing bucket, Prometheus
+// histogram_quantile-style: the first bucket interpolates from zero, and
+// observations in the +Inf overflow bucket report the highest finite
+// bound (a known floor on the true value). Returns 0 on an empty or nil
+// distribution.
+func (d *Dist) Quantile(q float64) float64 {
+	if d == nil || d.total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	} else if q > 1 {
+		q = 1
+	}
+	target := q * float64(d.total)
+	var cum uint64
+	lo := 0.0
+	for i, c := range d.counts {
+		hi := math.Inf(1)
+		if i < len(d.bounds) {
+			hi = d.bounds[i]
+		}
+		if c > 0 && float64(cum+c) >= target {
+			if math.IsInf(hi, 1) {
+				return lo
+			}
+			frac := (target - float64(cum)) / float64(c)
+			if frac < 0 {
+				frac = 0
+			} else if frac > 1 {
+				frac = 1
+			}
+			return lo + frac*(hi-lo)
+		}
+		cum += c
+		if !math.IsInf(hi, 1) {
+			lo = hi
+		}
+	}
+	return lo
+}

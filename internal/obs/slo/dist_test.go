@@ -1,0 +1,154 @@
+package slo
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestQuantileExact pins the interpolation down on hand-computable
+// distributions: quantiles on uniform-per-bucket data are exact, point
+// masses interpolate linearly across their bucket, and the overflow
+// bucket reports the highest finite bound.
+func TestQuantileExact(t *testing.T) {
+	bounds := []float64{1, 2, 3, 4}
+
+	// 10 observations per finite bucket → the CDF is piecewise linear
+	// through (1, .25), (2, .5), (3, .75), (4, 1).
+	u := NewDist(bounds)
+	for _, mid := range []float64{0.5, 1.5, 2.5, 3.5} {
+		u.Add(mid, 10)
+	}
+	cases := []struct{ q, want float64 }{
+		{0, 0},
+		{0.125, 0.5},
+		{0.25, 1},
+		{0.5, 2},
+		{0.625, 2.5},
+		{0.75, 3},
+		{1, 4},
+	}
+	for _, c := range cases {
+		if got := u.Quantile(c.q); math.Abs(got-c.want) > 1e-12 {
+			t.Fatalf("uniform Quantile(%g) = %g, want %g", c.q, got, c.want)
+		}
+	}
+
+	// A point mass in bucket (2,3]: every quantile lands inside that
+	// bucket, linearly in q.
+	pm := NewDist(bounds)
+	pm.Add(2.5, 100)
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		want := 2 + q
+		if got := pm.Quantile(q); math.Abs(got-want) > 1e-12 {
+			t.Fatalf("point-mass Quantile(%g) = %g, want %g", q, got, want)
+		}
+	}
+
+	// Overflow observations report the top finite bound, never +Inf.
+	of := NewDist(bounds)
+	of.Add(99, 5)
+	if got := of.Quantile(0.99); got != 4 {
+		t.Fatalf("overflow Quantile = %g, want 4", got)
+	}
+
+	// Empty and nil distributions are quiet zeros.
+	if NewDist(bounds).Quantile(0.5) != 0 {
+		t.Fatal("empty dist quantile != 0")
+	}
+	var nilD *Dist
+	if nilD.Quantile(0.5) != 0 || nilD.Count() != 0 {
+		t.Fatal("nil dist not zero")
+	}
+}
+
+// TestQuantileMonotoneAcrossMerges checks two invariants on randomized
+// data: Quantile is monotone in q, and the merged distribution's quantile
+// at every q lies between the component quantiles (a mixture CDF is a
+// convex combination, so its quantile cannot escape the envelope).
+func TestQuantileMonotoneAcrossMerges(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	bounds := []float64{0.001, 0.01, 0.1, 1, 10}
+	for trial := 0; trial < 50; trial++ {
+		a, b := NewDist(bounds), NewDist(bounds)
+		for i := 0; i < 200; i++ {
+			a.Observe(math.Pow(10, rng.Float64()*5-3.5)) // ~1e-3.5 … 1e1.5
+			b.Observe(math.Pow(10, rng.Float64()*3-3))   // skewed lower
+		}
+		m := NewDist(bounds)
+		if err := m.Merge(a); err != nil {
+			t.Fatal(err)
+		}
+		if err := m.Merge(b); err != nil {
+			t.Fatal(err)
+		}
+		if m.Count() != a.Count()+b.Count() {
+			t.Fatalf("merged count %d != %d + %d", m.Count(), a.Count(), b.Count())
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.01 {
+			mq := m.Quantile(q)
+			if mq < prev-1e-12 {
+				t.Fatalf("trial %d: Quantile not monotone at q=%.2f: %g < %g", trial, q, mq, prev)
+			}
+			prev = mq
+			lo := math.Min(a.Quantile(q), b.Quantile(q))
+			hi := math.Max(a.Quantile(q), b.Quantile(q))
+			if mq < lo-1e-9 || mq > hi+1e-9 {
+				t.Fatalf("trial %d: merged Quantile(%.2f)=%g outside [%g, %g]", trial, q, mq, lo, hi)
+			}
+		}
+	}
+}
+
+func TestMergeMismatchedBounds(t *testing.T) {
+	a := NewDist([]float64{1, 2})
+	b := NewDist([]float64{1, 3})
+	b.Observe(0.5)
+	if err := a.Merge(b); err == nil {
+		t.Fatal("merging mismatched bounds did not error")
+	}
+	if a.Count() != 0 {
+		t.Fatal("failed merge mutated the receiver")
+	}
+	// Same bounds in a different declaration order are the same layout.
+	c := NewDist([]float64{2, 1})
+	c.Observe(1.5)
+	if err := a.Merge(c); err != nil {
+		t.Fatalf("order-insensitive merge failed: %v", err)
+	}
+	if a.Count() != 1 {
+		t.Fatalf("count after merge = %d, want 1", a.Count())
+	}
+}
+
+// TestFromCumulative covers the snapshot-differencing path the Tracker
+// uses, including the clamps for racy (non-monotone-looking) snapshots.
+func TestFromCumulative(t *testing.T) {
+	bounds := []float64{1, 2, 3}
+	before := []uint64{1, 3, 3, 4}
+	after := []uint64{2, 6, 7, 9}
+	d := FromCumulative(bounds, before, after)
+	// Window deltas per bucket: 1, 2, 1, 1 → total 5.
+	if d.Count() != 5 {
+		t.Fatalf("window count = %d, want 5", d.Count())
+	}
+	// Median of {≤1:1, (1,2]:2, (2,3]:1, >3:1}: target 2.5 lands in the
+	// second bucket at frac (2.5-1)/2 → 1.75.
+	if got := d.Quantile(0.5); math.Abs(got-1.75) > 1e-12 {
+		t.Fatalf("window median = %g, want 1.75", got)
+	}
+
+	// nil before = since-process-start.
+	d2 := FromCumulative(bounds, nil, after)
+	if d2.Count() != 9 {
+		t.Fatalf("since-start count = %d, want 9", d2.Count())
+	}
+
+	// A racy snapshot pair (before ahead of after in one bucket) clamps
+	// instead of wrapping to huge uint64 counts.
+	racy := FromCumulative(bounds, []uint64{5, 5, 5, 5}, []uint64{4, 6, 6, 6})
+	if racy.Count() > 1 {
+		t.Fatalf("racy snapshot produced count %d", racy.Count())
+	}
+}

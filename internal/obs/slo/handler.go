@@ -1,0 +1,144 @@
+package slo
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"html/template"
+	"net/http"
+	"time"
+)
+
+// Handler serves the SLO status page — mount it at /debug/slo.
+//
+//	GET /debug/slo            → JSON Status
+//	GET /debug/slo?view=html  → HTML burn-rate table
+func (t *Tracker) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := t.Status()
+		if r.URL.Query().Get("view") == "html" {
+			writeSLOPage(w, st)
+			return
+		}
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(st); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json; charset=utf-8")
+		//lint:allow errdrop a failed write to the client has no one left to tell
+		_, _ = w.Write(buf.Bytes())
+	})
+}
+
+// windowView is one (objective, window) row of the status table.
+type windowView struct {
+	Window    string
+	Burn      string
+	BurnClass string
+	BadFrac   string
+	Good      uint64
+	Total     uint64
+	Latency   string
+}
+
+// objView is one objective section.
+type objView struct {
+	Name    string
+	Help    string
+	Target  string
+	Bound   string
+	State   string
+	Class   string
+	Windows []windowView
+}
+
+// pageView is the page model.
+type pageView struct {
+	Time      string
+	Threshold string
+	State     string
+	Class     string
+	Objs      []objView
+}
+
+var sloTmpl = template.Must(template.New("slo").Parse(`<!DOCTYPE html>
+<html><head><title>spotfi slo</title><style>
+body { font: 13px/1.5 monospace; margin: 1.5em; background: #fafafa; color: #222; }
+h1 { font-size: 16px; } h2 { font-size: 14px; margin-top: 1.4em; }
+table { border-collapse: collapse; background: #fff; }
+th, td { border: 1px solid #ddd; padding: .25em .6em; text-align: right; }
+th { background: #f0f0f0; } td.l { text-align: left; }
+.good { color: #1e8449; font-weight: bold; }
+.bad  { color: #c0392b; font-weight: bold; }
+.dim  { color: #888; }
+</style></head><body>
+<h1>spotfi SLO burn rates</h1>
+<p>{{.Time}} · burn threshold {{.Threshold}}× · overall <span class="{{.Class}}">{{.State}}</span></p>
+{{if not .Objs}}<p class="dim">no objectives registered</p>{{end}}
+{{range .Objs}}
+<h2>{{.Name}} <span class="{{.Class}}">{{.State}}</span></h2>
+<p class="dim">{{.Help}} — target {{.Target}}{{if .Bound}} within {{.Bound}}{{end}}</p>
+<table><tr><th>window</th><th>burn rate</th><th>bad fraction</th><th>good / total</th><th>latency p50 / p95 / p99</th></tr>
+{{range .Windows}}<tr>
+<td>{{.Window}}</td><td class="{{.BurnClass}}">{{.Burn}}</td><td>{{.BadFrac}}</td>
+<td>{{.Good}} / {{.Total}}</td><td class="l">{{.Latency}}</td>
+</tr>{{end}}</table>
+{{end}}
+</body></html>
+`))
+
+func writeSLOPage(w http.ResponseWriter, st Status) {
+	pv := pageView{
+		Time:      st.Time.Format(time.RFC3339),
+		Threshold: fmt.Sprintf("%.0f", st.BurnThreshold),
+		State:     "ok",
+		Class:     "good",
+	}
+	if st.Burning {
+		pv.State, pv.Class = "BURNING", "bad"
+	}
+	for _, os := range st.Objectives {
+		ov := objView{
+			Name:   os.Name,
+			Help:   os.Help,
+			Target: fmt.Sprintf("%.4g", os.Target),
+			State:  "ok",
+			Class:  "good",
+		}
+		if os.Bound > 0 {
+			ov.Bound = fmt.Sprintf("%gs", os.Bound)
+		}
+		if os.Burning {
+			ov.State, ov.Class = "BURNING", "bad"
+		}
+		for _, ws := range os.Windows {
+			wv := windowView{
+				Window:    ws.Window,
+				Burn:      fmt.Sprintf("%.2f×", ws.BurnRate),
+				BurnClass: "good",
+				BadFrac:   fmt.Sprintf("%.4f", ws.BadFraction),
+				Good:      ws.Good,
+				Total:     ws.Total,
+			}
+			if ws.BurnRate >= st.BurnThreshold {
+				wv.BurnClass = "bad"
+			}
+			if ws.P99 > 0 {
+				wv.Latency = fmt.Sprintf("%.4gs / %.4gs / %.4gs", ws.P50, ws.P95, ws.P99)
+			}
+			ov.Windows = append(ov.Windows, wv)
+		}
+		pv.Objs = append(pv.Objs, ov)
+	}
+	var buf bytes.Buffer
+	if err := sloTmpl.Execute(&buf, pv); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	//lint:allow errdrop a failed write to the client has no one left to tell
+	_, _ = w.Write(buf.Bytes())
+}

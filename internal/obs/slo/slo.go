@@ -1,0 +1,406 @@
+package slo
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"time"
+
+	"spotfi/internal/obs"
+)
+
+// Source reads the cumulative good/total event counts backing an
+// objective. Counts must be monotone non-decreasing; the Tracker
+// differences consecutive reads to get per-window counts.
+type Source func() (good, total uint64)
+
+// Objective is one SLO: a target fraction of events that must be good.
+type Objective struct {
+	// Name labels the objective in metrics and on /debug/slo
+	// (e.g. "fix_latency", "admit_shed").
+	Name string
+	// Help is a one-line human description for the status page.
+	Help string
+	// Target is the required good fraction, in (0,1) — e.g. 0.99 means
+	// at most 1% of events may be bad.
+	Target float64
+	// Source reads the cumulative good/total counts.
+	Source Source
+	// Hist, when non-nil, supplies cumulative bucket snapshots so the
+	// status page and gauges can report windowed latency quantiles.
+	Hist *obs.Histogram
+	// Bound is informational: the latency bound (seconds) that defines a
+	// good event for latency objectives. Zero for ratio objectives.
+	Bound float64
+}
+
+// LatencyObjective builds an objective over an obs.Histogram: an
+// observation is good when it is ≤ boundSeconds. Pick a bound that is a
+// bucket boundary of h — CountAtOrBelow snaps down otherwise.
+func LatencyObjective(name, help string, h *obs.Histogram, boundSeconds, target float64) Objective {
+	return Objective{
+		Name:   name,
+		Help:   help,
+		Target: target,
+		Bound:  boundSeconds,
+		Hist:   h,
+		Source: func() (uint64, uint64) {
+			// Read total first: a concurrent Observe between the two
+			// reads then inflates good, which the clamp below absorbs,
+			// rather than inflating bad and flickering the burn rate.
+			total := h.Count()
+			good := h.CountAtOrBelow(boundSeconds)
+			if good > total {
+				good = total
+			}
+			return good, total
+		},
+	}
+}
+
+// RatioObjective builds an objective over an arbitrary good/total counter
+// pair, e.g. delivered vs delivered+shed for the admission queue.
+func RatioObjective(name, help string, target float64, src Source) Objective {
+	return Objective{Name: name, Help: help, Target: target, Source: src}
+}
+
+// Config parameterizes a Tracker. Zero values take the defaults noted on
+// each field.
+type Config struct {
+	// FastWindow is the short burn-rate window (default 5m).
+	FastWindow time.Duration
+	// SlowWindow is the long burn-rate window (default 1h).
+	SlowWindow time.Duration
+	// Tick is how often sources are sampled into the history ring
+	// (default 10s). Window boundaries resolve no finer than this.
+	Tick time.Duration
+	// BurnThreshold is the burn rate both windows must exceed for an
+	// objective to count as burning (default 6 — at that rate a 1h
+	// window consumes 6× its share of a 30-day error budget).
+	BurnThreshold float64
+	// Now overrides the clock; for tests. Defaults to time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.FastWindow <= 0 {
+		c.FastWindow = 5 * time.Minute
+	}
+	if c.SlowWindow <= 0 {
+		c.SlowWindow = time.Hour
+	}
+	if c.Tick <= 0 {
+		c.Tick = 10 * time.Second
+	}
+	if c.BurnThreshold <= 0 {
+		c.BurnThreshold = 6
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// sample is one point-in-time read of an objective's sources.
+type sample struct {
+	t           time.Time
+	good, total uint64
+	cum         []uint64 // histogram cumulative snapshot; nil without Hist
+}
+
+// tracked pairs an objective with its sample history (oldest first,
+// pruned to just beyond SlowWindow).
+type tracked struct {
+	obj     Objective
+	samples []sample
+}
+
+// Tracker samples a set of objectives and reports multi-window burn
+// rates. Add objectives first, then Start the sampling loop (or drive
+// Sample manually, as tests and one-shot tools do).
+type Tracker struct {
+	cfg Config
+
+	mu   sync.Mutex
+	objs []*tracked
+}
+
+// New returns a Tracker with the given config (zero fields defaulted).
+func New(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg.withDefaults()}
+}
+
+// Add registers an objective and takes its baseline sample, so early
+// windows measure "since Add" rather than inventing history. Panics on a
+// malformed objective — same contract as registering a bad metric.
+func (t *Tracker) Add(obj Objective) {
+	if obj.Name == "" || obj.Source == nil {
+		panic("slo: objective needs a name and a source")
+	}
+	if !(obj.Target > 0 && obj.Target < 1) {
+		panic(fmt.Sprintf("slo: objective %q target %v outside (0,1)", obj.Name, obj.Target))
+	}
+	now := t.cfg.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr := &tracked{obj: obj}
+	tr.samples = append(tr.samples, takeSample(obj, now))
+	t.objs = append(t.objs, tr)
+}
+
+// takeSample reads an objective's sources once.
+func takeSample(obj Objective, now time.Time) sample {
+	good, total := obj.Source()
+	s := sample{t: now, good: good, total: total}
+	if obj.Hist != nil {
+		s.cum = obj.Hist.Cumulative()
+	}
+	return s
+}
+
+// Sample reads every objective's sources into the history ring. Called
+// on the tick by Start; exported so tests (and one-shot tools) can drive
+// the clock themselves.
+func (t *Tracker) Sample() {
+	now := t.cfg.Now()
+	cutoff := now.Add(-t.cfg.SlowWindow - 2*t.cfg.Tick)
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, tr := range t.objs {
+		tr.samples = append(tr.samples, takeSample(tr.obj, now))
+		// Prune, but always keep one sample at or before the cutoff so
+		// the slow window has a boundary to difference against.
+		idx := 0
+		for i, s := range tr.samples {
+			if !s.t.After(cutoff) {
+				idx = i
+			} else {
+				break
+			}
+		}
+		if idx > 0 {
+			tr.samples = append(tr.samples[:0], tr.samples[idx:]...)
+		}
+	}
+}
+
+// Start launches the sampling loop and returns a stop function that
+// blocks until the loop exits; safe to call more than once.
+func (t *Tracker) Start() (stop func()) {
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	//lint:allow gospawn one sampling loop per tracker, WaitGroup-joined by the returned stop func
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(t.cfg.Tick)
+		defer tick.Stop()
+		for {
+			select {
+			case <-done:
+				return
+			case <-tick.C:
+				t.Sample()
+			}
+		}
+	}()
+	var once sync.Once
+	return func() {
+		once.Do(func() { close(done) })
+		wg.Wait()
+	}
+}
+
+// WindowStatus is one objective's numbers over one window.
+type WindowStatus struct {
+	Window      string  `json:"window"`
+	Good        uint64  `json:"good"`
+	Total       uint64  `json:"total"`
+	BadFraction float64 `json:"bad_fraction"`
+	// BurnRate is BadFraction / (1 − Target): 1.0 means the error budget
+	// drains exactly at the sustainable rate, N means N× too fast.
+	BurnRate float64 `json:"burn_rate"`
+	// Latency quantiles over the window, present for objectives with a
+	// histogram source.
+	P50 float64 `json:"p50_seconds,omitempty"`
+	P95 float64 `json:"p95_seconds,omitempty"`
+	P99 float64 `json:"p99_seconds,omitempty"`
+}
+
+// ObjectiveStatus is one objective's full status.
+type ObjectiveStatus struct {
+	Name    string         `json:"name"`
+	Help    string         `json:"help,omitempty"`
+	Target  float64        `json:"target"`
+	Bound   float64        `json:"bound_seconds,omitempty"`
+	Burning bool           `json:"burning"`
+	Windows []WindowStatus `json:"windows"`
+}
+
+// Status is the full tracker state, as served on /debug/slo.
+type Status struct {
+	Time          time.Time         `json:"time"`
+	BurnThreshold float64           `json:"burn_threshold"`
+	Burning       bool              `json:"burning"`
+	Objectives    []ObjectiveStatus `json:"objectives"`
+}
+
+// Status reports every objective over both windows. The newest point is
+// a live read of the sources (not the last tick), so the page and gauges
+// are current even between ticks.
+func (t *Tracker) Status() Status {
+	now := t.cfg.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	st := Status{Time: now, BurnThreshold: t.cfg.BurnThreshold}
+	for _, tr := range t.objs {
+		live := takeSample(tr.obj, now)
+		os := ObjectiveStatus{
+			Name:   tr.obj.Name,
+			Help:   tr.obj.Help,
+			Target: tr.obj.Target,
+			Bound:  tr.obj.Bound,
+		}
+		for _, w := range []time.Duration{t.cfg.FastWindow, t.cfg.SlowWindow} {
+			os.Windows = append(os.Windows, windowStatus(tr, live, w, now))
+		}
+		burning := true
+		for _, ws := range os.Windows {
+			if ws.BurnRate < t.cfg.BurnThreshold {
+				burning = false
+			}
+		}
+		os.Burning = burning
+		if burning {
+			st.Burning = true
+		}
+		st.Objectives = append(st.Objectives, os)
+	}
+	return st
+}
+
+// windowStatus differences the live sample against the newest stored
+// sample old enough to bound the window (falling back to the oldest —
+// "since Add" — when history is shorter than the window).
+func windowStatus(tr *tracked, live sample, w time.Duration, now time.Time) WindowStatus {
+	base := tr.samples[0]
+	cutoff := now.Add(-w)
+	for _, s := range tr.samples {
+		if s.t.After(cutoff) {
+			break
+		}
+		base = s
+	}
+	ws := WindowStatus{Window: windowName(w)}
+	if live.total > base.total {
+		ws.Total = live.total - base.total
+	}
+	if live.good > base.good {
+		ws.Good = live.good - base.good
+	}
+	if ws.Good > ws.Total {
+		ws.Good = ws.Total
+	}
+	if ws.Total > 0 {
+		ws.BadFraction = float64(ws.Total-ws.Good) / float64(ws.Total)
+		ws.BurnRate = ws.BadFraction / (1 - tr.obj.Target)
+	}
+	if live.cum != nil {
+		d := FromCumulative(tr.obj.Hist.Bounds(), base.cum, live.cum)
+		if d.Count() > 0 {
+			ws.P50 = d.Quantile(0.50)
+			ws.P95 = d.Quantile(0.95)
+			ws.P99 = d.Quantile(0.99)
+		}
+	}
+	return ws
+}
+
+// windowName renders a duration the way humans write alert windows:
+// 5m0s → "5m", 1h0m0s → "1h".
+func windowName(d time.Duration) string {
+	s := d.String()
+	// Strip only zero-valued trailing components ("5m0s" → "5m",
+	// "1h0m0s" → "1h"); a bare "30s" or "1m30s" must keep its tail.
+	if t := strings.TrimSuffix(s, "0s"); t != s && strings.HasSuffix(t, "m") {
+		s = t
+	}
+	if t := strings.TrimSuffix(s, "0m"); t != s && strings.HasSuffix(t, "h") {
+		s = t
+	}
+	return s
+}
+
+// objectiveStatus recomputes one objective's status for a metric scrape.
+func (t *Tracker) objectiveStatus(tr *tracked) ObjectiveStatus {
+	now := t.cfg.Now()
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	live := takeSample(tr.obj, now)
+	os := ObjectiveStatus{Name: tr.obj.Name, Target: tr.obj.Target}
+	for _, w := range []time.Duration{t.cfg.FastWindow, t.cfg.SlowWindow} {
+		os.Windows = append(os.Windows, windowStatus(tr, live, w, now))
+	}
+	burning := true
+	for _, ws := range os.Windows {
+		if ws.BurnRate < t.cfg.BurnThreshold {
+			burning = false
+		}
+	}
+	os.Burning = burning
+	return os
+}
+
+// Register exports the tracker as spotfi_slo_* gauges: per-objective
+// target and burning flag, and per-(objective, window) burn rate and bad
+// fraction. Values are recomputed on scrape.
+func (t *Tracker) Register(reg *obs.Registry) {
+	t.mu.Lock()
+	objs := append([]*tracked(nil), t.objs...)
+	t.mu.Unlock()
+	windows := []time.Duration{t.cfg.FastWindow, t.cfg.SlowWindow}
+	for _, tr := range objs {
+		tr := tr
+		name := tr.obj.Name
+		target := tr.obj.Target
+		reg.GaugeFunc("spotfi_slo_target", "SLO target good fraction.",
+			obs.Labels{"slo": name}, func() float64 { return target })
+		reg.GaugeFunc("spotfi_slo_burning", "1 when both burn-rate windows exceed the threshold.",
+			obs.Labels{"slo": name}, func() float64 {
+				if t.objectiveStatus(tr).Burning {
+					return 1
+				}
+				return 0
+			})
+		for i, w := range windows {
+			i := i
+			labels := obs.Labels{"slo": name, "window": windowName(w)}
+			reg.GaugeFunc("spotfi_slo_burn_rate", "Error-budget burn rate over the window (1 = sustainable).",
+				labels, func() float64 { return t.objectiveStatus(tr).Windows[i].BurnRate })
+			reg.GaugeFunc("spotfi_slo_bad_fraction", "Fraction of bad events over the window.",
+				labels, func() float64 { return t.objectiveStatus(tr).Windows[i].BadFraction })
+		}
+	}
+}
+
+// ReadyCheck returns a readiness probe that degrades (ok=false) while any
+// objective is burning, with a reason naming the offenders — wire it into
+// the server's /readyz alongside the AP-coverage checks.
+func (t *Tracker) ReadyCheck() func() (string, bool) {
+	return func() (string, bool) {
+		st := t.Status()
+		if !st.Burning {
+			return "", true
+		}
+		var hot []string
+		for _, os := range st.Objectives {
+			if os.Burning {
+				hot = append(hot, fmt.Sprintf("%s %.1fx/%s %.1fx/%s",
+					os.Name,
+					os.Windows[0].BurnRate, os.Windows[0].Window,
+					os.Windows[1].BurnRate, os.Windows[1].Window))
+			}
+		}
+		return "slo burning: " + strings.Join(hot, ", "), false
+	}
+}

@@ -1,0 +1,255 @@
+package slo
+
+import (
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"spotfi/internal/obs"
+)
+
+// fakeClock drives the tracker deterministically.
+type fakeClock struct{ t time.Time }
+
+func (c *fakeClock) now() time.Time          { return c.t }
+func (c *fakeClock) advance(d time.Duration) { c.t = c.t.Add(d) }
+func newFakeClock() *fakeClock               { return &fakeClock{t: time.Unix(1_700_000_000, 0)} }
+func testConfig(c *fakeClock, thr float64) Config {
+	return Config{
+		FastWindow:    5 * time.Minute,
+		SlowWindow:    time.Hour,
+		Tick:          10 * time.Second,
+		BurnThreshold: thr,
+		Now:           c.now,
+	}
+}
+
+// TestBurnRateBothWindows walks a ratio objective through good traffic,
+// a short bad spike, and a sustained outage, checking the multi-window
+// rule at each step: only a sustained burn (both windows hot) counts.
+func TestBurnRateBothWindows(t *testing.T) {
+	clk := newFakeClock()
+	var good, total atomic.Uint64
+	tr := New(testConfig(clk, 2))
+	// Target 0.9: a bad fraction of 0.2 is a burn rate of 2.0.
+	tr.Add(RatioObjective("shed", "delivered vs shed", 0.9, func() (uint64, uint64) {
+		return good.Load(), total.Load()
+	}))
+
+	// An hour of clean traffic fills the slow window with good history.
+	for i := 0; i < 360; i++ {
+		clk.advance(10 * time.Second)
+		good.Add(100)
+		total.Add(100)
+		tr.Sample()
+	}
+	st := tr.Status()
+	if st.Burning {
+		t.Fatal("burning after clean traffic")
+	}
+	for _, ws := range st.Objectives[0].Windows {
+		if ws.BurnRate != 0 || ws.BadFraction != 0 {
+			t.Fatalf("clean window %s: burn %g bad %g", ws.Window, ws.BurnRate, ws.BadFraction)
+		}
+	}
+
+	// Five minutes of 50% bad traffic: the fast window burns at 5×, but
+	// the slow window still averages over 55 clean minutes — not burning.
+	for i := 0; i < 30; i++ {
+		clk.advance(10 * time.Second)
+		good.Add(50)
+		total.Add(100)
+		tr.Sample()
+	}
+	st = tr.Status()
+	fast, slow := st.Objectives[0].Windows[0], st.Objectives[0].Windows[1]
+	if fast.BurnRate < 2 {
+		t.Fatalf("fast window burn = %g, want ≥ 2 during spike", fast.BurnRate)
+	}
+	if slow.BurnRate >= 2 {
+		t.Fatalf("slow window burn = %g, want < 2 after short spike", slow.BurnRate)
+	}
+	if st.Burning || st.Objectives[0].Burning {
+		t.Fatal("short spike flagged as burning — multi-window rule broken")
+	}
+
+	// Another hour of 50% bad traffic drags the slow window up too.
+	for i := 0; i < 360; i++ {
+		clk.advance(10 * time.Second)
+		good.Add(50)
+		total.Add(100)
+		tr.Sample()
+	}
+	st = tr.Status()
+	fast, slow = st.Objectives[0].Windows[0], st.Objectives[0].Windows[1]
+	if fast.BurnRate < 2 || slow.BurnRate < 2 {
+		t.Fatalf("sustained outage: burn fast=%g slow=%g, want both ≥ 2", fast.BurnRate, slow.BurnRate)
+	}
+	if !st.Burning || !st.Objectives[0].Burning {
+		t.Fatal("sustained outage not flagged as burning")
+	}
+	// Exact numbers on the fast window: 0.5 bad at target 0.9 → burn 5.
+	if fast.BadFraction != 0.5 || fast.BurnRate < 4.999 || fast.BurnRate > 5.001 {
+		t.Fatalf("fast window bad=%g burn=%g, want 0.5 and 5", fast.BadFraction, fast.BurnRate)
+	}
+
+	reason, ok := tr.ReadyCheck()()
+	if ok {
+		t.Fatal("ReadyCheck ok during sustained burn")
+	}
+	if !strings.Contains(reason, "slo burning") || !strings.Contains(reason, "shed") {
+		t.Fatalf("ReadyCheck reason = %q", reason)
+	}
+
+	// Recovery: an hour of clean traffic clears both windows.
+	for i := 0; i < 360; i++ {
+		clk.advance(10 * time.Second)
+		good.Add(100)
+		total.Add(100)
+		tr.Sample()
+	}
+	if st = tr.Status(); st.Burning {
+		t.Fatal("still burning after a clean hour")
+	}
+	if reason, ok := tr.ReadyCheck()(); !ok {
+		t.Fatalf("ReadyCheck not ok after recovery: %q", reason)
+	}
+}
+
+// TestLatencyObjective feeds an obs histogram and checks the good-count
+// accounting at the bound plus windowed quantiles from cumulative deltas.
+func TestLatencyObjective(t *testing.T) {
+	clk := newFakeClock()
+	reg := obs.NewRegistry()
+	h := reg.Histogram("fix_latency_seconds", "", []float64{0.01, 0.1, 1, 10}, nil)
+	tr := New(testConfig(clk, 2))
+	tr.Add(LatencyObjective("fix_latency", "packet→fix latency", h, 1, 0.75))
+
+	// Window 1: 9 fast, 1 slow → bad 0.1, target 0.75 → burn 0.4.
+	for i := 0; i < 9; i++ {
+		h.Observe(0.05)
+	}
+	h.Observe(5)
+	clk.advance(time.Minute)
+	tr.Sample()
+	st := tr.Status()
+	fast := st.Objectives[0].Windows[0]
+	if fast.Good != 9 || fast.Total != 10 {
+		t.Fatalf("good/total = %d/%d, want 9/10", fast.Good, fast.Total)
+	}
+	if got := fast.BurnRate; got < 0.39 || got > 0.41 {
+		t.Fatalf("burn = %g, want 0.4", got)
+	}
+	if fast.P50 <= 0.01 || fast.P50 > 0.1 {
+		t.Fatalf("windowed p50 = %g, want in (0.01, 0.1]", fast.P50)
+	}
+	if fast.P99 <= 1 || fast.P99 > 10 {
+		t.Fatalf("windowed p99 = %g, want in (1, 10]", fast.P99)
+	}
+
+	// Window 2: all slow. The fast window forgets window 1 after 5m, so
+	// quantiles and burn reflect only the new traffic.
+	clk.advance(6 * time.Minute)
+	tr.Sample()
+	for i := 0; i < 10; i++ {
+		h.Observe(5)
+	}
+	clk.advance(time.Minute)
+	tr.Sample()
+	st = tr.Status()
+	fast = st.Objectives[0].Windows[0]
+	if fast.Total != 10 || fast.Good != 0 {
+		t.Fatalf("post-roll good/total = %d/%d, want 0/10", fast.Good, fast.Total)
+	}
+	if fast.BadFraction != 1 || fast.BurnRate != 4 {
+		t.Fatalf("post-roll bad=%g burn=%g, want 1 and 4", fast.BadFraction, fast.BurnRate)
+	}
+	if fast.P50 <= 1 {
+		t.Fatalf("post-roll p50 = %g, want > 1", fast.P50)
+	}
+}
+
+// TestRegisterExportsGauges checks the spotfi_slo_* exposition.
+func TestRegisterExportsGauges(t *testing.T) {
+	clk := newFakeClock()
+	var good, total atomic.Uint64
+	tr := New(testConfig(clk, 2))
+	tr.Add(RatioObjective("shed", "", 0.5, func() (uint64, uint64) {
+		return good.Load(), total.Load()
+	}))
+	reg := obs.NewRegistry()
+	tr.Register(reg)
+
+	good.Store(25)
+	total.Store(100) // bad 0.75, target 0.5 → burn 1.5 in both windows
+	clk.advance(time.Minute)
+	tr.Sample()
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`spotfi_slo_target{slo="shed"} 0.5`,
+		`spotfi_slo_burn_rate{slo="shed",window="5m"} 1.5`,
+		`spotfi_slo_burn_rate{slo="shed",window="1h"} 1.5`,
+		`spotfi_slo_bad_fraction{slo="shed",window="5m"} 0.75`,
+		`spotfi_slo_burning{slo="shed"} 0`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestSamplePruning keeps the history ring bounded to the slow window.
+func TestSamplePruning(t *testing.T) {
+	clk := newFakeClock()
+	var n atomic.Uint64
+	tr := New(testConfig(clk, 2))
+	tr.Add(RatioObjective("x", "", 0.9, func() (uint64, uint64) {
+		v := n.Load()
+		return v, v
+	}))
+	for i := 0; i < 2000; i++ {
+		clk.advance(10 * time.Second)
+		n.Add(1)
+		tr.Sample()
+	}
+	tr.mu.Lock()
+	got := len(tr.objs[0].samples)
+	tr.mu.Unlock()
+	// 1h window at 10s ticks needs ~360 samples plus slack; 2000 ticks
+	// must not all be retained.
+	if got > 380 {
+		t.Fatalf("history ring holds %d samples, want ≤ 380", got)
+	}
+
+	// Start/stop the real ticker loop once for coverage of the join.
+	stop := tr.Start()
+	stop()
+	stop() // idempotent
+}
+
+func TestWindowName(t *testing.T) {
+	cases := []struct {
+		d    time.Duration
+		want string
+	}{
+		{30 * time.Second, "30s"},
+		{10 * time.Second, "10s"},
+		{90 * time.Second, "1m30s"},
+		{5 * time.Minute, "5m"},
+		{30 * time.Minute, "30m"},
+		{time.Hour, "1h"},
+		{90 * time.Minute, "1h30m"},
+		{2 * time.Second, "2s"},
+	}
+	for _, c := range cases {
+		if got := windowName(c.d); got != c.want {
+			t.Errorf("windowName(%v) = %q, want %q", c.d, got, c.want)
+		}
+	}
+}

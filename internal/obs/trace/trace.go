@@ -169,7 +169,8 @@ func (t *Tracer) StartAt(name string, at time.Time) *Trace {
 	}
 	t.started.Inc()
 	tr := &Trace{tracer: t, id: t.ids.Add(1), start: at}
-	tr.spans = append(tr.spans, &Span{tr: tr, parent: -1, name: name, start: at})
+	tr.root = &Span{tr: tr, parent: -1, name: name, start: at}
+	tr.spans = append(tr.spans, tr.root)
 	return tr
 }
 
@@ -261,6 +262,12 @@ type Trace struct {
 	id     uint64
 	start  time.Time
 
+	// root duplicates spans[0], which never changes after StartAt:
+	// Root() reads it without the lock, so a goroutine branching child
+	// spans off the root does not race with another appending to spans
+	// (append rewrites the slice header Root would otherwise read).
+	root *Span
+
 	mu       sync.Mutex
 	spans    []*Span // spans[0] is the root
 	finished bool
@@ -279,7 +286,7 @@ func (tr *Trace) Root() *Span {
 	if tr == nil {
 		return nil
 	}
-	return tr.spans[0]
+	return tr.root
 }
 
 // Finish closes the trace: any span still open is ended now, the snapshot

@@ -1,0 +1,61 @@
+#!/usr/bin/env bash
+# load_smoke.sh — boot a spotfi-server, drive it with spotfi-loadgen over
+# the real wire protocol, and gate the run against the committed
+# LOAD_baseline.json. CI runs this as the load-smoke job; it works the
+# same from a checkout: scripts/load_smoke.sh [output.json]
+#
+# The server is pinned to GOMAXPROCS=1 so the soak phase overloads it on
+# any runner: the committed baseline was recorded at one core, and the
+# point of the soak is to exercise admission shedding and SLO burn, which
+# a 16-core runner would otherwise absorb. The server binary is built
+# WITHOUT -race — it is the system under measurement, and race
+# instrumentation would slow it ~10x and invalidate the latency/throughput
+# gates. The load generator (the new, concurrency-heavy client) runs
+# under -race; the full server stack already soaks under -race in the
+# test job's TestLoadgenEndToEnd.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT="${1:-LOAD_ci.json}"
+PHASES="warm:4s@5,ramp:6s@5..30,soak:8s@150"
+WIRE=127.0.0.1:7100
+DEBUG=127.0.0.1:7101
+
+go build -o /tmp/spotfi-server ./cmd/spotfi-server
+go build -race -o /tmp/spotfi-loadgen ./cmd/spotfi-loadgen
+
+# The generator knows the scene; it tells us the server flags that match
+# it (AP poses, batch shape, breaker tolerance for synthetic CSI).
+SERVER_FLAGS=$(/tmp/spotfi-loadgen -print-server-flags)
+
+# Admission and SLO windows are scaled to a ~20s run: a 100ms sojourn
+# target with a 500ms deadline sheds visibly within the soak, and 30s/5m
+# burn windows with a 300ms latency bound register the burn before the
+# run ends (production defaults are 5m/1h, far too slow for a smoke).
+# shellcheck disable=SC2086  # SERVER_FLAGS is a flag list, not one word
+GOMAXPROCS=1 /tmp/spotfi-server -listen "$WIRE" -debug-addr "$DEBUG" \
+  $SERVER_FLAGS \
+  -admit-target 100ms -admit-deadline 500ms -admit-interval 500ms \
+  -slo-latency-bound 300ms -slo-fast-window 30s -slo-slow-window 5m \
+  -slo-tick 1s &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  curl -sf "http://$DEBUG/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -sf "http://$DEBUG/healthz" >/dev/null
+
+/tmp/spotfi-loadgen -server "$WIRE" -debug "http://$DEBUG" \
+  -phases "$PHASES" -runid ci -out "$OUT" -compare LOAD_baseline.json
+
+# The soak must have burned the SLOs: that is the acceptance signal that
+# overload is observable end to end, not just survivable.
+SLO=$(curl -sf "http://$DEBUG/debug/slo")
+if ! echo "$SLO" | jq -e '.burning' >/dev/null; then
+  echo "load_smoke: SLOs did not burn during the soak:" >&2
+  echo "$SLO" | jq '.objectives[] | {name, burning, windows}' >&2
+  exit 1
+fi
+echo "load_smoke: pass ($OUT)"

@@ -1,0 +1,272 @@
+package spotfi
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"spotfi/internal/admit"
+	"spotfi/internal/csi"
+	"spotfi/internal/feed"
+	"spotfi/internal/loadgen"
+	"spotfi/internal/obs"
+	"spotfi/internal/obs/slo"
+	"spotfi/internal/obs/trace"
+	"spotfi/internal/server"
+)
+
+// TestLoadgenEndToEnd drives a real in-process server — wire listener,
+// collector, admission queue, localization workers, fix feed, SLO
+// tracker, debug mux — with the open-loop load generator, and checks the
+// whole measurement chain: fixes stream back with measurable packet→fix
+// latency, localization error against the scene's ground truth is sane,
+// the surge phase sheds at the admission queue, and the SLO tracker sees
+// the burn.
+func TestLoadgenEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load-generator soak")
+	}
+	scene, err := loadgen.NewScene(loadgen.SceneConfig{
+		Seed: 42, APs: 5, Targets: 8, Positions: 6, APsPerTarget: 3, Batch: 6,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	reg := obs.NewRegistry()
+	fixes := feed.New(feed.Config{Metrics: feed.NewMetrics(reg)})
+	defer fixes.Close()
+	fixLatency := reg.Histogram("spotfi_fix_latency_seconds",
+		"End-to-end packet→fix latency.", obs.ExpBuckets(100e-6, 10, 5), nil)
+
+	// Localizer over the scene's AP poses.
+	aps := make([]AP, len(scene.APs))
+	for i, ap := range scene.APs {
+		aps[i] = AP{ID: ap.ID, Pos: ap.Pos, NormalAngle: ap.NormalAngle}
+	}
+	cfg := DefaultConfig(scene.Cfg.Bounds)
+	cfg.Metrics = NewPipelineMetrics(reg)
+	loc, err := New(cfg, aps)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	adq := admit.NewQueue(admit.QueueConfig{
+		Capacity: 16,
+		Target:   60 * time.Millisecond,
+		Deadline: 400 * time.Millisecond,
+		Interval: 100 * time.Millisecond,
+		Metrics:  admit.NewQueueMetrics(reg),
+	})
+
+	slos := slo.New(slo.Config{
+		FastWindow:    2 * time.Second,
+		SlowWindow:    4 * time.Second,
+		Tick:          100 * time.Millisecond,
+		BurnThreshold: 2,
+	})
+	slos.Add(slo.LatencyObjective("fix_latency", "packet→fix latency", fixLatency, 1, 0.99))
+	slos.Add(slo.RatioObjective("admit_shed", "bursts delivered vs shed", 0.95, func() (uint64, uint64) {
+		delivered := adq.DeliveredTotal()
+		return delivered, delivered + adq.ShedTotal()
+	}))
+	slos.Register(reg)
+	stopSLO := slos.Start()
+	defer stopSLO()
+
+	type job struct {
+		mac    string
+		bursts map[int][]*csi.Packet
+	}
+	// One deliberately slowed worker caps fix throughput far below the
+	// surge phase's offered rate, so admission shedding engages
+	// deterministically.
+	const workerSlowdown = 25 * time.Millisecond
+	var pool sync.WaitGroup
+	pool.Add(1)
+	go func() {
+		defer pool.Done()
+		for {
+			it, _, ok := adq.Pop()
+			if !ok {
+				return
+			}
+			j := it.Payload.(job)
+			time.Sleep(workerSlowdown)
+			var captureNs int64
+			for _, pkts := range j.bursts {
+				for _, p := range pkts {
+					if p.TimestampNs > captureNs {
+						captureNs = p.TimestampNs
+					}
+				}
+			}
+			p, _, _, err := loc.LocalizeBursts(j.bursts)
+			if err != nil {
+				continue
+			}
+			emit := time.Now().UnixNano()
+			if lat := float64(emit-captureNs) / 1e9; captureNs > 0 && lat >= 0 && lat < 600 {
+				fixLatency.Observe(lat)
+			}
+			fixes.Publish(feed.Fix{
+				MAC: j.mac, X: p.X, Y: p.Y, Confidence: p.Confidence,
+				Mode: p.Mode, CaptureNs: captureNs, EmitNs: emit, APs: len(j.bursts),
+			})
+		}
+	}()
+
+	m := server.NewMetrics(reg)
+	collector, err := server.NewCollector(server.CollectorConfig{
+		BatchSize:   scene.Cfg.Batch,
+		MinAPs:      scene.Cfg.APsPerTarget,
+		MaxBuffered: 64,
+		BurstTTL:    500 * time.Millisecond,
+	}, func(mac string, bursts map[int][]*csi.Packet, _ *trace.Trace) {
+		adq.Push(mac, job{mac: mac, bursts: bursts})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	collector.SetMetrics(m)
+	stopSweeper := collector.StartSweeper(100 * time.Millisecond)
+	defer stopSweeper()
+
+	srv, err := server.New(collector, testLogger(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.SetMetrics(m)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", reg.Handler())
+	mux.Handle("/debug/fixes", fixes.Handler())
+	mux.Handle("/debug/slo", slos.Handler())
+	debug := httptest.NewServer(mux)
+	defer debug.Close()
+
+	// Warm at a rate one slowed worker absorbs, then surge far past it.
+	phases, err := loadgen.ParsePhases("warm:2s@4,surge:3s@80")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := loadgen.Run(ctx, loadgen.RunConfig{
+		ServerAddr: addr.String(),
+		DebugURL:   debug.URL,
+		Scene:      scene,
+		Phases:     phases,
+		Settle:     1500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Clean teardown before asserting: no goroutine should still be
+	// feeding the stats we read.
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	collector.Shutdown()
+	adq.Close()
+	pool.Wait()
+
+	if res.FeedErr != "" {
+		t.Fatalf("feed error: %s", res.FeedErr)
+	}
+	if res.SendErrs != 0 {
+		t.Fatalf("%d AP streams lost", res.SendErrs)
+	}
+	if res.TotalFixes == 0 {
+		t.Fatal("no fixes flowed")
+	}
+	if len(res.Phases) != 2 {
+		t.Fatalf("%d phases, want 2", len(res.Phases))
+	}
+	warm, surge := res.Phases[0], res.Phases[1]
+
+	if warm.Offered == 0 || surge.Offered <= warm.Offered {
+		t.Fatalf("offered bursts warm=%d surge=%d", warm.Offered, surge.Offered)
+	}
+	if warm.Fixes == 0 {
+		t.Fatal("warm phase produced no fixes")
+	}
+	// Latency was measured end to end, with plausible values: at least
+	// the worker slowdown, under the test's whole runtime.
+	if warm.Latency.Count() == 0 {
+		t.Fatal("no latency samples in warm phase")
+	}
+	if p50 := warm.Latency.Quantile(0.5); p50 < workerSlowdown.Seconds() || p50 > 30 {
+		t.Fatalf("warm p50 latency %.4fs implausible", p50)
+	}
+	// Ground truth maps back through the MAC: localization error is sane
+	// for a full-fidelity fix (decimeters-to-meters, not tens of meters).
+	if len(warm.Errors) == 0 {
+		t.Fatal("no localization-error samples in warm phase")
+	}
+	best := warm.Errors[0]
+	for _, e := range warm.Errors {
+		if e < best {
+			best = e
+		}
+	}
+	if best > 8 {
+		t.Fatalf("best warm-phase error %.2fm — ground-truth mapping is broken", best)
+	}
+
+	// The surge overwhelmed the slowed worker: admission control shed,
+	// and the generator saw it in the /metrics deltas.
+	if surge.Counters.Shed == 0 {
+		t.Fatal("surge phase shed nothing — overload never engaged")
+	}
+	if surge.Counters.Delivered == 0 {
+		t.Fatal("surge phase delivered nothing")
+	}
+	if adq.ShedTotal() == 0 || adq.DeliveredTotal() == 0 {
+		t.Fatalf("queue totals shed=%d delivered=%d", adq.ShedTotal(), adq.DeliveredTotal())
+	}
+
+	// The SLO layer saw the same story: the snapshot parses, covers both
+	// objectives, and the shed objective's fast window is burning hot.
+	var st slo.Status
+	if err := json.Unmarshal(res.SLO, &st); err != nil {
+		t.Fatalf("/debug/slo snapshot: %v\n%s", err, res.SLO)
+	}
+	if len(st.Objectives) != 2 {
+		t.Fatalf("SLO snapshot has %d objectives, want 2", len(st.Objectives))
+	}
+	var shedObj *slo.ObjectiveStatus
+	for i := range st.Objectives {
+		if st.Objectives[i].Name == "admit_shed" {
+			shedObj = &st.Objectives[i]
+		}
+	}
+	if shedObj == nil {
+		t.Fatalf("admit_shed objective missing: %s", res.SLO)
+	}
+	fast := shedObj.Windows[0]
+	if fast.Total == 0 || fast.BadFraction == 0 {
+		t.Fatalf("shed SLO fast window saw no burn: %+v", fast)
+	}
+
+	// The report derives without losing the story.
+	report := loadgen.NewReport("e2e", time.Now().UTC().Format(time.RFC3339), loadgen.ReportOpts{}, res)
+	if report.Phases[1].ShedRate == 0 {
+		t.Fatal("report lost the surge shed rate")
+	}
+	if report.Phases[0].LatencyP50Ms == 0 || report.Phases[0].ErrMedianM == 0 {
+		t.Fatalf("report lost warm-phase latency/error: %+v", report.Phases[0])
+	}
+	t.Logf("e2e: %d fixes, warm p50 %.1fms err median %.2fm, surge shed rate %.2f",
+		res.TotalFixes, report.Phases[0].LatencyP50Ms, report.Phases[0].ErrMedianM, report.Phases[1].ShedRate)
+}
