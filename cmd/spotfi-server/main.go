@@ -67,6 +67,21 @@
 // always retains traces slower than -trace-slow. Logs are structured
 // (-log-format text|json) and carry trace/burst/AP IDs.
 //
+// With -flight-dir set, a black-box flight recorder (internal/flight)
+// taps every ingested packet into bounded per-AP rings and journals the
+// server's control decisions (sheds, mode changes, breaker flips,
+// quarantines, SLO burn edges, per-fix confidence). On an anomaly — a
+// breaker opening, an SLO starting to burn, the shed rate crossing
+// -admit-shed-floor, a burst-handler panic, a fix below
+// -flight-confidence-floor, or POST /debug/flight/dump — it freezes an
+// atomic bundle (SFT1 frames, journal, fix records, metrics snapshot,
+// traces, goroutine dump, effective config) under -flight-dir, rate-
+// limited by -flight-cooldown and bounded by -flight-max-bundles.
+// Graceful drain flushes a final bundle. `spotfi-trace replay` re-runs a
+// bundle's fixes through the real pipeline bit-for-bit; the debug
+// listener serves recorder status and bundles at /debug/flight, and an
+// index of every debug endpoint at /debug/.
+//
 // Usage:
 //
 //	spotfi-server -listen 127.0.0.1:7100 \
@@ -78,7 +93,10 @@
 //	    [-breaker-window 30s] [-breaker-failures 8] [-breaker-cooldown 15s] \
 //	    [-breaker-probes 3] [-drain-timeout 5s] \
 //	    [-trace-sample 100] [-trace-slow 5s] [-log-format text] \
-//	    [-quality-floor 0.25] [-debug-addr 127.0.0.1:7101]
+//	    [-quality-floor 0.25] [-debug-addr 127.0.0.1:7101] \
+//	    [-flight-dir /var/lib/spotfi/flight] [-flight-frames 256] \
+//	    [-flight-cooldown 30s] [-flight-max-bundles 8] \
+//	    [-flight-confidence-floor 0.05]
 package main
 
 import (
@@ -98,7 +116,9 @@ import (
 	"spotfi/internal/admit"
 	"spotfi/internal/cliutil"
 	"spotfi/internal/csi"
+	"spotfi/internal/debugmux"
 	"spotfi/internal/feed"
+	"spotfi/internal/flight"
 	"spotfi/internal/obs"
 	"spotfi/internal/obs/quality"
 	"spotfi/internal/obs/slo"
@@ -165,7 +185,7 @@ func captureNs(bursts map[int][]*csi.Packet) int64 {
 // worker (and with it, eventually, the whole pool). Bursts whose APs were
 // quarantined while queued are re-filtered here, so the breaker's view is
 // never more than one queue sojourn stale.
-func localizeOne(loc *spotfi.Localizer, breakers *admit.BreakerSet, lm *localizeMetrics, fixes *feed.Feed, logger *slog.Logger, j burstJob) {
+func localizeOne(loc *spotfi.Localizer, breakers *admit.BreakerSet, lm *localizeMetrics, fixes *feed.Feed, rec *flight.Recorder, confFloor float64, logger *slog.Logger, j burstJob) {
 	// The worker owns the burst lifecycle end: whatever happens below, the
 	// trace is completed and handed to its sinks.
 	defer j.tr.Finish()
@@ -214,45 +234,24 @@ func localizeOne(loc *spotfi.Localizer, breakers *admit.BreakerSet, lm *localize
 		EmitNs:     emit,
 		APs:        len(reports),
 	})
+	// j.bursts is the post-breaker-filter composition at this point —
+	// exactly what the pipeline consumed, which is what replay must feed.
+	rec.RecordFix(j.mac, p.Mode, p.X, p.Y, p.Confidence, j.bursts)
+	if p.Confidence < confFloor {
+		rec.Trigger(flight.TriggerLowConfidence,
+			fmt.Sprintf("fix for %s scored %.3f < floor %.3f", j.mac, p.Confidence, confFloor))
+	}
 	logger.Info("target localized", "mac", j.mac, "trace", j.tr.ID(),
 		"x", p.X, "y", p.Y, "aps", len(reports), "confidence", p.Confidence, "mode", p.Mode)
 }
 
-// buildLocalizers constructs one Localizer per degradation rung, cheapest
-// last, all sharing the pipeline metrics and quality monitor. modes bounds
-// how many rungs are built (≥ 1).
-func buildLocalizers(base spotfi.Config, aps []spotfi.AP, modes int) ([]*spotfi.Localizer, error) {
-	configs := []func(spotfi.Config) spotfi.Config{
-		func(c spotfi.Config) spotfi.Config {
-			c.ModeLabel = admit.ModeFull.String()
-			return c
-		},
-		func(c spotfi.Config) spotfi.Config {
-			c.ModeLabel = admit.ModeFastPath.String()
-			c.FastPath.Enabled = true
-			return c
-		},
-		func(c spotfi.Config) spotfi.Config {
-			c.ModeLabel = admit.ModeCoarse.String()
-			c.FastPath.Enabled = true
-			// Halve the coarse-pass resolution of the MUSIC fallback on
-			// top of the fast path: cheaper hard bursts, same refinement.
-			c.Music.CoarseGridFactor *= 2
-			return c
-		},
-	}
-	if modes < len(configs) {
-		configs = configs[:modes]
-	}
-	locs := make([]*spotfi.Localizer, 0, len(configs))
-	for _, mk := range configs {
-		loc, err := spotfi.New(mk(base), aps)
-		if err != nil {
-			return nil, err
-		}
-		locs = append(locs, loc)
-	}
-	return locs, nil
+// effectiveFlags snapshots every flag's effective value (defaults
+// included) for the flight bundle: a bundle should say how the server was
+// actually configured, not just which flags were passed.
+func effectiveFlags() map[string]string {
+	m := make(map[string]string)
+	flag.VisitAll(func(f *flag.Flag) { m[f.Name] = f.Value.String() })
+	return m
 }
 
 func main() {
@@ -308,6 +307,15 @@ func main() {
 	sloTick := flag.Duration("slo-tick", 10*time.Second, "SLO source sampling interval")
 	sloBurnThreshold := flag.Float64("slo-burn-threshold", 6,
 		"burn rate both windows must exceed before an SLO counts as burning (degrades /readyz)")
+	flightDir := flag.String("flight-dir", "",
+		"arm the flight recorder and write capture bundles under this directory (disabled if empty)")
+	flightFrames := flag.Int("flight-frames", 256, "flight recorder: raw frames retained per AP")
+	flightCooldown := flag.Duration("flight-cooldown", 30*time.Second,
+		"flight recorder: minimum spacing between automatic bundle dumps; extra triggers are coalesced")
+	flightMaxBundles := flag.Int("flight-max-bundles", 8,
+		"flight recorder: on-disk bundle cap; oldest bundles are pruned")
+	flightConfFloor := flag.Float64("flight-confidence-floor", 0.05,
+		"flight recorder: dump a bundle when a fix's confidence falls below this (0 disables)")
 	version := flag.Bool("version", false, "print build version and exit")
 	var aps cliutil.APList
 	flag.Var(&aps, "ap", "AP spec id,x,y,normalDeg (repeatable)")
@@ -382,6 +390,11 @@ func main() {
 		fmt.Fprintln(os.Stderr, "spotfi-server: -slo-latency-target and -slo-shed-target must be in (0,1)")
 		os.Exit(2)
 	}
+	if *flightDir != "" && (*flightFrames < 1 || *flightMaxBundles < 1 || *flightCooldown <= 0 ||
+		*flightConfFloor < 0 || *flightConfFloor > 1) {
+		fmt.Fprintln(os.Stderr, "spotfi-server: -flight-frames/-flight-max-bundles must be ≥ 1, -flight-cooldown > 0, -flight-confidence-floor in [0,1]")
+		os.Exit(2)
+	}
 
 	reg := obs.NewRegistry()
 	cliutil.RegisterBuildInfo(reg)
@@ -394,9 +407,52 @@ func main() {
 		Logger:        logger,
 	})
 
+	cfg := spotfi.DefaultConfig(bounds)
+
+	// Flight recorder (nil when disarmed: every method is a nil-safe
+	// no-op, so the wiring below costs nothing without -flight-dir). The
+	// embedded ServerConfig pins everything `spotfi-trace replay` needs to
+	// rebuild this exact pipeline — including the radian AP normals, so
+	// replayed geometry is bit-identical.
+	var rec *flight.Recorder
+	if *flightDir != "" {
+		specs := make([]flight.APSpec, len(aps))
+		for i, ap := range aps {
+			specs[i] = flight.APSpec{ID: ap.ID, X: ap.Pos.X, Y: ap.Pos.Y, NormalRad: ap.NormalAngle}
+		}
+		rec, err = flight.New(flight.Config{
+			Dir:         *flightDir,
+			FramesPerAP: *flightFrames,
+			Cooldown:    *flightCooldown,
+			MaxBundles:  *flightMaxBundles,
+			Server: flight.ServerConfig{
+				Bounds: [4]float64{bounds.MinX, bounds.MinY, bounds.MaxX, bounds.MaxY},
+				APs:    specs,
+				Batch:  *batch,
+				MinAPs: *minAPs,
+				Modes:  *modes,
+				Seed:   cfg.Seed,
+			},
+			Flags:           effectiveFlags(),
+			Registry:        reg,
+			MetricsSnapshot: reg.Snapshot,
+			Traces: func() (recent, slow []trace.TraceData) {
+				return tracer.Recent(), tracer.Slow()
+			},
+			Logger: logger,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "spotfi-server:", err)
+			os.Exit(1)
+		}
+		logger.Info("flight recorder armed", "dir", *flightDir,
+			"frames_per_ap", *flightFrames, "cooldown", *flightCooldown, "max_bundles", *flightMaxBundles)
+	}
+
 	// Per-AP circuit breakers, fed from three directions: ingest events
 	// (reconnect churn, non-finite CSI) via the server's event sink, drift
 	// breaches and per-burst AP scores via the quality monitor's hooks.
+	// Every transition lands in the flight journal; opens trigger a dump.
 	breakers := admit.NewBreakerSet(reg, admit.BreakerConfig{
 		Window:   *breakerWindow,
 		Failures: *breakerFailures,
@@ -404,6 +460,11 @@ func main() {
 		Probes:   *breakerProbes,
 		OnTransition: func(ap int, from, to admit.State, kind admit.FailureKind) {
 			logger.Warn("AP breaker state change", "ap", ap, "from", from.String(), "to", to.String(), "kind", string(kind))
+			rec.Note(flight.EventBreaker, ap, "", from.String()+"→"+to.String()+" ("+string(kind)+")", 0)
+			if to == admit.StateOpen {
+				rec.Trigger(flight.TriggerBreakerOpen,
+					fmt.Sprintf("AP %d breaker opened (%s)", ap, string(kind)))
+			}
 		},
 	})
 	monitor := quality.NewMonitor(reg, quality.Config{
@@ -414,6 +475,7 @@ func main() {
 			}
 		},
 		OnDriftBreach: func(apID, breached int) {
+			rec.Note(flight.EventDrift, apID, "", "drift breach", float64(breached))
 			// A single breached observable can be an outlier burst; two or
 			// more breaching together is a real distribution shift.
 			if breached >= 2 {
@@ -422,10 +484,9 @@ func main() {
 		},
 	})
 
-	cfg := spotfi.DefaultConfig(bounds)
 	cfg.Metrics = spotfi.NewPipelineMetrics(reg)
 	cfg.QualityMonitor = monitor
-	locs, err := buildLocalizers(cfg, aps, *modes)
+	locs, err := spotfi.BuildLadder(cfg, aps, *modes)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "spotfi-server:", err)
 		os.Exit(1)
@@ -456,6 +517,7 @@ func main() {
 			j.tr.Root().SetStr("shed", string(reason))
 			j.tr.Finish()
 			shedlog.Note(reason)
+			rec.Note(flight.EventShed, -1, j.mac, string(reason), 0)
 		},
 	})
 
@@ -465,6 +527,7 @@ func main() {
 	lcfg.MaxMode = admit.Mode(*modes - 1)
 	lcfg.OnChange = func(from, to admit.Mode) {
 		logger.Warn("degradation mode change", "from", from.String(), "to", to.String())
+		rec.Note(flight.EventMode, -1, "", from.String()+"→"+to.String(), float64(to))
 	}
 	ladder := admit.NewLadder(reg, lcfg)
 
@@ -476,6 +539,16 @@ func main() {
 		SlowWindow:    *sloSlowWindow,
 		Tick:          *sloTick,
 		BurnThreshold: *sloBurnThreshold,
+		OnBurn: func(objective string, burning bool) {
+			v := 0.0
+			if burning {
+				v = 1
+			}
+			rec.Note(flight.EventSLO, -1, "", objective, v)
+			if burning {
+				rec.Trigger(flight.TriggerSLOBurn, "SLO "+objective+" burning on both windows")
+			}
+		},
 	})
 	slos.Add(slo.LatencyObjective("fix_latency",
 		"packet→fix latency within the bound", lm.fixLatency,
@@ -502,7 +575,7 @@ func main() {
 					return
 				}
 				mode := ladder.Observe(sojourn)
-				localizeOne(locs[mode], breakers, lm, fixes, logger, it.Payload.(burstJob))
+				localizeOne(locs[mode], breakers, lm, fixes, rec, *flightConfFloor, logger, it.Payload.(burstJob))
 			}
 		}()
 	}
@@ -524,6 +597,15 @@ func main() {
 	collector.SetTracer(tracer)
 	// Quarantined APs are excluded from burst assembly at the source.
 	collector.SetQuarantine(breakers.Allow)
+	if rec != nil {
+		// The tap is only installed when armed, so a disarmed server pays
+		// literally nothing on the per-packet path (not even a call).
+		collector.SetTap(rec.TapPacket)
+		collector.SetPanicHook(func(mac, reason string) {
+			rec.Note(flight.EventQuarantine, -1, mac, reason, 0)
+			rec.Trigger(flight.TriggerPanic, "burst handler panicked for "+mac)
+		})
+	}
 	if *burstTTL > 0 {
 		// Sweep a few times per TTL so eviction lag stays a fraction of
 		// the staleness bound.
@@ -547,33 +629,38 @@ func main() {
 	logger.Info("spotfi-server listening", "addr", addr.String(), "aps", len(aps), "workers", *workers, "modes", *modes)
 
 	if *debugAddr != "" {
-		mux := http.NewServeMux()
-		mux.Handle("/metrics", reg.Handler())
+		// Every endpoint carries a one-line description; debugmux serves
+		// the discoverable index at /debug/ (and /).
+		mux := debugmux.New()
+		mux.Handle("/metrics", "Prometheus text metrics, including Go runtime telemetry", reg.Handler())
 		// /healthz is pure liveness (the process is up); /readyz is
 		// readiness (at least one AP delivered a packet within -burst-ttl
 		// and admission control is not hard-shedding, so the server can
 		// actually produce fixes).
-		mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		mux.HandleFunc("/healthz", "liveness: always ok while the process is up", func(w http.ResponseWriter, _ *http.Request) {
 			fmt.Fprintln(w, "ok")
 		})
-		mux.Handle("/readyz", srv.Tracker().ReadinessHandler(*burstTTL, func() (string, bool) {
-			if rate := adq.ShedRate(); rate > *admitShedFloor {
-				return fmt.Sprintf("admission control shedding %.0f%% of bursts", 100*rate), false
-			}
-			return "", true
-		}, slos.ReadyCheck()))
-		mux.Handle("/debug/traces", tracer.Handler())
-		mux.Handle("/debug/quality", monitor.Handler())
-		mux.Handle("/debug/slo", slos.Handler())
-		mux.Handle("/debug/fixes", fixes.Handler())
-		mux.HandleFunc("/debug/pprof/", pprof.Index)
-		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		mux.Handle("/readyz", "readiness: 503 while no fresh AP traffic, hard-shedding, or an SLO burns",
+			srv.Tracker().ReadinessHandler(*burstTTL, func() (string, bool) {
+				if rate := adq.ShedRate(); rate > *admitShedFloor {
+					return fmt.Sprintf("admission control shedding %.0f%% of bursts", 100*rate), false
+				}
+				return "", true
+			}, slos.ReadyCheck()))
+		mux.Handle("/debug/traces", "recent and slow burst traces (JSON, ?view=html waterfall)", tracer.Handler())
+		mux.Handle("/debug/quality", "per-burst confidence scores and per-AP drift scoreboard", monitor.Handler())
+		mux.Handle("/debug/slo", "multi-window SLO burn rates", slos.Handler())
+		mux.Handle("/debug/fixes", "live JSON-lines stream of every fix", fixes.Handler())
+		mux.Handle("/debug/flight", "flight recorder: status, bundle index, POST dump to freeze a bundle", rec.Handler())
+		mux.Handle("/debug/flight/", "", rec.Handler())
+		mux.HandleFunc("/debug/pprof/", "net/http/pprof profiles", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", "", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", "", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", "", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", "", pprof.Trace)
 		//lint:allow gospawn debug HTTP listener lives for the whole process; no join needed
 		go func() {
-			logger.Info("debug endpoints up", "url", "http://"+*debugAddr+"/metrics")
+			logger.Info("debug endpoints up", "url", "http://"+*debugAddr+"/debug/")
 			if err := http.ListenAndServe(*debugAddr, mux); err != nil {
 				logger.Warn("debug listener failed", "err", err)
 			}
@@ -607,6 +694,17 @@ func main() {
 		shed := adq.Abort()
 		logger.Warn("drain deadline exceeded, shedding queued bursts", "shed", shed)
 		<-done
+	}
+	// Flush the flight recorder last, after the workers have recorded
+	// their final fixes: the drain bundle is the black box's "landing"
+	// snapshot, covering the shutdown itself.
+	if rec != nil {
+		if name, derr := rec.DumpNow(flight.TriggerDrain, "graceful drain"); derr != nil {
+			logger.Warn("drain flight bundle failed", "err", derr)
+		} else {
+			logger.Info("drain flight bundle flushed", "bundle", name)
+		}
+		rec.Close()
 	}
 	fixes.Close()
 	shedlog.Flush()

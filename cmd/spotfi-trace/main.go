@@ -1,6 +1,15 @@
 // Command spotfi-trace generates and inspects CSI trace files in the SFT1
 // format used by the AP agent and trace tools.
 //
+// It also operates on flight-recorder bundles (see internal/flight): a
+// bundle's frames.sft is plain SFT1, so info/paths/spectrum/locate work on
+// captured production traffic unchanged, and two subcommands consume the
+// whole bundle. `replay` re-ingests every recorded fix through the real
+// pipeline — collector, rung ladder, deterministic clock, 100% trace
+// sampling — and gates on each fix reproducing bit-for-bit. `corpus`
+// converts captured frames into go-fuzz seed files for wire.FuzzReadFrame,
+// so real anomalous traffic hardens the frame decoder.
+//
 // Usage:
 //
 //	spotfi-trace gen      -out capture.sft -ap 0 -target 3 -count 100 [-seed 1]
@@ -8,25 +17,33 @@
 //	spotfi-trace paths    -in capture.sft [-limit 5]
 //	spotfi-trace spectrum -in capture.sft -out spectrum.svg [-packet N]
 //	spotfi-trace locate   -in multi-ap.sft -bounds 0,0,16,10 -ap 0,x,y,deg -ap 1,...
+//	spotfi-trace replay   -bundle DIR [-min-fixes N] [-v]
+//	spotfi-trace corpus   -bundle DIR -out DIR [-max N]
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"path/filepath"
 	"sort"
+	"strconv"
 
 	"spotfi"
 	"spotfi/internal/cliutil"
 	"spotfi/internal/csi"
+	"spotfi/internal/flight"
+	"spotfi/internal/flight/replay"
 	"spotfi/internal/geom"
 	"spotfi/internal/music"
 	"spotfi/internal/sanitize"
 	"spotfi/internal/sim"
 	"spotfi/internal/testbed"
 	"spotfi/internal/viz"
+	"spotfi/internal/wire"
 )
 
 func main() {
@@ -45,6 +62,10 @@ func main() {
 		err = runSpectrum(os.Args[2:])
 	case "locate":
 		err = runLocate(os.Args[2:])
+	case "replay":
+		err = runReplay(os.Args[2:])
+	case "corpus":
+		err = runCorpus(os.Args[2:])
 	default:
 		usage()
 	}
@@ -60,7 +81,9 @@ func usage() {
   spotfi-trace info     -in FILE
   spotfi-trace paths    -in FILE [-limit N]
   spotfi-trace spectrum -in FILE -out FILE.svg [-packet N]
-  spotfi-trace locate   -in FILE -bounds B -ap SPEC [-ap SPEC ...]`)
+  spotfi-trace locate   -in FILE -bounds B -ap SPEC [-ap SPEC ...]
+  spotfi-trace replay   -bundle DIR [-min-fixes N] [-v]
+  spotfi-trace corpus   -bundle DIR -out DIR [-max N]`)
 	os.Exit(2)
 }
 
@@ -312,5 +335,101 @@ func runLocate(args []string) error {
 		}
 		fmt.Printf("target %s at (%.2f, %.2f) m from %d APs\n", mac, pos.X, pos.Y, len(reports))
 	}
+	return nil
+}
+
+// runReplay re-runs a flight bundle's recorded fixes through the real
+// pipeline and gates on bit-exact reproduction: any divergence — or fewer
+// reproduced fixes than -min-fixes — is a non-zero exit, which is what CI
+// hangs the replay-smoke gate on.
+func runReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	bundle := fs.String("bundle", "", "flight bundle directory (contains manifest.json and frames.sft)")
+	minFixes := fs.Int("min-fixes", 0, "fail unless at least this many fixes reproduce bit-for-bit")
+	verbose := fs.Bool("v", false, "print one line per fix, not just divergences")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bundle == "" {
+		return fmt.Errorf("replay: -bundle is required")
+	}
+	b, err := flight.LoadBundle(*bundle)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("bundle %s: trigger=%s frames=%d fixes=%d journal=%d\n",
+		*bundle, b.Manifest.Trigger, len(b.Packets), len(b.Manifest.Fixes), len(b.Manifest.Journal))
+
+	res, err := replay.Run(b, replay.Options{})
+	if err != nil {
+		return err
+	}
+	for _, out := range res.Fixes {
+		switch {
+		case out.Skipped:
+			fmt.Printf("  fix %3d %s mode=%-8s SKIP  %s\n", out.Index, out.MAC, out.Mode, out.Reason)
+		case out.Match:
+			if *verbose {
+				fmt.Printf("  fix %3d %s mode=%-8s OK    (%.3f, %.3f) conf %.3f trace %s\n",
+					out.Index, out.MAC, out.Mode, out.X, out.Y, out.Confidence, out.TraceID)
+			}
+		default:
+			fmt.Printf("  fix %3d %s mode=%-8s DIVERGED  %s\n", out.Index, out.MAC, out.Mode, out.Reason)
+		}
+	}
+	fmt.Printf("replayed %d fixes: %d reproduced bit-for-bit, %d diverged, %d skipped\n",
+		len(res.Fixes), res.Reproduced, res.Diverged, res.Skipped)
+	if res.Diverged > 0 {
+		return fmt.Errorf("replay: %d fixes diverged from the recorded bits", res.Diverged)
+	}
+	if res.Reproduced < *minFixes {
+		return fmt.Errorf("replay: only %d fixes reproduced, want ≥ %d", res.Reproduced, *minFixes)
+	}
+	return nil
+}
+
+// runCorpus converts a bundle's captured frames into `go test fuzz v1`
+// seed files for wire.FuzzReadFrame: each seed is one encoded CSI-report
+// frame as it would appear on the wire, named by content hash so re-runs
+// are idempotent and seeds from different bundles never collide.
+func runCorpus(args []string) error {
+	fs := flag.NewFlagSet("corpus", flag.ExitOnError)
+	bundle := fs.String("bundle", "", "flight bundle directory")
+	out := fs.String("out", "", "fuzz corpus directory (e.g. internal/wire/testdata/fuzz/FuzzReadFrame)")
+	max := fs.Int("max", 32, "cap on seed files written")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *bundle == "" || *out == "" {
+		return fmt.Errorf("corpus: -bundle and -out are required")
+	}
+	b, err := flight.LoadBundle(*bundle)
+	if err != nil {
+		return err
+	}
+	if err := os.MkdirAll(*out, 0o755); err != nil {
+		return err
+	}
+	written := 0
+	for _, p := range b.Packets {
+		if written >= *max {
+			break
+		}
+		fr, err := wire.EncodeCSIReport(p)
+		if err != nil {
+			return fmt.Errorf("corpus: encoding packet ap=%d seq=%d: %w", p.APID, p.Seq, err)
+		}
+		var buf bytes.Buffer
+		if err := wire.WriteFrame(&buf, fr); err != nil {
+			return err
+		}
+		seed := fmt.Sprintf("go test fuzz v1\n[]byte(%s)\n", strconv.Quote(buf.String()))
+		name := filepath.Join(*out, fmt.Sprintf("flight-%016x", flight.PacketHash(p)))
+		if err := os.WriteFile(name, []byte(seed), 0o644); err != nil {
+			return err
+		}
+		written++
+	}
+	fmt.Printf("wrote %d fuzz seeds from %d captured frames to %s\n", written, len(b.Packets), *out)
 	return nil
 }

@@ -1,0 +1,91 @@
+// Package debugmux is a thin wrapper over http.ServeMux for the server's
+// debug listener: every registered endpoint carries a one-line
+// description, and the mux serves an index page at /debug/ (and /)
+// listing them — so the debug surface is discoverable from the surface
+// itself rather than only from the README.
+package debugmux
+
+import (
+	"fmt"
+	"html"
+	"net/http"
+	"sort"
+	"sync"
+)
+
+// Entry is one described endpoint on the index page.
+type Entry struct {
+	Path string `json:"path"`
+	Desc string `json:"desc"`
+}
+
+// Mux is an http.Handler that registers described endpoints and serves
+// an index of them. The zero value is not usable; call New.
+type Mux struct {
+	mux *http.ServeMux
+
+	mu      sync.Mutex
+	entries []Entry
+}
+
+// New returns an empty Mux with the index mounted at "/" and "/debug/".
+func New() *Mux {
+	m := &Mux{mux: http.NewServeMux()}
+	m.mux.HandleFunc("/", m.serveIndex)
+	// Both spellings serve the index directly; registering the exact path
+	// avoids ServeMux's trailing-slash redirect.
+	m.mux.HandleFunc("/debug", m.serveIndex)
+	m.mux.HandleFunc("/debug/", m.serveIndex)
+	return m
+}
+
+// Handle registers h at pattern. desc is the one-line description shown
+// on the index page; an empty desc registers the handler but keeps it off
+// the index (sub-paths of an already-listed endpoint).
+func (m *Mux) Handle(pattern, desc string, h http.Handler) {
+	m.mux.Handle(pattern, h)
+	if desc == "" {
+		return
+	}
+	m.mu.Lock()
+	m.entries = append(m.entries, Entry{Path: pattern, Desc: desc})
+	m.mu.Unlock()
+}
+
+// HandleFunc is Handle for a handler function.
+func (m *Mux) HandleFunc(pattern, desc string, h func(http.ResponseWriter, *http.Request)) {
+	m.Handle(pattern, desc, http.HandlerFunc(h))
+}
+
+// Entries returns the described endpoints, sorted by path.
+func (m *Mux) Entries() []Entry {
+	m.mu.Lock()
+	out := append([]Entry(nil), m.entries...)
+	m.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
+// ServeHTTP dispatches to the registered handlers.
+func (m *Mux) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	m.mux.ServeHTTP(w, r)
+}
+
+// serveIndex renders the endpoint listing. It only answers the exact
+// index paths — the catch-all pattern otherwise swallows typos, which
+// should 404.
+func (m *Mux) serveIndex(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Path != "/" && r.URL.Path != "/debug" && r.URL.Path != "/debug/" {
+		http.NotFound(w, r)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	fmt.Fprint(w, "<!DOCTYPE html><html><head><title>spotfi debug</title>"+
+		"<style>body{font-family:monospace;margin:2em}td{padding:.2em 1em .2em 0}</style>"+
+		"</head><body><h1>spotfi debug endpoints</h1><table>\n")
+	for _, e := range m.Entries() {
+		fmt.Fprintf(w, "<tr><td><a href=\"%s\">%s</a></td><td>%s</td></tr>\n",
+			html.EscapeString(e.Path), html.EscapeString(e.Path), html.EscapeString(e.Desc))
+	}
+	fmt.Fprint(w, "</table></body></html>\n")
+}

@@ -1,0 +1,62 @@
+package debugmux
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestIndexListsDescribedEndpoints(t *testing.T) {
+	m := New()
+	m.HandleFunc("/metrics", "Prometheus-style metrics", func(w http.ResponseWriter, r *http.Request) {})
+	m.HandleFunc("/debug/traces", "recent pipeline traces", func(w http.ResponseWriter, r *http.Request) {})
+	m.HandleFunc("/debug/pprof/heap", "", func(w http.ResponseWriter, r *http.Request) {}) // hidden
+
+	for _, path := range []string{"/", "/debug", "/debug/"} {
+		rec := httptest.NewRecorder()
+		m.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, path, nil))
+		if rec.Code != http.StatusOK {
+			t.Fatalf("GET %s = %d", path, rec.Code)
+		}
+		body := rec.Body.String()
+		if !strings.Contains(body, "/metrics") || !strings.Contains(body, "Prometheus-style metrics") {
+			t.Fatalf("index at %s missing described endpoint:\n%s", path, body)
+		}
+		if !strings.Contains(body, "recent pipeline traces") {
+			t.Fatalf("index at %s missing /debug/traces description", path)
+		}
+		if strings.Contains(body, "pprof/heap") {
+			t.Fatalf("index at %s lists an endpoint registered with empty desc", path)
+		}
+	}
+}
+
+func TestEntriesSortedByPath(t *testing.T) {
+	m := New()
+	m.HandleFunc("/z", "last", func(w http.ResponseWriter, r *http.Request) {})
+	m.HandleFunc("/a", "first", func(w http.ResponseWriter, r *http.Request) {})
+	es := m.Entries()
+	if len(es) != 2 || es[0].Path != "/a" || es[1].Path != "/z" {
+		t.Fatalf("entries = %+v, want sorted by path", es)
+	}
+}
+
+func TestDispatchAndTypo404(t *testing.T) {
+	m := New()
+	hit := false
+	m.HandleFunc("/healthz", "liveness", func(w http.ResponseWriter, r *http.Request) { hit = true })
+
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healthz", nil))
+	if !hit || rec.Code != http.StatusOK {
+		t.Fatalf("dispatch to /healthz failed: hit=%v code=%d", hit, rec.Code)
+	}
+
+	// A typo under the catch-all must 404, not render the index.
+	rec = httptest.NewRecorder()
+	m.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/healtz", nil))
+	if rec.Code != http.StatusNotFound {
+		t.Fatalf("GET /healtz = %d, want 404", rec.Code)
+	}
+}

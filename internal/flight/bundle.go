@@ -1,0 +1,350 @@
+package flight
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strings"
+
+	"spotfi/internal/csi"
+	"spotfi/internal/obs"
+	"spotfi/internal/obs/trace"
+)
+
+// Bundle schema identity. Version bumps whenever a field changes meaning;
+// readers reject bundles they do not understand instead of misreading
+// them.
+const (
+	SchemaName    = "spotfi-flight-bundle"
+	SchemaVersion = 1
+)
+
+// ManifestFile and FramesFile are the two files of a bundle directory.
+// Frames are SFT1, so every spotfi-trace subcommand (info, paths,
+// spectrum, locate) works on captured production traffic unchanged.
+const (
+	ManifestFile = "manifest.json"
+	FramesFile   = "frames.sft"
+)
+
+// Manifest is everything in a bundle except the raw frames.
+type Manifest struct {
+	Schema        string `json:"schema"`
+	Version       int    `json:"version"`
+	Trigger       string `json:"trigger"`
+	TriggerDetail string `json:"trigger_detail,omitempty"`
+	CreatedNs     int64  `json:"created_unix_ns"`
+	// CaptureSeq is the recorder's frame counter at dump time; journal
+	// entries carry the value at their moment, tying the two streams
+	// together.
+	CaptureSeq uint64            `json:"capture_seq"`
+	Frames     int               `json:"frames"`
+	Server     ServerConfig      `json:"server"`
+	Flags      map[string]string `json:"flags,omitempty"`
+	Journal    []Event           `json:"journal"`
+	Fixes      []FixRecord       `json:"fixes"`
+	Metrics    []obs.Sample      `json:"metrics,omitempty"`
+	// TracesRecent/TracesSlow are the tracer rings at dump time.
+	TracesRecent []trace.TraceData `json:"traces_recent,omitempty"`
+	TracesSlow   []trace.TraceData `json:"traces_slow,omitempty"`
+	// Goroutines is a full runtime.Stack dump.
+	Goroutines string `json:"goroutines,omitempty"`
+}
+
+// BundleInfo summarizes one on-disk bundle for the index endpoint.
+type BundleInfo struct {
+	Name         string `json:"name"`
+	Trigger      string `json:"trigger"`
+	CreatedNs    int64  `json:"created_unix_ns"`
+	Frames       int    `json:"frames"`
+	Fixes        int    `json:"fixes"`
+	CoveredFixes int    `json:"covered_fixes"`
+	SizeBytes    int64  `json:"size_bytes"`
+}
+
+// Bundle is a loaded bundle: the manifest plus the frames in capture
+// order.
+type Bundle struct {
+	Dir      string
+	Manifest Manifest
+	Packets  []*csi.Packet
+}
+
+func ensureDir(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("flight: creating bundle dir: %w", err)
+	}
+	return nil
+}
+
+// finiteOr maps IEEE specials, which encoding/json rejects, to encodable
+// stand-ins: ±Inf to ±MaxFloat64, NaN to 0.
+func finiteOr(v float64) float64 {
+	switch {
+	case math.IsInf(v, 1):
+		return math.MaxFloat64
+	case math.IsInf(v, -1):
+		return -math.MaxFloat64
+	case math.IsNaN(v):
+		return 0
+	}
+	return v
+}
+
+// sanitizeSamples deep-copies a metrics snapshot with every float made
+// JSON-encodable — a histogram's last bucket bound is +Inf by
+// construction. The metrics block is forensic context, never replay
+// input, so the clamp loses nothing replay needs.
+func sanitizeSamples(in []obs.Sample) []obs.Sample {
+	out := append([]obs.Sample(nil), in...)
+	for i := range out {
+		out[i].Value = finiteOr(out[i].Value)
+		out[i].Sum = finiteOr(out[i].Sum)
+		if len(out[i].Buckets) == 0 {
+			continue
+		}
+		bs := append([]obs.Bucket(nil), out[i].Buckets...)
+		for j := range bs {
+			bs[j].UpperBound = finiteOr(bs[j].UpperBound)
+		}
+		out[i].Buckets = bs
+	}
+	return out
+}
+
+// dump freezes the current capture state into a new bundle directory and
+// prunes the oldest bundles past MaxBundles. It runs on the bundle-writer
+// goroutine (or synchronously via DumpNow) — never on the ingest path.
+func (r *Recorder) dump(kind TriggerKind, detail string) (string, error) {
+	s := r.takeSnapshot()
+	now := r.now()
+
+	// Coverage: a fix is replayable iff every packet it references is
+	// still in the frame snapshot. Content hashes are the identity —
+	// wire sequence numbers repeat across traffic regimes.
+	present := make(map[uint64]struct{}, len(s.frames))
+	for _, p := range s.frames {
+		present[PacketHash(p)] = struct{}{}
+	}
+	for i := range s.fixes {
+		covered := true
+		for _, fa := range s.fixes[i].APs {
+			for _, h := range fa.Hashes {
+				if _, ok := present[h]; !ok {
+					covered = false
+					break
+				}
+			}
+			if !covered {
+				break
+			}
+		}
+		s.fixes[i].Covered = covered
+	}
+
+	man := Manifest{
+		Schema:        SchemaName,
+		Version:       SchemaVersion,
+		Trigger:       string(kind),
+		TriggerDetail: detail,
+		CreatedNs:     now.UnixNano(),
+		CaptureSeq:    s.capSeq,
+		Frames:        len(s.frames),
+		Server:        r.cfg.Server,
+		Flags:         r.cfg.Flags,
+		Journal:       s.journal,
+		Fixes:         s.fixes,
+	}
+	if r.cfg.MetricsSnapshot != nil {
+		man.Metrics = sanitizeSamples(r.cfg.MetricsSnapshot())
+	}
+	for i := range man.Journal {
+		man.Journal[i].Value = finiteOr(man.Journal[i].Value)
+	}
+	if r.cfg.Traces != nil {
+		man.TracesRecent, man.TracesSlow = r.cfg.Traces()
+	}
+	buf := make([]byte, 1<<20)
+	man.Goroutines = string(buf[:runtime.Stack(buf, true)])
+
+	name := fmt.Sprintf("%d-%s", man.CreatedNs, kind)
+	if err := writeBundle(r.cfg.Dir, name, man, s.frames); err != nil {
+		return "", err
+	}
+	r.prune()
+	r.dumps[kind].Inc()
+	covered := 0
+	for _, f := range s.fixes {
+		if f.Covered {
+			covered++
+		}
+	}
+	if r.cfg.Logger != nil {
+		r.cfg.Logger.Info("flight bundle dumped",
+			"bundle", name, "trigger", string(kind), "detail", detail,
+			"frames", len(s.frames), "fixes", len(s.fixes), "covered", covered)
+	}
+	return name, nil
+}
+
+// writeBundle writes manifest + frames into a temp directory and renames
+// it into place, so readers only ever see complete bundles.
+func writeBundle(dir, name string, man Manifest, frames []*csi.Packet) error {
+	tmp := filepath.Join(dir, ".tmp-"+name)
+	if err := os.MkdirAll(tmp, 0o755); err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	defer os.RemoveAll(tmp) // no-op after a successful rename
+
+	mf, err := os.Create(filepath.Join(tmp, ManifestFile))
+	if err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	enc := json.NewEncoder(mf)
+	enc.SetIndent("", " ")
+	if err := enc.Encode(man); err != nil {
+		mf.Close() //lint:allow errdrop best-effort cleanup; the encode error is what gets reported
+		return fmt.Errorf("flight: encoding manifest: %w", err)
+	}
+	if err := mf.Close(); err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+
+	ff, err := os.Create(filepath.Join(tmp, FramesFile))
+	if err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	w := csi.NewTraceWriter(ff)
+	for _, p := range frames {
+		if err := w.WritePacket(p); err != nil {
+			ff.Close() //lint:allow errdrop best-effort cleanup; the write error is what gets reported
+			return fmt.Errorf("flight: writing frame: %w", err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		ff.Close() //lint:allow errdrop best-effort cleanup; the flush error is what gets reported
+		return fmt.Errorf("flight: %w", err)
+	}
+	if err := ff.Close(); err != nil {
+		return fmt.Errorf("flight: %w", err)
+	}
+	if err := os.Rename(tmp, filepath.Join(dir, name)); err != nil {
+		return fmt.Errorf("flight: publishing bundle: %w", err)
+	}
+	return nil
+}
+
+// prune deletes the oldest bundles past MaxBundles and refreshes the
+// in-memory index.
+func (r *Recorder) prune() {
+	infos := ListBundles(r.cfg.Dir)
+	for len(infos) > r.cfg.MaxBundles {
+		oldest := infos[len(infos)-1]
+		//lint:allow errdrop best-effort pruning; a leftover bundle is re-pruned on the next dump
+		os.RemoveAll(filepath.Join(r.cfg.Dir, oldest.Name))
+		infos = infos[:len(infos)-1]
+	}
+	r.bundleMu.Lock()
+	r.bundles = infos
+	r.bundleMu.Unlock()
+}
+
+// ListBundles scans a flight directory and returns bundle summaries,
+// newest first. Unreadable entries are skipped — a half-written temp dir
+// must not break the index.
+func ListBundles(dir string) []BundleInfo {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil
+	}
+	var out []BundleInfo
+	for _, e := range entries {
+		if !e.IsDir() || strings.HasPrefix(e.Name(), ".") {
+			continue
+		}
+		man, err := readManifest(filepath.Join(dir, e.Name()))
+		if err != nil {
+			continue
+		}
+		info := BundleInfo{
+			Name:      e.Name(),
+			Trigger:   man.Trigger,
+			CreatedNs: man.CreatedNs,
+			Frames:    man.Frames,
+			Fixes:     len(man.Fixes),
+		}
+		for _, f := range man.Fixes {
+			if f.Covered {
+				info.CoveredFixes++
+			}
+		}
+		for _, file := range []string{ManifestFile, FramesFile} {
+			if st, err := os.Stat(filepath.Join(dir, e.Name(), file)); err == nil {
+				info.SizeBytes += st.Size()
+			}
+		}
+		out = append(out, info)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].CreatedNs > out[j].CreatedNs })
+	return out
+}
+
+func readManifest(bundleDir string) (Manifest, error) {
+	f, err := os.Open(filepath.Join(bundleDir, ManifestFile))
+	if err != nil {
+		return Manifest{}, err
+	}
+	defer f.Close()
+	var man Manifest
+	if err := json.NewDecoder(f).Decode(&man); err != nil {
+		return Manifest{}, fmt.Errorf("flight: decoding manifest: %w", err)
+	}
+	if man.Schema != SchemaName {
+		return Manifest{}, fmt.Errorf("flight: not a flight bundle (schema %q)", man.Schema)
+	}
+	if man.Version != SchemaVersion {
+		return Manifest{}, fmt.Errorf("flight: unsupported bundle version %d (want %d)", man.Version, SchemaVersion)
+	}
+	return man, nil
+}
+
+// BundlePath returns the on-disk directory of a bundle by name, suitable
+// for LoadBundle.
+func (r *Recorder) BundlePath(name string) string {
+	return filepath.Join(r.cfg.Dir, name)
+}
+
+// LoadBundle reads one bundle directory: manifest plus every frame, in
+// capture order.
+func LoadBundle(bundleDir string) (*Bundle, error) {
+	man, err := readManifest(bundleDir)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bundle{Dir: bundleDir, Manifest: man}
+	f, err := os.Open(filepath.Join(bundleDir, FramesFile))
+	if err != nil {
+		return nil, fmt.Errorf("flight: %w", err)
+	}
+	defer f.Close()
+	tr := csi.NewTraceReader(f)
+	for {
+		p, err := tr.ReadPacket()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("flight: reading frames: %w", err)
+		}
+		b.Packets = append(b.Packets, p)
+	}
+	if len(b.Packets) != man.Frames {
+		return nil, fmt.Errorf("flight: bundle has %d frames, manifest says %d", len(b.Packets), man.Frames)
+	}
+	return b, nil
+}

@@ -1,0 +1,130 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+	"os"
+	"path"
+	"path/filepath"
+	"strings"
+	"time"
+)
+
+// status is the JSON served at GET /debug/flight.
+type status struct {
+	Armed       bool              `json:"armed"`
+	CaptureSeq  uint64            `json:"capture_seq"`
+	Frames      int               `json:"frames_buffered"`
+	Journal     int               `json:"journal_events"`
+	Fixes       int               `json:"fix_records"`
+	CooldownSec float64           `json:"cooldown_seconds"`
+	LastDumpNs  int64             `json:"last_dump_unix_ns,omitempty"`
+	MaxBundles  int               `json:"max_bundles"`
+	Bundles     []BundleInfo      `json:"bundles"`
+	Dumps       map[string]uint64 `json:"dumps_total,omitempty"`
+	Suppressed  map[string]uint64 `json:"suppressed_total,omitempty"`
+}
+
+// Handler serves the flight-recorder debug surface:
+//
+//	GET  /debug/flight                          recorder status + bundle index (JSON)
+//	POST /debug/flight/dump                     freeze a bundle now (manual trigger)
+//	GET  /debug/flight/bundle/<name>/manifest.json
+//	GET  /debug/flight/bundle/<name>/frames.sft  bundle files (frames are SFT1)
+//
+// Mount it at both "/debug/flight" and "/debug/flight/".
+func (r *Recorder) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if r == nil {
+			http.Error(w, "flight recorder not armed (start with -flight-dir)", http.StatusNotFound)
+			return
+		}
+		rest := strings.TrimPrefix(req.URL.Path, "/debug/flight")
+		rest = strings.TrimPrefix(rest, "/")
+		switch {
+		case rest == "":
+			r.serveStatus(w)
+		case rest == "dump":
+			if req.Method != http.MethodPost {
+				w.Header().Set("Allow", http.MethodPost)
+				http.Error(w, "POST required", http.StatusMethodNotAllowed)
+				return
+			}
+			name, err := r.DumpNow(TriggerManual, "POST /debug/flight/dump from "+req.RemoteAddr)
+			if err != nil {
+				http.Error(w, err.Error(), http.StatusInternalServerError)
+				return
+			}
+			w.Header().Set("Content-Type", "application/json")
+			//lint:allow errdrop a failed write to the client has no one left to tell
+			json.NewEncoder(w).Encode(map[string]string{"bundle": name})
+		case strings.HasPrefix(rest, "bundle/"):
+			r.serveBundleFile(w, req, strings.TrimPrefix(rest, "bundle/"))
+		default:
+			http.NotFound(w, req)
+		}
+	})
+}
+
+func (r *Recorder) serveStatus(w http.ResponseWriter) {
+	capSeq, frames, journal, fixes := r.Stats()
+	st := status{
+		Armed:       r.Armed(),
+		CaptureSeq:  capSeq,
+		Frames:      frames,
+		Journal:     journal,
+		Fixes:       fixes,
+		CooldownSec: r.cfg.Cooldown.Seconds(),
+		LastDumpNs:  r.lastDumpNs.Load(),
+		MaxBundles:  r.cfg.MaxBundles,
+		Bundles:     r.Bundles(),
+	}
+	st.Dumps = make(map[string]uint64)
+	st.Suppressed = make(map[string]uint64)
+	for _, k := range TriggerKinds() {
+		if v := r.dumps[k].Value(); v > 0 {
+			st.Dumps[string(k)] = v
+		}
+		if v := r.suppressed[k].Value(); v > 0 {
+			st.Suppressed[string(k)] = v
+		}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	//lint:allow errdrop a failed write to the client has no one left to tell
+	json.NewEncoder(w).Encode(st)
+}
+
+// serveBundleFile serves <name>/{manifest.json,frames.sft}. The name is
+// path-cleaned and both components are validated against the bundle
+// index, so a crafted URL cannot escape the flight directory.
+func (r *Recorder) serveBundleFile(w http.ResponseWriter, req *http.Request, rest string) {
+	parts := strings.Split(path.Clean(rest), "/")
+	if len(parts) != 2 || (parts[1] != ManifestFile && parts[1] != FramesFile) {
+		http.NotFound(w, req)
+		return
+	}
+	name := parts[0]
+	known := false
+	for _, b := range r.Bundles() {
+		if b.Name == name {
+			known = true
+			break
+		}
+	}
+	if !known {
+		http.NotFound(w, req)
+		return
+	}
+	f, err := os.Open(filepath.Join(r.cfg.Dir, name, parts[1]))
+	if err != nil {
+		http.NotFound(w, req)
+		return
+	}
+	defer f.Close()
+	if parts[1] == ManifestFile {
+		w.Header().Set("Content-Type", "application/json")
+	} else {
+		w.Header().Set("Content-Type", "application/octet-stream")
+	}
+	http.ServeContent(w, req, parts[1], time.Unix(0, 0), f)
+}

@@ -1,0 +1,85 @@
+package flight
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerStatusDumpAndBundleFiles(t *testing.T) {
+	r := newTestRecorder(t, nil)
+	for seq := uint64(0); seq < 3; seq++ {
+		r.TapPacket(testPacket(0, seq))
+	}
+	h := r.Handler()
+
+	// Status before any dump.
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/flight", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("GET /debug/flight = %d", rec.Code)
+	}
+	var st struct {
+		Armed  bool `json:"armed"`
+		Frames int  `json:"frames_buffered"`
+	}
+	if err := json.Unmarshal(rec.Body.Bytes(), &st); err != nil {
+		t.Fatal(err)
+	}
+	if !st.Armed || st.Frames != 3 {
+		t.Fatalf("status = %+v, want armed with 3 frames", st)
+	}
+
+	// GET on the dump endpoint is rejected; POST freezes a bundle.
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/flight/dump", nil))
+	if rec.Code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET dump = %d, want 405", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	h.ServeHTTP(rec, httptest.NewRequest(http.MethodPost, "/debug/flight/dump", nil))
+	if rec.Code != http.StatusOK {
+		t.Fatalf("POST dump = %d: %s", rec.Code, rec.Body.String())
+	}
+	var resp map[string]string
+	if err := json.Unmarshal(rec.Body.Bytes(), &resp); err != nil {
+		t.Fatal(err)
+	}
+	name := resp["bundle"]
+	if name == "" || !strings.HasSuffix(name, "-manual") {
+		t.Fatalf("dump returned bundle %q, want a *-manual name", name)
+	}
+
+	// Bundle files are served; traversal and unknown names are not.
+	for _, tc := range []struct {
+		path string
+		want int
+	}{
+		{"/debug/flight/bundle/" + name + "/manifest.json", http.StatusOK},
+		{"/debug/flight/bundle/" + name + "/frames.sft", http.StatusOK},
+		{"/debug/flight/bundle/" + name + "/../../../etc/passwd", http.StatusNotFound},
+		{"/debug/flight/bundle/nope/manifest.json", http.StatusNotFound},
+		{"/debug/flight/bundle/" + name + "/other.txt", http.StatusNotFound},
+		{"/debug/flight/typo", http.StatusNotFound},
+	} {
+		rec = httptest.NewRecorder()
+		req := httptest.NewRequest(http.MethodGet, "http://x"+tc.path, nil)
+		// httptest.NewRequest cleans the URL; hit the handler with the raw
+		// path to exercise its own sanitization.
+		req.URL.Path = tc.path
+		h.ServeHTTP(rec, req)
+		if rec.Code != tc.want {
+			t.Fatalf("GET %s = %d, want %d", tc.path, rec.Code, tc.want)
+		}
+	}
+
+	// Nil recorder: the handler stays mountable and explains itself.
+	var nilRec *Recorder
+	rec = httptest.NewRecorder()
+	nilRec.Handler().ServeHTTP(rec, httptest.NewRequest(http.MethodGet, "/debug/flight", nil))
+	if rec.Code != http.StatusNotFound || !strings.Contains(rec.Body.String(), "-flight-dir") {
+		t.Fatalf("nil recorder handler = %d %q, want 404 naming -flight-dir", rec.Code, rec.Body.String())
+	}
+}

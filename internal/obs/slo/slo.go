@@ -80,6 +80,13 @@ type Config struct {
 	BurnThreshold float64
 	// Now overrides the clock; for tests. Defaults to time.Now.
 	Now func() time.Time
+	// OnBurn, when non-nil, observes burning-state transitions: it fires
+	// (outside the tracker lock) with burning=true when both of an
+	// objective's windows start exceeding BurnThreshold at a Sample tick,
+	// and with burning=false when they stop. The flight recorder hangs
+	// its slo-burn capture trigger here. Transitions are evaluated on the
+	// sampling tick, so detection latency is bounded by Tick.
+	OnBurn func(objective string, burning bool)
 }
 
 func (c Config) withDefaults() Config {
@@ -113,6 +120,9 @@ type sample struct {
 type tracked struct {
 	obj     Objective
 	samples []sample
+	// burning is the OnBurn hook's edge-detection state, updated on the
+	// sampling tick.
+	burning bool
 }
 
 // Tracker samples a set of objectives and reports multi-window burn
@@ -164,10 +174,15 @@ func takeSample(obj Objective, now time.Time) sample {
 func (t *Tracker) Sample() {
 	now := t.cfg.Now()
 	cutoff := now.Add(-t.cfg.SlowWindow - 2*t.cfg.Tick)
+	type flip struct {
+		name    string
+		burning bool
+	}
+	var flips []flip
 	t.mu.Lock()
-	defer t.mu.Unlock()
 	for _, tr := range t.objs {
-		tr.samples = append(tr.samples, takeSample(tr.obj, now))
+		live := takeSample(tr.obj, now)
+		tr.samples = append(tr.samples, live)
 		// Prune, but always keep one sample at or before the cutoff so
 		// the slow window has a boundary to difference against.
 		idx := 0
@@ -181,6 +196,25 @@ func (t *Tracker) Sample() {
 		if idx > 0 {
 			tr.samples = append(tr.samples[:0], tr.samples[idx:]...)
 		}
+		if t.cfg.OnBurn != nil {
+			burning := true
+			for _, w := range []time.Duration{t.cfg.FastWindow, t.cfg.SlowWindow} {
+				if windowStatus(tr, live, w, now).BurnRate < t.cfg.BurnThreshold {
+					burning = false
+					break
+				}
+			}
+			if burning != tr.burning {
+				tr.burning = burning
+				flips = append(flips, flip{name: tr.obj.Name, burning: burning})
+			}
+		}
+	}
+	t.mu.Unlock()
+	// Hooks run outside the lock, like every other hook in this codebase:
+	// OnBurn may call Status() or trigger a recorder dump.
+	for _, f := range flips {
+		t.cfg.OnBurn(f.name, f.burning)
 	}
 }
 

@@ -253,3 +253,54 @@ func TestWindowName(t *testing.T) {
 		}
 	}
 }
+
+// TestOnBurnEdgeDetection: the hook fires exactly on transitions — once
+// when both windows start burning, once when they stop — not on every
+// burning tick.
+func TestOnBurnEdgeDetection(t *testing.T) {
+	clk := newFakeClock()
+	var good, total atomic.Uint64
+	type flip struct {
+		name    string
+		burning bool
+	}
+	var flips []flip
+	cfg := testConfig(clk, 2)
+	cfg.OnBurn = func(objective string, burning bool) {
+		flips = append(flips, flip{objective, burning})
+	}
+	tr := New(cfg)
+	tr.Add(RatioObjective("shed", "delivered vs shed", 0.9, func() (uint64, uint64) {
+		return good.Load(), total.Load()
+	}))
+
+	step := func(n int, g, tot uint64) {
+		for i := 0; i < n; i++ {
+			clk.advance(10 * time.Second)
+			good.Add(g)
+			total.Add(tot)
+			tr.Sample()
+		}
+	}
+
+	step(360, 100, 100) // clean hour: no flips
+	if len(flips) != 0 {
+		t.Fatalf("flips after clean traffic: %+v", flips)
+	}
+	step(30, 50, 100) // 5m spike: fast window burns, slow does not
+	if len(flips) != 0 {
+		t.Fatalf("flips after short spike (slow window clean): %+v", flips)
+	}
+	step(360, 50, 100) // sustained outage: both windows burn
+	if len(flips) != 1 || flips[0] != (flip{"shed", true}) {
+		t.Fatalf("flips after sustained burn = %+v, want one {shed true}", flips)
+	}
+	step(60, 50, 100) // still burning: no extra flips
+	if len(flips) != 1 {
+		t.Fatalf("hook re-fired while still burning: %+v", flips)
+	}
+	step(360, 100, 100) // recovery: one {shed false}
+	if len(flips) != 2 || flips[1] != (flip{"shed", false}) {
+		t.Fatalf("flips after recovery = %+v, want trailing {shed false}", flips)
+	}
+}

@@ -100,6 +100,8 @@ type Collector struct {
 	tracer  *trace.Tracer
 
 	mu          sync.Mutex
+	tap         func(*csi.Packet)        // flight-recorder capture hook; nil when disarmed
+	panicHook   func(mac, reason string) // observes quarantined bursts; nil when unwired
 	pending     map[string]map[int][]pendingPacket
 	buffered    int // total packets across pending, kept for O(1) stats
 	dropped     uint64
@@ -171,6 +173,27 @@ func (c *Collector) SetQuarantine(fn func(ap int) bool) {
 	c.quarantine = fn
 }
 
+// SetTap installs a per-packet capture hook (typically the flight
+// recorder's TapPacket): it observes every packet accepted into the
+// buffer, under the collector lock, in exactly burst-assembly order — so
+// a recorder's frame stream and the bursts built from it agree. fn must
+// be fast, must not block, and must not call back into the Collector;
+// nil disables. Call before the first Add.
+func (c *Collector) SetTap(fn func(*csi.Packet)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.tap = fn
+}
+
+// SetPanicHook installs an observer for quarantined bursts (handler
+// panics), called outside the collector lock after the burst is
+// quarantined. nil disables. Call before the first Add.
+func (c *Collector) SetPanicHook(fn func(mac, reason string)) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.panicHook = fn
+}
+
 // allowedLocked reports whether ap may participate in bursts.
 func (c *Collector) allowedLocked(ap int) bool {
 	return c.quarantine == nil || c.quarantine(ap)
@@ -213,6 +236,9 @@ func (c *Collector) Add(p *csi.Packet) error {
 	}
 	byAP[p.APID] = append(q, pendingPacket{p: p, at: c.now()})
 	c.buffered++
+	if c.tap != nil {
+		c.tap(p)
+	}
 
 	// Emit when enough non-quarantined APs have a full batch: a breaker
 	// that opens mid-buffer removes its AP from both the readiness count
@@ -305,7 +331,11 @@ func (c *Collector) emit(mac string, bursts map[int][]*csi.Packet, tr *trace.Tra
 			if len(c.quarantined) > maxQuarantined {
 				c.quarantined = append(c.quarantined[:0:0], c.quarantined[len(c.quarantined)-maxQuarantined:]...)
 			}
+			hook := c.panicHook
 			c.mu.Unlock()
+			if hook != nil {
+				hook(mac, fmt.Sprint(r))
+			}
 		}
 	}()
 	c.handler(mac, bursts, tr)

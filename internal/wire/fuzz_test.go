@@ -11,11 +11,27 @@ import (
 // FuzzReadFrame feeds arbitrary bytes to the frame reader: it must never
 // panic or allocate unboundedly, only return frames or errors.
 func FuzzReadFrame(f *testing.F) {
-	// Seed with a valid frame stream and some corruptions.
+	// Seed with a valid frame stream and some corruptions. CI extends the
+	// file corpus with production frames exported from flight-recorder
+	// bundles (spotfi-trace corpus).
 	var buf bytes.Buffer
 	WriteFrame(&buf, EncodeHello(3))
 	WriteFrame(&buf, Frame{Type: TypeBye})
 	f.Add(buf.Bytes())
+	rng := rand.New(rand.NewSource(2))
+	m := csi.NewMatrix(3, 30)
+	for a := range m.Values {
+		for n := range m.Values[a] {
+			m.Values[a][n] = complex(rng.NormFloat64(), rng.NormFloat64())
+		}
+	}
+	if fr, err := EncodeCSIReport(&csi.Packet{
+		APID: 2, TargetMAC: "02:bb", Seq: 7, TimestampNs: 12345, RSSIdBm: -52, CSI: m,
+	}); err == nil {
+		buf.Reset()
+		WriteFrame(&buf, fr)
+		f.Add(buf.Bytes())
+	}
 	f.Add([]byte{})
 	f.Add([]byte{0x31, 0x57, 0x46, 0x53})
 	f.Add(bytes.Repeat([]byte{0xff}, 64))

@@ -2,9 +2,12 @@ package spotfi
 
 import (
 	"context"
+	"fmt"
 	"math/rand"
+	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -14,6 +17,7 @@ import (
 	"spotfi/internal/apnode"
 	"spotfi/internal/chaos"
 	"spotfi/internal/csi"
+	"spotfi/internal/flight"
 	"spotfi/internal/obs"
 	"spotfi/internal/obs/quality"
 	"spotfi/internal/obs/trace"
@@ -88,9 +92,44 @@ func TestOverloadSoak(t *testing.T) {
 	)
 
 	reg := obs.NewRegistry()
+	base := DefaultConfig(d.Bounds)
 
-	// Three localizers, one per degradation rung, sharing monitor/metrics —
-	// the same ladder spotfi-server builds.
+	// Flight recorder armed for the whole soak: the skewed AP's breaker
+	// opening must freeze a bundle mid-flood, and the drain dump at the
+	// end feeds the replay gate. SPOTFI_FLIGHT_BUNDLE_DIR (set by CI)
+	// keeps the bundles around as an artifact; locally they land in a
+	// temp dir.
+	bundleDir := os.Getenv("SPOTFI_FLIGHT_BUNDLE_DIR")
+	if bundleDir == "" {
+		bundleDir = t.TempDir()
+	}
+	specs := make([]flight.APSpec, len(d.APs))
+	for i, ap := range d.APs {
+		specs[i] = flight.APSpec{ID: ap.ID, X: ap.Pos.X, Y: ap.Pos.Y, NormalRad: ap.NormalAngle}
+	}
+	// Small rings and a long cooldown: a dump serializes every ring, and
+	// on a starved CI core repeated mid-flood dumps would steal the CPU
+	// the breaker's probation needs. One breaker-open bundle is the
+	// assertion; the drain bundle carries the replayable end state.
+	rec, err := flight.New(flight.Config{
+		Dir:         bundleDir,
+		FramesPerAP: 128,
+		Cooldown:    30 * time.Second,
+		MaxBundles:  4,
+		Registry:    reg,
+		Server: flight.ServerConfig{
+			Bounds: [4]float64{d.Bounds.MinX, d.Bounds.MinY, d.Bounds.MaxX, d.Bounds.MaxY},
+			APs:    specs,
+			Batch:  batch,
+			MinAPs: 3,
+			Modes:  3,
+			Seed:   base.Seed,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
 	// UnhealthyBelow sits far under the healthy fleet's occasional
 	// single-burst dips (~0.15 of bursts score 0.1–0.3 even on clean APs):
 	// the sick AP's trip signal in this soak is its non-finite CSI, which
@@ -101,6 +140,12 @@ func TestOverloadSoak(t *testing.T) {
 		Cooldown:       1500 * time.Millisecond,
 		Probes:         2,
 		UnhealthyBelow: 0.05,
+		OnTransition: func(ap int, from, to admit.State, kind admit.FailureKind) {
+			rec.Note(flight.EventBreaker, ap, "", from.String()+"→"+to.String()+" ("+string(kind)+")", 0)
+			if to == admit.StateOpen {
+				rec.Trigger(flight.TriggerBreakerOpen, fmt.Sprintf("AP %d breaker opened (%s)", ap, string(kind)))
+			}
+		},
 	})
 	monitor := quality.NewMonitor(reg, quality.Config{
 		OnBurst: func(sc quality.Score) {
@@ -114,26 +159,14 @@ func TestOverloadSoak(t *testing.T) {
 			}
 		},
 	})
-	base := DefaultConfig(d.Bounds)
 	base.Metrics = NewPipelineMetrics(reg)
 	base.QualityMonitor = monitor
-	mkLoc := func(mode admit.Mode) *Localizer {
-		cfg := base
-		cfg.ModeLabel = mode.String()
-		switch mode {
-		case admit.ModeFastPath:
-			cfg.FastPath.Enabled = true
-		case admit.ModeCoarse:
-			cfg.FastPath.Enabled = true
-			cfg.Music.CoarseGridFactor *= 2
-		}
-		loc, err := New(cfg, deploymentAPs(d))
-		if err != nil {
-			t.Fatalf("localizer %v: %v", mode, err)
-		}
-		return loc
+	// The same three-rung ladder spotfi-server builds — and the one replay
+	// reconstructs from the bundle manifest.
+	locs, err := BuildLadder(base, deploymentAPs(d), 3)
+	if err != nil {
+		t.Fatal(err)
 	}
-	locs := []*Localizer{mkLoc(admit.ModeFull), mkLoc(admit.ModeFastPath), mkLoc(admit.ModeCoarse)}
 
 	var shedByReason [4]atomic.Uint64
 	reasonIdx := map[admit.ShedReason]int{
@@ -205,6 +238,9 @@ func TestOverloadSoak(t *testing.T) {
 					fixes = append(fixes, fix{mac: j.mac, loc: p})
 				}
 				fixMu.Unlock()
+				if err == nil {
+					rec.RecordFix(j.mac, p.Mode, p.X, p.Y, p.Confidence, j.bursts)
+				}
 			}
 		}()
 	}
@@ -223,6 +259,7 @@ func TestOverloadSoak(t *testing.T) {
 	}
 	collector.SetMetrics(m)
 	collector.SetQuarantine(breakers.Allow)
+	collector.SetTap(rec.TapPacket)
 	stopSweeper := collector.StartSweeper(100 * time.Millisecond)
 	defer stopSweeper()
 
@@ -332,6 +369,9 @@ func TestOverloadSoak(t *testing.T) {
 	waitFor("skewed AP breaker open", 30*time.Second, func() bool {
 		return breakers.State(skewedAP) == admit.StateOpen
 	})
+	waitFor("flight bundle frozen on breaker open", 30*time.Second, func() bool {
+		return len(rec.Bundles()) > 0
+	})
 	waitFor("fixes flowing during overload", 30*time.Second, func() bool {
 		return fixCount() > 0
 	})
@@ -382,6 +422,15 @@ func TestOverloadSoak(t *testing.T) {
 	pool.Wait()
 	stopSweeper()
 
+	// The drain dump freezes the full journal and every still-covered fix
+	// before the recorder shuts down — the bundle CI hands to the replay
+	// gate.
+	drainBundle, err := rec.DumpNow(flight.TriggerDrain, "soak drain")
+	if err != nil {
+		t.Fatalf("drain dump: %v", err)
+	}
+	rec.Close()
+
 	// Every delivered burst respected the hard freshness deadline — the
 	// stale-first shed policy means overload manifests as sheds, not as
 	// unbounded queue sojourn.
@@ -421,6 +470,35 @@ func TestOverloadSoak(t *testing.T) {
 	waitFor("goroutines back to baseline", 10*time.Second, func() bool {
 		return runtime.NumGoroutine() <= goroutinesBefore+3
 	})
+
+	// The flood left a breaker-open bundle behind, and the drain bundle
+	// carries replayable fixes: its frame rings must still cover at least
+	// the most recent fixes, and the frames must read back as SFT1.
+	sawBreakerBundle := false
+	for _, b := range rec.Bundles() {
+		if strings.HasSuffix(b.Name, "-"+string(flight.TriggerBreakerOpen)) {
+			sawBreakerBundle = true
+		}
+	}
+	if !sawBreakerBundle {
+		t.Error("no breaker-open flight bundle despite the breaker tripping")
+	}
+	loaded, err := flight.LoadBundle(rec.BundlePath(drainBundle))
+	if err != nil {
+		t.Fatalf("loading drain bundle: %v", err)
+	}
+	if len(loaded.Packets) == 0 {
+		t.Error("drain bundle has no frames")
+	}
+	coveredFixes := 0
+	for _, fr := range loaded.Manifest.Fixes {
+		if fr.Covered {
+			coveredFixes++
+		}
+	}
+	if len(loaded.Manifest.Fixes) > 0 && coveredFixes == 0 {
+		t.Error("drain bundle recorded fixes but none is frame-covered — rings evicted everything")
+	}
 
 	t.Logf("soak: %d fixes (%d degraded), p99 sojourn %v, sheds full=%d stale=%d codel=%d drain=%d, max mode %v, breaker trips=%v",
 		total, degraded, p99,
